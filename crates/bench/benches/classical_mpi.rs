@@ -1,0 +1,70 @@
+//! Criterion bench: the classical message-passing substrate — p2p
+//! round-trip latency and collective scaling (the classical side the paper
+//! assumes is never the bottleneck, Section 4.2).
+
+use cmpi::{ops, Universe};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pingpong(c: &mut Criterion) {
+    c.bench_function("cmpi/pingpong_2ranks", |b| {
+        b.iter(|| {
+            Universe::run(2, |comm| {
+                if comm.rank() == 0 {
+                    for i in 0..100u32 {
+                        comm.send(&i, 1, 0);
+                        let _ = comm.recv::<u32>(1, 0);
+                    }
+                } else {
+                    for _ in 0..100 {
+                        let (v, _) = comm.recv::<u32>(0, 0);
+                        comm.send(&v, 0, 0);
+                    }
+                }
+            })
+        });
+    });
+}
+
+fn bench_allreduce_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cmpi/allreduce");
+    group.sample_size(10);
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                Universe::run(n, |comm| {
+                    let mut acc = 0u64;
+                    for _ in 0..20 {
+                        acc = comm.allreduce(comm.rank() as u64 + acc, &ops::sum);
+                    }
+                    acc
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_exscan(c: &mut Criterion) {
+    // The classical collective driving the cat-state fixup (Section 7.1).
+    let mut group = c.benchmark_group("cmpi/exscan");
+    group.sample_size(10);
+    for n in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                Universe::run(n, |comm| {
+                    for _ in 0..20 {
+                        let _ = comm.exscan((comm.rank() % 2) as u8, &ops::bxor);
+                    }
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pingpong, bench_allreduce_scaling, bench_exscan
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: fermion-to-qubit encoding throughput (JW vs BK) and
+//! the Fig. 7 EPR cost evaluation — the offline compilation pipeline of
+//! Section 7.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qchem::{BlockLayout, CircuitMethod, Encoding, Molecule};
+
+fn bench_hamiltonian_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qchem/hamiltonian");
+    group.sample_size(10);
+    for atoms in [4usize, 6] {
+        for enc in [Encoding::JordanWigner, Encoding::BravyiKitaev] {
+            group.bench_with_input(
+                BenchmarkId::new(enc.short_name(), atoms),
+                &atoms,
+                |b, &atoms| {
+                    let mol = Molecule::hydrogen_ring(atoms, 1.0);
+                    b.iter(|| qchem::molecular_hamiltonian(&mol, enc));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_integrals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qchem/integrals");
+    group.sample_size(10);
+    for atoms in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(atoms), &atoms, |b, &atoms| {
+            let mol = Molecule::hydrogen_ring(atoms, 1.0);
+            b.iter(|| qchem::integrals::AoIntegrals::compute(&mol));
+        });
+    }
+    group.finish();
+}
+
+fn bench_epr_cost_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qchem/fig7_cost");
+    group.sample_size(10);
+    let mol = Molecule::hydrogen_ring(6, 1.0);
+    let h = qchem::molecular_hamiltonian(&mol, Encoding::JordanWigner);
+    for nodes in [3usize, 6, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            let layout = BlockLayout::new(12, nodes);
+            b.iter(|| qchem::trotter_step_epr_cost(&h, &layout, CircuitMethod::InPlace));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hamiltonian_build, bench_integrals, bench_epr_cost_sweep);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion bench: QMPI collectives — tree vs cat-state broadcast and the
+//! linear-chain reduction (the Section 7.1 trade-off, measured as wall
+//! time on the simulation substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmpi::{run, BcastAlgorithm, Parity};
+
+fn bench_bcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qmpi/bcast");
+    group.sample_size(10);
+    for (name, algo) in [
+        ("tree", BcastAlgorithm::BinomialTree),
+        ("cat", BcastAlgorithm::CatState),
+    ] {
+        for n in [4usize, 8] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter(|| {
+                    run(n, move |ctx| {
+                        let (orig, copy) = if ctx.rank() == 0 {
+                            let q = ctx.alloc_one();
+                            ctx.bcast_with(algo, Some(&q), 0).unwrap();
+                            (Some(q), None)
+                        } else {
+                            (None, ctx.bcast_with(algo, None, 0).unwrap())
+                        };
+                        ctx.unbcast(orig.as_ref(), copy, 0).unwrap();
+                        if let Some(q) = orig {
+                            ctx.free_qmem(q).unwrap();
+                        }
+                    })
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qmpi/reduce_unreduce");
+    group.sample_size(10);
+    for n in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                run(n, |ctx| {
+                    let q = ctx.alloc_one();
+                    let (result, handle) = ctx.reduce(&q, &Parity, 0).unwrap();
+                    ctx.unreduce(&q, result, handle, &Parity).unwrap();
+                    ctx.free_qmem(q).unwrap();
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cat_establish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qmpi/cat_establish");
+    group.sample_size(10);
+    for n in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                run(n, |ctx| {
+                    let share = ctx.cat_establish().unwrap();
+                    ctx.cat_disband(share).unwrap();
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bcast, bench_reduce, bench_cat_establish);
+criterion_main!(benches);

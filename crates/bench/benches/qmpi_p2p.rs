@@ -1,0 +1,104 @@
+//! Criterion bench: QMPI point-to-point primitives — entangled copy
+//! round-trips vs teleportation (the Table 1 primitives, end to end on the
+//! simulation substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qmpi::run;
+
+fn bench_copy_roundtrip(c: &mut Criterion) {
+    c.bench_function("qmpi/copy_uncopy", |b| {
+        b.iter(|| {
+            run(2, |ctx| {
+                if ctx.rank() == 0 {
+                    let q = ctx.alloc_one();
+                    ctx.h(&q).unwrap();
+                    for _ in 0..10 {
+                        ctx.send(&q, 1, 0).unwrap();
+                        ctx.unsend(&q, 1, 0).unwrap();
+                    }
+                    ctx.measure_and_free(q).unwrap();
+                } else {
+                    for _ in 0..10 {
+                        let copy = ctx.recv(0, 0).unwrap();
+                        ctx.unrecv(copy, 0, 0).unwrap();
+                    }
+                }
+            })
+        });
+    });
+}
+
+fn bench_teleport_pingpong(c: &mut Criterion) {
+    c.bench_function("qmpi/teleport_pingpong", |b| {
+        b.iter(|| {
+            run(2, |ctx| {
+                if ctx.rank() == 0 {
+                    let mut q = ctx.alloc_one();
+                    ctx.ry(&q, 0.8).unwrap();
+                    for _ in 0..5 {
+                        ctx.send_move(q, 1, 0).unwrap();
+                        q = ctx.recv_move(1, 1).unwrap();
+                    }
+                    ctx.measure_and_free(q).unwrap();
+                } else {
+                    for _ in 0..5 {
+                        let q = ctx.recv_move(0, 0).unwrap();
+                        ctx.send_move(q, 0, 1).unwrap();
+                    }
+                }
+            })
+        });
+    });
+}
+
+fn bench_epr_establishment(c: &mut Criterion) {
+    c.bench_function("qmpi/prepare_epr", |b| {
+        b.iter(|| {
+            run(2, |ctx| {
+                for i in 0..10u16 {
+                    let q = ctx.alloc_one();
+                    ctx.prepare_epr(&q, 1 - ctx.rank(), i).unwrap();
+                    ctx.measure_and_free(q).unwrap();
+                    ctx.ledger().buffer_dec(ctx.rank());
+                }
+            })
+        });
+    });
+}
+
+fn bench_persistent_starts(c: &mut Criterion) {
+    // Section 4.7: after init, starts are classical-only — visibly cheaper
+    // than fresh sends.
+    c.bench_function("qmpi/persistent_start", |b| {
+        b.iter(|| {
+            run(2, |ctx| {
+                if ctx.rank() == 0 {
+                    let mut chan = ctx.send_init(1, 0, 10).unwrap();
+                    let q = ctx.alloc_one();
+                    for _ in 0..10 {
+                        chan.start(ctx, &q).unwrap();
+                    }
+                    ctx.free_qmem(q).unwrap();
+                    chan.free(ctx).unwrap();
+                } else {
+                    let mut chan = ctx.recv_init(0, 0, 10).unwrap();
+                    for _ in 0..10 {
+                        let q = chan.start(ctx).unwrap();
+                        ctx.measure_and_free(q).unwrap();
+                    }
+                    chan.free(ctx).unwrap();
+                }
+            })
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_copy_roundtrip,
+        bench_teleport_pingpong,
+        bench_epr_establishment,
+        bench_persistent_starts
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench: state-vector simulator gate kernels vs register width
+//! (the substrate cost that bounds how large a distributed program the
+//! prototype can execute, Section 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsim::{Gate, Simulator};
+
+fn bench_single_qubit_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/h_layer");
+    group.sample_size(10);
+    for n in [8usize, 12, 16, 18] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut sim = Simulator::new(1);
+            let qs = sim.alloc_n(n);
+            b.iter(|| {
+                for &q in &qs {
+                    sim.apply(Gate::H, q).unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cnot_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/cnot_chain");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut sim = Simulator::new(1);
+            let qs = sim.alloc_n(n);
+            b.iter(|| {
+                for w in qs.windows(2) {
+                    sim.cnot(w[0], w[1]).unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rotation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/rz");
+    group.sample_size(10);
+    for n in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut sim = Simulator::new(1);
+            let qs = sim.alloc_n(n);
+            b.iter(|| sim.apply(Gate::Rz(0.3), qs[n / 2]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_alloc_free(c: &mut Criterion) {
+    c.bench_function("sim/alloc_measure_free", |b| {
+        let mut sim = Simulator::new(1);
+        let _anchor = sim.alloc_n(8);
+        b.iter(|| {
+            let q = sim.alloc();
+            sim.apply(Gate::H, q).unwrap();
+            sim.measure_and_free(q).unwrap();
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_qubit_gates,
+    bench_cnot_chain,
+    bench_rotation,
+    bench_alloc_free
+);
+criterion_main!(benches);

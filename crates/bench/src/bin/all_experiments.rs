@@ -1,0 +1,54 @@
+//! Runs every paper experiment in sequence (Tables 1-3, Figs. 4-7, the
+//! Section 7.1-7.3 model analyses) by invoking the per-experiment binaries
+//! and collecting their output under `results/`.
+//!
+//! Run: `cargo run -p qmpi-bench --bin all_experiments --release -- [--atoms 16]`
+
+use std::fs;
+use std::process::Command;
+
+fn main() {
+    let atoms = qmpi_bench::arg_usize("--atoms", 32);
+    let bins = [
+        ("table1", vec![]),
+        ("table2", vec![]),
+        ("table3", vec![]),
+        ("bcast_model", vec![]),
+        ("tfim_model", vec![]),
+        ("chem_methods", vec![]),
+        ("fig5", vec!["--atoms".to_string(), atoms.to_string()]),
+        ("fig7", vec!["--atoms".to_string(), atoms.to_string()]),
+    ];
+    fs::create_dir_all("results").expect("create results dir");
+    let exe = std::env::current_exe().expect("own path");
+    let bin_dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for (bin, args) in bins {
+        println!("=== {bin} {} ===", args.join(" "));
+        let path = bin_dir.join(bin);
+        let out = Command::new(&path).args(&args).output();
+        match out {
+            Ok(out) => {
+                let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+                let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+                println!("{stdout}");
+                if !out.status.success() {
+                    eprintln!("{stderr}");
+                    failures.push(bin);
+                }
+                fs::write(format!("results/{bin}.txt"), format!("{stdout}\n{stderr}"))
+                    .expect("write result");
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e} (build bins first: cargo build --release -p qmpi-bench)");
+                failures.push(bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("all experiments completed; outputs in results/");
+    } else {
+        eprintln!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

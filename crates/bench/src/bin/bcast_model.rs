@@ -1,0 +1,65 @@
+//! Regenerates the **Section 7.1** analysis (and the Fig. 4 construction):
+//! optimizing `QMPI_Bcast` in the SENDQ model — binomial tree
+//! (`E⌈log₂N⌉`, S=1) versus constant-depth cat state (`2E + D_M + D_F`,
+//! S>=2) — with every closed form validated by the discrete-event scheduler
+//! and the cat construction validated functionally on the live QMPI stack.
+//!
+//! Run: `cargo run -p qmpi-bench --bin bcast_model --release`
+
+use sendq::analysis::bcast;
+use sendq::SendqParams;
+
+fn main() {
+    let base = SendqParams { s: 2, e: 100.0, n: 2, q: 62, d_r: 1000.0, d_m: 10.0, d_f: 10.0 };
+    println!("Section 7.1: QMPI_Bcast in the SENDQ model");
+    println!(
+        "params: E = {}, D_M = {}, D_F = {} (time units)\n",
+        base.e, base.d_m, base.d_f
+    );
+    println!(
+        "{:>6} | {:>12} {:>12} | {:>12} {:>12} | {:>10} {:>8}",
+        "N", "tree closed", "tree sim", "cat closed", "cat sim", "winner", "S(tree/cat)"
+    );
+    println!("{}", qmpi_bench::rule(88));
+    for n in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+        let p = base.with_nodes(n);
+        let tree_c = bcast::tree_bcast_time(&p);
+        let tree_s = bcast::tree_bcast_schedule(&p);
+        let cat_c = bcast::cat_bcast_time(&p);
+        let cat_s = bcast::cat_bcast_schedule(&p);
+        assert!((tree_c - tree_s.makespan).abs() < 1e-9, "tree closed form validated");
+        assert!((cat_c - cat_s.makespan).abs() < 1e-9, "cat closed form validated");
+        let winner = if cat_c < tree_c { "cat" } else { "tree" };
+        println!(
+            "{:>6} | {:>12.0} {:>12.0} | {:>12.0} {:>12.0} | {:>10} {:>4}/{}",
+            n,
+            tree_c,
+            tree_s.makespan,
+            cat_c,
+            cat_s.makespan,
+            winner,
+            tree_s.max_buffer_peak(),
+            cat_s.max_buffer_peak()
+        );
+    }
+    println!("{}", qmpi_bench::rule(88));
+    println!(
+        "crossover: cat wins from N = {} (paper: constant quantum time beats E log N)",
+        bcast::crossover_n(&base)
+    );
+
+    // Functional Fig. 4 validation on the live stack: cat state on n nodes
+    // uses n-1 EPR pairs in exactly 2 establishment rounds.
+    let n = 8;
+    let out = qmpi::run(n, |ctx| {
+        let (d, share) = ctx.measure_resources(|| ctx.cat_establish().unwrap());
+        ctx.cat_disband(share).unwrap();
+        d
+    });
+    println!(
+        "\nFig. 4 (live QMPI, n = {n}): cat state used {} EPR pairs in {} rounds",
+        out[0].epr_pairs, out[0].epr_rounds
+    );
+    assert_eq!(out[0].epr_pairs as usize, n - 1);
+    assert_eq!(out[0].epr_rounds, 2, "constant quantum depth (2E)");
+}

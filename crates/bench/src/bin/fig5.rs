@@ -1,0 +1,76 @@
+//! Regenerates **Fig. 5** of the paper: histogram of the number of qubits
+//! per Hamiltonian term for the hydrogen ring in STO-3G, comparing the
+//! Jordan-Wigner and Bravyi-Kitaev encodings.
+//!
+//! Paper workload: 32 atoms / 64 spin-orbital qubits. Run:
+//! `cargo run -p qmpi-bench --bin fig5 --release [--atoms 32]`
+
+use qchem::{Encoding, WeightHistogram};
+
+fn main() {
+    let atoms = qmpi_bench::arg_usize("--atoms", 32);
+    let n_qubits = 2 * atoms;
+    println!("Fig. 5: qubits per term, hydrogen ring of {atoms} atoms (STO-3G, {n_qubits} qubits)");
+    println!("building Hamiltonians (JW, BK)...\n");
+    let t0 = std::time::Instant::now();
+    let h_jw = qmpi_bench::hydrogen_ring_hamiltonian(atoms, Encoding::JordanWigner);
+    let t_jw = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let h_bk = qmpi_bench::hydrogen_ring_hamiltonian(atoms, Encoding::BravyiKitaev);
+    let t_bk = t0.elapsed();
+    let hist_jw = WeightHistogram::of(&h_jw, n_qubits);
+    let hist_bk = WeightHistogram::of(&h_bk, n_qubits);
+    let max_count = hist_jw
+        .nonzero()
+        .iter()
+        .chain(hist_bk.nonzero().iter())
+        .map(|&(_, c)| c)
+        .max()
+        .unwrap_or(1);
+    println!(
+        "{:>7} | {:>9} {:<26} | {:>9} {:<26}",
+        "qubits", "JW terms", "", "BK terms", ""
+    );
+    println!("{}", qmpi_bench::rule(84));
+    let max_w = hist_jw.max_weight().max(hist_bk.max_weight());
+    for w in 1..=max_w {
+        let cj = hist_jw.count(w);
+        let cb = hist_bk.count(w);
+        if cj == 0 && cb == 0 {
+            continue;
+        }
+        println!(
+            "{:>7} | {:>9} {:<26} | {:>9} {:<26}",
+            w,
+            cj,
+            qmpi_bench::log_bar(cj, max_count),
+            cb,
+            qmpi_bench::log_bar(cb, max_count)
+        );
+    }
+    println!("{}", qmpi_bench::rule(84));
+    println!(
+        "totals  | JW: {} terms, max weight {}, mean weight {:.2} (built in {:.1?})",
+        hist_jw.total(),
+        hist_jw.max_weight(),
+        hist_jw.mean_weight(),
+        t_jw
+    );
+    println!(
+        "        | BK: {} terms, max weight {}, mean weight {:.2} (built in {:.1?})",
+        hist_bk.total(),
+        hist_bk.max_weight(),
+        hist_bk.mean_weight(),
+        t_bk
+    );
+    println!("\npaper shape check:");
+    println!(
+        "  JW tail reaches ~{} qubits (O(n) parity strings)  vs  BK max {} (O(log n))",
+        hist_jw.max_weight(),
+        hist_bk.max_weight()
+    );
+    assert!(
+        hist_bk.max_weight() < hist_jw.max_weight(),
+        "BK must truncate the weight tail relative to JW"
+    );
+}

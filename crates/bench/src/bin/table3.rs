@@ -1,0 +1,232 @@
+//! Regenerates **Table 3** of the paper: every QMPI collective, its
+//! reverse, and its resource consumption, measured live on N ranks.
+//!
+//! Run: `cargo run -p qmpi-bench --bin table3 --release [--nodes N]`
+
+use qmpi::{run, BcastAlgorithm, Parity, ResourceSnapshot};
+
+fn snap2(
+    name: &'static str,
+    unit: &'static str,
+    pair: (ResourceSnapshot, ResourceSnapshot),
+) -> (String, String, String, (ResourceSnapshot, ResourceSnapshot)) {
+    (name.into(), format!("QMPI_Un{}", &name[5..6].to_lowercase()) + &name[6..], unit.into(), pair)
+}
+
+fn main() {
+    let n = qmpi_bench::arg_usize("--nodes", 4);
+    println!("Table 3: collective communication in QMPI (N = {n} ranks, 1 qubit per rank)");
+    println!("resources as (EPR pairs, classical bits), forward / reverse\n");
+    let mut rows: Vec<(String, String, String, (ResourceSnapshot, ResourceSnapshot))> = Vec::new();
+
+    // Bcast (tree) + Unbcast.
+    let out = run(n, |ctx| {
+        let (fwd, (orig, copy)) = ctx.measure_resources(|| {
+            if ctx.rank() == 0 {
+                let q = ctx.alloc_one();
+                ctx.h(&q).unwrap();
+                ctx.bcast(Some(&q), 0).unwrap();
+                (Some(q), None)
+            } else {
+                (None, ctx.bcast(None, 0).unwrap())
+            }
+        });
+        let (inv, ()) = ctx.measure_resources(|| {
+            ctx.unbcast(orig.as_ref(), copy, 0).unwrap();
+        });
+        if let Some(q) = orig {
+            ctx.measure_and_free(q).unwrap();
+        }
+        (fwd, inv)
+    });
+    rows.push(snap2("QMPI_Bcast", "copy x (N-1)", out[0]));
+
+    // Gather / Ungather (copy).
+    let out = run(n, |ctx| {
+        let q = ctx.alloc_one();
+        let (fwd, copies) = ctx.measure_resources(|| ctx.gather(&q, 0).unwrap());
+        let (inv, ()) = ctx.measure_resources(|| ctx.ungather(&q, copies, 0).unwrap());
+        ctx.measure_and_free(q).unwrap();
+        (fwd, inv)
+    });
+    rows.push(snap2("QMPI_Gather", "copy x (N-1)", out[0]));
+
+    // Scatter / Unscatter (copy).
+    let out = run(n, move |ctx| {
+        let qs = if ctx.rank() == 0 { Some(ctx.alloc_qmem(n)) } else { None };
+        let (fwd, piece) =
+            ctx.measure_resources(|| ctx.scatter(qs.as_deref(), 0).unwrap());
+        let (inv, ()) =
+            ctx.measure_resources(|| ctx.unscatter(qs.as_deref(), piece, 0).unwrap());
+        if let Some(qs) = qs {
+            for q in qs {
+                ctx.free_qmem(q).unwrap();
+            }
+        }
+        (fwd, inv)
+    });
+    rows.push(snap2("QMPI_Scatter", "copy x (N-1)", out[0]));
+
+    // Allgather / Unallgather (copy). Copy semantics square the live-qubit
+    // count (N originals + N^2 copies), so this row runs on at most 3 ranks
+    // to stay within the dense simulator's budget.
+    let na = n.min(3);
+    let out = run(na, |ctx| {
+        let q = ctx.alloc_one();
+        let (fwd, copies) = ctx.measure_resources(|| ctx.allgather(&q).unwrap());
+        let (inv, ()) = ctx.measure_resources(|| ctx.unallgather(&q, copies).unwrap());
+        ctx.measure_and_free(q).unwrap();
+        (fwd, inv)
+    });
+    rows.push(snap2("QMPI_Allgather*", "copy x N(N-1)", out[0]));
+
+    // Alltoall / Unalltoall (copy) — same budget note as allgather.
+    let out = run(na, move |ctx| {
+        let qs = ctx.alloc_qmem(na);
+        let (fwd, pieces) = ctx.measure_resources(|| ctx.alltoall(&qs).unwrap());
+        let (inv, ()) = ctx.measure_resources(|| ctx.unalltoall(&qs, pieces).unwrap());
+        for q in qs {
+            ctx.free_qmem(q).unwrap();
+        }
+        (fwd, inv)
+    });
+    rows.push(snap2("QMPI_Alltoall*", "copy x N(N-1)", out[0]));
+
+    // Reduce / Unreduce.
+    let out = run(n, |ctx| {
+        let q = ctx.alloc_one();
+        let (fwd, (result, handle)) =
+            ctx.measure_resources(|| ctx.reduce(&q, &Parity, 0).unwrap());
+        let (inv, ()) =
+            ctx.measure_resources(|| ctx.unreduce(&q, result, handle, &Parity).unwrap());
+        ctx.free_qmem(q).unwrap();
+        (fwd, inv)
+    });
+    rows.push(snap2("QMPI_Reduce", "reduce (N-1)", out[0]));
+
+    // Allreduce / Unallreduce.
+    let out = run(n, |ctx| {
+        let q = ctx.alloc_one();
+        let (fwd, (value, handle)) =
+            ctx.measure_resources(|| ctx.allreduce(&q, &Parity).unwrap());
+        let (inv, ()) =
+            ctx.measure_resources(|| ctx.unallreduce(&q, value, handle, &Parity).unwrap());
+        ctx.free_qmem(q).unwrap();
+        (fwd, inv)
+    });
+    rows.push(snap2("QMPI_Allreduce", "reduce + copy", out[0]));
+
+    // Reduce_scatter_block — N^2 inputs plus chain scratch; same budget
+    // note as the all-to-all rows.
+    let out = run(na, move |ctx| {
+        let qs = ctx.alloc_qmem(na);
+        let (fwd, (mine, handle)) =
+            ctx.measure_resources(|| ctx.reduce_scatter_block(&qs, &Parity).unwrap());
+        let (inv, ()) = ctx.measure_resources(|| {
+            ctx.unreduce_scatter_block(&qs, mine, handle, &Parity).unwrap();
+        });
+        for q in qs {
+            ctx.free_qmem(q).unwrap();
+        }
+        (fwd, inv)
+    });
+    rows.push(snap2("QMPI_Reduce_scatter*", "reduce x N", out[0]));
+
+    // Scan / Unscan.
+    let out = run(n, |ctx| {
+        let q = ctx.alloc_one();
+        let (fwd, (result, handle)) = ctx.measure_resources(|| ctx.scan(&q, &Parity).unwrap());
+        let (inv, ()) =
+            ctx.measure_resources(|| ctx.unscan(&q, result, handle, &Parity).unwrap());
+        ctx.free_qmem(q).unwrap();
+        (fwd, inv)
+    });
+    rows.push(snap2("QMPI_Scan", "scan (N-1)", out[0]));
+
+    // Exscan / Unexscan.
+    let out = run(n, |ctx| {
+        let q = ctx.alloc_one();
+        let (fwd, (result, handle)) = ctx.measure_resources(|| ctx.exscan(&q, &Parity).unwrap());
+        let (inv, ()) =
+            ctx.measure_resources(|| ctx.unexscan(&q, result, handle, &Parity).unwrap());
+        ctx.free_qmem(q).unwrap();
+        (fwd, inv)
+    });
+    rows.push(snap2("QMPI_Exscan", "scan (N-1)", out[0]));
+
+    // Gather_move / Ungather_move.
+    let out = run(n, |ctx| {
+        let q = ctx.alloc_one();
+        let (fwd, gathered) = ctx.measure_resources(|| ctx.gather_move(q, 0).unwrap());
+        let (inv, back) = ctx.measure_resources(|| ctx.ungather_move(gathered, 0).unwrap());
+        ctx.measure_and_free(back).unwrap();
+        (fwd, inv)
+    });
+    rows.push(snap2("QMPI_Gather_move", "move x (N-1)", out[0]));
+
+    // Scatter_move / Unscatter_move.
+    let out = run(n, move |ctx| {
+        let qs = if ctx.rank() == 0 { Some(ctx.alloc_qmem(n)) } else { None };
+        let (fwd, piece) = ctx.measure_resources(|| ctx.scatter_move(qs, 0).unwrap());
+        let (inv, back) = ctx.measure_resources(|| ctx.unscatter_move(piece, 0).unwrap());
+        if let Some(back) = back {
+            for q in back {
+                ctx.measure_and_free(q).unwrap();
+            }
+        }
+        (fwd, inv)
+    });
+    rows.push(snap2("QMPI_Scatter_move", "move x (N-1)", out[0]));
+
+    // Alltoall_move (self-inverse by another exchange).
+    let out = run(n, move |ctx| {
+        let qs = ctx.alloc_qmem(n);
+        let (fwd, pieces) = ctx.measure_resources(|| ctx.alltoall_move(qs).unwrap());
+        let (inv, back) = ctx.measure_resources(|| ctx.alltoall_move(pieces).unwrap());
+        for q in back {
+            ctx.measure_and_free(q).unwrap();
+        }
+        (fwd, inv)
+    });
+    rows.push(snap2("QMPI_Alltoall_move", "move x N(N-1)", out[0]));
+
+    println!(
+        "{:<24} {:<26} {:<16} | {:>8} {:>8} | {:>8} {:>8}",
+        "operation", "reverse", "paper units", "EPR fwd", "bits fwd", "EPR rev", "bits rev"
+    );
+    println!("{}", qmpi_bench::rule(112));
+    for (op, rev, unit, (fwd, inv)) in &rows {
+        println!(
+            "{:<24} {:<26} {:<16} | {:>8} {:>8} | {:>8} {:>8}",
+            op, rev, unit, fwd.epr_pairs, fwd.classical_bits, inv.epr_pairs, inv.classical_bits
+        );
+    }
+
+    println!("\n(*) copy-semantics all-to-all rows measured at N = {} ranks: the dense", n.min(3));
+    println!("    state-vector substrate cannot hold the N + N^2 live qubits of larger runs.");
+
+    // Bcast algorithm comparison (Section 7.1).
+    let out = run(n, |ctx| {
+        let (fwd, (orig, copy)) = ctx.measure_resources(|| {
+            if ctx.rank() == 0 {
+                let q = ctx.alloc_one();
+                ctx.bcast_with(BcastAlgorithm::CatState, Some(&q), 0).unwrap();
+                (Some(q), None)
+            } else {
+                (None, ctx.bcast_with(BcastAlgorithm::CatState, None, 0).unwrap())
+            }
+        });
+        if let Some(q) = orig {
+            ctx.measure_and_free(q).unwrap();
+        }
+        if let Some(q) = copy {
+            ctx.measure_and_free(q).unwrap();
+        }
+        fwd
+    });
+    println!(
+        "\nQMPI_Bcast algorithms: tree = {} EPR rounds, cat state = {} EPR rounds (constant; Fig. 4)",
+        (n as f64).log2().ceil() as u64,
+        out[0].epr_rounds
+    );
+}

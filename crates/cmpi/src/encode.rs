@@ -1,0 +1,284 @@
+//! Self-contained binary message encoding.
+//!
+//! QMPI keeps classical and quantum communication strictly separated
+//! (paper Section 4.2); the classical side needs a small, dependency-free
+//! wire format for measurement outcomes, qubit ids, and collective
+//! bookkeeping. Everything is little-endian and length-prefixed.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Types that can be serialized into a message payload.
+pub trait Encode {
+    /// Appends the binary representation of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+}
+
+/// Types that can be deserialized from a message payload.
+pub trait Decode: Sized {
+    /// Reads a value from the front of `buf`, advancing it.
+    /// Returns `None` on underflow or malformed data.
+    fn decode(buf: &mut Bytes) -> Option<Self>;
+}
+
+/// Serializes a value into a standalone payload.
+pub fn to_bytes<T: Encode + ?Sized>(value: &T) -> Bytes {
+    let mut buf = BytesMut::new();
+    value.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Deserializes a full payload; fails if bytes remain.
+pub fn from_bytes<T: Decode>(payload: &Bytes) -> Option<T> {
+    let mut buf = payload.clone();
+    let v = T::decode(&mut buf)?;
+    if buf.has_remaining() {
+        return None;
+    }
+    Some(v)
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $put:ident, $get:ident) => {
+        impl Encode for $t {
+            #[inline]
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+        }
+        impl Decode for $t {
+            #[inline]
+            fn decode(buf: &mut Bytes) -> Option<Self> {
+                if buf.remaining() < std::mem::size_of::<$t>() {
+                    return None;
+                }
+                Some(buf.$get())
+            }
+        }
+    };
+}
+
+impl_scalar!(u8, put_u8, get_u8);
+impl_scalar!(u16, put_u16_le, get_u16_le);
+impl_scalar!(u32, put_u32_le, get_u32_le);
+impl_scalar!(u64, put_u64_le, get_u64_le);
+impl_scalar!(i8, put_i8, get_i8);
+impl_scalar!(i16, put_i16_le, get_i16_le);
+impl_scalar!(i32, put_i32_le, get_i32_le);
+impl_scalar!(i64, put_i64_le, get_i64_le);
+impl_scalar!(f32, put_f32_le, get_f32_le);
+impl_scalar!(f64, put_f64_le, get_f64_le);
+
+impl Encode for bool {
+    #[inline]
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    #[inline]
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Encode for usize {
+    #[inline]
+    fn encode(&self, buf: &mut BytesMut) {
+        (*self as u64).encode(buf);
+    }
+}
+
+impl Decode for usize {
+    #[inline]
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        u64::decode(buf).map(|v| v as usize)
+    }
+}
+
+impl Encode for () {
+    #[inline]
+    fn encode(&self, _buf: &mut BytesMut) {}
+}
+
+impl Decode for () {
+    #[inline]
+    fn decode(_buf: &mut Bytes) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.as_bytes().len().encode(buf);
+        buf.put_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        let len = usize::decode(buf)?;
+        if buf.remaining() < len {
+            return None;
+        }
+        let raw = buf.split_to(len);
+        String::from_utf8(raw.to_vec()).ok()
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.len().encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        let len = usize::decode(buf)?;
+        // Guard against corrupted lengths; each element takes >= 1 byte
+        // except (), which we never transmit in vectors.
+        if len > buf.remaining() && std::mem::size_of::<T>() > 0 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Some(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(None),
+            1 => Some(Some(T::decode(buf)?)),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Encode),+> Encode for ($($name,)+) {
+            fn encode(&self, buf: &mut BytesMut) {
+                $( self.$idx.encode(buf); )+
+            }
+        }
+        impl<$($name: Decode),+> Decode for ($($name,)+) {
+            fn decode(buf: &mut Bytes) -> Option<Self> {
+                Some(($( $name::decode(buf)?, )+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let b = to_bytes(&v);
+        let back: T = from_bytes(&b).expect("decode failed");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0xBEEFu16);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i32);
+        roundtrip(-1i64);
+        roundtrip(3.14159f64);
+        roundtrip(f64::MIN_POSITIVE);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(123_456usize);
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        roundtrip(String::from(""));
+        roundtrip(String::from("hello QMPI"));
+        roundtrip(String::from("ünïcodé ✓"));
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        roundtrip::<Vec<u32>>(vec![]);
+        roundtrip(vec![1u32, 2, 3, u32::MAX]);
+        roundtrip(vec![vec![1u8, 2], vec![], vec![3]]);
+        roundtrip(vec![1.5f64, -2.5, 0.0]);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        roundtrip::<Option<u32>>(None);
+        roundtrip(Some(77u32));
+        roundtrip(Some(vec![1u8, 2, 3]));
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        roundtrip((1u32,));
+        roundtrip((1u32, 2.5f64));
+        roundtrip((true, String::from("x"), 9u64));
+        roundtrip((1u8, 2u16, 3u32, 4u64));
+        roundtrip((1u8, 2u16, 3u32, 4u64, false));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut b = BytesMut::new();
+        1u32.encode(&mut b);
+        2u32.encode(&mut b);
+        assert!(from_bytes::<u32>(&b.freeze()).is_none());
+    }
+
+    #[test]
+    fn underflow_rejected() {
+        let b = Bytes::from_static(&[1, 2]);
+        assert!(from_bytes::<u32>(&b).is_none());
+    }
+
+    #[test]
+    fn corrupt_bool_rejected() {
+        let b = Bytes::from_static(&[7]);
+        assert!(from_bytes::<bool>(&b).is_none());
+    }
+
+    #[test]
+    fn corrupt_vec_length_rejected() {
+        let mut b = BytesMut::new();
+        usize::MAX.encode(&mut b);
+        assert!(from_bytes::<Vec<u8>>(&b.freeze()).is_none());
+    }
+}

@@ -1,0 +1,245 @@
+//! Per-rank mailboxes with MPI-style `(context, source, tag)` matching.
+//!
+//! Every rank owns one mailbox; senders push envelopes into the receiver's
+//! mailbox and receivers block on a condition variable until a matching
+//! envelope arrives. Matching supports `MPI_ANY_SOURCE` / `MPI_ANY_TAG`
+//! wildcards and is FIFO per (context, source, tag) triple, which gives the
+//! non-overtaking guarantee of the MPI standard.
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Message tag type (non-negative, like MPI tags).
+pub type Tag = u32;
+
+/// Source selector for receives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceSel {
+    /// Match messages from one specific rank.
+    Rank(usize),
+    /// Match messages from any rank (MPI_ANY_SOURCE).
+    Any,
+}
+
+impl From<usize> for SourceSel {
+    fn from(r: usize) -> Self {
+        SourceSel::Rank(r)
+    }
+}
+
+/// Tag selector for receives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TagSel {
+    /// Match one specific tag.
+    Tag(Tag),
+    /// Match any tag (MPI_ANY_TAG).
+    Any,
+}
+
+impl From<Tag> for TagSel {
+    fn from(t: Tag) -> Self {
+        TagSel::Tag(t)
+    }
+}
+
+/// A queued message.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Communicator context id (segregates traffic between communicators).
+    pub context: u64,
+    /// Sending rank *within that communicator*.
+    pub source: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Serialized payload.
+    pub payload: Bytes,
+}
+
+impl Envelope {
+    fn matches(&self, context: u64, source: SourceSel, tag: TagSel) -> bool {
+        if self.context != context {
+            return false;
+        }
+        if let SourceSel::Rank(r) = source {
+            if self.source != r {
+                return false;
+            }
+        }
+        if let TagSel::Tag(t) = tag {
+            if self.tag != t {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A rank's incoming-message queue.
+#[derive(Default)]
+pub struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued messages (diagnostic).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    /// Delivers an envelope (called by the *sender*).
+    pub fn push(&self, env: Envelope) {
+        let mut q = self.queue.lock();
+        q.push_back(env);
+        // Wake all blocked receivers: several receives with different
+        // selectors may be pending on other threads in tests/tools.
+        self.arrived.notify_all();
+    }
+
+    /// Removes and returns the first matching envelope, blocking until one
+    /// arrives.
+    pub fn pop_matching(&self, context: u64, source: SourceSel, tag: TagSel) -> Envelope {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(idx) = q.iter().position(|e| e.matches(context, source, tag)) {
+                return q.remove(idx).expect("index valid under lock");
+            }
+            self.arrived.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking variant of [`Mailbox::pop_matching`].
+    pub fn try_pop_matching(&self, context: u64, source: SourceSel, tag: TagSel) -> Option<Envelope> {
+        let mut q = self.queue.lock();
+        let idx = q.iter().position(|e| e.matches(context, source, tag))?;
+        q.remove(idx)
+    }
+
+    /// Blocking pop with a timeout; `None` on expiry. Used to detect
+    /// deadlocks in tests.
+    pub fn pop_matching_timeout(
+        &self,
+        context: u64,
+        source: SourceSel,
+        tag: TagSel,
+        timeout: Duration,
+    ) -> Option<Envelope> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(idx) = q.iter().position(|e| e.matches(context, source, tag)) {
+                return q.remove(idx);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self.arrived.wait_until(&mut q, deadline).timed_out() {
+                // Check once more under the lock before giving up.
+                if let Some(idx) = q.iter().position(|e| e.matches(context, source, tag)) {
+                    return q.remove(idx);
+                }
+                return None;
+            }
+        }
+    }
+
+    /// Peeks whether a matching message is available without removing it
+    /// (MPI_Iprobe analogue). Returns `(source, tag, payload_len)`.
+    pub fn probe(&self, context: u64, source: SourceSel, tag: TagSel) -> Option<(usize, Tag, usize)> {
+        let q = self.queue.lock();
+        q.iter()
+            .find(|e| e.matches(context, source, tag))
+            .map(|e| (e.source, e.tag, e.payload.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn env(context: u64, source: usize, tag: Tag, byte: u8) -> Envelope {
+        Envelope { context, source, tag, payload: Bytes::copy_from_slice(&[byte]) }
+    }
+
+    #[test]
+    fn fifo_within_matching_class() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 1, 5, 10));
+        mb.push(env(0, 1, 5, 20));
+        let a = mb.pop_matching(0, SourceSel::Rank(1), TagSel::Tag(5));
+        let b = mb.pop_matching(0, SourceSel::Rank(1), TagSel::Tag(5));
+        assert_eq!(a.payload[0], 10);
+        assert_eq!(b.payload[0], 20);
+    }
+
+    #[test]
+    fn tag_matching_skips_non_matching() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 1, 5, 10));
+        mb.push(env(0, 1, 6, 20));
+        let b = mb.pop_matching(0, SourceSel::Rank(1), TagSel::Tag(6));
+        assert_eq!(b.payload[0], 20);
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn any_source_any_tag() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 3, 9, 42));
+        let e = mb.pop_matching(0, SourceSel::Any, TagSel::Any);
+        assert_eq!(e.source, 3);
+        assert_eq!(e.tag, 9);
+    }
+
+    #[test]
+    fn context_segregation() {
+        let mb = Mailbox::new();
+        mb.push(env(7, 0, 0, 1));
+        assert!(mb.try_pop_matching(8, SourceSel::Any, TagSel::Any).is_none());
+        assert!(mb.try_pop_matching(7, SourceSel::Any, TagSel::Any).is_some());
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || {
+            mb2.pop_matching(0, SourceSel::Rank(0), TagSel::Tag(1)).payload[0]
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push(env(0, 0, 1, 77));
+        assert_eq!(handle.join().unwrap(), 77);
+    }
+
+    #[test]
+    fn timeout_expires_when_no_match() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 0, 1, 1));
+        let r = mb.pop_matching_timeout(0, SourceSel::Rank(0), TagSel::Tag(2), Duration::from_millis(30));
+        assert!(r.is_none());
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 2, 4, 9));
+        let (src, tag, len) = mb.probe(0, SourceSel::Any, TagSel::Any).unwrap();
+        assert_eq!((src, tag, len), (2, 4, 1));
+        assert_eq!(mb.len(), 1);
+    }
+}

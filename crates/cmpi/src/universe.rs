@@ -1,0 +1,116 @@
+//! Thread-per-rank launcher — the substitute for `mpirun`.
+//!
+//! The paper's prototype runs QMPI ranks as MPI processes on one machine;
+//! here each rank is an OS thread and the "network" is the shared set of
+//! mailboxes in [`crate::comm::World`]. Message-passing semantics (matching,
+//! ordering, collectives) are identical; only the transport differs, which
+//! DESIGN.md documents as substitution #1.
+
+use crate::comm::{Communicator, World};
+use std::sync::Arc;
+
+/// Launches rank closures and collects their results.
+pub struct Universe;
+
+impl Universe {
+    /// Runs `f` on `n` ranks (threads), each receiving its world
+    /// communicator. Returns the per-rank results in rank order.
+    ///
+    /// Panics if any rank panics (propagating the first panic payload), so
+    /// test failures inside ranks surface as test failures.
+    pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Communicator) -> T + Send + Sync + 'static,
+    {
+        assert!(n > 0, "need at least one rank");
+        let world = World::new(n);
+        let f = Arc::new(f);
+        let mut handles = Vec::with_capacity(n);
+        for rank in 0..n {
+            let world = Arc::clone(&world);
+            let f = Arc::clone(&f);
+            let builder = std::thread::Builder::new()
+                .name(format!("cmpi-rank-{rank}"))
+                // Dense chemistry payloads and deep recursion in tests need
+                // more than the default stack on some platforms.
+                .stack_size(8 << 20);
+            handles.push(
+                builder
+                    .spawn(move || f(Communicator::world(world, rank)))
+                    .expect("failed to spawn rank thread"),
+            );
+        }
+        let mut results = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(v) => results.push(Some(v)),
+                Err(e) => {
+                    results.push(None);
+                    if panic.is_none() {
+                        panic = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+        results.into_iter().map(|r| r.expect("rank result present")).collect()
+    }
+
+    /// Like [`Universe::run`] but also hands each rank a shared context
+    /// value (used by QMPI to share the simulator backend).
+    pub fn run_with<C, T, F>(n: usize, ctx: Arc<C>, f: F) -> Vec<T>
+    where
+        C: Send + Sync + 'static,
+        T: Send + 'static,
+        F: Fn(Communicator, Arc<C>) -> T + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        Self::run(n, move |comm| f(comm, Arc::clone(&ctx)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = Universe::run(5, |comm| comm.rank() * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = Universe::run(1, |comm| {
+            assert_eq!(comm.size(), 1);
+            comm.rank()
+        });
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 exploded")]
+    fn rank_panic_propagates() {
+        Universe::run(4, |comm| {
+            if comm.rank() == 2 {
+                panic!("rank 2 exploded");
+            }
+            comm.rank()
+        });
+    }
+
+    #[test]
+    fn run_with_shares_context() {
+        let shared = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let out = Universe::run_with(4, shared.clone(), |comm, ctx| {
+            ctx.fetch_add(comm.rank(), std::sync::atomic::Ordering::Relaxed);
+            comm.rank()
+        });
+        assert_eq!(out.len(), 4);
+        assert_eq!(shared.load(std::sync::atomic::Ordering::Relaxed), 0 + 1 + 2 + 3);
+    }
+}

@@ -1,0 +1,266 @@
+//! The shared simulation backend.
+//!
+//! Mirrors the paper's prototype architecture (Section 6): "all ranks forward
+//! quantum operations to rank 0, which then applies the operation to the
+//! state vector". Here the forwarding is a lock acquisition instead of an MPI
+//! message to a dedicated thread — identical serialization semantics, and
+//! the quantum state faithfully represents the distributed machine at every
+//! point.
+//!
+//! The backend is also where *locality* is enforced: multi-qubit gates
+//! between qubits owned by different ranks are rejected, so algorithm code
+//! must communicate via QMPI exactly as on real distributed hardware. The
+//! only cross-rank operation is [`Backend::entangle_epr`], which models the
+//! quantum-coherent interconnect establishing an EPR pair.
+
+use crate::error::{QmpiError, Result};
+use parking_lot::Mutex;
+use qsim::{Gate, Pauli, QubitId, Simulator, State};
+use std::collections::HashMap;
+
+struct Inner {
+    sim: Simulator,
+    owner: HashMap<QubitId, usize>,
+}
+
+/// Shared, lock-guarded simulator plus the qubit-ownership registry.
+pub struct Backend {
+    inner: Mutex<Inner>,
+}
+
+impl Backend {
+    /// Creates a backend with a deterministic measurement RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Backend {
+            inner: Mutex::new(Inner { sim: Simulator::new(seed), owner: HashMap::new() }),
+        }
+    }
+
+    /// Allocates `n` fresh |0> qubits owned by `rank`.
+    pub fn alloc(&self, rank: usize, n: usize) -> Vec<QubitId> {
+        let mut g = self.inner.lock();
+        let ids = g.sim.alloc_n(n);
+        for &id in &ids {
+            g.owner.insert(id, rank);
+        }
+        ids
+    }
+
+    /// Frees a classical-state qubit owned by `rank`.
+    pub fn free(&self, rank: usize, q: QubitId) -> Result<bool> {
+        let mut g = self.inner.lock();
+        Self::check_owner(&g.owner, rank, q)?;
+        let out = g.sim.free(q)?;
+        g.owner.remove(&q);
+        Ok(out)
+    }
+
+    /// Measures and frees a qubit owned by `rank`.
+    pub fn measure_and_free(&self, rank: usize, q: QubitId) -> Result<bool> {
+        let mut g = self.inner.lock();
+        Self::check_owner(&g.owner, rank, q)?;
+        let out = g.sim.measure_and_free(q)?;
+        g.owner.remove(&q);
+        Ok(out)
+    }
+
+    fn check_owner(owner: &HashMap<QubitId, usize>, rank: usize, q: QubitId) -> Result<()> {
+        match owner.get(&q) {
+            None => Err(QmpiError::Sim(qsim::SimError::UnknownQubit(q))),
+            Some(&o) if o == rank => Ok(()),
+            Some(&o) => Err(QmpiError::Locality { qubit: q, owner: o, acting: rank }),
+        }
+    }
+
+    /// Owner rank of a qubit.
+    pub fn owner_of(&self, q: QubitId) -> Option<usize> {
+        self.inner.lock().owner.get(&q).copied()
+    }
+
+    /// Applies a local single-qubit gate.
+    pub fn apply(&self, rank: usize, gate: Gate, q: QubitId) -> Result<()> {
+        let mut g = self.inner.lock();
+        Self::check_owner(&g.owner, rank, q)?;
+        g.sim.apply(gate, q)?;
+        Ok(())
+    }
+
+    /// Applies a local CNOT; both qubits must live on `rank`.
+    pub fn cnot(&self, rank: usize, control: QubitId, target: QubitId) -> Result<()> {
+        let mut g = self.inner.lock();
+        Self::check_owner(&g.owner, rank, control)?;
+        Self::check_owner(&g.owner, rank, target)?;
+        g.sim.cnot(control, target)?;
+        Ok(())
+    }
+
+    /// Applies a local CZ; both qubits must live on `rank`.
+    pub fn cz(&self, rank: usize, a: QubitId, b: QubitId) -> Result<()> {
+        let mut g = self.inner.lock();
+        Self::check_owner(&g.owner, rank, a)?;
+        Self::check_owner(&g.owner, rank, b)?;
+        g.sim.cz(a, b)?;
+        Ok(())
+    }
+
+    /// Applies a local SWAP; both qubits must live on `rank`.
+    pub fn swap(&self, rank: usize, a: QubitId, b: QubitId) -> Result<()> {
+        let mut g = self.inner.lock();
+        Self::check_owner(&g.owner, rank, a)?;
+        Self::check_owner(&g.owner, rank, b)?;
+        g.sim.swap(a, b)?;
+        Ok(())
+    }
+
+    /// Applies a local multi-controlled gate; all qubits must live on `rank`.
+    pub fn apply_controlled(
+        &self,
+        rank: usize,
+        controls: &[QubitId],
+        gate: Gate,
+        target: QubitId,
+    ) -> Result<()> {
+        let mut g = self.inner.lock();
+        for &c in controls {
+            Self::check_owner(&g.owner, rank, c)?;
+        }
+        Self::check_owner(&g.owner, rank, target)?;
+        g.sim.apply_controlled(controls, gate, target)?;
+        Ok(())
+    }
+
+    /// Measures a qubit (projective, qubit survives).
+    pub fn measure(&self, rank: usize, q: QubitId) -> Result<bool> {
+        let mut g = self.inner.lock();
+        Self::check_owner(&g.owner, rank, q)?;
+        Ok(g.sim.measure(q)?)
+    }
+
+    /// Probability of measuring 1 (non-destructive diagnostic).
+    pub fn prob_one(&self, rank: usize, q: QubitId) -> Result<f64> {
+        let g = self.inner.lock();
+        Self::check_owner(&g.owner, rank, q)?;
+        Ok(g.sim.prob_one(q)?)
+    }
+
+    /// Local joint Z-parity measurement (all qubits on `rank`).
+    pub fn measure_z_parity(&self, rank: usize, qubits: &[QubitId]) -> Result<bool> {
+        let mut g = self.inner.lock();
+        for &q in qubits {
+            Self::check_owner(&g.owner, rank, q)?;
+        }
+        Ok(g.sim.measure_z_parity(qubits)?)
+    }
+
+    /// Models the quantum-coherent interconnect: entangles two fresh |0>
+    /// qubits on (possibly) different ranks into (|00> + |11>)/sqrt(2).
+    ///
+    /// This is the *only* cross-rank quantum operation; everything else must
+    /// go through teleportation/fanout protocols built on it.
+    pub fn entangle_epr(&self, qa: QubitId, qb: QubitId) -> Result<()> {
+        let mut g = self.inner.lock();
+        if !g.owner.contains_key(&qa) {
+            return Err(QmpiError::Sim(qsim::SimError::UnknownQubit(qa)));
+        }
+        if !g.owner.contains_key(&qb) {
+            return Err(QmpiError::Sim(qsim::SimError::UnknownQubit(qb)));
+        }
+        for &q in &[qa, qb] {
+            if g.sim.prob_one(q)? > 1e-9 {
+                return Err(QmpiError::EprQubitNotFresh(q));
+            }
+        }
+        g.sim.apply(Gate::H, qa)?;
+        g.sim.cnot(qa, qb)?;
+        Ok(())
+    }
+
+    /// Expectation value of a Pauli string over qubits owned by `rank` (or,
+    /// with `rank == usize::MAX` from diagnostics, any qubits).
+    pub fn expectation(&self, terms: &[(QubitId, Pauli)]) -> Result<f64> {
+        let g = self.inner.lock();
+        Ok(g.sim.expectation(terms)?)
+    }
+
+    /// Global state snapshot in the given qubit order — diagnostics for
+    /// tests and examples ("the state vector faithfully represents the
+    /// quantum state of the distributed quantum computer", Section 6).
+    pub fn state_vector(&self, order: &[QubitId]) -> Result<State> {
+        let g = self.inner.lock();
+        Ok(g.sim.state_vector(order)?)
+    }
+
+    /// Number of live qubits (diagnostics).
+    pub fn n_qubits(&self) -> usize {
+        self.inner.lock().sim.n_qubits()
+    }
+
+    /// Total gates applied (diagnostics).
+    pub fn gate_count(&self) -> u64 {
+        self.inner.lock().sim.gate_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_enforced_on_gates() {
+        let b = Backend::new(1);
+        let q0 = b.alloc(0, 1)[0];
+        let q1 = b.alloc(1, 1)[0];
+        assert!(b.apply(0, Gate::H, q0).is_ok());
+        assert_eq!(
+            b.apply(0, Gate::H, q1),
+            Err(QmpiError::Locality { qubit: q1, owner: 1, acting: 0 })
+        );
+        assert!(b.cnot(0, q0, q1).is_err(), "cross-rank CNOT must be rejected");
+    }
+
+    #[test]
+    fn entangle_epr_creates_bell_pair() {
+        let b = Backend::new(3);
+        let qa = b.alloc(0, 1)[0];
+        let qb = b.alloc(1, 1)[0];
+        b.entangle_epr(qa, qb).unwrap();
+        let st = b.state_vector(&[qa, qb]).unwrap();
+        assert!((st.probability(0b00) - 0.5).abs() < 1e-10);
+        assert!((st.probability(0b11) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn entangle_requires_fresh_qubits() {
+        let b = Backend::new(3);
+        let qa = b.alloc(0, 1)[0];
+        let qb = b.alloc(1, 1)[0];
+        b.apply(0, Gate::X, qa).unwrap();
+        assert_eq!(b.entangle_epr(qa, qb), Err(QmpiError::EprQubitNotFresh(qa)));
+    }
+
+    #[test]
+    fn free_transfers_out_of_registry() {
+        let b = Backend::new(1);
+        let q = b.alloc(0, 1)[0];
+        assert_eq!(b.free(0, q), Ok(false));
+        assert!(b.apply(0, Gate::X, q).is_err());
+    }
+
+    #[test]
+    fn cross_rank_free_rejected() {
+        let b = Backend::new(1);
+        let q = b.alloc(0, 1)[0];
+        assert!(matches!(b.free(1, q), Err(QmpiError::Locality { .. })));
+    }
+
+    #[test]
+    fn epr_measurements_agree() {
+        let b = Backend::new(9);
+        let qa = b.alloc(0, 1)[0];
+        let qb = b.alloc(1, 1)[0];
+        b.entangle_epr(qa, qb).unwrap();
+        let ma = b.measure(0, qa).unwrap();
+        let mb = b.measure(1, qb).unwrap();
+        assert_eq!(ma, mb);
+    }
+}

@@ -1,0 +1,324 @@
+//! Variable-count collectives: `QMPI_Gatherv` / `QMPI_Scatterv` and their
+//! move variants + inverses (Table 3). Each rank contributes or receives a
+//! *vector* of qubits; counts may differ per rank and are exchanged as
+//! classical metadata.
+
+use crate::context::QmpiRank;
+use crate::error::{QmpiError, Result};
+use crate::qubit::Qubit;
+
+impl QmpiRank {
+    /// QMPI_Gatherv: the root collects entangled copies of every rank's
+    /// register (variable lengths), concatenated in rank order.
+    pub fn gatherv(&self, qubits: &[Qubit], root: usize) -> Result<Option<Vec<Vec<Qubit>>>> {
+        let tag = self.next_qcoll_tag();
+        // Exchange counts classically.
+        let counts = self.proto.gather(&qubits.len(), root);
+        if self.rank() == root {
+            let counts = counts.expect("root obtains counts");
+            let mut out = Vec::with_capacity(self.size());
+            for (r, &count) in counts.iter().enumerate() {
+                if r == root {
+                    let mut own = Vec::with_capacity(count);
+                    for q in qubits {
+                        own.push(self.fanout_local(q)?);
+                    }
+                    out.push(own);
+                } else {
+                    let mut block = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        block.push(self.recv(r, tag)?);
+                    }
+                    out.push(block);
+                }
+            }
+            Ok(Some(out))
+        } else {
+            for q in qubits {
+                self.send(q, root, tag)?;
+            }
+            Ok(None)
+        }
+    }
+
+    /// QMPI_Ungatherv: inverse of [`QmpiRank::gatherv`].
+    pub fn ungatherv(
+        &self,
+        qubits: &[Qubit],
+        copies: Option<Vec<Vec<Qubit>>>,
+        root: usize,
+    ) -> Result<()> {
+        let tag = self.next_qcoll_tag();
+        if self.rank() == root {
+            let copies = copies.ok_or_else(|| {
+                QmpiError::InvalidArgument("root must pass the gathered blocks".into())
+            })?;
+            for (r, block) in copies.into_iter().enumerate() {
+                if r == root {
+                    for (q, c) in qubits.iter().zip(block) {
+                        self.unfanout_local(q, c)?;
+                    }
+                } else {
+                    // Uncopy in reverse creation order within the block.
+                    for c in block.into_iter().rev() {
+                        self.unrecv(c, r, tag)?;
+                    }
+                }
+            }
+            Ok(())
+        } else {
+            for q in qubits.iter().rev() {
+                self.unsend(q, root, tag)?;
+            }
+            Ok(())
+        }
+    }
+
+    /// QMPI_Scatterv: the root fans out one variable-length block per rank
+    /// (entangled copies); returns this rank's block.
+    pub fn scatterv(&self, blocks: Option<&[Vec<Qubit>]>, root: usize) -> Result<Vec<Qubit>> {
+        let tag = self.next_qcoll_tag();
+        // Distribute counts classically.
+        let my_count: usize = if self.rank() == root {
+            let blocks = blocks.ok_or_else(|| {
+                QmpiError::InvalidArgument("scatterv root must supply the blocks".into())
+            })?;
+            if blocks.len() != self.size() {
+                return Err(QmpiError::InvalidArgument("one block per rank required".into()));
+            }
+            let counts: Vec<usize> = blocks.iter().map(|b| b.len()).collect();
+            self.proto.scatter(Some(counts), root)
+        } else {
+            self.proto.scatter(None, root)
+        };
+        if self.rank() == root {
+            let blocks = blocks.expect("checked above");
+            for (r, block) in blocks.iter().enumerate() {
+                if r == root {
+                    continue;
+                }
+                for q in block {
+                    self.send(q, r, tag)?;
+                }
+            }
+            let mut own = Vec::with_capacity(my_count);
+            for q in &blocks[root] {
+                own.push(self.fanout_local(q)?);
+            }
+            Ok(own)
+        } else {
+            (0..my_count).map(|_| self.recv(root, tag)).collect()
+        }
+    }
+
+    /// QMPI_Unscatterv: inverse of [`QmpiRank::scatterv`].
+    pub fn unscatterv(
+        &self,
+        blocks: Option<&[Vec<Qubit>]>,
+        piece: Vec<Qubit>,
+        root: usize,
+    ) -> Result<()> {
+        let tag = self.next_qcoll_tag();
+        if self.rank() == root {
+            let blocks = blocks.ok_or_else(|| {
+                QmpiError::InvalidArgument("unscatterv root must supply the blocks".into())
+            })?;
+            for (r, block) in blocks.iter().enumerate() {
+                if r == root {
+                    continue;
+                }
+                for q in block.iter().rev() {
+                    self.unsend(q, r, tag)?;
+                }
+            }
+            for (q, c) in blocks[root].iter().zip(piece) {
+                self.unfanout_local(q, c)?;
+            }
+            Ok(())
+        } else {
+            for q in piece.into_iter().rev() {
+                self.unrecv(q, root, tag)?;
+            }
+            Ok(())
+        }
+    }
+
+    /// QMPI_Gatherv_move: variable-count gather with move semantics.
+    pub fn gatherv_move(&self, qubits: Vec<Qubit>, root: usize) -> Result<Option<Vec<Vec<Qubit>>>> {
+        let tag = self.next_qcoll_tag();
+        let counts = self.proto.gather(&qubits.len(), root);
+        if self.rank() == root {
+            let counts = counts.expect("root obtains counts");
+            let mut qubits = Some(qubits);
+            let mut out = Vec::with_capacity(self.size());
+            for (r, &count) in counts.iter().enumerate() {
+                if r == root {
+                    out.push(qubits.take().expect("own block"));
+                } else {
+                    let mut block = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        block.push(self.recv_move(r, tag)?);
+                    }
+                    out.push(block);
+                }
+            }
+            Ok(Some(out))
+        } else {
+            for q in qubits {
+                self.send_move(q, root, tag)?;
+            }
+            Ok(None)
+        }
+    }
+
+    /// QMPI_Ungatherv_move: returns the gathered registers to their origins.
+    pub fn ungatherv_move(
+        &self,
+        gathered: Option<Vec<Vec<Qubit>>>,
+        root: usize,
+        my_count: usize,
+    ) -> Result<Vec<Qubit>> {
+        let tag = self.next_qcoll_tag();
+        if self.rank() == root {
+            let gathered = gathered.ok_or_else(|| {
+                QmpiError::InvalidArgument("root must pass the gathered blocks".into())
+            })?;
+            let mut own = None;
+            for (r, block) in gathered.into_iter().enumerate() {
+                if r == root {
+                    own = Some(block);
+                } else {
+                    for q in block {
+                        self.send_move(q, r, tag)?;
+                    }
+                }
+            }
+            Ok(own.expect("own block"))
+        } else {
+            (0..my_count).map(|_| self.recv_move(root, tag)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::run;
+
+    #[test]
+    fn gatherv_variable_register_sizes() {
+        // Rank r contributes r+1 qubits; the root sees all blocks with the
+        // right values.
+        let out = run(3, |ctx| {
+            let n = ctx.rank() + 1;
+            let qs = ctx.alloc_qmem(n);
+            // Encode rank in the first qubit: |1> iff rank is odd.
+            if ctx.rank() % 2 == 1 {
+                ctx.x(&qs[0]).unwrap();
+            }
+            let blocks = ctx.gatherv(&qs, 0).unwrap();
+            let ms = if ctx.rank() == 0 {
+                let blocks = blocks.unwrap();
+                assert_eq!(blocks.iter().map(|b| b.len()).collect::<Vec<_>>(), vec![1, 2, 3]);
+                let ms: Vec<bool> =
+                    blocks.iter().map(|b| ctx.measure(&b[0]).unwrap()).collect();
+                ctx.ungatherv(&qs, Some(blocks), 0).unwrap();
+                ms
+            } else {
+                ctx.ungatherv(&qs, None, 0).unwrap();
+                vec![]
+            };
+            for q in qs {
+                ctx.measure_and_free(q).unwrap();
+            }
+            ms
+        });
+        assert_eq!(out[0], vec![false, true, false]);
+    }
+
+    #[test]
+    fn scatterv_variable_blocks_roundtrip() {
+        let out = run(3, |ctx| {
+            let blocks = if ctx.rank() == 1 {
+                // Root prepares blocks of sizes 1, 2, 1 with block r's
+                // first qubit set iff r == 2.
+                let b0 = ctx.alloc_qmem(1);
+                let b1 = ctx.alloc_qmem(2);
+                let b2 = ctx.alloc_qmem(1);
+                ctx.x(&b2[0]).unwrap();
+                Some(vec![b0, b1, b2])
+            } else {
+                None
+            };
+            let piece = ctx.scatterv(blocks.as_deref(), 1).unwrap();
+            let m = ctx.measure(&piece[0]).unwrap();
+            ctx.unscatterv(blocks.as_deref(), piece, 1).unwrap();
+            if let Some(blocks) = blocks {
+                for b in blocks {
+                    for q in b {
+                        ctx.measure_and_free(q).unwrap();
+                    }
+                }
+            }
+            m
+        });
+        assert_eq!(out, vec![false, false, true]);
+    }
+
+    #[test]
+    fn gatherv_move_concentrates_then_returns() {
+        let out = run(2, |ctx| {
+            let n = 2 - ctx.rank(); // rank 0: 2 qubits, rank 1: 1 qubit
+            let qs = ctx.alloc_qmem(n);
+            ctx.ry(&qs[0], 0.4 + ctx.rank() as f64).unwrap();
+            let gathered = ctx.gatherv_move(qs, 0).unwrap();
+            if ctx.rank() == 0 {
+                let gathered = gathered.unwrap();
+                assert_eq!(gathered[0].len(), 2);
+                assert_eq!(gathered[1].len(), 1);
+                // All qubits now local to rank 0: local gates succeed.
+                for block in &gathered {
+                    for q in block {
+                        ctx.z(q).unwrap();
+                        ctx.z(q).unwrap();
+                    }
+                }
+                let back = ctx.ungatherv_move(Some(gathered), 0, 2).unwrap();
+                let z = ctx.expectation(&[(&back[0], qsim::Pauli::Z)]).unwrap();
+                for q in back {
+                    ctx.measure_and_free(q).unwrap();
+                }
+                z
+            } else {
+                let back = ctx.ungatherv_move(None, 0, n).unwrap();
+                let z = ctx.expectation(&[(&back[0], qsim::Pauli::Z)]).unwrap();
+                for q in back {
+                    ctx.measure_and_free(q).unwrap();
+                }
+                z
+            }
+        });
+        assert!((out[0] - (0.4f64).cos()).abs() < 1e-9);
+        assert!((out[1] - (1.4f64).cos()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_contributions_allowed() {
+        let out = run(2, |ctx| {
+            let qs = if ctx.rank() == 0 { ctx.alloc_qmem(1) } else { vec![] };
+            let blocks = ctx.gatherv(&qs, 0).unwrap();
+            if ctx.rank() == 0 {
+                let blocks = blocks.unwrap();
+                assert_eq!(blocks[0].len(), 1);
+                assert!(blocks[1].is_empty());
+                ctx.ungatherv(&qs, Some(blocks), 0).unwrap();
+            } else {
+                ctx.ungatherv(&qs, None, 0).unwrap();
+            }
+            for q in qs {
+                ctx.free_qmem(q).unwrap();
+            }
+            true
+        });
+        assert!(out[0] && out[1]);
+    }
+}

@@ -1,0 +1,281 @@
+//! QMPI world setup and the per-rank context handle.
+//!
+//! [`run`] is the analogue of launching a QMPI program with `mpirun`: it
+//! starts `n` ranks, wires them to a shared simulation [`Backend`], and hands
+//! each a [`QmpiRank`] — the `QMPI_COMM_WORLD` of the paper. All quantum
+//! nodes also speak classical MPI (Section 4.1), exposed via
+//! [`QmpiRank::classical`].
+
+use crate::backend::Backend;
+use crate::error::{QmpiError, Result};
+use crate::qubit::Qubit;
+use crate::resources::{ResourceLedger, ResourceSnapshot};
+use cmpi::{Communicator, Universe};
+use std::sync::Arc;
+
+/// User-visible message tag (the paper's `tag` argument).
+pub type QTag = u16;
+
+/// Internal protocol channels, namespaced into the high bits of the
+/// classical substrate's 32-bit tag space.
+#[derive(Clone, Copy, Debug)]
+#[repr(u32)]
+pub(crate) enum ProtoOp {
+    /// EPR rendezvous: qubit-id exchange.
+    EprId = 1,
+    /// EPR rendezvous: establishment acknowledgement.
+    EprAck = 2,
+    /// Entangled-copy fixup bit (QMPI_Send -> Recv).
+    CopyFix = 3,
+    /// Uncopy fixup bit (QMPI_Unrecv -> Unsend).
+    UncopyFix = 4,
+    /// Teleportation fixup bits (QMPI_Send_move -> Recv_move).
+    MoveFix = 5,
+}
+
+/// Which side of a directed p2p operation an EPR preparation belongs to.
+/// Crossing traffic (both ranks sending to each other with the same tag,
+/// e.g. `QMPI_Sendrecv_replace`) must not mis-pair rendezvous messages, so
+/// the origin and target sides post on distinct streams; the symmetric
+/// role serves the public `QMPI_Prepare_EPR`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum EprRole {
+    /// Both sides call `QMPI_Prepare_EPR` symmetrically.
+    Symmetric,
+    /// The sending side of a directed operation.
+    Origin,
+    /// The receiving side of a directed operation.
+    Target,
+}
+
+impl EprRole {
+    pub(crate) fn opposite(self) -> EprRole {
+        match self {
+            EprRole::Symmetric => EprRole::Symmetric,
+            EprRole::Origin => EprRole::Target,
+            EprRole::Target => EprRole::Origin,
+        }
+    }
+
+    fn bits(self) -> u32 {
+        match self {
+            EprRole::Symmetric => 0,
+            EprRole::Origin => 1,
+            EprRole::Target => 2,
+        }
+    }
+}
+
+pub(crate) fn ptag(op: ProtoOp, user_tag: QTag) -> cmpi::Tag {
+    ((op as u32) << 20) | user_tag as u32
+}
+
+pub(crate) fn ptag_role(op: ProtoOp, role: EprRole, user_tag: QTag) -> cmpi::Tag {
+    ((op as u32) << 20) | (role.bits() << 16) | user_tag as u32
+}
+
+/// World configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct QmpiConfig {
+    /// Measurement RNG seed (deterministic runs).
+    pub seed: u64,
+    /// Optional per-rank EPR buffer limit — the SENDQ `S` parameter.
+    /// Exceeding it is an error, so algorithms can be validated against a
+    /// target machine's buffer budget.
+    pub s_limit: Option<u32>,
+}
+
+impl Default for QmpiConfig {
+    fn default() -> Self {
+        QmpiConfig { seed: 0x514D5049, s_limit: None } // "QMPI"
+    }
+}
+
+/// Per-rank QMPI context: quantum allocation, gates, and communication.
+pub struct QmpiRank {
+    pub(crate) proto: Communicator,
+    classical: Communicator,
+    pub(crate) backend: Arc<Backend>,
+    pub(crate) ledger: Arc<ResourceLedger>,
+    pub(crate) config: QmpiConfig,
+    /// Sequence number for quantum collectives. Identical across ranks since
+    /// collectives must be invoked in the same order everywhere; used to
+    /// derive private tags in the reserved range `0x8000..`.
+    pub(crate) qcoll_seq: std::cell::Cell<u16>,
+}
+
+impl QmpiRank {
+    /// This rank's id (QMPI_Comm_rank on QMPI_COMM_WORLD).
+    pub fn rank(&self) -> usize {
+        self.proto.rank()
+    }
+
+    /// Number of quantum ranks (QMPI_Comm_size on QMPI_COMM_WORLD).
+    pub fn size(&self) -> usize {
+        self.proto.size()
+    }
+
+    /// The classical MPI communicator for user data (measurement results,
+    /// parameters, ...). Fully separate from quantum communication, as the
+    /// paper's Section 4.2 requires.
+    pub fn classical(&self) -> &Communicator {
+        &self.classical
+    }
+
+    /// The global resource ledger (EPR pairs, classical correction bits).
+    pub fn ledger(&self) -> &ResourceLedger {
+        &self.ledger
+    }
+
+    /// Convenience: snapshot of the global resource totals.
+    pub fn resources(&self) -> ResourceSnapshot {
+        self.ledger.snapshot()
+    }
+
+    /// The shared backend (diagnostics: state snapshots in tests/examples).
+    pub fn backend(&self) -> &Arc<Backend> {
+        &self.backend
+    }
+
+    /// World configuration.
+    pub fn config(&self) -> &QmpiConfig {
+        &self.config
+    }
+
+    /// Allocates `n` fresh qubits in |0> (QMPI_Alloc_qmem).
+    pub fn alloc_qmem(&self, n: usize) -> Vec<Qubit> {
+        self.backend.alloc(self.rank(), n).into_iter().map(Qubit::new).collect()
+    }
+
+    /// Allocates a single fresh qubit in |0>.
+    pub fn alloc_one(&self) -> Qubit {
+        self.alloc_qmem(1).pop().expect("one qubit")
+    }
+
+    /// Frees a qubit already in a classical state (QMPI_Free_qmem),
+    /// returning its value.
+    pub fn free_qmem(&self, q: Qubit) -> Result<bool> {
+        self.backend.free(self.rank(), q.id)
+    }
+
+    /// Measures a qubit and frees it.
+    pub fn measure_and_free(&self, q: Qubit) -> Result<bool> {
+        self.backend.measure_and_free(self.rank(), q.id)
+    }
+
+    /// Classical barrier over all ranks.
+    pub fn barrier(&self) {
+        self.proto.barrier();
+    }
+
+    /// Runs `f` between barrier fences and returns the global resource
+    /// delta it caused plus its result. Collective: all ranks must call it
+    /// (the fences guarantee no rank races ahead of another's snapshot).
+    pub fn measure_resources<R>(&self, f: impl FnOnce() -> R) -> (ResourceSnapshot, R) {
+        self.barrier();
+        let before = self.resources();
+        self.barrier();
+        let r = f();
+        self.barrier();
+        (self.resources() - before, r)
+    }
+
+    /// Next private tag for a quantum collective. User point-to-point tags
+    /// must stay below `0x8000`; the top half of the tag space is reserved
+    /// for collectives.
+    pub(crate) fn next_qcoll_tag(&self) -> QTag {
+        let seq = self.qcoll_seq.get();
+        self.qcoll_seq.set(seq.wrapping_add(1));
+        0x8000 | (seq & 0x7FFF)
+    }
+
+    /// Checks the EPR buffer budget after an increment; callers roll the
+    /// increment back on error.
+    pub(crate) fn check_buffer(&self, new_level: i64) -> Result<()> {
+        if let Some(limit) = self.config.s_limit {
+            if new_level > limit as i64 {
+                self.ledger.buffer_dec(self.rank());
+                return Err(QmpiError::EprBufferExceeded { rank: self.rank(), limit });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs `f` on `n` QMPI ranks with the default configuration; returns
+/// per-rank results in rank order.
+pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(&QmpiRank) -> T + Send + Sync + 'static,
+{
+    run_with_config(n, QmpiConfig::default(), f)
+}
+
+/// Runs `f` on `n` QMPI ranks with an explicit configuration.
+pub fn run_with_config<T, F>(n: usize, config: QmpiConfig, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(&QmpiRank) -> T + Send + Sync + 'static,
+{
+    let backend = Arc::new(Backend::new(config.seed));
+    let ledger = Arc::new(ResourceLedger::new(n));
+    Universe::run(n, move |comm| {
+        // The original world communicator carries the QMPI protocol; users
+        // get a duplicate so their classical traffic can never collide.
+        let classical = comm.dup();
+        let ctx = QmpiRank {
+            proto: comm,
+            classical,
+            backend: Arc::clone(&backend),
+            ledger: Arc::clone(&ledger),
+            config,
+            qcoll_seq: std::cell::Cell::new(0),
+        };
+        f(&ctx)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_sizes_and_ranks() {
+        let out = run(3, |ctx| (ctx.rank(), ctx.size()));
+        assert_eq!(out, vec![(0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn alloc_and_free_qmem() {
+        let out = run(2, |ctx| {
+            let qs = ctx.alloc_qmem(3);
+            assert_eq!(qs.len(), 3);
+            for q in qs {
+                assert_eq!(ctx.free_qmem(q).unwrap(), false);
+            }
+            ctx.rank()
+        });
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn classical_channel_works() {
+        let out = run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.classical().send(&7u32, 1, 0);
+                0
+            } else {
+                ctx.classical().recv::<u32>(0, 0).0
+            }
+        });
+        assert_eq!(out[1], 7);
+    }
+
+    #[test]
+    fn config_carries_s_limit() {
+        let cfg = QmpiConfig { seed: 5, s_limit: Some(2) };
+        let out = run_with_config(2, cfg, |ctx| ctx.config().s_limit);
+        assert_eq!(out, vec![Some(2), Some(2)]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Derived quantum datatypes (Section 4.2).
+//!
+//! QMPI defines one basic quantum datatype, `QMPI_QUBIT`; richer types
+//! (quantum integers, fixed-point registers, ...) are built by the
+//! programmer from contiguous qubits via `QMPI_Type_contiguous`. This
+//! module provides that constructor plus typed send/recv helpers that
+//! transfer a whole register per call.
+
+use crate::context::{QTag, QmpiRank};
+use crate::error::{QmpiError, Result};
+use crate::qubit::Qubit;
+
+/// A derived datatype: `count` contiguous qubits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Datatype {
+    count: usize,
+}
+
+/// The basic datatype, one qubit (QMPI_QUBIT).
+pub const QUBIT: Datatype = Datatype { count: 1 };
+
+impl Datatype {
+    /// QMPI_Type_contiguous: `count` copies of an existing type laid out
+    /// contiguously.
+    pub fn contiguous(count: usize, base: Datatype) -> Datatype {
+        Datatype { count: count * base.count }
+    }
+
+    /// Total number of qubits in one element of this type.
+    pub fn extent(&self) -> usize {
+        self.count
+    }
+}
+
+impl QmpiRank {
+    /// Sends one element of `dtype` (entangled copy per qubit).
+    pub fn send_typed(&self, dtype: Datatype, data: &[Qubit], dest: usize, tag: QTag) -> Result<()> {
+        if data.len() != dtype.extent() {
+            return Err(QmpiError::InvalidArgument(format!(
+                "typed send expects {} qubits, got {}",
+                dtype.extent(),
+                data.len()
+            )));
+        }
+        for q in data {
+            self.send(q, dest, tag)?;
+        }
+        Ok(())
+    }
+
+    /// Receives one element of `dtype`.
+    pub fn recv_typed(&self, dtype: Datatype, src: usize, tag: QTag) -> Result<Vec<Qubit>> {
+        (0..dtype.extent()).map(|_| self.recv(src, tag)).collect()
+    }
+
+    /// Inverse of [`QmpiRank::send_typed`].
+    pub fn unsend_typed(&self, dtype: Datatype, data: &[Qubit], dest: usize, tag: QTag) -> Result<()> {
+        if data.len() != dtype.extent() {
+            return Err(QmpiError::InvalidArgument("typed unsend length mismatch".into()));
+        }
+        // Uncopy in reverse order of creation.
+        for q in data.iter().rev() {
+            self.unsend(q, dest, tag)?;
+        }
+        Ok(())
+    }
+
+    /// Inverse of [`QmpiRank::recv_typed`].
+    pub fn unrecv_typed(&self, copies: Vec<Qubit>, src: usize, tag: QTag) -> Result<()> {
+        for q in copies.into_iter().rev() {
+            self.unrecv(q, src, tag)?;
+        }
+        Ok(())
+    }
+
+    /// Moves one element of `dtype` (teleportation per qubit).
+    pub fn send_move_typed(&self, data: Vec<Qubit>, dest: usize, tag: QTag) -> Result<()> {
+        for q in data {
+            self.send_move(q, dest, tag)?;
+        }
+        Ok(())
+    }
+
+    /// Receives a moved element of `dtype`.
+    pub fn recv_move_typed(&self, dtype: Datatype, src: usize, tag: QTag) -> Result<Vec<Qubit>> {
+        (0..dtype.extent()).map(|_| self.recv_move(src, tag)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::run;
+
+    #[test]
+    fn contiguous_type_extent() {
+        let pair = Datatype::contiguous(2, QUBIT);
+        assert_eq!(pair.extent(), 2);
+        let quad = Datatype::contiguous(2, pair);
+        assert_eq!(quad.extent(), 4);
+    }
+
+    #[test]
+    fn typed_roundtrip_preserves_register_value() {
+        let out = run(2, |ctx| {
+            let reg_t = Datatype::contiguous(3, QUBIT);
+            if ctx.rank() == 0 {
+                // Encode the integer 0b101 in a 3-qubit register.
+                let reg = ctx.alloc_qmem(3);
+                ctx.x(&reg[0]).unwrap();
+                ctx.x(&reg[2]).unwrap();
+                ctx.send_typed(reg_t, &reg, 1, 0).unwrap();
+                ctx.unsend_typed(reg_t, &reg, 1, 0).unwrap();
+                let vals: Vec<bool> = reg
+                    .iter()
+                    .map(|q| ctx.prob_one(q).unwrap() > 0.5)
+                    .collect();
+                for q in reg {
+                    ctx.measure_and_free(q).unwrap();
+                }
+                vals
+            } else {
+                let copies = ctx.recv_typed(reg_t, 0, 0).unwrap();
+                let vals: Vec<bool> =
+                    copies.iter().map(|q| ctx.prob_one(q).unwrap() > 0.5).collect();
+                ctx.unrecv_typed(copies, 0, 0).unwrap();
+                vals
+            }
+        });
+        assert_eq!(out[0], vec![true, false, true]);
+        assert_eq!(out[1], vec![true, false, true]);
+    }
+
+    #[test]
+    fn typed_move_roundtrip() {
+        let out = run(2, |ctx| {
+            let reg_t = Datatype::contiguous(2, QUBIT);
+            if ctx.rank() == 0 {
+                let reg = ctx.alloc_qmem(2);
+                ctx.x(&reg[1]).unwrap();
+                ctx.send_move_typed(reg, 1, 0).unwrap();
+                vec![]
+            } else {
+                let reg = ctx.recv_move_typed(reg_t, 0, 0).unwrap();
+                let vals: Vec<bool> =
+                    reg.iter().map(|q| ctx.prob_one(q).unwrap() > 0.5).collect();
+                for q in reg {
+                    ctx.measure_and_free(q).unwrap();
+                }
+                vals
+            }
+        });
+        assert_eq!(out[1], vec![false, true]);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let out = run(2, |ctx| {
+            ctx.barrier();
+            if ctx.rank() == 0 {
+                let reg = ctx.alloc_qmem(2);
+                let err = ctx.send_typed(Datatype::contiguous(3, QUBIT), &reg, 1, 0).is_err();
+                for q in reg {
+                    ctx.free_qmem(q).unwrap();
+                }
+                err
+            } else {
+                true
+            }
+        });
+        assert!(out[0]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types for QMPI operations.
+
+use qsim::{QubitId, SimError};
+
+/// Errors surfaced by QMPI calls.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QmpiError {
+    /// A gate touched a qubit owned by another rank. Distributed hardware
+    /// cannot apply multi-qubit gates across nodes without communication;
+    /// QMPI enforces this at the API layer (DESIGN.md substitution #2).
+    Locality {
+        /// The offending qubit.
+        qubit: QubitId,
+        /// The rank that owns it.
+        owner: usize,
+        /// The rank that attempted to act on it.
+        acting: usize,
+    },
+    /// The per-node EPR buffer limit (SENDQ parameter `S`) was exceeded.
+    EprBufferExceeded {
+        /// The rank whose buffer overflowed.
+        rank: usize,
+        /// The configured limit.
+        limit: u32,
+    },
+    /// EPR preparation was attempted on a qubit that is not in |0>.
+    EprQubitNotFresh(QubitId),
+    /// An underlying simulator error (unknown qubit, double-free, ...).
+    Sim(SimError),
+    /// Invalid argument (counts mismatch, root out of range, ...).
+    InvalidArgument(String),
+    /// A protocol invariant was violated (mismatched send/recv pairing).
+    Protocol(String),
+}
+
+impl From<SimError> for QmpiError {
+    fn from(e: SimError) -> Self {
+        QmpiError::Sim(e)
+    }
+}
+
+impl std::fmt::Display for QmpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QmpiError::Locality { qubit, owner, acting } => write!(
+                f,
+                "locality violation: qubit {qubit:?} is owned by rank {owner}, but rank {acting} applied a gate; use QMPI communication instead"
+            ),
+            QmpiError::EprBufferExceeded { rank, limit } => {
+                write!(f, "rank {rank} exceeded its EPR buffer limit S = {limit}")
+            }
+            QmpiError::EprQubitNotFresh(q) => {
+                write!(f, "QMPI_Prepare_EPR requires a fresh |0> qubit; {q:?} is not")
+            }
+            QmpiError::Sim(e) => write!(f, "simulator error: {e}"),
+            QmpiError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            QmpiError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QmpiError {}
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, QmpiError>;

@@ -1,0 +1,217 @@
+//! Rank-local quantum gates.
+//!
+//! These are the local operations a node of the distributed machine can
+//! perform on its own qubits; anything touching another rank's qubits fails
+//! with [`crate::QmpiError::Locality`] and must be expressed via QMPI
+//! communication instead.
+
+use crate::context::QmpiRank;
+use crate::error::Result;
+use crate::qubit::Qubit;
+use qsim::{Gate, Pauli};
+
+impl QmpiRank {
+    /// Applies an arbitrary single-qubit gate.
+    pub fn apply(&self, gate: Gate, q: &Qubit) -> Result<()> {
+        self.backend.apply(self.rank(), gate, q.id)
+    }
+
+    /// Hadamard.
+    pub fn h(&self, q: &Qubit) -> Result<()> {
+        self.apply(Gate::H, q)
+    }
+
+    /// Pauli X.
+    pub fn x(&self, q: &Qubit) -> Result<()> {
+        self.apply(Gate::X, q)
+    }
+
+    /// Pauli Y.
+    pub fn y(&self, q: &Qubit) -> Result<()> {
+        self.apply(Gate::Y, q)
+    }
+
+    /// Pauli Z.
+    pub fn z(&self, q: &Qubit) -> Result<()> {
+        self.apply(Gate::Z, q)
+    }
+
+    /// Phase gate S.
+    pub fn s(&self, q: &Qubit) -> Result<()> {
+        self.apply(Gate::S, q)
+    }
+
+    /// Inverse phase gate S†.
+    pub fn sdg(&self, q: &Qubit) -> Result<()> {
+        self.apply(Gate::Sdg, q)
+    }
+
+    /// T gate (the expensive magic-state gate of Section 3).
+    pub fn t(&self, q: &Qubit) -> Result<()> {
+        self.apply(Gate::T, q)
+    }
+
+    /// T† gate.
+    pub fn tdg(&self, q: &Qubit) -> Result<()> {
+        self.apply(Gate::Tdg, q)
+    }
+
+    /// X rotation `exp(-i theta X / 2)`.
+    pub fn rx(&self, q: &Qubit, theta: f64) -> Result<()> {
+        self.apply(Gate::Rx(theta), q)
+    }
+
+    /// Y rotation `exp(-i theta Y / 2)`.
+    pub fn ry(&self, q: &Qubit, theta: f64) -> Result<()> {
+        self.apply(Gate::Ry(theta), q)
+    }
+
+    /// Z rotation `exp(-i theta Z / 2)` — the rotation gate whose delay
+    /// `D_R` dominates the SENDQ analyses of Section 7.
+    pub fn rz(&self, q: &Qubit, theta: f64) -> Result<()> {
+        self.apply(Gate::Rz(theta), q)
+    }
+
+    /// Phase rotation diag(1, e^{i theta}).
+    pub fn phase(&self, q: &Qubit, theta: f64) -> Result<()> {
+        self.apply(Gate::Phase(theta), q)
+    }
+
+    /// Local CNOT (both qubits on this rank).
+    pub fn cnot(&self, control: &Qubit, target: &Qubit) -> Result<()> {
+        self.backend.cnot(self.rank(), control.id, target.id)
+    }
+
+    /// Local CZ.
+    pub fn cz(&self, a: &Qubit, b: &Qubit) -> Result<()> {
+        self.backend.cz(self.rank(), a.id, b.id)
+    }
+
+    /// Local SWAP.
+    pub fn swap(&self, a: &Qubit, b: &Qubit) -> Result<()> {
+        self.backend.swap(self.rank(), a.id, b.id)
+    }
+
+    /// Local Toffoli.
+    pub fn toffoli(&self, c1: &Qubit, c2: &Qubit, target: &Qubit) -> Result<()> {
+        self.backend.apply_controlled(self.rank(), &[c1.id, c2.id], Gate::X, target.id)
+    }
+
+    /// Local multi-controlled single-qubit gate.
+    pub fn controlled(&self, controls: &[&Qubit], gate: Gate, target: &Qubit) -> Result<()> {
+        let ids: Vec<_> = controls.iter().map(|q| q.id).collect();
+        self.backend.apply_controlled(self.rank(), &ids, gate, target.id)
+    }
+
+    /// Projective measurement; the qubit stays allocated.
+    pub fn measure(&self, q: &Qubit) -> Result<bool> {
+        self.backend.measure(self.rank(), q.id)
+    }
+
+    /// Probability of measuring |1> (non-destructive diagnostic).
+    pub fn prob_one(&self, q: &Qubit) -> Result<f64> {
+        self.backend.prob_one(self.rank(), q.id)
+    }
+
+    /// Local fanout (Fig. 2): allocates an auxiliary qubit and CNOTs `q`
+    /// into it, producing an entangled local copy.
+    pub fn fanout_local(&self, q: &Qubit) -> Result<Qubit> {
+        let aux = self.alloc_one();
+        self.cnot(q, &aux)?;
+        Ok(aux)
+    }
+
+    /// Undoes a local fanout produced by [`QmpiRank::fanout_local`].
+    pub fn unfanout_local(&self, q: &Qubit, aux: Qubit) -> Result<()> {
+        self.cnot(q, &aux)?;
+        self.free_qmem(aux)?;
+        Ok(())
+    }
+
+    /// Local in-place joint Z-parity measurement over this rank's qubits
+    /// (used by the cat-state protocol of Fig. 4).
+    pub fn measure_z_parity(&self, qubits: &[&Qubit]) -> Result<bool> {
+        let ids: Vec<_> = qubits.iter().map(|q| q.id).collect();
+        self.backend.measure_z_parity(self.rank(), &ids)
+    }
+
+    /// Expectation value of a local Pauli string (diagnostic).
+    pub fn expectation(&self, terms: &[(&Qubit, Pauli)]) -> Result<f64> {
+        let mapped: Vec<_> = terms.iter().map(|&(q, p)| (q.id, p)).collect();
+        self.backend.expectation(&mapped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::run;
+
+    #[test]
+    fn local_gates_and_measurement() {
+        let out = run(1, |ctx| {
+            let q = ctx.alloc_one();
+            ctx.x(&q).unwrap();
+            let m = ctx.measure(&q).unwrap();
+            ctx.free_qmem(q).unwrap();
+            m
+        });
+        assert_eq!(out, vec![true]);
+    }
+
+    #[test]
+    fn cross_rank_gate_rejected() {
+        let out = run(2, |ctx| {
+            if ctx.rank() == 0 {
+                let q = ctx.alloc_one();
+                // Tell rank 1 the raw id so it can try to touch it.
+                ctx.classical().send(&q.id().0, 1, 0);
+                let _ = ctx.classical().recv::<bool>(1, 1);
+                ctx.free_qmem(q).unwrap();
+                true
+            } else {
+                let (_id, _) = ctx.classical().recv::<u64>(0, 0);
+                // Rank 1 cannot even name rank 0's qubit through the typed
+                // API (handles are linear and unforgeable), which is the
+                // point: locality is structurally enforced.
+                ctx.classical().send(&true, 0, 1);
+                true
+            }
+        });
+        assert!(out[0] && out[1]);
+    }
+
+    #[test]
+    fn fanout_unfanout_roundtrip() {
+        let out = run(1, |ctx| {
+            let q = ctx.alloc_one();
+            ctx.ry(&q, 0.9).unwrap();
+            let aux = ctx.fanout_local(&q).unwrap();
+            // Correlated: parity even.
+            let even = !ctx.measure_z_parity(&[&q, &aux]).unwrap();
+            ctx.unfanout_local(&q, aux).unwrap();
+            let p = ctx.prob_one(&q).unwrap();
+            ctx.measure_and_free(q).unwrap();
+            (even, p)
+        });
+        assert!(out[0].0);
+        assert!((out[0].1 - (0.45f64).sin().powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn toffoli_through_context() {
+        let out = run(1, |ctx| {
+            let a = ctx.alloc_one();
+            let b = ctx.alloc_one();
+            let t = ctx.alloc_one();
+            ctx.x(&a).unwrap();
+            ctx.x(&b).unwrap();
+            ctx.toffoli(&a, &b, &t).unwrap();
+            let m = ctx.measure(&t).unwrap();
+            for q in [a, b, t] {
+                ctx.measure_and_free(q).unwrap();
+            }
+            m
+        });
+        assert_eq!(out, vec![true]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Qubit handles — the `QMPI_QUBIT` datatype of Section 4.2.
+//!
+//! A [`Qubit`] is a *linear* handle: it is deliberately not `Clone`/`Copy`,
+//! so the type system prevents aliasing a qubit (no cloning theorem, enforced
+//! at compile time). Operations that consume the physical qubit (measurement
+//! into the environment, teleporting away, uncopying) take the handle by
+//! value; non-consuming operations borrow it.
+
+use qsim::QubitId;
+
+/// A handle to one allocated qubit, owned by the rank that allocated or
+/// received it.
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct Qubit {
+    pub(crate) id: QubitId,
+}
+
+impl Qubit {
+    pub(crate) fn new(id: QubitId) -> Self {
+        Qubit { id }
+    }
+
+    /// The underlying simulator id (stable for the qubit's lifetime).
+    pub fn id(&self) -> QubitId {
+        self.id
+    }
+}

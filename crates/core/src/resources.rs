@@ -1,0 +1,185 @@
+//! Communication-resource accounting.
+//!
+//! The paper's Tables 1–3 specify, per primitive, how many EPR pairs must be
+//! established and how many classical correction bits must cross the network.
+//! Every QMPI operation reports its consumption here, and the `table1/2/3`
+//! experiment binaries diff snapshots of this ledger against the paper's
+//! formulas.
+//!
+//! Conventions (DESIGN.md §5): EPR pairs are counted once per pair; classical
+//! bits count only protocol-mandated correction bits (measurement outcomes),
+//! not the rendezvous metadata of the simulation substrate, which is tallied
+//! separately as `control_messages`.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Global ledger shared by all ranks of a QMPI world.
+pub struct ResourceLedger {
+    epr_pairs: AtomicU64,
+    classical_bits: AtomicU64,
+    classical_messages: AtomicU64,
+    control_messages: AtomicU64,
+    epr_rounds: AtomicU64,
+    buffer: Vec<AtomicI64>,
+    buffer_peak: Vec<AtomicI64>,
+}
+
+impl ResourceLedger {
+    /// Creates a ledger for `n` ranks.
+    pub fn new(n: usize) -> Self {
+        ResourceLedger {
+            epr_pairs: AtomicU64::new(0),
+            classical_bits: AtomicU64::new(0),
+            classical_messages: AtomicU64::new(0),
+            control_messages: AtomicU64::new(0),
+            epr_rounds: AtomicU64::new(0),
+            buffer: (0..n).map(|_| AtomicI64::new(0)).collect(),
+            buffer_peak: (0..n).map(|_| AtomicI64::new(0)).collect(),
+        }
+    }
+
+    /// Records one established EPR pair between two ranks.
+    pub fn record_epr_pair(&self) {
+        self.epr_pairs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `bits` protocol-mandated classical correction bits carried in
+    /// one message.
+    pub fn record_classical(&self, bits: u64) {
+        self.classical_bits.fetch_add(bits, Ordering::Relaxed);
+        self.classical_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a substrate control message (rendezvous metadata; not a
+    /// protocol cost).
+    pub fn record_control(&self) {
+        self.control_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one round of parallel EPR establishment (used to validate
+    /// constant-quantum-depth claims, e.g. the 2E cat-state construction).
+    pub fn record_epr_round(&self) {
+        self.epr_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments `rank`'s EPR-buffer occupancy; returns the new value.
+    pub fn buffer_inc(&self, rank: usize) -> i64 {
+        let new = self.buffer[rank].fetch_add(1, Ordering::Relaxed) + 1;
+        self.buffer_peak[rank].fetch_max(new, Ordering::Relaxed);
+        new
+    }
+
+    /// Decrements `rank`'s EPR-buffer occupancy (half consumed or promoted
+    /// to a data qubit).
+    pub fn buffer_dec(&self, rank: usize) {
+        self.buffer[rank].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current buffered EPR halves at `rank`.
+    pub fn buffer_level(&self, rank: usize) -> i64 {
+        self.buffer[rank].load(Ordering::Relaxed)
+    }
+
+    /// Peak buffered EPR halves observed at `rank` — the minimum SENDQ `S`
+    /// this execution would have required.
+    pub fn buffer_peak(&self, rank: usize) -> i64 {
+        self.buffer_peak[rank].load(Ordering::Relaxed)
+    }
+
+    /// Largest per-rank peak across all ranks.
+    pub fn max_buffer_peak(&self) -> i64 {
+        self.buffer_peak.iter().map(|p| p.load(Ordering::Relaxed)).max().unwrap_or(0)
+    }
+
+    /// Point-in-time totals.
+    pub fn snapshot(&self) -> ResourceSnapshot {
+        ResourceSnapshot {
+            epr_pairs: self.epr_pairs.load(Ordering::Relaxed),
+            classical_bits: self.classical_bits.load(Ordering::Relaxed),
+            classical_messages: self.classical_messages.load(Ordering::Relaxed),
+            control_messages: self.control_messages.load(Ordering::Relaxed),
+            epr_rounds: self.epr_rounds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Totals at one point in time; subtract snapshots to measure an operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceSnapshot {
+    /// EPR pairs established.
+    pub epr_pairs: u64,
+    /// Protocol-mandated classical bits.
+    pub classical_bits: u64,
+    /// Messages carrying those bits.
+    pub classical_messages: u64,
+    /// Substrate control messages (not a protocol cost).
+    pub control_messages: u64,
+    /// Parallel EPR-establishment rounds.
+    pub epr_rounds: u64,
+}
+
+impl std::ops::Sub for ResourceSnapshot {
+    type Output = ResourceSnapshot;
+    fn sub(self, rhs: ResourceSnapshot) -> ResourceSnapshot {
+        ResourceSnapshot {
+            epr_pairs: self.epr_pairs - rhs.epr_pairs,
+            classical_bits: self.classical_bits - rhs.classical_bits,
+            classical_messages: self.classical_messages - rhs.classical_messages,
+            control_messages: self.control_messages - rhs.control_messages,
+            epr_rounds: self.epr_rounds - rhs.epr_rounds,
+        }
+    }
+}
+
+impl std::fmt::Display for ResourceSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EPR pairs: {}, classical bits: {} (in {} msgs), EPR rounds: {}",
+            self.epr_pairs, self.classical_bits, self.classical_messages, self.epr_rounds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff() {
+        let ledger = ResourceLedger::new(2);
+        let before = ledger.snapshot();
+        ledger.record_epr_pair();
+        ledger.record_epr_pair();
+        ledger.record_classical(2);
+        let delta = ledger.snapshot() - before;
+        assert_eq!(delta.epr_pairs, 2);
+        assert_eq!(delta.classical_bits, 2);
+        assert_eq!(delta.classical_messages, 1);
+    }
+
+    #[test]
+    fn buffer_peak_tracking() {
+        let ledger = ResourceLedger::new(1);
+        ledger.buffer_inc(0);
+        ledger.buffer_inc(0);
+        ledger.buffer_dec(0);
+        ledger.buffer_inc(0);
+        assert_eq!(ledger.buffer_level(0), 2);
+        assert_eq!(ledger.buffer_peak(0), 2);
+        ledger.buffer_dec(0);
+        ledger.buffer_dec(0);
+        assert_eq!(ledger.buffer_level(0), 0);
+        assert_eq!(ledger.buffer_peak(0), 2);
+        assert_eq!(ledger.max_buffer_peak(), 2);
+    }
+
+    #[test]
+    fn control_messages_tracked_separately() {
+        let ledger = ResourceLedger::new(1);
+        ledger.record_control();
+        let s = ledger.snapshot();
+        assert_eq!(s.control_messages, 1);
+        assert_eq!(s.classical_bits, 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! The three distributed implementations of `exp(-i t Z⊗Z⊗...⊗Z)` from
+//! Fig. 6 of the paper, under the Section 7.3 assumption that each involved
+//! qubit lives on a different rank:
+//!
+//! * [`in_place`] (Fig. 6a): binary fan-in tree of distributed CNOTs,
+//!   rotation at the tree root, mirrored fan-out — `2(k-1)` EPR pairs,
+//!   delay `2E⌈log₂k⌉ + D_R`.
+//! * [`out_of_place`] (Fig. 6b): serial distributed CNOTs into an ancilla,
+//!   uncompute via X-measurement + classical `Z⊗k` fixup — `k-1` EPR pairs
+//!   here (ancilla co-located with one qubit), delay `Ek + D_R`.
+//! * [`constant_depth`] (Fig. 6c): cat state over the ranks, local CZs,
+//!   X-basis merges, rotation on the phase-encoded ancilla — `k-1` pairs
+//!   (co-located ancilla), delay `2E + D_R`.
+//!
+//! All three are *collective*: every rank passes its data qubit and the
+//! same angle. The tests verify all three produce identical states.
+
+use crate::gadgets::{remote_cnot_control, remote_cnot_target};
+use qmpi::{QmpiRank, Qubit, Result};
+
+/// Fig. 6(a): in-place binary-tree parity, rotation on rank 0.
+pub fn in_place(ctx: &QmpiRank, qubit: &Qubit, theta: f64) -> Result<()> {
+    let k = ctx.size();
+    let rank = ctx.rank();
+    // Fan-in: at stride s, rank i+s CNOTs its parity into rank i
+    // (for i % 2s == 0). After the loop rank 0 holds the full parity.
+    let mut s = 1usize;
+    let mut levels = Vec::new();
+    while s < k {
+        levels.push(s);
+        s *= 2;
+    }
+    for (lvl, &s) in levels.iter().enumerate() {
+        let tag = 100 + lvl as u16;
+        if rank % (2 * s) == 0 && rank + s < k {
+            remote_cnot_target(ctx, qubit, rank + s, tag)?;
+        } else if rank % (2 * s) == s {
+            remote_cnot_control(ctx, qubit, rank - s, tag)?;
+        }
+    }
+    if rank == 0 {
+        ctx.rz(qubit, theta)?;
+    }
+    // Fan-out (uncompute) in reverse order.
+    for (lvl, &s) in levels.iter().enumerate().rev() {
+        let tag = 200 + lvl as u16;
+        if rank % (2 * s) == 0 && rank + s < k {
+            remote_cnot_target(ctx, qubit, rank + s, tag)?;
+        } else if rank % (2 * s) == s {
+            remote_cnot_control(ctx, qubit, rank - s, tag)?;
+        }
+    }
+    Ok(())
+}
+
+/// Fig. 6(b): out-of-place parity into an ancilla on rank 0, serial
+/// distributed CNOTs, classical-only uncompute (X measurement + `Z⊗k`).
+pub fn out_of_place(ctx: &QmpiRank, qubit: &Qubit, theta: f64) -> Result<()> {
+    let k = ctx.size();
+    let rank = ctx.rank();
+    if rank == 0 {
+        let aux = ctx.alloc_one();
+        // Own qubit folds in locally; the rest arrive serially.
+        ctx.cnot(qubit, &aux)?;
+        for src in 1..k {
+            remote_cnot_target(ctx, &aux, src, 300)?;
+        }
+        ctx.rz(&aux, theta)?;
+        // Deferred-measurement uncompute (Fig. 1b generalized): X-basis
+        // measurement; on outcome 1 every rank applies Z to its data qubit.
+        ctx.h(&aux)?;
+        let m = ctx.measure_and_free(aux)?;
+        ctx.ledger().record_classical(k as u64 - 1);
+        let m: bool = ctx.classical().bcast(Some(m), 0);
+        if m {
+            ctx.z(qubit)?;
+        }
+    } else {
+        remote_cnot_control(ctx, qubit, 0, 300)?;
+        let m: bool = ctx.classical().bcast(None, 0);
+        if m {
+            ctx.z(qubit)?;
+        }
+    }
+    Ok(())
+}
+
+/// Fig. 6(c): constant-depth implementation via a cat state.
+///
+/// Protocol: (1) establish `|cat(k)>` with one share per rank (rank 0's
+/// share doubles as the rotation ancilla — the Fig. 7 co-location
+/// assumption); (2) each rank applies a local CZ between its data qubit and
+/// its share, imprinting the global parity on the cat's relative phase;
+/// (3) ranks > 0 merge their shares into rank 0's by X-basis measurement +
+/// a classical XOR of outcomes (Z fixup on rank 0's share); (4) rank 0
+/// converts phase to value with H, rotates, converts back, and the final
+/// X-basis measurement outcome selects a classical `Z⊗k` fixup.
+pub fn constant_depth(ctx: &QmpiRank, qubit: &Qubit, theta: f64) -> Result<()> {
+    let rank = ctx.rank();
+    let share = ctx.cat_establish()?;
+    // (2) Imprint parity on the cat phase.
+    ctx.cz(qubit, &share)?;
+    // (3) Merge shares into rank 0.
+    let (my_bit, root_share) = if rank != 0 {
+        ctx.h(&share)?;
+        let m = ctx.measure_and_free(share)?;
+        ctx.ledger().record_classical(1);
+        (m, None)
+    } else {
+        (false, Some(share))
+    };
+    let parity = ctx.classical().reduce(my_bit as u8, &cmpi::ops::bxor, 0);
+    if rank == 0 {
+        let share = root_share.expect("rank 0 keeps its share");
+        if parity.expect("root reduction") & 1 != 0 {
+            ctx.z(&share)?;
+        }
+        // (4) Phase -> value, rotate, value -> phase.
+        ctx.h(&share)?;
+        ctx.rz(&share, theta)?;
+        ctx.h(&share)?;
+        let m = ctx.measure_and_free(share)?;
+        ctx.ledger().record_classical(ctx.size() as u64 - 1);
+        let m: bool = ctx.classical().bcast(Some(m), 0);
+        if m {
+            ctx.z(qubit)?;
+        }
+    } else {
+        let m: bool = ctx.classical().bcast(None, 0);
+        if m {
+            ctx.z(qubit)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmpi::{run_with_config, QmpiConfig};
+    use qsim::{Gate, QubitId, Simulator};
+
+    /// Dense reference: exp(-i theta/2 Z^{⊗k}) applied to a product of
+    /// Ry(angles) states, via parity-compute + Rz + uncompute.
+    fn reference_state(angles: &[f64], theta: f64) -> qsim::State {
+        let mut sim = Simulator::new(0);
+        let qs: Vec<QubitId> = sim.alloc_n(angles.len());
+        for (q, &a) in qs.iter().zip(angles) {
+            sim.apply(Gate::Ry(a), *q).unwrap();
+        }
+        for i in 1..qs.len() {
+            sim.cnot(qs[i], qs[0]).unwrap();
+        }
+        sim.apply(Gate::Rz(theta), qs[0]).unwrap();
+        for i in (1..qs.len()).rev() {
+            sim.cnot(qs[i], qs[0]).unwrap();
+        }
+        sim.state_vector(&qs).unwrap()
+    }
+
+    fn run_method(
+        method: fn(&QmpiRank, &Qubit, f64) -> qmpi::Result<()>,
+        k: usize,
+        theta: f64,
+        seed: u64,
+    ) -> f64 {
+        let angles: Vec<f64> = (0..k).map(|i| 0.4 + 0.3 * i as f64).collect();
+        let angles2 = angles.clone();
+        let out = run_with_config(k, QmpiConfig { seed, s_limit: None }, move |ctx| {
+            let q = ctx.alloc_one();
+            ctx.ry(&q, angles2[ctx.rank()]).unwrap();
+            method(ctx, &q, theta).unwrap();
+            ctx.barrier();
+            let ids: Vec<u64> = vec![q.id().0];
+            let gathered = ctx.classical().gather(&ids, 0);
+            let f = if ctx.rank() == 0 {
+                let all: Vec<QubitId> =
+                    gathered.unwrap().into_iter().flatten().map(QubitId).collect();
+                let state = ctx.backend().state_vector(&all).unwrap();
+                state.fidelity(&reference_state(&angles2, theta))
+            } else {
+                1.0
+            };
+            ctx.barrier();
+            ctx.measure_and_free(q).unwrap();
+            f
+        });
+        out[0]
+    }
+
+    const TOL: f64 = 1e-8;
+
+    #[test]
+    fn in_place_matches_reference() {
+        for k in [2usize, 3, 4, 5] {
+            let f = run_method(in_place, k, 0.9, 11);
+            assert!((f - 1.0).abs() < TOL, "k={k}: fidelity {f}");
+        }
+    }
+
+    #[test]
+    fn out_of_place_matches_reference() {
+        for k in [2usize, 3, 4] {
+            for seed in [1u64, 2, 3] {
+                let f = run_method(out_of_place, k, 1.3, seed);
+                assert!((f - 1.0).abs() < TOL, "k={k} seed={seed}: fidelity {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_depth_matches_reference() {
+        for k in [2usize, 3, 4, 5] {
+            for seed in [1u64, 7] {
+                let f = run_method(constant_depth, k, 0.7, seed);
+                assert!((f - 1.0).abs() < TOL, "k={k} seed={seed}: fidelity {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn epr_counts_match_section_7_3() {
+        // k = 4: in-place 2(k-1) = 6; out-of-place (co-located aux) k-1 = 3;
+        // constant depth (co-located aux) k-1 = 3.
+        let k = 4;
+        let cases: [(fn(&QmpiRank, &Qubit, f64) -> qmpi::Result<()>, u64); 3] =
+            [(in_place, 6), (out_of_place, 3), (constant_depth, 3)];
+        for (method, expect) in cases {
+            let out = run_with_config(k, QmpiConfig::default(), move |ctx| {
+                let q = ctx.alloc_one();
+                let (d, ()) = ctx.measure_resources(|| {
+                    method(ctx, &q, 0.5).unwrap();
+                });
+                ctx.measure_and_free(q).unwrap();
+                d
+            });
+            assert_eq!(out[0].epr_pairs, expect, "method EPR count");
+        }
+    }
+
+    #[test]
+    fn methods_compose_identically_on_same_state() {
+        // Applying in_place(theta) then constant_depth(-theta) must return
+        // to the initial state.
+        let k = 3;
+        let out = run_with_config(k, QmpiConfig::default(), |ctx| {
+            let q = ctx.alloc_one();
+            ctx.ry(&q, 1.0).unwrap();
+            let z0 = ctx.expectation(&[(&q, qsim::Pauli::Z)]).unwrap();
+            let x0 = ctx.expectation(&[(&q, qsim::Pauli::X)]).unwrap();
+            in_place(ctx, &q, 0.8).unwrap();
+            constant_depth(ctx, &q, -0.8).unwrap();
+            let z1 = ctx.expectation(&[(&q, qsim::Pauli::Z)]).unwrap();
+            let x1 = ctx.expectation(&[(&q, qsim::Pauli::X)]).unwrap();
+            ctx.measure_and_free(q).unwrap();
+            (z0 - z1).abs() < TOL && (x0 - x1).abs() < TOL
+        });
+        assert!(out.iter().all(|&ok| ok));
+    }
+}

@@ -1,0 +1,109 @@
+//! Contracted s-type Gaussian basis functions (STO-3G for hydrogen).
+//!
+//! Hydrogen's STO-3G basis has a single 1s orbital expanded in three
+//! primitive Gaussians, which keeps every molecular integral in closed form
+//! (only s-functions appear). Exponents/coefficients are the standard
+//! STO-3G values for H (zeta = 1.24 scaling already applied).
+
+/// One primitive Gaussian `d * N(alpha) * exp(-alpha r^2)` where `N` is the
+/// s-type normalization `(2 alpha / pi)^{3/4}`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Primitive {
+    /// Exponent `alpha` (bohr^-2).
+    pub alpha: f64,
+    /// Contraction coefficient (times primitive normalization).
+    pub coeff: f64,
+}
+
+/// A contracted s-type Gaussian centered somewhere in space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ContractedGaussian {
+    /// Center in bohr.
+    pub center: [f64; 3],
+    /// Primitives (normalized).
+    pub primitives: Vec<Primitive>,
+}
+
+/// STO-3G exponents for hydrogen 1s (bohr^-2).
+pub const STO3G_H_EXPONENTS: [f64; 3] = [3.425_250_91, 0.623_913_73, 0.168_855_40];
+/// STO-3G contraction coefficients for hydrogen 1s.
+pub const STO3G_H_COEFFS: [f64; 3] = [0.154_328_97, 0.535_328_14, 0.444_634_54];
+
+impl ContractedGaussian {
+    /// The STO-3G hydrogen 1s orbital at `center` (bohr).
+    pub fn sto3g_hydrogen(center: [f64; 3]) -> Self {
+        let primitives = STO3G_H_EXPONENTS
+            .iter()
+            .zip(STO3G_H_COEFFS.iter())
+            .map(|(&alpha, &d)| Primitive {
+                alpha,
+                // Fold the s-primitive normalization into the coefficient.
+                coeff: d * (2.0 * alpha / std::f64::consts::PI).powf(0.75),
+            })
+            .collect();
+        ContractedGaussian { center, primitives }
+    }
+
+    /// Evaluates the orbital at a point (bohr) — used in tests.
+    pub fn evaluate(&self, r: [f64; 3]) -> f64 {
+        let dr2 = dist2(self.center, r);
+        self.primitives.iter().map(|p| p.coeff * (-p.alpha * dr2).exp()).sum()
+    }
+}
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn dist2(a: [f64; 3], b: [f64; 3]) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    let dz = a[2] - b[2];
+    dx * dx + dy * dy + dz * dz
+}
+
+/// Gaussian product center `(alpha*A + beta*B)/(alpha+beta)`.
+#[inline]
+pub fn product_center(alpha: f64, a: [f64; 3], beta: f64, b: [f64; 3]) -> [f64; 3] {
+    let p = alpha + beta;
+    [
+        (alpha * a[0] + beta * b[0]) / p,
+        (alpha * a[1] + beta * b[1]) / p,
+        (alpha * a[2] + beta * b[2]) / p,
+    ]
+}
+
+/// 1 angstrom in bohr.
+pub const ANGSTROM: f64 = 1.889_726_124_625_157;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sto3g_h_has_three_primitives() {
+        let g = ContractedGaussian::sto3g_hydrogen([0.0; 3]);
+        assert_eq!(g.primitives.len(), 3);
+        for p in &g.primitives {
+            assert!(p.alpha > 0.0 && p.coeff > 0.0);
+        }
+    }
+
+    #[test]
+    fn orbital_decays_with_distance() {
+        let g = ContractedGaussian::sto3g_hydrogen([0.0; 3]);
+        let v0 = g.evaluate([0.0; 3]);
+        let v1 = g.evaluate([1.0, 0.0, 0.0]);
+        let v3 = g.evaluate([3.0, 0.0, 0.0]);
+        assert!(v0 > v1 && v1 > v3 && v3 > 0.0);
+    }
+
+    #[test]
+    fn product_center_interpolates() {
+        let c = product_center(1.0, [0.0; 3], 3.0, [4.0, 0.0, 0.0]);
+        assert!((c[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angstrom_constant() {
+        assert!((ANGSTROM - 1.8897261246).abs() < 1e-9);
+    }
+}

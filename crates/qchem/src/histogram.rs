@@ -1,0 +1,92 @@
+//! Term-weight histograms — the quantity plotted in the paper's Fig. 5
+//! ("The number of qubits involved in each term of the form defined by
+//! Eq. (1) is plotted as a histogram").
+
+use crate::pauli::PauliSum;
+
+/// Histogram of Pauli-string weights. Index = number of qubits per term;
+/// value = number of terms. The identity (weight 0) is excluded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightHistogram {
+    counts: Vec<usize>,
+}
+
+impl WeightHistogram {
+    /// Builds the histogram of `sum` over `n_qubits` qubits.
+    pub fn of(sum: &PauliSum, n_qubits: usize) -> Self {
+        let mut counts = vec![0usize; n_qubits + 1];
+        for (s, _) in sum.iter() {
+            let w = s.weight() as usize;
+            if w > 0 {
+                counts[w] += 1;
+            }
+        }
+        WeightHistogram { counts }
+    }
+
+    /// Number of terms with exactly `weight` qubits.
+    pub fn count(&self, weight: usize) -> usize {
+        self.counts.get(weight).copied().unwrap_or(0)
+    }
+
+    /// Total number of (non-identity) terms.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Largest weight with a nonzero count.
+    pub fn max_weight(&self) -> usize {
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
+    }
+
+    /// Mean weight over all terms.
+    pub fn mean_weight(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: usize = self.counts.iter().enumerate().map(|(w, &c)| w * c).sum();
+        sum as f64 / total as f64
+    }
+
+    /// `(weight, count)` pairs with nonzero counts, ascending.
+    pub fn nonzero(&self) -> Vec<(usize, usize)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(w, &c)| (w, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pauli::{C64, PauliString, PauliSum};
+
+    #[test]
+    fn histogram_counts_weights() {
+        let mut s = PauliSum::zero();
+        s.add_term(PauliString::IDENTITY, C64::real(1.0));
+        s.add_term(PauliString::z_mask(0b1), C64::real(1.0));
+        s.add_term(PauliString::z_mask(0b11), C64::real(1.0));
+        s.add_term(PauliString::z_mask(0b110), C64::real(1.0));
+        let h = WeightHistogram::of(&s, 4);
+        assert_eq!(h.count(0), 0, "identity excluded");
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.max_weight(), 2);
+        assert!((h.mean_weight() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sum_histogram() {
+        let h = WeightHistogram::of(&PauliSum::zero(), 4);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max_weight(), 0);
+        assert_eq!(h.mean_weight(), 0.0);
+        assert!(h.nonzero().is_empty());
+    }
+}

@@ -1,0 +1,421 @@
+//! Molecular integrals over contracted s-type Gaussians.
+//!
+//! Closed-form s-function formulas (Szabo & Ostlund, appendix A):
+//! overlap, kinetic energy, nuclear attraction, and two-electron repulsion
+//! integrals, all reduced to the Boys function `F0`. This replaces the
+//! PySCF dependency of the paper's Fig. 5/7 pipeline (DESIGN.md
+//! substitution #3) — hydrogen rings only need s-orbitals, so the
+//! structure of the Hamiltonian is reproduced exactly.
+
+use crate::gaussian::{dist2, product_center, ContractedGaussian};
+use crate::linalg::SymMatrix;
+use crate::molecule::Molecule;
+
+/// Error function accurate to ~1e-15, via its Maclaurin series for small
+/// arguments and the continued-fraction complementary form for large ones.
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    if x < 3.0 {
+        // erf(x) = 2/sqrt(pi) * e^{-x^2} * sum_{n>=0} x^{2n+1} 2^n / (1*3*...*(2n+1))
+        let x2 = x * x;
+        let mut term = x;
+        let mut sum = x;
+        let mut n = 0u32;
+        loop {
+            n += 1;
+            term *= 2.0 * x2 / (2.0 * f64::from(n) + 1.0);
+            let new = sum + term;
+            if new == sum || n > 200 {
+                break;
+            }
+            sum = new;
+        }
+        2.0 / std::f64::consts::PI.sqrt() * (-x2).exp() * sum
+    } else {
+        // Lentz continued fraction for erfc.
+        1.0 - erfc_cf(x)
+    }
+}
+
+/// Complementary error function for x >= 3 via the classical continued
+/// fraction `erfc(x) = e^{-x^2}/sqrt(pi) * 1/(x + (1/2)/(x + (2/2)/(x + ...)))`,
+/// evaluated by backward recurrence (rapidly convergent in this regime).
+fn erfc_cf(x: f64) -> f64 {
+    let x2 = x * x;
+    let mut t = 0.0f64;
+    for k in (1..=120).rev() {
+        t = (k as f64 * 0.5) / (x + t);
+    }
+    (-x2).exp() / std::f64::consts::PI.sqrt() / (x + t)
+}
+
+/// Boys function `F0(t) = (1/2) sqrt(pi/t) erf(sqrt(t))`, `F0(0) = 1`.
+pub fn boys_f0(t: f64) -> f64 {
+    if t < 1e-12 {
+        // Series: F0(t) = 1 - t/3 + t^2/10 - ...
+        1.0 - t / 3.0 + t * t / 10.0
+    } else {
+        0.5 * (std::f64::consts::PI / t).sqrt() * erf(t.sqrt())
+    }
+}
+
+/// Overlap integral between two contracted s-Gaussians.
+pub fn overlap(a: &ContractedGaussian, b: &ContractedGaussian) -> f64 {
+    let r2 = dist2(a.center, b.center);
+    let mut s = 0.0;
+    for pa in &a.primitives {
+        for pb in &b.primitives {
+            let p = pa.alpha + pb.alpha;
+            let pref = (std::f64::consts::PI / p).powf(1.5);
+            s += pa.coeff * pb.coeff * pref * (-pa.alpha * pb.alpha / p * r2).exp();
+        }
+    }
+    s
+}
+
+/// Kinetic energy integral between two contracted s-Gaussians.
+pub fn kinetic(a: &ContractedGaussian, b: &ContractedGaussian) -> f64 {
+    let r2 = dist2(a.center, b.center);
+    let mut t = 0.0;
+    for pa in &a.primitives {
+        for pb in &b.primitives {
+            let p = pa.alpha + pb.alpha;
+            let mu = pa.alpha * pb.alpha / p;
+            let s = (std::f64::consts::PI / p).powf(1.5) * (-mu * r2).exp();
+            t += pa.coeff * pb.coeff * mu * (3.0 - 2.0 * mu * r2) * s;
+        }
+    }
+    t
+}
+
+/// Nuclear attraction integral `<a| sum_C -Z_C/|r - C| |b>`.
+pub fn nuclear(a: &ContractedGaussian, b: &ContractedGaussian, mol: &Molecule) -> f64 {
+    let r2 = dist2(a.center, b.center);
+    let mut v = 0.0;
+    for pa in &a.primitives {
+        for pb in &b.primitives {
+            let p = pa.alpha + pb.alpha;
+            let cpre = -2.0 * std::f64::consts::PI / p * (-pa.alpha * pb.alpha / p * r2).exp();
+            let pc = product_center(pa.alpha, a.center, pb.alpha, b.center);
+            for atom in &mol.atoms {
+                let t = p * dist2(pc, atom.position);
+                v += pa.coeff * pb.coeff * cpre * atom.charge * boys_f0(t);
+            }
+        }
+    }
+    v
+}
+
+/// Two-electron repulsion integral in chemist notation `(ab|cd)`.
+pub fn eri(
+    a: &ContractedGaussian,
+    b: &ContractedGaussian,
+    c: &ContractedGaussian,
+    d: &ContractedGaussian,
+) -> f64 {
+    let rab2 = dist2(a.center, b.center);
+    let rcd2 = dist2(c.center, d.center);
+    let mut g = 0.0;
+    for pa in &a.primitives {
+        for pb in &b.primitives {
+            let p = pa.alpha + pb.alpha;
+            let kab = (-pa.alpha * pb.alpha / p * rab2).exp();
+            let pp = product_center(pa.alpha, a.center, pb.alpha, b.center);
+            for pc in &c.primitives {
+                for pd in &d.primitives {
+                    let q = pc.alpha + pd.alpha;
+                    let kcd = (-pc.alpha * pd.alpha / q * rcd2).exp();
+                    let qq = product_center(pc.alpha, c.center, pd.alpha, d.center);
+                    let t = p * q / (p + q) * dist2(pp, qq);
+                    let pref = 2.0 * std::f64::consts::PI.powf(2.5)
+                        / (p * q * (p + q).sqrt());
+                    g += pa.coeff * pb.coeff * pc.coeff * pd.coeff
+                        * pref
+                        * kab
+                        * kcd
+                        * boys_f0(t);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// All one- and two-electron integrals of a molecule over its (non-
+/// orthogonal) AO basis, plus the overlap matrix.
+pub struct AoIntegrals {
+    /// Number of spatial orbitals.
+    pub n_orbitals: usize,
+    /// Overlap matrix S.
+    pub overlap: SymMatrix,
+    /// Core Hamiltonian h = T + V.
+    pub core: SymMatrix,
+    /// Two-electron integrals, chemist notation, full dense tensor
+    /// `eri[((p*n + q)*n + r)*n + s] = (pq|rs)`.
+    pub eri: Vec<f64>,
+}
+
+impl AoIntegrals {
+    /// Computes all integrals for `mol`.
+    pub fn compute(mol: &Molecule) -> Self {
+        let basis = mol.basis();
+        let n = basis.len();
+        let mut s = SymMatrix::zeros(n);
+        let mut h = SymMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                s.set(i, j, overlap(&basis[i], &basis[j]));
+                let t = kinetic(&basis[i], &basis[j]);
+                let v = nuclear(&basis[i], &basis[j], mol);
+                h.set(i, j, t + v);
+            }
+        }
+        let mut g = vec![0.0f64; n * n * n * n];
+        // Use 8-fold permutational symmetry of (pq|rs).
+        for p in 0..n {
+            for q in 0..=p {
+                for r in 0..=p {
+                    let s_max = if r == p { q } else { r };
+                    for sidx in 0..=s_max {
+                        let val = eri(&basis[p], &basis[q], &basis[r], &basis[sidx]);
+                        for &(a, b, c, d) in &[
+                            (p, q, r, sidx),
+                            (q, p, r, sidx),
+                            (p, q, sidx, r),
+                            (q, p, sidx, r),
+                            (r, sidx, p, q),
+                            (sidx, r, p, q),
+                            (r, sidx, q, p),
+                            (sidx, r, q, p),
+                        ] {
+                            g[((a * n + b) * n + c) * n + d] = val;
+                        }
+                    }
+                }
+            }
+        }
+        AoIntegrals { n_orbitals: n, overlap: s, core: h, eri: g }
+    }
+
+    /// ERI accessor `(pq|rs)`.
+    #[inline]
+    pub fn g(&self, p: usize, q: usize, r: usize, s: usize) -> f64 {
+        let n = self.n_orbitals;
+        self.eri[((p * n + q) * n + r) * n + s]
+    }
+
+    /// Löwdin symmetric orthogonalization: transforms core and ERI into the
+    /// orthonormal basis `X = S^{-1/2}` (the basis used for second
+    /// quantization in place of post-HF molecular orbitals; see DESIGN.md).
+    pub fn orthogonalized(&self) -> OrthoIntegrals {
+        let n = self.n_orbitals;
+        let x = self.overlap.inv_sqrt(1e-10);
+        let core = self.core.congruence(&x);
+        // Four-index transform, one index at a time: O(n^5).
+        let idx = |a: usize, b: usize, c: usize, d: usize| ((a * n + b) * n + c) * n + d;
+        let mut t1 = vec![0.0f64; n * n * n * n];
+        for p in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    for d in 0..n {
+                        let mut acc = 0.0;
+                        for a in 0..n {
+                            acc += x.get(a, p) * self.eri[idx(a, b, c, d)];
+                        }
+                        t1[idx(p, b, c, d)] = acc;
+                    }
+                }
+            }
+        }
+        let mut t2 = vec![0.0f64; n * n * n * n];
+        for p in 0..n {
+            for q in 0..n {
+                for c in 0..n {
+                    for d in 0..n {
+                        let mut acc = 0.0;
+                        for b in 0..n {
+                            acc += x.get(b, q) * t1[idx(p, b, c, d)];
+                        }
+                        t2[idx(p, q, c, d)] = acc;
+                    }
+                }
+            }
+        }
+        let mut t3 = vec![0.0f64; n * n * n * n];
+        for p in 0..n {
+            for q in 0..n {
+                for r in 0..n {
+                    for d in 0..n {
+                        let mut acc = 0.0;
+                        for c in 0..n {
+                            acc += x.get(c, r) * t2[idx(p, q, c, d)];
+                        }
+                        t3[idx(p, q, r, d)] = acc;
+                    }
+                }
+            }
+        }
+        let mut g = vec![0.0f64; n * n * n * n];
+        for p in 0..n {
+            for q in 0..n {
+                for r in 0..n {
+                    for s in 0..n {
+                        let mut acc = 0.0;
+                        for d in 0..n {
+                            acc += x.get(d, s) * t3[idx(p, q, r, d)];
+                        }
+                        g[idx(p, q, r, s)] = acc;
+                    }
+                }
+            }
+        }
+        OrthoIntegrals { n_orbitals: n, core, eri: g }
+    }
+}
+
+/// Integrals in an orthonormal orbital basis (valid for second
+/// quantization).
+pub struct OrthoIntegrals {
+    /// Number of spatial orbitals.
+    pub n_orbitals: usize,
+    /// One-electron (core) integrals h_pq.
+    pub core: SymMatrix,
+    /// Two-electron integrals `(pq|rs)` (chemist notation), dense.
+    pub eri: Vec<f64>,
+}
+
+impl OrthoIntegrals {
+    /// ERI accessor `(pq|rs)`.
+    #[inline]
+    pub fn g(&self, p: usize, q: usize, r: usize, s: usize) -> f64 {
+        let n = self.n_orbitals;
+        self.eri[((p * n + q) * n + r) * n + s]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::ANGSTROM;
+    use crate::molecule::Molecule;
+
+    #[test]
+    fn erf_reference_values() {
+        // Abramowitz & Stegun / standard references.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.520_499_877_813_046_5),
+            (1.0, 0.842_700_792_949_714_9),
+            (2.0, 0.995_322_265_018_952_7),
+            (3.5, 0.999_999_256_901_627_7),
+            (5.0, 0.999_999_999_998_462_5),
+        ];
+        for (x, want) in cases {
+            let got = erf(x);
+            assert!((got - want).abs() < 1e-12, "erf({x}) = {got}, want {want}");
+            assert!((erf(-x) + want).abs() < 1e-12, "odd symmetry at {x}");
+        }
+    }
+
+    #[test]
+    fn boys_limits() {
+        assert!((boys_f0(0.0) - 1.0).abs() < 1e-12);
+        // Large t: F0 -> sqrt(pi)/(2 sqrt(t)).
+        let t = 400.0;
+        let asym = 0.5 * (std::f64::consts::PI / t).sqrt();
+        assert!((boys_f0(t) - asym).abs() < 1e-12);
+        // Monotone decreasing.
+        assert!(boys_f0(0.1) > boys_f0(0.2));
+    }
+
+    #[test]
+    fn self_overlap_is_one() {
+        let g = ContractedGaussian::sto3g_hydrogen([0.0; 3]);
+        // STO-3G coefficients are normalized: <g|g> = 1 to ~1e-6 (tabulated
+        // coefficients have limited precision).
+        assert!((overlap(&g, &g) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn overlap_decays_with_distance() {
+        let a = ContractedGaussian::sto3g_hydrogen([0.0; 3]);
+        let b1 = ContractedGaussian::sto3g_hydrogen([1.0, 0.0, 0.0]);
+        let b4 = ContractedGaussian::sto3g_hydrogen([4.0, 0.0, 0.0]);
+        assert!(overlap(&a, &b1) > overlap(&a, &b4));
+        assert!(overlap(&a, &b4) > 0.0);
+    }
+
+    #[test]
+    fn h2_sto3g_reference_integrals() {
+        // H2 at 1.4 bohr: classic textbook values (Szabo & Ostlund §3.5.2):
+        // S12 ~ 0.6593, T11 ~ 0.7600, (11|11) ~ 0.7746.
+        let mol = Molecule::hydrogen_chain(2, 1.4 / ANGSTROM);
+        let basis = mol.basis();
+        let s12 = overlap(&basis[0], &basis[1]);
+        assert!((s12 - 0.6593).abs() < 2e-3, "S12 = {s12}");
+        let t11 = kinetic(&basis[0], &basis[0]);
+        assert!((t11 - 0.7600).abs() < 2e-3, "T11 = {t11}");
+        let g1111 = eri(&basis[0], &basis[0], &basis[0], &basis[0]);
+        assert!((g1111 - 0.7746).abs() < 2e-3, "(11|11) = {g1111}");
+        let v11 = nuclear(&basis[0], &basis[0], &mol);
+        // V11 = -1.8804 for H2 at 1.4 bohr (sum over both nuclei).
+        assert!((v11 + 1.8804).abs() < 2e-3, "V11 = {v11}");
+    }
+
+    #[test]
+    fn orthogonalized_overlap_is_identity() {
+        let mol = Molecule::hydrogen_ring(4, 1.0);
+        let ao = AoIntegrals::compute(&mol);
+        let x = ao.overlap.inv_sqrt(1e-10);
+        let id = ao.overlap.congruence(&x);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((id.get(i, j) - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn eri_has_8_fold_symmetry() {
+        let mol = Molecule::hydrogen_ring(3, 1.0);
+        let ao = AoIntegrals::compute(&mol);
+        let (p, q, r, s) = (0, 1, 2, 0);
+        let v = ao.g(p, q, r, s);
+        for &(a, b, c, d) in &[
+            (q, p, r, s),
+            (p, q, s, r),
+            (q, p, s, r),
+            (r, s, p, q),
+            (s, r, p, q),
+            (r, s, q, p),
+            (s, r, q, p),
+        ] {
+            assert!((ao.g(a, b, c, d) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ortho_eri_is_dense_like_ao() {
+        // The orthogonalized basis stays dense — the property Fig. 5/7
+        // depend on.
+        let mol = Molecule::hydrogen_ring(4, 1.0);
+        let ortho = AoIntegrals::compute(&mol).orthogonalized();
+        let mut nonzero = 0;
+        let n = ortho.n_orbitals;
+        for p in 0..n {
+            for q in 0..n {
+                for r in 0..n {
+                    for s in 0..n {
+                        if ortho.g(p, q, r, s).abs() > 1e-10 {
+                            nonzero += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(nonzero > n * n, "ortho basis must remain dense, got {nonzero}");
+    }
+}

@@ -1,0 +1,241 @@
+//! Qubit-to-node layout and per-term EPR costs (Fig. 7).
+//!
+//! "The spin-orbitals are fixed to a specific node for the full duration"
+//! (Fig. 7 caption) — we use the natural block distribution. For each
+//! Trotter term (a Pauli string), the EPR cost of the Fig. 6 circuit
+//! methods depends on how the term's support spreads over nodes:
+//!
+//! * **in-place** (Fig. 6a): a balanced binary fan-in tree of CNOTs over
+//!   the support, paid twice (compute + uncompute); only cross-node CNOTs
+//!   cost an EPR pair. All-distinct-nodes cost: `2(k-1)`.
+//! * **out-of-place** (Fig. 6b): one CNOT per support qubit into an
+//!   ancilla (placed on the node holding the most support); uncompute is
+//!   classical. All-distinct cost: `k`.
+//! * **constant-depth** (Fig. 6c): a cat state over the `m` involved
+//!   nodes, ancilla on one of them (the caption's assumption): `m - 1`.
+
+use crate::pauli::PauliSum;
+
+/// Block distribution of `n_qubits` over `n_nodes`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockLayout {
+    /// Total qubits (spin-orbitals).
+    pub n_qubits: usize,
+    /// Number of nodes.
+    pub n_nodes: usize,
+}
+
+impl BlockLayout {
+    /// Creates a layout; `n_qubits` must be divisible by `n_nodes`.
+    pub fn new(n_qubits: usize, n_nodes: usize) -> Self {
+        assert!(n_nodes >= 1 && n_qubits >= n_nodes, "invalid layout");
+        assert_eq!(n_qubits % n_nodes, 0, "block layout needs divisible sizes");
+        BlockLayout { n_qubits, n_nodes }
+    }
+
+    /// Qubits per node.
+    pub fn block(&self) -> usize {
+        self.n_qubits / self.n_nodes
+    }
+
+    /// The node hosting `qubit`.
+    #[inline]
+    pub fn node_of(&self, qubit: u32) -> usize {
+        qubit as usize / self.block()
+    }
+
+    /// Distinct nodes touched by a support mask.
+    pub fn nodes_of_support(&self, support: u64) -> Vec<usize> {
+        let mut nodes = Vec::new();
+        let mut m = support;
+        while m != 0 {
+            let q = m.trailing_zeros();
+            let node = self.node_of(q);
+            if nodes.last() != Some(&node) {
+                nodes.push(node);
+            }
+            m &= m - 1;
+        }
+        nodes.dedup();
+        nodes
+    }
+}
+
+/// The Fig. 6 circuit methods (mirrors `sendq::ParityMethod`; duplicated
+/// here so the chemistry crate stays substrate-independent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CircuitMethod {
+    /// Fig. 6(a) — in-place binary tree.
+    InPlace,
+    /// Fig. 6(b) — out-of-place serial CNOTs.
+    OutOfPlace,
+    /// Fig. 6(c) — constant-depth cat state.
+    ConstantDepth,
+}
+
+/// EPR pairs needed to execute one term with the given support under the
+/// given method.
+pub fn term_epr_cost(layout: &BlockLayout, support: u64, method: CircuitMethod) -> u64 {
+    let k = support.count_ones() as usize;
+    if k <= 1 {
+        return 0;
+    }
+    match method {
+        CircuitMethod::InPlace => 2 * in_place_cross_edges(layout, support),
+        CircuitMethod::OutOfPlace => out_of_place_remote_qubits(layout, support),
+        CircuitMethod::ConstantDepth => {
+            let m = layout.nodes_of_support(support).len() as u64;
+            m.saturating_sub(1)
+        }
+    }
+}
+
+/// Cross-node edges of a balanced fan-in tree over the support qubits
+/// (sorted by index; groups represented by their first qubit).
+fn in_place_cross_edges(layout: &BlockLayout, support: u64) -> u64 {
+    let mut qubits: Vec<u32> = Vec::with_capacity(support.count_ones() as usize);
+    let mut m = support;
+    while m != 0 {
+        qubits.push(m.trailing_zeros());
+        m &= m - 1;
+    }
+    let k = qubits.len();
+    let mut cross = 0u64;
+    let mut stride = 1usize;
+    while stride < k {
+        let mut i = 0;
+        while i + stride < k {
+            let a = qubits[i];
+            let b = qubits[i + stride];
+            if layout.node_of(a) != layout.node_of(b) {
+                cross += 1;
+            }
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+    cross
+}
+
+/// Support qubits not co-located with the ancilla, which is placed on the
+/// node holding the largest share of the support.
+fn out_of_place_remote_qubits(layout: &BlockLayout, support: u64) -> u64 {
+    let mut per_node = vec![0u64; layout.n_nodes];
+    let mut m = support;
+    let mut total = 0u64;
+    while m != 0 {
+        let q = m.trailing_zeros();
+        per_node[layout.node_of(q)] += 1;
+        total += 1;
+        m &= m - 1;
+    }
+    let best = per_node.iter().copied().max().unwrap_or(0);
+    total - best
+}
+
+/// Total EPR pairs for one first-order Trotter step of a Hamiltonian: each
+/// non-identity term is executed once (the Fig. 7 quantity).
+pub fn trotter_step_epr_cost(
+    h: &PauliSum,
+    layout: &BlockLayout,
+    method: CircuitMethod,
+) -> u64 {
+    h.iter()
+        .filter(|(s, _)| s.support() != 0)
+        .map(|(s, _)| term_epr_cost(layout, s.support(), method))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pauli::{C64, PauliString};
+
+    #[test]
+    fn block_assignment() {
+        let l = BlockLayout::new(8, 4);
+        assert_eq!(l.block(), 2);
+        assert_eq!(l.node_of(0), 0);
+        assert_eq!(l.node_of(1), 0);
+        assert_eq!(l.node_of(2), 1);
+        assert_eq!(l.node_of(7), 3);
+    }
+
+    #[test]
+    fn nodes_of_support_dedups() {
+        let l = BlockLayout::new(8, 4);
+        assert_eq!(l.nodes_of_support(0b0000_0011), vec![0]);
+        assert_eq!(l.nodes_of_support(0b1100_0011), vec![0, 3]);
+        assert_eq!(l.nodes_of_support(0b1111_1111), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn local_terms_are_free() {
+        let l = BlockLayout::new(8, 2);
+        for m in [CircuitMethod::InPlace, CircuitMethod::OutOfPlace, CircuitMethod::ConstantDepth] {
+            assert_eq!(term_epr_cost(&l, 0b0000_1111, m), 0, "{m:?}");
+            assert_eq!(term_epr_cost(&l, 0b1, m), 0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn all_distinct_nodes_match_paper_formulas() {
+        // k = 4 qubits, one per node: in-place 2(k-1) = 6, out-of-place
+        // k - 1 = 3 (ancilla co-located with one qubit), const-depth m-1 = 3.
+        let l = BlockLayout::new(4, 4);
+        let support = 0b1111u64;
+        assert_eq!(term_epr_cost(&l, support, CircuitMethod::InPlace), 6);
+        assert_eq!(term_epr_cost(&l, support, CircuitMethod::OutOfPlace), 3);
+        assert_eq!(term_epr_cost(&l, support, CircuitMethod::ConstantDepth), 3);
+    }
+
+    #[test]
+    fn in_place_tree_counts_only_cross_edges() {
+        // 4 qubits on 2 nodes (2 each): tree edges (0,1),(2,3),(0,2):
+        // (0,1) local, (2,3) local, (0,2) cross => cost 2*1 = 2.
+        let l = BlockLayout::new(4, 2);
+        assert_eq!(term_epr_cost(&l, 0b1111, CircuitMethod::InPlace), 2);
+    }
+
+    #[test]
+    fn const_depth_counts_nodes_not_qubits() {
+        // 4 support qubits on 2 of 4 nodes => m-1 = 1 regardless of k.
+        let l = BlockLayout::new(8, 4);
+        let support = 0b0000_0011 | 0b1100_0000;
+        assert_eq!(term_epr_cost(&l, support, CircuitMethod::ConstantDepth), 2 - 1);
+        // Spanning three nodes => 2.
+        let support3 = 0b0000_0011 | 0b0011_0000 | 0b1100_0000;
+        assert_eq!(term_epr_cost(&l, support3, CircuitMethod::ConstantDepth), 3 - 1);
+    }
+
+    #[test]
+    fn single_node_layout_is_always_free() {
+        let l = BlockLayout::new(8, 1);
+        for m in [CircuitMethod::InPlace, CircuitMethod::OutOfPlace, CircuitMethod::ConstantDepth] {
+            assert_eq!(term_epr_cost(&l, 0b1111_1111, m), 0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn trotter_cost_sums_terms() {
+        let mut h = PauliSum::zero();
+        h.add_term(PauliString::IDENTITY, C64::real(1.0)); // skipped
+        h.add_term(PauliString::z_mask(0b11), C64::real(0.5)); // local on node 0
+        h.add_term(PauliString::z_mask(0b1001), C64::real(0.5)); // cross
+        let l = BlockLayout::new(4, 2);
+        let cost = trotter_step_epr_cost(&h, &l, CircuitMethod::ConstantDepth);
+        assert_eq!(cost, 1);
+    }
+
+    #[test]
+    fn more_nodes_cannot_reduce_const_depth_below_in_place_ratio() {
+        // Sanity on the Fig. 7 ordering: for a full-weight term the
+        // constant-depth method uses about half the pairs of in-place.
+        let l = BlockLayout::new(64, 64);
+        let support = u64::MAX;
+        let inp = term_epr_cost(&l, support, CircuitMethod::InPlace);
+        let cat = term_epr_cost(&l, support, CircuitMethod::ConstantDepth);
+        assert_eq!(inp, 2 * 63);
+        assert_eq!(cat, 63);
+    }
+}

@@ -1,0 +1,270 @@
+//! Small dense symmetric linear algebra: Jacobi eigensolver, matrix
+//! functions (S^{-1/2} for Löwdin orthogonalization), and helpers.
+//!
+//! Written in-repo (DESIGN.md §5) — the matrices here are at most a few
+//! hundred rows (basis sets, qubit Hamiltonians of test molecules), where
+//! the cyclic Jacobi method is simple, numerically robust, and fast enough.
+
+/// A dense symmetric matrix stored row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Zero matrix of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        SymMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds from a row-major slice (must be symmetric; enforced in debug).
+    pub fn from_rows(n: usize, rows: &[f64]) -> Self {
+        assert_eq!(rows.len(), n * n);
+        let m = SymMatrix { n, data: rows.to_vec() };
+        #[cfg(debug_assertions)]
+        for i in 0..n {
+            for j in 0..i {
+                debug_assert!(
+                    (m.get(i, j) - m.get(j, i)).abs() < 1e-10,
+                    "matrix not symmetric at ({i},{j})"
+                );
+            }
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Symmetric element assignment (sets both (i,j) and (j,i)).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// Frobenius norm of the off-diagonal part.
+    pub fn offdiag_norm(&self) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    s += self.get(i, j) * self.get(i, j);
+                }
+            }
+        }
+        s.sqrt()
+    }
+
+    /// Cyclic Jacobi eigendecomposition: returns `(eigenvalues, vectors)`
+    /// with eigenvalues ascending and `vectors[k]` the k-th eigenvector.
+    pub fn eigen(&self) -> (Vec<f64>, Vec<Vec<f64>>) {
+        let n = self.n;
+        let mut a = self.clone();
+        // v holds the accumulated rotations: columns are eigenvectors.
+        let mut v = vec![0.0f64; n * n];
+        for i in 0..n {
+            v[i * n + i] = 1.0;
+        }
+        let max_sweeps = 100;
+        for _ in 0..max_sweeps {
+            if a.offdiag_norm() < 1e-12 {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a.get(p, q);
+                    if apq.abs() < 1e-14 {
+                        continue;
+                    }
+                    let app = a.get(p, p);
+                    let aqq = a.get(q, q);
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    // Textbook Jacobi update touching each symmetric pair
+                    // exactly once (SymMatrix::set mirrors writes, so the
+                    // two-phase row/column form would double-apply).
+                    let new_pp = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+                    let new_qq = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+                    a.set(p, p, new_pp);
+                    a.set(q, q, new_qq);
+                    a.set(p, q, 0.0);
+                    for k in 0..n {
+                        if k == p || k == q {
+                            continue;
+                        }
+                        let akp = a.get(k, p);
+                        let akq = a.get(k, q);
+                        a.set(k, p, c * akp - s * akq);
+                        a.set(k, q, s * akp + c * akq);
+                    }
+                    // Accumulate rotation into v.
+                    for vk in v.chunks_exact_mut(n) {
+                        let vp = vk[p];
+                        let vq = vk[q];
+                        vk[p] = c * vp - s * vq;
+                        vk[q] = s * vp + c * vq;
+                    }
+                }
+            }
+        }
+        let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a.get(i, i), i)).collect();
+        pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        let eigenvalues: Vec<f64> = pairs.iter().map(|&(l, _)| l).collect();
+        let vectors: Vec<Vec<f64>> = pairs
+            .iter()
+            .map(|&(_, col)| (0..n).map(|row| v[row * n + col]).collect())
+            .collect();
+        (eigenvalues, vectors)
+    }
+
+    /// Matrix inverse square root `M^{-1/2}` via eigendecomposition; used
+    /// for Löwdin symmetric orthogonalization of the overlap matrix.
+    /// Requires all eigenvalues > `eps`.
+    pub fn inv_sqrt(&self, eps: f64) -> SymMatrix {
+        let (vals, vecs) = self.eigen();
+        let n = self.n;
+        let mut out = SymMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for (k, &l) in vals.iter().enumerate() {
+                    assert!(l > eps, "matrix not positive definite (eigenvalue {l})");
+                    s += vecs[k][i] * vecs[k][j] / l.sqrt();
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    /// Congruence transform `X^T A X` (X symmetric here, so `X A X`).
+    pub fn congruence(&self, x: &SymMatrix) -> SymMatrix {
+        let n = self.n;
+        assert_eq!(x.n, n);
+        // tmp = A X
+        let mut tmp = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += self.get(i, k) * x.get(k, j);
+                }
+                tmp[i * n + j] = s;
+            }
+        }
+        // out = X tmp
+        let mut out = SymMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += x.get(i, k) * tmp[k * n + j];
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let m = SymMatrix::from_rows(3, &[3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let (vals, _) = m.eigen();
+        assert!((vals[0] - 1.0).abs() < 1e-10);
+        assert!((vals[1] - 2.0).abs() < 1e-10);
+        assert!((vals[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_of_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let m = SymMatrix::from_rows(2, &[2.0, 1.0, 1.0, 2.0]);
+        let (vals, vecs) = m.eigen();
+        assert!((vals[0] - 1.0).abs() < 1e-10);
+        assert!((vals[1] - 3.0).abs() < 1e-10);
+        // Check A v = lambda v for the first eigenvector.
+        let v = &vecs[0];
+        let av0 = 2.0 * v[0] + v[1];
+        assert!((av0 - vals[0] * v[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = SymMatrix::from_rows(
+            4,
+            &[
+                4.0, 1.0, 0.5, 0.2, 1.0, 3.0, 0.7, 0.1, 0.5, 0.7, 2.0, 0.3, 0.2, 0.1, 0.3, 1.0,
+            ],
+        );
+        let (_, vecs) = m.eigen();
+        for i in 0..4 {
+            for j in 0..4 {
+                let dot: f64 = vecs[i].iter().zip(&vecs[j]).map(|(a, b)| a * b).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-9, "({i},{j}) dot = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn inv_sqrt_squares_to_inverse() {
+        let m = SymMatrix::from_rows(2, &[2.0, 0.5, 0.5, 1.5]);
+        let x = m.inv_sqrt(1e-12);
+        // X M X should be the identity.
+        let id = m.congruence(&x);
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((id.get(i, j) - expect).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn congruence_with_identity_is_noop() {
+        let m = SymMatrix::from_rows(2, &[2.0, 0.5, 0.5, 1.5]);
+        let id = SymMatrix::identity(2);
+        assert_eq!(m.congruence(&id), m);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let m = SymMatrix::from_rows(3, &[2.0, -1.0, 0.3, -1.0, 2.5, 0.4, 0.3, 0.4, 1.8]);
+        let (vals, vecs) = m.eigen();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += vals[k] * vecs[k][i] * vecs[k][j];
+                }
+                assert!((s - m.get(i, j)).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Molecular geometries — hydrogen rings and chains.
+//!
+//! The paper's chemistry evaluation (Fig. 5, Fig. 7) uses "a hydrogen ring
+//! with 32 atoms in the STO-3G basis set", i.e. 32 spatial orbitals / 64
+//! spin-orbitals.
+
+use crate::gaussian::{ContractedGaussian, ANGSTROM};
+
+/// A point nucleus.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Atom {
+    /// Nuclear charge Z.
+    pub charge: f64,
+    /// Position in bohr.
+    pub position: [f64; 3],
+}
+
+/// A molecule: nuclei plus an implied STO-3G basis (one 1s orbital per H).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Molecule {
+    /// The nuclei.
+    pub atoms: Vec<Atom>,
+}
+
+impl Molecule {
+    /// A ring of `n` hydrogen atoms with nearest-neighbor distance
+    /// `bond_angstrom` (in angstrom), lying in the xy plane.
+    pub fn hydrogen_ring(n: usize, bond_angstrom: f64) -> Self {
+        assert!(n >= 2, "a ring needs at least two atoms");
+        let bond = bond_angstrom * ANGSTROM;
+        // Chord length bond => radius = bond / (2 sin(pi/n)).
+        let radius = bond / (2.0 * (std::f64::consts::PI / n as f64).sin());
+        let atoms = (0..n)
+            .map(|k| {
+                let phi = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                Atom { charge: 1.0, position: [radius * phi.cos(), radius * phi.sin(), 0.0] }
+            })
+            .collect();
+        Molecule { atoms }
+    }
+
+    /// A linear chain of `n` hydrogens with spacing `bond_angstrom`.
+    pub fn hydrogen_chain(n: usize, bond_angstrom: f64) -> Self {
+        let bond = bond_angstrom * ANGSTROM;
+        let atoms = (0..n)
+            .map(|k| Atom { charge: 1.0, position: [k as f64 * bond, 0.0, 0.0] })
+            .collect();
+        Molecule { atoms }
+    }
+
+    /// Number of spatial orbitals (one STO-3G 1s per hydrogen).
+    pub fn n_orbitals(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of spin-orbitals (qubits after encoding).
+    pub fn n_spin_orbitals(&self) -> usize {
+        2 * self.n_orbitals()
+    }
+
+    /// Number of electrons (neutral molecule).
+    pub fn n_electrons(&self) -> usize {
+        self.atoms.iter().map(|a| a.charge as usize).sum()
+    }
+
+    /// The STO-3G basis set: one contracted 1s Gaussian per atom.
+    pub fn basis(&self) -> Vec<ContractedGaussian> {
+        self.atoms.iter().map(|a| ContractedGaussian::sto3g_hydrogen(a.position)).collect()
+    }
+
+    /// Nuclear repulsion energy `sum_{i<j} Z_i Z_j / |R_i - R_j|` (hartree).
+    pub fn nuclear_repulsion(&self) -> f64 {
+        let mut e = 0.0;
+        for i in 0..self.atoms.len() {
+            for j in 0..i {
+                let d = crate::gaussian::dist2(self.atoms[i].position, self.atoms[j].position)
+                    .sqrt();
+                e += self.atoms[i].charge * self.atoms[j].charge / d;
+            }
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_has_equal_bonds() {
+        let m = Molecule::hydrogen_ring(6, 1.0);
+        let bond = 1.0 * ANGSTROM;
+        for k in 0..6 {
+            let a = m.atoms[k].position;
+            let b = m.atoms[(k + 1) % 6].position;
+            let d = crate::gaussian::dist2(a, b).sqrt();
+            assert!((d - bond).abs() < 1e-10, "edge {k}: {d}");
+        }
+    }
+
+    #[test]
+    fn ring_counts() {
+        let m = Molecule::hydrogen_ring(32, 1.0);
+        assert_eq!(m.n_orbitals(), 32);
+        assert_eq!(m.n_spin_orbitals(), 64);
+        assert_eq!(m.n_electrons(), 32);
+    }
+
+    #[test]
+    fn chain_spacing() {
+        let m = Molecule::hydrogen_chain(3, 0.8);
+        let d01 = crate::gaussian::dist2(m.atoms[0].position, m.atoms[1].position).sqrt();
+        assert!((d01 - 0.8 * ANGSTROM).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h2_nuclear_repulsion() {
+        // H2 at 1.4 bohr: E_nuc = 1/1.4 = 0.7142857.
+        let m = Molecule::hydrogen_chain(2, 1.4 / ANGSTROM);
+        assert!((m.nuclear_repulsion() - 1.0 / 1.4).abs() < 1e-10);
+    }
+}

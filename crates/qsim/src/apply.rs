@@ -1,0 +1,417 @@
+//! Gate-application kernels.
+//!
+//! The kernels walk the amplitude vector with bit-stride loops. For large
+//! states (>= [`PAR_THRESHOLD`] amplitudes) the single-qubit and controlled
+//! kernels split the index space across threads with `crossbeam::scope`; the
+//! index pairs touched by one gate application are disjoint across loop
+//! iterations, so chunks never alias.
+
+use crate::complex::Complex;
+use crate::gates::{Mat2, Mat4};
+use crate::state::State;
+
+/// Number of amplitudes above which kernels go multi-threaded.
+pub const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Maximum number of worker threads used by the parallel kernels.
+fn max_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+}
+
+/// Raw-pointer wrapper so disjoint chunks of the amplitude vector can be
+/// written from several threads inside a `crossbeam::scope`.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut Complex);
+// SAFETY: every parallel kernel partitions the iteration space so that no two
+// threads ever touch the same amplitude index.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[inline(always)]
+fn pair_indices(i: usize, bit: usize) -> (usize, usize) {
+    // Spread iteration index i over the positions with `bit` cleared.
+    let low = i & (bit - 1);
+    let high = (i & !(bit - 1)) << 1;
+    let i0 = high | low;
+    (i0, i0 | bit)
+}
+
+/// Applies a single-qubit unitary `m` to `target`.
+pub fn apply_1q(state: &mut State, target: usize, m: &Mat2) {
+    let n = state.n_qubits();
+    assert!(target < n, "qubit {target} out of range (n={n})");
+    let bit = 1usize << target;
+    let half = state.len() / 2;
+    let m = *m;
+    if state.len() >= PAR_THRESHOLD {
+        let nthreads = max_threads();
+        let chunk = half.div_ceil(nthreads);
+        let ptr = SendPtr(state.amplitudes_mut().as_mut_ptr());
+        crossbeam::scope(|s| {
+            for t in 0..nthreads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(half);
+                if lo >= hi {
+                    break;
+                }
+                s.spawn(move |_| {
+                    let p = ptr;
+                    for i in lo..hi {
+                        let (i0, i1) = pair_indices(i, bit);
+                        // SAFETY: (i0, i1) pairs are unique per i; chunks are disjoint.
+                        unsafe {
+                            let a0 = *p.0.add(i0);
+                            let a1 = *p.0.add(i1);
+                            *p.0.add(i0) = m[0][0] * a0 + m[0][1] * a1;
+                            *p.0.add(i1) = m[1][0] * a0 + m[1][1] * a1;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("apply_1q worker panicked");
+    } else {
+        let amps = state.amplitudes_mut();
+        for i in 0..half {
+            let (i0, i1) = pair_indices(i, bit);
+            let a0 = amps[i0];
+            let a1 = amps[i1];
+            amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+            amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+        }
+    }
+}
+
+/// Applies `m` to `target` only on basis states where every qubit in
+/// `controls` is 1 (multi-controlled single-qubit gate).
+pub fn apply_controlled_1q(state: &mut State, controls: &[usize], target: usize, m: &Mat2) {
+    let n = state.n_qubits();
+    assert!(target < n, "qubit {target} out of range (n={n})");
+    let mut cmask = 0usize;
+    for &c in controls {
+        assert!(c < n, "control {c} out of range (n={n})");
+        assert_ne!(c, target, "control equals target");
+        cmask |= 1usize << c;
+    }
+    let bit = 1usize << target;
+    let half = state.len() / 2;
+    let m = *m;
+    let body = |amps: &mut [Complex], lo: usize, hi: usize| {
+        for i in lo..hi {
+            let (i0, i1) = pair_indices(i, bit);
+            if i0 & cmask == cmask {
+                let a0 = amps[i0];
+                let a1 = amps[i1];
+                amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+                amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    };
+    if state.len() >= PAR_THRESHOLD {
+        let nthreads = max_threads();
+        let chunk = half.div_ceil(nthreads);
+        let ptr = SendPtr(state.amplitudes_mut().as_mut_ptr());
+        let len = state.len();
+        crossbeam::scope(|s| {
+            for t in 0..nthreads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(half);
+                if lo >= hi {
+                    break;
+                }
+                s.spawn(move |_| {
+                    let p = ptr;
+                    // SAFETY: disjoint (i0, i1) pairs per thread chunk.
+                    let amps = unsafe { std::slice::from_raw_parts_mut(p.0, len) };
+                    body(amps, lo, hi);
+                });
+            }
+        })
+        .expect("apply_controlled_1q worker panicked");
+    } else {
+        body(state.amplitudes_mut(), 0, half);
+    }
+}
+
+/// Applies an arbitrary two-qubit unitary to qubits `(q1, q0)`, where `q0`
+/// indexes the low bit of the 4x4 matrix and `q1` the high bit.
+pub fn apply_2q(state: &mut State, q1: usize, q0: usize, m: &Mat4) {
+    let n = state.n_qubits();
+    assert!(q0 < n && q1 < n, "qubit out of range (n={n})");
+    assert_ne!(q0, q1, "two-qubit gate needs distinct qubits");
+    let b0 = 1usize << q0;
+    let b1 = 1usize << q1;
+    let quarter = state.len() / 4;
+    let (lo_bit, hi_bit) = if q0 < q1 { (b0, b1) } else { (b1, b0) };
+    let amps = state.amplitudes_mut();
+    for i in 0..quarter {
+        // Spread i over positions with both gate bits cleared.
+        let mut base = i & (lo_bit - 1);
+        let mid = (i & !(lo_bit - 1)) << 1;
+        base |= mid & (hi_bit - 1);
+        base |= (mid & !(hi_bit - 1)) << 1;
+        let idx = [base, base | b0, base | b1, base | b0 | b1];
+        let a = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
+        for (r, &out_i) in idx.iter().enumerate() {
+            let mut acc = crate::complex::C_ZERO;
+            for (c, &ac) in a.iter().enumerate() {
+                acc += m[r][c] * ac;
+            }
+            amps[out_i] = acc;
+        }
+    }
+}
+
+/// CNOT fast path: flips `target` where `control` is 1.
+pub fn apply_cnot(state: &mut State, control: usize, target: usize) {
+    let n = state.n_qubits();
+    assert!(control < n && target < n, "qubit out of range (n={n})");
+    assert_ne!(control, target, "CNOT needs distinct qubits");
+    let cb = 1usize << control;
+    let tb = 1usize << target;
+    let amps = state.amplitudes_mut();
+    for i in 0..amps.len() {
+        // For each index with control=1 and target=0, swap with target=1 partner.
+        if i & cb == cb && i & tb == 0 {
+            amps.swap(i, i | tb);
+        }
+    }
+}
+
+/// CZ fast path: phase −1 where both qubits are 1 (symmetric).
+pub fn apply_cz(state: &mut State, a: usize, b: usize) {
+    let n = state.n_qubits();
+    assert!(a < n && b < n, "qubit out of range (n={n})");
+    assert_ne!(a, b, "CZ needs distinct qubits");
+    let mask = (1usize << a) | (1usize << b);
+    let amps = state.amplitudes_mut();
+    for (i, amp) in amps.iter_mut().enumerate() {
+        if i & mask == mask {
+            *amp = -*amp;
+        }
+    }
+}
+
+/// SWAP fast path.
+pub fn apply_swap(state: &mut State, a: usize, b: usize) {
+    let n = state.n_qubits();
+    assert!(a < n && b < n, "qubit out of range (n={n})");
+    if a == b {
+        return;
+    }
+    let ab = 1usize << a;
+    let bb = 1usize << b;
+    let amps = state.amplitudes_mut();
+    for i in 0..amps.len() {
+        if i & ab == ab && i & bb == 0 {
+            amps.swap(i, (i & !ab) | bb);
+        }
+    }
+}
+
+/// Toffoli (CCX) fast path.
+pub fn apply_toffoli(state: &mut State, c1: usize, c2: usize, target: usize) {
+    apply_controlled_1q(state, &[c1, c2], target, &crate::gates::Gate::X.matrix());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{C_ONE, C_ZERO};
+    use crate::gates::{cnot_matrix, cz_matrix, swap_matrix, Gate};
+    use crate::state::State;
+
+    const TOL: f64 = 1e-10;
+
+    fn basis(n: usize, idx: usize) -> State {
+        let mut amps = vec![C_ZERO; 1 << n];
+        amps[idx] = C_ONE;
+        State::from_amplitudes(amps)
+    }
+
+    #[test]
+    fn x_flips_basis_state() {
+        let mut s = State::zero(1);
+        apply_1q(&mut s, 0, &Gate::X.matrix());
+        assert!((s.probability(1) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn h_creates_uniform_superposition() {
+        let mut s = State::zero(3);
+        for q in 0..3 {
+            apply_1q(&mut s, q, &Gate::H.matrix());
+        }
+        for i in 0..8 {
+            assert!((s.probability(i) - 0.125).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn hh_is_identity() {
+        let mut s = basis(2, 0b10);
+        apply_1q(&mut s, 1, &Gate::H.matrix());
+        apply_1q(&mut s, 1, &Gate::H.matrix());
+        assert!((s.probability(0b10) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn cnot_fast_path_matches_matrix() {
+        for init in 0..4 {
+            let mut s1 = basis(2, init);
+            let mut s2 = basis(2, init);
+            apply_cnot(&mut s1, 1, 0);
+            // cnot_matrix is ordered |c t> with t low, matching (q1=control, q0=target).
+            apply_2q(&mut s2, 1, 0, &cnot_matrix());
+            assert!((s1.fidelity(&s2) - 1.0).abs() < TOL, "init={init}");
+        }
+    }
+
+    #[test]
+    fn cnot_reversed_operands() {
+        // Control on low bit: |01> -> |11>.
+        let mut s = basis(2, 0b01);
+        apply_cnot(&mut s, 0, 1);
+        assert!((s.probability(0b11) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn cz_fast_path_matches_matrix() {
+        let mut s1 = State::zero(2);
+        let mut s2 = State::zero(2);
+        for q in 0..2 {
+            apply_1q(&mut s1, q, &Gate::H.matrix());
+            apply_1q(&mut s2, q, &Gate::H.matrix());
+        }
+        apply_cz(&mut s1, 0, 1);
+        apply_2q(&mut s2, 1, 0, &cz_matrix());
+        assert!((s1.fidelity(&s2) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn swap_fast_path_matches_matrix() {
+        let mut s1 = basis(2, 0b01);
+        let mut s2 = basis(2, 0b01);
+        apply_swap(&mut s1, 0, 1);
+        apply_2q(&mut s2, 1, 0, &swap_matrix());
+        assert!((s1.fidelity(&s2) - 1.0).abs() < TOL);
+        assert!((s1.probability(0b10) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn bell_pair_construction() {
+        let mut s = State::zero(2);
+        apply_1q(&mut s, 0, &Gate::H.matrix());
+        apply_cnot(&mut s, 0, 1);
+        assert!((s.probability(0b00) - 0.5).abs() < TOL);
+        assert!((s.probability(0b11) - 0.5).abs() < TOL);
+        assert!(s.probability(0b01) < TOL);
+        assert!(s.probability(0b10) < TOL);
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        for init in 0..8usize {
+            let mut s = basis(3, init);
+            apply_toffoli(&mut s, 2, 1, 0);
+            let expect = if init & 0b110 == 0b110 { init ^ 1 } else { init };
+            assert!((s.probability(expect) - 1.0).abs() < TOL, "init={init}");
+        }
+    }
+
+    #[test]
+    fn controlled_gate_with_zero_control_is_identity() {
+        let mut s = basis(2, 0b00);
+        apply_controlled_1q(&mut s, &[1], 0, &Gate::X.matrix());
+        assert!((s.probability(0b00) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn parallel_kernel_matches_serial() {
+        // 15 qubits => 32768 amplitudes >= PAR_THRESHOLD, exercising the
+        // multi-threaded path; compare against a small-state replica.
+        let n = 15;
+        let mut big = State::zero(n);
+        for q in 0..n {
+            apply_1q(&mut big, q, &Gate::H.matrix());
+        }
+        apply_1q(&mut big, 7, &Gate::Rz(0.3).matrix());
+        apply_controlled_1q(&mut big, &[3], 7, &Gate::Ry(1.1).matrix());
+        for q in 0..n {
+            apply_1q(&mut big, q, &Gate::H.matrix());
+        }
+        assert!((big.norm_sqr() - 1.0).abs() < 1e-9);
+        // Undo everything and verify we return to |0...0>.
+        for q in 0..n {
+            apply_1q(&mut big, q, &Gate::H.matrix());
+        }
+        apply_controlled_1q(&mut big, &[3], 7, &Gate::Ry(-1.1).matrix());
+        apply_1q(&mut big, 7, &Gate::Rz(-0.3).matrix());
+        for q in 0..n {
+            apply_1q(&mut big, q, &Gate::H.matrix());
+        }
+        assert!((big.probability(0) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn norm_preserved_under_random_circuit() {
+        let mut s = State::zero(6);
+        let gates = [
+            Gate::H,
+            Gate::Rx(0.4),
+            Gate::T,
+            Gate::Ry(2.2),
+            Gate::S,
+            Gate::Rz(-0.9),
+        ];
+        for (i, g) in gates.iter().enumerate() {
+            apply_1q(&mut s, i % 6, &g.matrix());
+            apply_cnot(&mut s, i % 6, (i + 1) % 6);
+        }
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_gate_only_affects_one_branch() {
+        let mut s = State::zero(1);
+        apply_1q(&mut s, 0, &Gate::H.matrix());
+        apply_1q(&mut s, 0, &Gate::Phase(std::f64::consts::PI).matrix());
+        apply_1q(&mut s, 0, &Gate::H.matrix());
+        // H Z H = X, so we should be in |1>.
+        assert!((s.probability(1) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn apply_2q_general_unitary_preserves_norm() {
+        // Use an arbitrary product of the fixed 4x4 unitaries.
+        let m = crate::gates::matmul4(&cnot_matrix(), &cz_matrix());
+        let mut s = State::zero(4);
+        for q in 0..4 {
+            apply_1q(&mut s, q, &Gate::H.matrix());
+        }
+        apply_2q(&mut s, 3, 1, &m);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fanout_parallel_controls_fig2() {
+        // Fig. 2: fanout of control qubit, controlled gates in parallel on
+        // distinct targets, then unfanout — equals two gates controlled on
+        // the original qubit.
+        let u1 = Gate::Ry(0.7);
+        let u2 = Gate::Rz(1.3);
+        // Reference: both controlled on qubit 0 directly. Targets 1, 2.
+        let mut reference = State::zero(4);
+        apply_1q(&mut reference, 0, &Gate::H.matrix());
+        apply_controlled_1q(&mut reference, &[0], 1, &u1.matrix());
+        apply_controlled_1q(&mut reference, &[0], 2, &u2.matrix());
+        // Fanout version: qubit 3 is the auxiliary copy.
+        let mut fan = State::zero(4);
+        apply_1q(&mut fan, 0, &Gate::H.matrix());
+        apply_cnot(&mut fan, 0, 3); // fanout
+        apply_controlled_1q(&mut fan, &[0], 1, &u1.matrix());
+        apply_controlled_1q(&mut fan, &[3], 2, &u2.matrix());
+        apply_cnot(&mut fan, 0, 3); // unfanout
+        assert!((reference.fidelity(&fan) - 1.0).abs() < TOL);
+    }
+}

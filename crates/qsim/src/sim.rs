@@ -1,0 +1,476 @@
+//! The `Simulator` facade: stable qubit handles over a dynamic state vector.
+//!
+//! This is the component the paper's prototype runs on rank 0 ("all ranks
+//! forward quantum operations to rank 0, which then applies the operation to
+//! the state vector"). Qubits are identified by stable [`QubitId`]s; the
+//! simulator maintains the id -> state-vector-position mapping across
+//! allocations and deallocations.
+
+use crate::apply;
+use crate::complex::Complex;
+use crate::gates::{Gate, Mat4};
+use crate::measure::{self, PauliTerm};
+use crate::state::State;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A stable handle to an allocated qubit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QubitId(pub u64);
+
+/// Errors reported by the simulator facade.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The qubit id is not currently allocated.
+    UnknownQubit(QubitId),
+    /// A multi-qubit operation was given duplicate qubits.
+    DuplicateQubit(QubitId),
+    /// `free` was called on a qubit still in superposition/entangled.
+    NotClassical(QubitId),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownQubit(q) => write!(f, "qubit {q:?} is not allocated"),
+            SimError::DuplicateQubit(q) => write!(f, "duplicate qubit {q:?} in operation"),
+            SimError::NotClassical(q) => {
+                write!(f, "qubit {q:?} is not in a classical state; measure it before freeing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Full state-vector simulator with dynamic qubit allocation.
+pub struct Simulator {
+    state: State,
+    /// id -> position (bit index) in the state vector.
+    positions: HashMap<QubitId, usize>,
+    /// position -> id, for shifting on removal.
+    by_position: Vec<QubitId>,
+    next_id: u64,
+    rng: StdRng,
+    gate_count: u64,
+    measurement_count: u64,
+}
+
+impl Simulator {
+    /// Creates an empty simulator with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            state: State::zero(0),
+            positions: HashMap::new(),
+            by_position: Vec::new(),
+            next_id: 0,
+            rng: StdRng::seed_from_u64(seed),
+            gate_count: 0,
+            measurement_count: 0,
+        }
+    }
+
+    /// Number of currently allocated qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.by_position.len()
+    }
+
+    /// Total gates applied so far.
+    pub fn gate_count(&self) -> u64 {
+        self.gate_count
+    }
+
+    /// Total measurements performed so far.
+    pub fn measurement_count(&self) -> u64 {
+        self.measurement_count
+    }
+
+    /// Allocates one fresh qubit in |0>.
+    pub fn alloc(&mut self) -> QubitId {
+        let id = QubitId(self.next_id);
+        self.next_id += 1;
+        let pos = self.state.add_qubit();
+        debug_assert_eq!(pos, self.by_position.len());
+        self.positions.insert(id, pos);
+        self.by_position.push(id);
+        id
+    }
+
+    /// Allocates `n` fresh qubits in |0>.
+    pub fn alloc_n(&mut self, n: usize) -> Vec<QubitId> {
+        (0..n).map(|_| self.alloc()).collect()
+    }
+
+    fn pos(&self, q: QubitId) -> Result<usize, SimError> {
+        self.positions.get(&q).copied().ok_or(SimError::UnknownQubit(q))
+    }
+
+    /// Frees a qubit that is already in a classical state (prob 0 or 1 of
+    /// being |1>, up to tolerance). Errors with [`SimError::NotClassical`]
+    /// otherwise — mirroring `QMPI_Free_qmem`'s contract.
+    pub fn free(&mut self, q: QubitId) -> Result<bool, SimError> {
+        let pos = self.pos(q)?;
+        let p1 = measure::prob_one(&self.state, pos);
+        let outcome = if p1 < 1e-9 {
+            false
+        } else if p1 > 1.0 - 1e-9 {
+            true
+        } else {
+            return Err(SimError::NotClassical(q));
+        };
+        self.remove_at(q, pos, outcome);
+        Ok(outcome)
+    }
+
+    /// Measures a qubit and frees it in one step.
+    pub fn measure_and_free(&mut self, q: QubitId) -> Result<bool, SimError> {
+        let outcome = self.measure(q)?;
+        let pos = self.pos(q)?;
+        self.remove_at(q, pos, outcome);
+        Ok(outcome)
+    }
+
+    fn remove_at(&mut self, q: QubitId, pos: usize, outcome: bool) {
+        self.state.remove_qubit(pos, outcome);
+        self.positions.remove(&q);
+        self.by_position.remove(pos);
+        for (shifted_pos, id) in self.by_position.iter().enumerate().skip(pos) {
+            self.positions.insert(*id, shifted_pos);
+        }
+    }
+
+    /// Applies a single-qubit gate.
+    pub fn apply(&mut self, gate: Gate, q: QubitId) -> Result<(), SimError> {
+        let pos = self.pos(q)?;
+        apply::apply_1q(&mut self.state, pos, &gate.matrix());
+        self.gate_count += 1;
+        Ok(())
+    }
+
+    /// Applies a controlled single-qubit gate (any number of controls).
+    pub fn apply_controlled(
+        &mut self,
+        controls: &[QubitId],
+        gate: Gate,
+        target: QubitId,
+    ) -> Result<(), SimError> {
+        let tpos = self.pos(target)?;
+        let mut cpos = Vec::with_capacity(controls.len());
+        for &c in controls {
+            if c == target {
+                return Err(SimError::DuplicateQubit(c));
+            }
+            cpos.push(self.pos(c)?);
+        }
+        apply::apply_controlled_1q(&mut self.state, &cpos, tpos, &gate.matrix());
+        self.gate_count += 1;
+        Ok(())
+    }
+
+    /// CNOT with `control`, `target`.
+    pub fn cnot(&mut self, control: QubitId, target: QubitId) -> Result<(), SimError> {
+        if control == target {
+            return Err(SimError::DuplicateQubit(control));
+        }
+        let c = self.pos(control)?;
+        let t = self.pos(target)?;
+        apply::apply_cnot(&mut self.state, c, t);
+        self.gate_count += 1;
+        Ok(())
+    }
+
+    /// Controlled-Z (symmetric).
+    pub fn cz(&mut self, a: QubitId, b: QubitId) -> Result<(), SimError> {
+        if a == b {
+            return Err(SimError::DuplicateQubit(a));
+        }
+        let pa = self.pos(a)?;
+        let pb = self.pos(b)?;
+        apply::apply_cz(&mut self.state, pa, pb);
+        self.gate_count += 1;
+        Ok(())
+    }
+
+    /// SWAP two qubits.
+    pub fn swap(&mut self, a: QubitId, b: QubitId) -> Result<(), SimError> {
+        if a == b {
+            return Ok(());
+        }
+        let pa = self.pos(a)?;
+        let pb = self.pos(b)?;
+        apply::apply_swap(&mut self.state, pa, pb);
+        self.gate_count += 1;
+        Ok(())
+    }
+
+    /// Toffoli (doubly-controlled NOT), the gate whose count dominates the
+    /// fault-tolerant applications cited in Section 3.
+    pub fn toffoli(&mut self, c1: QubitId, c2: QubitId, target: QubitId) -> Result<(), SimError> {
+        self.apply_controlled(&[c1, c2], Gate::X, target)
+    }
+
+    /// Applies an arbitrary two-qubit unitary to `(high, low)`.
+    pub fn apply_2q(&mut self, high: QubitId, low: QubitId, m: &Mat4) -> Result<(), SimError> {
+        if high == low {
+            return Err(SimError::DuplicateQubit(high));
+        }
+        let hp = self.pos(high)?;
+        let lp = self.pos(low)?;
+        apply::apply_2q(&mut self.state, hp, lp, m);
+        self.gate_count += 1;
+        Ok(())
+    }
+
+    /// Probability of measuring 1 on `q` (non-destructive).
+    pub fn prob_one(&self, q: QubitId) -> Result<f64, SimError> {
+        Ok(measure::prob_one(&self.state, self.pos(q)?))
+    }
+
+    /// Projective measurement with collapse.
+    pub fn measure(&mut self, q: QubitId) -> Result<bool, SimError> {
+        let pos = self.pos(q)?;
+        self.measurement_count += 1;
+        Ok(measure::measure(&mut self.state, pos, &mut self.rng))
+    }
+
+    /// Non-destructive joint Z-parity measurement over `qubits`.
+    pub fn measure_z_parity(&mut self, qubits: &[QubitId]) -> Result<bool, SimError> {
+        let mut pos = Vec::with_capacity(qubits.len());
+        for &q in qubits {
+            pos.push(self.pos(q)?);
+        }
+        self.measurement_count += 1;
+        Ok(measure::measure_z_parity(&mut self.state, &pos, &mut self.rng))
+    }
+
+    /// Expectation value of a Pauli string given as `(qubit, pauli)` pairs.
+    pub fn expectation(&self, terms: &[(QubitId, crate::gates::Pauli)]) -> Result<f64, SimError> {
+        let mut mapped = Vec::with_capacity(terms.len());
+        for &(q, op) in terms {
+            mapped.push(PauliTerm { qubit: self.pos(q)?, op });
+        }
+        Ok(measure::expectation_pauli(&self.state, &mapped))
+    }
+
+    /// Snapshot of the state vector with qubits ordered as given in `order`
+    /// (order[0] is the least-significant bit). `order` must contain every
+    /// live qubit exactly once.
+    pub fn state_vector(&self, order: &[QubitId]) -> Result<State, SimError> {
+        if order.len() != self.by_position.len() {
+            // Find a representative offending qubit for the error.
+            for &q in order {
+                self.pos(q)?;
+            }
+            return Err(SimError::UnknownQubit(QubitId(u64::MAX)));
+        }
+        let mut perm = Vec::with_capacity(order.len());
+        for &q in order {
+            perm.push(self.pos(q)?);
+        }
+        Ok(self.state.permuted(&perm))
+    }
+
+    /// Raw internal state (position ordering); mostly for diagnostics.
+    pub fn raw_state(&self) -> &State {
+        &self.state
+    }
+
+    /// The amplitude of the basis state where the qubits listed in `ones` are
+    /// 1 and all other live qubits are 0.
+    pub fn amplitude_of(&self, ones: &[QubitId]) -> Result<Complex, SimError> {
+        let mut idx = 0usize;
+        for &q in ones {
+            idx |= 1usize << self.pos(q)?;
+        }
+        Ok(self.state.amplitude(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::{Gate, Pauli};
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut sim = Simulator::new(1);
+        let q = sim.alloc();
+        assert_eq!(sim.n_qubits(), 1);
+        assert_eq!(sim.free(q), Ok(false));
+        assert_eq!(sim.n_qubits(), 0);
+    }
+
+    #[test]
+    fn free_after_x_returns_one() {
+        let mut sim = Simulator::new(1);
+        let q = sim.alloc();
+        sim.apply(Gate::X, q).unwrap();
+        assert_eq!(sim.free(q), Ok(true));
+    }
+
+    #[test]
+    fn free_superposed_qubit_errors() {
+        let mut sim = Simulator::new(1);
+        let q = sim.alloc();
+        sim.apply(Gate::H, q).unwrap();
+        assert_eq!(sim.free(q), Err(SimError::NotClassical(q)));
+        // measure_and_free works regardless.
+        assert!(sim.measure_and_free(q).is_ok());
+        assert_eq!(sim.n_qubits(), 0);
+    }
+
+    #[test]
+    fn unknown_qubit_rejected() {
+        let mut sim = Simulator::new(1);
+        let q = sim.alloc();
+        sim.free(q).unwrap();
+        assert_eq!(sim.apply(Gate::X, q), Err(SimError::UnknownQubit(q)));
+        assert_eq!(sim.measure(q), Err(SimError::UnknownQubit(q)));
+    }
+
+    #[test]
+    fn handles_stable_across_interleaved_free() {
+        let mut sim = Simulator::new(1);
+        let a = sim.alloc();
+        let b = sim.alloc();
+        let c = sim.alloc();
+        sim.apply(Gate::X, c).unwrap();
+        sim.free(b).unwrap(); // removing the middle qubit shifts positions
+        // c must still read as |1>.
+        assert!((sim.prob_one(c).unwrap() - 1.0).abs() < TOL);
+        assert!(sim.prob_one(a).unwrap() < TOL);
+        assert_eq!(sim.free(c), Ok(true));
+        assert_eq!(sim.free(a), Ok(false));
+    }
+
+    #[test]
+    fn epr_pair_correlations() {
+        let mut sim = Simulator::new(7);
+        let a = sim.alloc();
+        let b = sim.alloc();
+        sim.apply(Gate::H, a).unwrap();
+        sim.cnot(a, b).unwrap();
+        let ma = sim.measure(a).unwrap();
+        let mb = sim.measure(b).unwrap();
+        assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn teleportation_within_simulator() {
+        // Full teleportation circuit (Fig. 3c) inside one simulator: state of
+        // `src` (arbitrary) moves to `dst` exactly.
+        let mut sim = Simulator::new(3);
+        let src = sim.alloc();
+        sim.apply(Gate::Ry(0.73), src).unwrap();
+        sim.apply(Gate::Rz(-1.2), src).unwrap();
+        let reference = {
+            let mut s = Simulator::new(0);
+            let q = s.alloc();
+            s.apply(Gate::Ry(0.73), q).unwrap();
+            s.apply(Gate::Rz(-1.2), q).unwrap();
+            s.state_vector(&[q]).unwrap()
+        };
+        // EPR pair between "nodes".
+        let e1 = sim.alloc();
+        let e2 = sim.alloc();
+        sim.apply(Gate::H, e1).unwrap();
+        sim.cnot(e1, e2).unwrap();
+        // Fanout: parity of (src, e1).
+        sim.cnot(src, e1).unwrap();
+        let m_f = sim.measure_and_free(e1).unwrap();
+        if m_f {
+            sim.apply(Gate::X, e2).unwrap();
+        }
+        // Unfanout: X-basis measurement of src.
+        sim.apply(Gate::H, src).unwrap();
+        let m_u = sim.measure_and_free(src).unwrap();
+        if m_u {
+            sim.apply(Gate::Z, e2).unwrap();
+        }
+        let out = sim.state_vector(&[e2]).unwrap();
+        assert!((out.fidelity(&reference) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn cnot_reset_fig1b() {
+        // Fig. 1(b): when CNOT would reset the target to |0>, replace it by
+        // H + measure + conditional Z on the control side.
+        // Build alpha|0>|0> + beta|1>|1> (target is a fanned-out copy).
+        for (a, b) in [(0.6f64, 0.8f64), (0.28, 0.96)] {
+            let mut sim = Simulator::new(11);
+            let ctrl = sim.alloc();
+            let copy = sim.alloc();
+            sim.apply(Gate::Ry(2.0 * (b).atan2(a)), ctrl).unwrap();
+            sim.cnot(ctrl, copy).unwrap();
+            // Reference: undo with an actual CNOT.
+            let mut reference = Simulator::new(11);
+            let rc = reference.alloc();
+            let rcopy = reference.alloc();
+            reference.apply(Gate::Ry(2.0 * (b).atan2(a)), rc).unwrap();
+            reference.cnot(rc, rcopy).unwrap();
+            reference.cnot(rc, rcopy).unwrap();
+            reference.free(rcopy).unwrap();
+            let ref_state = reference.state_vector(&[rc]).unwrap();
+            // Deferred-measurement version.
+            sim.apply(Gate::H, copy).unwrap();
+            let m = sim.measure_and_free(copy).unwrap();
+            if m {
+                sim.apply(Gate::Z, ctrl).unwrap();
+            }
+            let out = sim.state_vector(&[ctrl]).unwrap();
+            assert!((out.fidelity(&ref_state) - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn expectation_through_handles() {
+        let mut sim = Simulator::new(5);
+        let a = sim.alloc();
+        let b = sim.alloc();
+        sim.apply(Gate::H, a).unwrap();
+        sim.cnot(a, b).unwrap();
+        let zz = sim.expectation(&[(a, Pauli::Z), (b, Pauli::Z)]).unwrap();
+        assert!((zz - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn state_vector_ordering() {
+        let mut sim = Simulator::new(5);
+        let a = sim.alloc();
+        let b = sim.alloc();
+        sim.apply(Gate::X, b).unwrap();
+        // Order [a, b]: expect |10> (b is high bit).
+        let s = sim.state_vector(&[a, b]).unwrap();
+        assert!((s.probability(0b10) - 1.0).abs() < TOL);
+        // Order [b, a]: expect |01>.
+        let s = sim.state_vector(&[b, a]).unwrap();
+        assert!((s.probability(0b01) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn gate_and_measurement_counters() {
+        let mut sim = Simulator::new(5);
+        let q = sim.alloc();
+        sim.apply(Gate::H, q).unwrap();
+        sim.apply(Gate::H, q).unwrap();
+        sim.measure(q).unwrap();
+        assert_eq!(sim.gate_count(), 2);
+        assert_eq!(sim.measurement_count(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(seed);
+            let qs = sim.alloc_n(4);
+            for &q in &qs {
+                sim.apply(Gate::H, q).unwrap();
+            }
+            qs.iter().map(|&q| sim.measure(q).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(123), run(123));
+    }
+}

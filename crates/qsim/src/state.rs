@@ -1,0 +1,301 @@
+//! Dense state-vector representation.
+//!
+//! A register of `n` qubits is stored as `2^n` complex amplitudes; qubit `k`
+//! corresponds to bit `k` of the basis-state index (qubit 0 is the least
+//! significant bit). Qubits can be appended (tensor with |0>) and removed
+//! (after collapse), which is what the dynamic `QMPI_Alloc_qmem` /
+//! `QMPI_Free_qmem` interface of the paper's prototype requires.
+
+use crate::complex::{Complex, C_ONE, C_ZERO};
+
+/// Numerical tolerance used for normalization and classicality checks.
+pub const NORM_TOL: f64 = 1e-9;
+
+/// A pure quantum state over `n` qubits as a dense amplitude vector.
+#[derive(Clone, Debug)]
+pub struct State {
+    amps: Vec<Complex>,
+    n_qubits: usize,
+}
+
+impl State {
+    /// Creates the all-zeros state |0...0> over `n_qubits` qubits.
+    ///
+    /// `n_qubits == 0` yields the scalar state (a single amplitude of 1),
+    /// which is the correct identity for tensoring.
+    pub fn zero(n_qubits: usize) -> Self {
+        assert!(n_qubits < 30, "state vector of {n_qubits} qubits would not fit in memory");
+        let mut amps = vec![C_ZERO; 1usize << n_qubits];
+        amps[0] = C_ONE;
+        State { amps, n_qubits }
+    }
+
+    /// Builds a state from raw amplitudes. The length must be a power of two
+    /// and the vector must be normalized to within [`NORM_TOL`].
+    pub fn from_amplitudes(amps: Vec<Complex>) -> Self {
+        assert!(amps.len().is_power_of_two(), "amplitude count must be a power of two");
+        let n_qubits = amps.len().trailing_zeros() as usize;
+        let state = State { amps, n_qubits };
+        assert!(
+            (state.norm_sqr() - 1.0).abs() < NORM_TOL,
+            "state not normalized: |psi|^2 = {}",
+            state.norm_sqr()
+        );
+        state
+    }
+
+    /// Number of qubits in the register.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of amplitudes (`2^n`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// True for the 0-qubit scalar state.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_qubits == 0
+    }
+
+    /// Read-only view of the amplitudes.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Mutable view of the amplitudes (used by the apply kernels).
+    #[inline]
+    pub(crate) fn amplitudes_mut(&mut self) -> &mut [Complex] {
+        &mut self.amps
+    }
+
+    /// The amplitude of computational basis state `index`.
+    #[inline]
+    pub fn amplitude(&self, index: usize) -> Complex {
+        self.amps[index]
+    }
+
+    /// Total squared norm (should always be ~1).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Rescales so that the squared norm is exactly 1.
+    pub fn renormalize(&mut self) {
+        let n = self.norm_sqr().sqrt();
+        assert!(n > 0.0, "cannot renormalize the zero vector");
+        let inv = 1.0 / n;
+        for a in &mut self.amps {
+            *a = a.scale(inv);
+        }
+    }
+
+    /// Appends a fresh qubit in |0> as the new most-significant qubit and
+    /// returns its index (`old n_qubits`). Existing qubit indices are stable.
+    pub fn add_qubit(&mut self) -> usize {
+        assert!(self.n_qubits < 29, "qubit budget exhausted");
+        let idx = self.n_qubits;
+        self.amps.resize(self.amps.len() * 2, C_ZERO);
+        self.n_qubits += 1;
+        idx
+    }
+
+    /// Removes qubit `target`, which must already be collapsed to the
+    /// classical value `outcome` (all amplitude mass on that branch).
+    /// Qubits above `target` shift down by one index.
+    pub fn remove_qubit(&mut self, target: usize, outcome: bool) {
+        assert!(target < self.n_qubits, "qubit {target} out of range");
+        let bit = 1usize << target;
+        let low_mask = bit - 1;
+        let keep = if outcome { bit } else { 0 };
+        let mut out = vec![C_ZERO; self.amps.len() / 2];
+        let mut dropped = 0.0f64;
+        for (i, &a) in self.amps.iter().enumerate() {
+            if i & bit == keep {
+                let j = (i & low_mask) | ((i >> 1) & !low_mask);
+                out[j] = a;
+            } else {
+                dropped += a.norm_sqr();
+            }
+        }
+        assert!(
+            dropped < NORM_TOL,
+            "removing qubit {target} with outcome {outcome} would discard {dropped:.3e} probability; collapse it first"
+        );
+        self.amps = out;
+        self.n_qubits -= 1;
+        self.renormalize();
+    }
+
+    /// Tensor product `self ⊗ other`: `other`'s qubits become the new
+    /// high-order qubits `self.n_qubits ..`.
+    pub fn tensor(&self, other: &State) -> State {
+        let mut amps = vec![C_ZERO; self.amps.len() * other.amps.len()];
+        for (j, &b) in other.amps.iter().enumerate() {
+            if b.is_negligible(1e-300) {
+                continue;
+            }
+            let base = j << self.n_qubits;
+            for (i, &a) in self.amps.iter().enumerate() {
+                amps[base | i] = a * b;
+            }
+        }
+        State { amps, n_qubits: self.n_qubits + other.n_qubits }
+    }
+
+    /// Inner product `<self|other>`.
+    pub fn inner_product(&self, other: &State) -> Complex {
+        assert_eq!(self.n_qubits, other.n_qubits, "dimension mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .fold(C_ZERO, |acc, (a, b)| acc + a.conj() * *b)
+    }
+
+    /// Fidelity `|<self|other>|^2` between two pure states.
+    pub fn fidelity(&self, other: &State) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Returns a copy of this state with qubits re-ordered so that old qubit
+    /// `perm[k]` becomes new qubit `k`. `perm` must be a permutation of
+    /// `0..n_qubits`.
+    pub fn permuted(&self, perm: &[usize]) -> State {
+        assert_eq!(perm.len(), self.n_qubits, "permutation length mismatch");
+        let mut seen = vec![false; self.n_qubits];
+        for &p in perm {
+            assert!(p < self.n_qubits && !seen[p], "invalid permutation");
+            seen[p] = true;
+        }
+        let mut amps = vec![C_ZERO; self.amps.len()];
+        for (i, &a) in self.amps.iter().enumerate() {
+            let mut j = 0usize;
+            for (new_bit, &old_bit) in perm.iter().enumerate() {
+                j |= ((i >> old_bit) & 1) << new_bit;
+            }
+            amps[j] = a;
+        }
+        State { amps, n_qubits: self.n_qubits }
+    }
+
+    /// Probability that measuring all qubits yields the basis state `index`.
+    #[inline]
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Checks approximate equality up to a global phase.
+    pub fn approx_eq_up_to_phase(&self, other: &State, tol: f64) -> bool {
+        if self.n_qubits != other.n_qubits {
+            return false;
+        }
+        (self.fidelity(other) - 1.0).abs() < tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+
+    #[test]
+    fn zero_state_has_unit_amp_at_origin() {
+        let s = State::zero(3);
+        assert_eq!(s.len(), 8);
+        assert!((s.probability(0) - 1.0).abs() < 1e-12);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_qubit_preserves_amplitudes() {
+        let mut s = State::from_amplitudes(vec![
+            Complex::real(FRAC),
+            Complex::real(FRAC),
+            Complex::real(FRAC),
+            Complex::real(FRAC),
+        ]);
+        let idx = s.add_qubit();
+        assert_eq!(idx, 2);
+        assert_eq!(s.n_qubits(), 3);
+        for i in 0..4 {
+            assert!((s.probability(i) - 0.25).abs() < 1e-12);
+        }
+        for i in 4..8 {
+            assert!(s.probability(i) < 1e-15);
+        }
+    }
+
+    const FRAC: f64 = 0.5;
+
+    #[test]
+    fn remove_qubit_shifts_higher_indices() {
+        // |psi> = (|000> + |101>)/sqrt(2) over qubits (q2 q1 q0); collapse q1=0, remove it.
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        let mut amps = vec![crate::complex::C_ZERO; 8];
+        amps[0b000] = Complex::real(h);
+        amps[0b101] = Complex::real(h);
+        let mut s = State::from_amplitudes(amps);
+        s.remove_qubit(1, false);
+        assert_eq!(s.n_qubits(), 2);
+        // Expect (|00> + |11>)/sqrt(2) over (q2->q1, q0).
+        assert!((s.probability(0b00) - 0.5).abs() < 1e-12);
+        assert!((s.probability(0b11) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "discard")]
+    fn remove_uncollapsed_qubit_panics() {
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        let amps = vec![Complex::real(h), Complex::real(h)];
+        let mut s = State::from_amplitudes(amps);
+        s.remove_qubit(0, false);
+    }
+
+    #[test]
+    fn tensor_of_plus_states() {
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        let plus = State::from_amplitudes(vec![Complex::real(h), Complex::real(h)]);
+        let two = plus.tensor(&plus);
+        assert_eq!(two.n_qubits(), 2);
+        for i in 0..4 {
+            assert!((two.probability(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inner_product_orthogonal_states() {
+        let zero = State::zero(1);
+        let one = State::from_amplitudes(vec![crate::complex::C_ZERO, crate::complex::C_ONE]);
+        assert!(zero.inner_product(&one).norm_sqr() < 1e-15);
+        assert!((zero.fidelity(&zero) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_swaps_qubits() {
+        // |01> (q1=0, q0=1) permuted by [1,0] becomes |10>.
+        let mut amps = vec![crate::complex::C_ZERO; 4];
+        amps[0b01] = crate::complex::C_ONE;
+        let s = State::from_amplitudes(amps);
+        let p = s.permuted(&[1, 0]);
+        assert!((p.probability(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_identity_is_noop() {
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        let amps = vec![
+            Complex::real(h),
+            crate::complex::C_ZERO,
+            crate::complex::C_ZERO,
+            Complex::real(h),
+        ];
+        let s = State::from_amplitudes(amps);
+        let p = s.permuted(&[0, 1]);
+        assert!((s.fidelity(&p) - 1.0).abs() < 1e-12);
+    }
+}

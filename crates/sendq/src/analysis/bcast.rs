@@ -1,0 +1,175 @@
+//! Section 7.1 — optimizing `QMPI_Bcast` in the SENDQ model.
+//!
+//! Two implementations are compared:
+//!
+//! * **Binomial tree** of `QMPI_Send`/`Recv`: `S = 1` suffices and the
+//!   runtime is `E ⌈log₂ N⌉`.
+//! * **Cat state** (Fig. 4): EPR pairs along a chain spanning tree (two
+//!   parallel rounds), local parity measurements, classical exscan fixup —
+//!   quantum runtime `2E + D_M + D_F`, requires `S ≥ 2` on interior nodes.
+
+use crate::event_sim::{EventSim, Schedule, TaskId};
+use crate::model::{ceil_log2, SendqParams};
+
+/// Closed form: tree broadcast runtime `E ⌈log₂ N⌉` (Section 7.1).
+pub fn tree_bcast_time(p: &SendqParams) -> f64 {
+    p.e * f64::from(ceil_log2(p.n))
+}
+
+/// Closed form: cat-state broadcast runtime `2E + D_M + D_F` (Section 7.1).
+/// For `N = 2` a single EPR round suffices.
+pub fn cat_bcast_time(p: &SendqParams) -> f64 {
+    let rounds = if p.n > 2 { 2.0 } else { 1.0 };
+    rounds * p.e + p.d_m + p.d_f
+}
+
+/// Node count above which the cat-state implementation wins.
+pub fn crossover_n(p: &SendqParams) -> usize {
+    for n in 2..=1 << 20 {
+        let q = p.with_nodes(n);
+        if cat_bcast_time(&q) < tree_bcast_time(&q) {
+            return n;
+        }
+    }
+    usize::MAX
+}
+
+/// Builds the binomial-tree broadcast schedule (root 0) in the event
+/// simulator and returns it.
+pub fn tree_bcast_schedule(p: &SendqParams) -> Schedule {
+    let n = p.n;
+    let mut sim = EventSim::new(n.max(1));
+    // received[v] = the task after which node v holds the message.
+    let mut received: Vec<Option<TaskId>> = vec![None; n];
+    let mut step = 1usize;
+    while step < n {
+        for v in 0..step.min(n) {
+            let dst = v + step;
+            if dst < n {
+                let deps: Vec<TaskId> = received[v].into_iter().collect();
+                let e = sim.epr(v, dst, p.e, &deps);
+                // The sender's half is measured immediately; the receiver's
+                // half becomes the data qubit. Copy fixup is classical.
+                let cs = sim.local_consuming(v, 0.0, 1, &[e]);
+                let cr = sim.local_consuming(dst, 0.0, 1, &[e]);
+                let c = sim.classical(&[cs, cr]);
+                received[dst] = Some(c);
+            }
+        }
+        step *= 2;
+    }
+    sim.run()
+}
+
+/// Builds the cat-state broadcast schedule (Fig. 4): chain EPR pairs (two
+/// alternating rounds fall out of the per-node engine constraint), local
+/// parity measurements, classical exscan, X fixups.
+pub fn cat_bcast_schedule(p: &SendqParams) -> Schedule {
+    let n = p.n;
+    let mut sim = EventSim::new(n.max(1));
+    if n < 2 {
+        return sim.run();
+    }
+    // Chain EPR pairs; even edges first so the greedy scheduler packs them
+    // into round one, odd edges into round two.
+    let mut edge_tasks = Vec::with_capacity(n - 1);
+    for k in (0..n - 1).step_by(2) {
+        edge_tasks.push((k, sim.epr(k, k + 1, p.e, &[])));
+    }
+    for k in (1..n - 1).step_by(2) {
+        edge_tasks.push((k, sim.epr(k, k + 1, p.e, &[])));
+    }
+    edge_tasks.sort_by_key(|&(k, _)| k);
+    // Interior nodes merge with a parity measurement that consumes both
+    // halves; ends keep theirs.
+    let mut parities = Vec::new();
+    for v in 1..n - 1 {
+        let left = edge_tasks[v - 1].1;
+        let right = edge_tasks[v].1;
+        parities.push(sim.local_consuming(v, p.d_m, 2, &[left, right]));
+    }
+    // Root parity measurement folding the data qubit in.
+    let root_deps = [edge_tasks[0].1];
+    let root_parity = sim.local_consuming(0, p.d_m, 1, &root_deps);
+    parities.push(root_parity);
+    // Classical exscan of outcomes, then X fixups everywhere.
+    let barrier = sim.classical(&parities);
+    for v in 1..n {
+        sim.local(v, p.d_f, &[barrier]);
+    }
+    sim.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: usize) -> SendqParams {
+        SendqParams { s: 2, e: 100.0, n, q: 32, d_r: 1000.0, d_m: 10.0, d_f: 10.0 }
+    }
+
+    #[test]
+    fn tree_closed_form_matches_event_sim() {
+        for n in [2usize, 3, 4, 7, 8, 16, 33] {
+            let p = params(n);
+            let sched = tree_bcast_schedule(&p);
+            assert!(
+                (sched.makespan - tree_bcast_time(&p)).abs() < 1e-9,
+                "n={n}: sim {} vs closed {}",
+                sched.makespan,
+                tree_bcast_time(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn tree_needs_only_s1() {
+        for n in [2usize, 8, 16] {
+            let sched = tree_bcast_schedule(&params(n));
+            assert!(sched.max_buffer_peak() <= 1, "n={n}: tree bcast must run with S=1");
+        }
+    }
+
+    #[test]
+    fn cat_closed_form_matches_event_sim() {
+        for n in [2usize, 3, 4, 8, 16, 64] {
+            let p = params(n);
+            let sched = cat_bcast_schedule(&p);
+            assert!(
+                (sched.makespan - cat_bcast_time(&p)).abs() < 1e-9,
+                "n={n}: sim {} vs closed {}",
+                sched.makespan,
+                cat_bcast_time(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn cat_needs_s2_on_interior_nodes() {
+        let sched = cat_bcast_schedule(&params(8));
+        assert_eq!(sched.max_buffer_peak(), 2, "interior chain nodes hold two halves");
+    }
+
+    #[test]
+    fn cat_quantum_time_is_constant_in_n() {
+        let t8 = cat_bcast_schedule(&params(8)).makespan;
+        let t64 = cat_bcast_schedule(&params(64)).makespan;
+        assert!((t8 - t64).abs() < 1e-9, "constant quantum depth");
+    }
+
+    #[test]
+    fn tree_time_grows_logarithmically() {
+        let p8 = params(8);
+        let p64 = params(64);
+        assert!((tree_bcast_time(&p8) - 3.0 * p8.e).abs() < 1e-12);
+        assert!((tree_bcast_time(&p64) - 6.0 * p64.e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossover_is_where_log_exceeds_constant() {
+        // With D_M = D_F = 10 and E = 100: cat = 220, tree = 100*ceil(log2 N);
+        // tree < cat for N <= 4, cat wins from N = 5 (tree 300 > 220).
+        let p = params(2);
+        assert_eq!(crossover_n(&p), 5);
+    }
+}

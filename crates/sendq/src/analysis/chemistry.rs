@@ -1,0 +1,278 @@
+//! Section 7.3 — SENDQ analysis of the three circuit methods for
+//! `exp(-i t Z_{i1} ... Z_{ik})` (Fig. 6), assuming each involved qubit
+//! lives on a different node and rotations dominate local cost:
+//!
+//! | method          | EPR pairs | delay                  | needs |
+//! |-----------------|-----------|------------------------|-------|
+//! | (a) in-place    | 2(k−1)    | `2E⌈log₂k⌉ + D_R`      | S=1   |
+//! | (b) out-of-place| k         | `Ek + D_R`             | S=1   |
+//! | (c) const-depth | k         | `2E + D_R`             | S≥2   |
+
+use crate::event_sim::{EventSim, Schedule, TaskId};
+use crate::model::{ceil_log2, SendqParams};
+
+/// The three implementations of Fig. 6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParityMethod {
+    /// Fig. 6(a): binary tree of distributed CNOTs, parity in place.
+    InPlace,
+    /// Fig. 6(b): serial distributed CNOTs into an auxiliary qubit;
+    /// uncomputation is classical-only.
+    OutOfPlace,
+    /// Fig. 6(c): constant-depth via cat state / fanned-out control.
+    ConstantDepth,
+}
+
+/// EPR pairs used by a method on a `k`-qubit term, all qubits on distinct
+/// nodes (Section 7.3's accounting).
+pub fn epr_pairs(method: ParityMethod, k: usize) -> usize {
+    if k <= 1 {
+        return 0;
+    }
+    match method {
+        ParityMethod::InPlace => 2 * (k - 1),
+        ParityMethod::OutOfPlace => k,
+        ParityMethod::ConstantDepth => k,
+    }
+}
+
+/// Delay of a method on a `k`-qubit term (Section 7.3 closed forms).
+/// For `k = 2` the cat-state chain has a single edge, so only one EPR
+/// round is needed (the paper's `2E` covers the general case).
+pub fn delay(method: ParityMethod, k: usize, p: &SendqParams) -> f64 {
+    if k <= 1 {
+        return p.d_r;
+    }
+    match method {
+        ParityMethod::InPlace => 2.0 * p.e * f64::from(ceil_log2(k)) + p.d_r,
+        ParityMethod::OutOfPlace => p.e * k as f64 + p.d_r,
+        ParityMethod::ConstantDepth => {
+            let rounds = if k > 2 { 2.0 } else { 1.0 };
+            rounds * p.e + p.d_r
+        }
+    }
+}
+
+/// Minimum `S` a method needs (Section 7.3: constant depth requires S>=2).
+pub fn min_s(method: ParityMethod) -> u32 {
+    match method {
+        ParityMethod::InPlace | ParityMethod::OutOfPlace => 1,
+        ParityMethod::ConstantDepth => 2,
+    }
+}
+
+/// Builds the event-sim schedule for a method on `k` distinct nodes and
+/// returns it (used to validate the closed forms).
+pub fn schedule(method: ParityMethod, k: usize, p: &SendqParams) -> Schedule {
+    match method {
+        ParityMethod::InPlace => in_place_schedule(k, p),
+        ParityMethod::OutOfPlace => out_of_place_schedule(k, p),
+        ParityMethod::ConstantDepth => constant_depth_schedule(k, p),
+    }
+}
+
+/// Fig. 6(a): fan-in tree of distributed CNOTs (each = 1 EPR + classical),
+/// rotation at the root, mirrored fan-out to uncompute.
+fn in_place_schedule(k: usize, p: &SendqParams) -> Schedule {
+    let mut sim = EventSim::new(k.max(1));
+    if k <= 1 {
+        sim.local(0, p.d_r, &[]);
+        return sim.run();
+    }
+    // Fan-in: at level l (stride s = 2^l), node i receives parity from
+    // node i + s for i % 2s == 0. A distributed CNOT between a and b is one
+    // EPR pair plus classical fixups (zero time).
+    let mut ready: Vec<Option<TaskId>> = vec![None; k];
+    let mut levels: Vec<Vec<(usize, usize)>> = Vec::new();
+    let mut s = 1usize;
+    while s < k {
+        let mut level = Vec::new();
+        let mut i = 0;
+        while i + s < k {
+            level.push((i, i + s));
+            i += 2 * s;
+        }
+        levels.push(level);
+        s *= 2;
+    }
+    for level in &levels {
+        for &(a, b) in level {
+            let deps: Vec<TaskId> =
+                ready[a].into_iter().chain(ready[b]).collect();
+            let e = sim.epr(a, b, p.e, &deps);
+            // Both halves consumed immediately by the distributed CNOT.
+            let c = sim.local_consuming(a, 0.0, 1, &[e]);
+            let c2 = sim.local_consuming(b, 0.0, 1, &[e]);
+            let j = sim.classical(&[c, c2]);
+            ready[a] = Some(j);
+            ready[b] = Some(j);
+        }
+    }
+    // Rotation on the tree root (node 0).
+    let rot_deps: Vec<TaskId> = ready[0].into_iter().collect();
+    let rot = sim.local(0, p.d_r, &rot_deps);
+    // Mirrored fan-out (uncompute): same tree in reverse, each again 1 EPR.
+    let mut ready: Vec<Option<TaskId>> = vec![Some(rot); k];
+    for level in levels.iter().rev() {
+        for &(a, b) in level {
+            let deps: Vec<TaskId> = ready[a].into_iter().chain(ready[b]).collect();
+            let e = sim.epr(a, b, p.e, &deps);
+            let c = sim.local_consuming(a, 0.0, 1, &[e]);
+            let c2 = sim.local_consuming(b, 0.0, 1, &[e]);
+            let j = sim.classical(&[c, c2]);
+            ready[a] = Some(j);
+            ready[b] = Some(j);
+        }
+    }
+    sim.run()
+}
+
+/// Fig. 6(b): k serial distributed CNOTs into the aux node (node 0 hosts
+/// the auxiliary qubit alongside q0), rotation, classical-only uncompute.
+fn out_of_place_schedule(k: usize, p: &SendqParams) -> Schedule {
+    let mut sim = EventSim::new(k.max(1));
+    if k <= 1 {
+        sim.local(0, p.d_r, &[]);
+        return sim.run();
+    }
+    // The aux node's EPR engine serializes the k distributed CNOTs. The
+    // paper counts k EPR pairs (one per involved qubit, aux co-located
+    // with none of them conceptually; we host aux on an extra engine-view
+    // of node 0 but still pay k pairs by including q0's).
+    let mut last: Option<TaskId> = None;
+    for src in 0..k {
+        let partner = if src == 0 { 1 } else { src };
+        let deps: Vec<TaskId> = last.into_iter().collect();
+        // EPR between the aux node (0) and the source node. For src == 0 the
+        // paper still counts a pair since aux is modeled on its own node;
+        // we approximate with the engine of node 0 plus the src engine.
+        let e = sim.epr(0, partner.max(1), p.e, &deps);
+        let c = sim.local_consuming(0, 0.0, 1, &[e]);
+        last = Some(c);
+    }
+    let rot = sim.local(0, p.d_r, &last.into_iter().collect::<Vec<_>>());
+    // Uncompute: X-basis measurement + classical Z fixups — zero quantum time.
+    sim.classical(&[rot]);
+    sim.run()
+}
+
+/// Fig. 6(c): cat state across the k nodes (chain, 2 rounds), local CNOTs /
+/// parity measurements, rotation, classical-only uncompute.
+fn constant_depth_schedule(k: usize, p: &SendqParams) -> Schedule {
+    let mut sim = EventSim::new(k.max(1));
+    if k <= 1 {
+        sim.local(0, p.d_r, &[]);
+        return sim.run();
+    }
+    let mut edges = Vec::new();
+    for i in (0..k - 1).step_by(2) {
+        edges.push((i, sim.epr(i, i + 1, p.e, &[])));
+    }
+    for i in (1..k - 1).step_by(2) {
+        edges.push((i, sim.epr(i, i + 1, p.e, &[])));
+    }
+    edges.sort_by_key(|&(i, _)| i);
+    // Merges (zero-time locals consuming halves), then the rotation on the
+    // node hosting the ancilla (node 0).
+    let mut merge_deps = Vec::new();
+    for v in 1..k - 1 {
+        let l = edges[v - 1].1;
+        let r = edges[v].1;
+        merge_deps.push(sim.local_consuming(v, 0.0, 2, &[l, r]));
+    }
+    let own = sim.local_consuming(0, 0.0, 1, &[edges[0].1]);
+    merge_deps.push(own);
+    let sync = sim.classical(&merge_deps);
+    sim.local(0, p.d_r, &[sync]);
+    sim.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SendqParams {
+        SendqParams { s: 2, e: 50.0, n: 64, q: 32, d_r: 500.0, d_m: 0.0, d_f: 0.0 }
+    }
+
+    #[test]
+    fn epr_counts_match_paper() {
+        assert_eq!(epr_pairs(ParityMethod::InPlace, 4), 6);
+        assert_eq!(epr_pairs(ParityMethod::OutOfPlace, 4), 4);
+        assert_eq!(epr_pairs(ParityMethod::ConstantDepth, 4), 4);
+        assert_eq!(epr_pairs(ParityMethod::InPlace, 1), 0);
+    }
+
+    #[test]
+    fn closed_forms_for_k4() {
+        let p = params();
+        assert_eq!(delay(ParityMethod::InPlace, 4, &p), 2.0 * 50.0 * 2.0 + 500.0);
+        assert_eq!(delay(ParityMethod::OutOfPlace, 4, &p), 50.0 * 4.0 + 500.0);
+        assert_eq!(delay(ParityMethod::ConstantDepth, 4, &p), 2.0 * 50.0 + 500.0);
+    }
+
+    #[test]
+    fn in_place_schedule_matches_closed_form() {
+        let p = params();
+        for k in [2usize, 3, 4, 8, 16] {
+            let sched = schedule(ParityMethod::InPlace, k, &p);
+            let closed = delay(ParityMethod::InPlace, k, &p);
+            assert!(
+                (sched.makespan - closed).abs() < 1e-9,
+                "k={k}: sim {} vs closed {closed}",
+                sched.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_place_schedule_matches_closed_form() {
+        let p = params();
+        for k in [2usize, 4, 8] {
+            let sched = schedule(ParityMethod::OutOfPlace, k, &p);
+            let closed = delay(ParityMethod::OutOfPlace, k, &p);
+            assert!(
+                (sched.makespan - closed).abs() < 1e-9,
+                "k={k}: sim {} vs closed {closed}",
+                sched.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn constant_depth_schedule_matches_closed_form() {
+        let p = params();
+        for k in [3usize, 4, 8, 16, 32] {
+            let sched = schedule(ParityMethod::ConstantDepth, k, &p);
+            let closed = delay(ParityMethod::ConstantDepth, k, &p);
+            assert!(
+                (sched.makespan - closed).abs() < 1e-9,
+                "k={k}: sim {} vs closed {closed}",
+                sched.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn constant_depth_needs_s2() {
+        let p = params();
+        let sched = schedule(ParityMethod::ConstantDepth, 8, &p);
+        assert_eq!(sched.max_buffer_peak(), 2);
+        let sched = schedule(ParityMethod::InPlace, 8, &p);
+        assert!(sched.max_buffer_peak() <= 1, "in-place runs with S=1");
+    }
+
+    #[test]
+    fn method_ranking_by_k() {
+        let p = params();
+        // For k = 2 the single-edge cat state beats the in-place tree.
+        assert!(delay(ParityMethod::ConstantDepth, 2, &p) < delay(ParityMethod::InPlace, 2, &p));
+        // For large k, constant depth dominates.
+        for k in [8usize, 16, 32] {
+            assert!(delay(ParityMethod::ConstantDepth, k, &p) < delay(ParityMethod::InPlace, k, &p));
+            assert!(delay(ParityMethod::ConstantDepth, k, &p) < delay(ParityMethod::OutOfPlace, k, &p));
+        }
+        // Out-of-place only beats in-place for small k / slow E... check one relation:
+        assert!(delay(ParityMethod::InPlace, 16, &p) < delay(ParityMethod::OutOfPlace, 16, &p));
+    }
+}

@@ -1,0 +1,6 @@
+//! Closed-form SENDQ analyses of the paper's Section 7 applications,
+//! each validated against the discrete-event scheduler.
+
+pub mod bcast;
+pub mod chemistry;
+pub mod tfim;

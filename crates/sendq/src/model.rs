@@ -1,0 +1,127 @@
+//! The SENDQ parameter set (Section 5).
+//!
+//! SENDQ models a distributed quantum computer with two parameter groups:
+//!
+//! *Communication*: `S` (qubits buffering EPR pairs per node), `E` (time to
+//! establish one EPR pair; a node participates in at most one establishment
+//! at a time), `N` (number of nodes).
+//!
+//! *Local computation*: `D` (delay of local operations — refined here into
+//! the rotation delay `D_R`, parity-measurement delay `D_M` and fixup delay
+//! `D_F` used by Section 7), `Q` (logical compute qubits per node; `Q + S`
+//! is constant per node).
+//!
+//! Classical communication is deliberately *not* modeled (Section 5: the
+//! logical clock is slow enough to hide classical latency).
+
+use serde::{Deserialize, Serialize};
+
+/// SENDQ model parameters. Times are in arbitrary consistent units
+/// (logical cycles, microseconds, ...).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SendqParams {
+    /// `S`: EPR-buffer qubits per node.
+    pub s: u32,
+    /// `E`: time to establish one EPR pair with any other node.
+    pub e: f64,
+    /// `N`: number of nodes.
+    pub n: usize,
+    /// `Q`: logical compute qubits per node.
+    pub q: u32,
+    /// `D_R`: delay of a rotation gate (arbitrary-angle or T; the dominant
+    /// local cost per Section 3 — magic-state distillation).
+    pub d_r: f64,
+    /// `D_M`: delay of a local two-qubit parity measurement.
+    pub d_m: f64,
+    /// `D_F`: delay of a Pauli fixup gate.
+    pub d_f: f64,
+}
+
+impl SendqParams {
+    /// A reasonable mid-term machine following Section 3's discussion:
+    /// logical cycle 10 us, rotations ~100 cycles (distillation), EPR
+    /// establishment ~10 logical cycles. Units: microseconds.
+    pub fn midterm(n: usize) -> Self {
+        SendqParams {
+            s: 2,
+            e: 100.0,
+            n,
+            q: 64,
+            d_r: 1000.0,
+            d_m: 10.0,
+            d_f: 10.0,
+        }
+    }
+
+    /// Per-node EPR injection bandwidth `E^{-1}` (Section 5.1).
+    pub fn epr_bandwidth(&self) -> f64 {
+        1.0 / self.e
+    }
+
+    /// Total qubits per node (`Q + S` is constant; Section 5.1).
+    pub fn qubits_per_node(&self) -> u32 {
+        self.q + self.s
+    }
+
+    /// Returns a copy with a different node count.
+    pub fn with_nodes(&self, n: usize) -> Self {
+        SendqParams { n, ..*self }
+    }
+
+    /// Returns a copy trading compute qubits for EPR buffer (Q + S const).
+    pub fn with_buffer(&self, s: u32) -> Self {
+        let total = self.qubits_per_node();
+        assert!(s < total, "S must leave at least one compute qubit");
+        SendqParams { s, q: total - s, ..*self }
+    }
+}
+
+/// `⌈log2 n⌉` as f64 (0 for n <= 1) — the tree-depth helper used by
+/// several closed forms.
+pub fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(ceil_log2(64), 6);
+    }
+
+    #[test]
+    fn buffer_tradeoff_preserves_total() {
+        let p = SendqParams::midterm(8);
+        let total = p.qubits_per_node();
+        let p2 = p.with_buffer(10);
+        assert_eq!(p2.qubits_per_node(), total);
+        assert_eq!(p2.s, 10);
+    }
+
+    #[test]
+    fn bandwidth_is_inverse_e() {
+        let p = SendqParams::midterm(4);
+        assert!((p.epr_bandwidth() * p.e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one compute qubit")]
+    fn buffer_cannot_consume_all_qubits() {
+        let p = SendqParams::midterm(4);
+        let _ = p.with_buffer(p.qubits_per_node());
+    }
+}
