@@ -1,0 +1,108 @@
+//! Criterion bench: the same QMPI protocols on each simulation backend as
+//! the rank count grows.
+//!
+//! The point the numbers make: the state-vector engine (the paper's
+//! prototype) falls off a cliff past ~16 total qubits, while the stabilizer
+//! tableau runs the identical Clifford protocol at 64+ ranks and the trace
+//! backend scales to whatever the thread launcher tolerates — which is what
+//! makes Table 1–3-style resource estimation at paper scale possible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmpi::{run_with_config, BackendKind, QmpiConfig};
+
+fn cfg(kind: BackendKind) -> QmpiConfig {
+    QmpiConfig::new().seed(1).backend(kind)
+}
+
+fn kinds_for(n: usize) -> Vec<BackendKind> {
+    // One cat establishment allocates ~2(n-1) simulator qubits at peak; keep
+    // the dense engine within its feasible window.
+    if n <= 8 {
+        vec![
+            BackendKind::StateVector,
+            BackendKind::Stabilizer,
+            BackendKind::Trace,
+        ]
+    } else {
+        vec![BackendKind::Stabilizer, BackendKind::Trace]
+    }
+}
+
+fn bench_cat_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend/cat_bcast");
+    group.sample_size(10);
+    for n in [4usize, 8, 16, 32, 64] {
+        for kind in kinds_for(n) {
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, &n| {
+                b.iter(|| {
+                    run_with_config(n, cfg(kind), |ctx| {
+                        let share = ctx.cat_establish().unwrap();
+                        ctx.measure_and_free(share).unwrap();
+                        ctx.ledger().buffer_dec(ctx.rank());
+                    })
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_teleport_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend/teleport_chain");
+    group.sample_size(10);
+    for n in [4usize, 8, 16, 32] {
+        for kind in kinds_for(n) {
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, &n| {
+                b.iter(|| {
+                    // Relay one qubit along the whole chain of ranks.
+                    run_with_config(n, cfg(kind), move |ctx| {
+                        let r = ctx.rank();
+                        if r == 0 {
+                            let q = ctx.alloc_one();
+                            ctx.x(&q).unwrap();
+                            ctx.send_move(q, 1, 0).unwrap();
+                        } else {
+                            let q = ctx.recv_move(r - 1, (r - 1) as u16).unwrap();
+                            if r + 1 < ctx.size() {
+                                ctx.send_move(q, r + 1, r as u16).unwrap();
+                            } else {
+                                ctx.measure_and_free(q).unwrap();
+                            }
+                        }
+                    })
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_parity_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend/parity_reduce");
+    group.sample_size(10);
+    for n in [4usize, 8, 32] {
+        for kind in kinds_for(n) {
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, &n| {
+                b.iter(|| {
+                    run_with_config(n, cfg(kind), |ctx| {
+                        let q = ctx.alloc_one();
+                        if ctx.rank() % 2 == 1 {
+                            ctx.x(&q).unwrap();
+                        }
+                        let (result, handle) = ctx.reduce(&q, &qmpi::Parity, 0).unwrap();
+                        ctx.unreduce(&q, result, handle, &qmpi::Parity).unwrap();
+                        ctx.measure_and_free(q).unwrap();
+                    })
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cat_broadcast, bench_teleport_chain, bench_parity_reduce
+}
+criterion_main!(benches);

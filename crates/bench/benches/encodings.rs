@@ -49,5 +49,10 @@ fn bench_epr_cost_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hamiltonian_build, bench_integrals, bench_epr_cost_sweep);
+criterion_group!(
+    benches,
+    bench_hamiltonian_build,
+    bench_integrals,
+    bench_epr_cost_sweep
+);
 criterion_main!(benches);

@@ -10,7 +10,15 @@ use sendq::analysis::bcast;
 use sendq::SendqParams;
 
 fn main() {
-    let base = SendqParams { s: 2, e: 100.0, n: 2, q: 62, d_r: 1000.0, d_m: 10.0, d_f: 10.0 };
+    let base = SendqParams {
+        s: 2,
+        e: 100.0,
+        n: 2,
+        q: 62,
+        d_r: 1000.0,
+        d_m: 10.0,
+        d_f: 10.0,
+    };
     println!("Section 7.1: QMPI_Bcast in the SENDQ model");
     println!(
         "params: E = {}, D_M = {}, D_F = {} (time units)\n",
@@ -27,8 +35,14 @@ fn main() {
         let tree_s = bcast::tree_bcast_schedule(&p);
         let cat_c = bcast::cat_bcast_time(&p);
         let cat_s = bcast::cat_bcast_schedule(&p);
-        assert!((tree_c - tree_s.makespan).abs() < 1e-9, "tree closed form validated");
-        assert!((cat_c - cat_s.makespan).abs() < 1e-9, "cat closed form validated");
+        assert!(
+            (tree_c - tree_s.makespan).abs() < 1e-9,
+            "tree closed form validated"
+        );
+        assert!(
+            (cat_c - cat_s.makespan).abs() < 1e-9,
+            "cat closed form validated"
+        );
         let winner = if cat_c < tree_c { "cat" } else { "tree" };
         println!(
             "{:>6} | {:>12.0} {:>12.0} | {:>12.0} {:>12.0} | {:>10} {:>4}/{}",

@@ -10,7 +10,15 @@ use sendq::analysis::chemistry as model;
 use sendq::{ParityMethod, SendqParams};
 
 fn main() {
-    let base = SendqParams { s: 2, e: 100.0, n: 64, q: 62, d_r: 1000.0, d_m: 10.0, d_f: 10.0 };
+    let base = SendqParams {
+        s: 2,
+        e: 100.0,
+        n: 64,
+        q: 62,
+        d_r: 1000.0,
+        d_m: 10.0,
+        d_f: 10.0,
+    };
     println!("Section 7.3 / Fig. 6: methods for exp(-it Z...Z), k qubits on k nodes");
     println!("params: E = {}, D_R = {}\n", base.e, base.d_r);
     println!(
@@ -27,7 +35,11 @@ fn main() {
     for k in [2usize, 4, 8, 16, 32, 64] {
         let mut row_delay = Vec::new();
         let mut row_epr = Vec::new();
-        for m in [ParityMethod::InPlace, ParityMethod::OutOfPlace, ParityMethod::ConstantDepth] {
+        for m in [
+            ParityMethod::InPlace,
+            ParityMethod::OutOfPlace,
+            ParityMethod::ConstantDepth,
+        ] {
             let closed = model::delay(m, k, &base);
             let sim = model::schedule(m, k, &base).makespan;
             assert!(

@@ -63,6 +63,9 @@ fn main() {
         last[2] as f64 / last[3].max(1) as f64
     );
     assert_eq!(series[0], [0, 0, 0, 0], "single node costs nothing");
-    assert!(last[2] > last[0], "JW must cost more than BK at full distribution");
+    assert!(
+        last[2] > last[0],
+        "JW must cost more than BK at full distribution"
+    );
     assert!(last[2] > last[3], "const-depth must beat in-place for JW");
 }

@@ -63,8 +63,7 @@ fn measure_reduce(n: usize) -> (ResourceSnapshot, ResourceSnapshot) {
         if ctx.rank() % 2 == 1 {
             ctx.x(&q).unwrap();
         }
-        let (fwd, (result, handle)) =
-            ctx.measure_resources(|| ctx.reduce(&q, &Parity, 0).unwrap());
+        let (fwd, (result, handle)) = ctx.measure_resources(|| ctx.reduce(&q, &Parity, 0).unwrap());
         let (inv, ()) =
             ctx.measure_resources(|| ctx.unreduce(&q, result, handle, &Parity).unwrap());
         ctx.measure_and_free(q).unwrap();
@@ -80,8 +79,7 @@ fn measure_scan(n: usize) -> (ResourceSnapshot, ResourceSnapshot) {
             ctx.x(&q).unwrap();
         }
         let (fwd, (result, handle)) = ctx.measure_resources(|| ctx.scan(&q, &Parity).unwrap());
-        let (inv, ()) =
-            ctx.measure_resources(|| ctx.unscan(&q, result, handle, &Parity).unwrap());
+        let (inv, ()) = ctx.measure_resources(|| ctx.unscan(&q, result, handle, &Parity).unwrap());
         ctx.measure_and_free(q).unwrap();
         (fwd, inv)
     });

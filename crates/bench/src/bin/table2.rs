@@ -50,8 +50,7 @@ fn run_sendrecv() -> (ResourceSnapshot, ResourceSnapshot) {
     let out = run(2, |ctx| {
         let peer = 1 - ctx.rank();
         let q = ctx.alloc_one();
-        let (fwd, incoming) =
-            ctx.measure_resources(|| ctx.sendrecv(&q, peer, peer, 0).unwrap());
+        let (fwd, incoming) = ctx.measure_resources(|| ctx.sendrecv(&q, peer, peer, 0).unwrap());
         let (inv, ()) =
             ctx.measure_resources(|| ctx.unsendrecv(&q, incoming, peer, peer, 0).unwrap());
         ctx.measure_and_free(q).unwrap();
@@ -93,19 +92,28 @@ fn main() {
             "QMPI_Bsend",
             "QMPI_Bunsend",
             "copy",
-            run_copy_family(|c, q, d, t| c.bsend(q, d, t), |c, q, d, t| c.bunsend(q, d, t)),
+            run_copy_family(
+                |c, q, d, t| c.bsend(q, d, t),
+                |c, q, d, t| c.bunsend(q, d, t),
+            ),
         ),
         (
             "QMPI_Ssend",
             "QMPI_Sunsend",
             "copy",
-            run_copy_family(|c, q, d, t| c.ssend(q, d, t), |c, q, d, t| c.sunsend(q, d, t)),
+            run_copy_family(
+                |c, q, d, t| c.ssend(q, d, t),
+                |c, q, d, t| c.sunsend(q, d, t),
+            ),
         ),
         (
             "QMPI_Rsend",
             "QMPI_Runsend",
             "copy",
-            run_copy_family(|c, q, d, t| c.rsend(q, d, t), |c, q, d, t| c.runsend(q, d, t)),
+            run_copy_family(
+                |c, q, d, t| c.rsend(q, d, t),
+                |c, q, d, t| c.runsend(q, d, t),
+            ),
         ),
         ("QMPI_Sendrecv", "QMPI_Unsendrecv", "copy", run_sendrecv()),
         (

@@ -10,7 +10,12 @@ fn snap2(
     unit: &'static str,
     pair: (ResourceSnapshot, ResourceSnapshot),
 ) -> (String, String, String, (ResourceSnapshot, ResourceSnapshot)) {
-    (name.into(), format!("QMPI_Un{}", &name[5..6].to_lowercase()) + &name[6..], unit.into(), pair)
+    (
+        name.into(),
+        format!("QMPI_Un{}", &name[5..6].to_lowercase()) + &name[6..],
+        unit.into(),
+        pair,
+    )
 }
 
 fn main() {
@@ -53,11 +58,13 @@ fn main() {
 
     // Scatter / Unscatter (copy).
     let out = run(n, move |ctx| {
-        let qs = if ctx.rank() == 0 { Some(ctx.alloc_qmem(n)) } else { None };
-        let (fwd, piece) =
-            ctx.measure_resources(|| ctx.scatter(qs.as_deref(), 0).unwrap());
-        let (inv, ()) =
-            ctx.measure_resources(|| ctx.unscatter(qs.as_deref(), piece, 0).unwrap());
+        let qs = if ctx.rank() == 0 {
+            Some(ctx.alloc_qmem(n))
+        } else {
+            None
+        };
+        let (fwd, piece) = ctx.measure_resources(|| ctx.scatter(qs.as_deref(), 0).unwrap());
+        let (inv, ()) = ctx.measure_resources(|| ctx.unscatter(qs.as_deref(), piece, 0).unwrap());
         if let Some(qs) = qs {
             for q in qs {
                 ctx.free_qmem(q).unwrap();
@@ -95,8 +102,7 @@ fn main() {
     // Reduce / Unreduce.
     let out = run(n, |ctx| {
         let q = ctx.alloc_one();
-        let (fwd, (result, handle)) =
-            ctx.measure_resources(|| ctx.reduce(&q, &Parity, 0).unwrap());
+        let (fwd, (result, handle)) = ctx.measure_resources(|| ctx.reduce(&q, &Parity, 0).unwrap());
         let (inv, ()) =
             ctx.measure_resources(|| ctx.unreduce(&q, result, handle, &Parity).unwrap());
         ctx.free_qmem(q).unwrap();
@@ -107,8 +113,7 @@ fn main() {
     // Allreduce / Unallreduce.
     let out = run(n, |ctx| {
         let q = ctx.alloc_one();
-        let (fwd, (value, handle)) =
-            ctx.measure_resources(|| ctx.allreduce(&q, &Parity).unwrap());
+        let (fwd, (value, handle)) = ctx.measure_resources(|| ctx.allreduce(&q, &Parity).unwrap());
         let (inv, ()) =
             ctx.measure_resources(|| ctx.unallreduce(&q, value, handle, &Parity).unwrap());
         ctx.free_qmem(q).unwrap();
@@ -123,7 +128,8 @@ fn main() {
         let (fwd, (mine, handle)) =
             ctx.measure_resources(|| ctx.reduce_scatter_block(&qs, &Parity).unwrap());
         let (inv, ()) = ctx.measure_resources(|| {
-            ctx.unreduce_scatter_block(&qs, mine, handle, &Parity).unwrap();
+            ctx.unreduce_scatter_block(&qs, mine, handle, &Parity)
+                .unwrap();
         });
         for q in qs {
             ctx.free_qmem(q).unwrap();
@@ -136,8 +142,7 @@ fn main() {
     let out = run(n, |ctx| {
         let q = ctx.alloc_one();
         let (fwd, (result, handle)) = ctx.measure_resources(|| ctx.scan(&q, &Parity).unwrap());
-        let (inv, ()) =
-            ctx.measure_resources(|| ctx.unscan(&q, result, handle, &Parity).unwrap());
+        let (inv, ()) = ctx.measure_resources(|| ctx.unscan(&q, result, handle, &Parity).unwrap());
         ctx.free_qmem(q).unwrap();
         (fwd, inv)
     });
@@ -166,7 +171,11 @@ fn main() {
 
     // Scatter_move / Unscatter_move.
     let out = run(n, move |ctx| {
-        let qs = if ctx.rank() == 0 { Some(ctx.alloc_qmem(n)) } else { None };
+        let qs = if ctx.rank() == 0 {
+            Some(ctx.alloc_qmem(n))
+        } else {
+            None
+        };
         let (fwd, piece) = ctx.measure_resources(|| ctx.scatter_move(qs, 0).unwrap());
         let (inv, back) = ctx.measure_resources(|| ctx.unscatter_move(piece, 0).unwrap());
         if let Some(back) = back {
@@ -202,7 +211,10 @@ fn main() {
         );
     }
 
-    println!("\n(*) copy-semantics all-to-all rows measured at N = {} ranks: the dense", n.min(3));
+    println!(
+        "\n(*) copy-semantics all-to-all rows measured at N = {} ranks: the dense",
+        n.min(3)
+    );
     println!("    state-vector substrate cannot hold the N + N^2 live qubits of larger runs.");
 
     // Bcast algorithm comparison (Section 7.1).
@@ -210,10 +222,14 @@ fn main() {
         let (fwd, (orig, copy)) = ctx.measure_resources(|| {
             if ctx.rank() == 0 {
                 let q = ctx.alloc_one();
-                ctx.bcast_with(BcastAlgorithm::CatState, Some(&q), 0).unwrap();
+                ctx.bcast_with(BcastAlgorithm::CatState, Some(&q), 0)
+                    .unwrap();
                 (Some(q), None)
             } else {
-                (None, ctx.bcast_with(BcastAlgorithm::CatState, None, 0).unwrap())
+                (
+                    None,
+                    ctx.bcast_with(BcastAlgorithm::CatState, None, 0).unwrap(),
+                )
             }
         });
         if let Some(q) = orig {

@@ -12,9 +12,20 @@ use sendq::SendqParams;
 
 fn main() {
     let n_spins = 64;
-    let base = SendqParams { s: 2, e: 500.0, n: 1, q: 64, d_r: 100.0, d_m: 10.0, d_f: 10.0 };
+    let base = SendqParams {
+        s: 2,
+        e: 500.0,
+        n: 1,
+        q: 64,
+        d_r: 100.0,
+        d_m: 10.0,
+        d_f: 10.0,
+    };
     println!("Section 7.2: distributed TFIM in the SENDQ model");
-    println!("workload: ring of {n_spins} spins; E = {}, D_R = {}\n", base.e, base.d_r);
+    println!(
+        "workload: ring of {n_spins} spins; E = {}, D_R = {}\n",
+        base.e, base.d_r
+    );
     println!(
         "{:>6} | {:>10} | {:>11} {:>11} | {:>11} {:>11} | {:>9}",
         "N", "D_Trotter", "S>=2 closed", "S>=2 sim", "S=1 closed", "S=1 sim", "S=1 cost"
@@ -27,8 +38,14 @@ fn main() {
         let s1_closed = model::step_delay_s1(&p, n_spins);
         let s2_sim = model::simulate_step_delay(&p, n_spins, false, 16);
         let s1_sim = model::simulate_step_delay(&p, n_spins, true, 16);
-        assert!((s2_closed - s2_sim).abs() / s2_closed < 1e-9, "S>=2 closed form validated");
-        assert!((s1_closed - s1_sim).abs() / s1_closed < 1e-9, "S=1 closed form validated");
+        assert!(
+            (s2_closed - s2_sim).abs() / s2_closed < 1e-9,
+            "S>=2 closed form validated"
+        );
+        assert!(
+            (s1_closed - s1_sim).abs() / s1_closed < 1e-9,
+            "S=1 closed form validated"
+        );
         println!(
             "{:>6} | {:>10.0} | {:>11.0} {:>11.0} | {:>11.0} {:>11.0} | {:>8.2}x",
             nodes,
@@ -50,7 +67,12 @@ fn main() {
 
     // Functional check: the distributed TFIM implementation (Listing 1)
     // matches the dense reference on a small instance.
-    let params = TfimParams { j: 0.8, g: 0.5, time: 0.4, trotter_steps: 2 };
+    let params = TfimParams {
+        j: 0.8,
+        g: 0.5,
+        time: 0.4,
+        trotter_steps: 2,
+    };
     let out = qmpi::run(2, move |ctx| {
         let qubits = ctx.alloc_qmem(2);
         for q in &qubits {
@@ -61,8 +83,12 @@ fn main() {
         let ids: Vec<u64> = qubits.iter().map(|q| q.id().0).collect();
         let gathered = ctx.classical().gather(&ids, 0);
         let f = if ctx.rank() == 0 {
-            let all: Vec<qsim::QubitId> =
-                gathered.unwrap().into_iter().flatten().map(qsim::QubitId).collect();
+            let all: Vec<qsim::QubitId> = gathered
+                .unwrap()
+                .into_iter()
+                .flatten()
+                .map(qsim::QubitId)
+                .collect();
             let state = ctx.backend().state_vector(&all).unwrap();
             let (ref_sim, ref_ids) = tfim::reference_evolution(4, &params, 1);
             state.fidelity(&ref_sim.state_vector(&ref_ids).unwrap())

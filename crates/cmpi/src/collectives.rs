@@ -113,6 +113,7 @@ impl Communicator {
         let tag = self.next_coll_tag();
         if self.rank() == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            #[allow(clippy::needless_range_loop)] // skip-one fill of out[r]
             for r in 0..self.size() {
                 if r == root {
                     continue;
@@ -122,7 +123,10 @@ impl Communicator {
             let mut result = Vec::with_capacity(self.size());
             for (r, slot) in out.into_iter().enumerate() {
                 if r == root {
-                    result.push(crate::encode::from_bytes(&crate::encode::to_bytes(value)).expect("self roundtrip"));
+                    result.push(
+                        crate::encode::from_bytes(&crate::encode::to_bytes(value))
+                            .expect("self roundtrip"),
+                    );
                 } else {
                     result.push(slot.expect("gathered"));
                 }
@@ -140,7 +144,11 @@ impl Communicator {
         let tag = self.next_coll_tag();
         if self.rank() == root {
             let values = values.expect("root must supply scatter values");
-            assert_eq!(values.len(), self.size(), "scatter needs one value per rank");
+            assert_eq!(
+                values.len(),
+                self.size(),
+                "scatter needs one value per rank"
+            );
             let mut own: Option<T> = None;
             for (r, v) in values.into_iter().enumerate() {
                 if r == root {
@@ -179,6 +187,7 @@ impl Communicator {
         }
         let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
         out[self.rank()] = own;
+        #[allow(clippy::needless_range_loop)] // skip-one fill of out[r]
         for r in 0..n {
             if r == self.rank() {
                 continue;
@@ -202,7 +211,7 @@ impl Communicator {
         let mut acc = value;
         let mut step = 1;
         while step < n {
-            if vrank % (2 * step) == 0 {
+            if vrank.is_multiple_of(2 * step) {
                 let src_v = vrank + step;
                 if src_v < n {
                     let src = (src_v + root) % n;
@@ -280,7 +289,11 @@ impl Communicator {
         if r + 1 < n {
             self.coll_send(&value, r + 1, tag);
         }
-        let shifted: Option<T> = if r > 0 { Some(self.coll_recv(r - 1, tag)) } else { None };
+        let shifted: Option<T> = if r > 0 {
+            Some(self.coll_recv(r - 1, tag))
+        } else {
+            None
+        };
         // Inclusive scan over the shifted values on ranks 1..n.
         let tag2 = self.next_coll_tag();
         let mut prefix = shifted;
@@ -313,7 +326,10 @@ impl Communicator {
     {
         assert_eq!(values.len(), self.size(), "one block per rank required");
         let combine_vec = |a: &Vec<T>, b: &Vec<T>| -> Vec<T> {
-            a.iter().zip(b.iter()).map(|(x, y)| op.combine(x, y)).collect()
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| op.combine(x, y))
+                .collect()
         };
         let reduced = self.reduce(values, &combine_vec, 0);
         self.scatter(reduced, 0)
@@ -359,10 +375,17 @@ mod tests {
         for n in [1, 2, 3, 4, 7] {
             for root in 0..n {
                 let out = Universe::run(n, move |comm| {
-                    let v = if comm.rank() == root { Some(99u32 + root as u32) } else { None };
+                    let v = if comm.rank() == root {
+                        Some(99u32 + root as u32)
+                    } else {
+                        None
+                    };
                     comm.bcast(v, root)
                 });
-                assert!(out.iter().all(|&v| v == 99 + root as u32), "n={n} root={root}");
+                assert!(
+                    out.iter().all(|&v| v == 99 + root as u32),
+                    "n={n} root={root}"
+                );
             }
         }
     }
@@ -417,7 +440,9 @@ mod tests {
     #[test]
     fn reduce_sum_and_roots() {
         for root in 0..4 {
-            let out = Universe::run(4, move |comm| comm.reduce(comm.rank() as u64, &ops::sum, root));
+            let out = Universe::run(4, move |comm| {
+                comm.reduce(comm.rank() as u64, &ops::sum, root)
+            });
             for (r, res) in out.iter().enumerate() {
                 if r == root {
                     assert_eq!(*res, Some(6));
@@ -432,7 +457,9 @@ mod tests {
     fn reduce_respects_rank_order_for_noncommutative_op() {
         // String concatenation is associative but not commutative.
         let concat = |a: &String, b: &String| format!("{a}{b}");
-        let out = Universe::run(5, move |comm| comm.reduce(comm.rank().to_string(), &concat, 0));
+        let out = Universe::run(5, move |comm| {
+            comm.reduce(comm.rank().to_string(), &concat, 0)
+        });
         assert_eq!(out[0].as_deref(), Some("01234"));
     }
 
@@ -446,7 +473,9 @@ mod tests {
 
     #[test]
     fn allreduce_max() {
-        let out = Universe::run(5, |comm| comm.allreduce(comm.rank() as i64 * 3 - 4, &ops::max));
+        let out = Universe::run(5, |comm| {
+            comm.allreduce(comm.rank() as i64 * 3 - 4, &ops::max)
+        });
         for v in out {
             assert_eq!(v, 8);
         }

@@ -119,10 +119,21 @@ impl Communicator {
     }
 
     fn deliver(&self, dest: usize, context: u64, tag: Tag, payload: bytes::Bytes) {
-        assert!(dest < self.size(), "destination rank {dest} out of range (size {})", self.size());
+        assert!(
+            dest < self.size(),
+            "destination rank {dest} out of range (size {})",
+            self.size()
+        );
         self.world.messages_sent.fetch_add(1, Ordering::Relaxed);
-        self.world.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
-        self.mailbox_of(dest).push(Envelope { context, source: self.rank, tag, payload });
+        self.world
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.mailbox_of(dest).push(Envelope {
+            context,
+            source: self.rank,
+            tag,
+            payload,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -145,8 +156,13 @@ impl Communicator {
             source.into(),
             tag.into(),
         );
-        let status = Status { source: env.source, tag: env.tag, bytes: env.payload.len() };
-        let value = from_bytes(&env.payload).expect("message payload failed to decode: type mismatch between send and recv");
+        let status = Status {
+            source: env.source,
+            tag: env.tag,
+            bytes: env.payload.len(),
+        };
+        let value = from_bytes(&env.payload)
+            .expect("message payload failed to decode: type mismatch between send and recv");
         (value, status)
     }
 
@@ -284,7 +300,10 @@ impl Communicator {
         colors.dedup();
         let tag2 = self.next_coll_tag();
         let contexts: Vec<u64> = if self.rank == 0 {
-            let ctxs: Vec<u64> = colors.iter().map(|_| self.world.alloc_context_pair()).collect();
+            let ctxs: Vec<u64> = colors
+                .iter()
+                .map(|_| self.world.alloc_context_pair())
+                .collect();
             for r in 1..self.size() {
                 self.coll_send(&ctxs, r, tag2);
             }
@@ -351,9 +370,16 @@ impl<T: Decode> RecvRequest<'_, T> {
 
     /// Completes the receive if a matching message has already arrived.
     pub fn test(&self) -> Option<(T, Status)> {
-        let env = self.comm.world.mailboxes[self.comm.members[self.comm.rank]]
-            .try_pop_matching(self.comm.context, self.source, self.tag)?;
-        let status = Status { source: env.source, tag: env.tag, bytes: env.payload.len() };
+        let env = self.comm.world.mailboxes[self.comm.members[self.comm.rank]].try_pop_matching(
+            self.comm.context,
+            self.source,
+            self.tag,
+        )?;
+        let status = Status {
+            source: env.source,
+            tag: env.tag,
+            bytes: env.payload.len(),
+        };
         let value = from_bytes(&env.payload).expect("message payload failed to decode");
         Some((value, status))
     }
@@ -465,7 +491,7 @@ mod tests {
         let out = Universe::run(2, |comm| {
             if comm.rank() == 0 {
                 comm.send(&5u8, 1, 9);
-                comm.recv::<()>(1, 1).0;
+                comm.recv::<()>(1, 1);
                 true
             } else {
                 // Wait for the probe to succeed.
@@ -553,9 +579,12 @@ mod tests {
             if comm.rank() == 0 {
                 comm.send(&vec![0u8; 100], 1, 0);
             } else {
-                comm.recv::<Vec<u8>>(0, 0).0;
+                comm.recv::<Vec<u8>>(0, 0);
             }
-            (comm.world_handle().messages_sent(), comm.world_handle().bytes_sent())
+            (
+                comm.world_handle().messages_sent(),
+                comm.world_handle().bytes_sent(),
+            )
         });
         assert!(out[1].0 >= 1);
         assert!(out[1].1 >= 100);

@@ -114,7 +114,7 @@ impl Decode for () {
 
 impl Encode for String {
     fn encode(&self, buf: &mut BytesMut) {
-        self.as_bytes().len().encode(buf);
+        self.len().encode(buf);
         buf.put_slice(self.as_bytes());
     }
 }
@@ -217,7 +217,7 @@ mod tests {
         roundtrip(u64::MAX);
         roundtrip(-42i32);
         roundtrip(-1i64);
-        roundtrip(3.14159f64);
+        roundtrip(2.25f64);
         roundtrip(f64::MIN_POSITIVE);
         roundtrip(true);
         roundtrip(false);

@@ -121,7 +121,12 @@ impl Mailbox {
     }
 
     /// Non-blocking variant of [`Mailbox::pop_matching`].
-    pub fn try_pop_matching(&self, context: u64, source: SourceSel, tag: TagSel) -> Option<Envelope> {
+    pub fn try_pop_matching(
+        &self,
+        context: u64,
+        source: SourceSel,
+        tag: TagSel,
+    ) -> Option<Envelope> {
         let mut q = self.queue.lock();
         let idx = q.iter().position(|e| e.matches(context, source, tag))?;
         q.remove(idx)
@@ -158,7 +163,12 @@ impl Mailbox {
 
     /// Peeks whether a matching message is available without removing it
     /// (MPI_Iprobe analogue). Returns `(source, tag, payload_len)`.
-    pub fn probe(&self, context: u64, source: SourceSel, tag: TagSel) -> Option<(usize, Tag, usize)> {
+    pub fn probe(
+        &self,
+        context: u64,
+        source: SourceSel,
+        tag: TagSel,
+    ) -> Option<(usize, Tag, usize)> {
         let q = self.queue.lock();
         q.iter()
             .find(|e| e.matches(context, source, tag))
@@ -172,7 +182,12 @@ mod tests {
     use std::sync::Arc;
 
     fn env(context: u64, source: usize, tag: Tag, byte: u8) -> Envelope {
-        Envelope { context, source, tag, payload: Bytes::copy_from_slice(&[byte]) }
+        Envelope {
+            context,
+            source,
+            tag,
+            payload: Bytes::copy_from_slice(&[byte]),
+        }
     }
 
     #[test]
@@ -209,8 +224,12 @@ mod tests {
     fn context_segregation() {
         let mb = Mailbox::new();
         mb.push(env(7, 0, 0, 1));
-        assert!(mb.try_pop_matching(8, SourceSel::Any, TagSel::Any).is_none());
-        assert!(mb.try_pop_matching(7, SourceSel::Any, TagSel::Any).is_some());
+        assert!(mb
+            .try_pop_matching(8, SourceSel::Any, TagSel::Any)
+            .is_none());
+        assert!(mb
+            .try_pop_matching(7, SourceSel::Any, TagSel::Any)
+            .is_some());
     }
 
     #[test]
@@ -218,7 +237,8 @@ mod tests {
         let mb = Arc::new(Mailbox::new());
         let mb2 = Arc::clone(&mb);
         let handle = std::thread::spawn(move || {
-            mb2.pop_matching(0, SourceSel::Rank(0), TagSel::Tag(1)).payload[0]
+            mb2.pop_matching(0, SourceSel::Rank(0), TagSel::Tag(1))
+                .payload[0]
         });
         std::thread::sleep(Duration::from_millis(20));
         mb.push(env(0, 0, 1, 77));
@@ -229,7 +249,12 @@ mod tests {
     fn timeout_expires_when_no_match() {
         let mb = Mailbox::new();
         mb.push(env(0, 0, 1, 1));
-        let r = mb.pop_matching_timeout(0, SourceSel::Rank(0), TagSel::Tag(2), Duration::from_millis(30));
+        let r = mb.pop_matching_timeout(
+            0,
+            SourceSel::Rank(0),
+            TagSel::Tag(2),
+            Duration::from_millis(30),
+        );
         assert!(r.is_none());
         assert_eq!(mb.len(), 1);
     }

@@ -57,7 +57,10 @@ impl Universe {
         if let Some(p) = panic {
             std::panic::resume_unwind(p);
         }
-        results.into_iter().map(|r| r.expect("rank result present")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("rank result present"))
+            .collect()
     }
 
     /// Like [`Universe::run`] but also hands each rank a shared context
@@ -111,6 +114,6 @@ mod tests {
             comm.rank()
         });
         assert_eq!(out.len(), 4);
-        assert_eq!(shared.load(std::sync::atomic::Ordering::Relaxed), 0 + 1 + 2 + 3);
+        assert_eq!(shared.load(std::sync::atomic::Ordering::Relaxed), 1 + 2 + 3);
     }
 }

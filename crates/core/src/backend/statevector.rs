@@ -1,0 +1,94 @@
+//! The full state-vector engine — the paper's prototype backend.
+
+use super::{BackendKind, SimEngine};
+use qsim::{Gate, Pauli, QubitId, SimError, Simulator, State};
+
+/// Dense-amplitude engine over [`qsim::Simulator`]. Exact for arbitrary
+/// gates, exponential in total qubit count (~25-qubit practical cap).
+pub struct StateVectorEngine {
+    sim: Simulator,
+}
+
+impl StateVectorEngine {
+    /// Creates an engine with a deterministic measurement RNG seed.
+    pub fn new(seed: u64) -> Self {
+        StateVectorEngine {
+            sim: Simulator::new(seed),
+        }
+    }
+}
+
+impl SimEngine for StateVectorEngine {
+    fn kind(&self) -> BackendKind {
+        BackendKind::StateVector
+    }
+
+    fn alloc(&mut self) -> QubitId {
+        self.sim.alloc()
+    }
+
+    fn free(&mut self, q: QubitId) -> Result<bool, SimError> {
+        self.sim.free(q)
+    }
+
+    fn measure_and_free(&mut self, q: QubitId) -> Result<bool, SimError> {
+        self.sim.measure_and_free(q)
+    }
+
+    fn apply(&mut self, gate: Gate, q: QubitId) -> Result<(), SimError> {
+        self.sim.apply(gate, q)
+    }
+
+    fn apply_controlled(
+        &mut self,
+        controls: &[QubitId],
+        gate: Gate,
+        target: QubitId,
+    ) -> Result<(), SimError> {
+        self.sim.apply_controlled(controls, gate, target)
+    }
+
+    fn cnot(&mut self, c: QubitId, t: QubitId) -> Result<(), SimError> {
+        self.sim.cnot(c, t)
+    }
+
+    fn cz(&mut self, a: QubitId, b: QubitId) -> Result<(), SimError> {
+        self.sim.cz(a, b)
+    }
+
+    fn swap(&mut self, a: QubitId, b: QubitId) -> Result<(), SimError> {
+        self.sim.swap(a, b)
+    }
+
+    fn measure(&mut self, q: QubitId) -> Result<bool, SimError> {
+        self.sim.measure(q)
+    }
+
+    fn prob_one(&self, q: QubitId) -> Result<f64, SimError> {
+        self.sim.prob_one(q)
+    }
+
+    fn measure_z_parity(&mut self, qubits: &[QubitId]) -> Result<bool, SimError> {
+        self.sim.measure_z_parity(qubits)
+    }
+
+    fn expectation(&self, terms: &[(QubitId, Pauli)]) -> Result<f64, SimError> {
+        self.sim.expectation(terms)
+    }
+
+    fn state_vector(&self, order: &[QubitId]) -> Result<State, SimError> {
+        self.sim.state_vector(order)
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.sim.n_qubits()
+    }
+
+    fn gate_count(&self) -> u64 {
+        self.sim.gate_count()
+    }
+
+    fn measurement_count(&self) -> u64 {
+        self.sim.measurement_count()
+    }
+}

@@ -1,0 +1,186 @@
+//! The trace engine: no amplitudes, only operation accounting.
+//!
+//! Applying a gate or establishing an EPR pair just increments counters;
+//! measurements deterministically return `false` (|0>), so every protocol's
+//! fixup branches are exercised least-often but the control flow, message
+//! pattern, and resource consumption — the quantities the paper's Tables
+//! 1–3 are about — are exact. This is what lets the experiment harness
+//! reproduce the paper's resource formulas at arbitrary rank counts in
+//! microseconds.
+
+use super::{BackendKind, SimEngine};
+use qsim::{Gate, Pauli, QubitId, SimError, State};
+use std::collections::HashSet;
+
+/// Counting-only engine; see the module docs.
+pub struct TraceEngine {
+    live: HashSet<QubitId>,
+    next_id: u64,
+    gate_count: u64,
+    measurement_count: u64,
+}
+
+impl TraceEngine {
+    /// Creates an empty trace engine.
+    pub fn new() -> Self {
+        TraceEngine {
+            live: HashSet::new(),
+            next_id: 0,
+            gate_count: 0,
+            measurement_count: 0,
+        }
+    }
+
+    fn check(&self, q: QubitId) -> Result<(), SimError> {
+        if self.live.contains(&q) {
+            Ok(())
+        } else {
+            Err(SimError::UnknownQubit(q))
+        }
+    }
+}
+
+impl Default for TraceEngine {
+    fn default() -> Self {
+        TraceEngine::new()
+    }
+}
+
+impl SimEngine for TraceEngine {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Trace
+    }
+
+    fn alloc(&mut self) -> QubitId {
+        let id = QubitId(self.next_id);
+        self.next_id += 1;
+        self.live.insert(id);
+        id
+    }
+
+    fn free(&mut self, q: QubitId) -> Result<bool, SimError> {
+        self.check(q)?;
+        self.live.remove(&q);
+        Ok(false)
+    }
+
+    fn measure_and_free(&mut self, q: QubitId) -> Result<bool, SimError> {
+        self.check(q)?;
+        self.live.remove(&q);
+        self.measurement_count += 1;
+        Ok(false)
+    }
+
+    fn apply(&mut self, _gate: Gate, q: QubitId) -> Result<(), SimError> {
+        self.check(q)?;
+        self.gate_count += 1;
+        Ok(())
+    }
+
+    fn apply_controlled(
+        &mut self,
+        controls: &[QubitId],
+        _gate: Gate,
+        target: QubitId,
+    ) -> Result<(), SimError> {
+        for &c in controls {
+            self.check(c)?;
+            if c == target {
+                return Err(SimError::DuplicateQubit(c));
+            }
+        }
+        self.check(target)?;
+        self.gate_count += 1;
+        Ok(())
+    }
+
+    fn cnot(&mut self, c: QubitId, t: QubitId) -> Result<(), SimError> {
+        if c == t {
+            return Err(SimError::DuplicateQubit(c));
+        }
+        self.check(c)?;
+        self.check(t)?;
+        self.gate_count += 1;
+        Ok(())
+    }
+
+    fn cz(&mut self, a: QubitId, b: QubitId) -> Result<(), SimError> {
+        if a == b {
+            return Err(SimError::DuplicateQubit(a));
+        }
+        self.check(a)?;
+        self.check(b)?;
+        self.gate_count += 1;
+        Ok(())
+    }
+
+    fn swap(&mut self, a: QubitId, b: QubitId) -> Result<(), SimError> {
+        if a == b {
+            return Ok(());
+        }
+        self.check(a)?;
+        self.check(b)?;
+        self.gate_count += 1;
+        Ok(())
+    }
+
+    fn measure(&mut self, q: QubitId) -> Result<bool, SimError> {
+        self.check(q)?;
+        self.measurement_count += 1;
+        Ok(false)
+    }
+
+    fn prob_one(&self, q: QubitId) -> Result<f64, SimError> {
+        self.check(q)?;
+        // Every qubit reads |0>: EPR freshness checks pass and frees
+        // succeed, which is exactly what a counting run wants.
+        Ok(0.0)
+    }
+
+    fn measure_z_parity(&mut self, qubits: &[QubitId]) -> Result<bool, SimError> {
+        for &q in qubits {
+            self.check(q)?;
+        }
+        self.measurement_count += 1;
+        Ok(false)
+    }
+
+    fn expectation(&self, terms: &[(QubitId, Pauli)]) -> Result<f64, SimError> {
+        for &(q, _) in terms {
+            self.check(q)?;
+        }
+        // Consistent with the all-|0> convention: <Z> = +1, <X> = <Y> = 0.
+        Ok(if terms.iter().all(|&(_, p)| p == Pauli::Z) {
+            1.0
+        } else {
+            0.0
+        })
+    }
+
+    fn state_vector(&self, _order: &[QubitId]) -> Result<State, SimError> {
+        Err(SimError::Unsupported(
+            "the trace backend tracks no amplitudes; use the state-vector backend for dense \
+             snapshots"
+                .into(),
+        ))
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.live.len()
+    }
+
+    fn gate_count(&self) -> u64 {
+        self.gate_count
+    }
+
+    fn measurement_count(&self) -> u64 {
+        self.measurement_count
+    }
+
+    fn entangle_epr(&mut self, qa: QubitId, qb: QubitId) -> Result<(), SimError> {
+        // Count the interconnect operation as the H + CNOT it stands for,
+        // matching the other engines' gate tallies.
+        self.apply(Gate::H, qa)?;
+        self.cnot(qa, qb)
+    }
+}

@@ -35,7 +35,11 @@ impl QmpiRank {
         // odd-k edges in round 1 — each node touches at most one edge per
         // round, satisfying the SENDQ one-EPR-establishment-at-a-time rule.
         let left: Option<Qubit> = if r > 0 { Some(self.alloc_one()) } else { None };
-        let right: Option<Qubit> = if r + 1 < n { Some(self.alloc_one()) } else { None };
+        let right: Option<Qubit> = if r + 1 < n {
+            Some(self.alloc_one())
+        } else {
+            None
+        };
         if r == 0 {
             // One round when only even edges exist (n == 2).
             let rounds = if n > 2 { 2 } else { 1 };
@@ -82,7 +86,10 @@ impl QmpiRank {
         if r > 0 && r + 1 < n {
             self.ledger.record_classical(1);
         }
-        let fix = self.proto.exscan(outcome as u8, &cmpi::ops::bxor).unwrap_or(0);
+        let fix = self
+            .proto
+            .exscan(outcome as u8, &cmpi::ops::bxor)
+            .unwrap_or(0);
         if fix != 0 {
             self.x(&keep)?;
         }
@@ -122,7 +129,10 @@ mod tests {
                 ctx.measure_and_free(share).unwrap();
                 m
             });
-            assert!(out.iter().all(|&m| m == out[0]), "n={n}: GHZ shares must agree");
+            assert!(
+                out.iter().all(|&m| m == out[0]),
+                "n={n}: GHZ shares must agree"
+            );
         }
     }
 
@@ -148,7 +158,10 @@ mod tests {
             });
             assert_eq!(out[0].epr_pairs as usize, n - 1, "n={n}");
             let expected_rounds = if n > 2 { 2 } else { 1 };
-            assert_eq!(out[0].epr_rounds, expected_rounds, "n={n}: constant quantum depth (Fig. 4)");
+            assert_eq!(
+                out[0].epr_rounds, expected_rounds,
+                "n={n}: constant quantum depth (Fig. 4)"
+            );
         }
     }
 

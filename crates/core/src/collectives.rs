@@ -96,10 +96,14 @@ impl QmpiRank {
     ) -> Result<Option<Qubit>> {
         let n = self.size();
         if root >= n {
-            return Err(QmpiError::InvalidArgument(format!("bcast root {root} out of range")));
+            return Err(QmpiError::InvalidArgument(format!(
+                "bcast root {root} out of range"
+            )));
         }
         if self.rank() == root && qubit.is_none() {
-            return Err(QmpiError::InvalidArgument("bcast root must supply the qubit".into()));
+            return Err(QmpiError::InvalidArgument(
+                "bcast root must supply the qubit".into(),
+            ));
         }
         let tag = self.next_qcoll_tag();
         if n == 1 {
@@ -178,14 +182,21 @@ impl QmpiRank {
     /// [`QmpiRank::bcast`] (either algorithm). The root passes its original
     /// qubit; every other rank passes its copy. Costs no EPR pairs — one
     /// classical bit per copy (Fig. 1b), XOR-reduced to the root.
-    pub fn unbcast(&self, original: Option<&Qubit>, copy: Option<Qubit>, root: usize) -> Result<()> {
+    pub fn unbcast(
+        &self,
+        original: Option<&Qubit>,
+        copy: Option<Qubit>,
+        root: usize,
+    ) -> Result<()> {
         let n = self.size();
         if n == 1 {
             return Ok(());
         }
         let my_bit = if self.rank() == root {
             if copy.is_some() {
-                return Err(QmpiError::InvalidArgument("root passes no copy to unbcast".into()));
+                return Err(QmpiError::InvalidArgument(
+                    "root passes no copy to unbcast".into(),
+                ));
             }
             false
         } else {
@@ -199,13 +210,11 @@ impl QmpiRank {
             m
         };
         let parity = self.proto.reduce(my_bit as u8, &cmpi::ops::bxor, root);
-        if self.rank() == root {
-            if parity.expect("root obtains the reduction") & 1 != 0 {
-                let orig = original.ok_or_else(|| {
-                    QmpiError::InvalidArgument("root must pass its original qubit".into())
-                })?;
-                self.z(orig)?;
-            }
+        if self.rank() == root && parity.expect("root obtains the reduction") & 1 != 0 {
+            let orig = original.ok_or_else(|| {
+                QmpiError::InvalidArgument("root must pass its original qubit".into())
+            })?;
+            self.z(orig)?;
         }
         Ok(())
     }
@@ -242,7 +251,9 @@ impl QmpiRank {
                 QmpiError::InvalidArgument("root must pass the gathered copies".into())
             })?;
             if copies.len() != self.size() {
-                return Err(QmpiError::InvalidArgument("gathered copy count mismatch".into()));
+                return Err(QmpiError::InvalidArgument(
+                    "gathered copy count mismatch".into(),
+                ));
             }
             for (r, c) in copies.into_iter().enumerate() {
                 if r == root {
@@ -271,7 +282,9 @@ impl QmpiRank {
                     out.push(self.recv_move(r, tag)?);
                 }
             }
-            std::mem::forget(qubit); // ownership transferred into `out[root]`
+            // Ownership transferred into `out[root]`; the original handle
+            // has no drop glue, so discarding it is a no-op.
+            let _ = qubit;
             Ok(Some(out))
         } else {
             self.send_move(qubit, root, tag)?;
@@ -287,7 +300,9 @@ impl QmpiRank {
                 QmpiError::InvalidArgument("root must pass the gathered qubits".into())
             })?;
             if qubits.len() != self.size() {
-                return Err(QmpiError::InvalidArgument("gathered qubit count mismatch".into()));
+                return Err(QmpiError::InvalidArgument(
+                    "gathered qubit count mismatch".into(),
+                ));
             }
             let mut own = None;
             for (r, q) in qubits.into_iter().enumerate() {
@@ -379,7 +394,9 @@ impl QmpiRank {
                 QmpiError::InvalidArgument("scatter_move root must supply the qubits".into())
             })?;
             if qs.len() != self.size() {
-                return Err(QmpiError::InvalidArgument("scatter_move count mismatch".into()));
+                return Err(QmpiError::InvalidArgument(
+                    "scatter_move count mismatch".into(),
+                ));
             }
             let mut own = None;
             for (r, q) in qs.into_iter().enumerate() {
@@ -407,7 +424,8 @@ impl QmpiRank {
                     out.push(self.recv_move(r, tag)?);
                 }
             }
-            std::mem::forget(piece);
+            // Ownership transferred into `out[root]` (no drop glue).
+            let _ = piece;
             Ok(Some(out))
         } else {
             self.send_move(piece, root, tag)?;
@@ -440,7 +458,9 @@ impl QmpiRank {
     pub fn unallgather(&self, qubit: &Qubit, copies: Vec<Qubit>) -> Result<()> {
         let n = self.size();
         if copies.len() != n {
-            return Err(QmpiError::InvalidArgument("unallgather copy count mismatch".into()));
+            return Err(QmpiError::InvalidArgument(
+                "unallgather copy count mismatch".into(),
+            ));
         }
         let mut copies: Vec<Option<Qubit>> = copies.into_iter().map(Some).collect();
         for root in (0..n).rev() {
@@ -461,12 +481,18 @@ impl QmpiRank {
     pub fn alltoall(&self, qubits: &[Qubit]) -> Result<Vec<Qubit>> {
         let n = self.size();
         if qubits.len() != n {
-            return Err(QmpiError::InvalidArgument("alltoall needs one qubit per rank".into()));
+            return Err(QmpiError::InvalidArgument(
+                "alltoall needs one qubit per rank".into(),
+            ));
         }
         let mut out = Vec::with_capacity(n);
         for root in 0..n {
             let tag = self.next_qcoll_tag();
-            let arg = if self.rank() == root { Some(qubits) } else { None };
+            let arg = if self.rank() == root {
+                Some(qubits)
+            } else {
+                None
+            };
             out.push(self.scatter_tagged(arg, root, tag)?);
         }
         Ok(out)
@@ -476,13 +502,19 @@ impl QmpiRank {
     pub fn unalltoall(&self, qubits: &[Qubit], pieces: Vec<Qubit>) -> Result<()> {
         let n = self.size();
         if pieces.len() != n {
-            return Err(QmpiError::InvalidArgument("unalltoall piece count mismatch".into()));
+            return Err(QmpiError::InvalidArgument(
+                "unalltoall piece count mismatch".into(),
+            ));
         }
         let mut pieces: Vec<Option<Qubit>> = pieces.into_iter().map(Some).collect();
         for root in (0..n).rev() {
             let tag = self.next_qcoll_tag();
             let piece = pieces[root].take().expect("piece present");
-            let arg = if self.rank() == root { Some(qubits) } else { None };
+            let arg = if self.rank() == root {
+                Some(qubits)
+            } else {
+                None
+            };
             self.unscatter_tagged(arg, piece, root, tag)?;
         }
         Ok(())
@@ -493,13 +525,19 @@ impl QmpiRank {
     pub fn alltoall_move(&self, qubits: Vec<Qubit>) -> Result<Vec<Qubit>> {
         let n = self.size();
         if qubits.len() != n {
-            return Err(QmpiError::InvalidArgument("alltoall_move needs one qubit per rank".into()));
+            return Err(QmpiError::InvalidArgument(
+                "alltoall_move needs one qubit per rank".into(),
+            ));
         }
         let mut mine = Some(qubits);
         let mut out = Vec::with_capacity(n);
         for root in 0..n {
             let tag = self.next_qcoll_tag();
-            let arg = if self.rank() == root { mine.take() } else { None };
+            let arg = if self.rank() == root {
+                mine.take()
+            } else {
+                None
+            };
             out.push(self.scatter_move_tagged(arg, root, tag)?);
         }
         Ok(out)
@@ -522,12 +560,21 @@ impl QmpiRank {
         let tag = self.next_qcoll_tag();
         let n = self.size();
         if root >= n {
-            return Err(QmpiError::InvalidArgument(format!("reduce root {root} out of range")));
+            return Err(QmpiError::InvalidArgument(format!(
+                "reduce root {root} out of range"
+            )));
         }
         if n == 1 {
             let acc = self.alloc_one();
             op.apply(self, qubit, &acc)?;
-            return Ok((Some(acc), ReduceHandle { tag, root, scratch: None }));
+            return Ok((
+                Some(acc),
+                ReduceHandle {
+                    tag,
+                    root,
+                    scratch: None,
+                },
+            ));
         }
         // Chain order: (root+1)%n, (root+2)%n, ..., root.
         let k = (self.rank() + n - root + n - 1) % n; // chain index
@@ -537,17 +584,38 @@ impl QmpiRank {
             let acc = self.alloc_one();
             op.apply(self, qubit, &acc)?;
             self.send(&acc, next, tag)?;
-            Ok((None, ReduceHandle { tag, root, scratch: Some(acc) }))
+            Ok((
+                None,
+                ReduceHandle {
+                    tag,
+                    root,
+                    scratch: Some(acc),
+                },
+            ))
         } else if k < n - 1 {
             let partial = self.recv(prev, tag)?;
             op.apply(self, qubit, &partial)?;
             self.send(&partial, next, tag)?;
-            Ok((None, ReduceHandle { tag, root, scratch: Some(partial) }))
+            Ok((
+                None,
+                ReduceHandle {
+                    tag,
+                    root,
+                    scratch: Some(partial),
+                },
+            ))
         } else {
             // This rank is the root (chain end).
             let partial = self.recv(prev, tag)?;
             op.apply(self, qubit, &partial)?;
-            Ok((Some(partial), ReduceHandle { tag, root, scratch: None }))
+            Ok((
+                Some(partial),
+                ReduceHandle {
+                    tag,
+                    root,
+                    scratch: None,
+                },
+            ))
         }
     }
 
@@ -656,6 +724,7 @@ impl QmpiRank {
         }
         let mut handles = Vec::with_capacity(n);
         let mut mine = None;
+        #[allow(clippy::needless_range_loop)] // dest is also the reduce root
         for dest in 0..n {
             let (res, h) = self.reduce(&qubits[dest], op, dest)?;
             handles.push(h);
@@ -676,11 +745,14 @@ impl QmpiRank {
     ) -> Result<()> {
         let n = self.size();
         let mut result = Some(result);
-        let mut handles: Vec<Option<ReduceHandle>> =
-            handle.handles.into_iter().map(Some).collect();
+        let mut handles: Vec<Option<ReduceHandle>> = handle.handles.into_iter().map(Some).collect();
         for dest in (0..n).rev() {
             let h = handles[dest].take().expect("handle present");
-            let res = if self.rank() == dest { result.take() } else { None };
+            let res = if self.rank() == dest {
+                result.take()
+            } else {
+                None
+            };
             self.unreduce(&qubits[dest], res, h, op)?;
         }
         Ok(())
@@ -750,7 +822,13 @@ impl QmpiRank {
             let fwd = self.alloc_one();
             op.apply(self, qubit, &fwd)?;
             self.send(&fwd, 1, tag)?;
-            Ok((None, ExscanHandle { tag, scratch: Some(fwd) }))
+            Ok((
+                None,
+                ExscanHandle {
+                    tag,
+                    scratch: Some(fwd),
+                },
+            ))
         } else {
             let partial = self.recv(r - 1, tag)?; // exclusive prefix — the result
             let scratch = if r < n - 1 {
@@ -782,7 +860,8 @@ impl QmpiRank {
             return Ok(());
         }
         if r == 0 {
-            let fwd = scratch.ok_or_else(|| QmpiError::Protocol("rank 0 lost its scratch".into()))?;
+            let fwd =
+                scratch.ok_or_else(|| QmpiError::Protocol("rank 0 lost its scratch".into()))?;
             self.unsend(&fwd, 1, tag)?;
             op.unapply(self, qubit, &fwd)?;
             self.free_qmem(fwd)?;
@@ -839,11 +918,15 @@ mod tests {
                 if ctx.rank() == 1 {
                     let q = ctx.alloc_one();
                     ctx.x(&q).unwrap();
-                    ctx.bcast_with(BcastAlgorithm::CatState, Some(&q), 1).unwrap();
+                    ctx.bcast_with(BcastAlgorithm::CatState, Some(&q), 1)
+                        .unwrap();
                     ctx.barrier();
                     ctx.measure_and_free(q).unwrap()
                 } else {
-                    let c = ctx.bcast_with(BcastAlgorithm::CatState, None, 1).unwrap().unwrap();
+                    let c = ctx
+                        .bcast_with(BcastAlgorithm::CatState, None, 1)
+                        .unwrap()
+                        .unwrap();
                     ctx.barrier();
                     ctx.measure_and_free(c).unwrap()
                 }
@@ -908,16 +991,23 @@ mod tests {
                 let (d, q) = ctx.measure_resources(|| {
                     if ctx.rank() == 0 {
                         let q = ctx.alloc_one();
-                        ctx.bcast_with(BcastAlgorithm::CatState, Some(&q), 0).unwrap();
+                        ctx.bcast_with(BcastAlgorithm::CatState, Some(&q), 0)
+                            .unwrap();
                         q
                     } else {
-                        ctx.bcast_with(BcastAlgorithm::CatState, None, 0).unwrap().unwrap()
+                        ctx.bcast_with(BcastAlgorithm::CatState, None, 0)
+                            .unwrap()
+                            .unwrap()
                     }
                 });
                 ctx.measure_and_free(q).unwrap();
                 d
             });
-            assert_eq!(out[0].epr_pairs as usize, n - 1, "n={n}: spanning-tree pairs");
+            assert_eq!(
+                out[0].epr_pairs as usize,
+                n - 1,
+                "n={n}: spanning-tree pairs"
+            );
             assert_eq!(out[0].epr_rounds, 2, "n={n}: 2E quantum time (Fig. 4)");
         }
     }
@@ -1079,8 +1169,10 @@ mod tests {
                 ctx.ry(q, (ctx.rank() * 2 + dest) as f64 * 0.3).unwrap();
             }
             let received = ctx.alltoall_move(qs).unwrap();
-            let zs: Vec<f64> =
-                received.iter().map(|q| ctx.expectation(&[(q, Pauli::Z)]).unwrap()).collect();
+            let zs: Vec<f64> = received
+                .iter()
+                .map(|q| ctx.expectation(&[(q, Pauli::Z)]).unwrap())
+                .collect();
             for q in received {
                 ctx.measure_and_free(q).unwrap();
             }
@@ -1211,9 +1303,9 @@ mod tests {
                 ctx.x(&q).unwrap();
             }
             let (result, handle) = ctx.exscan(&q, &Parity).unwrap();
-            let bit = result.as_ref().map(|res| {
-                ctx.expectation(&[(res, Pauli::Z)]).unwrap() < 0.0
-            });
+            let bit = result
+                .as_ref()
+                .map(|res| ctx.expectation(&[(res, Pauli::Z)]).unwrap() < 0.0);
             ctx.unexscan(&q, result, handle, &Parity).unwrap();
             ctx.measure_and_free(q).unwrap();
             bit
@@ -1234,7 +1326,8 @@ mod tests {
             }
             let (mine, handle) = ctx.reduce_scatter_block(&qs, &Parity).unwrap();
             let bit = ctx.expectation(&[(&mine, Pauli::Z)]).unwrap() < 0.0;
-            ctx.unreduce_scatter_block(&qs, mine, handle, &Parity).unwrap();
+            ctx.unreduce_scatter_block(&qs, mine, handle, &Parity)
+                .unwrap();
             for q in qs {
                 ctx.measure_and_free(q).unwrap();
             }

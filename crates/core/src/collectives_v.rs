@@ -84,7 +84,9 @@ impl QmpiRank {
                 QmpiError::InvalidArgument("scatterv root must supply the blocks".into())
             })?;
             if blocks.len() != self.size() {
-                return Err(QmpiError::InvalidArgument("one block per rank required".into()));
+                return Err(QmpiError::InvalidArgument(
+                    "one block per rank required".into(),
+                ));
             }
             let counts: Vec<usize> = blocks.iter().map(|b| b.len()).collect();
             self.proto.scatter(Some(counts), root)
@@ -218,9 +220,11 @@ mod tests {
             let blocks = ctx.gatherv(&qs, 0).unwrap();
             let ms = if ctx.rank() == 0 {
                 let blocks = blocks.unwrap();
-                assert_eq!(blocks.iter().map(|b| b.len()).collect::<Vec<_>>(), vec![1, 2, 3]);
-                let ms: Vec<bool> =
-                    blocks.iter().map(|b| ctx.measure(&b[0]).unwrap()).collect();
+                assert_eq!(
+                    blocks.iter().map(|b| b.len()).collect::<Vec<_>>(),
+                    vec![1, 2, 3]
+                );
+                let ms: Vec<bool> = blocks.iter().map(|b| ctx.measure(&b[0]).unwrap()).collect();
                 ctx.ungatherv(&qs, Some(blocks), 0).unwrap();
                 ms
             } else {
@@ -304,7 +308,11 @@ mod tests {
     #[test]
     fn empty_contributions_allowed() {
         let out = run(2, |ctx| {
-            let qs = if ctx.rank() == 0 { ctx.alloc_qmem(1) } else { vec![] };
+            let qs = if ctx.rank() == 0 {
+                ctx.alloc_qmem(1)
+            } else {
+                vec![]
+            };
             let blocks = ctx.gatherv(&qs, 0).unwrap();
             if ctx.rank() == 0 {
                 let blocks = blocks.unwrap();

@@ -6,7 +6,7 @@
 //! nodes also speak classical MPI (Section 4.1), exposed via
 //! [`QmpiRank::classical`].
 
-use crate::backend::Backend;
+use crate::backend::{BackendKind, QuantumBackend};
 use crate::error::{QmpiError, Result};
 use crate::qubit::Qubit;
 use crate::resources::{ResourceLedger, ResourceSnapshot};
@@ -74,20 +74,83 @@ pub(crate) fn ptag_role(op: ProtoOp, role: EprRole, user_tag: QTag) -> cmpi::Tag
     ((op as u32) << 20) | (role.bits() << 16) | user_tag as u32
 }
 
-/// World configuration.
+/// World configuration, built fluently:
+///
+/// ```
+/// use qmpi::{BackendKind, QmpiConfig};
+///
+/// let cfg = QmpiConfig::new()
+///     .seed(7)
+///     .s_limit(4)
+///     .backend(BackendKind::Stabilizer);
+/// assert_eq!(cfg.backend_kind(), BackendKind::Stabilizer);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct QmpiConfig {
     /// Measurement RNG seed (deterministic runs).
-    pub seed: u64,
+    pub(crate) seed: u64,
     /// Optional per-rank EPR buffer limit — the SENDQ `S` parameter.
     /// Exceeding it is an error, so algorithms can be validated against a
     /// target machine's buffer budget.
-    pub s_limit: Option<u32>,
+    pub(crate) s_limit: Option<u32>,
+    /// Which simulation engine backs the world.
+    pub(crate) backend: BackendKind,
+}
+
+impl QmpiConfig {
+    /// The default configuration (state-vector backend, fixed seed, no
+    /// buffer limit); identical to [`QmpiConfig::default`].
+    pub fn new() -> Self {
+        QmpiConfig::default()
+    }
+
+    /// Sets the measurement RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-rank EPR buffer limit (the SENDQ `S` parameter).
+    pub fn s_limit(mut self, limit: u32) -> Self {
+        self.s_limit = Some(limit);
+        self
+    }
+
+    /// Removes the EPR buffer limit.
+    pub fn unlimited_buffer(mut self) -> Self {
+        self.s_limit = None;
+        self
+    }
+
+    /// Selects the simulation backend for the world.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
+        self
+    }
+
+    /// The configured measurement RNG seed.
+    pub fn rng_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured EPR buffer limit, if any.
+    pub fn epr_buffer_limit(&self) -> Option<u32> {
+        self.s_limit
+    }
+
+    /// The configured backend kind.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend
+    }
 }
 
 impl Default for QmpiConfig {
     fn default() -> Self {
-        QmpiConfig { seed: 0x514D5049, s_limit: None } // "QMPI"
+        QmpiConfig {
+            seed: 0x514D5049, // "QMPI"
+            s_limit: None,
+            backend: BackendKind::default(),
+        }
     }
 }
 
@@ -95,7 +158,7 @@ impl Default for QmpiConfig {
 pub struct QmpiRank {
     pub(crate) proto: Communicator,
     classical: Communicator,
-    pub(crate) backend: Arc<Backend>,
+    pub(crate) backend: Arc<dyn QuantumBackend>,
     pub(crate) ledger: Arc<ResourceLedger>,
     pub(crate) config: QmpiConfig,
     /// Sequence number for quantum collectives. Identical across ranks since
@@ -132,8 +195,8 @@ impl QmpiRank {
         self.ledger.snapshot()
     }
 
-    /// The shared backend (diagnostics: state snapshots in tests/examples).
-    pub fn backend(&self) -> &Arc<Backend> {
+    /// The shared backend (diagnostics: state snapshots, operation counts).
+    pub fn backend(&self) -> &Arc<dyn QuantumBackend> {
         &self.backend
     }
 
@@ -144,7 +207,11 @@ impl QmpiRank {
 
     /// Allocates `n` fresh qubits in |0> (QMPI_Alloc_qmem).
     pub fn alloc_qmem(&self, n: usize) -> Vec<Qubit> {
-        self.backend.alloc(self.rank(), n).into_iter().map(Qubit::new).collect()
+        self.backend
+            .alloc(self.rank(), n)
+            .into_iter()
+            .map(Qubit::new)
+            .collect()
     }
 
     /// Allocates a single fresh qubit in |0>.
@@ -195,7 +262,10 @@ impl QmpiRank {
         if let Some(limit) = self.config.s_limit {
             if new_level > limit as i64 {
                 self.ledger.buffer_dec(self.rank());
-                return Err(QmpiError::EprBufferExceeded { rank: self.rank(), limit });
+                return Err(QmpiError::EprBufferExceeded {
+                    rank: self.rank(),
+                    limit,
+                });
             }
         }
         Ok(())
@@ -212,13 +282,15 @@ where
     run_with_config(n, QmpiConfig::default(), f)
 }
 
-/// Runs `f` on `n` QMPI ranks with an explicit configuration.
+/// Runs `f` on `n` QMPI ranks with an explicit configuration; the backend
+/// selected by [`QmpiConfig::backend`] is constructed here and shared by
+/// every rank.
 pub fn run_with_config<T, F>(n: usize, config: QmpiConfig, f: F) -> Vec<T>
 where
     T: Send + 'static,
     F: Fn(&QmpiRank) -> T + Send + Sync + 'static,
 {
-    let backend = Arc::new(Backend::new(config.seed));
+    let backend = config.backend.build(config.seed);
     let ledger = Arc::new(ResourceLedger::new(n));
     Universe::run(n, move |comm| {
         // The original world communicator carries the QMPI protocol; users
@@ -252,7 +324,7 @@ mod tests {
             let qs = ctx.alloc_qmem(3);
             assert_eq!(qs.len(), 3);
             for q in qs {
-                assert_eq!(ctx.free_qmem(q).unwrap(), false);
+                assert!(!ctx.free_qmem(q).unwrap());
             }
             ctx.rank()
         });
@@ -274,8 +346,40 @@ mod tests {
 
     #[test]
     fn config_carries_s_limit() {
-        let cfg = QmpiConfig { seed: 5, s_limit: Some(2) };
-        let out = run_with_config(2, cfg, |ctx| ctx.config().s_limit);
+        let cfg = QmpiConfig::new().seed(5).s_limit(2);
+        let out = run_with_config(2, cfg, |ctx| ctx.config().epr_buffer_limit());
         assert_eq!(out, vec![Some(2), Some(2)]);
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let cfg = QmpiConfig::new();
+        assert_eq!(cfg.backend_kind(), crate::BackendKind::StateVector);
+        assert_eq!(cfg.epr_buffer_limit(), None);
+        let cfg = cfg.seed(9).s_limit(3).backend(crate::BackendKind::Trace);
+        assert_eq!(cfg.rng_seed(), 9);
+        assert_eq!(cfg.epr_buffer_limit(), Some(3));
+        assert_eq!(cfg.backend_kind(), crate::BackendKind::Trace);
+        assert_eq!(cfg.unlimited_buffer().epr_buffer_limit(), None);
+    }
+
+    #[test]
+    fn world_runs_on_every_backend_kind() {
+        for kind in [
+            crate::BackendKind::StateVector,
+            crate::BackendKind::Stabilizer,
+            crate::BackendKind::Trace,
+        ] {
+            let out = run_with_config(2, QmpiConfig::new().backend(kind), move |ctx| {
+                assert_eq!(ctx.backend().kind(), kind);
+                let q = ctx.alloc_one();
+                ctx.x(&q).unwrap();
+                ctx.measure_and_free(q).unwrap()
+            });
+            // The trace backend fixes every measurement to false; stateful
+            // backends must observe the X flip.
+            let expect = kind != crate::BackendKind::Trace;
+            assert_eq!(out, vec![expect, expect], "{kind}");
+        }
     }
 }

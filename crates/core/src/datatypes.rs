@@ -23,7 +23,9 @@ impl Datatype {
     /// QMPI_Type_contiguous: `count` copies of an existing type laid out
     /// contiguously.
     pub fn contiguous(count: usize, base: Datatype) -> Datatype {
-        Datatype { count: count * base.count }
+        Datatype {
+            count: count * base.count,
+        }
     }
 
     /// Total number of qubits in one element of this type.
@@ -34,7 +36,13 @@ impl Datatype {
 
 impl QmpiRank {
     /// Sends one element of `dtype` (entangled copy per qubit).
-    pub fn send_typed(&self, dtype: Datatype, data: &[Qubit], dest: usize, tag: QTag) -> Result<()> {
+    pub fn send_typed(
+        &self,
+        dtype: Datatype,
+        data: &[Qubit],
+        dest: usize,
+        tag: QTag,
+    ) -> Result<()> {
         if data.len() != dtype.extent() {
             return Err(QmpiError::InvalidArgument(format!(
                 "typed send expects {} qubits, got {}",
@@ -54,9 +62,17 @@ impl QmpiRank {
     }
 
     /// Inverse of [`QmpiRank::send_typed`].
-    pub fn unsend_typed(&self, dtype: Datatype, data: &[Qubit], dest: usize, tag: QTag) -> Result<()> {
+    pub fn unsend_typed(
+        &self,
+        dtype: Datatype,
+        data: &[Qubit],
+        dest: usize,
+        tag: QTag,
+    ) -> Result<()> {
         if data.len() != dtype.extent() {
-            return Err(QmpiError::InvalidArgument("typed unsend length mismatch".into()));
+            return Err(QmpiError::InvalidArgument(
+                "typed unsend length mismatch".into(),
+            ));
         }
         // Uncopy in reverse order of creation.
         for q in data.iter().rev() {
@@ -83,7 +99,9 @@ impl QmpiRank {
 
     /// Receives a moved element of `dtype`.
     pub fn recv_move_typed(&self, dtype: Datatype, src: usize, tag: QTag) -> Result<Vec<Qubit>> {
-        (0..dtype.extent()).map(|_| self.recv_move(src, tag)).collect()
+        (0..dtype.extent())
+            .map(|_| self.recv_move(src, tag))
+            .collect()
     }
 }
 
@@ -111,18 +129,17 @@ mod tests {
                 ctx.x(&reg[2]).unwrap();
                 ctx.send_typed(reg_t, &reg, 1, 0).unwrap();
                 ctx.unsend_typed(reg_t, &reg, 1, 0).unwrap();
-                let vals: Vec<bool> = reg
-                    .iter()
-                    .map(|q| ctx.prob_one(q).unwrap() > 0.5)
-                    .collect();
+                let vals: Vec<bool> = reg.iter().map(|q| ctx.prob_one(q).unwrap() > 0.5).collect();
                 for q in reg {
                     ctx.measure_and_free(q).unwrap();
                 }
                 vals
             } else {
                 let copies = ctx.recv_typed(reg_t, 0, 0).unwrap();
-                let vals: Vec<bool> =
-                    copies.iter().map(|q| ctx.prob_one(q).unwrap() > 0.5).collect();
+                let vals: Vec<bool> = copies
+                    .iter()
+                    .map(|q| ctx.prob_one(q).unwrap() > 0.5)
+                    .collect();
                 ctx.unrecv_typed(copies, 0, 0).unwrap();
                 vals
             }
@@ -142,8 +159,7 @@ mod tests {
                 vec![]
             } else {
                 let reg = ctx.recv_move_typed(reg_t, 0, 0).unwrap();
-                let vals: Vec<bool> =
-                    reg.iter().map(|q| ctx.prob_one(q).unwrap() > 0.5).collect();
+                let vals: Vec<bool> = reg.iter().map(|q| ctx.prob_one(q).unwrap() > 0.5).collect();
                 for q in reg {
                     ctx.measure_and_free(q).unwrap();
                 }
@@ -159,7 +175,9 @@ mod tests {
             ctx.barrier();
             if ctx.rank() == 0 {
                 let reg = ctx.alloc_qmem(2);
-                let err = ctx.send_typed(Datatype::contiguous(3, QUBIT), &reg, 1, 0).is_err();
+                let err = ctx
+                    .send_typed(Datatype::contiguous(3, QUBIT), &reg, 1, 0)
+                    .is_err();
                 for q in reg {
                     ctx.free_qmem(q).unwrap();
                 }

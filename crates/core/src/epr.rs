@@ -50,9 +50,15 @@ impl QmpiRank {
             ));
         }
         // Post our qubit id to the peer on this side's role stream.
-        self.proto.send(&qubit.id().0, dest, ptag_role(ProtoOp::EprId, role, tag));
+        self.proto
+            .send(&qubit.id().0, dest, ptag_role(ProtoOp::EprId, role, tag));
         self.ledger.record_control();
-        Ok(EprRequest { local: qubit.id().0, dest, tag, role })
+        Ok(EprRequest {
+            local: qubit.id().0,
+            dest,
+            tag,
+            role,
+        })
     }
 
     pub(crate) fn prepare_epr_role(
@@ -87,23 +93,29 @@ impl EprRequest {
     pub fn wait(self, ctx: &QmpiRank) -> Result<()> {
         let my_rank = ctx.rank();
         // The peer posted its id on the opposite role stream.
-        let (their_id, _) = ctx
-            .proto
-            .recv::<u64>(self.dest, ptag_role(ProtoOp::EprId, self.role.opposite(), self.tag));
+        let (their_id, _) = ctx.proto.recv::<u64>(
+            self.dest,
+            ptag_role(ProtoOp::EprId, self.role.opposite(), self.tag),
+        );
         if my_rank < self.dest {
-            let result =
-                ctx.backend.entangle_epr(qsim::QubitId(self.local), qsim::QubitId(their_id));
+            let result = ctx
+                .backend
+                .entangle_epr(qsim::QubitId(self.local), qsim::QubitId(their_id));
             // Always acknowledge — even on failure — so the peer never
             // blocks forever on a one-sided error.
             let ok = result.is_ok();
-            ctx.proto
-                .send(&ok, self.dest, ptag_role(ProtoOp::EprAck, self.role.opposite(), self.tag));
+            ctx.proto.send(
+                &ok,
+                self.dest,
+                ptag_role(ProtoOp::EprAck, self.role.opposite(), self.tag),
+            );
             ctx.ledger.record_control();
             result?;
             ctx.ledger.record_epr_pair();
         } else {
-            let (ok, _): (bool, _) =
-                ctx.proto.recv(self.dest, ptag_role(ProtoOp::EprAck, self.role, self.tag));
+            let (ok, _): (bool, _) = ctx
+                .proto
+                .recv(self.dest, ptag_role(ProtoOp::EprAck, self.role, self.tag));
             if !ok {
                 return Err(QmpiError::Protocol(format!(
                     "EPR establishment with rank {} failed on the peer side",
@@ -141,8 +153,8 @@ mod tests {
             let q = ctx.alloc_one();
             let dest = 1 - ctx.rank();
             ctx.prepare_epr(&q, dest, 0).unwrap();
-            let m = ctx.measure_and_free(q).unwrap();
-            m
+
+            ctx.measure_and_free(q).unwrap()
         });
         assert_eq!(out[0], out[1], "both ranks observe the same value");
     }
@@ -216,7 +228,7 @@ mod tests {
 
     #[test]
     fn s_limit_enforced() {
-        let cfg = QmpiConfig { seed: 1, s_limit: Some(1) };
+        let cfg = QmpiConfig::new().seed(1).s_limit(1);
         let out = run_with_config(2, cfg, |ctx| {
             let dest = 1 - ctx.rank();
             let q1 = ctx.alloc_one();

@@ -94,13 +94,15 @@ impl QmpiRank {
 
     /// Local Toffoli.
     pub fn toffoli(&self, c1: &Qubit, c2: &Qubit, target: &Qubit) -> Result<()> {
-        self.backend.apply_controlled(self.rank(), &[c1.id, c2.id], Gate::X, target.id)
+        self.backend
+            .apply_controlled(self.rank(), &[c1.id, c2.id], Gate::X, target.id)
     }
 
     /// Local multi-controlled single-qubit gate.
     pub fn controlled(&self, controls: &[&Qubit], gate: Gate, target: &Qubit) -> Result<()> {
         let ids: Vec<_> = controls.iter().map(|q| q.id).collect();
-        self.backend.apply_controlled(self.rank(), &ids, gate, target.id)
+        self.backend
+            .apply_controlled(self.rank(), &ids, gate, target.id)
     }
 
     /// Projective measurement; the qubit stays allocated.
@@ -135,10 +137,12 @@ impl QmpiRank {
         self.backend.measure_z_parity(self.rank(), &ids)
     }
 
-    /// Expectation value of a local Pauli string (diagnostic).
+    /// Expectation value of a local Pauli string (diagnostic). Every qubit
+    /// must be owned by this rank — reading another rank's observable
+    /// without communication would break the distributed-machine model.
     pub fn expectation(&self, terms: &[(&Qubit, Pauli)]) -> Result<f64> {
         let mapped: Vec<_> = terms.iter().map(|&(q, p)| (q.id, p)).collect();
-        self.backend.expectation(&mapped)
+        self.backend.expectation(self.rank(), &mapped)
     }
 }
 

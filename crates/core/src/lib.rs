@@ -9,10 +9,11 @@
 //! A QMPI world consists of `n` quantum ranks (nodes), each owning a set of
 //! qubits. Ranks exchange quantum information exclusively through EPR pairs
 //! established over the (simulated) quantum-coherent interconnect; classical
-//! correction bits travel over the classical MPI substrate ([`cmpi`]). A
-//! full state-vector simulator ([`qsim`]) backs the execution, mirroring the
-//! paper's prototype, and *locality is enforced*: applying a multi-qubit
-//! gate to another rank's qubit is a [`QmpiError::Locality`] error.
+//! correction bits travel over the classical MPI substrate ([`cmpi`]).
+//! Execution is backed by a pluggable [`QuantumBackend`], and *locality is
+//! enforced* by the shared backend wrapper regardless of engine: applying a
+//! multi-qubit gate to another rank's qubit is a [`QmpiError::Locality`]
+//! error.
 //!
 //! ## Quick start
 //!
@@ -30,6 +31,38 @@
 //! // Both ranks observe the same value when measuring their EPR half.
 //! assert_eq!(outcomes[0], outcomes[1]);
 //! ```
+//!
+//! ## Choosing a backend
+//!
+//! [`QmpiConfig`] is a builder; [`BackendKind`] selects the engine that
+//! executes quantum operations for the whole world:
+//!
+//! ```
+//! use qmpi::{run_with_config, BackendKind, QmpiConfig};
+//!
+//! // The QMPI protocols are pure Clifford, so the stabilizer tableau runs
+//! // them at rank counts far beyond any state vector.
+//! let cfg = QmpiConfig::new().seed(11).backend(BackendKind::Stabilizer);
+//! let outcomes = run_with_config(64, cfg, |ctx| {
+//!     let share = ctx.cat_establish().unwrap();         // 64-rank GHZ
+//!     ctx.measure_and_free(share).unwrap()
+//! });
+//! assert!(outcomes.iter().all(|&m| m == outcomes[0]));
+//! ```
+//!
+//! * [`BackendKind::StateVector`] (default) — exact amplitudes via [`qsim`];
+//!   supports every gate, including the non-Clifford rotations the
+//!   application layer ([`qalgo`-style workloads]) needs. Practical cap of
+//!   roughly 25 total qubits — the paper's prototype.
+//! * [`BackendKind::Stabilizer`] — CHP tableau; Clifford-only and
+//!   polynomial-cost, so EPR distribution, teleportation, cat-state
+//!   broadcast, and parity reduction run with *thousands* of ranks.
+//! * [`BackendKind::Trace`] — no amplitudes at all; gates, measurements,
+//!   EPR establishments, and qubit high-water marks are only counted
+//!   ([`OpCounts`]), which reproduces the paper's Table 1–3 resource
+//!   formulas at arbitrary scale in microseconds.
+//!
+//! [`qalgo`-style workloads]: BackendKind::StateVector
 //!
 //! ## Surface
 //!
@@ -63,7 +96,10 @@ pub mod qubit;
 pub mod reduce_ops;
 pub mod resources;
 
-pub use backend::Backend;
+pub use backend::{
+    BackendKind, OpCounts, QuantumBackend, Shared, SimEngine, StabilizerEngine, StateVectorEngine,
+    TraceEngine, DIAG_RANK,
+};
 pub use collectives::{
     AllreduceHandle, BcastAlgorithm, ExscanHandle, ReduceHandle, ReduceScatterHandle, ScanHandle,
 };
@@ -88,7 +124,7 @@ mod proptests {
 
         #[test]
         fn teleportation_preserves_random_states(theta in 0.0f64..3.1, phi in -3.1f64..3.1, seed in 0u64..500) {
-            let cfg = QmpiConfig { seed, s_limit: None };
+            let cfg = QmpiConfig::new().seed(seed);
             let out = run_with_config(2, cfg, move |ctx| {
                 if ctx.rank() == 0 {
                     let q = ctx.alloc_one();
@@ -113,7 +149,7 @@ mod proptests {
 
         #[test]
         fn copy_uncopy_roundtrip_random_states(theta in 0.0f64..3.1, phi in -3.1f64..3.1, seed in 0u64..500) {
-            let cfg = QmpiConfig { seed, s_limit: None };
+            let cfg = QmpiConfig::new().seed(seed);
             let out = run_with_config(2, cfg, move |ctx| {
                 if ctx.rank() == 0 {
                     let q = ctx.alloc_one();

@@ -142,7 +142,14 @@ impl QmpiRank {
     }
 
     /// QMPI_Unsendrecv: inverse of [`QmpiRank::sendrecv`].
-    pub fn unsendrecv(&self, kept: &Qubit, received: Qubit, dest: usize, src: usize, tag: QTag) -> Result<()> {
+    pub fn unsendrecv(
+        &self,
+        kept: &Qubit,
+        received: Qubit,
+        dest: usize,
+        src: usize,
+        tag: QTag,
+    ) -> Result<()> {
         self.unrecv(received, src, tag)?;
         self.unsend(kept, dest, tag)
     }
@@ -151,7 +158,13 @@ impl QmpiRank {
     /// note (a)) — the own qubit is teleported out while another is
     /// teleported in. Both EPR channels are posted before either completes,
     /// so the symmetric exchange cannot deadlock.
-    pub fn sendrecv_replace(&self, qubit: Qubit, dest: usize, src: usize, tag: QTag) -> Result<Qubit> {
+    pub fn sendrecv_replace(
+        &self,
+        qubit: Qubit,
+        dest: usize,
+        src: usize,
+        tag: QTag,
+    ) -> Result<Qubit> {
         let epr_s = self.alloc_one();
         let req_s = self.iprepare_epr_role(&epr_s, dest, tag, EprRole::Origin)?;
         let q_r = self.alloc_one();
@@ -185,7 +198,13 @@ impl QmpiRank {
 
     /// QMPI_Unsendrecv_replace: inverse of [`QmpiRank::sendrecv_replace`] —
     /// simply the exchange in the opposite direction.
-    pub fn unsendrecv_replace(&self, qubit: Qubit, dest: usize, src: usize, tag: QTag) -> Result<Qubit> {
+    pub fn unsendrecv_replace(
+        &self,
+        qubit: Qubit,
+        dest: usize,
+        src: usize,
+        tag: QTag,
+    ) -> Result<Qubit> {
         self.sendrecv_replace(qubit, dest, src, tag)
     }
 
@@ -408,7 +427,10 @@ mod tests {
         });
         assert_eq!(out[0].epr_pairs, 1);
         assert_eq!(out[0].classical_bits, 2);
-        assert_eq!(out[0].classical_messages, 1, "one two-bit message, not two one-bit ones");
+        assert_eq!(
+            out[0].classical_messages, 1,
+            "one two-bit message, not two one-bit ones"
+        );
     }
 
     #[test]
@@ -482,7 +504,9 @@ mod tests {
                 ctx.unsend(&ctrl, 1, 0).unwrap();
                 ctx.barrier();
                 // <Z ctrl Z t0> = 1: perfectly correlated.
-                let zz = ctx.expectation(&[(&ctrl, qsim::Pauli::Z), (&t0, qsim::Pauli::Z)]).unwrap();
+                let zz = ctx
+                    .expectation(&[(&ctrl, qsim::Pauli::Z), (&t0, qsim::Pauli::Z)])
+                    .unwrap();
                 ctx.measure_and_free(t0).unwrap();
                 ctx.measure_and_free(ctrl).unwrap();
                 zz

@@ -78,7 +78,8 @@ impl PersistentSend {
         ctx.cnot(qubit, &epr)?;
         let m = ctx.measure_and_free(epr)?;
         ctx.ledger().buffer_dec(ctx.rank());
-        ctx.proto.send(&m, self.dest, ptag(ProtoOp::CopyFix, self.tag));
+        ctx.proto
+            .send(&m, self.dest, ptag(ProtoOp::CopyFix, self.tag));
         ctx.ledger().record_classical(1);
         Ok(())
     }
@@ -106,7 +107,9 @@ impl PersistentRecv {
             .pool
             .pop_front()
             .ok_or_else(|| QmpiError::Protocol("persistent recv pool exhausted".into()))?;
-        let (m, _) = ctx.proto.recv::<bool>(self.src, ptag(ProtoOp::CopyFix, self.tag));
+        let (m, _) = ctx
+            .proto
+            .recv::<bool>(self.src, ptag(ProtoOp::CopyFix, self.tag));
         if m {
             ctx.x(&q)?;
         }
@@ -162,7 +165,10 @@ mod tests {
             }
         });
         // Zero EPR pairs during the start phase; one bit per message.
-        assert_eq!(out[0].0.epr_pairs, 0, "starts must be classical-only (Section 4.7)");
+        assert_eq!(
+            out[0].0.epr_pairs, 0,
+            "starts must be classical-only (Section 4.7)"
+        );
         assert_eq!(out[0].0.classical_bits, 3);
         assert_eq!(out[1].1, vec![true, false, true]);
     }
@@ -192,7 +198,7 @@ mod tests {
     #[test]
     fn pool_respects_s_limit() {
         use crate::context::{run_with_config, QmpiConfig};
-        let cfg = QmpiConfig { seed: 3, s_limit: Some(2) };
+        let cfg = QmpiConfig::new().seed(3).s_limit(2);
         let out = run_with_config(2, cfg, |ctx| {
             if ctx.rank() == 0 {
                 // 3 pre-established pairs exceed S = 2.

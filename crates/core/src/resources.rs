@@ -88,7 +88,11 @@ impl ResourceLedger {
 
     /// Largest per-rank peak across all ranks.
     pub fn max_buffer_peak(&self) -> i64 {
-        self.buffer_peak.iter().map(|p| p.load(Ordering::Relaxed)).max().unwrap_or(0)
+        self.buffer_peak
+            .iter()
+            .map(|p| p.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Point-in-time totals.

@@ -61,12 +61,7 @@ pub fn remote_cz_target(
 /// the remote side runs [`zz_rotation_remote`], which holds the rotation
 /// qubit. Uses the Listing 1 pattern: copy, local parity + Rz + parity,
 /// uncopy.
-pub fn zz_rotation_local(
-    ctx: &QmpiRank,
-    qubit: &Qubit,
-    peer: usize,
-    tag: QTag,
-) -> Result<()> {
+pub fn zz_rotation_local(ctx: &QmpiRank, qubit: &Qubit, peer: usize, tag: QTag) -> Result<()> {
     ctx.send(qubit, peer, tag)?;
     ctx.unsend(qubit, peer, tag)
 }

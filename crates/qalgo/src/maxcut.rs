@@ -25,7 +25,10 @@ impl Graph {
     /// Builds a graph, validating the edge list.
     pub fn new(n_vertices: usize, edges: Vec<(usize, usize)>) -> Self {
         for &(u, v) in &edges {
-            assert!(u < n_vertices && v < n_vertices && u != v, "invalid edge ({u},{v})");
+            assert!(
+                u < n_vertices && v < n_vertices && u != v,
+                "invalid edge ({u},{v})"
+            );
         }
         Graph { n_vertices, edges }
     }
@@ -43,7 +46,10 @@ impl Graph {
     /// Cut value of an assignment (vertices -> sides).
     pub fn cut_value(&self, assignment: &[bool]) -> usize {
         assert_eq!(assignment.len(), self.n_vertices);
-        self.edges.iter().filter(|&&(u, v)| assignment[u] != assignment[v]).count()
+        self.edges
+            .iter()
+            .filter(|&&(u, v)| assignment[u] != assignment[v])
+            .count()
     }
 
     /// Exhaustive optimum (for tests; graphs up to ~20 vertices).
@@ -143,7 +149,7 @@ mod tests {
         let g = Graph::path(4);
         let optimum = g.brute_force_maxcut();
         let g2 = g.clone();
-        let out = run_with_config(2, QmpiConfig { seed: 1234, s_limit: None }, move |ctx| {
+        let out = run_with_config(2, QmpiConfig::new().seed(1234), move |ctx| {
             anneal_maxcut(ctx, &g2, 40, 0.4).unwrap()
         });
         let assignment: Vec<bool> = out.into_iter().flatten().collect();
@@ -159,7 +165,7 @@ mod tests {
         let g = Graph::cycle(4);
         let optimum = g.brute_force_maxcut();
         let g2 = g.clone();
-        let out = run_with_config(1, QmpiConfig { seed: 7, s_limit: None }, move |ctx| {
+        let out = run_with_config(1, QmpiConfig::new().seed(7), move |ctx| {
             anneal_maxcut(ctx, &g2, 40, 0.4).unwrap()
         });
         let assignment = out.into_iter().next().unwrap();

@@ -32,7 +32,7 @@ pub fn in_place(ctx: &QmpiRank, qubit: &Qubit, theta: f64) -> Result<()> {
     }
     for (lvl, &s) in levels.iter().enumerate() {
         let tag = 100 + lvl as u16;
-        if rank % (2 * s) == 0 && rank + s < k {
+        if rank.is_multiple_of(2 * s) && rank + s < k {
             remote_cnot_target(ctx, qubit, rank + s, tag)?;
         } else if rank % (2 * s) == s {
             remote_cnot_control(ctx, qubit, rank - s, tag)?;
@@ -44,7 +44,7 @@ pub fn in_place(ctx: &QmpiRank, qubit: &Qubit, theta: f64) -> Result<()> {
     // Fan-out (uncompute) in reverse order.
     for (lvl, &s) in levels.iter().enumerate().rev() {
         let tag = 200 + lvl as u16;
-        if rank % (2 * s) == 0 && rank + s < k {
+        if rank.is_multiple_of(2 * s) && rank + s < k {
             remote_cnot_target(ctx, qubit, rank + s, tag)?;
         } else if rank % (2 * s) == s {
             remote_cnot_control(ctx, qubit, rank - s, tag)?;
@@ -166,7 +166,7 @@ mod tests {
     ) -> f64 {
         let angles: Vec<f64> = (0..k).map(|i| 0.4 + 0.3 * i as f64).collect();
         let angles2 = angles.clone();
-        let out = run_with_config(k, QmpiConfig { seed, s_limit: None }, move |ctx| {
+        let out = run_with_config(k, QmpiConfig::new().seed(seed), move |ctx| {
             let q = ctx.alloc_one();
             ctx.ry(&q, angles2[ctx.rank()]).unwrap();
             method(ctx, &q, theta).unwrap();
@@ -174,8 +174,12 @@ mod tests {
             let ids: Vec<u64> = vec![q.id().0];
             let gathered = ctx.classical().gather(&ids, 0);
             let f = if ctx.rank() == 0 {
-                let all: Vec<QubitId> =
-                    gathered.unwrap().into_iter().flatten().map(QubitId).collect();
+                let all: Vec<QubitId> = gathered
+                    .unwrap()
+                    .into_iter()
+                    .flatten()
+                    .map(QubitId)
+                    .collect();
                 let state = ctx.backend().state_vector(&all).unwrap();
                 state.fidelity(&reference_state(&angles2, theta))
             } else {
@@ -223,8 +227,8 @@ mod tests {
         // k = 4: in-place 2(k-1) = 6; out-of-place (co-located aux) k-1 = 3;
         // constant depth (co-located aux) k-1 = 3.
         let k = 4;
-        let cases: [(fn(&QmpiRank, &Qubit, f64) -> qmpi::Result<()>, u64); 3] =
-            [(in_place, 6), (out_of_place, 3), (constant_depth, 3)];
+        type Method = fn(&QmpiRank, &Qubit, f64) -> qmpi::Result<()>;
+        let cases: [(Method, u64); 3] = [(in_place, 6), (out_of_place, 3), (constant_depth, 3)];
         for (method, expect) in cases {
             let out = run_with_config(k, QmpiConfig::default(), move |ctx| {
                 let q = ctx.alloc_one();

@@ -30,7 +30,7 @@ pub struct TfimParams {
 /// three when odd.
 fn edge_color(r: usize, n: usize) -> usize {
     if r == 0 {
-        if n % 2 == 0 {
+        if n.is_multiple_of(2) {
             1
         } else {
             2
@@ -41,7 +41,7 @@ fn edge_color(r: usize, n: usize) -> usize {
 }
 
 fn edge_colors(n: usize) -> usize {
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         2
     } else {
         3
@@ -122,7 +122,12 @@ pub fn anneal(
     for step in 0..annealing_steps {
         let j = step as f64 / annealing_steps as f64;
         let g = 1.0 - j;
-        let params = TfimParams { j, g, time: time_per_step, trotter_steps: trotter_per_step };
+        let params = TfimParams {
+            j,
+            g,
+            time: time_per_step,
+            trotter_steps: trotter_per_step,
+        };
         time_evolution(ctx, &qubits, &params)?;
     }
     let mut res = Vec::with_capacity(num_local_spins);
@@ -151,7 +156,11 @@ pub fn reference_trotter_step(sim: &mut Simulator, spins: &[QubitId], j: f64, g:
 }
 
 /// Dense reference evolution from |+...+> with the given segment.
-pub fn reference_evolution(n_spins: usize, params: &TfimParams, seed: u64) -> (Simulator, Vec<QubitId>) {
+pub fn reference_evolution(
+    n_spins: usize,
+    params: &TfimParams,
+    seed: u64,
+) -> (Simulator, Vec<QubitId>) {
     let mut sim = Simulator::new(seed);
     let spins = sim.alloc_n(n_spins);
     for &q in &spins {
@@ -210,7 +219,12 @@ mod tests {
 
     #[test]
     fn two_ranks_match_dense_reference() {
-        let params = TfimParams { j: 0.7, g: 0.4, time: 0.5, trotter_steps: 3 };
+        let params = TfimParams {
+            j: 0.7,
+            g: 0.4,
+            time: 0.5,
+            trotter_steps: 3,
+        };
         let f = distributed_vs_reference(2, 2, params);
         assert!((f - 1.0).abs() < TOL, "fidelity {f}");
     }
@@ -219,21 +233,36 @@ mod tests {
     fn three_ranks_odd_ring_match_dense_reference() {
         // Odd rank counts exercise the 3-color boundary schedule that the
         // paper's listing (implicitly even-size) does not handle.
-        let params = TfimParams { j: 0.5, g: 0.8, time: 0.4, trotter_steps: 2 };
+        let params = TfimParams {
+            j: 0.5,
+            g: 0.8,
+            time: 0.4,
+            trotter_steps: 2,
+        };
         let f = distributed_vs_reference(3, 2, params);
         assert!((f - 1.0).abs() < TOL, "fidelity {f}");
     }
 
     #[test]
     fn four_ranks_single_spin_each() {
-        let params = TfimParams { j: 1.0, g: 0.2, time: 0.3, trotter_steps: 2 };
+        let params = TfimParams {
+            j: 1.0,
+            g: 0.2,
+            time: 0.3,
+            trotter_steps: 2,
+        };
         let f = distributed_vs_reference(4, 1, params);
         assert!((f - 1.0).abs() < TOL, "fidelity {f}");
     }
 
     #[test]
     fn single_rank_matches_reference_trivially() {
-        let params = TfimParams { j: 0.9, g: 0.1, time: 0.6, trotter_steps: 4 };
+        let params = TfimParams {
+            j: 0.9,
+            g: 0.1,
+            time: 0.6,
+            trotter_steps: 4,
+        };
         let f = distributed_vs_reference(1, 4, params);
         assert!((f - 1.0).abs() < TOL, "fidelity {f}");
     }
@@ -247,7 +276,12 @@ mod tests {
             for q in &qubits {
                 ctx.h(q).unwrap();
             }
-            let params = TfimParams { j: 0.0, g: 1.0, time: 0.8, trotter_steps: 4 };
+            let params = TfimParams {
+                j: 0.0,
+                g: 1.0,
+                time: 0.8,
+                trotter_steps: 4,
+            };
             time_evolution(ctx, &qubits, &params).unwrap();
             let ok = qubits
                 .iter()

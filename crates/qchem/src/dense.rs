@@ -29,7 +29,11 @@ pub fn to_dense(sum: &PauliSum, n_qubits: usize) -> SymMatrix {
         let x = s.x as usize;
         let z = s.z as usize;
         for col in 0..dim {
-            let sign = if ((col & z).count_ones()) % 2 == 1 { -1.0 } else { 1.0 };
+            let sign = if ((col & z).count_ones()) % 2 == 1 {
+                -1.0
+            } else {
+                1.0
+            };
             let row = col ^ x;
             m[row * dim + col] += c.re * global_sign * sign;
         }
@@ -53,7 +57,7 @@ pub fn spectrum(sum: &PauliSum, n_qubits: usize) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pauli::{Axis, C64, PauliString, PauliSum};
+    use crate::pauli::{Axis, PauliString, PauliSum, C64};
 
     #[test]
     fn dense_of_z_is_diagonal() {

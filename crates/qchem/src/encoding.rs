@@ -14,7 +14,7 @@
 //! partial occupation sums on a Fenwick tree and pays only O(log n) weight —
 //! exactly the trade-off behind the paper's Fig. 5.
 
-use crate::pauli::{C64, PauliString, PauliSum};
+use crate::pauli::{PauliString, PauliSum, C64};
 
 /// Which fermion-to-qubit encoding to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -64,8 +64,14 @@ fn jw_ladder(j: usize, n: usize, lower: bool) -> PauliSum {
     assert!(j < n && n <= 64, "mode index out of range");
     let zmask = (1u64 << j) - 1;
     let mut sum = PauliSum::zero();
-    let x_string = PauliString { x: 1 << j, z: zmask };
-    let y_string = PauliString { x: 1 << j, z: zmask | (1 << j) };
+    let x_string = PauliString {
+        x: 1 << j,
+        z: zmask,
+    };
+    let y_string = PauliString {
+        x: 1 << j,
+        z: zmask | (1 << j),
+    };
     sum.add_term(x_string, C64::real(0.5));
     let sign = if lower { 0.5 } else { -0.5 };
     sum.add_term(y_string, C64::new(0.0, sign));
@@ -115,7 +121,11 @@ pub fn bk_sets(j: usize, n: usize) -> BkSets {
         flip |= 1 << (u - step - 1);
         step <<= 1;
     }
-    BkSets { update, parity, flip }
+    BkSets {
+        update,
+        parity,
+        flip,
+    }
 }
 
 /// Bravyi-Kitaev ladder operator (Seeley-Richard-Love):
@@ -125,8 +135,14 @@ fn bk_ladder(j: usize, n: usize, lower: bool) -> PauliSum {
     let sets = bk_sets(j, n);
     let rho = sets.parity & !sets.flip;
     let mut sum = PauliSum::zero();
-    let x_term = PauliString { x: sets.update | (1 << j), z: sets.parity };
-    let y_term = PauliString { x: sets.update | (1 << j), z: rho | (1 << j) };
+    let x_term = PauliString {
+        x: sets.update | (1 << j),
+        z: sets.parity,
+    };
+    let y_term = PauliString {
+        x: sets.update | (1 << j),
+        z: rho | (1 << j),
+    };
     sum.add_term(x_term, C64::real(0.5));
     let sign = if lower { 0.5 } else { -0.5 };
     sum.add_term(y_term, C64::new(0.0, sign));
@@ -167,7 +183,11 @@ mod tests {
                 let adj = enc.raise(j, n);
                 let anti = anticommutator(&ai, &adj);
                 if i == j {
-                    assert_eq!(anti.len(), 1, "{enc:?} n={n}: {{a_{i}, a†_{i}}} must be identity");
+                    assert_eq!(
+                        anti.len(),
+                        1,
+                        "{enc:?} n={n}: {{a_{i}, a†_{i}}} must be identity"
+                    );
                     let c = anti.coeff(&PauliString::IDENTITY);
                     assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
                 } else {
@@ -285,7 +305,10 @@ mod tests {
                     .filter(|(s, _)| s.x == 0)
                     .map(|(_, c)| c.re)
                     .sum();
-                assert!(diag0.abs() < 1e-12, "{enc:?} j={j}: vacuum occupation {diag0}");
+                assert!(
+                    diag0.abs() < 1e-12,
+                    "{enc:?} j={j}: vacuum occupation {diag0}"
+                );
             }
         }
     }

@@ -47,7 +47,10 @@ impl ContractedGaussian {
     /// Evaluates the orbital at a point (bohr) — used in tests.
     pub fn evaluate(&self, r: [f64; 3]) -> f64 {
         let dr2 = dist2(self.center, r);
-        self.primitives.iter().map(|p| p.coeff * (-p.alpha * dr2).exp()).sum()
+        self.primitives
+            .iter()
+            .map(|p| p.coeff * (-p.alpha * dr2).exp())
+            .sum()
     }
 }
 

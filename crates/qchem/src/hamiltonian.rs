@@ -11,7 +11,7 @@
 
 use crate::encoding::Encoding;
 use crate::integrals::OrthoIntegrals;
-use crate::pauli::{C64, PauliSum};
+use crate::pauli::{PauliSum, C64};
 
 /// Threshold below which integrals are dropped (numerically zero).
 pub const INTEGRAL_TOL: f64 = 1e-10;
@@ -75,16 +75,16 @@ pub fn qubit_hamiltonian(ints: &OrthoIntegrals, encoding: Encoding) -> PauliSum 
         }
     }
     h.prune(COEFF_TOL);
-    debug_assert!(h.is_real(1e-8), "Hermitian Hamiltonian from real integrals must be real");
+    debug_assert!(
+        h.is_real(1e-8),
+        "Hermitian Hamiltonian from real integrals must be real"
+    );
     h
 }
 
 /// Convenience: full pipeline molecule -> orthogonalized integrals ->
 /// qubit Hamiltonian.
-pub fn molecular_hamiltonian(
-    mol: &crate::molecule::Molecule,
-    encoding: Encoding,
-) -> PauliSum {
+pub fn molecular_hamiltonian(mol: &crate::molecule::Molecule, encoding: Encoding) -> PauliSum {
     let ao = crate::integrals::AoIntegrals::compute(mol);
     let ortho = ao.orthogonalized();
     qubit_hamiltonian(&ortho, encoding)

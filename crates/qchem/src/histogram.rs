@@ -63,7 +63,7 @@ impl WeightHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pauli::{C64, PauliString, PauliSum};
+    use crate::pauli::{PauliString, PauliSum, C64};
 
     #[test]
     fn histogram_counts_weights() {

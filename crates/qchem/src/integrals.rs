@@ -129,13 +129,8 @@ pub fn eri(
                     let kcd = (-pc.alpha * pd.alpha / q * rcd2).exp();
                     let qq = product_center(pc.alpha, c.center, pd.alpha, d.center);
                     let t = p * q / (p + q) * dist2(pp, qq);
-                    let pref = 2.0 * std::f64::consts::PI.powf(2.5)
-                        / (p * q * (p + q).sqrt());
-                    g += pa.coeff * pb.coeff * pc.coeff * pd.coeff
-                        * pref
-                        * kab
-                        * kcd
-                        * boys_f0(t);
+                    let pref = 2.0 * std::f64::consts::PI.powf(2.5) / (p * q * (p + q).sqrt());
+                    g += pa.coeff * pb.coeff * pc.coeff * pd.coeff * pref * kab * kcd * boys_f0(t);
                 }
             }
         }
@@ -196,7 +191,12 @@ impl AoIntegrals {
                 }
             }
         }
-        AoIntegrals { n_orbitals: n, overlap: s, core: h, eri: g }
+        AoIntegrals {
+            n_orbitals: n,
+            overlap: s,
+            core: h,
+            eri: g,
+        }
     }
 
     /// ERI accessor `(pq|rs)`.
@@ -271,7 +271,11 @@ impl AoIntegrals {
                 }
             }
         }
-        OrthoIntegrals { n_orbitals: n, core, eri: g }
+        OrthoIntegrals {
+            n_orbitals: n,
+            core,
+            eri: g,
+        }
     }
 }
 
@@ -416,6 +420,9 @@ mod tests {
                 }
             }
         }
-        assert!(nonzero > n * n, "ortho basis must remain dense, got {nonzero}");
+        assert!(
+            nonzero > n * n,
+            "ortho basis must remain dense, got {nonzero}"
+        );
     }
 }

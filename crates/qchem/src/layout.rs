@@ -135,11 +135,7 @@ fn out_of_place_remote_qubits(layout: &BlockLayout, support: u64) -> u64 {
 
 /// Total EPR pairs for one first-order Trotter step of a Hamiltonian: each
 /// non-identity term is executed once (the Fig. 7 quantity).
-pub fn trotter_step_epr_cost(
-    h: &PauliSum,
-    layout: &BlockLayout,
-    method: CircuitMethod,
-) -> u64 {
+pub fn trotter_step_epr_cost(h: &PauliSum, layout: &BlockLayout, method: CircuitMethod) -> u64 {
     h.iter()
         .filter(|(s, _)| s.support() != 0)
         .map(|(s, _)| term_epr_cost(layout, s.support(), method))
@@ -149,7 +145,7 @@ pub fn trotter_step_epr_cost(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pauli::{C64, PauliString};
+    use crate::pauli::{PauliString, C64};
 
     #[test]
     fn block_assignment() {
@@ -172,7 +168,11 @@ mod tests {
     #[test]
     fn local_terms_are_free() {
         let l = BlockLayout::new(8, 2);
-        for m in [CircuitMethod::InPlace, CircuitMethod::OutOfPlace, CircuitMethod::ConstantDepth] {
+        for m in [
+            CircuitMethod::InPlace,
+            CircuitMethod::OutOfPlace,
+            CircuitMethod::ConstantDepth,
+        ] {
             assert_eq!(term_epr_cost(&l, 0b0000_1111, m), 0, "{m:?}");
             assert_eq!(term_epr_cost(&l, 0b1, m), 0, "{m:?}");
         }
@@ -202,16 +202,26 @@ mod tests {
         // 4 support qubits on 2 of 4 nodes => m-1 = 1 regardless of k.
         let l = BlockLayout::new(8, 4);
         let support = 0b0000_0011 | 0b1100_0000;
-        assert_eq!(term_epr_cost(&l, support, CircuitMethod::ConstantDepth), 2 - 1);
+        assert_eq!(
+            term_epr_cost(&l, support, CircuitMethod::ConstantDepth),
+            2 - 1
+        );
         // Spanning three nodes => 2.
         let support3 = 0b0000_0011 | 0b0011_0000 | 0b1100_0000;
-        assert_eq!(term_epr_cost(&l, support3, CircuitMethod::ConstantDepth), 3 - 1);
+        assert_eq!(
+            term_epr_cost(&l, support3, CircuitMethod::ConstantDepth),
+            3 - 1
+        );
     }
 
     #[test]
     fn single_node_layout_is_always_free() {
         let l = BlockLayout::new(8, 1);
-        for m in [CircuitMethod::InPlace, CircuitMethod::OutOfPlace, CircuitMethod::ConstantDepth] {
+        for m in [
+            CircuitMethod::InPlace,
+            CircuitMethod::OutOfPlace,
+            CircuitMethod::ConstantDepth,
+        ] {
             assert_eq!(term_epr_cost(&l, 0b1111_1111, m), 0, "{m:?}");
         }
     }

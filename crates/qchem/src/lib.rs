@@ -31,12 +31,12 @@ pub use hamiltonian::{molecular_hamiltonian, qubit_hamiltonian};
 pub use histogram::WeightHistogram;
 pub use layout::{term_epr_cost, trotter_step_epr_cost, BlockLayout, CircuitMethod};
 pub use molecule::Molecule;
-pub use pauli::{Axis, C64, PauliString, PauliSum};
+pub use pauli::{Axis, PauliString, PauliSum, C64};
 pub use trotter::{first_order_step, rotations_per_step, TrotterTerm};
 
 #[cfg(test)]
 mod proptests {
-    use crate::pauli::{C64, PauliString, PauliSum};
+    use crate::pauli::{PauliString, PauliSum, C64};
     use proptest::prelude::*;
 
     fn arb_string() -> impl Strategy<Value = PauliString> {

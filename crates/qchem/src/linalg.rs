@@ -15,7 +15,10 @@ pub struct SymMatrix {
 impl SymMatrix {
     /// Zero matrix of dimension `n`.
     pub fn zeros(n: usize) -> Self {
-        SymMatrix { n, data: vec![0.0; n * n] }
+        SymMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Identity matrix of dimension `n`.
@@ -30,7 +33,10 @@ impl SymMatrix {
     /// Builds from a row-major slice (must be symmetric; enforced in debug).
     pub fn from_rows(n: usize, rows: &[f64]) -> Self {
         assert_eq!(rows.len(), n * n);
-        let m = SymMatrix { n, data: rows.to_vec() };
+        let m = SymMatrix {
+            n,
+            data: rows.to_vec(),
+        };
         #[cfg(debug_assertions)]
         for i in 0..n {
             for j in 0..i {

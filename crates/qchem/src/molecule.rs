@@ -33,7 +33,10 @@ impl Molecule {
         let atoms = (0..n)
             .map(|k| {
                 let phi = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
-                Atom { charge: 1.0, position: [radius * phi.cos(), radius * phi.sin(), 0.0] }
+                Atom {
+                    charge: 1.0,
+                    position: [radius * phi.cos(), radius * phi.sin(), 0.0],
+                }
             })
             .collect();
         Molecule { atoms }
@@ -43,7 +46,10 @@ impl Molecule {
     pub fn hydrogen_chain(n: usize, bond_angstrom: f64) -> Self {
         let bond = bond_angstrom * ANGSTROM;
         let atoms = (0..n)
-            .map(|k| Atom { charge: 1.0, position: [k as f64 * bond, 0.0, 0.0] })
+            .map(|k| Atom {
+                charge: 1.0,
+                position: [k as f64 * bond, 0.0, 0.0],
+            })
             .collect();
         Molecule { atoms }
     }
@@ -65,7 +71,10 @@ impl Molecule {
 
     /// The STO-3G basis set: one contracted 1s Gaussian per atom.
     pub fn basis(&self) -> Vec<ContractedGaussian> {
-        self.atoms.iter().map(|a| ContractedGaussian::sto3g_hydrogen(a.position)).collect()
+        self.atoms
+            .iter()
+            .map(|a| ContractedGaussian::sto3g_hydrogen(a.position))
+            .collect()
     }
 
     /// Nuclear repulsion energy `sum_{i<j} Z_i Z_j / |R_i - R_j|` (hartree).
@@ -73,8 +82,8 @@ impl Molecule {
         let mut e = 0.0;
         for i in 0..self.atoms.len() {
             for j in 0..i {
-                let d = crate::gaussian::dist2(self.atoms[i].position, self.atoms[j].position)
-                    .sqrt();
+                let d =
+                    crate::gaussian::dist2(self.atoms[i].position, self.atoms[j].position).sqrt();
                 e += self.atoms[i].charge * self.atoms[j].charge / d;
             }
         }

@@ -40,9 +40,18 @@ impl C64 {
     pub fn mul_i_pow(self, k: u8) -> Self {
         match k & 3 {
             0 => self,
-            1 => C64 { re: -self.im, im: self.re },
-            2 => C64 { re: -self.re, im: -self.im },
-            _ => C64 { re: self.im, im: -self.re },
+            1 => C64 {
+                re: -self.im,
+                im: self.re,
+            },
+            2 => C64 {
+                re: -self.re,
+                im: -self.im,
+            },
+            _ => C64 {
+                re: self.im,
+                im: -self.re,
+            },
         }
     }
 }
@@ -50,21 +59,30 @@ impl C64 {
 impl std::ops::Add for C64 {
     type Output = C64;
     fn add(self, r: C64) -> C64 {
-        C64 { re: self.re + r.re, im: self.im + r.im }
+        C64 {
+            re: self.re + r.re,
+            im: self.im + r.im,
+        }
     }
 }
 
 impl std::ops::Mul for C64 {
     type Output = C64;
     fn mul(self, r: C64) -> C64 {
-        C64 { re: self.re * r.re - self.im * r.im, im: self.re * r.im + self.im * r.re }
+        C64 {
+            re: self.re * r.re - self.im * r.im,
+            im: self.re * r.im + self.im * r.re,
+        }
     }
 }
 
 impl std::ops::Mul<f64> for C64 {
     type Output = C64;
     fn mul(self, r: f64) -> C64 {
-        C64 { re: self.re * r, im: self.im * r }
+        C64 {
+            re: self.re * r,
+            im: self.im * r,
+        }
     }
 }
 
@@ -153,7 +171,7 @@ impl PauliString {
     /// Whether two strings commute.
     pub fn commutes_with(&self, other: &PauliString) -> bool {
         let anti = (self.x & other.z).count_ones() + (self.z & other.x).count_ones();
-        anti % 2 == 0
+        anti.is_multiple_of(2)
     }
 
     /// Human-readable form like `"X0 Z3 Y5"` (identity => `"I"`).
@@ -225,7 +243,7 @@ impl PauliSum {
 
     /// Adds `coeff * string`.
     pub fn add_term(&mut self, string: PauliString, coeff: C64) {
-        let e = self.terms.entry(string).or_insert(C64::default());
+        let e = self.terms.entry(string).or_default();
         *e = *e + coeff;
     }
 
@@ -286,7 +304,10 @@ impl PauliSum {
 
     /// Largest |coeff| in the sum.
     pub fn max_abs_coeff(&self) -> f64 {
-        self.terms.values().map(|c| c.norm_sqr().sqrt()).fold(0.0, f64::max)
+        self.terms
+            .values()
+            .map(|c| c.norm_sqr().sqrt())
+            .fold(0.0, f64::max)
     }
 
     /// True if every coefficient is (numerically) real — expected for

@@ -2,7 +2,7 @@
 //!
 //! The kernels walk the amplitude vector with bit-stride loops. For large
 //! states (>= [`PAR_THRESHOLD`] amplitudes) the single-qubit and controlled
-//! kernels split the index space across threads with `crossbeam::scope`; the
+//! kernels split the index space across threads with `std::thread::scope`; the
 //! index pairs touched by one gate application are disjoint across loop
 //! iterations, so chunks never alias.
 
@@ -15,11 +15,13 @@ pub const PAR_THRESHOLD: usize = 1 << 14;
 
 /// Maximum number of worker threads used by the parallel kernels.
 fn max_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
 }
 
 /// Raw-pointer wrapper so disjoint chunks of the amplitude vector can be
-/// written from several threads inside a `crossbeam::scope`.
+/// written from several threads inside a `std::thread::scope`.
 #[derive(Clone, Copy)]
 struct SendPtr(*mut Complex);
 // SAFETY: every parallel kernel partitions the iteration space so that no two
@@ -47,14 +49,14 @@ pub fn apply_1q(state: &mut State, target: usize, m: &Mat2) {
         let nthreads = max_threads();
         let chunk = half.div_ceil(nthreads);
         let ptr = SendPtr(state.amplitudes_mut().as_mut_ptr());
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..nthreads {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(half);
                 if lo >= hi {
                     break;
                 }
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let p = ptr;
                     for i in lo..hi {
                         let (i0, i1) = pair_indices(i, bit);
@@ -68,8 +70,7 @@ pub fn apply_1q(state: &mut State, target: usize, m: &Mat2) {
                     }
                 });
             }
-        })
-        .expect("apply_1q worker panicked");
+        });
     } else {
         let amps = state.amplitudes_mut();
         for i in 0..half {
@@ -112,22 +113,21 @@ pub fn apply_controlled_1q(state: &mut State, controls: &[usize], target: usize,
         let chunk = half.div_ceil(nthreads);
         let ptr = SendPtr(state.amplitudes_mut().as_mut_ptr());
         let len = state.len();
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..nthreads {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(half);
                 if lo >= hi {
                     break;
                 }
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let p = ptr;
                     // SAFETY: disjoint (i0, i1) pairs per thread chunk.
                     let amps = unsafe { std::slice::from_raw_parts_mut(p.0, len) };
                     body(amps, lo, hi);
                 });
             }
-        })
-        .expect("apply_controlled_1q worker panicked");
+        });
     } else {
         body(state.amplitudes_mut(), 0, half);
     }
@@ -314,7 +314,11 @@ mod tests {
         for init in 0..8usize {
             let mut s = basis(3, init);
             apply_toffoli(&mut s, 2, 1, 0);
-            let expect = if init & 0b110 == 0b110 { init ^ 1 } else { init };
+            let expect = if init & 0b110 == 0b110 {
+                init ^ 1
+            } else {
+                init
+            };
             assert!((s.probability(expect) - 1.0).abs() < TOL, "init={init}");
         }
     }

@@ -39,13 +39,19 @@ impl Complex {
     /// Returns `e^{i\theta} = cos\theta + i sin\theta`.
     #[inline]
     pub fn cis(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline(always)]
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|^2`. This is the probability weight of an amplitude.
@@ -69,7 +75,10 @@ impl Complex {
     /// Multiplies by a real scalar.
     #[inline(always)]
     pub fn scale(self, s: f64) -> Self {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// True if both components are within `tol` of the other value's.
@@ -89,7 +98,10 @@ impl Complex {
     pub fn inv(self) -> Self {
         let d = self.norm_sqr();
         debug_assert!(d > 0.0, "division by zero complex number");
-        Complex { re: self.re / d, im: -self.im / d }
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 }
 
@@ -97,7 +109,10 @@ impl Add for Complex {
     type Output = Complex;
     #[inline(always)]
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -105,7 +120,10 @@ impl Sub for Complex {
     type Output = Complex;
     #[inline(always)]
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -139,6 +157,7 @@ impl Mul<Complex> for f64 {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w = z * w^-1 by definition
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }
@@ -148,7 +167,10 @@ impl Neg for Complex {
     type Output = Complex;
     #[inline(always)]
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

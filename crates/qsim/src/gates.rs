@@ -95,8 +95,14 @@ impl Gate {
             ],
             Gate::S => [[C_ONE, C_ZERO], [C_ZERO, C_I]],
             Gate::Sdg => [[C_ONE, C_ZERO], [C_ZERO, -C_I]],
-            Gate::T => [[C_ONE, C_ZERO], [C_ZERO, Complex::cis(std::f64::consts::FRAC_PI_4)]],
-            Gate::Tdg => [[C_ONE, C_ZERO], [C_ZERO, Complex::cis(-std::f64::consts::FRAC_PI_4)]],
+            Gate::T => [
+                [C_ONE, C_ZERO],
+                [C_ZERO, Complex::cis(std::f64::consts::FRAC_PI_4)],
+            ],
+            Gate::Tdg => [
+                [C_ONE, C_ZERO],
+                [C_ZERO, Complex::cis(-std::f64::consts::FRAC_PI_4)],
+            ],
             Gate::Rx(t) => {
                 let c = Complex::real((t / 2.0).cos());
                 let s = Complex::new(0.0, -(t / 2.0).sin());
@@ -134,8 +140,10 @@ impl Gate {
 
     /// Whether this gate is diagonal in the computational basis.
     pub fn is_diagonal(&self) -> bool {
-        matches!(self, Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::Phase(_))
-            || matches!(self, Gate::U(m) if m[0][1].is_negligible(1e-15) && m[1][0].is_negligible(1e-15))
+        matches!(
+            self,
+            Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::Phase(_)
+        ) || matches!(self, Gate::U(m) if m[0][1].is_negligible(1e-15) && m[1][0].is_negligible(1e-15))
     }
 }
 
@@ -239,7 +247,16 @@ mod tests {
     const TOL: f64 = 1e-12;
 
     fn all_fixed_gates() -> Vec<Gate> {
-        vec![Gate::X, Gate::Y, Gate::Z, Gate::H, Gate::S, Gate::Sdg, Gate::T, Gate::Tdg]
+        vec![
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+        ]
     }
 
     #[test]

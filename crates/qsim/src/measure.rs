@@ -30,7 +30,10 @@ pub fn collapse(state: &mut State, target: usize, outcome: bool) {
             *a = crate::complex::C_ZERO;
         }
     }
-    assert!(norm > 1e-12, "collapsing qubit {target} onto probability-zero outcome");
+    assert!(
+        norm > 1e-12,
+        "collapsing qubit {target} onto probability-zero outcome"
+    );
     let inv = 1.0 / norm.sqrt();
     for a in state.amplitudes_mut() {
         *a = a.scale(inv);
@@ -123,12 +126,19 @@ pub fn expectation_pauli(state: &State, terms: &[PauliTerm]) -> f64 {
         if a.is_negligible(1e-300) {
             continue;
         }
-        let sign = if (i & z_mask).count_ones() % 2 == 1 { -1.0 } else { 1.0 };
+        let sign = if (i & z_mask).count_ones() % 2 == 1 {
+            -1.0
+        } else {
+            1.0
+        };
         let j = i ^ x_mask;
         acc += amps[j].conj() * (a.scale(sign));
     }
     let val = i_pow * acc;
-    debug_assert!(val.im.abs() < 1e-9, "expectation of Hermitian operator must be real");
+    debug_assert!(
+        val.im.abs() < 1e-9,
+        "expectation of Hermitian operator must be real"
+    );
     val.re
 }
 
@@ -237,18 +247,58 @@ mod tests {
     #[test]
     fn expectation_z_of_zero_and_one() {
         let s = State::zero(1);
-        assert!((expectation_pauli(&s, &[PauliTerm { qubit: 0, op: Pauli::Z }]) - 1.0).abs() < TOL);
+        assert!(
+            (expectation_pauli(
+                &s,
+                &[PauliTerm {
+                    qubit: 0,
+                    op: Pauli::Z
+                }]
+            ) - 1.0)
+                .abs()
+                < TOL
+        );
         let mut s1 = State::zero(1);
         apply_1q(&mut s1, 0, &Gate::X.matrix());
-        assert!((expectation_pauli(&s1, &[PauliTerm { qubit: 0, op: Pauli::Z }]) + 1.0).abs() < TOL);
+        assert!(
+            (expectation_pauli(
+                &s1,
+                &[PauliTerm {
+                    qubit: 0,
+                    op: Pauli::Z
+                }]
+            ) + 1.0)
+                .abs()
+                < TOL
+        );
     }
 
     #[test]
     fn expectation_x_of_plus_state() {
         let mut s = State::zero(1);
         apply_1q(&mut s, 0, &Gate::H.matrix());
-        assert!((expectation_pauli(&s, &[PauliTerm { qubit: 0, op: Pauli::X }]) - 1.0).abs() < TOL);
-        assert!(expectation_pauli(&s, &[PauliTerm { qubit: 0, op: Pauli::Z }]).abs() < TOL);
+        assert!(
+            (expectation_pauli(
+                &s,
+                &[PauliTerm {
+                    qubit: 0,
+                    op: Pauli::X
+                }]
+            ) - 1.0)
+                .abs()
+                < TOL
+        );
+        assert!(
+            expectation_pauli(
+                &s,
+                &[PauliTerm {
+                    qubit: 0,
+                    op: Pauli::Z
+                }]
+            )
+            .abs()
+                < TOL
+        );
     }
 
     #[test]
@@ -257,7 +307,17 @@ mod tests {
         let mut s = State::zero(1);
         apply_1q(&mut s, 0, &Gate::H.matrix());
         apply_1q(&mut s, 0, &Gate::S.matrix());
-        assert!((expectation_pauli(&s, &[PauliTerm { qubit: 0, op: Pauli::Y }]) - 1.0).abs() < TOL);
+        assert!(
+            (expectation_pauli(
+                &s,
+                &[PauliTerm {
+                    qubit: 0,
+                    op: Pauli::Y
+                }]
+            ) - 1.0)
+                .abs()
+                < TOL
+        );
     }
 
     #[test]
@@ -267,15 +327,42 @@ mod tests {
         apply_cnot(&mut s, 0, 1);
         let zz = expectation_pauli(
             &s,
-            &[PauliTerm { qubit: 0, op: Pauli::Z }, PauliTerm { qubit: 1, op: Pauli::Z }],
+            &[
+                PauliTerm {
+                    qubit: 0,
+                    op: Pauli::Z,
+                },
+                PauliTerm {
+                    qubit: 1,
+                    op: Pauli::Z,
+                },
+            ],
         );
         let xx = expectation_pauli(
             &s,
-            &[PauliTerm { qubit: 0, op: Pauli::X }, PauliTerm { qubit: 1, op: Pauli::X }],
+            &[
+                PauliTerm {
+                    qubit: 0,
+                    op: Pauli::X,
+                },
+                PauliTerm {
+                    qubit: 1,
+                    op: Pauli::X,
+                },
+            ],
         );
         let yy = expectation_pauli(
             &s,
-            &[PauliTerm { qubit: 0, op: Pauli::Y }, PauliTerm { qubit: 1, op: Pauli::Y }],
+            &[
+                PauliTerm {
+                    qubit: 0,
+                    op: Pauli::Y,
+                },
+                PauliTerm {
+                    qubit: 1,
+                    op: Pauli::Y,
+                },
+            ],
         );
         // Bell state (|00>+|11>)/sqrt(2): <ZZ> = <XX> = 1, <YY> = -1.
         assert!((zz - 1.0).abs() < TOL);

@@ -28,6 +28,10 @@ pub enum SimError {
     DuplicateQubit(QubitId),
     /// `free` was called on a qubit still in superposition/entangled.
     NotClassical(QubitId),
+    /// The operation is outside this engine's supported set (e.g. a
+    /// non-Clifford gate on the stabilizer tableau, or a state-vector
+    /// snapshot from an engine that tracks no amplitudes).
+    Unsupported(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -36,8 +40,12 @@ impl std::fmt::Display for SimError {
             SimError::UnknownQubit(q) => write!(f, "qubit {q:?} is not allocated"),
             SimError::DuplicateQubit(q) => write!(f, "duplicate qubit {q:?} in operation"),
             SimError::NotClassical(q) => {
-                write!(f, "qubit {q:?} is not in a classical state; measure it before freeing")
+                write!(
+                    f,
+                    "qubit {q:?} is not in a classical state; measure it before freeing"
+                )
             }
+            SimError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
         }
     }
 }
@@ -103,7 +111,10 @@ impl Simulator {
     }
 
     fn pos(&self, q: QubitId) -> Result<usize, SimError> {
-        self.positions.get(&q).copied().ok_or(SimError::UnknownQubit(q))
+        self.positions
+            .get(&q)
+            .copied()
+            .ok_or(SimError::UnknownQubit(q))
     }
 
     /// Frees a qubit that is already in a classical state (prob 0 or 1 of
@@ -241,14 +252,21 @@ impl Simulator {
             pos.push(self.pos(q)?);
         }
         self.measurement_count += 1;
-        Ok(measure::measure_z_parity(&mut self.state, &pos, &mut self.rng))
+        Ok(measure::measure_z_parity(
+            &mut self.state,
+            &pos,
+            &mut self.rng,
+        ))
     }
 
     /// Expectation value of a Pauli string given as `(qubit, pauli)` pairs.
     pub fn expectation(&self, terms: &[(QubitId, crate::gates::Pauli)]) -> Result<f64, SimError> {
         let mut mapped = Vec::with_capacity(terms.len());
         for &(q, op) in terms {
-            mapped.push(PauliTerm { qubit: self.pos(q)?, op });
+            mapped.push(PauliTerm {
+                qubit: self.pos(q)?,
+                op,
+            });
         }
         Ok(measure::expectation_pauli(&self.state, &mapped))
     }
@@ -339,7 +357,7 @@ mod tests {
         let c = sim.alloc();
         sim.apply(Gate::X, c).unwrap();
         sim.free(b).unwrap(); // removing the middle qubit shifts positions
-        // c must still read as |1>.
+                              // c must still read as |1>.
         assert!((sim.prob_one(c).unwrap() - 1.0).abs() < TOL);
         assert!(sim.prob_one(a).unwrap() < TOL);
         assert_eq!(sim.free(c), Ok(true));
@@ -469,7 +487,9 @@ mod tests {
             for &q in &qs {
                 sim.apply(Gate::H, q).unwrap();
             }
-            qs.iter().map(|&q| sim.measure(q).unwrap()).collect::<Vec<_>>()
+            qs.iter()
+                .map(|&q| sim.measure(q).unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(123), run(123));
     }

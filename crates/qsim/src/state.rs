@@ -24,7 +24,10 @@ impl State {
     /// `n_qubits == 0` yields the scalar state (a single amplitude of 1),
     /// which is the correct identity for tensoring.
     pub fn zero(n_qubits: usize) -> Self {
-        assert!(n_qubits < 30, "state vector of {n_qubits} qubits would not fit in memory");
+        assert!(
+            n_qubits < 30,
+            "state vector of {n_qubits} qubits would not fit in memory"
+        );
         let mut amps = vec![C_ZERO; 1usize << n_qubits];
         amps[0] = C_ONE;
         State { amps, n_qubits }
@@ -33,7 +36,10 @@ impl State {
     /// Builds a state from raw amplitudes. The length must be a power of two
     /// and the vector must be normalized to within [`NORM_TOL`].
     pub fn from_amplitudes(amps: Vec<Complex>) -> Self {
-        assert!(amps.len().is_power_of_two(), "amplitude count must be a power of two");
+        assert!(
+            amps.len().is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
         let n_qubits = amps.len().trailing_zeros() as usize;
         let state = State { amps, n_qubits };
         assert!(
@@ -145,7 +151,10 @@ impl State {
                 amps[base | i] = a * b;
             }
         }
-        State { amps, n_qubits: self.n_qubits + other.n_qubits }
+        State {
+            amps,
+            n_qubits: self.n_qubits + other.n_qubits,
+        }
     }
 
     /// Inner product `<self|other>`.
@@ -180,7 +189,10 @@ impl State {
             }
             amps[j] = a;
         }
-        State { amps, n_qubits: self.n_qubits }
+        State {
+            amps,
+            n_qubits: self.n_qubits,
+        }
     }
 
     /// Probability that measuring all qubits yields the basis state `index`.

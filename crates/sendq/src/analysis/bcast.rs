@@ -105,7 +105,15 @@ mod tests {
     use super::*;
 
     fn params(n: usize) -> SendqParams {
-        SendqParams { s: 2, e: 100.0, n, q: 32, d_r: 1000.0, d_m: 10.0, d_f: 10.0 }
+        SendqParams {
+            s: 2,
+            e: 100.0,
+            n,
+            q: 32,
+            d_r: 1000.0,
+            d_m: 10.0,
+            d_f: 10.0,
+        }
     }
 
     #[test]
@@ -126,7 +134,10 @@ mod tests {
     fn tree_needs_only_s1() {
         for n in [2usize, 8, 16] {
             let sched = tree_bcast_schedule(&params(n));
-            assert!(sched.max_buffer_peak() <= 1, "n={n}: tree bcast must run with S=1");
+            assert!(
+                sched.max_buffer_peak() <= 1,
+                "n={n}: tree bcast must run with S=1"
+            );
         }
     }
 
@@ -147,7 +158,11 @@ mod tests {
     #[test]
     fn cat_needs_s2_on_interior_nodes() {
         let sched = cat_bcast_schedule(&params(8));
-        assert_eq!(sched.max_buffer_peak(), 2, "interior chain nodes hold two halves");
+        assert_eq!(
+            sched.max_buffer_peak(),
+            2,
+            "interior chain nodes hold two halves"
+        );
     }
 
     #[test]

@@ -97,8 +97,7 @@ fn in_place_schedule(k: usize, p: &SendqParams) -> Schedule {
     }
     for level in &levels {
         for &(a, b) in level {
-            let deps: Vec<TaskId> =
-                ready[a].into_iter().chain(ready[b]).collect();
+            let deps: Vec<TaskId> = ready[a].into_iter().chain(ready[b]).collect();
             let e = sim.epr(a, b, p.e, &deps);
             // Both halves consumed immediately by the distributed CNOT.
             let c = sim.local_consuming(a, 0.0, 1, &[e]);
@@ -192,7 +191,15 @@ mod tests {
     use super::*;
 
     fn params() -> SendqParams {
-        SendqParams { s: 2, e: 50.0, n: 64, q: 32, d_r: 500.0, d_m: 0.0, d_f: 0.0 }
+        SendqParams {
+            s: 2,
+            e: 50.0,
+            n: 64,
+            q: 32,
+            d_r: 500.0,
+            d_m: 0.0,
+            d_f: 0.0,
+        }
     }
 
     #[test]
@@ -206,9 +213,15 @@ mod tests {
     #[test]
     fn closed_forms_for_k4() {
         let p = params();
-        assert_eq!(delay(ParityMethod::InPlace, 4, &p), 2.0 * 50.0 * 2.0 + 500.0);
+        assert_eq!(
+            delay(ParityMethod::InPlace, 4, &p),
+            2.0 * 50.0 * 2.0 + 500.0
+        );
         assert_eq!(delay(ParityMethod::OutOfPlace, 4, &p), 50.0 * 4.0 + 500.0);
-        assert_eq!(delay(ParityMethod::ConstantDepth, 4, &p), 2.0 * 50.0 + 500.0);
+        assert_eq!(
+            delay(ParityMethod::ConstantDepth, 4, &p),
+            2.0 * 50.0 + 500.0
+        );
     }
 
     #[test]
@@ -269,8 +282,12 @@ mod tests {
         assert!(delay(ParityMethod::ConstantDepth, 2, &p) < delay(ParityMethod::InPlace, 2, &p));
         // For large k, constant depth dominates.
         for k in [8usize, 16, 32] {
-            assert!(delay(ParityMethod::ConstantDepth, k, &p) < delay(ParityMethod::InPlace, k, &p));
-            assert!(delay(ParityMethod::ConstantDepth, k, &p) < delay(ParityMethod::OutOfPlace, k, &p));
+            assert!(
+                delay(ParityMethod::ConstantDepth, k, &p) < delay(ParityMethod::InPlace, k, &p)
+            );
+            assert!(
+                delay(ParityMethod::ConstantDepth, k, &p) < delay(ParityMethod::OutOfPlace, k, &p)
+            );
         }
         // Out-of-place only beats in-place for small k / slow E... check one relation:
         assert!(delay(ParityMethod::InPlace, 16, &p) < delay(ParityMethod::OutOfPlace, 16, &p));

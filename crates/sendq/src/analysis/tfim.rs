@@ -57,7 +57,10 @@ pub fn simulate_step_delay(p: &SendqParams, n_spins: usize, s_is_1: bool, steps:
     // neighbors (their own work is not modeled — we only constrain node 0).
     let mut sim = EventSim::new(3);
     let rotations_per_step = 2 * (n_spins / p.n);
-    assert!(rotations_per_step >= 2, "need at least the two boundary rotations");
+    assert!(
+        rotations_per_step >= 2,
+        "need at least the two boundary rotations"
+    );
     // The paper's optimized schedule halts/reorders local computation
     // around the communication gaps, so the bulk rotations are split into
     // two slabs that fill the windows while EPR pairs establish.
@@ -85,7 +88,11 @@ pub fn simulate_step_delay(p: &SendqParams, n_spins: usize, s_is_1: bool, steps:
         let r1 = sim.local_consuming(0, p.d_r, 1, &[e1]);
         // EPR 2 (right neighbor): S=1 must wait for the unreceive of
         // boundary 1; S>=2 waits for the slot freed by pair k-2.
-        let deps2: Vec<TaskId> = if s_is_1 { vec![r1] } else { prev_r2.into_iter().collect() };
+        let deps2: Vec<TaskId> = if s_is_1 {
+            vec![r1]
+        } else {
+            prev_r2.into_iter().collect()
+        };
         let e2 = sim.epr(0, 2, p.e, &deps2);
         for _ in 0..bulk2 {
             sim.local(0, p.d_r, &[]);
@@ -108,7 +115,15 @@ mod tests {
     use super::*;
 
     fn params(n_nodes: usize, e: f64, d_r: f64) -> SendqParams {
-        SendqParams { s: 2, e, n: n_nodes, q: 32, d_r, d_m: 1.0, d_f: 1.0 }
+        SendqParams {
+            s: 2,
+            e,
+            n: n_nodes,
+            q: 32,
+            d_r,
+            d_m: 1.0,
+            d_f: 1.0,
+        }
     }
 
     #[test]
@@ -126,7 +141,10 @@ mod tests {
         let n_spins = 64;
         let closed = step_delay_s2(&p, n_spins);
         let sim_s2 = simulate_step_delay(&p, n_spins, false, 12);
-        assert!((sim_s2 - closed).abs() / closed < 1e-9, "sim {sim_s2} vs closed {closed}");
+        assert!(
+            (sim_s2 - closed).abs() / closed < 1e-9,
+            "sim {sim_s2} vs closed {closed}"
+        );
         // S=1 also compute-bound here: 2E + 2D_R = 220 < 3200.
         let sim_s1 = simulate_step_delay(&p, n_spins, true, 12);
         assert!((sim_s1 - step_delay_s1(&p, n_spins)).abs() / closed < 1e-9);
@@ -139,7 +157,11 @@ mod tests {
         let n_spins = 64; // 4 spins per node -> D_Trotter = 400 << 2E
         let s2 = simulate_step_delay(&p, n_spins, false, 16);
         let s1 = simulate_step_delay(&p, n_spins, true, 16);
-        assert!((s2 - 2.0 * p.e).abs() / s2 < 1e-9, "S>=2: {s2} vs {}", 2.0 * p.e);
+        assert!(
+            (s2 - 2.0 * p.e).abs() / s2 < 1e-9,
+            "S>=2: {s2} vs {}",
+            2.0 * p.e
+        );
         assert!(
             (s1 - (2.0 * p.e + 2.0 * p.d_r)).abs() / s1 < 1e-9,
             "S=1: {s1} vs {}",
@@ -155,9 +177,15 @@ mod tests {
         assert_eq!(max_nodes_without_bottleneck(&p, 64), 6);
         // Check consistency with the closed forms.
         let ok = params(6, 100.0, 10.0);
-        assert!(d_trotter(&ok, 64) >= 2.0 * ok.e * (6.0 / 6.4), "close to the boundary");
+        assert!(
+            d_trotter(&ok, 64) >= 2.0 * ok.e * (6.0 / 6.4),
+            "close to the boundary"
+        );
         let bad = params(8, 100.0, 10.0);
-        assert!(d_trotter(&bad, 64) < 2.0 * bad.e, "beyond the rule, comm-bound");
+        assert!(
+            d_trotter(&bad, 64) < 2.0 * bad.e,
+            "beyond the rule, comm-bound"
+        );
     }
 
     #[test]
@@ -181,7 +209,10 @@ mod tests {
             }
             let p = params(n_nodes, 200.0, 10.0);
             let d = step_delay_s2(&p, n_spins);
-            assert!(d <= prev + 1e-9, "delay must be non-increasing until the comm floor");
+            assert!(
+                d <= prev + 1e-9,
+                "delay must be non-increasing until the comm floor"
+            );
             prev = d;
         }
         // At N=32: D_Trotter = 2*2*10 = 40 < 2E = 400 -> floored at 400.

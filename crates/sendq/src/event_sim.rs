@@ -89,7 +89,10 @@ pub struct EventSim {
 impl EventSim {
     /// Creates a simulator over `n_nodes` nodes.
     pub fn new(n_nodes: usize) -> Self {
-        EventSim { n_nodes, tasks: Vec::new() }
+        EventSim {
+            n_nodes,
+            tasks: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -97,25 +100,47 @@ impl EventSim {
         self.n_nodes
     }
 
-    fn push(&mut self, kind: TaskKind, duration: f64, deps: &[TaskId], label: impl Into<String>) -> TaskId {
+    fn push(
+        &mut self,
+        kind: TaskKind,
+        duration: f64,
+        deps: &[TaskId],
+        label: impl Into<String>,
+    ) -> TaskId {
         let id = TaskId(self.tasks.len());
         for d in deps {
             assert!(d.0 < id.0, "dependencies must be earlier tasks");
         }
-        self.tasks.push(Task { kind, duration, deps: deps.to_vec(), label: label.into() });
+        self.tasks.push(Task {
+            kind,
+            duration,
+            deps: deps.to_vec(),
+            label: label.into(),
+        });
         id
     }
 
     /// Adds an EPR establishment of duration `e` between nodes `a` and `b`.
     pub fn epr(&mut self, a: usize, b: usize, e: f64, deps: &[TaskId]) -> TaskId {
-        assert!(a < self.n_nodes && b < self.n_nodes && a != b, "invalid EPR endpoints");
+        assert!(
+            a < self.n_nodes && b < self.n_nodes && a != b,
+            "invalid EPR endpoints"
+        );
         self.push(TaskKind::EprPair { a, b }, e, deps, format!("epr({a},{b})"))
     }
 
     /// Adds a local operation of the given duration on `node`.
     pub fn local(&mut self, node: usize, duration: f64, deps: &[TaskId]) -> TaskId {
         assert!(node < self.n_nodes, "invalid node");
-        self.push(TaskKind::Local { node, consumes_epr: 0 }, duration, deps, format!("local({node})"))
+        self.push(
+            TaskKind::Local {
+                node,
+                consumes_epr: 0,
+            },
+            duration,
+            deps,
+            format!("local({node})"),
+        )
     }
 
     /// Adds a local operation that also consumes `consumes` buffered EPR
@@ -129,7 +154,10 @@ impl EventSim {
     ) -> TaskId {
         assert!(node < self.n_nodes, "invalid node");
         self.push(
-            TaskKind::Local { node, consumes_epr: consumes },
+            TaskKind::Local {
+                node,
+                consumes_epr: consumes,
+            },
             duration,
             deps,
             format!("local({node})-{consumes}"),
@@ -198,7 +226,11 @@ impl EventSim {
             }
             buffer_peak[node] = peak.max(0) as u32;
         }
-        Schedule { makespan, times, buffer_peak }
+        Schedule {
+            makespan,
+            times,
+            buffer_peak,
+        }
     }
 
     /// Task labels (diagnostics).
@@ -217,7 +249,9 @@ impl EventSim {
                 TaskKind::Local { node, .. } => node,
                 TaskKind::Classical => usize::MAX,
             };
-            rows.entry(node).or_default().push(format!("{} [{s:.1},{e:.1}]", t.label));
+            rows.entry(node)
+                .or_default()
+                .push(format!("{} [{s:.1},{e:.1}]", t.label));
         }
         let mut keys: Vec<_> = rows.keys().copied().collect();
         keys.sort_unstable();
@@ -316,7 +350,10 @@ mod tests {
         // Consume both on node 0.
         sim.local_consuming(0, 1.0, 2, &[e1, e2]);
         let s = sim.run();
-        assert_eq!(s.buffer_peak[0], 2, "two halves buffered before consumption");
+        assert_eq!(
+            s.buffer_peak[0], 2,
+            "two halves buffered before consumption"
+        );
         assert_eq!(s.buffer_peak[1], 2);
     }
 

@@ -58,7 +58,7 @@ mod proptests {
         #[test]
         fn tfim_delays_bracket_compute_and_comm(nodes in 1usize..16, e in 1.0f64..500.0, d_r in 1.0f64..500.0) {
             let n_spins = 64usize;
-            prop_assume!(n_spins % nodes == 0 && n_spins / nodes >= 1);
+            prop_assume!(n_spins.is_multiple_of(nodes) && n_spins / nodes >= 1);
             let p = SendqParams { s: 2, e, n: nodes, q: 8, d_r, d_m: 1.0, d_f: 1.0 };
             let d_t = analysis::tfim::d_trotter(&p, n_spins);
             let s2 = analysis::tfim::step_delay_s2(&p, n_spins);

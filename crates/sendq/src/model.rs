@@ -14,11 +14,9 @@
 //! Classical communication is deliberately *not* modeled (Section 5: the
 //! logical clock is slow enough to hide classical latency).
 
-use serde::{Deserialize, Serialize};
-
 /// SENDQ model parameters. Times are in arbitrary consistent units
 /// (logical cycles, microseconds, ...).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SendqParams {
     /// `S`: EPR-buffer qubits per node.
     pub s: u32,
@@ -72,7 +70,11 @@ impl SendqParams {
     pub fn with_buffer(&self, s: u32) -> Self {
         let total = self.qubits_per_node();
         assert!(s < total, "S must leave at least one compute qubit");
-        SendqParams { s, q: total - s, ..*self }
+        SendqParams {
+            s,
+            q: total - s,
+            ..*self
+        }
     }
 }
 

@@ -18,15 +18,11 @@ fn main() {
 
     let n_ranks = 2;
     let g = graph.clone();
-    let out = qmpi::run_with_config(
-        n_ranks,
-        qmpi::QmpiConfig { seed: 2024, s_limit: None },
-        move |ctx| {
-            let assignment = anneal_maxcut(ctx, &g, 50, 0.4).expect("anneal");
-            let snap = ctx.resources();
-            (assignment, snap)
-        },
-    );
+    let out = qmpi::run_with_config(n_ranks, qmpi::QmpiConfig::new().seed(2024), move |ctx| {
+        let assignment = anneal_maxcut(ctx, &g, 50, 0.4).expect("anneal");
+        let snap = ctx.resources();
+        (assignment, snap)
+    });
     let assignment: Vec<bool> = out.iter().flat_map(|(a, _)| a.clone()).collect();
     let cut = graph.cut_value(&assignment);
     println!(
@@ -38,5 +34,8 @@ fn main() {
         "quantum communication: {} EPR pairs, {} classical bits (cross-rank edges only)",
         out[0].1.epr_pairs, out[0].1.classical_bits
     );
-    assert!(cut + 1 >= optimum, "adiabatic run should land at or next to the optimum");
+    assert!(
+        cut + 1 >= optimum,
+        "adiabatic run should land at or next to the optimum"
+    );
 }

@@ -20,14 +20,17 @@ fn main() {
         res
     });
     assert_eq!(outcomes[0], outcomes[1], "EPR halves must agree");
-    println!("EPR correlation verified: both ranks observed {}", outcomes[0] as u8);
+    println!(
+        "EPR correlation verified: both ranks observed {}",
+        outcomes[0] as u8
+    );
 
     // The same program, repeated to show the statistics are fair coin flips
     // with perfect cross-rank correlation.
     let mut ones = 0;
     let trials = 200;
     for seed in 0..trials {
-        let cfg = qmpi::QmpiConfig { seed, s_limit: None };
+        let cfg = qmpi::QmpiConfig::new().seed(seed);
         let out = qmpi::run_with_config(2, cfg, |ctx| {
             let q = ctx.alloc_one();
             ctx.prepare_epr(&q, 1 - ctx.rank(), 0).unwrap();

@@ -33,9 +33,7 @@ fn main() {
             println!();
             let n = all.len();
             let afm_bonds = (0..n).filter(|&i| all[i] != all[(i + 1) % n]).count();
-            println!(
-                "antiferromagnetic bonds: {afm_bonds}/{n} (J > 0 ground state of the ring)"
-            );
+            println!("antiferromagnetic bonds: {afm_bonds}/{n} (J > 0 ground state of the ring)");
         }
         let snap = ctx.resources();
         if ctx.rank() == 0 {

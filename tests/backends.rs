@@ -1,0 +1,305 @@
+//! Backend-parameterized protocol suite.
+//!
+//! The same QMPI protocol code must produce the same *observable* results on
+//! the state-vector and stabilizer backends (the individual fixup bits may
+//! differ — they are random — but the delivered values, parities, and
+//! resource consumption are protocol invariants). The trace backend must
+//! reproduce the resource consumption alone, at scales only it and the
+//! stabilizer engine can reach.
+
+use qmpi::{run_with_config, BackendKind, Parity, QmpiConfig, ResourceSnapshot};
+use qsim::Pauli;
+
+/// The two backends that track real quantum state.
+const STATEFUL: [BackendKind; 2] = [BackendKind::StateVector, BackendKind::Stabilizer];
+
+fn cfg(kind: BackendKind, seed: u64) -> QmpiConfig {
+    QmpiConfig::new().seed(seed).backend(kind)
+}
+
+/// Teleportation chain 0 -> 1 -> 2 of a basis state: the delivered value and
+/// the resource bill must be identical on every stateful backend.
+#[test]
+fn teleportation_chain_identical_across_backends() {
+    for input in [false, true] {
+        let mut per_backend: Vec<(bool, ResourceSnapshot)> = Vec::new();
+        for kind in STATEFUL {
+            let out = run_with_config(3, cfg(kind, 7), move |ctx| {
+                let (delta, delivered) = ctx.measure_resources(|| match ctx.rank() {
+                    0 => {
+                        let q = ctx.alloc_one();
+                        if input {
+                            ctx.x(&q).unwrap();
+                        }
+                        ctx.send_move(q, 1, 0).unwrap();
+                        false
+                    }
+                    1 => {
+                        let q = ctx.recv_move(0, 0).unwrap();
+                        ctx.send_move(q, 2, 1).unwrap();
+                        false
+                    }
+                    _ => {
+                        let q = ctx.recv_move(1, 1).unwrap();
+                        ctx.measure_and_free(q).unwrap()
+                    }
+                });
+                (delivered, delta)
+            });
+            per_backend.push((out[2].0, out[0].1));
+        }
+        let (sv, stab) = (per_backend[0], per_backend[1]);
+        assert_eq!(sv.0, input, "state vector delivers the input");
+        assert_eq!(sv.0, stab.0, "backends must deliver the same value");
+        assert_eq!(sv.1, stab.1, "backends must consume identical resources");
+        assert_eq!(sv.1.epr_pairs, 2, "two hops, one pair each");
+        assert_eq!(sv.1.classical_bits, 4, "two 2-bit fixup messages");
+    }
+}
+
+/// Entangled copy + uncopy of a basis state: the copy's observed value, the
+/// original's survival, and the Table 1 costs agree across backends.
+#[test]
+fn copy_uncopy_identical_across_backends() {
+    for input in [false, true] {
+        let mut results = Vec::new();
+        for kind in STATEFUL {
+            let out = run_with_config(2, cfg(kind, 21), move |ctx| {
+                if ctx.rank() == 0 {
+                    let q = ctx.alloc_one();
+                    if input {
+                        ctx.x(&q).unwrap();
+                    }
+                    ctx.send(&q, 1, 0).unwrap();
+                    ctx.unsend(&q, 1, 0).unwrap();
+                    let z = ctx.expectation(&[(&q, Pauli::Z)]).unwrap();
+                    let survived = ctx.measure_and_free(q).unwrap();
+                    (false, z, survived)
+                } else {
+                    let copy = ctx.recv(0, 0).unwrap();
+                    let seen = ctx.measure(&copy).unwrap();
+                    ctx.unrecv(copy, 0, 0).unwrap();
+                    (seen, 0.0, false)
+                }
+            });
+            results.push((out[1].0, out[0].1, out[0].2));
+        }
+        let (sv, stab) = (results[0], results[1]);
+        assert_eq!(sv.0, input, "copy carries the sender's value");
+        assert_eq!(
+            sv, stab,
+            "backends must agree on copy value and restored state"
+        );
+        let z_expect = if input { -1.0 } else { 1.0 };
+        assert!(
+            (sv.1 - z_expect).abs() < 1e-9,
+            "uncopy restores the original"
+        );
+    }
+}
+
+/// Parity reduction with inverse: the root's parity matches the classical
+/// XOR on every stateful backend, and scratch uncomputation verifies.
+#[test]
+fn parity_reduce_identical_across_backends() {
+    let patterns: [&[bool]; 3] = [
+        &[true, false, true, true],
+        &[false, false, false],
+        &[true, true, true, true, true],
+    ];
+    for bits in patterns {
+        let bits_owned: Vec<bool> = bits.to_vec();
+        let expect = bits_owned.iter().fold(false, |a, &b| a ^ b);
+        let mut per_backend = Vec::new();
+        for kind in STATEFUL {
+            let bits_arc = std::sync::Arc::new(bits_owned.clone());
+            let out = run_with_config(bits_owned.len(), cfg(kind, 4), move |ctx| {
+                let q = ctx.alloc_one();
+                if bits_arc[ctx.rank()] {
+                    ctx.x(&q).unwrap();
+                }
+                let (result, handle) = ctx.reduce(&q, &Parity, 0).unwrap();
+                let parity = result
+                    .as_ref()
+                    .map(|r| ctx.expectation(&[(r, Pauli::Z)]).unwrap() < 0.0);
+                ctx.unreduce(&q, result, handle, &Parity).unwrap();
+                // free_qmem doubles as the |0>-scratch self-check.
+                let restored = ctx.measure_and_free(q).unwrap();
+                (parity, restored)
+            });
+            per_backend.push(out[0]);
+        }
+        assert_eq!(
+            per_backend[0].0,
+            Some(expect),
+            "root parity = classical XOR"
+        );
+        assert_eq!(
+            per_backend[0], per_backend[1],
+            "backends agree on parity and inputs"
+        );
+    }
+}
+
+/// The acceptance benchmark: a 64-rank cat-state broadcast — far beyond any
+/// state vector — completes on the stabilizer backend in well under five
+/// seconds, all shares agree, and the X-basis disband parity check passes.
+#[test]
+fn stabilizer_runs_64_rank_cat_broadcast_fast() {
+    let n = 64;
+    let start = std::time::Instant::now();
+    let out = run_with_config(n, cfg(BackendKind::Stabilizer, 64), |ctx| {
+        // First establishment: measure in Z — every share must agree.
+        let share = ctx.cat_establish().unwrap();
+        ctx.barrier();
+        let m = ctx.measure(&share).unwrap();
+        ctx.measure_and_free(share).unwrap();
+        let m0: bool = ctx
+            .classical()
+            .bcast(if ctx.rank() == 0 { Some(m) } else { None }, 0);
+        // Second establishment: the collective X-parity disband check must
+        // certify a pure cat state.
+        let share = ctx.cat_establish().unwrap();
+        let disband_ok = ctx.cat_disband(share).is_ok();
+        m == m0 && disband_ok
+    });
+    let elapsed = start.elapsed();
+    assert!(
+        out.iter().all(|&ok| ok),
+        "all 64 GHZ shares agree and disband cleanly"
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "64-rank cat broadcast took {elapsed:?}, budget is 5s"
+    );
+}
+
+/// A GHZ fanout across 96 ranks on the stabilizer backend — a scale at
+/// which the dense engine would need a 2^96-amplitude vector.
+#[test]
+fn stabilizer_scales_to_96_rank_ghz() {
+    let n = 96;
+    let out = run_with_config(n, cfg(BackendKind::Stabilizer, 5), |ctx| {
+        let share = ctx.cat_establish().unwrap();
+        ctx.barrier();
+        let m = ctx.measure(&share).unwrap();
+        ctx.measure_and_free(share).unwrap();
+        m
+    });
+    assert!(
+        out.iter().all(|&m| m == out[0]),
+        "96-rank GHZ shares must agree"
+    );
+}
+
+/// Table 3 via the trace backend at paper scale: the cat-state broadcast on
+/// 64 ranks costs N−1 EPR pairs in 2 establishment rounds with
+/// (N−2) + (N−1) protocol bits, and the binomial tree costs N−1 pairs,
+/// N−1 bits in ⌈log₂N⌉ rounds. The trace engine also reports the gate and
+/// memory high-water profile no dense engine could measure at this size.
+#[test]
+fn trace_backend_reproduces_table3_formulas_at_64_ranks() {
+    use qmpi::BcastAlgorithm;
+    let n = 64;
+    for (algo, bits, rounds) in [
+        (
+            BcastAlgorithm::CatState,
+            (n as u64 - 2) + (n as u64 - 1),
+            2u64,
+        ),
+        (BcastAlgorithm::BinomialTree, n as u64 - 1, 6),
+    ] {
+        let out = run_with_config(n, cfg(BackendKind::Trace, 0), move |ctx| {
+            let (delta, q) = ctx.measure_resources(|| {
+                if ctx.rank() == 0 {
+                    let q = ctx.alloc_one();
+                    ctx.bcast_with(algo, Some(&q), 0).unwrap();
+                    q
+                } else {
+                    ctx.bcast_with(algo, None, 0).unwrap().unwrap()
+                }
+            });
+            ctx.measure_and_free(q).unwrap();
+            // Let every rank finish freeing before reading global counts.
+            ctx.barrier();
+            (delta, ctx.backend().counts())
+        });
+        let delta = out[0].0;
+        assert_eq!(
+            delta.epr_pairs,
+            n as u64 - 1,
+            "{algo:?}: N-1 EPR pairs (Table 3)"
+        );
+        assert_eq!(
+            delta.classical_bits, bits,
+            "{algo:?}: protocol bits (Table 3)"
+        );
+        assert_eq!(
+            delta.epr_rounds, rounds,
+            "{algo:?}: establishment rounds (Section 7.1)"
+        );
+        let counts = out[0].1;
+        assert!(counts.gates > 0 && counts.max_live_qubits >= n as u64);
+        assert_eq!(counts.live_qubits, 0, "everything measured away");
+    }
+}
+
+/// The stabilizer and trace backends agree with the state vector on the
+/// resource ledger for every collective, at a size all three can run.
+#[test]
+fn resource_ledger_is_backend_invariant() {
+    let n = 5;
+    let all = [
+        BackendKind::StateVector,
+        BackendKind::Stabilizer,
+        BackendKind::Trace,
+    ];
+    let mut bills = Vec::new();
+    for kind in all {
+        let out = run_with_config(n, cfg(kind, 3), |ctx| {
+            let (delta, q) = ctx.measure_resources(|| {
+                let q = ctx.alloc_one();
+                if ctx.rank() == 2 {
+                    ctx.x(&q).unwrap();
+                }
+                let (result, handle) = ctx.reduce(&q, &Parity, 0).unwrap();
+                ctx.unreduce(&q, result, handle, &Parity).unwrap();
+                let share = ctx.cat_establish().unwrap();
+                ctx.measure_and_free(share).unwrap();
+                ctx.ledger().buffer_dec(ctx.rank());
+                q
+            });
+            ctx.measure_and_free(q).unwrap();
+            delta
+        });
+        bills.push(out[0]);
+    }
+    assert_eq!(bills[0], bills[1], "stabilizer bill matches state vector");
+    assert_eq!(bills[0], bills[2], "trace bill matches state vector");
+    assert_eq!(
+        bills[0].epr_pairs,
+        2 * (n as u64 - 1),
+        "reduce + cat establishment"
+    );
+}
+
+/// Non-Clifford workloads fail loudly (not silently wrong) on the
+/// stabilizer backend, and the state-vector backend remains the default.
+#[test]
+fn non_clifford_rejected_on_stabilizer_only() {
+    assert_eq!(QmpiConfig::new().backend_kind(), BackendKind::StateVector);
+    let out = run_with_config(1, cfg(BackendKind::Stabilizer, 1), |ctx| {
+        let q = ctx.alloc_one();
+        let err = ctx.t(&q).unwrap_err();
+        ctx.measure_and_free(q).unwrap();
+        matches!(err, qmpi::QmpiError::Sim(qsim::SimError::Unsupported(_)))
+    });
+    assert!(out[0]);
+    let out = run_with_config(1, QmpiConfig::new().seed(1), |ctx| {
+        let q = ctx.alloc_one();
+        let ok = ctx.t(&q).is_ok();
+        ctx.measure_and_free(q).unwrap();
+        ok
+    });
+    assert!(out[0], "the default state-vector backend supports T");
+}

@@ -4,7 +4,7 @@
 use qmpi::{run_with_config, BcastAlgorithm, Parity, QmpiConfig};
 
 fn cfg(seed: u64) -> QmpiConfig {
-    QmpiConfig { seed, s_limit: None }
+    QmpiConfig::new().seed(seed)
 }
 
 #[test]
@@ -33,8 +33,7 @@ fn scan_identities_hold() {
     for n in [2usize, 4, 5] {
         let out = run_with_config(n, cfg(9), move |ctx| {
             let q = ctx.alloc_one();
-            let (fwd, (result, handle)) =
-                ctx.measure_resources(|| ctx.scan(&q, &Parity).unwrap());
+            let (fwd, (result, handle)) = ctx.measure_resources(|| ctx.scan(&q, &Parity).unwrap());
             let (inv, ()) =
                 ctx.measure_resources(|| ctx.unscan(&q, result, handle, &Parity).unwrap());
             ctx.free_qmem(q).unwrap();
@@ -97,7 +96,8 @@ fn cat_bcast_beats_tree_on_rounds_matches_sendq_model() {
             let (cat, q2) = ctx.measure_resources(|| {
                 if ctx.rank() == 0 {
                     let q = ctx.alloc_one();
-                    ctx.bcast_with(BcastAlgorithm::CatState, Some(&q), 0).unwrap();
+                    ctx.bcast_with(BcastAlgorithm::CatState, Some(&q), 0)
+                        .unwrap();
                     Some(q)
                 } else {
                     ctx.bcast_with(BcastAlgorithm::CatState, None, 0).unwrap()
@@ -113,7 +113,15 @@ fn cat_bcast_beats_tree_on_rounds_matches_sendq_model() {
         assert_eq!(tree_rounds, expected_tree, "n={n}");
         assert_eq!(cat_rounds, 2, "n={n}");
         // Model agreement: sendq predicts the same round counts.
-        let p = sendq::SendqParams { s: 2, e: 1.0, n, q: 8, d_r: 0.0, d_m: 0.0, d_f: 0.0 };
+        let p = sendq::SendqParams {
+            s: 2,
+            e: 1.0,
+            n,
+            q: 8,
+            d_r: 0.0,
+            d_m: 0.0,
+            d_f: 0.0,
+        };
         assert_eq!(
             sendq::analysis::bcast::tree_bcast_time(&p) as u64,
             expected_tree,

@@ -18,45 +18,47 @@ fn prepared_reference(theta: f64, phi: f64) -> qsim::State {
 fn teleportation_chain_across_three_ranks() {
     // 0 -> 1 -> 2: two hops preserve the state exactly.
     let (theta, phi) = (0.9, -1.3);
-    let out = run_with_config(3, QmpiConfig { seed: 5, s_limit: None }, move |ctx| {
-        match ctx.rank() {
-            0 => {
-                let q = ctx.alloc_one();
-                ctx.ry(&q, theta).unwrap();
-                ctx.rz(&q, phi).unwrap();
-                ctx.send_move(q, 1, 0).unwrap();
-                1.0
-            }
-            1 => {
-                let q = ctx.recv_move(0, 0).unwrap();
-                ctx.send_move(q, 2, 1).unwrap();
-                1.0
-            }
-            _ => {
-                let q = ctx.recv_move(1, 1).unwrap();
-                let state = ctx.backend().state_vector(&[q.id()]).unwrap();
-                let f = state.fidelity(&prepared_reference(theta, phi));
-                ctx.measure_and_free(q).unwrap();
-                f
-            }
+    let out = run_with_config(3, QmpiConfig::new().seed(5), move |ctx| match ctx.rank() {
+        0 => {
+            let q = ctx.alloc_one();
+            ctx.ry(&q, theta).unwrap();
+            ctx.rz(&q, phi).unwrap();
+            ctx.send_move(q, 1, 0).unwrap();
+            1.0
+        }
+        1 => {
+            let q = ctx.recv_move(0, 0).unwrap();
+            ctx.send_move(q, 2, 1).unwrap();
+            1.0
+        }
+        _ => {
+            let q = ctx.recv_move(1, 1).unwrap();
+            let state = ctx.backend().state_vector(&[q.id()]).unwrap();
+            let f = state.fidelity(&prepared_reference(theta, phi));
+            ctx.measure_and_free(q).unwrap();
+            f
         }
     });
-    assert!((out[2] - 1.0).abs() < 1e-9, "fidelity after two hops: {}", out[2]);
+    assert!(
+        (out[2] - 1.0).abs() < 1e-9,
+        "fidelity after two hops: {}",
+        out[2]
+    );
 }
 
 #[test]
 fn fanout_exposes_value_on_three_ranks_simultaneously() {
     // Section 3's "entangled copy" mode: a basis value fanned out to all
     // ranks is observed identically everywhere.
-    let out = run_with_config(3, QmpiConfig { seed: 8, s_limit: None }, |ctx| {
+    let out = run_with_config(3, QmpiConfig::new().seed(8), |ctx| {
         if ctx.rank() == 0 {
             let q = ctx.alloc_one();
             ctx.x(&q).unwrap();
             ctx.send(&q, 1, 0).unwrap();
             ctx.send(&q, 2, 0).unwrap();
             ctx.barrier();
-            let m = ctx.measure_and_free(q).unwrap();
-            m
+
+            ctx.measure_and_free(q).unwrap()
         } else {
             let copy = ctx.recv(0, 0).unwrap();
             ctx.barrier();
@@ -70,7 +72,7 @@ fn fanout_exposes_value_on_three_ranks_simultaneously() {
 fn teleportation_resource_totals_scale_linearly() {
     // Moving m qubits costs exactly m EPR pairs and 2m bits (Table 1).
     let m = 5;
-    let out = run_with_config(2, QmpiConfig { seed: 3, s_limit: None }, move |ctx| {
+    let out = run_with_config(2, QmpiConfig::new().seed(3), move |ctx| {
         let (delta, ()) = ctx.measure_resources(|| {
             if ctx.rank() == 0 {
                 for i in 0..m {
@@ -95,7 +97,7 @@ fn teleportation_resource_totals_scale_linearly() {
 fn s_limit_one_forces_serialized_moves() {
     // With S = 1, issuing two concurrent EPR preparations on one rank is
     // rejected, but strictly serialized teleports still work.
-    let cfg = QmpiConfig { seed: 1, s_limit: Some(1) };
+    let cfg = QmpiConfig::new().seed(1).s_limit(1);
     let out = run_with_config(2, cfg, |ctx| {
         if ctx.rank() == 0 {
             let a = ctx.alloc_one();
@@ -119,7 +121,7 @@ fn s_limit_one_forces_serialized_moves() {
 fn locality_is_enforced_end_to_end() {
     // The backend rejects a gate on a qubit owned by another rank even when
     // the raw id is known — the error carries the ownership facts.
-    let out = run_with_config(2, QmpiConfig { seed: 2, s_limit: None }, |ctx| {
+    let out = run_with_config(2, QmpiConfig::new().seed(2), |ctx| {
         if ctx.rank() == 0 {
             let q = ctx.alloc_one();
             ctx.classical().send(&q.id().0, 1, 0);
@@ -133,7 +135,14 @@ fn locality_is_enforced_end_to_end() {
                 .backend()
                 .apply(1, qsim::Gate::X, qsim::QubitId(raw))
                 .unwrap_err();
-            let ok = matches!(err, qmpi::QmpiError::Locality { owner: 0, acting: 1, .. });
+            let ok = matches!(
+                err,
+                qmpi::QmpiError::Locality {
+                    owner: 0,
+                    acting: 1,
+                    ..
+                }
+            );
             ctx.classical().send(&ok, 0, 1);
             ok
         }
@@ -145,16 +154,23 @@ fn locality_is_enforced_end_to_end() {
 fn ghz_built_from_pairwise_sends_matches_cat_collective() {
     // Building α|000>+β|111> via two sends equals the cat-state collective
     // up to the protocol used — verify via full-state snapshot.
-    let out = run_with_config(3, QmpiConfig { seed: 21, s_limit: None }, |ctx| {
+    let out = run_with_config(3, QmpiConfig::new().seed(21), |ctx| {
         if ctx.rank() == 0 {
             let q = ctx.alloc_one();
             ctx.h(&q).unwrap();
             ctx.send(&q, 1, 0).unwrap();
             ctx.send(&q, 2, 0).unwrap();
             ctx.barrier();
-            let ids = vec![q.id()];
-            let gathered = ctx.classical().gather(&ids.iter().map(|i| i.0).collect::<Vec<_>>(), 0);
-            let all: Vec<QubitId> = gathered.unwrap().into_iter().flatten().map(QubitId).collect();
+            let ids = [q.id()];
+            let gathered = ctx
+                .classical()
+                .gather(&ids.iter().map(|i| i.0).collect::<Vec<_>>(), 0);
+            let all: Vec<QubitId> = gathered
+                .unwrap()
+                .into_iter()
+                .flatten()
+                .map(QubitId)
+                .collect();
             let st = ctx.backend().state_vector(&all).unwrap();
             let p000 = st.probability(0);
             let p111 = st.probability(7);
