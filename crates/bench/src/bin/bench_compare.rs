@@ -1,0 +1,175 @@
+//! Compares two benchmark JSON reports produced by the compat criterion
+//! harness (`CRITERION_OUTPUT_JSON`) and fails when a benchmark's mean
+//! regresses beyond a threshold — the gate of the bench-regression
+//! pipeline.
+//!
+//! ```text
+//! bench_compare <baseline.json> <current.json> [max_regression_percent]
+//! ```
+//!
+//! Benchmarks present in only one file are reported but never fail the
+//! comparison (the suite grows over time). The default threshold is a
+//! deliberately loose 75% — shared CI runners are noisy; the artifact
+//! trail, not a razor-thin gate, is what catches real cliffs.
+
+use std::process::ExitCode;
+
+/// One `{"name": ..., "min_ns": ..., "mean_ns": ..., "samples": ...}` row.
+#[derive(Debug, Clone)]
+struct Entry {
+    name: String,
+    mean_ns: u128,
+}
+
+/// Minimal parser for the compat harness's own fixed JSON shape. Not a
+/// general JSON parser — it scans `"name"`/`"mean_ns"` key-value pairs in
+/// order, which is exactly how `write_json_report` emits them.
+fn parse_report(body: &str) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    for line in body.lines() {
+        let Some(name) = extract_str(line, "\"name\": \"") else {
+            continue;
+        };
+        let Some(mean_ns) = extract_num(line, "\"mean_ns\": ") else {
+            continue;
+        };
+        entries.push(Entry {
+            name: name.to_string(),
+            mean_ns,
+        });
+    }
+    entries
+}
+
+fn extract_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+fn extract_num(line: &str, key: &str) -> Option<u128> {
+    let start = line.find(key)? + key.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_compare <baseline.json> <current.json> [max_regression_percent]");
+        return ExitCode::from(2);
+    }
+    let threshold_pct: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(75.0);
+    let read = |path: &str| -> Vec<Entry> {
+        match std::fs::read_to_string(path) {
+            Ok(body) => parse_report(&body),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                Vec::new()
+            }
+        }
+    };
+    let baseline = read(&args[1]);
+    let current = read(&args[2]);
+    if baseline.is_empty() || current.is_empty() {
+        eprintln!("one of the reports is empty or unreadable; nothing to compare");
+        return ExitCode::from(2);
+    }
+
+    let mut regressions = 0usize;
+    println!(
+        "{:<52} {:>12} {:>12} {:>9}",
+        "benchmark", "baseline", "current", "delta"
+    );
+    for cur in &current {
+        let Some(base) = baseline.iter().find(|b| b.name == cur.name) else {
+            println!(
+                "{:<52} {:>12} {:>12} {:>9}",
+                cur.name,
+                "-",
+                format_ns(cur.mean_ns),
+                "new"
+            );
+            continue;
+        };
+        let delta_pct = (cur.mean_ns as f64 - base.mean_ns as f64) / base.mean_ns as f64 * 100.0;
+        let flag = if delta_pct > threshold_pct {
+            regressions += 1;
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "{:<52} {:>12} {:>12} {:>+8.1}%{flag}",
+            cur.name,
+            format_ns(base.mean_ns),
+            format_ns(cur.mean_ns),
+            delta_pct
+        );
+    }
+    for base in &baseline {
+        if !current.iter().any(|c| c.name == base.name) {
+            println!(
+                "{:<52} {:>12} {:>12} {:>9}",
+                base.name,
+                format_ns(base.mean_ns),
+                "-",
+                "gone"
+            );
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!("{regressions} benchmark(s) regressed more than {threshold_pct:.0}%");
+        ExitCode::FAILURE
+    } else {
+        println!("no regressions beyond {threshold_pct:.0}%");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benchmarks": [
+    {"name": "backend/local_gates/state-vector/16q_8r", "min_ns": 900, "mean_ns": 1000, "samples": 10},
+    {"name": "backend/cat_bcast/trace/8", "min_ns": 50, "mean_ns": 60, "samples": 10}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_compat_harness_report() {
+        let entries = parse_report(SAMPLE);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "backend/local_gates/state-vector/16q_8r");
+        assert_eq!(entries[0].mean_ns, 1000);
+        assert_eq!(entries[1].mean_ns, 60);
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert_eq!(format_ns(12), "12 ns");
+        assert_eq!(format_ns(1_500), "1.500 us");
+        assert_eq!(format_ns(2_500_000), "2.500 ms");
+        assert_eq!(format_ns(3_000_000_000), "3.000 s");
+    }
+}

@@ -7,8 +7,67 @@
 //! samples, and prints min/mean per-iteration times. No statistics engine,
 //! no HTML reports; the point is that `cargo bench` compiles, runs, and
 //! yields comparable numbers in this offline environment.
+//!
+//! Two environment variables serve CI:
+//!
+//! * `CRITERION_SAMPLE_SIZE` — overrides every benchmark's sample count
+//!   (the "`--quick`" knob for smoke jobs);
+//! * `CRITERION_OUTPUT_JSON` — path to which `criterion_main!` writes all
+//!   collected results as JSON after the groups finish, so pipelines can
+//!   archive a machine-readable perf artifact per commit.
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// One finished benchmark, as recorded for the JSON artifact.
+struct Record {
+    name: String,
+    min_ns: u128,
+    mean_ns: u128,
+    samples: usize,
+}
+
+fn results() -> &'static Mutex<Vec<Record>> {
+    static RESULTS: OnceLock<Mutex<Vec<Record>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The `CRITERION_SAMPLE_SIZE` override, if set and parseable.
+fn sample_size_override() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes every recorded result to `CRITERION_OUTPUT_JSON` (no-op when the
+/// variable is unset). Called by `criterion_main!` after all groups run.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("CRITERION_OUTPUT_JSON") else {
+        return;
+    };
+    let records = results().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"min_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}{comma}\n",
+            json_escape(&r.name),
+            r.min_ns,
+            r.mean_ns,
+            r.samples
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("wrote {} benchmark records to {path}", records.len()),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
 
 /// Re-export of the compiler fence against optimizing away benched values.
 pub use std::hint::black_box;
@@ -124,6 +183,7 @@ impl Bencher {
 }
 
 fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let sample_size = sample_size_override().unwrap_or(sample_size);
     let mut b = Bencher {
         samples: Vec::with_capacity(sample_size),
         sample_size,
@@ -142,6 +202,15 @@ fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
         format_ns(mean),
         b.samples.len()
     );
+    results()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(Record {
+            name: label.to_string(),
+            min_ns: min.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            samples: b.samples.len(),
+        });
 }
 
 fn format_ns(d: Duration) -> String {
@@ -174,12 +243,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` for a bench binary (requires `harness = false`).
+/// Declares `main` for a bench binary (requires `harness = false`). After
+/// all groups finish, results are written to `CRITERION_OUTPUT_JSON` if the
+/// variable is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
@@ -204,5 +276,20 @@ mod tests {
     fn harness_runs_to_completion() {
         let mut c = Criterion::default().sample_size(2);
         tiny_bench(&mut c);
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let path = std::env::temp_dir().join("criterion_compat_report_test.json");
+        std::env::set_var("CRITERION_OUTPUT_JSON", &path);
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("json/roundtrip", |b| b.iter(|| black_box(1 + 1)));
+        write_json_report();
+        std::env::remove_var("CRITERION_OUTPUT_JSON");
+        let body = std::fs::read_to_string(&path).expect("report written");
+        std::fs::remove_file(&path).ok();
+        assert!(body.contains("\"benchmarks\""));
+        assert!(body.contains("\"name\": \"json/roundtrip\""));
+        assert!(body.contains("\"mean_ns\""));
     }
 }

@@ -113,7 +113,7 @@ pub mod strategy {
     /// A recipe for sampling values of `Self::Value`.
     ///
     /// Object-safe so strategies of one value type can be unified behind
-    /// [`BoxedStrategy`] (what [`prop_oneof!`] produces).
+    /// [`BoxedStrategy`] (what [`crate::prop_oneof!`] produces).
     pub trait Strategy {
         /// The type of values this strategy produces.
         type Value;
@@ -184,7 +184,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among boxed alternatives ([`prop_oneof!`]).
+    /// Uniform choice among boxed alternatives ([`crate::prop_oneof!`]).
     pub struct Union<T> {
         options: Vec<BoxedStrategy<T>>,
     }

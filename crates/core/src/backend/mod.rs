@@ -15,22 +15,31 @@
 //!   protocols at thousands of ranks), and [`trace::TraceEngine`] (no
 //!   amplitudes at all — pure operation counting for Table 1–3-style
 //!   resource estimation at paper scale).
-//! * [`Shared`] — the locality wrapper: one lock-guarded engine plus the
-//!   qubit-ownership registry. Every engine gets the paper's locality
+//! * [`SimEngine`] implementations also include
+//!   [`sharded::ShardedStateVector`] (exact amplitudes over a lock-striped
+//!   shard array, built for concurrent gate dispatch).
+//! * [`Shared`] — the mutex locality wrapper: one lock-guarded engine plus
+//!   the qubit-ownership registry. Every engine gets the paper's locality
 //!   semantics for free — a multi-qubit gate across ranks is rejected with
 //!   [`QmpiError::Locality`], so algorithm code must communicate via QMPI
 //!   exactly as on real distributed hardware. The only cross-rank quantum
 //!   operation is [`QuantumBackend::entangle_epr`], modeling the
-//!   quantum-coherent interconnect.
+//!   quantum-coherent interconnect. [`sharded::ShardedShared`] is the
+//!   second locality wrapper: the same ownership registry behind a
+//!   reader-writer lock, so gate traffic from many ranks proceeds
+//!   concurrently and only structural operations serialize.
 //! * [`QuantumBackend`] — the rank-aware trait object held by every
 //!   `QmpiRank`. Select an implementation per world via
 //!   [`crate::QmpiConfig::backend`] and [`BackendKind`].
 //!
-//! The lock acquisition mirrors the prototype's "all ranks forward quantum
-//! operations to rank 0" — identical serialization semantics, and the
-//! engine's global state faithfully represents the distributed machine at
-//! every point.
+//! The single-mutex acquisition mirrors the prototype's "all ranks forward
+//! quantum operations to rank 0" — identical serialization semantics, and
+//! the engine's global state faithfully represents the distributed machine
+//! at every point. The sharded wrapper keeps the same observable semantics
+//! while letting gates on disjoint qubits (which locality guarantees across
+//! ranks) execute in parallel.
 
+pub mod sharded;
 pub mod stabilizer;
 pub mod statevector;
 pub mod trace;
@@ -41,6 +50,7 @@ use qsim::{Gate, Pauli, QubitId, State};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+pub use sharded::{ShardableEngine, ShardedShared, ShardedStateVector};
 pub use stabilizer::StabilizerEngine;
 pub use statevector::StateVectorEngine;
 pub use trace::TraceEngine;
@@ -60,15 +70,34 @@ pub enum BackendKind {
     /// and the resource ledger reproduces the paper's Tables 1–3 at any
     /// scale.
     Trace,
+    /// Full state-vector simulation over `shards` lock-striped amplitude
+    /// shards behind a reader-writer locality wrapper: gates from many
+    /// ranks run concurrently instead of serializing through one mutex.
+    /// `shards` is rounded up to a power of two (clamped to `[1, 256]`).
+    ShardedStateVector {
+        /// Number of amplitude shards (= independent stripe locks).
+        shards: usize,
+    },
 }
 
 impl BackendKind {
+    /// The sharded state-vector backend with one stripe per available
+    /// hardware thread (capped at 8) — a sensible default shard count.
+    pub fn sharded_auto() -> BackendKind {
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4)
+            .next_power_of_two();
+        BackendKind::ShardedStateVector { shards }
+    }
+
     /// Human-readable engine name.
     pub fn name(self) -> &'static str {
         match self {
             BackendKind::StateVector => "state-vector",
             BackendKind::Stabilizer => "stabilizer",
             BackendKind::Trace => "trace",
+            BackendKind::ShardedStateVector { .. } => "sharded-state-vector",
         }
     }
 
@@ -78,6 +107,9 @@ impl BackendKind {
             BackendKind::StateVector => Arc::new(Shared::new(StateVectorEngine::new(seed))),
             BackendKind::Stabilizer => Arc::new(Shared::new(StabilizerEngine::new(seed))),
             BackendKind::Trace => Arc::new(Shared::new(TraceEngine::new())),
+            BackendKind::ShardedStateVector { shards } => {
+                Arc::new(ShardedShared::new(ShardedStateVector::new(seed, shards)))
+            }
         }
     }
 }
@@ -246,9 +278,34 @@ pub trait QuantumBackend: Send + Sync {
     /// must go through teleportation/fanout protocols built on it.
     fn entangle_epr(&self, qa: QubitId, qb: QubitId) -> Result<()>;
 
+    /// Entangles many EPR pairs in one backend acquisition. Collectives
+    /// that establish a whole spanning tree of pairs (the cat-state bcast)
+    /// use this so `n - 1` establishments cost one lock round-trip instead
+    /// of `n - 1`. The default implementation loops [`Self::entangle_epr`];
+    /// wrappers override it with a single acquisition.
+    fn entangle_epr_batch(&self, pairs: &[(QubitId, QubitId)]) -> Result<()> {
+        for &(qa, qb) in pairs {
+            self.entangle_epr(qa, qb)?;
+        }
+        Ok(())
+    }
+
     /// Expectation value of a Pauli string over qubits owned by `rank`.
     /// Diagnostics pass [`DIAG_RANK`] to read across the whole machine.
     fn expectation(&self, rank: usize, terms: &[(QubitId, Pauli)]) -> Result<f64>;
+
+    /// Expectation values of many Pauli strings — one observable, many
+    /// terms — in a single backend acquisition. Callers evaluating an
+    /// observable term-by-term (per-site magnetization, multi-rank parity
+    /// checks) would otherwise take the global lock once per term. The
+    /// default implementation loops [`Self::expectation`]; wrappers
+    /// override it with a single acquisition.
+    fn expectation_each(&self, rank: usize, strings: &[Vec<(QubitId, Pauli)>]) -> Result<Vec<f64>> {
+        strings
+            .iter()
+            .map(|terms| self.expectation(rank, terms))
+            .collect()
+    }
 
     /// Global state snapshot in the given qubit order — diagnostics for
     /// tests and examples ("the state vector faithfully represents the
@@ -266,13 +323,149 @@ pub trait QuantumBackend: Send + Sync {
     fn counts(&self) -> OpCounts;
 }
 
-struct Inner<E> {
-    engine: E,
+/// Engine state plus the ownership registry and resource counters. Both
+/// locality wrappers ([`Shared`] behind one mutex, [`ShardedShared`] behind
+/// a reader-writer lock) guard an `Inner` and call these methods, so the
+/// ownership/locality semantics are written exactly once regardless of the
+/// locking strategy.
+pub(crate) struct Inner<E> {
+    pub(crate) engine: E,
     owner: HashMap<QubitId, usize>,
     epr_entanglements: u64,
     allocations: u64,
     frees: u64,
     max_live: u64,
+}
+
+impl<E> Inner<E> {
+    pub(crate) fn new(engine: E) -> Self {
+        Inner {
+            engine,
+            owner: HashMap::new(),
+            epr_entanglements: 0,
+            allocations: 0,
+            frees: 0,
+            max_live: 0,
+        }
+    }
+
+    pub(crate) fn check_owner(&self, rank: usize, q: QubitId) -> Result<()> {
+        match self.owner.get(&q) {
+            None => Err(QmpiError::Sim(qsim::SimError::UnknownQubit(q))),
+            Some(&o) if o == rank => Ok(()),
+            Some(&o) => Err(QmpiError::Locality {
+                qubit: q,
+                owner: o,
+                acting: rank,
+            }),
+        }
+    }
+
+    pub(crate) fn owner_of(&self, q: QubitId) -> Option<usize> {
+        self.owner.get(&q).copied()
+    }
+}
+
+impl<E: SimEngine> Inner<E> {
+    pub(crate) fn alloc(&mut self, rank: usize, n: usize) -> Vec<QubitId> {
+        let ids: Vec<QubitId> = (0..n).map(|_| self.engine.alloc()).collect();
+        for &id in &ids {
+            self.owner.insert(id, rank);
+        }
+        self.allocations += n as u64;
+        let live = self.engine.n_qubits() as u64;
+        self.max_live = self.max_live.max(live);
+        ids
+    }
+
+    pub(crate) fn free(&mut self, rank: usize, q: QubitId) -> Result<bool> {
+        self.check_owner(rank, q)?;
+        let out = self.engine.free(q)?;
+        self.owner.remove(&q);
+        self.frees += 1;
+        Ok(out)
+    }
+
+    pub(crate) fn measure_and_free(&mut self, rank: usize, q: QubitId) -> Result<bool> {
+        self.check_owner(rank, q)?;
+        let out = self.engine.measure_and_free(q)?;
+        self.owner.remove(&q);
+        self.frees += 1;
+        Ok(out)
+    }
+
+    pub(crate) fn measure(&mut self, rank: usize, q: QubitId) -> Result<bool> {
+        self.check_owner(rank, q)?;
+        Ok(self.engine.measure(q)?)
+    }
+
+    pub(crate) fn prob_one(&self, rank: usize, q: QubitId) -> Result<f64> {
+        self.check_owner(rank, q)?;
+        Ok(self.engine.prob_one(q)?)
+    }
+
+    pub(crate) fn measure_z_parity(&mut self, rank: usize, qubits: &[QubitId]) -> Result<bool> {
+        for &q in qubits {
+            self.check_owner(rank, q)?;
+        }
+        Ok(self.engine.measure_z_parity(qubits)?)
+    }
+
+    pub(crate) fn entangle_epr(&mut self, qa: QubitId, qb: QubitId) -> Result<()> {
+        if !self.owner.contains_key(&qa) {
+            return Err(QmpiError::Sim(qsim::SimError::UnknownQubit(qa)));
+        }
+        if !self.owner.contains_key(&qb) {
+            return Err(QmpiError::Sim(qsim::SimError::UnknownQubit(qb)));
+        }
+        for &q in &[qa, qb] {
+            if self.engine.prob_one(q)? > 1e-9 {
+                return Err(QmpiError::EprQubitNotFresh(q));
+            }
+        }
+        self.engine.entangle_epr(qa, qb)?;
+        self.epr_entanglements += 1;
+        Ok(())
+    }
+
+    pub(crate) fn entangle_epr_batch(&mut self, pairs: &[(QubitId, QubitId)]) -> Result<()> {
+        for &(qa, qb) in pairs {
+            self.entangle_epr(qa, qb)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn expectation(&self, rank: usize, terms: &[(QubitId, Pauli)]) -> Result<f64> {
+        if rank != DIAG_RANK {
+            for &(q, _) in terms {
+                self.check_owner(rank, q)?;
+            }
+        }
+        Ok(self.engine.expectation(terms)?)
+    }
+
+    pub(crate) fn expectation_each(
+        &self,
+        rank: usize,
+        strings: &[Vec<(QubitId, Pauli)>],
+    ) -> Result<Vec<f64>> {
+        strings
+            .iter()
+            .map(|terms| self.expectation(rank, terms))
+            .collect()
+    }
+
+    pub(crate) fn counts(&self) -> OpCounts {
+        OpCounts {
+            gates: self.engine.gate_count(),
+            measurements: self.engine.measurement_count(),
+            epr_entanglements: self.epr_entanglements,
+            allocations: self.allocations,
+            frees: self.frees,
+            live_qubits: self.engine.n_qubits() as u64,
+            max_live_qubits: self.max_live,
+        }
+    }
 }
 
 /// The shared locality wrapper: one lock-guarded [`SimEngine`] plus the
@@ -290,28 +483,7 @@ impl<E: SimEngine> Shared<E> {
     pub fn new(engine: E) -> Self {
         Shared {
             kind: engine.kind(),
-            inner: Mutex::new(Inner {
-                engine,
-                owner: HashMap::new(),
-                epr_entanglements: 0,
-                allocations: 0,
-                frees: 0,
-                max_live: 0,
-            }),
-        }
-    }
-}
-
-impl<E> Inner<E> {
-    fn check_owner(&self, rank: usize, q: QubitId) -> Result<()> {
-        match self.owner.get(&q) {
-            None => Err(QmpiError::Sim(qsim::SimError::UnknownQubit(q))),
-            Some(&o) if o == rank => Ok(()),
-            Some(&o) => Err(QmpiError::Locality {
-                qubit: q,
-                owner: o,
-                acting: rank,
-            }),
+            inner: Mutex::new(Inner::new(engine)),
         }
     }
 }
@@ -322,37 +494,19 @@ impl<E: SimEngine> QuantumBackend for Shared<E> {
     }
 
     fn alloc(&self, rank: usize, n: usize) -> Vec<QubitId> {
-        let mut g = self.inner.lock();
-        let ids: Vec<QubitId> = (0..n).map(|_| g.engine.alloc()).collect();
-        for &id in &ids {
-            g.owner.insert(id, rank);
-        }
-        g.allocations += n as u64;
-        let live = g.engine.n_qubits() as u64;
-        g.max_live = g.max_live.max(live);
-        ids
+        self.inner.lock().alloc(rank, n)
     }
 
     fn free(&self, rank: usize, q: QubitId) -> Result<bool> {
-        let mut g = self.inner.lock();
-        g.check_owner(rank, q)?;
-        let out = g.engine.free(q)?;
-        g.owner.remove(&q);
-        g.frees += 1;
-        Ok(out)
+        self.inner.lock().free(rank, q)
     }
 
     fn measure_and_free(&self, rank: usize, q: QubitId) -> Result<bool> {
-        let mut g = self.inner.lock();
-        g.check_owner(rank, q)?;
-        let out = g.engine.measure_and_free(q)?;
-        g.owner.remove(&q);
-        g.frees += 1;
-        Ok(out)
+        self.inner.lock().measure_and_free(rank, q)
     }
 
     fn owner_of(&self, q: QubitId) -> Option<usize> {
-        self.inner.lock().owner.get(&q).copied()
+        self.inner.lock().owner_of(q)
     }
 
     fn apply(&self, rank: usize, gate: Gate, q: QubitId) -> Result<()> {
@@ -403,51 +557,33 @@ impl<E: SimEngine> QuantumBackend for Shared<E> {
     }
 
     fn measure(&self, rank: usize, q: QubitId) -> Result<bool> {
-        let mut g = self.inner.lock();
-        g.check_owner(rank, q)?;
-        Ok(g.engine.measure(q)?)
+        self.inner.lock().measure(rank, q)
     }
 
     fn prob_one(&self, rank: usize, q: QubitId) -> Result<f64> {
-        let g = self.inner.lock();
-        g.check_owner(rank, q)?;
-        Ok(g.engine.prob_one(q)?)
+        self.inner.lock().prob_one(rank, q)
     }
 
     fn measure_z_parity(&self, rank: usize, qubits: &[QubitId]) -> Result<bool> {
-        let mut g = self.inner.lock();
-        for &q in qubits {
-            g.check_owner(rank, q)?;
-        }
-        Ok(g.engine.measure_z_parity(qubits)?)
+        self.inner.lock().measure_z_parity(rank, qubits)
     }
 
     fn entangle_epr(&self, qa: QubitId, qb: QubitId) -> Result<()> {
-        let mut g = self.inner.lock();
-        if !g.owner.contains_key(&qa) {
-            return Err(QmpiError::Sim(qsim::SimError::UnknownQubit(qa)));
-        }
-        if !g.owner.contains_key(&qb) {
-            return Err(QmpiError::Sim(qsim::SimError::UnknownQubit(qb)));
-        }
-        for &q in &[qa, qb] {
-            if g.engine.prob_one(q)? > 1e-9 {
-                return Err(QmpiError::EprQubitNotFresh(q));
-            }
-        }
-        g.engine.entangle_epr(qa, qb)?;
-        g.epr_entanglements += 1;
-        Ok(())
+        self.inner.lock().entangle_epr(qa, qb)
+    }
+
+    fn entangle_epr_batch(&self, pairs: &[(QubitId, QubitId)]) -> Result<()> {
+        // One acquisition for the whole spanning tree.
+        self.inner.lock().entangle_epr_batch(pairs)
     }
 
     fn expectation(&self, rank: usize, terms: &[(QubitId, Pauli)]) -> Result<f64> {
-        let g = self.inner.lock();
-        if rank != DIAG_RANK {
-            for &(q, _) in terms {
-                g.check_owner(rank, q)?;
-            }
-        }
-        Ok(g.engine.expectation(terms)?)
+        self.inner.lock().expectation(rank, terms)
+    }
+
+    fn expectation_each(&self, rank: usize, strings: &[Vec<(QubitId, Pauli)>]) -> Result<Vec<f64>> {
+        // One acquisition per observable, not one per Pauli string.
+        self.inner.lock().expectation_each(rank, strings)
     }
 
     fn state_vector(&self, order: &[QubitId]) -> Result<State> {
@@ -464,16 +600,7 @@ impl<E: SimEngine> QuantumBackend for Shared<E> {
     }
 
     fn counts(&self) -> OpCounts {
-        let g = self.inner.lock();
-        OpCounts {
-            gates: g.engine.gate_count(),
-            measurements: g.engine.measurement_count(),
-            epr_entanglements: g.epr_entanglements,
-            allocations: g.allocations,
-            frees: g.frees,
-            live_qubits: g.engine.n_qubits() as u64,
-            max_live_qubits: g.max_live,
-        }
+        self.inner.lock().counts()
     }
 }
 
@@ -481,17 +608,22 @@ impl<E: SimEngine> QuantumBackend for Shared<E> {
 mod tests {
     use super::*;
 
-    fn all_kinds() -> [BackendKind; 3] {
+    fn all_kinds() -> [BackendKind; 4] {
         [
             BackendKind::StateVector,
             BackendKind::Stabilizer,
             BackendKind::Trace,
+            BackendKind::ShardedStateVector { shards: 4 },
         ]
     }
 
     /// Kinds that track real quantum state (trace excluded).
-    fn stateful_kinds() -> [BackendKind; 2] {
-        [BackendKind::StateVector, BackendKind::Stabilizer]
+    fn stateful_kinds() -> [BackendKind; 3] {
+        [
+            BackendKind::StateVector,
+            BackendKind::Stabilizer,
+            BackendKind::ShardedStateVector { shards: 4 },
+        ]
     }
 
     #[test]

@@ -1,0 +1,557 @@
+//! The sharded state-vector engine and its reader-writer locality wrapper.
+//!
+//! [`ShardedStateVector`] is a full-amplitude engine like
+//! [`super::StateVectorEngine`], but its amplitudes live in a
+//! [`qsim::sharded::ShardedState`] — `2^k` contiguous shards, each behind
+//! its own stripe lock — and every *gate* entry point is available through
+//! `&self`. That second surface is what [`ShardedShared`] exploits: instead
+//! of the single mutex that [`super::Shared`] funnels every operation
+//! through, it guards the ownership registry with a reader-writer lock.
+//! Gate traffic from concurrently executing ranks takes the *read* side
+//! (ranks act on disjoint qubits, so their gates commute and the stripe
+//! locks provide amplitude-level exclusion); only structural operations —
+//! allocation, free, measurement collapse, EPR establishment, snapshots —
+//! take the write side.
+//!
+//! The result is the fourth [`super::BackendKind`]:
+//! `BackendKind::ShardedStateVector { shards }`.
+
+use super::{BackendKind, Inner, OpCounts, QuantumBackend, SimEngine};
+use crate::error::Result;
+use parking_lot::RwLock;
+use qsim::registry::QubitRegistry;
+use qsim::sharded::ShardedState;
+use qsim::{Gate, Pauli, QubitId, SimError, State};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`SimEngine`] that additionally exposes its gate set through `&self`,
+/// safe for concurrent callers operating on disjoint qubits. Engines
+/// implementing this can be driven by [`ShardedShared`], which keeps gate
+/// dispatch on the read side of a reader-writer lock.
+pub trait ShardableEngine: SimEngine + Sync {
+    /// Applies a single-qubit gate (concurrent-safe).
+    fn apply_concurrent(&self, gate: Gate, q: QubitId) -> std::result::Result<(), SimError>;
+
+    /// Applies a multi-controlled single-qubit gate (concurrent-safe).
+    fn apply_controlled_concurrent(
+        &self,
+        controls: &[QubitId],
+        gate: Gate,
+        target: QubitId,
+    ) -> std::result::Result<(), SimError>;
+
+    /// CNOT (concurrent-safe).
+    fn cnot_concurrent(&self, c: QubitId, t: QubitId) -> std::result::Result<(), SimError>;
+
+    /// CZ (concurrent-safe).
+    fn cz_concurrent(&self, a: QubitId, b: QubitId) -> std::result::Result<(), SimError>;
+
+    /// SWAP (concurrent-safe).
+    fn swap_concurrent(&self, a: QubitId, b: QubitId) -> std::result::Result<(), SimError>;
+}
+
+/// Full state-vector engine over lock-striped amplitude shards.
+///
+/// Exact for arbitrary gates, exponential in total qubit count — the same
+/// envelope as [`super::StateVectorEngine`] — but gate application goes
+/// through per-shard stripe locks, so many ranks can apply gates at once.
+pub struct ShardedStateVector {
+    state: ShardedState,
+    /// Stable handle <-> position bookkeeping, shared with the dense
+    /// engine ([`qsim::registry`]) so the two cannot drift apart.
+    reg: QubitRegistry,
+    rng: StdRng,
+    /// Atomic so the concurrent gate surface can count without `&mut`.
+    gate_count: AtomicU64,
+    measurement_count: u64,
+}
+
+impl ShardedStateVector {
+    /// Creates an engine with a deterministic measurement RNG seed and
+    /// (up to) `shards` amplitude stripes (rounded to a power of two,
+    /// clamped to `[1, 256]`).
+    pub fn new(seed: u64, shards: usize) -> Self {
+        ShardedStateVector {
+            state: ShardedState::new(shards),
+            reg: QubitRegistry::new(),
+            rng: StdRng::seed_from_u64(seed),
+            gate_count: AtomicU64::new(0),
+            measurement_count: 0,
+        }
+    }
+
+    /// The configured stripe count.
+    pub fn max_shards(&self) -> usize {
+        self.state.max_shards()
+    }
+
+    fn pos(&self, q: QubitId) -> std::result::Result<usize, SimError> {
+        self.reg.pos(q)
+    }
+
+    fn remove_at(&mut self, q: QubitId, pos: usize, outcome: bool) {
+        self.state.remove_qubit(pos, outcome);
+        self.reg.remove(q, pos);
+    }
+
+    #[inline]
+    fn count_gate(&self) {
+        self.gate_count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl ShardableEngine for ShardedStateVector {
+    fn apply_concurrent(&self, gate: Gate, q: QubitId) -> std::result::Result<(), SimError> {
+        let pos = self.pos(q)?;
+        self.state.apply_1q(pos, &gate.matrix());
+        self.count_gate();
+        Ok(())
+    }
+
+    fn apply_controlled_concurrent(
+        &self,
+        controls: &[QubitId],
+        gate: Gate,
+        target: QubitId,
+    ) -> std::result::Result<(), SimError> {
+        let tpos = self.pos(target)?;
+        let mut cpos = Vec::with_capacity(controls.len());
+        for &c in controls {
+            if c == target {
+                return Err(SimError::DuplicateQubit(c));
+            }
+            cpos.push(self.pos(c)?);
+        }
+        self.state.apply_controlled_1q(&cpos, tpos, &gate.matrix());
+        self.count_gate();
+        Ok(())
+    }
+
+    fn cnot_concurrent(&self, c: QubitId, t: QubitId) -> std::result::Result<(), SimError> {
+        if c == t {
+            return Err(SimError::DuplicateQubit(c));
+        }
+        let cp = self.pos(c)?;
+        let tp = self.pos(t)?;
+        self.state.apply_cnot(cp, tp);
+        self.count_gate();
+        Ok(())
+    }
+
+    fn cz_concurrent(&self, a: QubitId, b: QubitId) -> std::result::Result<(), SimError> {
+        if a == b {
+            return Err(SimError::DuplicateQubit(a));
+        }
+        let pa = self.pos(a)?;
+        let pb = self.pos(b)?;
+        self.state.apply_cz(pa, pb);
+        self.count_gate();
+        Ok(())
+    }
+
+    fn swap_concurrent(&self, a: QubitId, b: QubitId) -> std::result::Result<(), SimError> {
+        if a == b {
+            return Ok(());
+        }
+        let pa = self.pos(a)?;
+        let pb = self.pos(b)?;
+        self.state.apply_swap(pa, pb);
+        self.count_gate();
+        Ok(())
+    }
+}
+
+impl SimEngine for ShardedStateVector {
+    fn kind(&self) -> BackendKind {
+        BackendKind::ShardedStateVector {
+            shards: self.state.max_shards(),
+        }
+    }
+
+    fn alloc(&mut self) -> QubitId {
+        let pos = self.state.add_qubit();
+        self.reg.push(pos)
+    }
+
+    fn free(&mut self, q: QubitId) -> std::result::Result<bool, SimError> {
+        let pos = self.pos(q)?;
+        let outcome = qsim::registry::classical_outcome(q, self.state.prob_one(pos))?;
+        self.remove_at(q, pos, outcome);
+        Ok(outcome)
+    }
+
+    fn measure_and_free(&mut self, q: QubitId) -> std::result::Result<bool, SimError> {
+        let outcome = self.measure(q)?;
+        let pos = self.pos(q)?;
+        self.remove_at(q, pos, outcome);
+        Ok(outcome)
+    }
+
+    fn apply(&mut self, gate: Gate, q: QubitId) -> std::result::Result<(), SimError> {
+        self.apply_concurrent(gate, q)
+    }
+
+    fn apply_controlled(
+        &mut self,
+        controls: &[QubitId],
+        gate: Gate,
+        target: QubitId,
+    ) -> std::result::Result<(), SimError> {
+        self.apply_controlled_concurrent(controls, gate, target)
+    }
+
+    fn cnot(&mut self, c: QubitId, t: QubitId) -> std::result::Result<(), SimError> {
+        self.cnot_concurrent(c, t)
+    }
+
+    fn cz(&mut self, a: QubitId, b: QubitId) -> std::result::Result<(), SimError> {
+        self.cz_concurrent(a, b)
+    }
+
+    fn swap(&mut self, a: QubitId, b: QubitId) -> std::result::Result<(), SimError> {
+        self.swap_concurrent(a, b)
+    }
+
+    fn measure(&mut self, q: QubitId) -> std::result::Result<bool, SimError> {
+        let pos = self.pos(q)?;
+        self.measurement_count += 1;
+        Ok(self.state.measure(pos, &mut self.rng))
+    }
+
+    fn prob_one(&self, q: QubitId) -> std::result::Result<f64, SimError> {
+        Ok(self.state.prob_one(self.pos(q)?))
+    }
+
+    fn measure_z_parity(&mut self, qubits: &[QubitId]) -> std::result::Result<bool, SimError> {
+        let mut pos = Vec::with_capacity(qubits.len());
+        for &q in qubits {
+            pos.push(self.pos(q)?);
+        }
+        self.measurement_count += 1;
+        Ok(self.state.measure_z_parity(&pos, &mut self.rng))
+    }
+
+    fn expectation(&self, terms: &[(QubitId, Pauli)]) -> std::result::Result<f64, SimError> {
+        let mut mapped = Vec::with_capacity(terms.len());
+        for &(q, op) in terms {
+            mapped.push(qsim::measure::PauliTerm {
+                qubit: self.pos(q)?,
+                op,
+            });
+        }
+        Ok(self.state.expectation_pauli(&mapped))
+    }
+
+    fn state_vector(&self, order: &[QubitId]) -> std::result::Result<State, SimError> {
+        Ok(self
+            .state
+            .to_dense()
+            .permuted(&self.reg.permutation(order)?))
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.reg.len()
+    }
+
+    fn gate_count(&self) -> u64 {
+        self.gate_count.load(Ordering::Relaxed)
+    }
+
+    fn measurement_count(&self) -> u64 {
+        self.measurement_count
+    }
+}
+
+/// The lock-striped locality wrapper: the same ownership registry and
+/// resource counters as [`super::Shared`], but behind a reader-writer lock.
+///
+/// Gate dispatch — the overwhelming majority of backend traffic — holds
+/// only the *read* guard plus the stripe locks the gate actually touches,
+/// so ranks no longer serialize on one global mutex. Structural operations
+/// (alloc/free, measurement, EPR establishment, snapshots) take the write
+/// guard, giving them the same exclusive view `Shared` provides.
+pub struct ShardedShared<E: ShardableEngine = ShardedStateVector> {
+    kind: BackendKind,
+    inner: RwLock<Inner<E>>,
+}
+
+impl<E: ShardableEngine> ShardedShared<E> {
+    /// Wraps a concurrent-capable engine.
+    pub fn new(engine: E) -> Self {
+        ShardedShared {
+            kind: engine.kind(),
+            inner: RwLock::new(Inner::new(engine)),
+        }
+    }
+}
+
+impl<E: ShardableEngine> QuantumBackend for ShardedShared<E> {
+    fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    fn alloc(&self, rank: usize, n: usize) -> Vec<QubitId> {
+        self.inner.write().alloc(rank, n)
+    }
+
+    fn free(&self, rank: usize, q: QubitId) -> Result<bool> {
+        self.inner.write().free(rank, q)
+    }
+
+    fn measure_and_free(&self, rank: usize, q: QubitId) -> Result<bool> {
+        self.inner.write().measure_and_free(rank, q)
+    }
+
+    fn owner_of(&self, q: QubitId) -> Option<usize> {
+        self.inner.read().owner_of(q)
+    }
+
+    fn apply(&self, rank: usize, gate: Gate, q: QubitId) -> Result<()> {
+        let g = self.inner.read();
+        g.check_owner(rank, q)?;
+        g.engine.apply_concurrent(gate, q)?;
+        Ok(())
+    }
+
+    fn cnot(&self, rank: usize, control: QubitId, target: QubitId) -> Result<()> {
+        let g = self.inner.read();
+        g.check_owner(rank, control)?;
+        g.check_owner(rank, target)?;
+        g.engine.cnot_concurrent(control, target)?;
+        Ok(())
+    }
+
+    fn cz(&self, rank: usize, a: QubitId, b: QubitId) -> Result<()> {
+        let g = self.inner.read();
+        g.check_owner(rank, a)?;
+        g.check_owner(rank, b)?;
+        g.engine.cz_concurrent(a, b)?;
+        Ok(())
+    }
+
+    fn swap(&self, rank: usize, a: QubitId, b: QubitId) -> Result<()> {
+        let g = self.inner.read();
+        g.check_owner(rank, a)?;
+        g.check_owner(rank, b)?;
+        g.engine.swap_concurrent(a, b)?;
+        Ok(())
+    }
+
+    fn apply_controlled(
+        &self,
+        rank: usize,
+        controls: &[QubitId],
+        gate: Gate,
+        target: QubitId,
+    ) -> Result<()> {
+        let g = self.inner.read();
+        for &c in controls {
+            g.check_owner(rank, c)?;
+        }
+        g.check_owner(rank, target)?;
+        g.engine
+            .apply_controlled_concurrent(controls, gate, target)?;
+        Ok(())
+    }
+
+    fn measure(&self, rank: usize, q: QubitId) -> Result<bool> {
+        self.inner.write().measure(rank, q)
+    }
+
+    fn prob_one(&self, rank: usize, q: QubitId) -> Result<f64> {
+        self.inner.write().prob_one(rank, q)
+    }
+
+    fn measure_z_parity(&self, rank: usize, qubits: &[QubitId]) -> Result<bool> {
+        self.inner.write().measure_z_parity(rank, qubits)
+    }
+
+    fn entangle_epr(&self, qa: QubitId, qb: QubitId) -> Result<()> {
+        self.inner.write().entangle_epr(qa, qb)
+    }
+
+    fn entangle_epr_batch(&self, pairs: &[(QubitId, QubitId)]) -> Result<()> {
+        // One striped acquisition for the whole spanning tree.
+        self.inner.write().entangle_epr_batch(pairs)
+    }
+
+    fn expectation(&self, rank: usize, terms: &[(QubitId, Pauli)]) -> Result<f64> {
+        self.inner.write().expectation(rank, terms)
+    }
+
+    fn expectation_each(&self, rank: usize, strings: &[Vec<(QubitId, Pauli)>]) -> Result<Vec<f64>> {
+        // One acquisition per observable, not one per Pauli string.
+        self.inner.write().expectation_each(rank, strings)
+    }
+
+    fn state_vector(&self, order: &[QubitId]) -> Result<State> {
+        let g = self.inner.write();
+        Ok(g.engine.state_vector(order)?)
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.inner.read().engine.n_qubits()
+    }
+
+    fn gate_count(&self) -> u64 {
+        self.inner.read().engine.gate_count()
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.inner.read().counts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::StateVectorEngine;
+
+    const TOL: f64 = 1e-12;
+
+    /// One step of a random Clifford+T circuit.
+    #[derive(Clone, Copy, Debug)]
+    enum Step {
+        Gate(Gate, usize),
+        Cnot(usize, usize),
+        Cz(usize, usize),
+    }
+
+    fn apply_steps<E: SimEngine>(engine: &mut E, qs: &[QubitId], steps: &[Step]) {
+        for &step in steps {
+            match step {
+                Step::Gate(g, t) => engine.apply(g, qs[t]).unwrap(),
+                Step::Cnot(c, t) if c != t => engine.cnot(qs[c], qs[t]).unwrap(),
+                Step::Cz(a, b) if a != b => engine.cz(qs[a], qs[b]).unwrap(),
+                _ => {}
+            }
+        }
+    }
+
+    fn amplitudes_match(steps: &[Step], shards: usize, n_qubits: usize) {
+        let mut dense = StateVectorEngine::new(1);
+        let mut striped = ShardedStateVector::new(1, shards);
+        let dq: Vec<QubitId> = (0..n_qubits).map(|_| dense.alloc()).collect();
+        let sq: Vec<QubitId> = (0..n_qubits).map(|_| striped.alloc()).collect();
+        apply_steps(&mut dense, &dq, steps);
+        apply_steps(&mut striped, &sq, steps);
+        let want = dense.state_vector(&dq).unwrap();
+        let got = striped.state_vector(&sq).unwrap();
+        for i in 0..want.len() {
+            assert!(
+                want.amplitude(i).approx_eq(got.amplitude(i), TOL),
+                "shards={shards} amp[{i}]: {:?} vs {:?}",
+                want.amplitude(i),
+                got.amplitude(i)
+            );
+        }
+    }
+
+    #[test]
+    fn engine_matches_dense_on_fixed_circuit() {
+        let steps = [
+            Step::Gate(Gate::H, 0),
+            Step::Gate(Gate::H, 9),
+            Step::Gate(Gate::T, 9),
+            Step::Cnot(0, 9),
+            Step::Cnot(9, 0),
+            Step::Cz(3, 8),
+            Step::Gate(Gate::S, 5),
+            Step::Cnot(8, 9),
+        ];
+        for shards in [1usize, 2, 8] {
+            amplitudes_match(&steps, shards, 10);
+        }
+    }
+
+    #[test]
+    fn wrapper_runs_concurrent_rank_gates() {
+        use std::sync::Arc;
+        let backend: Arc<dyn QuantumBackend> =
+            BackendKind::ShardedStateVector { shards: 8 }.build(3);
+        let mut qubits = Vec::new();
+        for rank in 0..4usize {
+            qubits.push((rank, backend.alloc(rank, 2)));
+        }
+        std::thread::scope(|s| {
+            for (rank, qs) in &qubits {
+                let backend = Arc::clone(&backend);
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        backend.apply(*rank, Gate::H, qs[0]).unwrap();
+                        backend.cnot(*rank, qs[0], qs[1]).unwrap();
+                        backend.cnot(*rank, qs[0], qs[1]).unwrap();
+                        backend.apply(*rank, Gate::H, qs[0]).unwrap();
+                    }
+                });
+            }
+        });
+        // Every rank's round was self-inverse: all qubits must read |0>.
+        for (rank, qs) in &qubits {
+            for &q in qs {
+                assert!(backend.prob_one(*rank, q).unwrap() < 1e-9);
+                backend.measure_and_free(*rank, q).unwrap();
+            }
+        }
+        assert_eq!(backend.counts().live_qubits, 0);
+    }
+
+    #[test]
+    fn batch_entangle_is_one_acquisition_of_many_pairs() {
+        let backend = BackendKind::ShardedStateVector { shards: 4 }.build(9);
+        let a = backend.alloc(0, 3);
+        let b = backend.alloc(1, 3);
+        let pairs: Vec<(QubitId, QubitId)> = a.iter().copied().zip(b.iter().copied()).collect();
+        backend.entangle_epr_batch(&pairs).unwrap();
+        for (qa, qb) in pairs {
+            let ma = backend.measure(0, qa).unwrap();
+            let mb = backend.measure(1, qb).unwrap();
+            assert_eq!(ma, mb, "batched pair must be entangled");
+        }
+        assert_eq!(backend.counts().epr_entanglements, 3);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_step(n_qubits: usize) -> impl Strategy<Value = Step> {
+            let n = n_qubits;
+            prop_oneof![
+                (0usize..8, 0..n).prop_map(|(g, t)| {
+                    let gate = match g {
+                        0 => Gate::H,
+                        1 => Gate::S,
+                        2 => Gate::Sdg,
+                        3 => Gate::T,
+                        4 => Gate::Tdg,
+                        5 => Gate::X,
+                        6 => Gate::Y,
+                        _ => Gate::Z,
+                    };
+                    Step::Gate(gate, t)
+                }),
+                (0..n, 0..n).prop_map(|(c, t)| Step::Cnot(c, t)),
+                (0..n, 0..n).prop_map(|(a, b)| Step::Cz(a, b)),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// The satellite acceptance property: 1-, 2-, and 8-shard
+            /// striped engines produce amplitudes identical to the dense
+            /// engine on random 10-qubit Clifford+T circuits.
+            #[test]
+            fn sharded_amplitudes_identical_to_dense(
+                steps in proptest::collection::vec(arb_step(10), 10..60),
+            ) {
+                for shards in [1usize, 2, 8] {
+                    amplitudes_match(&steps, shards, 10);
+                }
+            }
+        }
+    }
+}

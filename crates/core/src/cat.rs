@@ -7,6 +7,15 @@
 //! interior rank; (3) a classical `MPI_Exscan` of the outcomes that tells
 //! each rank whether to apply a Pauli-X fixup. Quantum depth is constant in
 //! `n`; only the classical fixup is logarithmic.
+//!
+//! The establishment phase is backend-aware: instead of `n - 1` separate
+//! rendezvous (each taking the backend lock once), the edge qubit ids are
+//! gathered at rank 0, which entangles the whole spanning tree through
+//! [`crate::QuantumBackend::entangle_epr_batch`] — a *single* backend
+//! acquisition. The *modeled* quantum schedule is unchanged (still two
+//! parallel establishment rounds, still `n - 1` pairs — the ledger records
+//! the same bill); what the batching removes is the simulator-side lock
+//! traffic that dominated 64-rank broadcast latency.
 
 use crate::context::{QTag, QmpiRank};
 use crate::error::Result;
@@ -31,9 +40,15 @@ impl QmpiRank {
             self.h(&q)?;
             return Ok(q);
         }
-        // Chain edges e_k = (k, k+1). Even-k edges establish in round 0,
-        // odd-k edges in round 1 — each node touches at most one edge per
-        // round, satisfying the SENDQ one-EPR-establishment-at-a-time rule.
+        // Chain edges e_k = (k, k+1). On hardware even-k edges establish in
+        // round 0 and odd-k edges in round 1 — each node touches at most one
+        // edge per round, satisfying the SENDQ one-EPR-establishment-at-a-
+        // time rule — and that is what the ledger records. In the simulator
+        // the whole spanning tree is entangled in ONE batched backend
+        // acquisition: every rank reports its edge qubit ids to rank 0
+        // (substrate control traffic, not protocol bits), rank 0 drives
+        // `entangle_epr_batch`, and a broadcast acknowledges completion.
+        let _ = tag; // establishment no longer needs per-edge rendezvous tags
         let left: Option<Qubit> = if r > 0 { Some(self.alloc_one()) } else { None };
         let right: Option<Qubit> = if r + 1 < n {
             Some(self.alloc_one())
@@ -47,17 +62,45 @@ impl QmpiRank {
                 self.ledger().record_epr_round();
             }
         }
-        for round in 0..2u8 {
-            // Edge to the right neighbor is edge index r; to the left, r-1.
-            if let Some(q) = &right {
-                if r % 2 == round as usize % 2 {
-                    self.prepare_epr(q, r + 1, tag)?;
+        const NO_QUBIT: u64 = u64::MAX;
+        let edge_ids = vec![
+            left.as_ref().map(|q| q.id().0).unwrap_or(NO_QUBIT),
+            right.as_ref().map(|q| q.id().0).unwrap_or(NO_QUBIT),
+        ];
+        if r != 0 {
+            self.ledger.record_control();
+        }
+        let gathered = self.proto.gather(&edge_ids, 0);
+        let ok = if r == 0 {
+            let ids = gathered.expect("root gathers edge ids");
+            let mut pairs = Vec::with_capacity(n - 1);
+            for k in 0..n - 1 {
+                let right_of_k = ids[k][1];
+                let left_of_next = ids[k + 1][0];
+                debug_assert!(right_of_k != NO_QUBIT && left_of_next != NO_QUBIT);
+                pairs.push((qsim::QubitId(right_of_k), qsim::QubitId(left_of_next)));
+            }
+            let result = self.backend.entangle_epr_batch(&pairs);
+            if result.is_ok() {
+                for _ in 0..pairs.len() {
+                    self.ledger.record_epr_pair();
                 }
             }
-            if let Some(q) = &left {
-                if (r - 1) % 2 == round as usize % 2 {
-                    self.prepare_epr(q, r - 1, tag)?;
-                }
+            self.ledger.record_control();
+            self.proto.bcast(Some(result.is_ok()), 0)
+        } else {
+            self.proto.bcast::<bool>(None, 0)
+        };
+        if !ok {
+            return Err(crate::error::QmpiError::Protocol(
+                "batched cat-state EPR establishment failed at rank 0".into(),
+            ));
+        }
+        // Each rank buffers the halves it holds, subject to the S budget.
+        for held in [&left, &right] {
+            if held.is_some() {
+                let level = self.ledger.buffer_inc(r);
+                self.check_buffer(level)?;
             }
         }
         // Merge at interior ranks: CNOT(left -> right), measure right.

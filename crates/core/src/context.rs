@@ -1,8 +1,8 @@
 //! QMPI world setup and the per-rank context handle.
 //!
 //! [`run`] is the analogue of launching a QMPI program with `mpirun`: it
-//! starts `n` ranks, wires them to a shared simulation [`Backend`], and hands
-//! each a [`QmpiRank`] — the `QMPI_COMM_WORLD` of the paper. All quantum
+//! starts `n` ranks, wires them to a shared simulation [`QuantumBackend`],
+//! and hands each a [`QmpiRank`] — the `QMPI_COMM_WORLD` of the paper. All quantum
 //! nodes also speak classical MPI (Section 4.1), exposed via
 //! [`QmpiRank::classical`].
 
@@ -125,6 +125,13 @@ impl QmpiConfig {
     /// Selects the simulation backend for the world.
     pub fn backend(mut self, kind: BackendKind) -> Self {
         self.backend = kind;
+        self
+    }
+
+    /// Shorthand for the lock-striped state-vector backend with `shards`
+    /// stripes ([`BackendKind::ShardedStateVector`]).
+    pub fn sharded_backend(mut self, shards: usize) -> Self {
+        self.backend = BackendKind::ShardedStateVector { shards };
         self
     }
 
@@ -369,6 +376,7 @@ mod tests {
             crate::BackendKind::StateVector,
             crate::BackendKind::Stabilizer,
             crate::BackendKind::Trace,
+            crate::BackendKind::ShardedStateVector { shards: 4 },
         ] {
             let out = run_with_config(2, QmpiConfig::new().backend(kind), move |ctx| {
                 assert_eq!(ctx.backend().kind(), kind);

@@ -144,6 +144,21 @@ impl QmpiRank {
         let mapped: Vec<_> = terms.iter().map(|&(q, p)| (q.id, p)).collect();
         self.backend.expectation(self.rank(), &mapped)
     }
+
+    /// Expectation values of several local Pauli strings — one observable
+    /// made of many terms — in a *single* backend acquisition.
+    ///
+    /// Evaluating an observable term by term through
+    /// [`QmpiRank::expectation`] takes the global backend lock once per
+    /// Pauli string; with 64 ranks doing the same the lock thrashes. This
+    /// hoists the acquisition to once per observable.
+    pub fn expectation_each(&self, strings: &[Vec<(&Qubit, Pauli)>]) -> Result<Vec<f64>> {
+        let mapped: Vec<Vec<(qsim::QubitId, Pauli)>> = strings
+            .iter()
+            .map(|terms| terms.iter().map(|&(q, p)| (q.id, p)).collect())
+            .collect();
+        self.backend.expectation_each(self.rank(), &mapped)
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +214,34 @@ mod tests {
         });
         assert!(out[0].0);
         assert!((out[0].1 - (0.45f64).sin().powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expectation_each_matches_per_term_calls() {
+        let out = run(1, |ctx| {
+            let a = ctx.alloc_one();
+            let b = ctx.alloc_one();
+            ctx.h(&a).unwrap();
+            ctx.cnot(&a, &b).unwrap();
+            let strings = vec![
+                vec![(&a, qsim::Pauli::Z), (&b, qsim::Pauli::Z)],
+                vec![(&a, qsim::Pauli::X), (&b, qsim::Pauli::X)],
+                vec![(&a, qsim::Pauli::Z)],
+            ];
+            let batched = ctx.expectation_each(&strings).unwrap();
+            let single: Vec<f64> = strings
+                .iter()
+                .map(|s| ctx.expectation(s).unwrap())
+                .collect();
+            ctx.measure_and_free(a).unwrap();
+            ctx.measure_and_free(b).unwrap();
+            (batched, single)
+        });
+        let (batched, single) = &out[0];
+        assert_eq!(batched, single);
+        assert!((batched[0] - 1.0).abs() < 1e-9);
+        assert!((batched[1] - 1.0).abs() < 1e-9);
+        assert!(batched[2].abs() < 1e-9);
     }
 
     #[test]

@@ -61,6 +61,10 @@
 //!   EPR establishments, and qubit high-water marks are only counted
 //!   ([`OpCounts`]), which reproduces the paper's Table 1–3 resource
 //!   formulas at arbitrary scale in microseconds.
+//! * `BackendKind::ShardedStateVector { shards }` — exact amplitudes like
+//!   the default engine, but striped across `shards` per-shard locks behind
+//!   a reader-writer locality wrapper, so gates issued by different ranks
+//!   run concurrently instead of serializing on one mutex.
 //!
 //! [`qalgo`-style workloads]: BackendKind::StateVector
 //!
@@ -97,8 +101,8 @@ pub mod reduce_ops;
 pub mod resources;
 
 pub use backend::{
-    BackendKind, OpCounts, QuantumBackend, Shared, SimEngine, StabilizerEngine, StateVectorEngine,
-    TraceEngine, DIAG_RANK,
+    BackendKind, OpCounts, QuantumBackend, ShardableEngine, ShardedShared, ShardedStateVector,
+    Shared, SimEngine, StabilizerEngine, StateVectorEngine, TraceEngine, DIAG_RANK,
 };
 pub use collectives::{
     AllreduceHandle, BcastAlgorithm, ExscanHandle, ReduceHandle, ReduceScatterHandle, ScanHandle,

@@ -283,9 +283,13 @@ mod tests {
                 trotter_steps: 4,
             };
             time_evolution(ctx, &qubits, &params).unwrap();
-            let ok = qubits
+            // One backend acquisition for the whole X-magnetization
+            // observable, not one per site.
+            let strings: Vec<_> = qubits.iter().map(|q| vec![(q, qsim::Pauli::X)]).collect();
+            let ok = ctx
+                .expectation_each(&strings)
+                .unwrap()
                 .iter()
-                .map(|q| ctx.expectation(&[(q, qsim::Pauli::X)]).unwrap())
                 .all(|x| (x - 1.0).abs() < 1e-8);
             for q in qubits {
                 ctx.measure_and_free(q).unwrap();

@@ -10,7 +10,7 @@
 //! * `{a_i, a†_j} = δ_ij`
 //!
 //! Jordan-Wigner (Refs. [27, 42, 49] of the paper) stores occupations
-//! directly and pays O(n)-weight Z strings; Bravyi-Kitaev (Ref. [9]) stores
+//! directly and pays O(n)-weight Z strings; Bravyi-Kitaev (Ref. \[9\]) stores
 //! partial occupation sums on a Fenwick tree and pays only O(log n) weight —
 //! exactly the trade-off behind the paper's Fig. 5.
 

@@ -30,7 +30,7 @@ unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
 #[inline(always)]
-fn pair_indices(i: usize, bit: usize) -> (usize, usize) {
+pub(crate) fn pair_indices(i: usize, bit: usize) -> (usize, usize) {
     // Spread iteration index i over the positions with `bit` cleared.
     let low = i & (bit - 1);
     let high = (i & !(bit - 1)) << 1;

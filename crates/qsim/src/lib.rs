@@ -9,6 +9,9 @@
 //! - [`complex`] — self-contained complex arithmetic.
 //! - [`gates`] — the paper's gate set (Pauli, H, S/T, rotations, CNOT/CZ/...).
 //! - [`state`] — dense amplitude vector with add/remove-qubit support.
+//! - [`sharded`] — [`sharded::ShardedState`]: the same amplitude vector
+//!   split into `2^k` contiguous lock-striped shards, so gate application
+//!   from concurrent callers needs no global lock.
 //! - [`apply`] — serial + multi-threaded gate application kernels.
 //! - [`measure`] — projective measurement, joint parity, Pauli expectations.
 //! - [`sim`] — [`sim::Simulator`]: stable qubit handles over the above.
@@ -20,12 +23,15 @@ pub mod apply;
 pub mod complex;
 pub mod gates;
 pub mod measure;
+pub mod registry;
+pub mod sharded;
 pub mod sim;
 pub mod stabilizer;
 pub mod state;
 
 pub use complex::Complex;
 pub use gates::{Gate, Pauli};
+pub use sharded::ShardedState;
 pub use sim::{QubitId, SimError, Simulator};
 pub use stabilizer::StabilizerSim;
 pub use state::State;

@@ -13,7 +13,6 @@ use crate::measure::{self, PauliTerm};
 use crate::state::State;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// A stable handle to an allocated qubit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -55,11 +54,7 @@ impl std::error::Error for SimError {}
 /// Full state-vector simulator with dynamic qubit allocation.
 pub struct Simulator {
     state: State,
-    /// id -> position (bit index) in the state vector.
-    positions: HashMap<QubitId, usize>,
-    /// position -> id, for shifting on removal.
-    by_position: Vec<QubitId>,
-    next_id: u64,
+    reg: crate::registry::QubitRegistry,
     rng: StdRng,
     gate_count: u64,
     measurement_count: u64,
@@ -70,9 +65,7 @@ impl Simulator {
     pub fn new(seed: u64) -> Self {
         Simulator {
             state: State::zero(0),
-            positions: HashMap::new(),
-            by_position: Vec::new(),
-            next_id: 0,
+            reg: crate::registry::QubitRegistry::new(),
             rng: StdRng::seed_from_u64(seed),
             gate_count: 0,
             measurement_count: 0,
@@ -81,7 +74,7 @@ impl Simulator {
 
     /// Number of currently allocated qubits.
     pub fn n_qubits(&self) -> usize {
-        self.by_position.len()
+        self.reg.len()
     }
 
     /// Total gates applied so far.
@@ -96,13 +89,8 @@ impl Simulator {
 
     /// Allocates one fresh qubit in |0>.
     pub fn alloc(&mut self) -> QubitId {
-        let id = QubitId(self.next_id);
-        self.next_id += 1;
         let pos = self.state.add_qubit();
-        debug_assert_eq!(pos, self.by_position.len());
-        self.positions.insert(id, pos);
-        self.by_position.push(id);
-        id
+        self.reg.push(pos)
     }
 
     /// Allocates `n` fresh qubits in |0>.
@@ -111,10 +99,7 @@ impl Simulator {
     }
 
     fn pos(&self, q: QubitId) -> Result<usize, SimError> {
-        self.positions
-            .get(&q)
-            .copied()
-            .ok_or(SimError::UnknownQubit(q))
+        self.reg.pos(q)
     }
 
     /// Frees a qubit that is already in a classical state (prob 0 or 1 of
@@ -122,14 +107,7 @@ impl Simulator {
     /// otherwise — mirroring `QMPI_Free_qmem`'s contract.
     pub fn free(&mut self, q: QubitId) -> Result<bool, SimError> {
         let pos = self.pos(q)?;
-        let p1 = measure::prob_one(&self.state, pos);
-        let outcome = if p1 < 1e-9 {
-            false
-        } else if p1 > 1.0 - 1e-9 {
-            true
-        } else {
-            return Err(SimError::NotClassical(q));
-        };
+        let outcome = crate::registry::classical_outcome(q, measure::prob_one(&self.state, pos))?;
         self.remove_at(q, pos, outcome);
         Ok(outcome)
     }
@@ -144,11 +122,7 @@ impl Simulator {
 
     fn remove_at(&mut self, q: QubitId, pos: usize, outcome: bool) {
         self.state.remove_qubit(pos, outcome);
-        self.positions.remove(&q);
-        self.by_position.remove(pos);
-        for (shifted_pos, id) in self.by_position.iter().enumerate().skip(pos) {
-            self.positions.insert(*id, shifted_pos);
-        }
+        self.reg.remove(q, pos);
     }
 
     /// Applies a single-qubit gate.
@@ -272,21 +246,10 @@ impl Simulator {
     }
 
     /// Snapshot of the state vector with qubits ordered as given in `order`
-    /// (order[0] is the least-significant bit). `order` must contain every
+    /// (`order[0]` is the least-significant bit). `order` must contain every
     /// live qubit exactly once.
     pub fn state_vector(&self, order: &[QubitId]) -> Result<State, SimError> {
-        if order.len() != self.by_position.len() {
-            // Find a representative offending qubit for the error.
-            for &q in order {
-                self.pos(q)?;
-            }
-            return Err(SimError::UnknownQubit(QubitId(u64::MAX)));
-        }
-        let mut perm = Vec::with_capacity(order.len());
-        for &q in order {
-            perm.push(self.pos(q)?);
-        }
-        Ok(self.state.permuted(&perm))
+        Ok(self.state.permuted(&self.reg.permutation(order)?))
     }
 
     /// Raw internal state (position ordering); mostly for diagnostics.
