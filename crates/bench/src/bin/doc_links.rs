@@ -1,0 +1,171 @@
+//! Checks that intra-repo markdown links in `README.md` and `docs/*.md`
+//! resolve — the docs-site half of the CI docs job (`cargo doc -D warnings`
+//! keeps the rustdoc half honest).
+//!
+//! ```text
+//! cargo run -p qmpi-bench --bin doc_links
+//! ```
+//!
+//! Scans inline links `[text](target)`; targets starting with a URL scheme
+//! are skipped, a pure-fragment target (`#section`) must match a heading in
+//! the same file, and a relative path (with optional fragment) must exist
+//! relative to the file that links it. Exits non-zero listing every broken
+//! link.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Repo root, independent of the caller's working directory: this file
+/// lives in `crates/bench`, two levels down.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels under the repo root")
+        .to_path_buf()
+}
+
+/// All inline `[text](target)` targets in `body`, with their line numbers.
+/// Good enough for our own markdown: no reference-style links, no nested
+/// brackets in link text.
+fn link_targets(body: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_code_fence = false;
+    for (lineno, line) in body.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_code_fence = !in_code_fence;
+            continue;
+        }
+        if in_code_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let tail = &rest[open + 2..];
+            let Some(close) = tail.find(')') else { break };
+            // `[text](target "title")`: the target ends at the first
+            // whitespace.
+            let target = tail[..close]
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .to_string();
+            out.push((lineno + 1, target));
+            rest = &tail[close + 1..];
+        }
+    }
+    out
+}
+
+/// GitHub-style anchor for a heading line: lowercase, spaces to dashes,
+/// punctuation dropped.
+fn heading_anchor(heading: &str) -> String {
+    heading
+        .trim_start_matches('#')
+        .trim()
+        .chars()
+        .filter_map(|c| match c {
+            ' ' => Some('-'),
+            c if c.is_alphanumeric() || c == '-' || c == '_' => Some(c.to_ascii_lowercase()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn anchors_of(body: &str) -> Vec<String> {
+    let mut anchors = Vec::new();
+    let mut in_code_fence = false;
+    for line in body.lines() {
+        if line.trim_start().starts_with("```") {
+            in_code_fence = !in_code_fence;
+            continue;
+        }
+        // `#` inside a fenced block is a shell comment, not a heading.
+        if !in_code_fence && line.starts_with('#') {
+            anchors.push(heading_anchor(line));
+        }
+    }
+    anchors
+}
+
+fn main() -> ExitCode {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md")];
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        let mut docs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "md"))
+            .collect();
+        docs.sort();
+        files.extend(docs);
+    }
+
+    let mut checked = 0usize;
+    let mut broken = Vec::new();
+    for file in &files {
+        let body = match std::fs::read_to_string(file) {
+            Ok(b) => b,
+            Err(e) => {
+                broken.push(format!("{}: unreadable: {e}", file.display()));
+                continue;
+            }
+        };
+        let own_anchors = anchors_of(&body);
+        let dir = file.parent().expect("markdown files live in a directory");
+        for (line, target) in link_targets(&body) {
+            if target.contains("://") || target.starts_with("mailto:") {
+                continue; // external; CI has no network anyway
+            }
+            checked += 1;
+            let (path_part, fragment) = match target.split_once('#') {
+                Some((p, f)) => (p, Some(f)),
+                None => (target.as_str(), None),
+            };
+            if path_part.is_empty() {
+                let frag = fragment.unwrap_or_default();
+                if !own_anchors.iter().any(|a| a == frag) {
+                    broken.push(format!(
+                        "{}:{line}: no heading for anchor '#{frag}'",
+                        file.display()
+                    ));
+                }
+                continue;
+            }
+            let resolved = dir.join(path_part);
+            if !resolved.exists() {
+                broken.push(format!(
+                    "{}:{line}: target '{target}' does not exist",
+                    file.display()
+                ));
+                continue;
+            }
+            if let Some(frag) = fragment {
+                if resolved.extension().is_some_and(|x| x == "md") {
+                    let peer = std::fs::read_to_string(&resolved).unwrap_or_default();
+                    if !anchors_of(&peer).iter().any(|a| a == frag) {
+                        broken.push(format!(
+                            "{}:{line}: '{}' has no heading for anchor '#{frag}'",
+                            file.display(),
+                            resolved.display()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "doc_links: checked {checked} intra-repo links across {} files",
+        files.len()
+    );
+    if broken.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for b in &broken {
+            eprintln!("BROKEN {b}");
+        }
+        eprintln!("doc_links: {} broken link(s)", broken.len());
+        ExitCode::FAILURE
+    }
+}

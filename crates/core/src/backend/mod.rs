@@ -32,6 +32,14 @@
 //!   `QmpiRank`. Select an implementation per world via
 //!   [`crate::QmpiConfig::backend`] and [`BackendKind`].
 //!
+//! Every engine additionally accepts a [`qsim::noise::NoiseModel`]
+//! (threaded through [`BackendKind::build_with_noise`] from
+//! [`crate::QmpiConfig::noise`]): the stochastic engines sample seeded
+//! Pauli/Kraus insertions, the stabilizer engine runs the
+//! Clifford-compatible Pauli subset, and the trace engine folds the rates
+//! into a modeled fidelity ([`QuantumBackend::modeled_fidelity`]). See
+//! `docs/NOISE.md` for channel definitions and conventions.
+//!
 //! The single-mutex acquisition mirrors the prototype's "all ranks forward
 //! quantum operations to rank 0" — identical serialization semantics, and
 //! the engine's global state faithfully represents the distributed machine
@@ -46,6 +54,7 @@ pub mod trace;
 
 use crate::error::{QmpiError, Result};
 use parking_lot::Mutex;
+use qsim::noise::NoiseModel;
 use qsim::{Gate, Pauli, QubitId, State};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -101,16 +110,39 @@ impl BackendKind {
         }
     }
 
-    /// Builds a ready-to-share backend of this kind.
+    /// Builds a ready-to-share noiseless backend of this kind.
     pub fn build(self, seed: u64) -> Arc<dyn QuantumBackend> {
-        match self {
-            BackendKind::StateVector => Arc::new(Shared::new(StateVectorEngine::new(seed))),
-            BackendKind::Stabilizer => Arc::new(Shared::new(StabilizerEngine::new(seed))),
-            BackendKind::Trace => Arc::new(Shared::new(TraceEngine::new())),
-            BackendKind::ShardedStateVector { shards } => {
-                Arc::new(ShardedShared::new(ShardedStateVector::new(seed, shards)))
-            }
+        self.build_with_noise(seed, NoiseModel::ideal())
+            .expect("the ideal noise model is valid for every backend")
+    }
+
+    /// Builds a ready-to-share backend of this kind with a noise model.
+    ///
+    /// Fails with [`QmpiError::InvalidArgument`] when a rate is outside
+    /// `[0, 1]`, or when the stabilizer backend is paired with a
+    /// non-Clifford channel (amplitude damping) — the tableau can only
+    /// realize Pauli noise (depolarizing/dephasing).
+    pub fn build_with_noise(self, seed: u64, noise: NoiseModel) -> Result<Arc<dyn QuantumBackend>> {
+        noise.validate().map_err(QmpiError::InvalidArgument)?;
+        if self == BackendKind::Stabilizer && !noise.is_clifford() {
+            return Err(QmpiError::InvalidArgument(
+                "the stabilizer backend supports only Clifford-compatible Pauli noise \
+                 (depolarizing/dephasing); amplitude damping needs a state-vector backend"
+                    .into(),
+            ));
         }
+        Ok(match self {
+            BackendKind::StateVector => {
+                Arc::new(Shared::new(StateVectorEngine::with_noise(seed, noise)))
+            }
+            BackendKind::Stabilizer => {
+                Arc::new(Shared::new(StabilizerEngine::with_noise(seed, noise)))
+            }
+            BackendKind::Trace => Arc::new(Shared::new(TraceEngine::with_noise(noise))),
+            BackendKind::ShardedStateVector { shards } => Arc::new(ShardedShared::new(
+                ShardedStateVector::with_noise(seed, shards, noise),
+            )),
+        })
     }
 }
 
@@ -153,6 +185,20 @@ pub struct OpCounts {
 pub trait SimEngine: Send {
     /// Which [`BackendKind`] this engine realizes.
     fn kind(&self) -> BackendKind;
+
+    /// The noise model this engine applies (ideal unless configured).
+    fn noise(&self) -> NoiseModel {
+        NoiseModel::ideal()
+    }
+
+    /// The engine's running estimate of run fidelity under its noise model,
+    /// if it maintains one. Only the trace engine does: the probability
+    /// that *no* noise event fired across every operation so far — a lower
+    /// bound on state fidelity, computable at scales where no amplitudes
+    /// exist.
+    fn modeled_fidelity(&self) -> Option<f64> {
+        None
+    }
 
     /// Allocates one fresh qubit in |0>.
     fn alloc(&mut self) -> QubitId;
@@ -227,6 +273,14 @@ pub trait SimEngine: Send {
 pub trait QuantumBackend: Send + Sync {
     /// Which engine kind backs this world.
     fn kind(&self) -> BackendKind;
+
+    /// The noise model the world's engine applies.
+    fn noise(&self) -> NoiseModel;
+
+    /// The engine's modeled run fidelity, if it maintains one (the trace
+    /// backend's error-free probability; `None` elsewhere). See
+    /// [`SimEngine::modeled_fidelity`].
+    fn modeled_fidelity(&self) -> Option<f64>;
 
     /// Allocates `n` fresh |0> qubits owned by `rank`.
     fn alloc(&self, rank: usize, n: usize) -> Vec<QubitId>;
@@ -475,6 +529,8 @@ pub struct Shared<E> {
     /// Cached at construction so [`QuantumBackend::kind`] never touches the
     /// lock that serializes quantum operations.
     kind: BackendKind,
+    /// Cached like `kind`: the model is immutable after construction.
+    noise: NoiseModel,
     inner: Mutex<Inner<E>>,
 }
 
@@ -483,6 +539,7 @@ impl<E: SimEngine> Shared<E> {
     pub fn new(engine: E) -> Self {
         Shared {
             kind: engine.kind(),
+            noise: engine.noise(),
             inner: Mutex::new(Inner::new(engine)),
         }
     }
@@ -491,6 +548,14 @@ impl<E: SimEngine> Shared<E> {
 impl<E: SimEngine> QuantumBackend for Shared<E> {
     fn kind(&self) -> BackendKind {
         self.kind
+    }
+
+    fn noise(&self) -> NoiseModel {
+        self.noise
+    }
+
+    fn modeled_fidelity(&self) -> Option<f64> {
+        self.inner.lock().engine.modeled_fidelity()
     }
 
     fn alloc(&self, rank: usize, n: usize) -> Vec<QubitId> {

@@ -7,6 +7,7 @@
 //! non-Clifford gate surfaces [`qsim::SimError::Unsupported`].
 
 use super::{BackendKind, SimEngine};
+use qsim::noise::NoiseModel;
 use qsim::{Gate, Pauli, QubitId, SimError, StabilizerSim, State};
 
 /// Tableau engine over [`qsim::StabilizerSim`].
@@ -15,10 +16,22 @@ pub struct StabilizerEngine {
 }
 
 impl StabilizerEngine {
-    /// Creates an engine with a deterministic measurement RNG seed.
+    /// Creates a noiseless engine with a deterministic measurement RNG seed.
     pub fn new(seed: u64) -> Self {
         StabilizerEngine {
             sim: StabilizerSim::new(seed),
+        }
+    }
+
+    /// Creates an engine that applies `noise` as stochastic Pauli
+    /// insertions on the tableau. Only the Clifford-compatible channels
+    /// (depolarizing/dephasing) are realizable; operations under an
+    /// amplitude-damping channel surface [`qsim::SimError::Unsupported`] —
+    /// [`super::BackendKind::build_with_noise`] rejects such models up
+    /// front.
+    pub fn with_noise(seed: u64, noise: NoiseModel) -> Self {
+        StabilizerEngine {
+            sim: StabilizerSim::with_noise(seed, noise),
         }
     }
 }
@@ -26,6 +39,16 @@ impl StabilizerEngine {
 impl SimEngine for StabilizerEngine {
     fn kind(&self) -> BackendKind {
         BackendKind::Stabilizer
+    }
+
+    fn noise(&self) -> NoiseModel {
+        self.sim.noise_model()
+    }
+
+    fn entangle_epr(&mut self, qa: QubitId, qb: QubitId) -> Result<(), SimError> {
+        // Routed through the simulator so interconnect noise uses the
+        // dedicated EPR channel rather than the gate channels.
+        self.sim.entangle_epr(qa, qb)
     }
 
     fn alloc(&mut self) -> QubitId {

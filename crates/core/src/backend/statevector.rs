@@ -1,6 +1,7 @@
 //! The full state-vector engine — the paper's prototype backend.
 
 use super::{BackendKind, SimEngine};
+use qsim::noise::NoiseModel;
 use qsim::{Gate, Pauli, QubitId, SimError, Simulator, State};
 
 /// Dense-amplitude engine over [`qsim::Simulator`]. Exact for arbitrary
@@ -10,10 +11,18 @@ pub struct StateVectorEngine {
 }
 
 impl StateVectorEngine {
-    /// Creates an engine with a deterministic measurement RNG seed.
+    /// Creates a noiseless engine with a deterministic measurement RNG seed.
     pub fn new(seed: u64) -> Self {
         StateVectorEngine {
             sim: Simulator::new(seed),
+        }
+    }
+
+    /// Creates an engine that applies `noise` as stochastic Pauli/Kraus
+    /// trajectory insertions (see [`qsim::noise`]).
+    pub fn with_noise(seed: u64, noise: NoiseModel) -> Self {
+        StateVectorEngine {
+            sim: Simulator::with_noise(seed, noise),
         }
     }
 }
@@ -21,6 +30,16 @@ impl StateVectorEngine {
 impl SimEngine for StateVectorEngine {
     fn kind(&self) -> BackendKind {
         BackendKind::StateVector
+    }
+
+    fn noise(&self) -> NoiseModel {
+        self.sim.noise_model()
+    }
+
+    fn entangle_epr(&mut self, qa: QubitId, qb: QubitId) -> Result<(), SimError> {
+        // Routed through the simulator so interconnect noise uses the
+        // dedicated EPR channel rather than the gate channels.
+        self.sim.entangle_epr(qa, qb)
     }
 
     fn alloc(&mut self) -> QubitId {

@@ -11,6 +11,7 @@ use crate::error::{QmpiError, Result};
 use crate::qubit::Qubit;
 use crate::resources::{ResourceLedger, ResourceSnapshot};
 use cmpi::{Communicator, Universe};
+use qsim::noise::NoiseModel;
 use std::sync::Arc;
 
 /// User-visible message tag (the paper's `tag` argument).
@@ -95,6 +96,8 @@ pub struct QmpiConfig {
     pub(crate) s_limit: Option<u32>,
     /// Which simulation engine backs the world.
     pub(crate) backend: BackendKind,
+    /// Noise model applied by the engine (ideal by default).
+    pub(crate) noise: NoiseModel,
 }
 
 impl QmpiConfig {
@@ -135,6 +138,35 @@ impl QmpiConfig {
         self
     }
 
+    /// Sets the noise model the world's engine applies — imperfect gates,
+    /// measurements, and EPR pairs for fidelity-vs-`S`-budget studies:
+    ///
+    /// ```
+    /// use qmpi::{run_with_config, BackendKind, NoiseChannel, NoiseModel, QmpiConfig};
+    ///
+    /// // 5% depolarizing on each half of every EPR pair; everything else
+    /// // ideal. Clifford-compatible, so it runs on the stabilizer backend.
+    /// let cfg = QmpiConfig::new()
+    ///     .seed(7)
+    ///     .backend(BackendKind::Stabilizer)
+    ///     .noise(NoiseModel::epr_only(NoiseChannel::Depolarizing { p: 0.05 }));
+    /// let out = run_with_config(2, cfg, |ctx| {
+    ///     let q = ctx.alloc_one();
+    ///     ctx.prepare_epr(&q, 1 - ctx.rank(), 0).unwrap();
+    ///     ctx.measure_and_free(q).unwrap()
+    /// });
+    /// assert_eq!(out.len(), 2); // correlated except when the channel fired
+    /// ```
+    pub fn noise(mut self, model: NoiseModel) -> Self {
+        self.noise = model;
+        self
+    }
+
+    /// The configured noise model.
+    pub fn noise_model(&self) -> NoiseModel {
+        self.noise
+    }
+
     /// The configured measurement RNG seed.
     pub fn rng_seed(&self) -> u64 {
         self.seed
@@ -157,6 +189,7 @@ impl Default for QmpiConfig {
             seed: 0x514D5049, // "QMPI"
             s_limit: None,
             backend: BackendKind::default(),
+            noise: NoiseModel::ideal(),
         }
     }
 }
@@ -292,12 +325,21 @@ where
 /// Runs `f` on `n` QMPI ranks with an explicit configuration; the backend
 /// selected by [`QmpiConfig::backend`] is constructed here and shared by
 /// every rank.
+///
+/// # Panics
+///
+/// Panics when the configured [`QmpiConfig::noise`] model is invalid for
+/// the configured backend (a rate outside `[0, 1]`, or amplitude damping on
+/// the stabilizer backend) — see [`BackendKind::build_with_noise`].
 pub fn run_with_config<T, F>(n: usize, config: QmpiConfig, f: F) -> Vec<T>
 where
     T: Send + 'static,
     F: Fn(&QmpiRank) -> T + Send + Sync + 'static,
 {
-    let backend = config.backend.build(config.seed);
+    let backend = config
+        .backend
+        .build_with_noise(config.seed, config.noise)
+        .unwrap_or_else(|e| panic!("cannot build the {} backend: {e}", config.backend));
     let ledger = Arc::new(ResourceLedger::new(n));
     Universe::run(n, move |comm| {
         // The original world communicator carries the QMPI protocol; users

@@ -84,6 +84,10 @@
 //! * Resource accounting: every operation reports EPR pairs and classical
 //!   correction bits to a global [`ResourceLedger`], which the experiment
 //!   harness diffs against the paper's Tables 1–3.
+//! * Noisy execution: [`QmpiConfig::noise`] threads a [`NoiseModel`]
+//!   (depolarizing / dephasing / amplitude damping, independent rates for
+//!   1q gates, 2q gates, measurement, and EPR establishment) into every
+//!   backend for fidelity-vs-`S`-budget studies.
 
 pub mod backend;
 pub mod cat;
@@ -112,6 +116,7 @@ pub use datatypes::{Datatype, QUBIT};
 pub use epr::EprRequest;
 pub use error::{QmpiError, Result};
 pub use persistent::{PersistentRecv, PersistentSend};
+pub use qsim::noise::{NoiseChannel, NoiseModel, OpClass};
 pub use qubit::Qubit;
 pub use reduce_ops::{Parity, QuantumReduceOp};
 pub use resources::{ResourceLedger, ResourceSnapshot};

@@ -1,0 +1,171 @@
+//! Teleportation-fidelity-vs-noise sweeps.
+//!
+//! The experiment the noise subsystem exists for: relay a known basis state
+//! along a chain of ranks via `QMPI_Send_move` / `QMPI_Recv_move` under an
+//! imperfect interconnect, and measure how often it arrives intact. For
+//! Pauli noise on the EPR channel the result has a closed form
+//! ([`analytic_teleport_fidelity`]), which pins the stochastic engines
+//! statistically and documents the rate conventions.
+//!
+//! Combined with [`QmpiConfig::s_limit`] this is the paper's
+//! fidelity-vs-`S`-budget trade: a larger EPR buffer lets a node pre-
+//! establish pairs further ahead of consumption (higher throughput), while
+//! every buffered pair decoheres under the interconnect channel — see
+//! `docs/NOISE.md` for the worked example.
+
+use qmpi::{run_with_config, BackendKind, NoiseChannel, NoiseModel, QmpiConfig};
+
+/// One measured point of a fidelity sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FidelityPoint {
+    /// The EPR depolarizing rate this point was run at.
+    pub rate: f64,
+    /// Teleportation trials performed.
+    pub trials: u32,
+    /// Trials whose delivered measurement matched the sent state.
+    pub successes: u32,
+    /// Empirical fidelity (`successes / trials`).
+    pub fidelity: f64,
+    /// Closed-form prediction for the same configuration.
+    pub analytic: f64,
+}
+
+/// Teleports |1> from rank 0 along the full chain `0 -> 1 -> ... -> n-1`
+/// `trials` times on one world and returns the fraction of trials whose
+/// final Z measurement still reads 1.
+///
+/// Works on every stateful backend; with a Clifford `noise` model the
+/// stabilizer backend runs it at large rank counts.
+pub fn teleport_fidelity(
+    kind: BackendKind,
+    noise: NoiseModel,
+    ranks: usize,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    assert!(ranks >= 2, "a teleport chain needs at least two ranks");
+    let cfg = QmpiConfig::new().seed(seed).backend(kind).noise(noise);
+    let out = run_with_config(ranks, cfg, move |ctx| {
+        let r = ctx.rank();
+        let n = ctx.size();
+        let mut successes = 0u32;
+        for _ in 0..trials {
+            if r == 0 {
+                let q = ctx.alloc_one();
+                ctx.x(&q).unwrap();
+                ctx.send_move(q, 1, 0).unwrap();
+            } else {
+                let q = ctx.recv_move(r - 1, (r - 1) as u16).unwrap();
+                if r + 1 < n {
+                    ctx.send_move(q, r + 1, r as u16).unwrap();
+                } else if ctx.measure_and_free(q).unwrap() {
+                    successes += 1;
+                }
+            }
+        }
+        successes
+    });
+    f64::from(out[ranks - 1]) / f64::from(trials)
+}
+
+/// Closed-form teleportation fidelity for a basis state relayed over
+/// `hops` teleports when the only noise is a Pauli channel on EPR
+/// establishment (every other [`NoiseModel`] class ideal).
+///
+/// Each hop consumes one EPR pair whose two halves independently suffer the
+/// channel. A sampled X or Y flips the delivered bit (for depolarizing `p`
+/// each half flips with probability `2p/3`); a sampled Z only flips the
+/// phase, invisible to a Z-basis check, so dephasing predicts fidelity 1.
+/// Per hop the bit flips with probability `2q(1-q)` where `q` is the
+/// per-half flip rate; over `hops` independent hops the delivered bit is
+/// wrong with probability `(1 - (1 - 4q(1-q))^hops) / 2`.
+///
+/// # Panics
+///
+/// Panics when `noise` has a non-EPR channel configured or an EPR channel
+/// without a closed form here (amplitude damping).
+pub fn analytic_teleport_fidelity(noise: &NoiseModel, hops: usize) -> f64 {
+    assert!(
+        noise.gate_1q.is_ideal() && noise.gate_2q.is_ideal() && noise.measurement.is_ideal(),
+        "closed form covers EPR-only noise; got {noise:?}"
+    );
+    let q = match noise.epr {
+        NoiseChannel::None => 0.0,
+        NoiseChannel::Depolarizing { p } => 2.0 * p / 3.0,
+        NoiseChannel::Dephasing { .. } => 0.0,
+        NoiseChannel::AmplitudeDamping { gamma } => {
+            assert!(gamma == 0.0, "no closed form for amplitude damping");
+            0.0
+        }
+    };
+    let flip_per_hop = 2.0 * q * (1.0 - q);
+    let flip_total = (1.0 - (1.0 - 2.0 * flip_per_hop).powi(hops as i32)) / 2.0;
+    1.0 - flip_total
+}
+
+/// Sweeps EPR depolarizing rates over a teleport chain, returning the
+/// empirical fidelity beside the closed-form prediction per rate.
+///
+/// Seeds are derived per point (`seed + index`) so the whole sweep is
+/// reproducible. `examples/noisy_teleportation.rs` drives this across
+/// backends.
+pub fn teleport_fidelity_sweep(
+    kind: BackendKind,
+    rates: &[f64],
+    ranks: usize,
+    trials: u32,
+    seed: u64,
+) -> Vec<FidelityPoint> {
+    rates
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let noise = NoiseModel::epr_only(NoiseChannel::Depolarizing { p: rate });
+            let fidelity = teleport_fidelity(kind, noise, ranks, trials, seed + i as u64);
+            FidelityPoint {
+                rate,
+                trials,
+                successes: (fidelity * f64::from(trials)).round() as u32,
+                fidelity,
+                analytic: analytic_teleport_fidelity(&noise, ranks - 1),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_chain_is_perfect() {
+        for kind in [BackendKind::StateVector, BackendKind::Stabilizer] {
+            let f = teleport_fidelity(kind, NoiseModel::ideal(), 3, 20, 5);
+            assert_eq!(f, 1.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn analytic_limits() {
+        let ideal = NoiseModel::ideal();
+        assert_eq!(analytic_teleport_fidelity(&ideal, 4), 1.0);
+        // Dephasing never flips a Z-basis bit.
+        let deph = NoiseModel::epr_only(NoiseChannel::Dephasing { p: 0.4 });
+        assert_eq!(analytic_teleport_fidelity(&deph, 3), 1.0);
+        // Fully depolarized halves: q = 2/3, flip/hop = 2*(2/3)*(1/3) = 4/9.
+        let dep = NoiseModel::epr_only(NoiseChannel::Depolarizing { p: 1.0 });
+        let f = analytic_teleport_fidelity(&dep, 1);
+        assert!((f - (1.0 - 4.0 / 9.0)).abs() < 1e-12);
+        // Many hops converge to a coin flip.
+        let f = analytic_teleport_fidelity(&dep, 50);
+        assert!((f - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_rate_analytically() {
+        let pts = teleport_fidelity_sweep(BackendKind::Stabilizer, &[0.0, 0.1, 0.3], 2, 200, 9);
+        assert_eq!(pts[0].fidelity, 1.0, "zero rate must be perfect");
+        assert!(pts[0].analytic > pts[1].analytic);
+        assert!(pts[1].analytic > pts[2].analytic);
+    }
+}

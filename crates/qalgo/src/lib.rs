@@ -10,13 +10,17 @@
 //!   Fig. 6 (in-place tree, out-of-place ancilla, constant-depth cat);
 //! * [`maxcut`] — adiabatic MaxCut optimization (the Section 7.2
 //!   motivation);
-//! * [`gadgets`] — distributed CNOT/CZ/ZZ-rotation building blocks.
+//! * [`gadgets`] — distributed CNOT/CZ/ZZ-rotation building blocks;
+//! * [`fidelity`] — teleportation-fidelity-vs-noise sweeps over an
+//!   imperfect interconnect, with closed-form cross-checks.
 
+pub mod fidelity;
 pub mod gadgets;
 pub mod maxcut;
 pub mod parity;
 pub mod qpe;
 pub mod tfim;
 
+pub use fidelity::{analytic_teleport_fidelity, teleport_fidelity, teleport_fidelity_sweep};
 pub use maxcut::Graph;
 pub use tfim::TfimParams;

@@ -18,11 +18,16 @@
 //! - [`stabilizer`] — [`stabilizer::StabilizerSim`]: CHP tableau engine with
 //!   the same handle surface, for Clifford-only workloads at scales far
 //!   beyond any state vector (the QMPI protocols are all Clifford).
+//! - [`noise`] — pluggable noise channels ([`noise::NoiseModel`]):
+//!   depolarizing/dephasing/amplitude-damping with independent rates per
+//!   operation class, realized as seeded stochastic Pauli/Kraus insertions
+//!   in both simulators.
 
 pub mod apply;
 pub mod complex;
 pub mod gates;
 pub mod measure;
+pub mod noise;
 pub mod registry;
 pub mod sharded;
 pub mod sim;
@@ -31,6 +36,7 @@ pub mod state;
 
 pub use complex::Complex;
 pub use gates::{Gate, Pauli};
+pub use noise::{NoiseChannel, NoiseModel};
 pub use sharded::ShardedState;
 pub use sim::{QubitId, SimError, Simulator};
 pub use stabilizer::StabilizerSim;

@@ -10,6 +10,7 @@ use crate::apply;
 use crate::complex::Complex;
 use crate::gates::{Gate, Mat4};
 use crate::measure::{self, PauliTerm};
+use crate::noise::{ChannelAction, NoiseModel, NoiseState, OpClass};
 use crate::state::State;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,19 +57,54 @@ pub struct Simulator {
     state: State,
     reg: crate::registry::QubitRegistry,
     rng: StdRng,
+    noise: NoiseState,
     gate_count: u64,
     measurement_count: u64,
 }
 
 impl Simulator {
-    /// Creates an empty simulator with a deterministic RNG seed.
+    /// Creates an empty, noiseless simulator with a deterministic RNG seed.
     pub fn new(seed: u64) -> Self {
+        Simulator::with_noise(seed, NoiseModel::ideal())
+    }
+
+    /// Creates an empty simulator with a deterministic RNG seed and a noise
+    /// model, realized as stochastic Pauli/Kraus insertions after each
+    /// noisy operation (see [`crate::noise`]). The noise stream is seeded
+    /// independently of the measurement stream, so a zero-rate model is
+    /// bit-identical to [`Simulator::new`].
+    pub fn with_noise(seed: u64, model: NoiseModel) -> Self {
         Simulator {
             state: State::zero(0),
             reg: crate::registry::QubitRegistry::new(),
             rng: StdRng::seed_from_u64(seed),
+            noise: NoiseState::new(seed, model),
             gate_count: 0,
             measurement_count: 0,
+        }
+    }
+
+    /// The configured noise model.
+    pub fn noise_model(&self) -> NoiseModel {
+        self.noise.model
+    }
+
+    /// Samples and applies the `class` channel to each listed state-vector
+    /// position. Noise insertions are not counted as gates: the counters
+    /// report the *program's* operations, and the trace backend's modeled
+    /// fidelity stays comparable across engines.
+    fn inject(&mut self, class: OpClass, positions: &[usize]) {
+        let ch = self.noise.model.channel(class);
+        if ch.is_ideal() {
+            return;
+        }
+        for &pos in positions {
+            let action = ch.sample(|| measure::prob_one(&self.state, pos), &mut self.noise.rng);
+            match action {
+                ChannelAction::Nothing => {}
+                ChannelAction::Pauli(p) => apply::apply_1q(&mut self.state, pos, &p.matrix()),
+                ChannelAction::Kraus(m) => apply::apply_1q(&mut self.state, pos, &m),
+            }
         }
     }
 
@@ -130,6 +166,7 @@ impl Simulator {
         let pos = self.pos(q)?;
         apply::apply_1q(&mut self.state, pos, &gate.matrix());
         self.gate_count += 1;
+        self.inject(OpClass::Gate1q, &[pos]);
         Ok(())
     }
 
@@ -150,6 +187,8 @@ impl Simulator {
         }
         apply::apply_controlled_1q(&mut self.state, &cpos, tpos, &gate.matrix());
         self.gate_count += 1;
+        cpos.push(tpos);
+        self.inject(OpClass::Gate2q, &cpos);
         Ok(())
     }
 
@@ -162,6 +201,7 @@ impl Simulator {
         let t = self.pos(target)?;
         apply::apply_cnot(&mut self.state, c, t);
         self.gate_count += 1;
+        self.inject(OpClass::Gate2q, &[c, t]);
         Ok(())
     }
 
@@ -174,6 +214,7 @@ impl Simulator {
         let pb = self.pos(b)?;
         apply::apply_cz(&mut self.state, pa, pb);
         self.gate_count += 1;
+        self.inject(OpClass::Gate2q, &[pa, pb]);
         Ok(())
     }
 
@@ -186,6 +227,7 @@ impl Simulator {
         let pb = self.pos(b)?;
         apply::apply_swap(&mut self.state, pa, pb);
         self.gate_count += 1;
+        self.inject(OpClass::Gate2q, &[pa, pb]);
         Ok(())
     }
 
@@ -204,6 +246,7 @@ impl Simulator {
         let lp = self.pos(low)?;
         apply::apply_2q(&mut self.state, hp, lp, m);
         self.gate_count += 1;
+        self.inject(OpClass::Gate2q, &[hp, lp]);
         Ok(())
     }
 
@@ -212,9 +255,11 @@ impl Simulator {
         Ok(measure::prob_one(&self.state, self.pos(q)?))
     }
 
-    /// Projective measurement with collapse.
+    /// Projective measurement with collapse. The measurement channel of a
+    /// configured noise model is applied before projection (readout error).
     pub fn measure(&mut self, q: QubitId) -> Result<bool, SimError> {
         let pos = self.pos(q)?;
+        self.inject(OpClass::Measurement, &[pos]);
         self.measurement_count += 1;
         Ok(measure::measure(&mut self.state, pos, &mut self.rng))
     }
@@ -225,6 +270,7 @@ impl Simulator {
         for &q in qubits {
             pos.push(self.pos(q)?);
         }
+        self.inject(OpClass::Measurement, &pos);
         self.measurement_count += 1;
         Ok(measure::measure_z_parity(
             &mut self.state,
@@ -243,6 +289,24 @@ impl Simulator {
             });
         }
         Ok(measure::expectation_pauli(&self.state, &mapped))
+    }
+
+    /// Entangles two fresh |0> qubits into (|00> + |11>)/sqrt(2), modeling
+    /// the quantum-coherent interconnect. Counted as the H + CNOT it stands
+    /// for; a configured EPR noise channel is applied to *each half* after
+    /// entangling (not the gate channels — interconnect noise is its own
+    /// [`OpClass::Epr`] class).
+    pub fn entangle_epr(&mut self, qa: QubitId, qb: QubitId) -> Result<(), SimError> {
+        if qa == qb {
+            return Err(SimError::DuplicateQubit(qa));
+        }
+        let pa = self.pos(qa)?;
+        let pb = self.pos(qb)?;
+        apply::apply_1q(&mut self.state, pa, &Gate::H.matrix());
+        apply::apply_cnot(&mut self.state, pa, pb);
+        self.gate_count += 2;
+        self.inject(OpClass::Epr, &[pa, pb]);
+        Ok(())
     }
 
     /// Snapshot of the state vector with qubits ordered as given in `order`

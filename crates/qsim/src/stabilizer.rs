@@ -20,6 +20,7 @@
 //! behind the QMPI backend trait.
 
 use crate::gates::{Gate, Pauli};
+use crate::noise::{ChannelAction, NoiseModel, NoiseState, OpClass};
 use crate::sim::{QubitId, SimError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -139,13 +140,22 @@ pub struct StabilizerSim {
     by_position: Vec<QubitId>,
     next_id: u64,
     rng: StdRng,
+    noise: NoiseState,
     gate_count: u64,
     measurement_count: u64,
 }
 
 impl StabilizerSim {
-    /// Creates an empty simulator with a deterministic RNG seed.
+    /// Creates an empty, noiseless simulator with a deterministic RNG seed.
     pub fn new(seed: u64) -> Self {
+        StabilizerSim::with_noise(seed, NoiseModel::ideal())
+    }
+
+    /// Creates an empty simulator with a deterministic RNG seed and a noise
+    /// model. Only the Clifford-compatible Pauli channels (depolarizing,
+    /// dephasing) can run on the tableau; an operation whose channel is
+    /// amplitude damping surfaces [`SimError::Unsupported`].
+    pub fn with_noise(seed: u64, model: NoiseModel) -> Self {
         StabilizerSim {
             n: 0,
             words: 0,
@@ -155,9 +165,15 @@ impl StabilizerSim {
             by_position: Vec::new(),
             next_id: 0,
             rng: StdRng::seed_from_u64(seed),
+            noise: NoiseState::new(seed, model),
             gate_count: 0,
             measurement_count: 0,
         }
+    }
+
+    /// The configured noise model.
+    pub fn noise_model(&self) -> NoiseModel {
+        self.noise.model
     }
 
     /// Number of currently allocated qubits.
@@ -244,8 +260,55 @@ impl StabilizerSim {
         });
     }
 
+    /// Applies one Pauli to column `j` without touching the gate counter —
+    /// the tableau realization of a sampled noise insertion.
+    fn inject_pauli(&mut self, j: usize, p: Pauli) {
+        match p {
+            Pauli::X => self.for_each_row(|row| row.neg ^= row.get_z(j)),
+            Pauli::Y => self.for_each_row(|row| row.neg ^= row.get_x(j) ^ row.get_z(j)),
+            Pauli::Z => self.for_each_row(|row| row.neg ^= row.get_x(j)),
+        }
+    }
+
+    /// Errors when the `class` channel cannot run on the tableau. Gate and
+    /// measurement methods call this *before* mutating anything, so an
+    /// unsupported-noise error leaves the simulator state untouched.
+    fn check_noise(&self, class: OpClass) -> Result<(), SimError> {
+        let ch = self.noise.model.channel(class);
+        if ch.is_clifford() {
+            Ok(())
+        } else {
+            Err(SimError::Unsupported(format!(
+                "noise channel {ch} is not Clifford; the stabilizer backend supports \
+                 depolarizing/dephasing noise only"
+            )))
+        }
+    }
+
+    /// Samples and applies the `class` channel to each listed column. Only
+    /// Pauli channels are Clifford; amplitude damping is rejected (callers
+    /// pre-check via [`Self::check_noise`] so the gate itself never lands).
+    fn inject(&mut self, class: OpClass, cols: &[usize]) -> Result<(), SimError> {
+        let ch = self.noise.model.channel(class);
+        if ch.is_ideal() {
+            return Ok(());
+        }
+        self.check_noise(class)?;
+        for &j in cols {
+            // Pauli channels never query the |1> probability.
+            let action = ch.sample(|| 0.0, &mut self.noise.rng);
+            match action {
+                ChannelAction::Nothing => {}
+                ChannelAction::Pauli(p) => self.inject_pauli(j, p),
+                ChannelAction::Kraus(_) => unreachable!("non-Clifford channels rejected above"),
+            }
+        }
+        Ok(())
+    }
+
     /// Applies a single-qubit gate; non-Clifford gates are rejected.
     pub fn apply(&mut self, gate: Gate, q: QubitId) -> Result<(), SimError> {
+        self.check_noise(OpClass::Gate1q)?;
         let j = self.pos(q)?;
         match gate {
             Gate::X => self.for_each_row(|row| row.neg ^= row.get_z(j)),
@@ -265,11 +328,12 @@ impl StabilizerSim {
             }
         }
         self.gate_count += 1;
-        Ok(())
+        self.inject(OpClass::Gate1q, &[j])
     }
 
     /// CNOT with `control`, `target`.
     pub fn cnot(&mut self, control: QubitId, target: QubitId) -> Result<(), SimError> {
+        self.check_noise(OpClass::Gate2q)?;
         if control == target {
             return Err(SimError::DuplicateQubit(control));
         }
@@ -277,11 +341,12 @@ impl StabilizerSim {
         let t = self.pos(target)?;
         self.apply_cnot_cols(c, t);
         self.gate_count += 1;
-        Ok(())
+        self.inject(OpClass::Gate2q, &[c, t])
     }
 
     /// Controlled-Z (symmetric).
     pub fn cz(&mut self, a: QubitId, b: QubitId) -> Result<(), SimError> {
+        self.check_noise(OpClass::Gate2q)?;
         if a == b {
             return Err(SimError::DuplicateQubit(a));
         }
@@ -291,11 +356,12 @@ impl StabilizerSim {
         self.apply_cnot_cols(pa, pb);
         self.apply_h(pb);
         self.gate_count += 1;
-        Ok(())
+        self.inject(OpClass::Gate2q, &[pa, pb])
     }
 
     /// SWAP two qubits.
     pub fn swap(&mut self, a: QubitId, b: QubitId) -> Result<(), SimError> {
+        self.check_noise(OpClass::Gate2q)?;
         if a == b {
             return Ok(());
         }
@@ -303,7 +369,7 @@ impl StabilizerSim {
         let pb = self.pos(b)?;
         self.for_each_row(|row| row.swap_cols(pa, pb));
         self.gate_count += 1;
-        Ok(())
+        self.inject(OpClass::Gate2q, &[pa, pb])
     }
 
     /// Controlled single-qubit gate. Only single-controlled X and Z are
@@ -384,9 +450,11 @@ impl StabilizerSim {
         scratch.neg != p.neg
     }
 
-    /// Projective Z measurement with collapse.
+    /// Projective Z measurement with collapse. The measurement channel of a
+    /// configured noise model is applied before projection (readout error).
     pub fn measure(&mut self, q: QubitId) -> Result<bool, SimError> {
         let j = self.pos(q)?;
+        self.inject(OpClass::Measurement, &[j])?;
         let p = self.z_string(&[j]);
         Ok(self.measure_pauli(&p))
     }
@@ -402,6 +470,7 @@ impl StabilizerSim {
             }
             cols.push(j);
         }
+        self.inject(OpClass::Measurement, &cols)?;
         let p = self.z_string(&cols);
         Ok(self.measure_pauli(&p))
     }
@@ -518,6 +587,7 @@ impl StabilizerSim {
     pub fn measure_and_free(&mut self, q: QubitId) -> Result<bool, SimError> {
         let outcome = {
             let j = self.pos(q)?;
+            self.inject(OpClass::Measurement, &[j])?;
             let p = self.z_string(&[j]);
             self.measure_pauli(&p)
         };
@@ -525,11 +595,48 @@ impl StabilizerSim {
         self.remove_classical_qubit(q, j);
         Ok(outcome)
     }
+
+    /// Entangles two fresh |0> qubits into (|00> + |11>)/sqrt(2), modeling
+    /// the quantum-coherent interconnect. Counted as the H + CNOT it stands
+    /// for; a configured EPR noise channel is applied to *each half* after
+    /// entangling (see [`OpClass::Epr`]).
+    pub fn entangle_epr(&mut self, qa: QubitId, qb: QubitId) -> Result<(), SimError> {
+        self.check_noise(OpClass::Epr)?;
+        if qa == qb {
+            return Err(SimError::DuplicateQubit(qa));
+        }
+        let pa = self.pos(qa)?;
+        let pb = self.pos(qb)?;
+        self.apply_h(pa);
+        self.apply_cnot_cols(pa, pb);
+        self.gate_count += 2;
+        self.inject(OpClass::Epr, &[pa, pb])
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn unsupported_noise_rejected_without_mutating() {
+        use crate::noise::{NoiseChannel, NoiseModel};
+        let model = NoiseModel::ideal().with_gate_1q(NoiseChannel::AmplitudeDamping { gamma: 0.1 });
+        let mut sim = StabilizerSim::with_noise(1, model);
+        let q = sim.alloc();
+        assert!(matches!(
+            sim.apply(Gate::X, q),
+            Err(SimError::Unsupported(_))
+        ));
+        // The failed gate must not have landed: the qubit still reads |0>
+        // and nothing was counted.
+        assert_eq!(sim.prob_one(q), Ok(0.0));
+        assert_eq!(sim.gate_count(), 0);
+        // Classes with supported channels still work.
+        let q2 = sim.alloc();
+        sim.cnot(q, q2).unwrap();
+        assert_eq!(sim.free(q2), Ok(false));
+    }
 
     #[test]
     fn fresh_qubits_read_zero() {
