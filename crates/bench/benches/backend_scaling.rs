@@ -182,9 +182,57 @@ fn bench_local_gates(c: &mut Criterion) {
     group.finish();
 }
 
+/// The message-passing counterpart of `local_gates`: 4 ranks × 2 qubits,
+/// every gate crossing the shard boundary as `cmpi` commands to worker
+/// ranks. Compared against the lock-striped engine on the identical
+/// workload, the gap *is* the protocol overhead (encode + mailbox hop per
+/// gate vs. a stripe-lock acquisition) — the number to watch as the remote
+/// engine's batching improves. Kept smaller than `local_gates` because a
+/// message round per gate is the point, not raw amplitude throughput.
+fn bench_remote_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend/remote_gates");
+    group.sample_size(10);
+    let ranks = 4usize;
+    let qubits_per_rank = 2usize;
+    let gates_per_rank = if quick() { 8 } else { 24 };
+    for kind in [
+        BackendKind::ShardedStateVector { shards: 4 },
+        BackendKind::RemoteSharded { shards: 4 },
+    ] {
+        let label = format!("{}q_{}r", ranks * qubits_per_rank, ranks);
+        group.bench_with_input(BenchmarkId::new(kind.name(), label), &ranks, |b, &n| {
+            b.iter(|| {
+                run_with_config(n, cfg(kind), move |ctx| {
+                    let qs = ctx.alloc_qmem(qubits_per_rank);
+                    ctx.barrier();
+                    for i in 0..gates_per_rank {
+                        let q = &qs[i % qubits_per_rank];
+                        ctx.ry(q, 0.1 + i as f64 * 0.01).unwrap();
+                        ctx.cnot(&qs[0], &qs[1]).unwrap();
+                        ctx.cz(&qs[0], &qs[1]).unwrap();
+                        ctx.rz(q, -0.05).unwrap();
+                    }
+                    for i in (0..gates_per_rank).rev() {
+                        let q = &qs[i % qubits_per_rank];
+                        ctx.rz(q, 0.05).unwrap();
+                        ctx.cz(&qs[0], &qs[1]).unwrap();
+                        ctx.cnot(&qs[0], &qs[1]).unwrap();
+                        ctx.ry(q, -(0.1 + i as f64 * 0.01)).unwrap();
+                    }
+                    ctx.barrier();
+                    for q in qs {
+                        ctx.free_qmem(q).unwrap();
+                    }
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_local_gates, bench_cat_broadcast, bench_teleport_chain, bench_parity_reduce
+    targets = bench_local_gates, bench_remote_gates, bench_cat_broadcast, bench_teleport_chain, bench_parity_reduce
 }
 criterion_main!(benches);

@@ -7,6 +7,11 @@
 //! bench_compare <baseline.json> <current.json> [max_regression_percent] [min_gated_mean_ns]
 //! ```
 //!
+//! When the `GITHUB_STEP_SUMMARY` environment variable names a writable
+//! file (as it does inside a GitHub Actions step), the comparison is also
+//! appended there as a markdown table, so every CI run shows the perf
+//! trajectory on the run's summary page in addition to gating it.
+//!
 //! Benchmarks present in only one file are reported but never fail the
 //! comparison (the suite grows over time). The default threshold is a
 //! deliberately loose 75% — shared CI runners are noisy; the artifact
@@ -74,6 +79,65 @@ fn format_ns(ns: u128) -> String {
     }
 }
 
+/// One comparison row, shared by the text report and the markdown summary.
+struct Row {
+    name: String,
+    baseline: Option<u128>,
+    current: Option<u128>,
+    /// Regression percentage when both sides exist.
+    delta_pct: Option<f64>,
+    status: &'static str,
+}
+
+/// Renders the comparison as the markdown table appended to the GitHub
+/// Actions step summary.
+fn markdown_table(rows: &[Row], threshold_pct: f64, regressions: usize) -> String {
+    let fmt_opt = |v: Option<u128>| v.map(format_ns).unwrap_or_else(|| "—".into());
+    let mut md = String::from("## Bench comparison\n\n");
+    md.push_str("| benchmark | baseline | current | delta | status |\n");
+    md.push_str("|---|---:|---:|---:|---|\n");
+    for r in rows {
+        let delta = r
+            .delta_pct
+            .map(|d| format!("{d:+.1}%"))
+            .unwrap_or_else(|| "—".into());
+        md.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} |\n",
+            r.name,
+            fmt_opt(r.baseline),
+            fmt_opt(r.current),
+            delta,
+            r.status
+        ));
+    }
+    md.push_str(&format!(
+        "\n{regressions} benchmark(s) regressed beyond the {threshold_pct:.0}% gate.\n"
+    ));
+    md
+}
+
+/// Appends the comparison as a markdown table to the file named by
+/// `GITHUB_STEP_SUMMARY`, if set (no-op otherwise).
+fn write_step_summary(rows: &[Row], threshold_pct: f64, regressions: usize) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    let md = markdown_table(rows, threshold_pct, regressions);
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(md.as_bytes()) {
+                eprintln!("failed to append step summary to {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("cannot open step summary {path}: {e}"),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.len() < 3 {
@@ -102,6 +166,7 @@ fn main() -> ExitCode {
     }
 
     let mut regressions = 0usize;
+    let mut rows: Vec<Row> = Vec::new();
     println!(
         "{:<52} {:>12} {:>12} {:>9}",
         "benchmark", "baseline", "current", "delta"
@@ -115,16 +180,28 @@ fn main() -> ExitCode {
                 format_ns(cur.mean_ns),
                 "new"
             );
+            rows.push(Row {
+                name: cur.name.clone(),
+                baseline: None,
+                current: Some(cur.mean_ns),
+                delta_pct: None,
+                status: "new",
+            });
             continue;
         };
         let delta_pct = (cur.mean_ns as f64 - base.mean_ns as f64) / base.mean_ns as f64 * 100.0;
-        let flag = if delta_pct > threshold_pct && base.mean_ns >= min_gated_mean_ns {
+        let status = if delta_pct > threshold_pct && base.mean_ns >= min_gated_mean_ns {
             regressions += 1;
-            "  << REGRESSION"
+            "REGRESSION"
         } else if delta_pct > threshold_pct {
-            "  (ungated: sub-floor baseline)"
+            "ungated (sub-floor baseline)"
         } else {
-            ""
+            "ok"
+        };
+        let flag = match status {
+            "REGRESSION" => "  << REGRESSION",
+            "ok" => "",
+            _ => "  (ungated: sub-floor baseline)",
         };
         println!(
             "{:<52} {:>12} {:>12} {:>+8.1}%{flag}",
@@ -133,6 +210,13 @@ fn main() -> ExitCode {
             format_ns(cur.mean_ns),
             delta_pct
         );
+        rows.push(Row {
+            name: cur.name.clone(),
+            baseline: Some(base.mean_ns),
+            current: Some(cur.mean_ns),
+            delta_pct: Some(delta_pct),
+            status,
+        });
     }
     for base in &baseline {
         if !current.iter().any(|c| c.name == base.name) {
@@ -143,8 +227,16 @@ fn main() -> ExitCode {
                 "-",
                 "gone"
             );
+            rows.push(Row {
+                name: base.name.clone(),
+                baseline: Some(base.mean_ns),
+                current: None,
+                delta_pct: None,
+                status: "gone",
+            });
         }
     }
+    write_step_summary(&rows, threshold_pct, regressions);
 
     if regressions > 0 {
         eprintln!("{regressions} benchmark(s) regressed more than {threshold_pct:.0}%");
@@ -182,5 +274,39 @@ mod tests {
         assert_eq!(format_ns(1_500), "1.500 us");
         assert_eq!(format_ns(2_500_000), "2.500 ms");
         assert_eq!(format_ns(3_000_000_000), "3.000 s");
+    }
+
+    #[test]
+    fn markdown_table_renders_all_row_shapes() {
+        let rows = vec![
+            Row {
+                name: "backend/remote_gates/remote-sharded/8q_4r".into(),
+                baseline: Some(2_000_000),
+                current: Some(4_000_000),
+                delta_pct: Some(100.0),
+                status: "REGRESSION",
+            },
+            Row {
+                name: "backend/cat_bcast/trace/8".into(),
+                baseline: None,
+                current: Some(60),
+                delta_pct: None,
+                status: "new",
+            },
+            Row {
+                name: "backend/gone_bench".into(),
+                baseline: Some(10),
+                current: None,
+                delta_pct: None,
+                status: "gone",
+            },
+        ];
+        let md = markdown_table(&rows, 75.0, 1);
+        assert!(md.starts_with("## Bench comparison"));
+        assert!(md.contains("| benchmark | baseline | current | delta | status |"));
+        assert!(md.contains("| `backend/remote_gates/remote-sharded/8q_4r` | 2.000 ms | 4.000 ms | +100.0% | REGRESSION |"));
+        assert!(md.contains("| `backend/cat_bcast/trace/8` | — | 60 ns | — | new |"));
+        assert!(md.contains("| `backend/gone_bench` | 10 ns | — | — | gone |"));
+        assert!(md.contains("1 benchmark(s) regressed beyond the 75% gate."));
     }
 }

@@ -166,6 +166,32 @@ impl Communicator {
         (value, status)
     }
 
+    /// Blocking receive with a deadline; `None` when no matching message
+    /// arrives within `timeout`. This is the watchdog primitive used by
+    /// long-lived shard workers and their controller: a peer that died or
+    /// deadlocked turns into a diagnosable timeout instead of a CI hang.
+    pub fn recv_timeout<T: Decode>(
+        &self,
+        source: impl Into<SourceSel>,
+        tag: impl Into<TagSel>,
+        timeout: std::time::Duration,
+    ) -> Option<(T, Status)> {
+        let env = self.world.mailboxes[self.members[self.rank]].pop_matching_timeout(
+            self.context,
+            source.into(),
+            tag.into(),
+            timeout,
+        )?;
+        let status = Status {
+            source: env.source,
+            tag: env.tag,
+            bytes: env.payload.len(),
+        };
+        let value = from_bytes(&env.payload)
+            .expect("message payload failed to decode: type mismatch between send and recv");
+        Some((value, status))
+    }
+
     /// Combined send+receive (MPI_Sendrecv): posts the send, then receives.
     pub fn sendrecv<S: Encode, R: Decode>(
         &self,
@@ -467,6 +493,28 @@ mod tests {
             theirs
         });
         assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    fn recv_timeout_delivers_or_expires() {
+        let out = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(&9u32, 1, 4);
+                comm.recv::<()>(1, 5);
+                0
+            } else {
+                // Wrong tag first: must expire without consuming the message.
+                let miss = comm.recv_timeout::<u32>(0, 3, std::time::Duration::from_millis(20));
+                assert!(miss.is_none());
+                let (v, st) = comm
+                    .recv_timeout::<u32>(0, 4, std::time::Duration::from_secs(5))
+                    .expect("matching message pending");
+                assert_eq!(st.source, 0);
+                comm.send(&(), 0, 5);
+                v
+            }
+        });
+        assert_eq!(out[1], 9);
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub use collectives::{ops, ReduceOp};
 pub use comm::{Communicator, RecvRequest, SendRequest, Status, World};
 pub use encode::{from_bytes, to_bytes, Decode, Encode};
 pub use mailbox::{Envelope, Mailbox, SourceSel, Tag, TagSel};
-pub use universe::Universe;
+pub use universe::{Universe, WorkerGroup};
 
 #[cfg(test)]
 mod proptests {

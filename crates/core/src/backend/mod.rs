@@ -17,7 +17,10 @@
 //!   resource estimation at paper scale).
 //! * [`SimEngine`] implementations also include
 //!   [`sharded::ShardedStateVector`] (exact amplitudes over a lock-striped
-//!   shard array, built for concurrent gate dispatch).
+//!   shard array, built for concurrent gate dispatch) and
+//!   [`remote::RemoteShardedEngine`] (exact amplitudes over shards owned by
+//!   dedicated worker ranks that exchange nothing but [`cmpi`] messages —
+//!   the paper's process-separated deployment model).
 //! * [`Shared`] — the mutex locality wrapper: one lock-guarded engine plus
 //!   the qubit-ownership registry. Every engine gets the paper's locality
 //!   semantics for free — a multi-qubit gate across ranks is rejected with
@@ -47,6 +50,7 @@
 //! while letting gates on disjoint qubits (which locality guarantees across
 //! ranks) execute in parallel.
 
+pub mod remote;
 pub mod sharded;
 pub mod stabilizer;
 pub mod statevector;
@@ -59,6 +63,7 @@ use qsim::{Gate, Pauli, QubitId, State};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+pub use remote::RemoteShardedEngine;
 pub use sharded::{ShardableEngine, ShardedShared, ShardedStateVector};
 pub use stabilizer::StabilizerEngine;
 pub use statevector::StateVectorEngine;
@@ -87,6 +92,17 @@ pub enum BackendKind {
         /// Number of amplitude shards (= independent stripe locks).
         shards: usize,
     },
+    /// Full state-vector simulation whose `shards` amplitude shards live in
+    /// dedicated *worker ranks* — separate threads of control exchanging
+    /// nothing but [`cmpi`] messages, the paper's actual deployment model.
+    /// Same observable semantics (and bit-identical gate amplitudes) as the
+    /// dense engines; higher per-gate latency, no shared-address-space
+    /// assumption. `shards` is rounded up to a power of two (clamped to
+    /// `[1, 64]`). See [`remote::RemoteShardedEngine`].
+    RemoteSharded {
+        /// Number of amplitude shards (= worker ranks).
+        shards: usize,
+    },
 }
 
 impl BackendKind {
@@ -107,6 +123,7 @@ impl BackendKind {
             BackendKind::Stabilizer => "stabilizer",
             BackendKind::Trace => "trace",
             BackendKind::ShardedStateVector { .. } => "sharded-state-vector",
+            BackendKind::RemoteSharded { .. } => "remote-sharded",
         }
     }
 
@@ -141,6 +158,9 @@ impl BackendKind {
             BackendKind::Trace => Arc::new(Shared::new(TraceEngine::with_noise(noise))),
             BackendKind::ShardedStateVector { shards } => Arc::new(ShardedShared::new(
                 ShardedStateVector::with_noise(seed, shards, noise),
+            )),
+            BackendKind::RemoteSharded { shards } => Arc::new(ShardedShared::new(
+                RemoteShardedEngine::with_noise(seed, shards, noise),
             )),
         })
     }
@@ -673,21 +693,23 @@ impl<E: SimEngine> QuantumBackend for Shared<E> {
 mod tests {
     use super::*;
 
-    fn all_kinds() -> [BackendKind; 4] {
+    fn all_kinds() -> [BackendKind; 5] {
         [
             BackendKind::StateVector,
             BackendKind::Stabilizer,
             BackendKind::Trace,
             BackendKind::ShardedStateVector { shards: 4 },
+            BackendKind::RemoteSharded { shards: 2 },
         ]
     }
 
     /// Kinds that track real quantum state (trace excluded).
-    fn stateful_kinds() -> [BackendKind; 3] {
+    fn stateful_kinds() -> [BackendKind; 4] {
         [
             BackendKind::StateVector,
             BackendKind::Stabilizer,
             BackendKind::ShardedStateVector { shards: 4 },
+            BackendKind::RemoteSharded { shards: 2 },
         ]
     }
 

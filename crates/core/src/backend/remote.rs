@@ -1,0 +1,1502 @@
+//! Process-separated shard workers: the remote sharded state-vector engine.
+//!
+//! [`super::ShardedStateVector`] stripes the amplitude vector across lock
+//! guards in one address space. This module removes that last assumption:
+//! [`RemoteShardedEngine`] places each of the `2^k` amplitude shards in a
+//! dedicated *worker rank* — its own thread of control with its own mailbox,
+//! spawned via [`cmpi::Universe::spawn_workers`] — and turns every shard
+//! interaction into a [`cmpi`] message protocol. Nothing but messages
+//! crosses the shard boundary, which is the paper's actual deployment model
+//! (Section 4: shards live in separate QMPI nodes) and the shape NetQMPI
+//! gives its MPI simulation workers.
+//!
+//! ## Roles and message flow
+//!
+//! The engine is the *controller* (rank 0 of a private worker world); shard
+//! `s` is owned by worker rank `s + 1`. Three tag channels exist:
+//!
+//! | tag | direction | carries |
+//! |---|---|---|
+//! | `TAG_CMD` | controller → worker | [`ShardCmd`] (gates, queries, lifecycle) |
+//! | `TAG_REPLY` | worker → controller | [`ShardReply`] (partial sums, stripes) |
+//! | `TAG_XCHG` | worker ↔ worker | stripe amplitudes for cross-shard pairing |
+//!
+//! Every command broadcast happens under one controller lock, so all
+//! workers observe the *same global command order*; each worker applies its
+//! commands sequentially from its mailbox (FIFO per sender under cmpi's
+//! non-overtaking guarantee). Together those two facts give every stripe a
+//! single consistent history — the property the in-process engine gets from
+//! its axis lock — without any shared memory.
+//!
+//! * **Within-shard gates** broadcast a [`ShardCmd::PairWithin`] to each
+//!   participating shard; workers run the identical
+//!   [`qsim::stripe`] kernels the lock-striped store uses, in parallel.
+//! * **Cross-shard gates** pair shard `s0` with `s0 | tbit`: the high
+//!   member ships its stripe to the low member ([`ShardCmd::PairCrossHigh`]
+//!   / [`ShardCmd::PairCrossLow`]), which zips the pair kernel across both
+//!   stripes and ships the updated half back.
+//! * **Measurement** is a reduction: a probability query fans out, partial
+//!   masses come back, the controller samples, and a collapse + rescale
+//!   round trip finishes the projection.
+//! * **Noise** is sampled on the controller (same seeded
+//!   [`qsim::noise::NoiseState`] stream as the dense engine, so single-
+//!   threaded trajectories are identical) and injected as uncounted
+//!   single-qubit gate commands.
+//! * **Structural operations** (allocate/free qubits, snapshots) gather the
+//!   stripes, rebuild, and scatter — the message-passing analogue of the
+//!   in-process store's flatten/rebuild.
+//!
+//! ## Deadlock watchdog
+//!
+//! A dead or deadlocked worker must fail CI with a diagnostic, not hang it.
+//! Every blocking receive the controller (and a worker awaiting its
+//! exchange partner) performs goes through [`cmpi::Communicator::recv_timeout`]
+//! with the engine's watchdog duration (default 30 s, overridable via the
+//! `QMPI_REMOTE_WATCHDOG_MS` environment variable at engine construction or
+//! [`RemoteShardedEngine::with_watchdog`]); expiry panics with the shard and
+//! operation that timed out.
+//!
+//! The engine implements [`super::ShardableEngine`], so it slots under the
+//! existing [`super::ShardedShared`] reader-writer locality wrapper
+//! unchanged: select it with [`super::BackendKind::RemoteSharded`].
+
+use super::BackendKind;
+use bytes::{Bytes, BytesMut};
+use cmpi::{Communicator, Decode, Encode, Universe, WorkerGroup};
+use parking_lot::Mutex;
+use qsim::gates::Mat2;
+use qsim::noise::{ChannelAction, NoiseModel, NoiseState, OpClass};
+use qsim::registry::QubitRegistry;
+use qsim::state::NORM_TOL;
+use qsim::stripe;
+use qsim::{Complex, Gate, Pauli, QubitId, SimError, State};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Command channel: controller → worker.
+const TAG_CMD: cmpi::Tag = 0;
+/// Reply channel: worker → controller.
+const TAG_REPLY: cmpi::Tag = 1;
+/// Stripe-exchange channel: worker ↔ worker (cross-shard pairing).
+const TAG_XCHG: cmpi::Tag = 2;
+
+/// The controller's rank in the private worker world.
+const CONTROLLER: usize = 0;
+
+/// Hard cap on the worker count (`2^6` = 64 worker ranks); each shard is a
+/// real thread with a mailbox, so this is deliberately tighter than the
+/// in-process stripe cap.
+pub const MAX_REMOTE_SHARD_BITS: u32 = 6;
+
+/// Default watchdog for blocking protocol receives.
+const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
+
+fn watchdog_from_env() -> Duration {
+    std::env::var("QMPI_REMOTE_WATCHDOG_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(DEFAULT_WATCHDOG)
+}
+
+// ---------------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------------
+
+fn encode_complex(c: &Complex, buf: &mut BytesMut) {
+    c.re.encode(buf);
+    c.im.encode(buf);
+}
+
+fn decode_complex(buf: &mut Bytes) -> Option<Complex> {
+    let re = f64::decode(buf)?;
+    let im = f64::decode(buf)?;
+    Some(Complex::new(re, im))
+}
+
+fn encode_amps(amps: &[Complex], buf: &mut BytesMut) {
+    amps.len().encode(buf);
+    for a in amps {
+        encode_complex(a, buf);
+    }
+}
+
+fn decode_amps(buf: &mut Bytes) -> Option<Vec<Complex>> {
+    let len = usize::decode(buf)?;
+    // 16 wire bytes per amplitude; reject corrupted lengths early.
+    if len > buf.len() / 16 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(decode_complex(buf)?);
+    }
+    Some(out)
+}
+
+fn encode_mat(m: &Mat2, buf: &mut BytesMut) {
+    for row in m {
+        for c in row {
+            encode_complex(c, buf);
+        }
+    }
+}
+
+fn decode_mat(buf: &mut Bytes) -> Option<Mat2> {
+    let mut m = [[Complex::default(); 2]; 2];
+    for row in &mut m {
+        for c in row.iter_mut() {
+            *c = decode_complex(buf)?;
+        }
+    }
+    Some(m)
+}
+
+/// Stripe payload exchanged between cross-shard pairing partners.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireAmps(pub Vec<Complex>);
+
+impl Encode for WireAmps {
+    fn encode(&self, buf: &mut BytesMut) {
+        encode_amps(&self.0, buf);
+    }
+}
+
+impl Decode for WireAmps {
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        decode_amps(buf).map(WireAmps)
+    }
+}
+
+/// The amplitude-pair kernel a pairing command applies: a full 2x2 unitary
+/// or the CNOT/SWAP fast path (a pure amplitude swap, no arithmetic).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PairKernel {
+    /// Swap the pair members (CNOT/SWAP fast path).
+    Swap,
+    /// Multiply the pair by a 2x2 matrix.
+    Mat(Mat2),
+}
+
+impl PairKernel {
+    /// Runs the kernel over within-stripe pairs (target bit inside the
+    /// stripe). Identical arithmetic to the dense and lock-striped engines.
+    fn apply_within(self, amps: &mut [Complex], c_lo: usize, tbit: usize) {
+        match self {
+            PairKernel::Swap => stripe::pair_within(amps, c_lo, tbit, |a0, a1| {
+                std::mem::swap(a0, a1);
+            }),
+            PairKernel::Mat(m) => stripe::pair_within(amps, c_lo, tbit, |a0, a1| {
+                let (x0, x1) = (*a0, *a1);
+                *a0 = m[0][0] * x0 + m[0][1] * x1;
+                *a1 = m[1][0] * x0 + m[1][1] * x1;
+            }),
+        }
+    }
+
+    /// Runs the kernel across a stripe pair (target bit selects the shard).
+    fn apply_across(self, a: &mut [Complex], b: &mut [Complex], c_lo: usize) {
+        match self {
+            PairKernel::Swap => stripe::pair_across(a, b, c_lo, |a0, a1| {
+                std::mem::swap(a0, a1);
+            }),
+            PairKernel::Mat(m) => stripe::pair_across(a, b, c_lo, |a0, a1| {
+                let (x0, x1) = (*a0, *a1);
+                *a0 = m[0][0] * x0 + m[0][1] * x1;
+                *a1 = m[1][0] * x0 + m[1][1] * x1;
+            }),
+        }
+    }
+}
+
+impl Encode for PairKernel {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            PairKernel::Swap => 0u8.encode(buf),
+            PairKernel::Mat(m) => {
+                1u8.encode(buf);
+                encode_mat(m, buf);
+            }
+        }
+    }
+}
+
+impl Decode for PairKernel {
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(PairKernel::Swap),
+            1 => decode_mat(buf).map(PairKernel::Mat),
+            _ => None,
+        }
+    }
+}
+
+/// One command from the controller to a shard worker. See the module docs
+/// for the protocol each variant participates in.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardCmd {
+    /// Replace the worker's stripe: shard index, within-stripe bit count,
+    /// and the amplitudes (empty for inactive workers).
+    Load {
+        /// This worker's shard index among the active shards.
+        shard_index: usize,
+        /// Number of index bits addressing within the stripe.
+        local_bits: usize,
+        /// The stripe's amplitudes.
+        amps: Vec<Complex>,
+    },
+    /// Reply with the current stripe ([`ShardReply::Amps`]).
+    Gather,
+    /// Apply a pair kernel to within-stripe pairs.
+    PairWithin {
+        /// Within-stripe control mask.
+        c_lo: usize,
+        /// Target bit (within-stripe).
+        tbit: usize,
+        /// Kernel to apply.
+        kernel: PairKernel,
+    },
+    /// Cross-shard pairing, low member: await the partner's stripe on
+    /// `TAG_XCHG`, zip the kernel across both, ship the partner's half back.
+    PairCrossLow {
+        /// World rank of the high partner.
+        partner: usize,
+        /// Within-stripe control mask.
+        c_lo: usize,
+        /// Kernel to apply.
+        kernel: PairKernel,
+    },
+    /// Cross-shard pairing, high member: ship the stripe to the low
+    /// partner, await the updated amplitudes.
+    PairCrossHigh {
+        /// World rank of the low partner.
+        partner: usize,
+    },
+    /// Diagonal phase pass (CZ): negate amplitudes matching the mask.
+    Phase {
+        /// Within-stripe mask selecting negated amplitudes.
+        lo_mask: usize,
+    },
+    /// Reply with the stripe's probability mass where the global index
+    /// matches `want` under `mask` ([`ShardReply::Partial`]).
+    Prob {
+        /// Global index mask.
+        mask: usize,
+        /// Required masked value.
+        want: usize,
+    },
+    /// Reply with the stripe's odd-parity probability mass under `mask`.
+    ParityProb {
+        /// Global parity mask.
+        mask: usize,
+    },
+    /// Zero amplitudes not matching `want` under `mask`; reply with the
+    /// kept mass (collapse phase of a projective measurement).
+    Collapse {
+        /// Global index mask.
+        mask: usize,
+        /// Masked value of the surviving subspace.
+        want: usize,
+    },
+    /// Parity collapse: keep the `want_odd` subspace, reply with kept mass.
+    CollapseParity {
+        /// Global parity mask.
+        mask: usize,
+        /// Which parity survives.
+        want_odd: bool,
+    },
+    /// Rescale every amplitude (renormalization after a collapse).
+    Scale {
+        /// Real scale factor.
+        factor: f64,
+    },
+    /// Exit the event loop cleanly (sent by the engine's destructor).
+    Shutdown,
+    /// Exit the event loop *without* completing the protocol — a test hook
+    /// for exercising the deadlock watchdog (a worker that dies mid-run).
+    Die,
+}
+
+impl Encode for ShardCmd {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ShardCmd::Load {
+                shard_index,
+                local_bits,
+                amps,
+            } => {
+                0u8.encode(buf);
+                shard_index.encode(buf);
+                local_bits.encode(buf);
+                encode_amps(amps, buf);
+            }
+            ShardCmd::Gather => 1u8.encode(buf),
+            ShardCmd::PairWithin { c_lo, tbit, kernel } => {
+                2u8.encode(buf);
+                c_lo.encode(buf);
+                tbit.encode(buf);
+                kernel.encode(buf);
+            }
+            ShardCmd::PairCrossLow {
+                partner,
+                c_lo,
+                kernel,
+            } => {
+                3u8.encode(buf);
+                partner.encode(buf);
+                c_lo.encode(buf);
+                kernel.encode(buf);
+            }
+            ShardCmd::PairCrossHigh { partner } => {
+                4u8.encode(buf);
+                partner.encode(buf);
+            }
+            ShardCmd::Phase { lo_mask } => {
+                5u8.encode(buf);
+                lo_mask.encode(buf);
+            }
+            ShardCmd::Prob { mask, want } => {
+                6u8.encode(buf);
+                mask.encode(buf);
+                want.encode(buf);
+            }
+            ShardCmd::ParityProb { mask } => {
+                7u8.encode(buf);
+                mask.encode(buf);
+            }
+            ShardCmd::Collapse { mask, want } => {
+                8u8.encode(buf);
+                mask.encode(buf);
+                want.encode(buf);
+            }
+            ShardCmd::CollapseParity { mask, want_odd } => {
+                9u8.encode(buf);
+                mask.encode(buf);
+                want_odd.encode(buf);
+            }
+            ShardCmd::Scale { factor } => {
+                10u8.encode(buf);
+                factor.encode(buf);
+            }
+            ShardCmd::Shutdown => 11u8.encode(buf),
+            ShardCmd::Die => 12u8.encode(buf),
+        }
+    }
+}
+
+impl Decode for ShardCmd {
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(match u8::decode(buf)? {
+            0 => ShardCmd::Load {
+                shard_index: usize::decode(buf)?,
+                local_bits: usize::decode(buf)?,
+                amps: decode_amps(buf)?,
+            },
+            1 => ShardCmd::Gather,
+            2 => ShardCmd::PairWithin {
+                c_lo: usize::decode(buf)?,
+                tbit: usize::decode(buf)?,
+                kernel: PairKernel::decode(buf)?,
+            },
+            3 => ShardCmd::PairCrossLow {
+                partner: usize::decode(buf)?,
+                c_lo: usize::decode(buf)?,
+                kernel: PairKernel::decode(buf)?,
+            },
+            4 => ShardCmd::PairCrossHigh {
+                partner: usize::decode(buf)?,
+            },
+            5 => ShardCmd::Phase {
+                lo_mask: usize::decode(buf)?,
+            },
+            6 => ShardCmd::Prob {
+                mask: usize::decode(buf)?,
+                want: usize::decode(buf)?,
+            },
+            7 => ShardCmd::ParityProb {
+                mask: usize::decode(buf)?,
+            },
+            8 => ShardCmd::Collapse {
+                mask: usize::decode(buf)?,
+                want: usize::decode(buf)?,
+            },
+            9 => ShardCmd::CollapseParity {
+                mask: usize::decode(buf)?,
+                want_odd: bool::decode(buf)?,
+            },
+            10 => ShardCmd::Scale {
+                factor: f64::decode(buf)?,
+            },
+            11 => ShardCmd::Shutdown,
+            12 => ShardCmd::Die,
+            _ => return None,
+        })
+    }
+}
+
+/// One reply from a shard worker to the controller.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardReply {
+    /// A partial reduction value (probability mass, kept norm).
+    Partial(f64),
+    /// The worker's stripe (gather).
+    Amps(Vec<Complex>),
+}
+
+impl Encode for ShardReply {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ShardReply::Partial(v) => {
+                0u8.encode(buf);
+                v.encode(buf);
+            }
+            ShardReply::Amps(amps) => {
+                1u8.encode(buf);
+                encode_amps(amps, buf);
+            }
+        }
+    }
+}
+
+impl Decode for ShardReply {
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => f64::decode(buf).map(ShardReply::Partial),
+            1 => decode_amps(buf).map(ShardReply::Amps),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker event loop
+// ---------------------------------------------------------------------------
+
+/// The mailbox-driven event loop each shard worker runs: receive one
+/// [`ShardCmd`] from the controller, execute it against the owned stripe,
+/// loop until shutdown. Commands arrive in the controller's global send
+/// order (cmpi FIFO), so the stripe observes one consistent history.
+fn shard_worker(comm: Communicator, watchdog: Arc<AtomicU64>) {
+    let mut amps: Vec<Complex> = Vec::new();
+    let mut base: usize = 0;
+    let recv_xchg = |comm: &Communicator, partner: usize, what: &str| -> Vec<Complex> {
+        let wd = Duration::from_millis(watchdog.load(Ordering::Relaxed));
+        match comm.recv_timeout::<WireAmps>(partner, TAG_XCHG, wd) {
+            Some((w, _)) => w.0,
+            None => panic!(
+                "remote-shard watchdog: worker {} waited {wd:?} for {what} from \
+                 partner {partner}; the partner is presumed dead or deadlocked",
+                comm.rank()
+            ),
+        }
+    };
+    loop {
+        let (cmd, _) = comm.recv::<ShardCmd>(CONTROLLER, TAG_CMD);
+        match cmd {
+            ShardCmd::Load {
+                shard_index,
+                local_bits,
+                amps: stripe_amps,
+            } => {
+                base = shard_index << local_bits;
+                amps = stripe_amps;
+            }
+            ShardCmd::Gather => {
+                comm.send(&ShardReply::Amps(amps.clone()), CONTROLLER, TAG_REPLY);
+            }
+            ShardCmd::PairWithin { c_lo, tbit, kernel } => {
+                kernel.apply_within(&mut amps, c_lo, tbit);
+            }
+            ShardCmd::PairCrossLow {
+                partner,
+                c_lo,
+                kernel,
+            } => {
+                let mut b = recv_xchg(&comm, partner, "its stripe half");
+                kernel.apply_across(&mut amps, &mut b, c_lo);
+                comm.send(&WireAmps(b), partner, TAG_XCHG);
+            }
+            ShardCmd::PairCrossHigh { partner } => {
+                comm.send(&WireAmps(std::mem::take(&mut amps)), partner, TAG_XCHG);
+                amps = recv_xchg(&comm, partner, "the updated stripe half");
+            }
+            ShardCmd::Phase { lo_mask } => stripe::phase_flip(&mut amps, lo_mask),
+            ShardCmd::Prob { mask, want } => {
+                let p = stripe::masked_norm(&amps, base, mask, want);
+                comm.send(&ShardReply::Partial(p), CONTROLLER, TAG_REPLY);
+            }
+            ShardCmd::ParityProb { mask } => {
+                let p = stripe::parity_prob_odd(&amps, base, mask);
+                comm.send(&ShardReply::Partial(p), CONTROLLER, TAG_REPLY);
+            }
+            ShardCmd::Collapse { mask, want } => {
+                let kept = stripe::collapse_keep(&mut amps, base, mask, want);
+                comm.send(&ShardReply::Partial(kept), CONTROLLER, TAG_REPLY);
+            }
+            ShardCmd::CollapseParity { mask, want_odd } => {
+                let kept = stripe::collapse_parity(&mut amps, base, mask, want_odd);
+                comm.send(&ShardReply::Partial(kept), CONTROLLER, TAG_REPLY);
+            }
+            ShardCmd::Scale { factor } => stripe::scale(&mut amps, factor),
+            ShardCmd::Shutdown | ShardCmd::Die => return,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Controller
+// ---------------------------------------------------------------------------
+
+/// The controller half of the shard protocol: the worker-world rank-0
+/// communicator plus the shard layout bookkeeping. All sends for one
+/// logical operation happen while the engine holds the controller lock, so
+/// every worker sees commands in the same global order.
+struct Controller {
+    comm: Communicator,
+    group: Option<WorkerGroup>,
+    /// Watchdog in milliseconds, shared with every worker's exchange waits
+    /// so [`RemoteShardedEngine::with_watchdog`] reaches both sides.
+    watchdog: Arc<AtomicU64>,
+    /// Live qubit positions (mirrors the registry length).
+    n_qubits: usize,
+    /// Active shard-index bits: `min(max_shard_bits, n_qubits)`.
+    shard_bits: u32,
+    /// Configured shard-count exponent.
+    max_shard_bits: u32,
+}
+
+impl Controller {
+    /// Total worker count (`2^k`).
+    fn workers(&self) -> usize {
+        1 << self.max_shard_bits
+    }
+
+    /// Currently active shard count (`2^min(k, n)`).
+    fn active(&self) -> usize {
+        1 << self.shard_bits
+    }
+
+    /// Index bits addressing within a stripe.
+    fn local_bits(&self) -> usize {
+        self.n_qubits - self.shard_bits as usize
+    }
+
+    /// World rank of shard `s`'s worker.
+    fn rank_of(&self, shard: usize) -> usize {
+        shard + 1
+    }
+
+    fn send_to(&self, shard: usize, cmd: &ShardCmd) {
+        self.comm.send(cmd, self.rank_of(shard), TAG_CMD);
+    }
+
+    /// The current watchdog duration.
+    fn watchdog(&self) -> Duration {
+        Duration::from_millis(self.watchdog.load(Ordering::Relaxed))
+    }
+
+    /// Receives shard `s`'s reply, failing loudly on watchdog expiry.
+    fn reply_from(&self, shard: usize, what: &str) -> ShardReply {
+        let wd = self.watchdog();
+        match self
+            .comm
+            .recv_timeout::<ShardReply>(self.rank_of(shard), TAG_REPLY, wd)
+        {
+            Some((r, _)) => r,
+            None => panic!(
+                "remote-shard watchdog: no {what} reply from shard {shard}'s worker within \
+                 {wd:?}; the worker is presumed dead or deadlocked"
+            ),
+        }
+    }
+
+    fn partial_from(&self, shard: usize, what: &str) -> f64 {
+        match self.reply_from(shard, what) {
+            ShardReply::Partial(v) => v,
+            other => panic!("shard {shard} sent {other:?} where a partial was expected"),
+        }
+    }
+
+    /// Fans a query command out to every active shard and sums the partial
+    /// replies in shard order.
+    fn reduce_partials(&self, cmd: &ShardCmd, what: &str) -> f64 {
+        for s in 0..self.active() {
+            self.send_to(s, cmd);
+        }
+        (0..self.active()).map(|s| self.partial_from(s, what)).sum()
+    }
+
+    /// Gathers every active stripe into one dense vector (shards are
+    /// contiguous global index ranges, so this is an append in shard
+    /// order). Non-destructive: workers keep their stripes.
+    fn gather(&self) -> Vec<Complex> {
+        for s in 0..self.active() {
+            self.send_to(s, &ShardCmd::Gather);
+        }
+        let mut flat = Vec::with_capacity(1usize << self.n_qubits);
+        for s in 0..self.active() {
+            match self.reply_from(s, "gather") {
+                ShardReply::Amps(a) => flat.extend(a),
+                other => panic!("shard {s} sent {other:?} where a stripe was expected"),
+            }
+        }
+        flat
+    }
+
+    /// Recomputes the shard layout for `n_qubits` and distributes `flat`
+    /// across the workers (inactive workers get an empty stripe).
+    fn scatter(&mut self, mut flat: Vec<Complex>, n_qubits: usize) {
+        debug_assert_eq!(flat.len(), 1usize << n_qubits);
+        self.n_qubits = n_qubits;
+        self.shard_bits = self.max_shard_bits.min(n_qubits as u32);
+        let local_bits = self.local_bits();
+        let len = flat.len() >> self.shard_bits;
+        for s in 0..self.workers() {
+            let amps = if s < self.active() {
+                let rest = flat.split_off(len);
+                std::mem::replace(&mut flat, rest)
+            } else {
+                Vec::new()
+            };
+            self.send_to(
+                s,
+                &ShardCmd::Load {
+                    shard_index: s,
+                    local_bits,
+                    amps,
+                },
+            );
+        }
+    }
+
+    /// Splits a set of global qubit positions into (within-stripe,
+    /// shard-index) masks.
+    fn split_masks(&self, positions: &[usize]) -> (usize, usize) {
+        let l = self.local_bits();
+        let mut lo = 0usize;
+        let mut hi = 0usize;
+        for &p in positions {
+            assert!(p < self.n_qubits, "position {p} out of range");
+            if p < l {
+                lo |= 1 << p;
+            } else {
+                hi |= 1 << (p - l);
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Dispatches one pair gate: within-shard targets broadcast a local
+    /// pass, cross-shard targets set up the stripe-pair exchange.
+    fn pair_gate(&self, c_lo: usize, c_hi: usize, target: usize, kernel: PairKernel) {
+        let l = self.local_bits();
+        if target < l {
+            let tbit = 1usize << target;
+            for s in 0..self.active() {
+                if s & c_hi == c_hi {
+                    self.send_to(s, &ShardCmd::PairWithin { c_lo, tbit, kernel });
+                }
+            }
+        } else {
+            let tbit = 1usize << (target - l);
+            for s0 in 0..self.active() {
+                if s0 & tbit != 0 || s0 & c_hi != c_hi {
+                    continue;
+                }
+                let s1 = s0 | tbit;
+                self.send_to(
+                    s0,
+                    &ShardCmd::PairCrossLow {
+                        partner: self.rank_of(s1),
+                        c_lo,
+                        kernel,
+                    },
+                );
+                self.send_to(
+                    s1,
+                    &ShardCmd::PairCrossHigh {
+                        partner: self.rank_of(s0),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Dispatches a diagonal phase pass (CZ) to the matching shards.
+    fn phase_gate(&self, lo_mask: usize, hi_mask: usize) {
+        for s in 0..self.active() {
+            if s & hi_mask == hi_mask {
+                self.send_to(s, &ShardCmd::Phase { lo_mask });
+            }
+        }
+    }
+
+    /// Two-phase projective collapse onto `want` under `mask`: zero the
+    /// complement, reduce the kept mass, broadcast the rescale.
+    fn collapse(&self, mask: usize, want: usize) -> f64 {
+        let norm = self.reduce_partials(&ShardCmd::Collapse { mask, want }, "collapse");
+        assert!(norm > 1e-12, "collapsing onto probability-zero outcome");
+        let inv = 1.0 / norm.sqrt();
+        for s in 0..self.active() {
+            self.send_to(s, &ShardCmd::Scale { factor: inv });
+        }
+        norm
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// Full state-vector engine whose `2^k` amplitude shards live in dedicated
+/// worker ranks and exchange nothing but [`cmpi`] messages. See the module
+/// docs for the protocol; see [`super::ShardedStateVector`] for the
+/// in-process analogue with the same observable semantics.
+pub struct RemoteShardedEngine {
+    ctl: Mutex<Controller>,
+    /// Stable handle <-> position bookkeeping, shared with the other
+    /// amplitude engines via [`qsim::registry`].
+    reg: QubitRegistry,
+    rng: StdRng,
+    /// Controller-side noise sampling; same stream seeding as the dense
+    /// engine, so single-threaded trajectories are bit-identical.
+    noise: Mutex<NoiseState>,
+    noise_model: NoiseModel,
+    gate_count: AtomicU64,
+    measurement_count: u64,
+}
+
+impl RemoteShardedEngine {
+    /// Spawns the worker ranks for a noiseless engine. `shards` is rounded
+    /// up to a power of two and clamped to `[1, 2^MAX_REMOTE_SHARD_BITS]`.
+    pub fn new(seed: u64, shards: usize) -> Self {
+        RemoteShardedEngine::with_noise(seed, shards, NoiseModel::ideal())
+    }
+
+    /// Spawns the worker ranks for an engine applying `noise` as
+    /// controller-sampled trajectory insertions.
+    pub fn with_noise(seed: u64, shards: usize, noise: NoiseModel) -> Self {
+        let shards = shards
+            .clamp(1, 1 << MAX_REMOTE_SHARD_BITS)
+            .next_power_of_two();
+        let watchdog = Arc::new(AtomicU64::new(watchdog_from_env().as_millis() as u64));
+        let worker_watchdog = Arc::clone(&watchdog);
+        let (comm, group) = Universe::spawn_workers(shards, move |c| {
+            shard_worker(c, Arc::clone(&worker_watchdog))
+        });
+        let mut ctl = Controller {
+            comm,
+            group: Some(group),
+            watchdog,
+            n_qubits: 0,
+            shard_bits: 0,
+            max_shard_bits: shards.trailing_zeros(),
+        };
+        // The 0-qubit scalar state |> with amplitude 1.
+        ctl.scatter(vec![Complex::real(1.0)], 0);
+        RemoteShardedEngine {
+            ctl: Mutex::new(ctl),
+            reg: QubitRegistry::new(),
+            rng: StdRng::seed_from_u64(seed),
+            noise: Mutex::new(NoiseState::new(seed, noise)),
+            noise_model: noise,
+            gate_count: AtomicU64::new(0),
+            measurement_count: 0,
+        }
+    }
+
+    /// Overrides the watchdog for every blocking protocol receive —
+    /// controller reply waits and worker exchange waits alike (the duration
+    /// is shared atomically with the workers). Tests use a short one to
+    /// prove timeouts diagnose instead of hang.
+    pub fn with_watchdog(self, watchdog: Duration) -> Self {
+        self.ctl
+            .lock()
+            .watchdog
+            .store(watchdog.as_millis() as u64, Ordering::Relaxed);
+        self
+    }
+
+    /// The configured worker/shard count.
+    pub fn max_shards(&self) -> usize {
+        self.ctl.lock().workers()
+    }
+
+    /// Test/diagnostic hook: makes shard `shard`'s worker exit its event
+    /// loop *without* completing the protocol, simulating a crashed shard
+    /// node. Subsequent operations touching that shard trip the deadlock
+    /// watchdog instead of hanging.
+    pub fn debug_kill_worker(&self, shard: usize) {
+        let ctl = self.ctl.lock();
+        assert!(shard < ctl.workers(), "shard {shard} out of range");
+        ctl.send_to(shard, &ShardCmd::Die);
+    }
+
+    fn pos(&self, q: QubitId) -> Result<usize, SimError> {
+        self.reg.pos(q)
+    }
+
+    #[inline]
+    fn count_gate(&self) {
+        self.gate_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Uncounted single-qubit matrix application (noise insertions).
+    fn gate_1q_at(&self, pos: usize, m: &Mat2) {
+        let ctl = self.ctl.lock();
+        ctl.pair_gate(0, 0, pos, PairKernel::Mat(*m));
+    }
+
+    /// Probability of |1> at a raw position (noise sampling, frees).
+    fn prob_at(&self, pos: usize) -> f64 {
+        let ctl = self.ctl.lock();
+        let bit = 1usize << pos;
+        ctl.reduce_partials(
+            &ShardCmd::Prob {
+                mask: bit,
+                want: bit,
+            },
+            "probability",
+        )
+    }
+
+    /// Samples and applies the `class` channel to each listed position —
+    /// the same sequencing as the in-process engines (see
+    /// `ShardedStateVector::inject`), with the amplitude work expressed as
+    /// shard commands.
+    fn inject(&self, class: OpClass, positions: &[usize]) {
+        let ch = self.noise_model.channel(class);
+        if ch.is_ideal() {
+            return;
+        }
+        if matches!(ch, qsim::NoiseChannel::AmplitudeDamping { .. }) {
+            let mut guard = self.noise.lock();
+            for &pos in positions {
+                let action = guard.sample(class, || self.prob_at(pos));
+                match action {
+                    ChannelAction::Nothing => {}
+                    ChannelAction::Pauli(p) => self.gate_1q_at(pos, &p.matrix()),
+                    ChannelAction::Kraus(m) => self.gate_1q_at(pos, &m),
+                }
+            }
+            return;
+        }
+        let actions: Vec<(usize, ChannelAction)> = {
+            let mut guard = self.noise.lock();
+            positions
+                .iter()
+                .map(|&pos| {
+                    (
+                        pos,
+                        guard.sample(class, || {
+                            unreachable!("Pauli channels never query prob_one")
+                        }),
+                    )
+                })
+                .collect()
+        };
+        for (pos, action) in actions {
+            match action {
+                ChannelAction::Nothing => {}
+                ChannelAction::Pauli(p) => self.gate_1q_at(pos, &p.matrix()),
+                ChannelAction::Kraus(_) => unreachable!("Pauli channels never produce Kraus maps"),
+            }
+        }
+    }
+
+    /// Gathers, removes a collapsed qubit from the flat vector, rebuilds.
+    fn remove_at(&mut self, q: QubitId, pos: usize, outcome: bool) {
+        let ctl = self.ctl.get_mut();
+        let flat = ctl.gather();
+        let (mut out, dropped) = stripe::remove_qubit_flat(&flat, pos, outcome);
+        assert!(
+            dropped < NORM_TOL,
+            "removing qubit position {pos} with outcome {outcome} would discard {dropped:.3e} \
+             probability; collapse it first"
+        );
+        let norm: f64 = out.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        assert!(norm > 0.0, "cannot renormalize the zero vector");
+        stripe::scale(&mut out, 1.0 / norm);
+        let n = ctl.n_qubits - 1;
+        ctl.scatter(out, n);
+        self.reg.remove(q, pos);
+    }
+}
+
+impl Drop for RemoteShardedEngine {
+    fn drop(&mut self) {
+        let ctl = self.ctl.get_mut();
+        for s in 0..ctl.workers() {
+            ctl.send_to(s, &ShardCmd::Shutdown);
+        }
+        if let Some(group) = ctl.group.take() {
+            // Never propagate from a destructor (unwinding here would
+            // abort), but a worker that panicked mid-run may have silently
+            // dropped fire-and-forget gate commands — say so.
+            let panicked = group.join();
+            if panicked > 0 {
+                eprintln!(
+                    "remote-shard engine: {panicked} shard worker(s) panicked during the run; \
+                     results involving their stripes are suspect"
+                );
+            }
+        }
+    }
+}
+
+impl super::ShardableEngine for RemoteShardedEngine {
+    fn apply_concurrent(&self, gate: Gate, q: QubitId) -> Result<(), SimError> {
+        let pos = self.pos(q)?;
+        {
+            let ctl = self.ctl.lock();
+            ctl.pair_gate(0, 0, pos, PairKernel::Mat(gate.matrix()));
+        }
+        self.count_gate();
+        self.inject(OpClass::Gate1q, &[pos]);
+        Ok(())
+    }
+
+    fn apply_controlled_concurrent(
+        &self,
+        controls: &[QubitId],
+        gate: Gate,
+        target: QubitId,
+    ) -> Result<(), SimError> {
+        let tpos = self.pos(target)?;
+        let mut cpos = Vec::with_capacity(controls.len());
+        for &c in controls {
+            if c == target {
+                return Err(SimError::DuplicateQubit(c));
+            }
+            cpos.push(self.pos(c)?);
+        }
+        {
+            let ctl = self.ctl.lock();
+            let (c_lo, c_hi) = ctl.split_masks(&cpos);
+            ctl.pair_gate(c_lo, c_hi, tpos, PairKernel::Mat(gate.matrix()));
+        }
+        self.count_gate();
+        cpos.push(tpos);
+        self.inject(OpClass::Gate2q, &cpos);
+        Ok(())
+    }
+
+    fn cnot_concurrent(&self, c: QubitId, t: QubitId) -> Result<(), SimError> {
+        if c == t {
+            return Err(SimError::DuplicateQubit(c));
+        }
+        let cp = self.pos(c)?;
+        let tp = self.pos(t)?;
+        {
+            let ctl = self.ctl.lock();
+            let (c_lo, c_hi) = ctl.split_masks(&[cp]);
+            ctl.pair_gate(c_lo, c_hi, tp, PairKernel::Swap);
+        }
+        self.count_gate();
+        self.inject(OpClass::Gate2q, &[cp, tp]);
+        Ok(())
+    }
+
+    fn cz_concurrent(&self, a: QubitId, b: QubitId) -> Result<(), SimError> {
+        if a == b {
+            return Err(SimError::DuplicateQubit(a));
+        }
+        let pa = self.pos(a)?;
+        let pb = self.pos(b)?;
+        {
+            let ctl = self.ctl.lock();
+            let (lo_mask, hi_mask) = ctl.split_masks(&[pa, pb]);
+            ctl.phase_gate(lo_mask, hi_mask);
+        }
+        self.count_gate();
+        self.inject(OpClass::Gate2q, &[pa, pb]);
+        Ok(())
+    }
+
+    fn swap_concurrent(&self, a: QubitId, b: QubitId) -> Result<(), SimError> {
+        if a == b {
+            return Ok(());
+        }
+        let pa = self.pos(a)?;
+        let pb = self.pos(b)?;
+        {
+            // SWAP = three CNOTs, issued in one controller acquisition so
+            // every worker sees them back-to-back — the same realization
+            // ShardedState::apply_swap uses, keeping the two sharded
+            // deployments pass-for-pass identical (a dedicated one-round
+            // swap exchange is a known follow-on, see ROADMAP).
+            let ctl = self.ctl.lock();
+            for (c, t) in [(pa, pb), (pb, pa), (pa, pb)] {
+                let (c_lo, c_hi) = ctl.split_masks(&[c]);
+                ctl.pair_gate(c_lo, c_hi, t, PairKernel::Swap);
+            }
+        }
+        self.count_gate();
+        self.inject(OpClass::Gate2q, &[pa, pb]);
+        Ok(())
+    }
+}
+
+impl super::SimEngine for RemoteShardedEngine {
+    fn kind(&self) -> BackendKind {
+        BackendKind::RemoteSharded {
+            shards: self.max_shards(),
+        }
+    }
+
+    fn noise(&self) -> NoiseModel {
+        self.noise_model
+    }
+
+    fn alloc(&mut self) -> QubitId {
+        let ctl = self.ctl.get_mut();
+        assert!(ctl.n_qubits < 29, "qubit budget exhausted");
+        let pos = ctl.n_qubits;
+        let mut flat = ctl.gather();
+        flat.resize(flat.len() * 2, Complex::default());
+        ctl.scatter(flat, pos + 1);
+        self.reg.push(pos)
+    }
+
+    fn free(&mut self, q: QubitId) -> Result<bool, SimError> {
+        let pos = self.pos(q)?;
+        let outcome = qsim::registry::classical_outcome(q, self.prob_at(pos))?;
+        self.remove_at(q, pos, outcome);
+        Ok(outcome)
+    }
+
+    fn measure_and_free(&mut self, q: QubitId) -> Result<bool, SimError> {
+        let outcome = self.measure(q)?;
+        let pos = self.pos(q)?;
+        self.remove_at(q, pos, outcome);
+        Ok(outcome)
+    }
+
+    fn apply(&mut self, gate: Gate, q: QubitId) -> Result<(), SimError> {
+        use super::ShardableEngine;
+        self.apply_concurrent(gate, q)
+    }
+
+    fn apply_controlled(
+        &mut self,
+        controls: &[QubitId],
+        gate: Gate,
+        target: QubitId,
+    ) -> Result<(), SimError> {
+        use super::ShardableEngine;
+        self.apply_controlled_concurrent(controls, gate, target)
+    }
+
+    fn cnot(&mut self, c: QubitId, t: QubitId) -> Result<(), SimError> {
+        use super::ShardableEngine;
+        self.cnot_concurrent(c, t)
+    }
+
+    fn cz(&mut self, a: QubitId, b: QubitId) -> Result<(), SimError> {
+        use super::ShardableEngine;
+        self.cz_concurrent(a, b)
+    }
+
+    fn swap(&mut self, a: QubitId, b: QubitId) -> Result<(), SimError> {
+        use super::ShardableEngine;
+        self.swap_concurrent(a, b)
+    }
+
+    fn measure(&mut self, q: QubitId) -> Result<bool, SimError> {
+        let pos = self.pos(q)?;
+        self.inject(OpClass::Measurement, &[pos]);
+        self.measurement_count += 1;
+        let p1 = self.prob_at(pos);
+        let outcome = self.rng.gen::<f64>() < p1;
+        let ctl = self.ctl.get_mut();
+        let bit = 1usize << pos;
+        ctl.collapse(bit, if outcome { bit } else { 0 });
+        Ok(outcome)
+    }
+
+    fn prob_one(&self, q: QubitId) -> Result<f64, SimError> {
+        Ok(self.prob_at(self.pos(q)?))
+    }
+
+    fn measure_z_parity(&mut self, qubits: &[QubitId]) -> Result<bool, SimError> {
+        let mut pos = Vec::with_capacity(qubits.len());
+        for &q in qubits {
+            pos.push(self.pos(q)?);
+        }
+        self.inject(OpClass::Measurement, &pos);
+        self.measurement_count += 1;
+        let mut mask = 0usize;
+        for &p in &pos {
+            mask |= 1usize << p;
+        }
+        let ctl = self.ctl.get_mut();
+        let p_odd = ctl.reduce_partials(&ShardCmd::ParityProb { mask }, "parity probability");
+        let want_odd = self.rng.gen::<f64>() < p_odd;
+        let norm = ctl.reduce_partials(
+            &ShardCmd::CollapseParity { mask, want_odd },
+            "parity collapse",
+        );
+        let inv = 1.0 / norm.sqrt();
+        for s in 0..ctl.active() {
+            ctl.send_to(s, &ShardCmd::Scale { factor: inv });
+        }
+        Ok(want_odd)
+    }
+
+    fn expectation(&self, terms: &[(QubitId, Pauli)]) -> Result<f64, SimError> {
+        let mut mapped = Vec::with_capacity(terms.len());
+        for &(q, op) in terms {
+            mapped.push(qsim::measure::PauliTerm {
+                qubit: self.pos(q)?,
+                op,
+            });
+        }
+        let ctl = self.ctl.lock();
+        let flat = ctl.gather();
+        Ok(stripe::expectation_pauli(
+            ctl.n_qubits,
+            |g| flat[g],
+            &mapped,
+        ))
+    }
+
+    fn state_vector(&self, order: &[QubitId]) -> Result<State, SimError> {
+        let flat = self.ctl.lock().gather();
+        Ok(State::from_amplitudes(flat).permuted(&self.reg.permutation(order)?))
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.reg.len()
+    }
+
+    fn gate_count(&self) -> u64 {
+        self.gate_count.load(Ordering::Relaxed)
+    }
+
+    fn measurement_count(&self) -> u64 {
+        self.measurement_count
+    }
+
+    fn entangle_epr(&mut self, qa: QubitId, qb: QubitId) -> Result<(), SimError> {
+        if qa == qb {
+            return Err(SimError::DuplicateQubit(qa));
+        }
+        // Same H + CNOT realization (and gate tally) as the other engines,
+        // with interconnect noise drawn from the dedicated EPR channel.
+        let pa = self.pos(qa)?;
+        let pb = self.pos(qb)?;
+        {
+            let ctl = self.ctl.lock();
+            ctl.pair_gate(0, 0, pa, PairKernel::Mat(Gate::H.matrix()));
+            let (c_lo, c_hi) = ctl.split_masks(&[pa]);
+            ctl.pair_gate(c_lo, c_hi, pb, PairKernel::Swap);
+        }
+        self.gate_count.fetch_add(2, Ordering::Relaxed);
+        self.inject(OpClass::Epr, &[pa, pb]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{QuantumBackend, SimEngine, StateVectorEngine};
+
+    #[test]
+    fn shard_cmd_roundtrips_every_variant() {
+        let mat = Gate::Ry(0.37).matrix();
+        let amps = vec![Complex::new(0.25, -1.5), Complex::new(0.0, 3.0)];
+        let cmds = [
+            ShardCmd::Load {
+                shard_index: 3,
+                local_bits: 7,
+                amps: amps.clone(),
+            },
+            ShardCmd::Load {
+                shard_index: 5,
+                local_bits: 0,
+                amps: vec![],
+            },
+            ShardCmd::Gather,
+            ShardCmd::PairWithin {
+                c_lo: 0b101,
+                tbit: 1 << 4,
+                kernel: PairKernel::Mat(mat),
+            },
+            ShardCmd::PairWithin {
+                c_lo: 0,
+                tbit: 1,
+                kernel: PairKernel::Swap,
+            },
+            ShardCmd::PairCrossLow {
+                partner: 9,
+                c_lo: 0b11,
+                kernel: PairKernel::Mat(mat),
+            },
+            ShardCmd::PairCrossHigh { partner: 2 },
+            ShardCmd::Phase { lo_mask: 0b1001 },
+            ShardCmd::Prob {
+                mask: 0b100,
+                want: 0b100,
+            },
+            ShardCmd::ParityProb { mask: 0b111 },
+            ShardCmd::Collapse {
+                mask: 0b10,
+                want: 0,
+            },
+            ShardCmd::CollapseParity {
+                mask: 0b11,
+                want_odd: true,
+            },
+            ShardCmd::Scale { factor: 1.25 },
+            ShardCmd::Shutdown,
+            ShardCmd::Die,
+        ];
+        for cmd in cmds {
+            let bytes = cmpi::to_bytes(&cmd);
+            let back: ShardCmd = cmpi::from_bytes(&bytes).expect("decode");
+            assert_eq!(back, cmd);
+        }
+    }
+
+    #[test]
+    fn shard_reply_roundtrips() {
+        for reply in [
+            ShardReply::Partial(0.625),
+            ShardReply::Partial(f64::MIN_POSITIVE),
+            ShardReply::Amps(vec![Complex::new(1.0, -2.0); 5]),
+            ShardReply::Amps(vec![]),
+        ] {
+            let bytes = cmpi::to_bytes(&reply);
+            let back: ShardReply = cmpi::from_bytes(&bytes).expect("decode");
+            assert_eq!(back, reply);
+        }
+    }
+
+    #[test]
+    fn corrupt_payloads_rejected() {
+        // Unknown discriminant.
+        let bad = Bytes::from_static(&[99]);
+        assert!(cmpi::from_bytes::<ShardCmd>(&bad).is_none());
+        // Truncated matrix.
+        let mut buf = BytesMut::new();
+        2u8.encode(&mut buf); // PairWithin
+        0usize.encode(&mut buf);
+        1usize.encode(&mut buf);
+        1u8.encode(&mut buf); // Mat kernel, but no matrix bytes follow
+        assert!(cmpi::from_bytes::<ShardCmd>(&buf.freeze()).is_none());
+        // Amplitude count larger than the payload.
+        let mut buf = BytesMut::new();
+        1u8.encode(&mut buf); // ShardReply::Amps
+        usize::MAX.encode(&mut buf);
+        assert!(cmpi::from_bytes::<ShardReply>(&buf.freeze()).is_none());
+    }
+
+    /// Applies the same circuit to the dense engine and a remote engine and
+    /// asserts the amplitudes agree bit-for-bit (the kernels perform the
+    /// identical arithmetic in the identical order).
+    fn assert_remote_matches_dense_bitwise(shards: usize, noise: NoiseModel, n_qubits: usize) {
+        let mut dense = StateVectorEngine::with_noise(1, noise);
+        let mut remote = RemoteShardedEngine::with_noise(1, shards, noise);
+        let dq: Vec<QubitId> = (0..n_qubits).map(|_| dense.alloc()).collect();
+        let rq: Vec<QubitId> = (0..n_qubits).map(|_| remote.alloc()).collect();
+        type Step = Box<dyn Fn(&mut dyn SimEngine, &[QubitId])>;
+        let circuit: Vec<Step> = vec![
+            Box::new(|e, q| e.apply(Gate::H, q[0]).unwrap()),
+            Box::new(|e, q| e.apply(Gate::H, q[q.len() - 1]).unwrap()),
+            Box::new(|e, q| e.apply(Gate::T, q[q.len() - 1]).unwrap()),
+            Box::new(|e, q| e.cnot(q[0], q[q.len() - 1]).unwrap()),
+            Box::new(|e, q| e.cnot(q[q.len() - 1], q[0]).unwrap()),
+            Box::new(|e, q| e.cz(q[1], q[q.len() - 2]).unwrap()),
+            Box::new(|e, q| e.apply(Gate::S, q[2]).unwrap()),
+            Box::new(|e, q| e.swap(q[1], q[q.len() - 1]).unwrap()),
+            Box::new(|e, q| {
+                e.apply_controlled(&[q[0], q[q.len() - 1]], Gate::Ry(0.7), q[2])
+                    .unwrap()
+            }),
+        ];
+        for step in &circuit {
+            step(&mut dense, &dq);
+            step(&mut remote, &rq);
+        }
+        let want = dense.state_vector(&dq).unwrap();
+        let got = remote.state_vector(&rq).unwrap();
+        assert_eq!(want.len(), got.len());
+        for i in 0..want.len() {
+            let (w, g) = (want.amplitude(i), got.amplitude(i));
+            assert!(
+                w.re.to_bits() == g.re.to_bits() && w.im.to_bits() == g.im.to_bits(),
+                "shards={shards} amp[{i}] differs: {w:?} vs {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn remote_matches_dense_bitwise_on_fixed_circuit() {
+        for shards in [1usize, 2, 8] {
+            assert_remote_matches_dense_bitwise(shards, NoiseModel::ideal(), 6);
+        }
+    }
+
+    #[test]
+    fn remote_matches_dense_bitwise_under_pauli_noise() {
+        let noise = NoiseModel::depolarizing(0.25)
+            .with_measurement(qsim::NoiseChannel::Dephasing { p: 0.3 });
+        for shards in [1usize, 2, 4] {
+            assert_remote_matches_dense_bitwise(shards, noise, 5);
+        }
+    }
+
+    #[test]
+    fn remote_measurement_and_free_roundtrip() {
+        let mut e = RemoteShardedEngine::new(7, 4);
+        let a = e.alloc();
+        let b = e.alloc();
+        let c = e.alloc();
+        e.apply(Gate::X, c).unwrap();
+        assert!((e.prob_one(c).unwrap() - 1.0).abs() < 1e-12);
+        assert!(e.prob_one(a).unwrap() < 1e-12);
+        // Removing the middle qubit shifts c down; it must still read |1>.
+        assert!(!e.free(b).unwrap());
+        assert!(e.measure_and_free(c).unwrap());
+        assert!(!e.measure(a).unwrap());
+        assert_eq!(e.n_qubits(), 1);
+        assert_eq!(e.measurement_count(), 2);
+    }
+
+    #[test]
+    fn remote_epr_pair_correlates() {
+        for seed in 0..6u64 {
+            let mut e = RemoteShardedEngine::new(seed, 2);
+            let a = e.alloc();
+            let b = e.alloc();
+            e.entangle_epr(a, b).unwrap();
+            let zz = e.expectation(&[(a, Pauli::Z), (b, Pauli::Z)]).unwrap();
+            assert!((zz - 1.0).abs() < 1e-10, "seed {seed}: <ZZ> = {zz}");
+            let ma = e.measure(a).unwrap();
+            let mb = e.measure(b).unwrap();
+            assert_eq!(ma, mb, "seed {seed}: EPR halves must agree");
+        }
+    }
+
+    #[test]
+    fn remote_parity_measurement_projects() {
+        let mut e = RemoteShardedEngine::new(11, 4);
+        let a = e.alloc();
+        let b = e.alloc();
+        e.apply(Gate::H, a).unwrap();
+        e.cnot(a, b).unwrap();
+        // EPR pair lives entirely in the even-parity subspace.
+        assert!(!e.measure_z_parity(&[a, b]).unwrap());
+        let st = e.state_vector(&[a, b]).unwrap();
+        assert!((st.probability(0b00) - 0.5).abs() < 1e-10);
+        assert!((st.probability(0b11) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn remote_amplitude_damping_tracks_dense_on_fixed_circuit() {
+        // The jump decision reads prob_one, whose reduction order differs
+        // between engines; a fixed seed and circuit keeps both on the same
+        // trajectory branch, and the Kraus maps must then agree closely.
+        let noise = NoiseModel::amplitude_damping(0.2);
+        let mut dense = StateVectorEngine::with_noise(1, noise);
+        let mut remote = RemoteShardedEngine::with_noise(1, 4, noise);
+        let dq: Vec<QubitId> = (0..4).map(|_| dense.alloc()).collect();
+        let rq: Vec<QubitId> = (0..4).map(|_| remote.alloc()).collect();
+        for (d, r) in [(0, 0), (1, 1)] {
+            dense.apply(Gate::H, dq[d]).unwrap();
+            remote.apply(Gate::H, rq[r]).unwrap();
+        }
+        dense.cnot(dq[0], dq[2]).unwrap();
+        remote.cnot(rq[0], rq[2]).unwrap();
+        dense.apply(Gate::Ry(0.9), dq[1]).unwrap();
+        remote.apply(Gate::Ry(0.9), rq[1]).unwrap();
+        let want = dense.state_vector(&dq).unwrap();
+        let got = remote.state_vector(&rq).unwrap();
+        for i in 0..want.len() {
+            assert!(
+                want.amplitude(i).approx_eq(got.amplitude(i), 1e-12),
+                "amp[{i}]: {:?} vs {:?}",
+                want.amplitude(i),
+                got.amplitude(i)
+            );
+        }
+    }
+
+    #[test]
+    fn watchdog_diagnoses_dead_worker_instead_of_hanging() {
+        let start = std::time::Instant::now();
+        let e = RemoteShardedEngine::new(3, 2).with_watchdog(Duration::from_millis(200));
+        let mut e = e;
+        let a = e.alloc();
+        let b = e.alloc();
+        e.apply(Gate::H, a).unwrap();
+        // Kill shard 1's worker, then run a reduction that needs it.
+        e.debug_kill_worker(1);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.prob_one(b).unwrap();
+        }))
+        .expect_err("query against a dead worker must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("watchdog"),
+            "panic must carry the watchdog diagnostic, got: {msg}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "watchdog must fire promptly, not hang"
+        );
+        drop(e); // shutdown must still reap the surviving workers
+    }
+
+    #[test]
+    fn remote_backend_kind_builds_under_sharded_shared() {
+        let backend = BackendKind::RemoteSharded { shards: 4 }.build(5);
+        assert_eq!(backend.kind(), BackendKind::RemoteSharded { shards: 4 });
+        let qa = backend.alloc(0, 1)[0];
+        let qb = backend.alloc(1, 1)[0];
+        backend.entangle_epr(qa, qb).unwrap();
+        let ma = backend.measure(0, qa).unwrap();
+        let mb = backend.measure(1, qb).unwrap();
+        assert_eq!(ma, mb);
+        assert_eq!(backend.counts().epr_entanglements, 1);
+    }
+
+    #[test]
+    fn wrapper_runs_concurrent_rank_gates_against_workers() {
+        use std::sync::Arc;
+        let backend: Arc<dyn QuantumBackend> = BackendKind::RemoteSharded { shards: 4 }.build(3);
+        let mut qubits = Vec::new();
+        for rank in 0..4usize {
+            qubits.push((rank, backend.alloc(rank, 2)));
+        }
+        std::thread::scope(|s| {
+            for (rank, qs) in &qubits {
+                let backend = Arc::clone(&backend);
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        backend.apply(*rank, Gate::H, qs[0]).unwrap();
+                        backend.cnot(*rank, qs[0], qs[1]).unwrap();
+                        backend.cnot(*rank, qs[0], qs[1]).unwrap();
+                        backend.apply(*rank, Gate::H, qs[0]).unwrap();
+                    }
+                });
+            }
+        });
+        // Every rank's round was self-inverse: all qubits must read |0>.
+        for (rank, qs) in &qubits {
+            for &q in qs {
+                assert!(backend.prob_one(*rank, q).unwrap() < 1e-9);
+                backend.measure_and_free(*rank, q).unwrap();
+            }
+        }
+        assert_eq!(backend.counts().live_qubits, 0);
+    }
+}

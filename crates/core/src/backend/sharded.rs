@@ -568,6 +568,34 @@ mod tests {
         }
     }
 
+    /// The process-separated engine must match the dense engine *bit for
+    /// bit* per seed: the shard workers run the same `qsim::stripe` kernels
+    /// in the same global command order, and Pauli-noise trajectories come
+    /// from the same seeded stream.
+    fn remote_matches_dense_bitwise(
+        steps: &[Step],
+        shards: usize,
+        n_qubits: usize,
+        noise: NoiseModel,
+    ) {
+        use crate::backend::RemoteShardedEngine;
+        let mut dense = StateVectorEngine::with_noise(1, noise);
+        let mut remote = RemoteShardedEngine::with_noise(1, shards, noise);
+        let dq: Vec<QubitId> = (0..n_qubits).map(|_| dense.alloc()).collect();
+        let rq: Vec<QubitId> = (0..n_qubits).map(|_| remote.alloc()).collect();
+        apply_steps(&mut dense, &dq, steps);
+        apply_steps(&mut remote, &rq, steps);
+        let want = dense.state_vector(&dq).unwrap();
+        let got = remote.state_vector(&rq).unwrap();
+        for i in 0..want.len() {
+            let (w, g) = (want.amplitude(i), got.amplitude(i));
+            assert!(
+                w.re.to_bits() == g.re.to_bits() && w.im.to_bits() == g.im.to_bits(),
+                "remote shards={shards} amp[{i}]: {w:?} vs {g:?} (bit mismatch)"
+            );
+        }
+    }
+
     #[test]
     fn engine_matches_dense_on_fixed_circuit() {
         let steps = [
@@ -714,18 +742,22 @@ mod tests {
 
             /// The satellite acceptance property: 1-, 2-, and 8-shard
             /// striped engines produce amplitudes identical to the dense
-            /// engine on random 10-qubit Clifford+T circuits.
+            /// engine on random 10-qubit Clifford+T circuits — and the
+            /// process-separated engine matches bit for bit.
             #[test]
             fn sharded_amplitudes_identical_to_dense(
                 steps in proptest::collection::vec(arb_step(10), 10..60),
             ) {
                 for shards in [1usize, 2, 8] {
                     amplitudes_match(&steps, shards, 10);
+                    remote_matches_dense_bitwise(&steps, shards, 10, NoiseModel::ideal());
                 }
             }
 
-            /// The same property under Pauli noise: both engines must draw
-            /// identical trajectories from the shared seeded noise stream.
+            /// The same property under Pauli noise: every engine must draw
+            /// identical trajectories from the shared seeded noise stream
+            /// (the remote engine samples on the controller, so its stream
+            /// is the dense engine's stream).
             #[test]
             fn sharded_amplitudes_identical_to_dense_under_noise(
                 steps in proptest::collection::vec(arb_step(8), 10..40),
@@ -734,6 +766,7 @@ mod tests {
                 let noise = NoiseModel::depolarizing(p);
                 for shards in [1usize, 2, 8] {
                     amplitudes_match_noisy(&steps, shards, 8, noise);
+                    remote_matches_dense_bitwise(&steps, shards, 8, noise);
                 }
             }
         }

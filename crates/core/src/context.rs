@@ -138,6 +138,16 @@ impl QmpiConfig {
         self
     }
 
+    /// Shorthand for the process-separated state-vector backend with
+    /// `shards` worker ranks ([`BackendKind::RemoteSharded`]): every shard
+    /// lives in its own thread of control and is driven purely by message
+    /// passing — the paper's deployment model, with no shared-address-space
+    /// assumption between shards.
+    pub fn remote_backend(mut self, shards: usize) -> Self {
+        self.backend = BackendKind::RemoteSharded { shards };
+        self
+    }
+
     /// Sets the noise model the world's engine applies — imperfect gates,
     /// measurements, and EPR pairs for fidelity-vs-`S`-budget studies:
     ///
@@ -419,6 +429,7 @@ mod tests {
             crate::BackendKind::Stabilizer,
             crate::BackendKind::Trace,
             crate::BackendKind::ShardedStateVector { shards: 4 },
+            crate::BackendKind::RemoteSharded { shards: 2 },
         ] {
             let out = run_with_config(2, QmpiConfig::new().backend(kind), move |ctx| {
                 assert_eq!(ctx.backend().kind(), kind);

@@ -65,6 +65,10 @@
 //!   the default engine, but striped across `shards` per-shard locks behind
 //!   a reader-writer locality wrapper, so gates issued by different ranks
 //!   run concurrently instead of serializing on one mutex.
+//! * `BackendKind::RemoteSharded { shards }` — exact amplitudes whose
+//!   shards live in dedicated *worker ranks* driven purely by [`cmpi`]
+//!   message passing (the paper's process-separated deployment model); same
+//!   results as the dense engines, no shared-address-space assumption.
 //!
 //! [`qalgo`-style workloads]: BackendKind::StateVector
 //!
@@ -105,8 +109,9 @@ pub mod reduce_ops;
 pub mod resources;
 
 pub use backend::{
-    BackendKind, OpCounts, QuantumBackend, ShardableEngine, ShardedShared, ShardedStateVector,
-    Shared, SimEngine, StabilizerEngine, StateVectorEngine, TraceEngine, DIAG_RANK,
+    BackendKind, OpCounts, QuantumBackend, RemoteShardedEngine, ShardableEngine, ShardedShared,
+    ShardedStateVector, Shared, SimEngine, StabilizerEngine, StateVectorEngine, TraceEngine,
+    DIAG_RANK,
 };
 pub use collectives::{
     AllreduceHandle, BcastAlgorithm, ExscanHandle, ReduceHandle, ReduceScatterHandle, ScanHandle,

@@ -29,14 +29,9 @@ struct SendPtr(*mut Complex);
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
-#[inline(always)]
-pub(crate) fn pair_indices(i: usize, bit: usize) -> (usize, usize) {
-    // Spread iteration index i over the positions with `bit` cleared.
-    let low = i & (bit - 1);
-    let high = (i & !(bit - 1)) << 1;
-    let i0 = high | low;
-    (i0, i0 | bit)
-}
+// The pair-index derivation is shared with the per-stripe kernels so the
+// dense and sharded walks cannot drift apart.
+use crate::stripe::pair_indices;
 
 /// Applies a single-qubit unitary `m` to `target`.
 pub fn apply_1q(state: &mut State, target: usize, m: &Mat2) {

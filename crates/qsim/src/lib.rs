@@ -33,6 +33,7 @@ pub mod sharded;
 pub mod sim;
 pub mod stabilizer;
 pub mod state;
+pub mod stripe;
 
 pub use complex::Complex;
 pub use gates::{Gate, Pauli};

@@ -33,11 +33,17 @@
 //! Structural operations — allocation, collapse, removal, snapshots — take
 //! `&mut self` and are serialized by the caller (the backend wrapper holds
 //! them under its own write lock).
+//!
+//! The per-stripe arithmetic itself lives in [`crate::stripe`]: this type
+//! supplies the locking and dispatch, while process-separated shard
+//! workers (which own a stripe in another thread of control and receive
+//! commands over a message channel) run the identical kernels on theirs.
 
 use crate::complex::{Complex, C_ONE, C_ZERO};
 use crate::gates::Mat2;
 use crate::measure::PauliTerm;
 use crate::state::{State, NORM_TOL};
+use crate::stripe;
 use parking_lot::{Mutex, RwLock};
 use rand::Rng;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -172,19 +178,7 @@ impl ShardedState {
     pub fn remove_qubit(&mut self, target: usize, outcome: bool) {
         assert!(target < self.n_qubits, "qubit {target} out of range");
         let flat = self.flatten();
-        let bit = 1usize << target;
-        let low_mask = bit - 1;
-        let keep = if outcome { bit } else { 0 };
-        let mut out = vec![C_ZERO; flat.len() / 2];
-        let mut dropped = 0.0f64;
-        for (i, &a) in flat.iter().enumerate() {
-            if i & bit == keep {
-                let j = (i & low_mask) | ((i >> 1) & !low_mask);
-                out[j] = a;
-            } else {
-                dropped += a.norm_sqr();
-            }
-        }
+        let (out, dropped) = stripe::remove_qubit_flat(&flat, target, outcome);
         assert!(
             dropped < NORM_TOL,
             "removing qubit {target} with outcome {outcome} would discard {dropped:.3e} probability; collapse it first"
@@ -222,14 +216,7 @@ impl ShardedState {
         let keep = if outcome { bit } else { 0 };
         let mut norm = 0.0f64;
         for (s, sh) in self.shards.iter_mut().enumerate() {
-            let base = s << l;
-            for (i, a) in sh.amps.get_mut().iter_mut().enumerate() {
-                if (base | i) & bit == keep {
-                    norm += a.norm_sqr();
-                } else {
-                    *a = C_ZERO;
-                }
-            }
+            norm += stripe::collapse_keep(sh.amps.get_mut(), s << l, bit, keep);
         }
         assert!(
             norm > 1e-12,
@@ -237,9 +224,7 @@ impl ShardedState {
         );
         let inv = 1.0 / norm.sqrt();
         for sh in &mut self.shards {
-            for a in sh.amps.get_mut().iter_mut() {
-                *a = a.scale(inv);
-            }
+            stripe::scale(sh.amps.get_mut(), inv);
         }
     }
 
@@ -263,31 +248,16 @@ impl ShardedState {
         }
         let mut p_odd = 0.0f64;
         for (s, sh) in self.shards.iter_mut().enumerate() {
-            let base = s << l;
-            for (i, a) in sh.amps.get_mut().iter().enumerate() {
-                if ((base | i) & mask).count_ones() % 2 == 1 {
-                    p_odd += a.norm_sqr();
-                }
-            }
+            p_odd += stripe::parity_prob_odd(sh.amps.get_mut(), s << l, mask);
         }
         let want_odd = rng.gen::<f64>() < p_odd;
         let mut norm = 0.0f64;
         for (s, sh) in self.shards.iter_mut().enumerate() {
-            let base = s << l;
-            for (i, a) in sh.amps.get_mut().iter_mut().enumerate() {
-                let odd = ((base | i) & mask).count_ones() % 2 == 1;
-                if odd == want_odd {
-                    norm += a.norm_sqr();
-                } else {
-                    *a = C_ZERO;
-                }
-            }
+            norm += stripe::collapse_parity(sh.amps.get_mut(), s << l, mask, want_odd);
         }
         let inv = 1.0 / norm.sqrt();
         for sh in &mut self.shards {
-            for a in sh.amps.get_mut().iter_mut() {
-                *a = a.scale(inv);
-            }
+            stripe::scale(sh.amps.get_mut(), inv);
         }
         want_odd
     }
@@ -302,68 +272,17 @@ impl ShardedState {
         self.shards
             .iter()
             .enumerate()
-            .map(|(s, sh)| {
-                let base = s << l;
-                sh.amps
-                    .lock()
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| (base | i) & bit == bit)
-                    .map(|(_, a)| a.norm_sqr())
-                    .sum::<f64>()
-            })
+            .map(|(s, sh)| stripe::masked_norm(&sh.amps.lock(), s << l, bit, bit))
             .sum()
     }
 
     /// Expectation value `<psi| P |psi>` of a Pauli string. Acquires every
     /// stripe for the duration (the string may couple any pair of shards).
     pub fn expectation_pauli(&self, terms: &[PauliTerm]) -> f64 {
-        use crate::gates::Pauli;
-        let n = self.n_qubits;
         let l = self.local_bits();
         let lmask = (1usize << l) - 1;
-        let mut x_mask = 0usize;
-        let mut z_mask = 0usize;
-        let mut y_count = 0u32;
-        for t in terms {
-            assert!(t.qubit < n, "qubit {} out of range", t.qubit);
-            match t.op {
-                Pauli::X => x_mask |= 1 << t.qubit,
-                Pauli::Z => z_mask |= 1 << t.qubit,
-                Pauli::Y => {
-                    x_mask |= 1 << t.qubit;
-                    z_mask |= 1 << t.qubit;
-                    y_count += 1;
-                }
-            }
-        }
         let guards: Vec<_> = self.shards.iter().map(|sh| sh.amps.lock()).collect();
-        let at = |g: usize| guards[g >> l][g & lmask];
-        let i_pow = match y_count % 4 {
-            0 => Complex::real(1.0),
-            1 => crate::complex::C_I,
-            2 => Complex::real(-1.0),
-            _ => -crate::complex::C_I,
-        };
-        let mut acc = Complex::default();
-        for g in 0..(1usize << n) {
-            let a = at(g);
-            if a.is_negligible(1e-300) {
-                continue;
-            }
-            let sign = if (g & z_mask).count_ones() % 2 == 1 {
-                -1.0
-            } else {
-                1.0
-            };
-            acc += at(g ^ x_mask).conj() * a.scale(sign);
-        }
-        let val = i_pow * acc;
-        debug_assert!(
-            val.im.abs() < 1e-9,
-            "expectation of Hermitian operator must be real"
-        );
-        val.re
+        stripe::expectation_pauli(self.n_qubits, |g| guards[g >> l][g & lmask], terms)
     }
 
     /// Dense snapshot of the state in the internal (position) qubit order.
@@ -435,19 +354,12 @@ impl ShardedState {
             // or diagonal gate (exact commutation per atomic stripe pass).
             let _shared_axis = self.axis.read();
             let tbit = 1usize << target;
-            let half = self.shard_len() / 2;
             self.dispatch(num, |s| {
                 if s & c_hi != c_hi {
                     return;
                 }
                 let mut amps = self.shards[s].amps.lock();
-                for i in 0..half {
-                    let (i0, i1) = crate::apply::pair_indices(i, tbit);
-                    if i0 & c_lo == c_lo {
-                        let (lo, hi) = amps.split_at_mut(i1);
-                        f(&mut lo[i0], &mut hi[0]);
-                    }
-                }
+                stripe::pair_within(&mut amps, c_lo, tbit, &f);
             });
         } else {
             // Cross-shard pairing: exclusive, so no other gate can leave a
@@ -460,11 +372,7 @@ impl ShardedState {
                 }
                 let mut a = self.shards[s0].amps.lock();
                 let mut b = self.shards[s0 | tbit].amps.lock();
-                for i in 0..a.len() {
-                    if i & c_lo == c_lo {
-                        f(&mut a[i], &mut b[i]);
-                    }
-                }
+                stripe::pair_across(&mut a, &mut b, c_lo, &f);
             });
         }
     }
@@ -534,11 +442,7 @@ impl ShardedState {
                 return;
             }
             let mut amps = self.shards[s].amps.lock();
-            for (i, amp) in amps.iter_mut().enumerate() {
-                if i & lo_mask == lo_mask {
-                    *amp = -*amp;
-                }
-            }
+            stripe::phase_flip(&mut amps, lo_mask);
         });
     }
 

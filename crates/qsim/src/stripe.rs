@@ -1,0 +1,318 @@
+//! Shard-local amplitude kernels.
+//!
+//! A sharded state vector stores the `2^n` amplitudes of an `n`-qubit
+//! register as `2^k` *contiguous* stripes: stripe `s` holds the amplitudes
+//! whose global basis-state index has top bits `s`, and the low
+//! `l = n - k` bits address within the stripe. Every per-stripe operation —
+//! within-stripe pair gates, the within-stripe half of a cross-stripe pair
+//! gate, diagonal phase passes, masked probability sums, and collapse
+//! passes — only needs the stripe slice plus its global base index
+//! `s << l`.
+//!
+//! These kernels are that per-stripe work, factored out of
+//! [`crate::sharded::ShardedState`] so that an execution engine which does
+//! *not* share an address space with the stripes — a process-separated
+//! shard worker receiving commands over a message channel — can run the
+//! identical arithmetic on its own stripe. The in-process lock-striped
+//! store calls the same functions under its stripe locks, so the two
+//! deployments cannot drift apart on kernel semantics.
+//!
+//! All pair kernels perform the same per-amplitude arithmetic as the dense
+//! kernels in [`crate::apply`] (same operations, same order), which is what
+//! keeps dense, lock-striped, and remote-sharded engines bit-identical on
+//! gate circuits.
+
+use crate::complex::{Complex, C_ZERO};
+use crate::measure::PauliTerm;
+
+/// Yields the amplitude-pair indices for iteration `i` of a pair loop over
+/// a register, where `bit` is the target-qubit bit: the `i`-th index with
+/// `bit` cleared, and its partner with `bit` set.
+#[inline(always)]
+pub fn pair_indices(i: usize, bit: usize) -> (usize, usize) {
+    let low = i & (bit - 1);
+    let high = (i & !(bit - 1)) << 1;
+    let i0 = high | low;
+    (i0, i0 | bit)
+}
+
+/// Applies `f` to every within-stripe amplitude pair `(i, i | tbit)` whose
+/// low member satisfies the within-stripe control mask `c_lo`. The target
+/// bit `tbit` must address within the stripe (`tbit < amps.len()`).
+pub fn pair_within(
+    amps: &mut [Complex],
+    c_lo: usize,
+    tbit: usize,
+    f: impl Fn(&mut Complex, &mut Complex),
+) {
+    let half = amps.len() / 2;
+    for i in 0..half {
+        let (i0, i1) = pair_indices(i, tbit);
+        if i0 & c_lo == c_lo {
+            let (lo, hi) = amps.split_at_mut(i1);
+            f(&mut lo[i0], &mut hi[0]);
+        }
+    }
+}
+
+/// Applies `f` to amplitude pairs spanning two stripes: `a` is the stripe
+/// whose shard index has the target bit clear, `b` its partner with the
+/// target bit set, and the pairs line up offset-for-offset. Offsets are
+/// filtered by the within-stripe control mask `c_lo`.
+pub fn pair_across(
+    a: &mut [Complex],
+    b: &mut [Complex],
+    c_lo: usize,
+    f: impl Fn(&mut Complex, &mut Complex),
+) {
+    debug_assert_eq!(a.len(), b.len(), "paired stripes must have equal length");
+    for i in 0..a.len() {
+        if i & c_lo == c_lo {
+            f(&mut a[i], &mut b[i]);
+        }
+    }
+}
+
+/// Diagonal phase pass (the CZ kernel): negates every amplitude whose
+/// within-stripe offset satisfies `lo_mask`. The caller is responsible for
+/// only running it on stripes whose shard index satisfies the high mask.
+pub fn phase_flip(amps: &mut [Complex], lo_mask: usize) {
+    for (i, amp) in amps.iter_mut().enumerate() {
+        if i & lo_mask == lo_mask {
+            *amp = -*amp;
+        }
+    }
+}
+
+/// Partial probability mass of the basis states in this stripe whose
+/// *global* index (stripe base ORed with the offset) matches `want` under
+/// `mask`. Summing the partials over all stripes gives the global mass.
+pub fn masked_norm(amps: &[Complex], base: usize, mask: usize, want: usize) -> f64 {
+    amps.iter()
+        .enumerate()
+        .filter(|(i, _)| (base | i) & mask == want)
+        .map(|(_, a)| a.norm_sqr())
+        .sum()
+}
+
+/// Collapse pass: zeroes every amplitude whose global index does *not*
+/// match `want` under `mask` and returns the kept probability mass of this
+/// stripe. The caller renormalizes once the global mass is known.
+pub fn collapse_keep(amps: &mut [Complex], base: usize, mask: usize, want: usize) -> f64 {
+    let mut kept = 0.0f64;
+    for (i, a) in amps.iter_mut().enumerate() {
+        if (base | i) & mask == want {
+            kept += a.norm_sqr();
+        } else {
+            *a = C_ZERO;
+        }
+    }
+    kept
+}
+
+/// Partial probability mass of odd `mask`-parity basis states in this
+/// stripe (joint Z-parity measurement, phase 1).
+pub fn parity_prob_odd(amps: &[Complex], base: usize, mask: usize) -> f64 {
+    amps.iter()
+        .enumerate()
+        .filter(|(i, _)| ((base | i) & mask).count_ones() % 2 == 1)
+        .map(|(_, a)| a.norm_sqr())
+        .sum()
+}
+
+/// Parity-collapse pass: keeps the `want_odd` parity subspace, zeroes the
+/// rest, returns the kept mass of this stripe (joint Z-parity, phase 2).
+pub fn collapse_parity(amps: &mut [Complex], base: usize, mask: usize, want_odd: bool) -> f64 {
+    let mut kept = 0.0f64;
+    for (i, a) in amps.iter_mut().enumerate() {
+        let odd = ((base | i) & mask).count_ones() % 2 == 1;
+        if odd == want_odd {
+            kept += a.norm_sqr();
+        } else {
+            *a = C_ZERO;
+        }
+    }
+    kept
+}
+
+/// Rescales every amplitude by the real factor (collapse renormalization,
+/// phase 3 — broadcast once the global kept mass is reduced).
+pub fn scale(amps: &mut [Complex], factor: f64) {
+    for a in amps.iter_mut() {
+        *a = a.scale(factor);
+    }
+}
+
+/// Expectation value `<psi| P |psi>` of a Pauli string over an `n`-qubit
+/// register, reading amplitudes through `at` (global basis index →
+/// amplitude). The accessor indirection lets the caller serve amplitudes
+/// from locked stripes, a gathered flat vector, or anything else.
+pub fn expectation_pauli(
+    n_qubits: usize,
+    at: impl Fn(usize) -> Complex,
+    terms: &[PauliTerm],
+) -> f64 {
+    use crate::gates::Pauli;
+    let mut x_mask = 0usize;
+    let mut z_mask = 0usize;
+    let mut y_count = 0u32;
+    for t in terms {
+        assert!(t.qubit < n_qubits, "qubit {} out of range", t.qubit);
+        match t.op {
+            Pauli::X => x_mask |= 1 << t.qubit,
+            Pauli::Z => z_mask |= 1 << t.qubit,
+            Pauli::Y => {
+                x_mask |= 1 << t.qubit;
+                z_mask |= 1 << t.qubit;
+                y_count += 1;
+            }
+        }
+    }
+    let i_pow = match y_count % 4 {
+        0 => Complex::real(1.0),
+        1 => crate::complex::C_I,
+        2 => Complex::real(-1.0),
+        _ => -crate::complex::C_I,
+    };
+    let mut acc = Complex::default();
+    for g in 0..(1usize << n_qubits) {
+        let a = at(g);
+        if a.is_negligible(1e-300) {
+            continue;
+        }
+        let sign = if (g & z_mask).count_ones() % 2 == 1 {
+            -1.0
+        } else {
+            1.0
+        };
+        acc += at(g ^ x_mask).conj() * a.scale(sign);
+    }
+    let val = i_pow * acc;
+    debug_assert!(
+        val.im.abs() < 1e-9,
+        "expectation of Hermitian operator must be real"
+    );
+    val.re
+}
+
+/// Removes qubit `target` from a dense amplitude vector, keeping the
+/// `outcome` branch; qubits above `target` shift down one position. Returns
+/// the halved vector plus the probability mass that was discarded — the
+/// caller asserts it is negligible (the qubit must already be collapsed)
+/// and renormalizes.
+pub fn remove_qubit_flat(flat: &[Complex], target: usize, outcome: bool) -> (Vec<Complex>, f64) {
+    let bit = 1usize << target;
+    let low_mask = bit - 1;
+    let keep = if outcome { bit } else { 0 };
+    let mut out = vec![C_ZERO; flat.len() / 2];
+    let mut dropped = 0.0f64;
+    for (i, &a) in flat.iter().enumerate() {
+        if i & bit == keep {
+            let j = (i & low_mask) | ((i >> 1) & !low_mask);
+            out[j] = a;
+        } else {
+            dropped += a.norm_sqr();
+        }
+    }
+    (out, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C_ONE;
+    use crate::gates::Gate;
+
+    fn uniform(n: usize) -> Vec<Complex> {
+        let len = 1usize << n;
+        vec![Complex::real(1.0 / (len as f64).sqrt()); len]
+    }
+
+    #[test]
+    fn pair_within_matches_dense_1q_kernel() {
+        // One 8-amplitude stripe; H on the low qubit via the stripe kernel
+        // vs the dense kernel must be bit-identical.
+        let mut dense = crate::state::State::zero(3);
+        crate::apply::apply_1q(&mut dense, 1, &Gate::H.matrix());
+        let mut amps = vec![C_ZERO; 8];
+        amps[0] = C_ONE;
+        let m = Gate::H.matrix();
+        pair_within(&mut amps, 0, 1 << 1, |a0, a1| {
+            let (x0, x1) = (*a0, *a1);
+            *a0 = m[0][0] * x0 + m[0][1] * x1;
+            *a1 = m[1][0] * x0 + m[1][1] * x1;
+        });
+        for (i, &a) in amps.iter().enumerate() {
+            assert_eq!(a, dense.amplitude(i), "amp[{i}]");
+        }
+    }
+
+    #[test]
+    fn pair_across_swaps_between_stripes() {
+        // 2 stripes of 2 amps = 2 qubits; X on the high qubit swaps the
+        // stripes offset-for-offset.
+        let mut a = vec![Complex::real(1.0), Complex::real(2.0)];
+        let mut b = vec![Complex::real(3.0), Complex::real(4.0)];
+        pair_across(&mut a, &mut b, 0, std::mem::swap);
+        assert_eq!(a, vec![Complex::real(3.0), Complex::real(4.0)]);
+        assert_eq!(b, vec![Complex::real(1.0), Complex::real(2.0)]);
+    }
+
+    #[test]
+    fn masked_norm_and_collapse_agree() {
+        let mut amps = uniform(3);
+        // Global indices 4..8 have bit 2 set; this stripe's base is 0.
+        let p = masked_norm(&amps, 0, 0b100, 0b100);
+        assert!((p - 0.5).abs() < 1e-12);
+        let kept = collapse_keep(&mut amps, 0, 0b100, 0b100);
+        assert!((kept - 0.5).abs() < 1e-12);
+        assert_eq!(amps[0], C_ZERO);
+        assert!(amps[4].norm_sqr() > 0.0);
+    }
+
+    #[test]
+    fn base_offsets_masked_queries() {
+        // The same stripe content at base 4 (= top bit set) now matches on
+        // the high bit for every offset.
+        let amps = uniform(2);
+        assert!((masked_norm(&amps, 4, 0b100, 0b100) - 1.0).abs() < 1e-12);
+        assert!(masked_norm(&amps, 4, 0b100, 0) < 1e-12);
+    }
+
+    #[test]
+    fn parity_kernels_split_mass() {
+        let mut amps = uniform(2);
+        let p_odd = parity_prob_odd(&amps, 0, 0b11);
+        assert!((p_odd - 0.5).abs() < 1e-12);
+        let kept = collapse_parity(&mut amps, 0, 0b11, false);
+        assert!((kept - 0.5).abs() < 1e-12);
+        assert_eq!(amps[0b01], C_ZERO);
+        assert_eq!(amps[0b10], C_ZERO);
+        scale(&mut amps, 1.0 / kept.sqrt());
+        let total: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_qubit_flat_drops_collapsed_branch() {
+        // |10>: removing qubit 0 (value 0) keeps qubit 1's |1>.
+        let mut flat = vec![C_ZERO; 4];
+        flat[0b10] = C_ONE;
+        let (out, dropped) = remove_qubit_flat(&flat, 0, false);
+        assert!(dropped < 1e-12);
+        assert_eq!(out, vec![C_ZERO, C_ONE]);
+    }
+
+    #[test]
+    fn expectation_via_accessor_matches_known_values() {
+        use crate::gates::Pauli;
+        // Bell pair: <ZZ> = +1, <XX> = +1.
+        let s = 1.0 / 2.0f64.sqrt();
+        let flat = [Complex::real(s), C_ZERO, C_ZERO, Complex::real(s)];
+        let term = |q: usize, op: Pauli| PauliTerm { qubit: q, op };
+        let zz = expectation_pauli(2, |g| flat[g], &[term(0, Pauli::Z), term(1, Pauli::Z)]);
+        let xx = expectation_pauli(2, |g| flat[g], &[term(0, Pauli::X), term(1, Pauli::X)]);
+        assert!((zz - 1.0).abs() < 1e-12);
+        assert!((xx - 1.0).abs() < 1e-12);
+    }
+}

@@ -8,8 +8,9 @@
 //! engine can reach.
 //!
 //! CI runs this suite once per [`BackendKind`] via the `QMPI_TEST_BACKEND`
-//! environment variable (`statevector`, `stabilizer`, `trace`, `sharded`;
-//! `QMPI_TEST_SHARDS` overrides the stripe count, default 8), so a
+//! environment variable (`statevector`, `stabilizer`, `trace`, `sharded`,
+//! `remote`; `QMPI_TEST_SHARDS` overrides the stripe/worker count — default
+//! 8 for the lock-striped engine, 4 for the process-separated one), so a
 //! regression in one engine cannot hide behind another engine's pass.
 //! Without the variable, every backend runs in-process.
 
@@ -19,18 +20,21 @@ use qsim::Pauli;
 /// The backend selected by `QMPI_TEST_BACKEND`, if any.
 fn env_kind() -> Option<BackendKind> {
     let v = std::env::var("QMPI_TEST_BACKEND").ok()?;
-    let shards = std::env::var("QMPI_TEST_SHARDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let shards = |default: usize| {
+        std::env::var("QMPI_TEST_SHARDS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
     Some(match v.to_lowercase().replace('_', "-").as_str() {
         "statevector" | "state-vector" => BackendKind::StateVector,
         "stabilizer" => BackendKind::Stabilizer,
         "trace" => BackendKind::Trace,
-        "sharded" | "sharded-state-vector" => BackendKind::ShardedStateVector { shards },
+        "sharded" | "sharded-state-vector" => BackendKind::ShardedStateVector { shards: shards(8) },
+        "remote" | "remote-sharded" => BackendKind::RemoteSharded { shards: shards(4) },
         other => panic!(
             "unknown QMPI_TEST_BACKEND '{other}' \
-             (expected statevector|stabilizer|trace|sharded)"
+             (expected statevector|stabilizer|trace|sharded|remote)"
         ),
     })
 }
@@ -43,6 +47,7 @@ fn selected_kinds() -> Vec<BackendKind> {
             BackendKind::StateVector,
             BackendKind::Stabilizer,
             BackendKind::ShardedStateVector { shards: 8 },
+            BackendKind::RemoteSharded { shards: 4 },
             BackendKind::Trace,
         ],
     }
@@ -273,6 +278,36 @@ fn sharded_runs_cat_broadcast_with_batched_establishment() {
         None => BackendKind::ShardedStateVector { shards: 8 },
     };
     let out = run_with_config(8, cfg(kind, 13), |ctx| {
+        let share = ctx.cat_establish().unwrap();
+        ctx.barrier();
+        let m = ctx.measure(&share).unwrap();
+        ctx.measure_and_free(share).unwrap();
+        let share = ctx.cat_establish().unwrap();
+        let disband_ok = ctx.cat_disband(share).is_ok();
+        (m, disband_ok)
+    });
+    assert!(
+        out.iter().all(|&(m, _)| m == out[0].0),
+        "GHZ shares must agree"
+    );
+    assert!(out.iter().all(|&(_, ok)| ok), "disband check must pass");
+}
+
+/// The process-separated engine runs the full cat-state protocol
+/// (establish, agree, disband) at 4 ranks: every amplitude lives in a shard
+/// worker and every gate, EPR establishment, and measurement crosses the
+/// shard boundary as `cmpi` messages. A hung worker would trip the
+/// engine's deadlock watchdog rather than stall this test forever.
+#[test]
+fn remote_runs_cat_broadcast_over_message_passing_shards() {
+    // Match on the variant so QMPI_TEST_SHARDS changes the worker count
+    // instead of silently skipping the test.
+    let kind = match env_kind() {
+        Some(k @ BackendKind::RemoteSharded { .. }) => k,
+        Some(_) => return,
+        None => BackendKind::RemoteSharded { shards: 4 },
+    };
+    let out = run_with_config(4, cfg(kind, 17), |ctx| {
         let share = ctx.cat_establish().unwrap();
         ctx.barrier();
         let m = ctx.measure(&share).unwrap();

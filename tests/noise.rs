@@ -16,12 +16,13 @@ use qmpi::{
 };
 use qsim::Gate;
 
-fn all_kinds() -> [BackendKind; 4] {
+fn all_kinds() -> [BackendKind; 5] {
     [
         BackendKind::StateVector,
         BackendKind::Stabilizer,
         BackendKind::Trace,
         BackendKind::ShardedStateVector { shards: 4 },
+        BackendKind::RemoteSharded { shards: 2 },
     ]
 }
 
