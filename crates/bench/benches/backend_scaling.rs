@@ -230,9 +230,67 @@ fn bench_remote_gates(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batching acceptance workload: the identical 4-rank × 8-qubit gate
+/// storm on the sharded and remote engines, batched (gates record into the
+/// per-rank `GateBatch`, one flush per round) vs per-gate (QMPI_BATCH-off
+/// semantics via `.batching(false)`). On the remote engine the gap is one
+/// framed command round per *batch* against one per *gate*; on the
+/// lock-striped engine it is one locality-lock acquisition per batch
+/// against one per gate.
+fn bench_batched_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend/batched_gates");
+    group.sample_size(10);
+    let ranks = 4usize;
+    let qubits_per_rank = 2usize;
+    let gates_per_rank = if quick() { 8 } else { 24 };
+    for kind in [
+        BackendKind::ShardedStateVector { shards: 4 },
+        BackendKind::RemoteSharded { shards: 4 },
+    ] {
+        for batching in [true, false] {
+            let mode = if batching { "batched" } else { "per-gate" };
+            let label = format!("{}-{mode}", kind.name());
+            let id = format!("{}q_{}r", ranks * qubits_per_rank, ranks);
+            group.bench_with_input(BenchmarkId::new(label, id), &ranks, |b, &n| {
+                b.iter(|| {
+                    run_with_config(n, cfg(kind).batching(batching), move |ctx| {
+                        let qs = ctx.alloc_qmem(qubits_per_rank);
+                        ctx.barrier();
+                        for i in 0..gates_per_rank {
+                            let q = &qs[i % qubits_per_rank];
+                            ctx.ry(q, 0.1 + i as f64 * 0.01).unwrap();
+                            ctx.cnot(&qs[0], &qs[1]).unwrap();
+                            ctx.swap(&qs[0], &qs[1]).unwrap();
+                            ctx.cz(&qs[0], &qs[1]).unwrap();
+                            ctx.rz(q, -0.05).unwrap();
+                        }
+                        // One flush per storm direction: the batched mode
+                        // pays its backend round here, the per-gate mode
+                        // already paid per call.
+                        ctx.flush().unwrap();
+                        for i in (0..gates_per_rank).rev() {
+                            let q = &qs[i % qubits_per_rank];
+                            ctx.rz(q, 0.05).unwrap();
+                            ctx.cz(&qs[0], &qs[1]).unwrap();
+                            ctx.swap(&qs[0], &qs[1]).unwrap();
+                            ctx.cnot(&qs[0], &qs[1]).unwrap();
+                            ctx.ry(q, -(0.1 + i as f64 * 0.01)).unwrap();
+                        }
+                        ctx.barrier();
+                        for q in qs {
+                            ctx.free_qmem(q).unwrap();
+                        }
+                    })
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_local_gates, bench_remote_gates, bench_cat_broadcast, bench_teleport_chain, bench_parity_reduce
+    targets = bench_local_gates, bench_remote_gates, bench_batched_gates, bench_cat_broadcast, bench_teleport_chain, bench_parity_reduce
 }
 criterion_main!(benches);

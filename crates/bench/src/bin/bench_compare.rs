@@ -89,21 +89,37 @@ struct Row {
     status: &'static str,
 }
 
+/// Dispatch-mode label for a benchmark id: batched-gate-stream entries
+/// (the `backend/batched_gates` suite) are tagged so the summary table
+/// shows at a glance which rows measure the batched path vs its per-gate
+/// control.
+fn mode_label(name: &str) -> &'static str {
+    // Match the per-entry suffix, not the `batched_gates` group segment.
+    if name.contains("per-gate") {
+        "per-gate"
+    } else if name.contains("-batched") {
+        "batched"
+    } else {
+        ""
+    }
+}
+
 /// Renders the comparison as the markdown table appended to the GitHub
 /// Actions step summary.
 fn markdown_table(rows: &[Row], threshold_pct: f64, regressions: usize) -> String {
     let fmt_opt = |v: Option<u128>| v.map(format_ns).unwrap_or_else(|| "—".into());
     let mut md = String::from("## Bench comparison\n\n");
-    md.push_str("| benchmark | baseline | current | delta | status |\n");
-    md.push_str("|---|---:|---:|---:|---|\n");
+    md.push_str("| benchmark | mode | baseline | current | delta | status |\n");
+    md.push_str("|---|---|---:|---:|---:|---|\n");
     for r in rows {
         let delta = r
             .delta_pct
             .map(|d| format!("{d:+.1}%"))
             .unwrap_or_else(|| "—".into());
         md.push_str(&format!(
-            "| `{}` | {} | {} | {} | {} |\n",
+            "| `{}` | {} | {} | {} | {} | {} |\n",
             r.name,
+            mode_label(&r.name),
             fmt_opt(r.baseline),
             fmt_opt(r.current),
             delta,
@@ -303,10 +319,38 @@ mod tests {
         ];
         let md = markdown_table(&rows, 75.0, 1);
         assert!(md.starts_with("## Bench comparison"));
-        assert!(md.contains("| benchmark | baseline | current | delta | status |"));
-        assert!(md.contains("| `backend/remote_gates/remote-sharded/8q_4r` | 2.000 ms | 4.000 ms | +100.0% | REGRESSION |"));
-        assert!(md.contains("| `backend/cat_bcast/trace/8` | — | 60 ns | — | new |"));
-        assert!(md.contains("| `backend/gone_bench` | 10 ns | — | — | gone |"));
+        assert!(md.contains("| benchmark | mode | baseline | current | delta | status |"));
+        assert!(md.contains("| `backend/remote_gates/remote-sharded/8q_4r` |  | 2.000 ms | 4.000 ms | +100.0% | REGRESSION |"));
+        assert!(md.contains("| `backend/cat_bcast/trace/8` |  | — | 60 ns | — | new |"));
+        assert!(md.contains("| `backend/gone_bench` |  | 10 ns | — | — | gone |"));
         assert!(md.contains("1 benchmark(s) regressed beyond the 75% gate."));
+    }
+
+    #[test]
+    fn markdown_table_labels_batched_entries() {
+        let rows = vec![
+            Row {
+                name: "backend/batched_gates/remote-sharded-batched/8q_4r".into(),
+                baseline: Some(1_000_000),
+                current: Some(900_000),
+                delta_pct: Some(-10.0),
+                status: "ok",
+            },
+            Row {
+                name: "backend/batched_gates/remote-sharded-per-gate/8q_4r".into(),
+                baseline: Some(2_000_000),
+                current: Some(2_100_000),
+                delta_pct: Some(5.0),
+                status: "ok",
+            },
+        ];
+        let md = markdown_table(&rows, 75.0, 0);
+        assert!(md.contains(
+            "| `backend/batched_gates/remote-sharded-batched/8q_4r` | batched | 1.000 ms |"
+        ));
+        assert!(md.contains(
+            "| `backend/batched_gates/remote-sharded-per-gate/8q_4r` | per-gate | 2.000 ms |"
+        ));
+        assert_eq!(mode_label("backend/local_gates/state-vector/16q_8r"), "");
     }
 }

@@ -59,7 +59,7 @@ pub mod trace;
 use crate::error::{QmpiError, Result};
 use parking_lot::Mutex;
 use qsim::noise::NoiseModel;
-use qsim::{Gate, Pauli, QubitId, State};
+use qsim::{BatchOp, Gate, GateBatch, Pauli, QubitId, State};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -106,6 +106,59 @@ pub enum BackendKind {
 }
 
 impl BackendKind {
+    /// The shard/stripe count this kind will actually run with, after the
+    /// rounding and clamping its engine constructor applies (`[1, 256]`
+    /// stripes for the lock-striped engine, `[1, 64]` worker ranks for the
+    /// process-separated one). `None` for the unsharded kinds.
+    pub fn effective_shards(self) -> Option<usize> {
+        // One normalization rule, shared with the engine constructors
+        // (`ShardedState::new`, `RemoteShardedEngine::with_noise`), so the
+        // clamp warning cannot drift from what the engines actually run.
+        match self {
+            BackendKind::ShardedStateVector { shards } => Some(qsim::sharded::normalize_shards(
+                shards,
+                qsim::sharded::MAX_SHARD_BITS,
+            )),
+            BackendKind::RemoteSharded { shards } => Some(qsim::sharded::normalize_shards(
+                shards,
+                remote::MAX_REMOTE_SHARD_BITS,
+            )),
+            _ => None,
+        }
+    }
+
+    /// A human-readable warning when the configured shard count will not be
+    /// honored as written (clamped to the engine's supported range or
+    /// rounded to a power of two), `None` when the count is taken as-is.
+    /// [`BackendKind::build_with_noise`] logs this to stderr so a request
+    /// for, say, 128 remote workers visibly becomes 64 instead of silently
+    /// shrinking.
+    pub fn shard_clamp_warning(self) -> Option<String> {
+        let effective = self.effective_shards()?;
+        let requested = match self {
+            BackendKind::ShardedStateVector { shards } | BackendKind::RemoteSharded { shards } => {
+                shards
+            }
+            _ => return None,
+        };
+        if requested == effective {
+            return None;
+        }
+        let cap = match self {
+            BackendKind::RemoteSharded { .. } => 1usize << remote::MAX_REMOTE_SHARD_BITS,
+            _ => 1usize << qsim::sharded::MAX_SHARD_BITS,
+        };
+        let what = if requested == 0 || requested > cap {
+            format!("clamped to the supported range [1, {cap}]")
+        } else {
+            "rounded up to a power of two".to_string()
+        };
+        Some(format!(
+            "{} backend: requested {requested} shard(s) {what}; running with {effective}",
+            self.name()
+        ))
+    }
+
     /// The sharded state-vector backend with one stripe per available
     /// hardware thread (capped at 8) — a sensible default shard count.
     pub fn sharded_auto() -> BackendKind {
@@ -147,6 +200,9 @@ impl BackendKind {
                  (depolarizing/dephasing); amplitude damping needs a state-vector backend"
                     .into(),
             ));
+        }
+        if let Some(warning) = self.shard_clamp_warning() {
+            eprintln!("warning: {warning}");
         }
         Ok(match self {
             BackendKind::StateVector => {
@@ -249,6 +305,32 @@ pub trait SimEngine: Send {
     /// SWAP.
     fn swap(&mut self, a: QubitId, b: QubitId) -> std::result::Result<(), qsim::SimError>;
 
+    /// Applies a whole recorded gate stream in program order. The default
+    /// implementation loops the per-gate entry points — correct for every
+    /// engine, since a [`GateBatch`] is by construction equivalent to its
+    /// eager expansion. Engines for which batch application is materially
+    /// cheaper (the process-separated engine collapses one message round
+    /// per gate into one round per batch; the trace engine skips per-op
+    /// dynamic dispatch) specialize it. On error, the operations preceding
+    /// the failing one have been applied — the same partial-application
+    /// semantics as issuing the gates eagerly.
+    fn apply_batch(&mut self, batch: &GateBatch) -> std::result::Result<(), qsim::SimError> {
+        for op in batch.ops() {
+            match op {
+                BatchOp::Gate { gate, q } => self.apply(*gate, *q)?,
+                BatchOp::Controlled {
+                    controls,
+                    gate,
+                    target,
+                } => self.apply_controlled(controls, *gate, *target)?,
+                BatchOp::Cnot { c, t } => self.cnot(*c, *t)?,
+                BatchOp::Cz { a, b } => self.cz(*a, *b)?,
+                BatchOp::Swap { a, b } => self.swap(*a, *b)?,
+            }
+        }
+        Ok(())
+    }
+
     /// Projective Z measurement.
     fn measure(&mut self, q: QubitId) -> std::result::Result<bool, qsim::SimError>;
 
@@ -335,6 +417,35 @@ pub trait QuantumBackend: Send + Sync {
         gate: Gate,
         target: QubitId,
     ) -> Result<()>;
+
+    /// Applies a whole recorded gate stream owned by `rank` in one backend
+    /// acquisition. Per-rank gate calls accumulate into a
+    /// [`qsim::GateBatch`] and flush through here, so the wrapper's
+    /// locality lock is taken once per *batch* instead of once per gate —
+    /// and the engine underneath sees the stream as one unit (one framed
+    /// message round per worker on the process-separated engine).
+    ///
+    /// Every qubit in the batch is ownership-checked against `rank`
+    /// *before* anything applies; an engine-level failure partway through
+    /// leaves the preceding operations applied, exactly like issuing the
+    /// gates eagerly. The default implementation loops the per-gate
+    /// methods; both wrappers override it with a single acquisition.
+    fn apply_batch(&self, rank: usize, batch: &GateBatch) -> Result<()> {
+        for op in batch.ops() {
+            match op {
+                BatchOp::Gate { gate, q } => self.apply(rank, *gate, *q)?,
+                BatchOp::Controlled {
+                    controls,
+                    gate,
+                    target,
+                } => self.apply_controlled(rank, controls, *gate, *target)?,
+                BatchOp::Cnot { c, t } => self.cnot(rank, *c, *t)?,
+                BatchOp::Cz { a, b } => self.cz(rank, *a, *b)?,
+                BatchOp::Swap { a, b } => self.swap(rank, *a, *b)?,
+            }
+        }
+        Ok(())
+    }
 
     /// Measures a qubit (projective, qubit survives).
     fn measure(&self, rank: usize, q: QubitId) -> Result<bool>;
@@ -437,6 +548,26 @@ impl<E> Inner<E> {
 
     pub(crate) fn owner_of(&self, q: QubitId) -> Option<usize> {
         self.owner.get(&q).copied()
+    }
+
+    /// Ownership-checks every qubit a batch touches — the once-per-batch
+    /// analogue of the per-gate checks, shared by both locality wrappers.
+    pub(crate) fn check_batch(&self, rank: usize, batch: &GateBatch) -> Result<()> {
+        for op in batch.ops() {
+            // Allocation-free qubit sweep: this runs under the backend
+            // lock on every flush, so no per-op `Vec`s.
+            let mut failed = None;
+            op.for_each_qubit(|q| {
+                if failed.is_none() {
+                    failed = self.check_owner(rank, q).err();
+                }
+            });
+            if let Some(e) = failed {
+                return Err(e);
+            }
+            op.validate().map_err(QmpiError::Sim)?;
+        }
+        Ok(())
     }
 }
 
@@ -641,6 +772,14 @@ impl<E: SimEngine> QuantumBackend for Shared<E> {
         Ok(())
     }
 
+    fn apply_batch(&self, rank: usize, batch: &GateBatch) -> Result<()> {
+        // One acquisition for the whole gate stream.
+        let mut g = self.inner.lock();
+        g.check_batch(rank, batch)?;
+        g.engine.apply_batch(batch)?;
+        Ok(())
+    }
+
     fn measure(&self, rank: usize, q: QubitId) -> Result<bool> {
         self.inner.lock().measure(rank, q)
     }
@@ -832,6 +971,110 @@ mod tests {
                 b.expectation(DIAG_RANK, &[(q0, Pauli::Z), (q1, Pauli::Z)])
                     .is_ok(),
                 "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_clamp_warning_fires_only_when_the_count_changes() {
+        // In-range powers of two pass silently.
+        assert_eq!(
+            BackendKind::RemoteSharded { shards: 4 }.shard_clamp_warning(),
+            None
+        );
+        assert_eq!(
+            BackendKind::ShardedStateVector { shards: 8 }.shard_clamp_warning(),
+            None
+        );
+        assert_eq!(BackendKind::StateVector.shard_clamp_warning(), None);
+        // Over the remote cap: clamped to 64 with a visible message.
+        let w = BackendKind::RemoteSharded { shards: 128 }
+            .shard_clamp_warning()
+            .expect("128 remote shards must warn");
+        assert!(
+            w.contains("128") && w.contains("64") && w.contains("clamped"),
+            "{w}"
+        );
+        assert_eq!(
+            BackendKind::RemoteSharded { shards: 128 }.effective_shards(),
+            Some(64)
+        );
+        // Zero: clamped up to 1.
+        assert!(BackendKind::RemoteSharded { shards: 0 }
+            .shard_clamp_warning()
+            .is_some());
+        // Non-power-of-two inside the range: rounded, different message.
+        let w = BackendKind::ShardedStateVector { shards: 6 }
+            .shard_clamp_warning()
+            .expect("6 stripes round to 8");
+        assert!(w.contains("rounded") && w.contains('8'), "{w}");
+        // Over the lock-striped cap too.
+        assert_eq!(
+            BackendKind::ShardedStateVector { shards: 1000 }.effective_shards(),
+            Some(256)
+        );
+    }
+
+    #[test]
+    fn apply_batch_checks_ownership_before_applying_anything() {
+        for kind in all_kinds() {
+            let b = kind.build(2);
+            let mine = b.alloc(0, 2);
+            let theirs = b.alloc(1, 1)[0];
+            let mut batch = GateBatch::new();
+            batch.push(BatchOp::Gate {
+                gate: Gate::H,
+                q: mine[0],
+            });
+            batch.push(BatchOp::Cnot {
+                c: mine[0],
+                t: theirs,
+            });
+            let before = b.gate_count();
+            assert!(
+                matches!(b.apply_batch(0, &batch), Err(QmpiError::Locality { .. })),
+                "{kind}: cross-rank op inside a batch must be rejected"
+            );
+            assert_eq!(
+                b.gate_count(),
+                before,
+                "{kind}: rejected batch must not partially apply"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_batch_equals_eager_application() {
+        let eager = BackendKind::StateVector.build(5);
+        let batched = BackendKind::StateVector.build(5);
+        let eq = eager.alloc(0, 3);
+        let bq = batched.alloc(0, 3);
+        eager.apply(0, Gate::H, eq[0]).unwrap();
+        eager.cnot(0, eq[0], eq[1]).unwrap();
+        eager.apply(0, Gate::T, eq[2]).unwrap();
+        eager.swap(0, eq[1], eq[2]).unwrap();
+        eager.cz(0, eq[0], eq[2]).unwrap();
+        let mut batch = GateBatch::new();
+        batch.push(BatchOp::Gate {
+            gate: Gate::H,
+            q: bq[0],
+        });
+        batch.push(BatchOp::Cnot { c: bq[0], t: bq[1] });
+        batch.push(BatchOp::Gate {
+            gate: Gate::T,
+            q: bq[2],
+        });
+        batch.push(BatchOp::Swap { a: bq[1], b: bq[2] });
+        batch.push(BatchOp::Cz { a: bq[0], b: bq[2] });
+        batched.apply_batch(0, &batch).unwrap();
+        assert_eq!(batched.gate_count(), eager.gate_count());
+        let want = eager.state_vector(&eq).unwrap();
+        let got = batched.state_vector(&bq).unwrap();
+        for i in 0..want.len() {
+            let (w, g) = (want.amplitude(i), got.amplitude(i));
+            assert!(
+                w.re.to_bits() == g.re.to_bits() && w.im.to_bits() == g.im.to_bits(),
+                "amp[{i}]: {w:?} vs {g:?}"
             );
         }
     }

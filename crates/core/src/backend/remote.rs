@@ -28,20 +28,40 @@
 //! single consistent history — the property the in-process engine gets from
 //! its axis lock — without any shared memory.
 //!
-//! * **Within-shard gates** broadcast a [`ShardCmd::PairWithin`] to each
-//!   participating shard; workers run the identical
-//!   [`qsim::stripe`] kernels the lock-striped store uses, in parallel.
+//! * **Gate streams** are *planned*: the controller decomposes each gate
+//!   into per-stripe moves ([`WorkerOp`]) and ships every worker its share
+//!   of the whole stream as ONE framed [`ShardCmd::Batch`] message — one
+//!   command round per batch instead of one per gate, which is the QMPI
+//!   paper's aggregation argument applied to the simulator's own
+//!   transport. The eager (unbatched) path ships single-op frames through
+//!   the identical planner, so the two paths execute the same kernels in
+//!   the same order and stay bit-identical per seed.
+//! * **Within-shard gates** become [`WorkerOp::PairWithin`] entries;
+//!   workers run the identical [`qsim::stripe`] kernels the lock-striped
+//!   store uses, in parallel.
 //! * **Cross-shard gates** pair shard `s0` with `s0 | tbit`: the high
-//!   member ships its stripe to the low member ([`ShardCmd::PairCrossHigh`]
-//!   / [`ShardCmd::PairCrossLow`]), which zips the pair kernel across both
-//!   stripes and ships the updated half back.
+//!   member ships its stripe to the low member ([`WorkerOp::CrossHigh`] /
+//!   [`WorkerOp::CrossLow`]), which zips the pair kernel across both
+//!   stripes and ships the updated half back. Every worker walks its
+//!   batch frame in the same global gate order, so exchanges inside a
+//!   batch pair up deadlock-free.
+//! * **SWAP** is a dedicated one-round stripe exchange
+//!   ([`WorkerOp::SwapWithin`] / [`WorkerOp::SwapCrossLow`] /
+//!   [`WorkerOp::SwapFull`]): a pure amplitude permutation costing at most
+//!   one exchange per shard pair, where the previous three-CNOT
+//!   realization paid three (6 cross-shard stripe transfers).
 //! * **Measurement** is a reduction: a probability query fans out, partial
 //!   masses come back, the controller samples, and a collapse + rescale
 //!   round trip finishes the projection.
+//! * **Expectation values** are gather-free: [`ShardCmd::Expect`] pairs
+//!   each shard with its `x_mask`-partner ([`ExpectRole`]), the partners
+//!   exchange stripes worker↔worker, and only complex partial sums flow
+//!   to the controller — never the amplitude vector.
 //! * **Noise** is sampled on the controller (same seeded
 //!   [`qsim::noise::NoiseState`] stream as the dense engine, so single-
 //!   threaded trajectories are identical) and injected as uncounted
-//!   single-qubit gate commands.
+//!   single-qubit gate commands — planned into the same batch frame as
+//!   the gates they ride on, in eager draw order.
 //! * **Structural operations** (allocate/free qubits, snapshots) gather the
 //!   stripes, rebuild, and scatter — the message-passing analogue of the
 //!   in-process store's flatten/rebuild.
@@ -234,6 +254,202 @@ impl Decode for PairKernel {
     }
 }
 
+/// One gate-stream operation inside a [`ShardCmd::Batch`] frame. These are
+/// the per-stripe moves a unitary gate decomposes into once the shard
+/// layout is known; the controller plans a whole [`qsim::GateBatch`] into
+/// one `Vec<WorkerOp>` per participating worker, so N gates cost one
+/// framed command message per worker instead of N.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkerOp {
+    /// Apply a pair kernel to within-stripe pairs.
+    PairWithin {
+        /// Within-stripe control mask.
+        c_lo: usize,
+        /// Target bit (within-stripe).
+        tbit: usize,
+        /// Kernel to apply.
+        kernel: PairKernel,
+    },
+    /// Cross-shard pairing, low member: await the partner's stripe on
+    /// `TAG_XCHG`, zip the kernel across both, ship the partner's half back.
+    CrossLow {
+        /// World rank of the high partner.
+        partner: usize,
+        /// Within-stripe control mask.
+        c_lo: usize,
+        /// Kernel to apply.
+        kernel: PairKernel,
+    },
+    /// Cross-shard pairing, high member: ship the stripe to the low
+    /// partner, await the updated amplitudes. (Shared by the pair-gate and
+    /// mixed-SWAP exchanges — the high side's role is identical.)
+    CrossHigh {
+        /// World rank of the low partner.
+        partner: usize,
+    },
+    /// Diagonal phase pass (CZ): negate amplitudes matching the mask.
+    Phase {
+        /// Within-stripe mask selecting negated amplitudes.
+        lo_mask: usize,
+    },
+    /// One-pass SWAP of two within-stripe qubits.
+    SwapWithin {
+        /// Bit of the first qubit (within-stripe).
+        abit: usize,
+        /// Bit of the second qubit (within-stripe).
+        bbit: usize,
+    },
+    /// Mixed SWAP (one qubit within-stripe, one shard-selecting), low
+    /// member: await the partner's stripe, run
+    /// [`stripe::swap_across_mixed`], ship the partner's half back. One
+    /// exchange round instead of the three CNOT passes (6 transfers) of
+    /// the naive realization.
+    SwapCrossLow {
+        /// World rank of the high partner.
+        partner: usize,
+        /// Within-stripe bit of the local qubit.
+        abit: usize,
+    },
+    /// Shard-selecting SWAP of two high qubits: trade entire stripes with
+    /// the partner, offset-for-offset. Both members execute this op (sends
+    /// are buffered, so both send first and then receive).
+    SwapFull {
+        /// World rank of the partner shard.
+        partner: usize,
+    },
+}
+
+impl Encode for WorkerOp {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            WorkerOp::PairWithin { c_lo, tbit, kernel } => {
+                0u8.encode(buf);
+                c_lo.encode(buf);
+                tbit.encode(buf);
+                kernel.encode(buf);
+            }
+            WorkerOp::CrossLow {
+                partner,
+                c_lo,
+                kernel,
+            } => {
+                1u8.encode(buf);
+                partner.encode(buf);
+                c_lo.encode(buf);
+                kernel.encode(buf);
+            }
+            WorkerOp::CrossHigh { partner } => {
+                2u8.encode(buf);
+                partner.encode(buf);
+            }
+            WorkerOp::Phase { lo_mask } => {
+                3u8.encode(buf);
+                lo_mask.encode(buf);
+            }
+            WorkerOp::SwapWithin { abit, bbit } => {
+                4u8.encode(buf);
+                abit.encode(buf);
+                bbit.encode(buf);
+            }
+            WorkerOp::SwapCrossLow { partner, abit } => {
+                5u8.encode(buf);
+                partner.encode(buf);
+                abit.encode(buf);
+            }
+            WorkerOp::SwapFull { partner } => {
+                6u8.encode(buf);
+                partner.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for WorkerOp {
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(match u8::decode(buf)? {
+            0 => WorkerOp::PairWithin {
+                c_lo: usize::decode(buf)?,
+                tbit: usize::decode(buf)?,
+                kernel: PairKernel::decode(buf)?,
+            },
+            1 => WorkerOp::CrossLow {
+                partner: usize::decode(buf)?,
+                c_lo: usize::decode(buf)?,
+                kernel: PairKernel::decode(buf)?,
+            },
+            2 => WorkerOp::CrossHigh {
+                partner: usize::decode(buf)?,
+            },
+            3 => WorkerOp::Phase {
+                lo_mask: usize::decode(buf)?,
+            },
+            4 => WorkerOp::SwapWithin {
+                abit: usize::decode(buf)?,
+                bbit: usize::decode(buf)?,
+            },
+            5 => WorkerOp::SwapCrossLow {
+                partner: usize::decode(buf)?,
+                abit: usize::decode(buf)?,
+            },
+            6 => WorkerOp::SwapFull {
+                partner: usize::decode(buf)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// Which role a worker plays in a distributed (gather-free) Pauli
+/// expectation evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExpectRole {
+    /// No shard-crossing X mask: evaluate over the local stripe alone.
+    Solo,
+    /// Paired evaluation, low shard index: receive the partner's stripe,
+    /// accumulate both stripes' contributions, reply with the partial.
+    Low {
+        /// World rank of the high partner.
+        partner: usize,
+    },
+    /// Paired evaluation, high shard index: ship the stripe to the low
+    /// partner; no reply (the low member reports for both).
+    High {
+        /// World rank of the low partner.
+        partner: usize,
+    },
+}
+
+impl Encode for ExpectRole {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ExpectRole::Solo => 0u8.encode(buf),
+            ExpectRole::Low { partner } => {
+                1u8.encode(buf);
+                partner.encode(buf);
+            }
+            ExpectRole::High { partner } => {
+                2u8.encode(buf);
+                partner.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for ExpectRole {
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(match u8::decode(buf)? {
+            0 => ExpectRole::Solo,
+            1 => ExpectRole::Low {
+                partner: usize::decode(buf)?,
+            },
+            2 => ExpectRole::High {
+                partner: usize::decode(buf)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
 /// One command from the controller to a shard worker. See the module docs
 /// for the protocol each variant participates in.
 #[derive(Clone, Debug, PartialEq)]
@@ -250,35 +466,27 @@ pub enum ShardCmd {
     },
     /// Reply with the current stripe ([`ShardReply::Amps`]).
     Gather,
-    /// Apply a pair kernel to within-stripe pairs.
-    PairWithin {
-        /// Within-stripe control mask.
-        c_lo: usize,
-        /// Target bit (within-stripe).
-        tbit: usize,
-        /// Kernel to apply.
-        kernel: PairKernel,
+    /// A framed gate stream: execute the ops front to back. This is the
+    /// whole point of the batched path — one command message carries every
+    /// move this worker performs for an entire [`qsim::GateBatch`].
+    Batch {
+        /// The worker's share of the planned gate stream, in global gate
+        /// order.
+        ops: Vec<WorkerOp>,
     },
-    /// Cross-shard pairing, low member: await the partner's stripe on
-    /// `TAG_XCHG`, zip the kernel across both, ship the partner's half back.
-    PairCrossLow {
-        /// World rank of the high partner.
-        partner: usize,
-        /// Within-stripe control mask.
-        c_lo: usize,
-        /// Kernel to apply.
-        kernel: PairKernel,
-    },
-    /// Cross-shard pairing, high member: ship the stripe to the low
-    /// partner, await the updated amplitudes.
-    PairCrossHigh {
-        /// World rank of the low partner.
-        partner: usize,
-    },
-    /// Diagonal phase pass (CZ): negate amplitudes matching the mask.
-    Phase {
-        /// Within-stripe mask selecting negated amplitudes.
-        lo_mask: usize,
+    /// Distributed Pauli expectation: accumulate this stripe's
+    /// contribution (see [`ExpectRole`] for the pairing protocol) against
+    /// the global X/Z masks. Replies [`ShardReply::PartialC`] (except for
+    /// the `High` role, which only ships its stripe to its partner).
+    Expect {
+        /// Within-stripe X mask (bit positions `< local_bits`).
+        x_lo: usize,
+        /// Shard-selecting X mask in *global* bit positions.
+        x_hi: usize,
+        /// Global Z mask.
+        z_mask: usize,
+        /// This worker's role in the evaluation.
+        role: ExpectRole,
     },
     /// Reply with the stripe's probability mass where the global index
     /// matches `want` under `mask` ([`ShardReply::Partial`]).
@@ -334,55 +542,47 @@ impl Encode for ShardCmd {
                 encode_amps(amps, buf);
             }
             ShardCmd::Gather => 1u8.encode(buf),
-            ShardCmd::PairWithin { c_lo, tbit, kernel } => {
+            ShardCmd::Batch { ops } => {
                 2u8.encode(buf);
-                c_lo.encode(buf);
-                tbit.encode(buf);
-                kernel.encode(buf);
+                ops.encode(buf);
             }
-            ShardCmd::PairCrossLow {
-                partner,
-                c_lo,
-                kernel,
+            ShardCmd::Expect {
+                x_lo,
+                x_hi,
+                z_mask,
+                role,
             } => {
                 3u8.encode(buf);
-                partner.encode(buf);
-                c_lo.encode(buf);
-                kernel.encode(buf);
-            }
-            ShardCmd::PairCrossHigh { partner } => {
-                4u8.encode(buf);
-                partner.encode(buf);
-            }
-            ShardCmd::Phase { lo_mask } => {
-                5u8.encode(buf);
-                lo_mask.encode(buf);
+                x_lo.encode(buf);
+                x_hi.encode(buf);
+                z_mask.encode(buf);
+                role.encode(buf);
             }
             ShardCmd::Prob { mask, want } => {
-                6u8.encode(buf);
+                4u8.encode(buf);
                 mask.encode(buf);
                 want.encode(buf);
             }
             ShardCmd::ParityProb { mask } => {
-                7u8.encode(buf);
+                5u8.encode(buf);
                 mask.encode(buf);
             }
             ShardCmd::Collapse { mask, want } => {
-                8u8.encode(buf);
+                6u8.encode(buf);
                 mask.encode(buf);
                 want.encode(buf);
             }
             ShardCmd::CollapseParity { mask, want_odd } => {
-                9u8.encode(buf);
+                7u8.encode(buf);
                 mask.encode(buf);
                 want_odd.encode(buf);
             }
             ShardCmd::Scale { factor } => {
-                10u8.encode(buf);
+                8u8.encode(buf);
                 factor.encode(buf);
             }
-            ShardCmd::Shutdown => 11u8.encode(buf),
-            ShardCmd::Die => 12u8.encode(buf),
+            ShardCmd::Shutdown => 9u8.encode(buf),
+            ShardCmd::Die => 10u8.encode(buf),
         }
     }
 }
@@ -396,42 +596,35 @@ impl Decode for ShardCmd {
                 amps: decode_amps(buf)?,
             },
             1 => ShardCmd::Gather,
-            2 => ShardCmd::PairWithin {
-                c_lo: usize::decode(buf)?,
-                tbit: usize::decode(buf)?,
-                kernel: PairKernel::decode(buf)?,
+            2 => ShardCmd::Batch {
+                ops: Vec::<WorkerOp>::decode(buf)?,
             },
-            3 => ShardCmd::PairCrossLow {
-                partner: usize::decode(buf)?,
-                c_lo: usize::decode(buf)?,
-                kernel: PairKernel::decode(buf)?,
+            3 => ShardCmd::Expect {
+                x_lo: usize::decode(buf)?,
+                x_hi: usize::decode(buf)?,
+                z_mask: usize::decode(buf)?,
+                role: ExpectRole::decode(buf)?,
             },
-            4 => ShardCmd::PairCrossHigh {
-                partner: usize::decode(buf)?,
-            },
-            5 => ShardCmd::Phase {
-                lo_mask: usize::decode(buf)?,
-            },
-            6 => ShardCmd::Prob {
+            4 => ShardCmd::Prob {
                 mask: usize::decode(buf)?,
                 want: usize::decode(buf)?,
             },
-            7 => ShardCmd::ParityProb {
+            5 => ShardCmd::ParityProb {
                 mask: usize::decode(buf)?,
             },
-            8 => ShardCmd::Collapse {
+            6 => ShardCmd::Collapse {
                 mask: usize::decode(buf)?,
                 want: usize::decode(buf)?,
             },
-            9 => ShardCmd::CollapseParity {
+            7 => ShardCmd::CollapseParity {
                 mask: usize::decode(buf)?,
                 want_odd: bool::decode(buf)?,
             },
-            10 => ShardCmd::Scale {
+            8 => ShardCmd::Scale {
                 factor: f64::decode(buf)?,
             },
-            11 => ShardCmd::Shutdown,
-            12 => ShardCmd::Die,
+            9 => ShardCmd::Shutdown,
+            10 => ShardCmd::Die,
             _ => return None,
         })
     }
@@ -444,6 +637,8 @@ pub enum ShardReply {
     Partial(f64),
     /// The worker's stripe (gather).
     Amps(Vec<Complex>),
+    /// A complex partial accumulator (distributed Pauli expectations).
+    PartialC(Complex),
 }
 
 impl Encode for ShardReply {
@@ -457,6 +652,10 @@ impl Encode for ShardReply {
                 1u8.encode(buf);
                 encode_amps(amps, buf);
             }
+            ShardReply::PartialC(c) => {
+                2u8.encode(buf);
+                encode_complex(c, buf);
+            }
         }
     }
 }
@@ -466,6 +665,7 @@ impl Decode for ShardReply {
         match u8::decode(buf)? {
             0 => f64::decode(buf).map(ShardReply::Partial),
             1 => decode_amps(buf).map(ShardReply::Amps),
+            2 => decode_complex(buf).map(ShardReply::PartialC),
             _ => None,
         }
     }
@@ -493,6 +693,41 @@ fn shard_worker(comm: Communicator, watchdog: Arc<AtomicU64>) {
             ),
         }
     };
+    // Executes one gate-stream op against the owned stripe. Ops arrive
+    // inside `ShardCmd::Batch` frames; every worker walks its frame in the
+    // same global gate order, so cross-shard exchanges pair up without any
+    // further coordination.
+    let run_op = |comm: &Communicator, amps: &mut Vec<Complex>, op: WorkerOp| match op {
+        WorkerOp::PairWithin { c_lo, tbit, kernel } => {
+            kernel.apply_within(amps, c_lo, tbit);
+        }
+        WorkerOp::CrossLow {
+            partner,
+            c_lo,
+            kernel,
+        } => {
+            let mut b = recv_xchg(comm, partner, "its stripe half");
+            kernel.apply_across(amps, &mut b, c_lo);
+            comm.send(&WireAmps(b), partner, TAG_XCHG);
+        }
+        WorkerOp::CrossHigh { partner } => {
+            comm.send(&WireAmps(std::mem::take(amps)), partner, TAG_XCHG);
+            *amps = recv_xchg(comm, partner, "the updated stripe half");
+        }
+        WorkerOp::Phase { lo_mask } => stripe::phase_flip(amps, lo_mask),
+        WorkerOp::SwapWithin { abit, bbit } => stripe::swap_within(amps, abit, bbit),
+        WorkerOp::SwapCrossLow { partner, abit } => {
+            let mut b = recv_xchg(comm, partner, "its stripe half");
+            stripe::swap_across_mixed(amps, &mut b, abit);
+            comm.send(&WireAmps(b), partner, TAG_XCHG);
+        }
+        WorkerOp::SwapFull { partner } => {
+            // Both members run this op; buffered sends let each post its
+            // stripe before blocking on the partner's.
+            comm.send(&WireAmps(std::mem::take(amps)), partner, TAG_XCHG);
+            *amps = recv_xchg(comm, partner, "its full stripe");
+        }
+    };
     loop {
         let (cmd, _) = comm.recv::<ShardCmd>(CONTROLLER, TAG_CMD);
         match cmd {
@@ -507,23 +742,77 @@ fn shard_worker(comm: Communicator, watchdog: Arc<AtomicU64>) {
             ShardCmd::Gather => {
                 comm.send(&ShardReply::Amps(amps.clone()), CONTROLLER, TAG_REPLY);
             }
-            ShardCmd::PairWithin { c_lo, tbit, kernel } => {
-                kernel.apply_within(&mut amps, c_lo, tbit);
+            ShardCmd::Batch { ops } => {
+                for op in ops {
+                    run_op(&comm, &mut amps, op);
+                }
             }
-            ShardCmd::PairCrossLow {
-                partner,
-                c_lo,
-                kernel,
-            } => {
-                let mut b = recv_xchg(&comm, partner, "its stripe half");
-                kernel.apply_across(&mut amps, &mut b, c_lo);
-                comm.send(&WireAmps(b), partner, TAG_XCHG);
-            }
-            ShardCmd::PairCrossHigh { partner } => {
-                comm.send(&WireAmps(std::mem::take(&mut amps)), partner, TAG_XCHG);
-                amps = recv_xchg(&comm, partner, "the updated stripe half");
-            }
-            ShardCmd::Phase { lo_mask } => stripe::phase_flip(&mut amps, lo_mask),
+            ShardCmd::Expect {
+                x_lo,
+                x_hi,
+                z_mask,
+                role,
+            } => match role {
+                ExpectRole::Solo => {
+                    // x never leaves the stripe: the partner amplitude of
+                    // offset `i` sits at `i ^ x_lo` locally.
+                    let at = |g: usize| amps[g & (amps.len() - 1)];
+                    let mut acc = Complex::default();
+                    for i in 0..amps.len() {
+                        if let Some(t) =
+                            stripe::expectation_term(&|o| at(o), base | i, x_lo, z_mask)
+                        {
+                            acc += t;
+                        }
+                    }
+                    comm.send(&ShardReply::PartialC(acc), CONTROLLER, TAG_REPLY);
+                }
+                ExpectRole::High { partner } => {
+                    // Ship the stripe; the low member accumulates for both.
+                    comm.send(&WireAmps(amps.clone()), partner, TAG_XCHG);
+                }
+                ExpectRole::Low { partner } => {
+                    let b = recv_xchg(&comm, partner, "its stripe for the expectation");
+                    let partner_base = base ^ x_hi;
+                    let mut acc = Complex::default();
+                    // Own-stripe terms: partner amplitude lives in `b` at
+                    // offset `i ^ x_lo` (x_hi flips exactly the partner's
+                    // shard bits).
+                    for (i, &a) in amps.iter().enumerate() {
+                        let own = a;
+                        let at = |g: usize| {
+                            if g == (base | i) {
+                                own
+                            } else {
+                                b[i ^ x_lo]
+                            }
+                        };
+                        if let Some(t) =
+                            stripe::expectation_term(&at, base | i, x_lo | x_hi, z_mask)
+                        {
+                            acc += t;
+                        }
+                    }
+                    // Partner-stripe terms: its partner amplitudes live
+                    // here.
+                    for (i, &a) in b.iter().enumerate() {
+                        let their = a;
+                        let at = |g: usize| {
+                            if g == (partner_base | i) {
+                                their
+                            } else {
+                                amps[i ^ x_lo]
+                            }
+                        };
+                        if let Some(t) =
+                            stripe::expectation_term(&at, partner_base | i, x_lo | x_hi, z_mask)
+                        {
+                            acc += t;
+                        }
+                    }
+                    comm.send(&ShardReply::PartialC(acc), CONTROLLER, TAG_REPLY);
+                }
+            },
             ShardCmd::Prob { mask, want } => {
                 let p = stripe::masked_norm(&amps, base, mask, want);
                 comm.send(&ShardReply::Partial(p), CONTROLLER, TAG_REPLY);
@@ -566,6 +855,21 @@ struct Controller {
     shard_bits: u32,
     /// Configured shard-count exponent.
     max_shard_bits: u32,
+    /// Controller→worker command rounds issued (one per fan-out of command
+    /// frames, whether the frames carry one gate or a whole batch). The
+    /// batched-vs-eager acceptance tests read this.
+    cmd_rounds: u64,
+    /// Worker↔worker stripe-exchange rounds set up by dispatched plans
+    /// (one per cross-shard op — the irreducible data motion).
+    xchg_rounds: u64,
+}
+
+/// A planned gate stream: every participating worker's `WorkerOp` list (in
+/// global gate order) plus the exchange-round tally. Built gate by gate,
+/// dispatched as one [`ShardCmd::Batch`] frame per worker.
+struct Plan {
+    ops: Vec<Vec<WorkerOp>>,
+    xchg: u64,
 }
 
 impl Controller {
@@ -622,7 +926,8 @@ impl Controller {
 
     /// Fans a query command out to every active shard and sums the partial
     /// replies in shard order.
-    fn reduce_partials(&self, cmd: &ShardCmd, what: &str) -> f64 {
+    fn reduce_partials(&mut self, cmd: &ShardCmd, what: &str) -> f64 {
+        self.cmd_rounds += 1;
         for s in 0..self.active() {
             self.send_to(s, cmd);
         }
@@ -632,7 +937,8 @@ impl Controller {
     /// Gathers every active stripe into one dense vector (shards are
     /// contiguous global index ranges, so this is an append in shard
     /// order). Non-destructive: workers keep their stripes.
-    fn gather(&self) -> Vec<Complex> {
+    fn gather(&mut self) -> Vec<Complex> {
+        self.cmd_rounds += 1;
         for s in 0..self.active() {
             self.send_to(s, &ShardCmd::Gather);
         }
@@ -650,6 +956,7 @@ impl Controller {
     /// across the workers (inactive workers get an empty stripe).
     fn scatter(&mut self, mut flat: Vec<Complex>, n_qubits: usize) {
         debug_assert_eq!(flat.len(), 1usize << n_qubits);
+        self.cmd_rounds += 1;
         self.n_qubits = n_qubits;
         self.shard_bits = self.max_shard_bits.min(n_qubits as u32);
         let local_bits = self.local_bits();
@@ -689,15 +996,30 @@ impl Controller {
         (lo, hi)
     }
 
-    /// Dispatches one pair gate: within-shard targets broadcast a local
-    /// pass, cross-shard targets set up the stripe-pair exchange.
-    fn pair_gate(&self, c_lo: usize, c_hi: usize, target: usize, kernel: PairKernel) {
+    /// An empty plan sized to the active shard set.
+    fn new_plan(&self) -> Plan {
+        Plan {
+            ops: vec![Vec::new(); self.active()],
+            xchg: 0,
+        }
+    }
+
+    /// Plans one pair gate into `plan`: within-shard targets get a local
+    /// pass, cross-shard targets get the stripe-pair exchange ops.
+    fn plan_pair(
+        &self,
+        c_lo: usize,
+        c_hi: usize,
+        target: usize,
+        kernel: PairKernel,
+        plan: &mut Plan,
+    ) {
         let l = self.local_bits();
         if target < l {
             let tbit = 1usize << target;
             for s in 0..self.active() {
                 if s & c_hi == c_hi {
-                    self.send_to(s, &ShardCmd::PairWithin { c_lo, tbit, kernel });
+                    plan.ops[s].push(WorkerOp::PairWithin { c_lo, tbit, kernel });
                 }
             }
         } else {
@@ -707,39 +1029,157 @@ impl Controller {
                     continue;
                 }
                 let s1 = s0 | tbit;
-                self.send_to(
-                    s0,
-                    &ShardCmd::PairCrossLow {
-                        partner: self.rank_of(s1),
-                        c_lo,
-                        kernel,
-                    },
-                );
-                self.send_to(
-                    s1,
-                    &ShardCmd::PairCrossHigh {
-                        partner: self.rank_of(s0),
-                    },
-                );
+                plan.ops[s0].push(WorkerOp::CrossLow {
+                    partner: self.rank_of(s1),
+                    c_lo,
+                    kernel,
+                });
+                plan.ops[s1].push(WorkerOp::CrossHigh {
+                    partner: self.rank_of(s0),
+                });
+                plan.xchg += 1;
             }
         }
     }
 
-    /// Dispatches a diagonal phase pass (CZ) to the matching shards.
-    fn phase_gate(&self, lo_mask: usize, hi_mask: usize) {
+    /// Plans a diagonal phase pass (CZ) for the matching shards.
+    fn plan_phase(&self, lo_mask: usize, hi_mask: usize, plan: &mut Plan) {
         for s in 0..self.active() {
             if s & hi_mask == hi_mask {
-                self.send_to(s, &ShardCmd::Phase { lo_mask });
+                plan.ops[s].push(WorkerOp::Phase { lo_mask });
             }
         }
+    }
+
+    /// Plans a one-round SWAP of positions `a` and `b` (the stripe-exchange
+    /// realization — one exchange per shard pair instead of the three CNOT
+    /// passes, 6 transfers, of the naive form).
+    fn plan_swap(&self, a: usize, b: usize, plan: &mut Plan) {
+        debug_assert_ne!(a, b);
+        let l = self.local_bits();
+        let (lo, hi) = (a.min(b), a.max(b));
+        if hi < l {
+            let (abit, bbit) = (1usize << lo, 1usize << hi);
+            for s in 0..self.active() {
+                plan.ops[s].push(WorkerOp::SwapWithin { abit, bbit });
+            }
+        } else if lo < l {
+            let abit = 1usize << lo;
+            let hbit = 1usize << (hi - l);
+            for s0 in 0..self.active() {
+                if s0 & hbit != 0 {
+                    continue;
+                }
+                let s1 = s0 | hbit;
+                plan.ops[s0].push(WorkerOp::SwapCrossLow {
+                    partner: self.rank_of(s1),
+                    abit,
+                });
+                plan.ops[s1].push(WorkerOp::CrossHigh {
+                    partner: self.rank_of(s0),
+                });
+                plan.xchg += 1;
+            }
+        } else {
+            let abit = 1usize << (lo - l);
+            let bbit = 1usize << (hi - l);
+            for s in 0..self.active() {
+                if s & abit == 0 || s & bbit != 0 {
+                    continue;
+                }
+                let p = s ^ abit ^ bbit;
+                plan.ops[s].push(WorkerOp::SwapFull {
+                    partner: self.rank_of(p),
+                });
+                plan.ops[p].push(WorkerOp::SwapFull {
+                    partner: self.rank_of(s),
+                });
+                plan.xchg += 1;
+            }
+        }
+    }
+
+    /// Ships a plan: one [`ShardCmd::Batch`] frame per participating
+    /// worker, counted as a single command round however many gates the
+    /// plan carries. No-op (and no round) for an empty plan.
+    fn dispatch(&mut self, plan: Plan) {
+        if plan.ops.iter().all(|ops| ops.is_empty()) {
+            return;
+        }
+        self.cmd_rounds += 1;
+        self.xchg_rounds += plan.xchg;
+        for (s, ops) in plan.ops.into_iter().enumerate() {
+            if !ops.is_empty() {
+                self.send_to(s, &ShardCmd::Batch { ops });
+            }
+        }
+    }
+
+    /// Distributed (gather-free) Pauli expectation: fan [`ShardCmd::Expect`]
+    /// out with the pairing roles implied by the shard-crossing half of the
+    /// X mask, then sum the complex partials in shard order.
+    fn expect(&mut self, x_mask: usize, z_mask: usize) -> Complex {
+        let l = self.local_bits();
+        let x_lo = x_mask & ((1usize << l) - 1);
+        let x_hi = x_mask & !((1usize << l) - 1);
+        self.cmd_rounds += 1;
+        let mut reporters = Vec::new();
+        if x_hi == 0 {
+            for s in 0..self.active() {
+                self.send_to(
+                    s,
+                    &ShardCmd::Expect {
+                        x_lo,
+                        x_hi,
+                        z_mask,
+                        role: ExpectRole::Solo,
+                    },
+                );
+                reporters.push(s);
+            }
+        } else {
+            let flip = x_hi >> l;
+            for s in 0..self.active() {
+                let p = s ^ flip;
+                let role = if s < p {
+                    reporters.push(s);
+                    self.xchg_rounds += 1;
+                    ExpectRole::Low {
+                        partner: self.rank_of(p),
+                    }
+                } else {
+                    ExpectRole::High {
+                        partner: self.rank_of(p),
+                    }
+                };
+                self.send_to(
+                    s,
+                    &ShardCmd::Expect {
+                        x_lo,
+                        x_hi,
+                        z_mask,
+                        role,
+                    },
+                );
+            }
+        }
+        let mut acc = Complex::default();
+        for s in reporters {
+            match self.reply_from(s, "expectation partial") {
+                ShardReply::PartialC(c) => acc += c,
+                other => panic!("shard {s} sent {other:?} where a complex partial was expected"),
+            }
+        }
+        acc
     }
 
     /// Two-phase projective collapse onto `want` under `mask`: zero the
     /// complement, reduce the kept mass, broadcast the rescale.
-    fn collapse(&self, mask: usize, want: usize) -> f64 {
+    fn collapse(&mut self, mask: usize, want: usize) -> f64 {
         let norm = self.reduce_partials(&ShardCmd::Collapse { mask, want }, "collapse");
         assert!(norm > 1e-12, "collapsing onto probability-zero outcome");
         let inv = 1.0 / norm.sqrt();
+        self.cmd_rounds += 1;
         for s in 0..self.active() {
             self.send_to(s, &ShardCmd::Scale { factor: inv });
         }
@@ -779,9 +1219,7 @@ impl RemoteShardedEngine {
     /// Spawns the worker ranks for an engine applying `noise` as
     /// controller-sampled trajectory insertions.
     pub fn with_noise(seed: u64, shards: usize, noise: NoiseModel) -> Self {
-        let shards = shards
-            .clamp(1, 1 << MAX_REMOTE_SHARD_BITS)
-            .next_power_of_two();
+        let shards = qsim::sharded::normalize_shards(shards, MAX_REMOTE_SHARD_BITS);
         let watchdog = Arc::new(AtomicU64::new(watchdog_from_env().as_millis() as u64));
         let worker_watchdog = Arc::clone(&watchdog);
         let (comm, group) = Universe::spawn_workers(shards, move |c| {
@@ -794,6 +1232,8 @@ impl RemoteShardedEngine {
             n_qubits: 0,
             shard_bits: 0,
             max_shard_bits: shards.trailing_zeros(),
+            cmd_rounds: 0,
+            xchg_rounds: 0,
         };
         // The 0-qubit scalar state |> with amplitude 1.
         ctl.scatter(vec![Complex::real(1.0)], 0);
@@ -825,6 +1265,21 @@ impl RemoteShardedEngine {
         self.ctl.lock().workers()
     }
 
+    /// Controller→worker command rounds issued so far: every fan-out of
+    /// command frames counts once, whether the frames carry a single eager
+    /// gate or a whole batched stream. `(after - before)` across an
+    /// N-gate batch is therefore 1, where the eager path pays N — the
+    /// measurable core of the batching claim.
+    pub fn command_rounds(&self) -> u64 {
+        self.ctl.lock().cmd_rounds
+    }
+
+    /// Worker↔worker stripe-exchange rounds set up so far (one per
+    /// cross-shard op — data motion no framing can remove).
+    pub fn exchange_rounds(&self) -> u64 {
+        self.ctl.lock().xchg_rounds
+    }
+
     /// Test/diagnostic hook: makes shard `shard`'s worker exit its event
     /// loop *without* completing the protocol, simulating a crashed shard
     /// node. Subsequent operations touching that shard trip the deadlock
@@ -846,13 +1301,15 @@ impl RemoteShardedEngine {
 
     /// Uncounted single-qubit matrix application (noise insertions).
     fn gate_1q_at(&self, pos: usize, m: &Mat2) {
-        let ctl = self.ctl.lock();
-        ctl.pair_gate(0, 0, pos, PairKernel::Mat(*m));
+        let mut ctl = self.ctl.lock();
+        let mut plan = ctl.new_plan();
+        ctl.plan_pair(0, 0, pos, PairKernel::Mat(*m), &mut plan);
+        ctl.dispatch(plan);
     }
 
     /// Probability of |1> at a raw position (noise sampling, frees).
     fn prob_at(&self, pos: usize) -> f64 {
-        let ctl = self.ctl.lock();
+        let mut ctl = self.ctl.lock();
         let bit = 1usize << pos;
         ctl.reduce_partials(
             &ShardCmd::Prob {
@@ -947,12 +1404,108 @@ impl Drop for RemoteShardedEngine {
     }
 }
 
+impl RemoteShardedEngine {
+    /// Plans one [`BatchOp`] into `plan` (positions resolved, masks split)
+    /// under an already-held controller lock. Returns the positions the
+    /// op's noise channel rides on plus the channel class.
+    fn plan_op(
+        &self,
+        ctl: &Controller,
+        op: &qsim::BatchOp,
+        plan: &mut Plan,
+    ) -> Result<(OpClass, Vec<usize>), SimError> {
+        use qsim::BatchOp;
+        match op {
+            BatchOp::Gate { gate, q } => {
+                let pos = self.pos(*q)?;
+                ctl.plan_pair(0, 0, pos, PairKernel::Mat(gate.matrix()), plan);
+                Ok((OpClass::Gate1q, vec![pos]))
+            }
+            BatchOp::Controlled {
+                controls,
+                gate,
+                target,
+            } => {
+                let tpos = self.pos(*target)?;
+                let mut cpos = Vec::with_capacity(controls.len());
+                for &c in controls {
+                    if c == *target {
+                        return Err(SimError::DuplicateQubit(c));
+                    }
+                    cpos.push(self.pos(c)?);
+                }
+                let (c_lo, c_hi) = ctl.split_masks(&cpos);
+                ctl.plan_pair(c_lo, c_hi, tpos, PairKernel::Mat(gate.matrix()), plan);
+                cpos.push(tpos);
+                Ok((OpClass::Gate2q, cpos))
+            }
+            BatchOp::Cnot { c, t } => {
+                if c == t {
+                    return Err(SimError::DuplicateQubit(*c));
+                }
+                let cp = self.pos(*c)?;
+                let tp = self.pos(*t)?;
+                let (c_lo, c_hi) = ctl.split_masks(&[cp]);
+                ctl.plan_pair(c_lo, c_hi, tp, PairKernel::Swap, plan);
+                Ok((OpClass::Gate2q, vec![cp, tp]))
+            }
+            BatchOp::Cz { a, b } => {
+                if a == b {
+                    return Err(SimError::DuplicateQubit(*a));
+                }
+                let pa = self.pos(*a)?;
+                let pb = self.pos(*b)?;
+                let (lo_mask, hi_mask) = ctl.split_masks(&[pa, pb]);
+                ctl.plan_phase(lo_mask, hi_mask, plan);
+                Ok((OpClass::Gate2q, vec![pa, pb]))
+            }
+            BatchOp::Swap { a, b } => {
+                // a == b is filtered by the caller (it is a no-op that must
+                // not count as a gate).
+                let pa = self.pos(*a)?;
+                let pb = self.pos(*b)?;
+                ctl.plan_swap(pa, pb, plan);
+                Ok((OpClass::Gate2q, vec![pa, pb]))
+            }
+        }
+    }
+
+    /// Plans the Pauli-noise insertions for one op directly into the same
+    /// plan (uncounted 1q kernels), drawing from the shared seeded stream
+    /// in exactly the order the eager path would. Only valid for
+    /// state-independent models — the caller routes amplitude damping
+    /// through the eager per-gate path instead.
+    fn plan_noise(&self, ctl: &Controller, class: OpClass, positions: &[usize], plan: &mut Plan) {
+        let ch = self.noise_model.channel(class);
+        if ch.is_ideal() {
+            return;
+        }
+        let mut guard = self.noise.lock();
+        for &pos in positions {
+            let action = guard.sample(class, || {
+                unreachable!("state-dependent channels never take the batched path")
+            });
+            match action {
+                ChannelAction::Nothing => {}
+                ChannelAction::Pauli(p) => {
+                    ctl.plan_pair(0, 0, pos, PairKernel::Mat(p.matrix()), plan)
+                }
+                ChannelAction::Kraus(_) => {
+                    unreachable!("state-independent channels never produce Kraus maps")
+                }
+            }
+        }
+    }
+}
+
 impl super::ShardableEngine for RemoteShardedEngine {
     fn apply_concurrent(&self, gate: Gate, q: QubitId) -> Result<(), SimError> {
         let pos = self.pos(q)?;
         {
-            let ctl = self.ctl.lock();
-            ctl.pair_gate(0, 0, pos, PairKernel::Mat(gate.matrix()));
+            let mut ctl = self.ctl.lock();
+            let mut plan = ctl.new_plan();
+            ctl.plan_pair(0, 0, pos, PairKernel::Mat(gate.matrix()), &mut plan);
+            ctl.dispatch(plan);
         }
         self.count_gate();
         self.inject(OpClass::Gate1q, &[pos]);
@@ -974,9 +1527,11 @@ impl super::ShardableEngine for RemoteShardedEngine {
             cpos.push(self.pos(c)?);
         }
         {
-            let ctl = self.ctl.lock();
+            let mut ctl = self.ctl.lock();
+            let mut plan = ctl.new_plan();
             let (c_lo, c_hi) = ctl.split_masks(&cpos);
-            ctl.pair_gate(c_lo, c_hi, tpos, PairKernel::Mat(gate.matrix()));
+            ctl.plan_pair(c_lo, c_hi, tpos, PairKernel::Mat(gate.matrix()), &mut plan);
+            ctl.dispatch(plan);
         }
         self.count_gate();
         cpos.push(tpos);
@@ -991,9 +1546,11 @@ impl super::ShardableEngine for RemoteShardedEngine {
         let cp = self.pos(c)?;
         let tp = self.pos(t)?;
         {
-            let ctl = self.ctl.lock();
+            let mut ctl = self.ctl.lock();
+            let mut plan = ctl.new_plan();
             let (c_lo, c_hi) = ctl.split_masks(&[cp]);
-            ctl.pair_gate(c_lo, c_hi, tp, PairKernel::Swap);
+            ctl.plan_pair(c_lo, c_hi, tp, PairKernel::Swap, &mut plan);
+            ctl.dispatch(plan);
         }
         self.count_gate();
         self.inject(OpClass::Gate2q, &[cp, tp]);
@@ -1007,9 +1564,11 @@ impl super::ShardableEngine for RemoteShardedEngine {
         let pa = self.pos(a)?;
         let pb = self.pos(b)?;
         {
-            let ctl = self.ctl.lock();
+            let mut ctl = self.ctl.lock();
+            let mut plan = ctl.new_plan();
             let (lo_mask, hi_mask) = ctl.split_masks(&[pa, pb]);
-            ctl.phase_gate(lo_mask, hi_mask);
+            ctl.plan_phase(lo_mask, hi_mask, &mut plan);
+            ctl.dispatch(plan);
         }
         self.count_gate();
         self.inject(OpClass::Gate2q, &[pa, pb]);
@@ -1023,20 +1582,72 @@ impl super::ShardableEngine for RemoteShardedEngine {
         let pa = self.pos(a)?;
         let pb = self.pos(b)?;
         {
-            // SWAP = three CNOTs, issued in one controller acquisition so
-            // every worker sees them back-to-back — the same realization
-            // ShardedState::apply_swap uses, keeping the two sharded
-            // deployments pass-for-pass identical (a dedicated one-round
-            // swap exchange is a known follow-on, see ROADMAP).
-            let ctl = self.ctl.lock();
-            for (c, t) in [(pa, pb), (pb, pa), (pa, pb)] {
-                let (c_lo, c_hi) = ctl.split_masks(&[c]);
-                ctl.pair_gate(c_lo, c_hi, t, PairKernel::Swap);
-            }
+            // One-round stripe exchange (see Controller::plan_swap) — the
+            // same amplitude permutation as the three-CNOT realization,
+            // minus 4 of its 6 cross-shard transfers.
+            let mut ctl = self.ctl.lock();
+            let mut plan = ctl.new_plan();
+            ctl.plan_swap(pa, pb, &mut plan);
+            ctl.dispatch(plan);
         }
         self.count_gate();
         self.inject(OpClass::Gate2q, &[pa, pb]);
         Ok(())
+    }
+
+    fn apply_batch_concurrent(&self, batch: &qsim::GateBatch) -> Result<(), SimError> {
+        use qsim::BatchOp;
+        if self.noise_model.is_state_dependent() {
+            // Amplitude damping reads P(|1>) per insertion — each jump
+            // decision must see the state its gate produced, so the stream
+            // degrades to eager per-gate dispatch (identical trajectories
+            // to the unbatched path by construction).
+            for op in batch.ops() {
+                match op {
+                    BatchOp::Gate { gate, q } => self.apply_concurrent(*gate, *q)?,
+                    BatchOp::Controlled {
+                        controls,
+                        gate,
+                        target,
+                    } => self.apply_controlled_concurrent(controls, *gate, *target)?,
+                    BatchOp::Cnot { c, t } => self.cnot_concurrent(*c, *t)?,
+                    BatchOp::Cz { a, b } => self.cz_concurrent(*a, *b)?,
+                    BatchOp::Swap { a, b } => self.swap_concurrent(*a, *b)?,
+                }
+            }
+            return Ok(());
+        }
+        // The batched path: plan every gate (and its controller-sampled
+        // Pauli-noise insertions, drawn in eager order from the shared
+        // seeded stream) into per-worker op lists under ONE controller
+        // acquisition, then ship ONE framed command message per worker.
+        let mut ctl = self.ctl.lock();
+        let mut plan = ctl.new_plan();
+        let mut gates = 0u64;
+        let mut result = Ok(());
+        for op in batch.ops() {
+            if let BatchOp::Swap { a, b } = op {
+                if a == b {
+                    continue;
+                }
+            }
+            match self.plan_op(&ctl, op, &mut plan) {
+                Ok((class, positions)) => {
+                    gates += 1;
+                    self.plan_noise(&ctl, class, &positions, &mut plan);
+                }
+                Err(e) => {
+                    // Ship what was planned so the applied prefix matches
+                    // the eager path, then surface the error.
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        ctl.dispatch(plan);
+        drop(ctl);
+        self.gate_count.fetch_add(gates, Ordering::Relaxed);
+        result
     }
 }
 
@@ -1105,6 +1716,11 @@ impl super::SimEngine for RemoteShardedEngine {
         self.swap_concurrent(a, b)
     }
 
+    fn apply_batch(&mut self, batch: &qsim::GateBatch) -> Result<(), SimError> {
+        use super::ShardableEngine;
+        self.apply_batch_concurrent(batch)
+    }
+
     fn measure(&mut self, q: QubitId) -> Result<bool, SimError> {
         let pos = self.pos(q)?;
         self.inject(OpClass::Measurement, &[pos]);
@@ -1140,6 +1756,7 @@ impl super::SimEngine for RemoteShardedEngine {
             "parity collapse",
         );
         let inv = 1.0 / norm.sqrt();
+        ctl.cmd_rounds += 1;
         for s in 0..ctl.active() {
             ctl.send_to(s, &ShardCmd::Scale { factor: inv });
         }
@@ -1154,13 +1771,24 @@ impl super::SimEngine for RemoteShardedEngine {
                 op,
             });
         }
-        let ctl = self.ctl.lock();
-        let flat = ctl.gather();
-        Ok(stripe::expectation_pauli(
-            ctl.n_qubits,
-            |g| flat[g],
-            &mapped,
-        ))
+        // Gather-free: the X mask's shard-crossing half pairs workers up
+        // directly (worker↔worker stripe exchange) and each pair reports
+        // one complex partial, instead of every stripe flowing to the
+        // controller. Partials are summed in shard order, but summing
+        // per-stripe subtotals re-associates the floating-point
+        // accumulation relative to one global running sum — so values
+        // match the gathered evaluation to re-association (last-ulp), not
+        // bit for bit. Amplitude bit-identity is unaffected (expectations
+        // never write state).
+        let mut ctl = self.ctl.lock();
+        let (x_mask, z_mask, i_pow) = stripe::pauli_masks(ctl.n_qubits, &mapped);
+        let acc = ctl.expect(x_mask, z_mask);
+        let val = i_pow * acc;
+        debug_assert!(
+            val.im.abs() < 1e-9,
+            "expectation of Hermitian operator must be real"
+        );
+        Ok(val.re)
     }
 
     fn state_vector(&self, order: &[QubitId]) -> Result<State, SimError> {
@@ -1186,13 +1814,16 @@ impl super::SimEngine for RemoteShardedEngine {
         }
         // Same H + CNOT realization (and gate tally) as the other engines,
         // with interconnect noise drawn from the dedicated EPR channel.
+        // Planned as one two-op stream: a single command round.
         let pa = self.pos(qa)?;
         let pb = self.pos(qb)?;
         {
-            let ctl = self.ctl.lock();
-            ctl.pair_gate(0, 0, pa, PairKernel::Mat(Gate::H.matrix()));
+            let mut ctl = self.ctl.lock();
+            let mut plan = ctl.new_plan();
+            ctl.plan_pair(0, 0, pa, PairKernel::Mat(Gate::H.matrix()), &mut plan);
             let (c_lo, c_hi) = ctl.split_masks(&[pa]);
-            ctl.pair_gate(c_lo, c_hi, pb, PairKernel::Swap);
+            ctl.plan_pair(c_lo, c_hi, pb, PairKernel::Swap, &mut plan);
+            ctl.dispatch(plan);
         }
         self.gate_count.fetch_add(2, Ordering::Relaxed);
         self.inject(OpClass::Epr, &[pa, pb]);
@@ -1221,23 +1852,55 @@ mod tests {
                 amps: vec![],
             },
             ShardCmd::Gather,
-            ShardCmd::PairWithin {
-                c_lo: 0b101,
-                tbit: 1 << 4,
-                kernel: PairKernel::Mat(mat),
+            ShardCmd::Batch { ops: vec![] },
+            ShardCmd::Batch {
+                ops: vec![
+                    WorkerOp::PairWithin {
+                        c_lo: 0b101,
+                        tbit: 1 << 4,
+                        kernel: PairKernel::Mat(mat),
+                    },
+                    WorkerOp::PairWithin {
+                        c_lo: 0,
+                        tbit: 1,
+                        kernel: PairKernel::Swap,
+                    },
+                    WorkerOp::CrossLow {
+                        partner: 9,
+                        c_lo: 0b11,
+                        kernel: PairKernel::Mat(mat),
+                    },
+                    WorkerOp::CrossHigh { partner: 2 },
+                    WorkerOp::Phase { lo_mask: 0b1001 },
+                    WorkerOp::SwapWithin {
+                        abit: 1 << 2,
+                        bbit: 1 << 5,
+                    },
+                    WorkerOp::SwapCrossLow {
+                        partner: 4,
+                        abit: 1,
+                    },
+                    WorkerOp::SwapFull { partner: 7 },
+                ],
             },
-            ShardCmd::PairWithin {
-                c_lo: 0,
-                tbit: 1,
-                kernel: PairKernel::Swap,
+            ShardCmd::Expect {
+                x_lo: 0b10,
+                x_hi: 0b1000,
+                z_mask: 0b101,
+                role: ExpectRole::Solo,
             },
-            ShardCmd::PairCrossLow {
-                partner: 9,
-                c_lo: 0b11,
-                kernel: PairKernel::Mat(mat),
+            ShardCmd::Expect {
+                x_lo: 0,
+                x_hi: 1 << 6,
+                z_mask: 0,
+                role: ExpectRole::Low { partner: 3 },
             },
-            ShardCmd::PairCrossHigh { partner: 2 },
-            ShardCmd::Phase { lo_mask: 0b1001 },
+            ShardCmd::Expect {
+                x_lo: 0,
+                x_hi: 1 << 6,
+                z_mask: 0,
+                role: ExpectRole::High { partner: 1 },
+            },
             ShardCmd::Prob {
                 mask: 0b100,
                 want: 0b100,
@@ -1269,6 +1932,7 @@ mod tests {
             ShardReply::Partial(f64::MIN_POSITIVE),
             ShardReply::Amps(vec![Complex::new(1.0, -2.0); 5]),
             ShardReply::Amps(vec![]),
+            ShardReply::PartialC(Complex::new(-0.75, 2.5)),
         ] {
             let bytes = cmpi::to_bytes(&reply);
             let back: ShardReply = cmpi::from_bytes(&bytes).expect("decode");
@@ -1281,12 +1945,36 @@ mod tests {
         // Unknown discriminant.
         let bad = Bytes::from_static(&[99]);
         assert!(cmpi::from_bytes::<ShardCmd>(&bad).is_none());
-        // Truncated matrix.
+        // Batch frame whose op list claims more entries than the payload
+        // holds.
         let mut buf = BytesMut::new();
-        2u8.encode(&mut buf); // PairWithin
+        2u8.encode(&mut buf); // ShardCmd::Batch
+        3usize.encode(&mut buf); // three ops...
+        3u8.encode(&mut buf); // ...but only one Phase follows
+        0b1usize.encode(&mut buf);
+        assert!(cmpi::from_bytes::<ShardCmd>(&buf.freeze()).is_none());
+        // Batch carrying an op with an unknown discriminant.
+        let mut buf = BytesMut::new();
+        2u8.encode(&mut buf);
+        1usize.encode(&mut buf);
+        42u8.encode(&mut buf);
+        assert!(cmpi::from_bytes::<ShardCmd>(&buf.freeze()).is_none());
+        // Truncated matrix inside a batched within-stripe pair op.
+        let mut buf = BytesMut::new();
+        2u8.encode(&mut buf);
+        1usize.encode(&mut buf);
+        0u8.encode(&mut buf); // WorkerOp::PairWithin
         0usize.encode(&mut buf);
         1usize.encode(&mut buf);
         1u8.encode(&mut buf); // Mat kernel, but no matrix bytes follow
+        assert!(cmpi::from_bytes::<ShardCmd>(&buf.freeze()).is_none());
+        // Expect with an unknown role.
+        let mut buf = BytesMut::new();
+        3u8.encode(&mut buf); // ShardCmd::Expect
+        0usize.encode(&mut buf);
+        0usize.encode(&mut buf);
+        0usize.encode(&mut buf);
+        9u8.encode(&mut buf);
         assert!(cmpi::from_bytes::<ShardCmd>(&buf.freeze()).is_none());
         // Amplitude count larger than the payload.
         let mut buf = BytesMut::new();
@@ -1426,6 +2114,216 @@ mod tests {
         }
     }
 
+    fn batch_of(ops: Vec<qsim::BatchOp>) -> qsim::GateBatch {
+        let mut b = qsim::GateBatch::new();
+        for op in ops {
+            b.push(op);
+        }
+        b
+    }
+
+    /// The acceptance assertion behind the batching claim: an N-gate
+    /// within-shard stream costs ONE controller→worker command round
+    /// batched (plus one round per cross-shard op for the exchanges),
+    /// where the eager path pays one round per gate.
+    #[test]
+    fn batched_stream_collapses_command_rounds() {
+        use qsim::BatchOp;
+        let mut e = RemoteShardedEngine::new(5, 4);
+        let qs: Vec<QubitId> = (0..4).map(|_| e.alloc()).collect();
+        // Eager: one command round per gate.
+        let before = e.command_rounds();
+        for &q in &qs {
+            SimEngine::apply(&mut e, Gate::H, q).unwrap();
+        }
+        assert_eq!(
+            e.command_rounds() - before,
+            4,
+            "eager pays a round per gate"
+        );
+
+        // Batched: the same four gates in one round.
+        let before = e.command_rounds();
+        let batch = batch_of(
+            qs.iter()
+                .map(|&q| BatchOp::Gate { gate: Gate::H, q })
+                .collect(),
+        );
+        SimEngine::apply_batch(&mut e, &batch).unwrap();
+        assert_eq!(
+            e.command_rounds() - before,
+            1,
+            "batched pays one round total"
+        );
+
+        // A batch with cross-shard ops: still one command round; each
+        // cross-shard pairing adds only its irreducible stripe exchange.
+        // Qubits 2 and 3 are shard-selecting at 4 shards with 4 qubits
+        // (2 local bits).
+        let before = e.command_rounds();
+        let xchg_before = e.exchange_rounds();
+        let batch = batch_of(vec![
+            BatchOp::Gate {
+                gate: Gate::T,
+                q: qs[0],
+            },
+            BatchOp::Cnot { c: qs[0], t: qs[3] },
+            BatchOp::Swap { a: qs[1], b: qs[2] },
+            BatchOp::Cz { a: qs[2], b: qs[3] },
+        ]);
+        SimEngine::apply_batch(&mut e, &batch).unwrap();
+        let cmd_delta = e.command_rounds() - before;
+        let xchg_delta = e.exchange_rounds() - xchg_before;
+        assert_eq!(
+            cmd_delta, 1,
+            "one command round regardless of batch content"
+        );
+        assert!(
+            cmd_delta + xchg_delta <= 1 + 2 * 4,
+            "total rounds bounded by 1 + cross-shard exchange pairs, got {cmd_delta}+{xchg_delta}"
+        );
+        assert!(xchg_delta >= 2, "cross-shard ops must pay their exchanges");
+        // The state must still be exact: undo everything and check |0..0>
+        // parity against the dense engine instead of trusting counters.
+        let got = e.state_vector(&qs).unwrap();
+        let mut dense = StateVectorEngine::new(5);
+        let dq: Vec<QubitId> = (0..4).map(|_| dense.alloc()).collect();
+        for &q in &dq {
+            dense.apply(Gate::H, q).unwrap();
+            dense.apply(Gate::H, q).unwrap();
+        }
+        dense.apply(Gate::T, dq[0]).unwrap();
+        dense.cnot(dq[0], dq[3]).unwrap();
+        dense.swap(dq[1], dq[2]).unwrap();
+        dense.cz(dq[2], dq[3]).unwrap();
+        let want = dense.state_vector(&dq).unwrap();
+        for i in 0..want.len() {
+            let (w, g) = (want.amplitude(i), got.amplitude(i));
+            assert!(
+                w.re.to_bits() == g.re.to_bits() && w.im.to_bits() == g.im.to_bits(),
+                "amp[{i}]: {w:?} vs {g:?}"
+            );
+        }
+    }
+
+    /// Batched and eager application must stay bit-identical per seed —
+    /// including under Pauli noise, where the controller samples the shared
+    /// stream per op while planning.
+    #[test]
+    fn batched_stream_is_bit_identical_to_eager_under_noise() {
+        use qsim::BatchOp;
+        let noise = NoiseModel::depolarizing(0.3);
+        for shards in [1usize, 2, 4] {
+            let mut eager = RemoteShardedEngine::with_noise(9, shards, noise);
+            let mut batched = RemoteShardedEngine::with_noise(9, shards, noise);
+            let eq: Vec<QubitId> = (0..5).map(|_| eager.alloc()).collect();
+            let bq: Vec<QubitId> = (0..5).map(|_| batched.alloc()).collect();
+            let ops = |qs: &[QubitId]| {
+                vec![
+                    BatchOp::Gate {
+                        gate: Gate::H,
+                        q: qs[0],
+                    },
+                    BatchOp::Gate {
+                        gate: Gate::T,
+                        q: qs[4],
+                    },
+                    BatchOp::Cnot { c: qs[0], t: qs[4] },
+                    BatchOp::Swap { a: qs[1], b: qs[4] },
+                    BatchOp::Cz { a: qs[2], b: qs[3] },
+                    BatchOp::Controlled {
+                        controls: vec![qs[0]],
+                        gate: Gate::Ry(0.4),
+                        target: qs[2],
+                    },
+                ]
+            };
+            for op in ops(&eq) {
+                match op {
+                    BatchOp::Gate { gate, q } => SimEngine::apply(&mut eager, gate, q).unwrap(),
+                    BatchOp::Controlled {
+                        ref controls,
+                        gate,
+                        target,
+                    } => eager.apply_controlled(controls, gate, target).unwrap(),
+                    BatchOp::Cnot { c, t } => eager.cnot(c, t).unwrap(),
+                    BatchOp::Cz { a, b } => eager.cz(a, b).unwrap(),
+                    BatchOp::Swap { a, b } => SimEngine::swap(&mut eager, a, b).unwrap(),
+                }
+            }
+            SimEngine::apply_batch(&mut batched, &batch_of(ops(&bq))).unwrap();
+            assert_eq!(eager.gate_count(), batched.gate_count(), "shards={shards}");
+            let want = eager.state_vector(&eq).unwrap();
+            let got = batched.state_vector(&bq).unwrap();
+            for i in 0..want.len() {
+                let (w, g) = (want.amplitude(i), got.amplitude(i));
+                assert!(
+                    w.re.to_bits() == g.re.to_bits() && w.im.to_bits() == g.im.to_bits(),
+                    "shards={shards} amp[{i}]: {w:?} vs {g:?}"
+                );
+            }
+        }
+    }
+
+    /// The gather-free expectation protocol: cross-shard X/Y strings pair
+    /// workers directly; values must match the dense engine on a
+    /// non-trivial entangled state, and no stripe may flow to the
+    /// controller (asserted via the command pattern: expectation issues no
+    /// Gather, so byte traffic stays far below a stripe gather's).
+    #[test]
+    fn expectation_is_gather_free_and_matches_dense() {
+        // 6 qubits over 4 shards: positions 4 and 5 are shard-selecting,
+        // so X/Y strings touching them exercise the worker↔worker pairing.
+        let mut e = RemoteShardedEngine::new(3, 4);
+        let mut dense = StateVectorEngine::new(3);
+        let rq: Vec<QubitId> = (0..6).map(|_| e.alloc()).collect();
+        let dq: Vec<QubitId> = (0..6).map(|_| dense.alloc()).collect();
+        for (engine_q, dense_q) in rq.iter().zip(&dq) {
+            SimEngine::apply(&mut e, Gate::H, *engine_q).unwrap();
+            dense.apply(Gate::H, *dense_q).unwrap();
+        }
+        e.cnot(rq[0], rq[5]).unwrap();
+        dense.cnot(dq[0], dq[5]).unwrap();
+        SimEngine::apply(&mut e, Gate::T, rq[2]).unwrap();
+        dense.apply(Gate::T, dq[2]).unwrap();
+        let pick = |qs: &[QubitId]| -> Vec<Vec<(QubitId, Pauli)>> {
+            vec![
+                vec![(qs[0], Pauli::Z), (qs[5], Pauli::Z)],
+                vec![(qs[0], Pauli::X), (qs[5], Pauli::X)], // shard-crossing X
+                vec![(qs[4], Pauli::Y), (qs[5], Pauli::X)], // both shard bits
+                vec![(qs[2], Pauli::Y)],
+                vec![(qs[1], Pauli::X), (qs[2], Pauli::Z), (qs[5], Pauli::Y)],
+            ]
+        };
+        for (rs, ds) in pick(&rq).iter().zip(&pick(&dq)) {
+            let got = e.expectation(rs).unwrap();
+            let want = dense.expectation(ds).unwrap();
+            assert!(
+                (got - want).abs() < 1e-12,
+                "expectation {rs:?}: {got} vs {want}"
+            );
+        }
+        // Traffic check: a shard-crossing expectation moves the paired
+        // stripes worker↔worker (half the amplitudes), never the full
+        // gather to the controller.
+        let world = {
+            let ctl = e.ctl.lock();
+            std::sync::Arc::clone(ctl.comm.world_handle())
+        };
+        let bytes_before = world.bytes_sent();
+        e.expectation(&[(rq[0], Pauli::X), (rq[5], Pauli::X)])
+            .unwrap();
+        let xchg_traffic = world.bytes_sent() - bytes_before;
+        let bytes_before = world.bytes_sent();
+        let _ = e.state_vector(&rq).unwrap(); // a real gather, for scale
+        let gather_traffic = world.bytes_sent() - bytes_before;
+        assert!(
+            xchg_traffic < gather_traffic,
+            "gather-free expectation ({xchg_traffic} B) must move less than a gather \
+             ({gather_traffic} B)"
+        );
+    }
+
     #[test]
     fn watchdog_diagnoses_dead_worker_instead_of_hanging() {
         let start = std::time::Instant::now();
@@ -1440,6 +2338,52 @@ mod tests {
             e.prob_one(b).unwrap();
         }))
         .expect_err("query against a dead worker must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("watchdog"),
+            "panic must carry the watchdog diagnostic, got: {msg}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "watchdog must fire promptly, not hang"
+        );
+        drop(e); // shutdown must still reap the surviving workers
+    }
+
+    /// A worker dying *mid-batch* — with a framed gate stream already in
+    /// its mailbox and a cross-shard exchange pending against it — must
+    /// surface as a watchdog diagnostic on the next protocol round, not a
+    /// hang. (The surviving exchange partner panics with its own watchdog
+    /// message; the controller's next reduction then times out loudly.)
+    #[test]
+    fn watchdog_diagnoses_worker_dying_mid_batch() {
+        use qsim::BatchOp;
+        let start = std::time::Instant::now();
+        let mut e = RemoteShardedEngine::new(7, 4).with_watchdog(Duration::from_millis(200));
+        let qs: Vec<QubitId> = (0..4).map(|_| e.alloc()).collect();
+        SimEngine::apply(&mut e, Gate::H, qs[0]).unwrap();
+        // Kill shard 2's worker, then ship a batch whose cross-shard CNOT
+        // pairs a live worker with the dead one. The batch send itself is
+        // fire-and-forget; the failure must surface on the next reduction.
+        e.debug_kill_worker(2);
+        let batch = batch_of(vec![
+            BatchOp::Gate {
+                gate: Gate::H,
+                q: qs[1],
+            },
+            // Qubit 3 is shard-selecting (2 local bits at 4 shards), so
+            // this pairs shards across the dead worker.
+            BatchOp::Cnot { c: qs[0], t: qs[3] },
+        ]);
+        SimEngine::apply_batch(&mut e, &batch).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.prob_one(qs[3]).unwrap();
+        }))
+        .expect_err("reduction against a dead worker must fail");
         let msg = err
             .downcast_ref::<String>()
             .cloned()

@@ -22,7 +22,7 @@ use parking_lot::{Mutex, RwLock};
 use qsim::noise::{ChannelAction, NoiseModel, NoiseState, OpClass};
 use qsim::registry::QubitRegistry;
 use qsim::sharded::ShardedState;
-use qsim::{Gate, Pauli, QubitId, SimError, State};
+use qsim::{BatchOp, Gate, GateBatch, Pauli, QubitId, SimError, State};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,6 +51,29 @@ pub trait ShardableEngine: SimEngine + Sync {
 
     /// SWAP (concurrent-safe).
     fn swap_concurrent(&self, a: QubitId, b: QubitId) -> std::result::Result<(), SimError>;
+
+    /// Applies a whole recorded gate stream through the concurrent surface.
+    /// The default loops the per-gate entry points (stripe locks still
+    /// provide amplitude-level exclusion per pass); the process-separated
+    /// engine overrides it to ship the stream as one framed message per
+    /// worker. Same partial-application-on-error semantics as
+    /// [`SimEngine::apply_batch`].
+    fn apply_batch_concurrent(&self, batch: &GateBatch) -> std::result::Result<(), SimError> {
+        for op in batch.ops() {
+            match op {
+                BatchOp::Gate { gate, q } => self.apply_concurrent(*gate, *q)?,
+                BatchOp::Controlled {
+                    controls,
+                    gate,
+                    target,
+                } => self.apply_controlled_concurrent(controls, *gate, *target)?,
+                BatchOp::Cnot { c, t } => self.cnot_concurrent(*c, *t)?,
+                BatchOp::Cz { a, b } => self.cz_concurrent(*a, *b)?,
+                BatchOp::Swap { a, b } => self.swap_concurrent(*a, *b)?,
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Full state-vector engine over lock-striped amplitude shards.
@@ -314,6 +337,11 @@ impl SimEngine for ShardedStateVector {
         self.swap_concurrent(a, b)
     }
 
+    fn apply_batch(&mut self, batch: &GateBatch) -> std::result::Result<(), SimError> {
+        // Same stream, same order, through the stripe-locked surface.
+        self.apply_batch_concurrent(batch)
+    }
+
     fn measure(&mut self, q: QubitId) -> std::result::Result<bool, SimError> {
         let pos = self.pos(q)?;
         self.inject(OpClass::Measurement, &[pos]);
@@ -465,6 +493,15 @@ impl<E: ShardableEngine> QuantumBackend for ShardedShared<E> {
         g.check_owner(rank, target)?;
         g.engine
             .apply_controlled_concurrent(controls, gate, target)?;
+        Ok(())
+    }
+
+    fn apply_batch(&self, rank: usize, batch: &GateBatch) -> Result<()> {
+        // One read-side acquisition (plus one ownership sweep) for the
+        // whole gate stream — the lock-per-batch rule.
+        let g = self.inner.read();
+        g.check_batch(rank, batch)?;
+        g.engine.apply_batch_concurrent(batch)?;
         Ok(())
     }
 

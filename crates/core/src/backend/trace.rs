@@ -10,7 +10,7 @@
 
 use super::{BackendKind, SimEngine};
 use qsim::noise::{NoiseModel, OpClass};
-use qsim::{Gate, Pauli, QubitId, SimError, State};
+use qsim::{BatchOp, Gate, GateBatch, Pauli, QubitId, SimError, State};
 use std::collections::HashSet;
 
 /// Counting-only engine; see the module docs.
@@ -163,6 +163,64 @@ impl SimEngine for TraceEngine {
         self.check(b)?;
         self.gate_count += 1;
         self.model_noise(OpClass::Gate2q, 2);
+        Ok(())
+    }
+
+    fn apply_batch(&mut self, batch: &GateBatch) -> Result<(), SimError> {
+        // Specialized fast path for the (common) ideal model: one sweep
+        // that validates and counts without the per-op noise-fold calls.
+        // Error precedence and the skip-identical-SWAP rule mirror the
+        // per-gate entry points exactly, including the eager prefix
+        // semantics: ops before a failing one stay counted.
+        if !self.noise.is_ideal() {
+            // Noisy models fold per-qubit channel fidelities per op; the
+            // per-gate entry points already sequence that correctly.
+            for op in batch.ops() {
+                match op {
+                    BatchOp::Gate { gate, q } => self.apply(*gate, *q)?,
+                    BatchOp::Controlled {
+                        controls,
+                        gate,
+                        target,
+                    } => self.apply_controlled(controls, *gate, *target)?,
+                    BatchOp::Cnot { c, t } => self.cnot(*c, *t)?,
+                    BatchOp::Cz { a, b } => self.cz(*a, *b)?,
+                    BatchOp::Swap { a, b } => self.swap(*a, *b)?,
+                }
+            }
+            return Ok(());
+        }
+        for op in batch.ops() {
+            match op {
+                BatchOp::Gate { q, .. } => self.check(*q)?,
+                BatchOp::Controlled {
+                    controls, target, ..
+                } => {
+                    for &c in controls {
+                        self.check(c)?;
+                        if c == *target {
+                            return Err(SimError::DuplicateQubit(c));
+                        }
+                    }
+                    self.check(*target)?;
+                }
+                BatchOp::Cnot { c: a, t: b } | BatchOp::Cz { a, b } => {
+                    if a == b {
+                        return Err(SimError::DuplicateQubit(*a));
+                    }
+                    self.check(*a)?;
+                    self.check(*b)?;
+                }
+                BatchOp::Swap { a, b } => {
+                    if a == b {
+                        continue;
+                    }
+                    self.check(*a)?;
+                    self.check(*b)?;
+                }
+            }
+            self.gate_count += 1;
+        }
         Ok(())
     }
 

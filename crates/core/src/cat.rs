@@ -80,6 +80,10 @@ impl QmpiRank {
                 debug_assert!(right_of_k != NO_QUBIT && left_of_next != NO_QUBIT);
                 pairs.push((qsim::QubitId(right_of_k), qsim::QubitId(left_of_next)));
             }
+            // Flush point: every rank flushed at its edge-qubit allocation,
+            // and no gates can be recorded between that and the gather, so
+            // this is a no-op backstop keeping the invariant local.
+            self.flush()?;
             let result = self.backend.entangle_epr_batch(&pairs);
             if result.is_ok() {
                 for _ in 0..pairs.len() {

@@ -98,6 +98,10 @@ pub struct QmpiConfig {
     pub(crate) backend: BackendKind,
     /// Noise model applied by the engine (ideal by default).
     pub(crate) noise: NoiseModel,
+    /// Whether per-rank gate calls accumulate into a [`qsim::GateBatch`]
+    /// that flushes lazily (on by default; `QMPI_BATCH=off` flips the
+    /// default for a whole run).
+    pub(crate) batching: bool,
 }
 
 impl QmpiConfig {
@@ -191,6 +195,35 @@ impl QmpiConfig {
     pub fn backend_kind(&self) -> BackendKind {
         self.backend
     }
+
+    /// Enables or disables batched gate streams for the world (overriding
+    /// the `QMPI_BATCH` environment default). With batching on, rank-local
+    /// gate calls append to a per-rank [`qsim::GateBatch`] that flushes
+    /// lazily — on measurement, probability/expectation reads, allocation,
+    /// EPR establishment, barriers, backend access, or an explicit
+    /// [`crate::QmpiRank::flush`] — so the backend takes its locality lock
+    /// (and, on the process-separated engine, pays its command round) once
+    /// per *batch* instead of once per gate. Flush points are placed so
+    /// batched and eager runs are bit-identical per seed; see
+    /// `docs/ARCHITECTURE.md`.
+    pub fn batching(mut self, enabled: bool) -> Self {
+        self.batching = enabled;
+        self
+    }
+
+    /// Whether gate batching is enabled for the world.
+    pub fn batching_enabled(&self) -> bool {
+        self.batching
+    }
+}
+
+/// The `QMPI_BATCH` environment default: batching is on unless the
+/// variable reads `off`, `0`, or `false` (CI's eager cross-check lane).
+fn batching_env_default() -> bool {
+    match std::env::var("QMPI_BATCH") {
+        Ok(v) => !matches!(v.to_lowercase().as_str(), "off" | "0" | "false"),
+        Err(_) => true,
+    }
 }
 
 impl Default for QmpiConfig {
@@ -200,6 +233,7 @@ impl Default for QmpiConfig {
             s_limit: None,
             backend: BackendKind::default(),
             noise: NoiseModel::ideal(),
+            batching: batching_env_default(),
         }
     }
 }
@@ -215,7 +249,17 @@ pub struct QmpiRank {
     /// collectives must be invoked in the same order everywhere; used to
     /// derive private tags in the reserved range `0x8000..`.
     pub(crate) qcoll_seq: std::cell::Cell<u16>,
+    /// The rank's pending gate stream: gate calls append here when
+    /// [`QmpiConfig::batching`] is on, and every state-observing or
+    /// state-restructuring operation flushes it first (see
+    /// [`QmpiRank::flush`]). A rank is single-threaded, so a `RefCell`
+    /// suffices.
+    pub(crate) pending: std::cell::RefCell<qsim::GateBatch>,
 }
+
+/// Batches auto-flush past this many pending ops, bounding the memory a
+/// long measurement-free gate storm can pin.
+const BATCH_AUTO_FLUSH: usize = 4096;
 
 impl QmpiRank {
     /// This rank's id (QMPI_Comm_rank on QMPI_COMM_WORLD).
@@ -231,8 +275,89 @@ impl QmpiRank {
     /// The classical MPI communicator for user data (measurement results,
     /// parameters, ...). Fully separate from quantum communication, as the
     /// paper's Section 4.2 requires.
+    ///
+    /// A flush point: a classical message is the one way a rank can signal
+    /// "my gates are done" to a peer, so any gates recorded before the
+    /// signal must land before it can be sent — that keeps cross-rank
+    /// orderings established by classical traffic identical between the
+    /// batched and eager paths (and with them, the shared noise-stream
+    /// draw order).
+    ///
+    /// The flush fires at *this accessor*, which covers the idiomatic
+    /// `ctx.classical().send(..)` form. Storing the returned reference and
+    /// interleaving gate calls before sending through it bypasses the
+    /// flush (the communicator knows nothing about the backend) — call
+    /// [`QmpiRank::flush`] yourself in that pattern, or re-fetch the
+    /// communicator per operation.
     pub fn classical(&self) -> &Communicator {
+        self.flush()
+            .expect("flushing pending batched gates before classical communication");
         &self.classical
+    }
+
+    /// Applies the rank's pending gate stream as one batched backend call
+    /// (one locality-lock acquisition; one framed command round per worker
+    /// on the process-separated engine). No-op when nothing is pending or
+    /// batching is off.
+    ///
+    /// Called automatically at every point where deferred gates could be
+    /// observed: measurement, probability and expectation reads, qubit
+    /// allocation and frees, EPR establishment, barriers, and
+    /// [`QmpiRank::backend`] access. Call it explicitly to bound gate
+    /// latency (e.g. before timing a communication round).
+    ///
+    /// An engine-level error surfaces here — at the flush point — rather
+    /// than at the gate call that recorded the failing op; ops preceding
+    /// the failing one are applied, exactly as if issued eagerly.
+    pub fn flush(&self) -> Result<()> {
+        let batch = self.pending.borrow_mut().take();
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.backend.apply_batch(self.rank(), &batch)
+    }
+
+    /// Records one gate op (or dispatches it immediately with batching
+    /// off). Errors that do not need engine state still surface *at the
+    /// call site*, exactly like the eager path: structural faults
+    /// (duplicate qubits) via [`qsim::BatchOp::validate`], and
+    /// non-Clifford ops on the stabilizer backend by routing them eagerly.
+    /// With qubit handles being linear (a freed [`Qubit`] cannot be
+    /// named), that leaves no engine error a *recorded* op can raise at
+    /// its flush point.
+    pub(crate) fn enqueue(&self, op: qsim::BatchOp) -> Result<()> {
+        op.validate().map_err(QmpiError::Sim)?;
+        if !self.config.batching
+            || (self.backend.kind() == BackendKind::Stabilizer && !op.is_clifford())
+        {
+            // The eager path proper: flush anything recorded before the
+            // mode switch, then dispatch this op through the per-gate
+            // backend surface.
+            self.flush()?;
+            use qsim::BatchOp;
+            return match op {
+                BatchOp::Gate { gate, q } => self.backend.apply(self.rank(), gate, q),
+                BatchOp::Controlled {
+                    controls,
+                    gate,
+                    target,
+                } => self
+                    .backend
+                    .apply_controlled(self.rank(), &controls, gate, target),
+                BatchOp::Cnot { c, t } => self.backend.cnot(self.rank(), c, t),
+                BatchOp::Cz { a, b } => self.backend.cz(self.rank(), a, b),
+                BatchOp::Swap { a, b } => self.backend.swap(self.rank(), a, b),
+            };
+        }
+        let len = {
+            let mut pending = self.pending.borrow_mut();
+            pending.push(op);
+            pending.len()
+        };
+        if len >= BATCH_AUTO_FLUSH {
+            self.flush()?;
+        }
+        Ok(())
     }
 
     /// The global resource ledger (EPR pairs, classical correction bits).
@@ -246,7 +371,18 @@ impl QmpiRank {
     }
 
     /// The shared backend (diagnostics: state snapshots, operation counts).
+    ///
+    /// Flushes this rank's pending gate batch first, so whatever the
+    /// caller reads through the backend reflects every gate issued so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flush fails — a deferred engine error from an earlier
+    /// batched gate call (impossible for well-formed programs; gate calls
+    /// on linear [`Qubit`] handles only fail at engine level).
     pub fn backend(&self) -> &Arc<dyn QuantumBackend> {
+        self.flush()
+            .expect("flushing pending batched gates before backend access");
         &self.backend
     }
 
@@ -255,8 +391,13 @@ impl QmpiRank {
         &self.config
     }
 
-    /// Allocates `n` fresh qubits in |0> (QMPI_Alloc_qmem).
+    /// Allocates `n` fresh qubits in |0> (QMPI_Alloc_qmem). A flush point:
+    /// the engine's amplitude layout changes here, and keeping the eager
+    /// and batched paths' operation orders identical is what keeps them
+    /// bit-identical per seed.
     pub fn alloc_qmem(&self, n: usize) -> Vec<Qubit> {
+        self.flush()
+            .expect("flushing pending batched gates before allocation");
         self.backend
             .alloc(self.rank(), n)
             .into_iter()
@@ -270,18 +411,24 @@ impl QmpiRank {
     }
 
     /// Frees a qubit already in a classical state (QMPI_Free_qmem),
-    /// returning its value.
+    /// returning its value. A flush point.
     pub fn free_qmem(&self, q: Qubit) -> Result<bool> {
+        self.flush()?;
         self.backend.free(self.rank(), q.id)
     }
 
-    /// Measures a qubit and frees it.
+    /// Measures a qubit and frees it. A flush point.
     pub fn measure_and_free(&self, q: Qubit) -> Result<bool> {
+        self.flush()?;
         self.backend.measure_and_free(self.rank(), q.id)
     }
 
-    /// Classical barrier over all ranks.
+    /// Classical barrier over all ranks. A flush point: code sequenced
+    /// after a barrier may observe global state (counts, snapshots), so
+    /// every rank's pending gates must land before its barrier entry.
     pub fn barrier(&self) {
+        self.flush()
+            .expect("flushing pending batched gates before a barrier");
         self.proto.barrier();
     }
 
@@ -362,9 +509,34 @@ where
             ledger: Arc::clone(&ledger),
             config,
             qcoll_seq: std::cell::Cell::new(0),
+            pending: std::cell::RefCell::new(qsim::GateBatch::new()),
         };
-        f(&ctx)
+        let out = f(&ctx);
+        // The rank's program is over: anything still pending must land so
+        // post-run diagnostics (counts, snapshots) see the full program.
+        ctx.flush()
+            .expect("flushing the rank's pending batched gates at world teardown");
+        out
     })
+}
+
+impl Drop for QmpiRank {
+    fn drop(&mut self) {
+        // Backstop for contexts dropped outside `run_with_config` (or after
+        // a panic): never let recorded gates vanish silently. Errors can
+        // only be reported, not propagated, from a destructor.
+        let batch = self.pending.borrow_mut().take();
+        if batch.is_empty() {
+            return;
+        }
+        if let Err(e) = self.backend.apply_batch(self.proto.rank(), &batch) {
+            eprintln!(
+                "qmpi: rank {}: {} batched gate(s) failed during teardown flush: {e}",
+                self.proto.rank(),
+                batch.len()
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -91,6 +91,12 @@ impl EprRequest {
     /// Completes the establishment. The lower world rank performs the
     /// entangling operation; the higher rank waits for the acknowledgement.
     pub fn wait(self, ctx: &QmpiRank) -> Result<()> {
+        // Flush point: the entangling operation both reads the pair's
+        // freshness and changes shared backend state, so this rank's
+        // recorded gates must land first — in the same order the eager
+        // path would apply them (which is also what keeps the noise-stream
+        // draws aligned between batched and unbatched runs).
+        ctx.flush()?;
         let my_rank = ctx.rank();
         // The peer posted its id on the opposite role stream.
         let (their_id, _) = ctx.proto.recv::<u64>(

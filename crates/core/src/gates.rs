@@ -8,12 +8,20 @@
 use crate::context::QmpiRank;
 use crate::error::Result;
 use crate::qubit::Qubit;
-use qsim::{Gate, Pauli};
+use qsim::{BatchOp, Gate, Pauli};
 
 impl QmpiRank {
     /// Applies an arbitrary single-qubit gate.
+    ///
+    /// With batching enabled (the default — see [`crate::QmpiConfig::batching`])
+    /// this *records* the gate into the rank's pending [`qsim::GateBatch`];
+    /// the stream lands at the next flush point (measurement, probability or
+    /// expectation read, allocation, EPR establishment, barrier, backend
+    /// access, or an explicit [`QmpiRank::flush`]) as one backend call.
+    /// Engine-level errors from a recorded gate therefore surface at the
+    /// flush point. All other gate entry points below share this behavior.
     pub fn apply(&self, gate: Gate, q: &Qubit) -> Result<()> {
-        self.backend.apply(self.rank(), gate, q.id)
+        self.enqueue(BatchOp::Gate { gate, q: q.id })
     }
 
     /// Hadamard.
@@ -79,39 +87,51 @@ impl QmpiRank {
 
     /// Local CNOT (both qubits on this rank).
     pub fn cnot(&self, control: &Qubit, target: &Qubit) -> Result<()> {
-        self.backend.cnot(self.rank(), control.id, target.id)
+        self.enqueue(BatchOp::Cnot {
+            c: control.id,
+            t: target.id,
+        })
     }
 
     /// Local CZ.
     pub fn cz(&self, a: &Qubit, b: &Qubit) -> Result<()> {
-        self.backend.cz(self.rank(), a.id, b.id)
+        self.enqueue(BatchOp::Cz { a: a.id, b: b.id })
     }
 
     /// Local SWAP.
     pub fn swap(&self, a: &Qubit, b: &Qubit) -> Result<()> {
-        self.backend.swap(self.rank(), a.id, b.id)
+        self.enqueue(BatchOp::Swap { a: a.id, b: b.id })
     }
 
     /// Local Toffoli.
     pub fn toffoli(&self, c1: &Qubit, c2: &Qubit, target: &Qubit) -> Result<()> {
-        self.backend
-            .apply_controlled(self.rank(), &[c1.id, c2.id], Gate::X, target.id)
+        self.enqueue(BatchOp::Controlled {
+            controls: vec![c1.id, c2.id],
+            gate: Gate::X,
+            target: target.id,
+        })
     }
 
     /// Local multi-controlled single-qubit gate.
     pub fn controlled(&self, controls: &[&Qubit], gate: Gate, target: &Qubit) -> Result<()> {
         let ids: Vec<_> = controls.iter().map(|q| q.id).collect();
-        self.backend
-            .apply_controlled(self.rank(), &ids, gate, target.id)
+        self.enqueue(BatchOp::Controlled {
+            controls: ids,
+            gate,
+            target: target.id,
+        })
     }
 
-    /// Projective measurement; the qubit stays allocated.
+    /// Projective measurement; the qubit stays allocated. A flush point.
     pub fn measure(&self, q: &Qubit) -> Result<bool> {
+        self.flush()?;
         self.backend.measure(self.rank(), q.id)
     }
 
-    /// Probability of measuring |1> (non-destructive diagnostic).
+    /// Probability of measuring |1> (non-destructive diagnostic). A flush
+    /// point.
     pub fn prob_one(&self, q: &Qubit) -> Result<f64> {
+        self.flush()?;
         self.backend.prob_one(self.rank(), q.id)
     }
 
@@ -131,16 +151,19 @@ impl QmpiRank {
     }
 
     /// Local in-place joint Z-parity measurement over this rank's qubits
-    /// (used by the cat-state protocol of Fig. 4).
+    /// (used by the cat-state protocol of Fig. 4). A flush point.
     pub fn measure_z_parity(&self, qubits: &[&Qubit]) -> Result<bool> {
+        self.flush()?;
         let ids: Vec<_> = qubits.iter().map(|q| q.id).collect();
         self.backend.measure_z_parity(self.rank(), &ids)
     }
 
     /// Expectation value of a local Pauli string (diagnostic). Every qubit
     /// must be owned by this rank — reading another rank's observable
-    /// without communication would break the distributed-machine model.
+    /// without communication would break the distributed-machine model. A
+    /// flush point.
     pub fn expectation(&self, terms: &[(&Qubit, Pauli)]) -> Result<f64> {
+        self.flush()?;
         let mapped: Vec<_> = terms.iter().map(|&(q, p)| (q.id, p)).collect();
         self.backend.expectation(self.rank(), &mapped)
     }
@@ -153,6 +176,7 @@ impl QmpiRank {
     /// Pauli string; with 64 ranks doing the same the lock thrashes. This
     /// hoists the acquisition to once per observable.
     pub fn expectation_each(&self, strings: &[Vec<(&Qubit, Pauli)>]) -> Result<Vec<f64>> {
+        self.flush()?;
         let mapped: Vec<Vec<(qsim::QubitId, Pauli)>> = strings
             .iter()
             .map(|terms| terms.iter().map(|&(q, p)| (q.id, p)).collect())

@@ -1,0 +1,250 @@
+//! The batched gate-stream IR.
+//!
+//! QMPI's performance model bills per communication *round*, not per gate:
+//! a distributed backend that pays one lock acquisition — or, for the
+//! process-separated engine, one full controller→worker→controller message
+//! round — per gate leaves an order of magnitude on the table. A
+//! [`GateBatch`] is the intermediate representation that fixes this: a
+//! recorded sequence of gate operations ([`BatchOp`]) that flows from the
+//! per-rank gate calls down through every engine as *one* unit.
+//!
+//! The IR deliberately covers only the unitary gate stream. Everything
+//! that observes or restructures the state — measurement, probability
+//! queries, expectation values, allocation, EPR establishment — is a
+//! *flush point*: the pending batch must be applied first, so the sequence
+//! of amplitude operations (and the order of noise-RNG draws) is identical
+//! to the eager, gate-at-a-time path. That identity is what keeps batched
+//! and unbatched runs bit-identical per seed on every engine.
+
+use crate::gates::Gate;
+use crate::sim::QubitId;
+
+/// One recorded gate operation in a [`GateBatch`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum BatchOp {
+    /// Single-qubit gate.
+    Gate {
+        /// The gate.
+        gate: Gate,
+        /// Target qubit.
+        q: QubitId,
+    },
+    /// Multi-controlled single-qubit gate.
+    Controlled {
+        /// Control qubits (all must read 1).
+        controls: Vec<QubitId>,
+        /// The gate applied to the target.
+        gate: Gate,
+        /// Target qubit.
+        target: QubitId,
+    },
+    /// CNOT.
+    Cnot {
+        /// Control qubit.
+        c: QubitId,
+        /// Target qubit.
+        t: QubitId,
+    },
+    /// CZ (symmetric).
+    Cz {
+        /// First qubit.
+        a: QubitId,
+        /// Second qubit.
+        b: QubitId,
+    },
+    /// SWAP.
+    Swap {
+        /// First qubit.
+        a: QubitId,
+        /// Second qubit.
+        b: QubitId,
+    },
+}
+
+impl BatchOp {
+    /// Visits every qubit the operation touches, in a fixed order
+    /// (controls before target), without allocating. Locality wrappers use
+    /// this to run their ownership checks once per batch instead of once
+    /// per gate call — on the flush hot path, so no per-op `Vec`s.
+    pub fn for_each_qubit(&self, mut f: impl FnMut(QubitId)) {
+        match self {
+            BatchOp::Gate { q, .. } => f(*q),
+            BatchOp::Controlled {
+                controls, target, ..
+            } => {
+                for &c in controls {
+                    f(c);
+                }
+                f(*target);
+            }
+            BatchOp::Cnot { c, t } => {
+                f(*c);
+                f(*t);
+            }
+            BatchOp::Cz { a, b } | BatchOp::Swap { a, b } => {
+                f(*a);
+                f(*b);
+            }
+        }
+    }
+
+    /// Every qubit the operation touches, in [`BatchOp::for_each_qubit`]
+    /// order, collected.
+    pub fn qubits(&self) -> Vec<QubitId> {
+        let mut qs = Vec::new();
+        self.for_each_qubit(|q| qs.push(q));
+        qs
+    }
+
+    /// Whether the op stays inside the Clifford group — and, equivalently,
+    /// whether the stabilizer tableau can realize it. CNOT/CZ/SWAP always
+    /// qualify; a `Controlled` op only as single-control X or Z (its CNOT/
+    /// CZ spellings — a multi-controlled gate like Toffoli is genuinely
+    /// outside the group). Used to keep non-Clifford rejection *eager* on
+    /// the stabilizer backend even when batching.
+    pub fn is_clifford(&self) -> bool {
+        match self {
+            BatchOp::Gate { gate, .. } => gate.is_clifford(),
+            BatchOp::Controlled { controls, gate, .. } => {
+                controls.len() == 1 && matches!(gate, Gate::X | Gate::Z)
+            }
+            BatchOp::Cnot { .. } | BatchOp::Cz { .. } | BatchOp::Swap { .. } => true,
+        }
+    }
+
+    /// The structural error the op would raise on any engine, checked
+    /// *without* engine state: duplicate qubits in a CNOT/CZ or a control
+    /// equal to its target. The batching layer runs this at record time so
+    /// these errors surface at the gate call site, exactly like the eager
+    /// path — not at an arbitrary later flush point. (`Swap { a, a }` is a
+    /// legal no-op everywhere, so it passes.)
+    pub fn validate(&self) -> Result<(), crate::SimError> {
+        match self {
+            BatchOp::Cnot { c: a, t: b } | BatchOp::Cz { a, b } if a == b => {
+                Err(crate::SimError::DuplicateQubit(*a))
+            }
+            BatchOp::Controlled {
+                controls, target, ..
+            } if controls.contains(target) => Err(crate::SimError::DuplicateQubit(*target)),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A recorded stream of gate operations, applied as one unit.
+///
+/// Built by the per-rank gate calls (which append instead of dispatching),
+/// consumed by `SimEngine::apply_batch` implementations. The batch carries
+/// program order: engines must apply `ops()` front to back.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GateBatch {
+    ops: Vec<BatchOp>,
+}
+
+impl GateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        GateBatch::default()
+    }
+
+    /// Appends one operation.
+    pub fn push(&mut self, op: BatchOp) {
+        self.ops.push(op);
+    }
+
+    /// The recorded operations, in program order.
+    pub fn ops(&self) -> &[BatchOp] {
+        &self.ops
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Moves the recorded ops out, leaving the batch empty (the flush
+    /// primitive: the caller applies the returned batch while new gates can
+    /// keep accumulating).
+    pub fn take(&mut self) -> GateBatch {
+        GateBatch {
+            ops: std::mem::take(&mut self.ops),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubits_cover_all_operands_in_order() {
+        let q = |i: u64| QubitId(i);
+        assert_eq!(
+            BatchOp::Gate {
+                gate: Gate::H,
+                q: q(3)
+            }
+            .qubits(),
+            vec![q(3)]
+        );
+        assert_eq!(
+            BatchOp::Controlled {
+                controls: vec![q(1), q(2)],
+                gate: Gate::X,
+                target: q(0)
+            }
+            .qubits(),
+            vec![q(1), q(2), q(0)]
+        );
+        assert_eq!(
+            BatchOp::Cnot { c: q(5), t: q(6) }.qubits(),
+            vec![q(5), q(6)]
+        );
+        assert_eq!(
+            BatchOp::Swap { a: q(7), b: q(8) }.qubits(),
+            vec![q(7), q(8)]
+        );
+    }
+
+    #[test]
+    fn clifford_classification_follows_the_gate() {
+        let q = QubitId(0);
+        assert!(BatchOp::Gate { gate: Gate::S, q }.is_clifford());
+        assert!(!BatchOp::Gate { gate: Gate::T, q }.is_clifford());
+        assert!(BatchOp::Cnot {
+            c: q,
+            t: QubitId(1)
+        }
+        .is_clifford());
+        assert!(!BatchOp::Controlled {
+            controls: vec![q],
+            gate: Gate::Rz(0.1),
+            target: QubitId(1)
+        }
+        .is_clifford());
+    }
+
+    #[test]
+    fn take_drains_preserving_order() {
+        let mut b = GateBatch::new();
+        b.push(BatchOp::Gate {
+            gate: Gate::H,
+            q: QubitId(0),
+        });
+        b.push(BatchOp::Cz {
+            a: QubitId(0),
+            b: QubitId(1),
+        });
+        assert_eq!(b.len(), 2);
+        let taken = b.take();
+        assert!(b.is_empty());
+        assert_eq!(taken.len(), 2);
+        assert!(matches!(taken.ops()[0], BatchOp::Gate { .. }));
+        assert!(matches!(taken.ops()[1], BatchOp::Cz { .. }));
+    }
+}

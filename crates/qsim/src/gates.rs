@@ -138,6 +138,18 @@ impl Gate {
         }
     }
 
+    /// Whether this gate is a member of the single-qubit Clifford group
+    /// (syntactic check: rotations and `U` report `false` even at Clifford
+    /// angles). The stabilizer backend can only realize Clifford gates, so
+    /// batching layers use this to reject non-Clifford gates *eagerly*
+    /// instead of deferring the error to the next flush point.
+    pub fn is_clifford(&self) -> bool {
+        matches!(
+            self,
+            Gate::X | Gate::Y | Gate::Z | Gate::H | Gate::S | Gate::Sdg
+        )
+    }
+
     /// Whether this gate is diagonal in the computational basis.
     pub fn is_diagonal(&self) -> bool {
         matches!(

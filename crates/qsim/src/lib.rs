@@ -13,6 +13,9 @@
 //!   split into `2^k` contiguous lock-striped shards, so gate application
 //!   from concurrent callers needs no global lock.
 //! - [`apply`] — serial + multi-threaded gate application kernels.
+//! - [`batch`] — [`batch::GateBatch`]: the batched gate-stream IR that
+//!   engines apply as one unit (one lock acquisition / one message round
+//!   per batch instead of per gate).
 //! - [`measure`] — projective measurement, joint parity, Pauli expectations.
 //! - [`sim`] — [`sim::Simulator`]: stable qubit handles over the above.
 //! - [`stabilizer`] — [`stabilizer::StabilizerSim`]: CHP tableau engine with
@@ -24,6 +27,7 @@
 //!   in both simulators.
 
 pub mod apply;
+pub mod batch;
 pub mod complex;
 pub mod gates;
 pub mod measure;
@@ -35,6 +39,7 @@ pub mod stabilizer;
 pub mod state;
 pub mod stripe;
 
+pub use batch::{BatchOp, GateBatch};
 pub use complex::Complex;
 pub use gates::{Gate, Pauli};
 pub use noise::{NoiseChannel, NoiseModel};

@@ -334,6 +334,18 @@ impl NoiseModel {
         self.channels().iter().all(|ch| ch.is_clifford())
     }
 
+    /// True when some channel's sampling decision depends on the quantum
+    /// state (amplitude damping reads `P(|1>)` to decide the jump). A
+    /// state-dependent model cannot be sampled ahead of applying the gates
+    /// it rides on, so batching engines fall back to gate-at-a-time
+    /// dispatch under it; Pauli-only models sample state-free and batch
+    /// fully.
+    pub fn is_state_dependent(&self) -> bool {
+        self.channels()
+            .iter()
+            .any(|ch| !ch.is_ideal() && matches!(ch, NoiseChannel::AmplitudeDamping { .. }))
+    }
+
     /// Checks every rate is a probability.
     pub fn validate(&self) -> Result<(), String> {
         for ch in self.channels() {

@@ -63,6 +63,15 @@ fn max_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// The one shard-count normalization rule every sharded deployment
+/// applies: clamp to `[1, 2^max_bits]`, then round up to a power of two.
+/// Engine constructors and `BackendKind`'s clamp-warning diagnostics both
+/// call this, so what the warning reports is by construction what the
+/// engine runs with.
+pub fn normalize_shards(requested: usize, max_bits: u32) -> usize {
+    requested.clamp(1, 1 << max_bits).next_power_of_two()
+}
+
 struct Shard {
     amps: Mutex<Vec<Complex>>,
 }
@@ -91,7 +100,7 @@ impl ShardedState {
     /// shards. `shards` is rounded up to a power of two and clamped to
     /// `[1, 2^MAX_SHARD_BITS]`.
     pub fn new(shards: usize) -> Self {
-        let shards = shards.clamp(1, 1 << MAX_SHARD_BITS).next_power_of_two();
+        let shards = normalize_shards(shards, MAX_SHARD_BITS);
         ShardedState {
             shards: vec![Shard {
                 amps: Mutex::new(vec![C_ONE]),
@@ -446,14 +455,62 @@ impl ShardedState {
         });
     }
 
-    /// SWAP via three CNOTs (each a stripe-local or stripe-pair pass).
+    /// One-round SWAP: a single amplitude permutation pass instead of the
+    /// three CNOT passes of the naive realization (which, cross-shard, cost
+    /// three stripe-pair exchanges). Pure amplitude moves, so the result is
+    /// bit-identical to the three-CNOT version — only the pass count
+    /// changes.
     pub fn apply_swap(&self, a: usize, b: usize) {
         if a == b {
             return;
         }
-        self.apply_cnot(a, b);
-        self.apply_cnot(b, a);
-        self.apply_cnot(a, b);
+        let n = self.n_qubits;
+        assert!(a < n && b < n, "qubit out of range (n={n})");
+        let l = self.local_bits();
+        let (lo, hi) = (a.min(b), a.max(b));
+        if hi < l {
+            // Both qubits address within every stripe: shard-parallel, and
+            // (like any within-shard pass) concurrent with other
+            // within-shard gates.
+            let _shared_axis = self.axis.read();
+            let (abit, bbit) = (1usize << lo, 1usize << hi);
+            self.dispatch(self.num_shards(), |s| {
+                let mut amps = self.shards[s].amps.lock();
+                stripe::swap_within(&mut amps, abit, bbit);
+            });
+        } else if lo < l {
+            // Mixed: `lo` addresses within the stripe, `hi` selects the
+            // shard. One half-stripe exchange per shard pair.
+            let _exclusive_axis = self.axis.write();
+            let abit = 1usize << lo;
+            let hbit = 1usize << (hi - l);
+            self.dispatch(self.num_shards(), |s0| {
+                if s0 & hbit != 0 {
+                    return;
+                }
+                let mut low = self.shards[s0].amps.lock();
+                let mut high = self.shards[s0 | hbit].amps.lock();
+                stripe::swap_across_mixed(&mut low, &mut high, abit);
+            });
+        } else {
+            // Both qubits select the shard: shards with (a=1, b=0) trade
+            // entire stripes with their (a=0, b=1) partners,
+            // offset-for-offset.
+            let _exclusive_axis = self.axis.write();
+            let abit = 1usize << (lo - l);
+            let bbit = 1usize << (hi - l);
+            self.dispatch(self.num_shards(), |s| {
+                if s & abit == 0 || s & bbit != 0 {
+                    return;
+                }
+                let partner = s ^ abit ^ bbit;
+                // Ascending lock order, matching `for_pairs`.
+                let (first, second) = (s.min(partner), s.max(partner));
+                let mut x = self.shards[first].amps.lock();
+                let mut y = self.shards[second].amps.lock();
+                stripe::pair_across(&mut x, &mut y, 0, std::mem::swap);
+            });
+        }
     }
 }
 
@@ -511,6 +568,42 @@ mod tests {
                 apply::apply_controlled_1q(dense, &[0, 5], 3, &Gate::Ry(0.7).matrix());
                 striped.apply_controlled_1q(&[0, 5], 3, &Gate::Ry(0.7).matrix());
             });
+        }
+    }
+
+    #[test]
+    fn one_round_swap_is_bit_identical_to_dense_in_every_pairing_regime() {
+        // 6 qubits, 16 shards => 2 local bits: (0,1) is within-stripe,
+        // (1,4) mixed, (3,5) both shard-selecting. The one-round exchange
+        // is a pure permutation, so dense and striped must agree bit for
+        // bit after a non-trivial scramble.
+        for shards in [1usize, 2, 4, 16] {
+            let mut dense = State::zero(0);
+            let mut striped = ShardedState::new(shards);
+            for _ in 0..6 {
+                dense.add_qubit();
+                striped.add_qubit();
+            }
+            for q in 0..6 {
+                apply::apply_1q(&mut dense, q, &Gate::H.matrix());
+                striped.apply_1q(q, &Gate::H.matrix());
+            }
+            apply::apply_1q(&mut dense, 3, &Gate::T.matrix());
+            striped.apply_1q(3, &Gate::T.matrix());
+            apply::apply_cnot(&mut dense, 0, 4);
+            striped.apply_cnot(0, 4);
+            for (a, b) in [(0usize, 1usize), (1, 4), (3, 5), (5, 2)] {
+                apply::apply_swap(&mut dense, a, b);
+                striped.apply_swap(a, b);
+            }
+            let got = striped.to_dense();
+            for i in 0..dense.len() {
+                let (w, g) = (dense.amplitude(i), got.amplitude(i));
+                assert!(
+                    w.re.to_bits() == g.re.to_bits() && w.im.to_bits() == g.im.to_bits(),
+                    "shards={shards} amp[{i}]: {w:?} vs {g:?}"
+                );
+            }
         }
     }
 

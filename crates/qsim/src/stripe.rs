@@ -73,6 +73,37 @@ pub fn pair_across(
     }
 }
 
+/// One-pass SWAP kernel for two qubits that both address *within* the
+/// stripe: exchanges the amplitudes of basis states with `(a=1, b=0)` and
+/// `(a=0, b=1)`. A pure permutation — no complex arithmetic — so any
+/// engine realizing SWAP this way stays bit-identical to one realizing it
+/// as three CNOT passes.
+pub fn swap_within(amps: &mut [Complex], abit: usize, bbit: usize) {
+    debug_assert_ne!(abit, bbit, "SWAP needs distinct qubits");
+    let xor = abit | bbit;
+    for i in 0..amps.len() {
+        if i & abit != 0 && i & bbit == 0 {
+            amps.swap(i, i ^ xor);
+        }
+    }
+}
+
+/// One-round SWAP kernel for a mixed pair: qubit `a` addresses within the
+/// stripe (`abit`), qubit `b` selects the shard. `low` is the stripe whose
+/// shard index has the `b` bit clear, `high` its partner with the bit set;
+/// the `(a=1, b=0)` amplitudes in `low` exchange with the `(a=0, b=1)`
+/// amplitudes in `high` at offset `i ^ abit`. One stripe exchange replaces
+/// the three cross-shard CNOT passes (6 transfers) of the naive
+/// realization.
+pub fn swap_across_mixed(low: &mut [Complex], high: &mut [Complex], abit: usize) {
+    debug_assert_eq!(low.len(), high.len(), "paired stripes must match");
+    for i in 0..low.len() {
+        if i & abit != 0 {
+            std::mem::swap(&mut low[i], &mut high[i ^ abit]);
+        }
+    }
+}
+
 /// Diagonal phase pass (the CZ kernel): negates every amplitude whose
 /// within-stripe offset satisfies `lo_mask`. The caller is responsible for
 /// only running it on stripes whose shard index satisfies the high mask.
@@ -152,6 +183,25 @@ pub fn expectation_pauli(
     at: impl Fn(usize) -> Complex,
     terms: &[PauliTerm],
 ) -> f64 {
+    let (x_mask, z_mask, i_pow) = pauli_masks(n_qubits, terms);
+    let mut acc = Complex::default();
+    for g in 0..(1usize << n_qubits) {
+        if let Some(t) = expectation_term(&at, g, x_mask, z_mask) {
+            acc += t;
+        }
+    }
+    let val = i_pow * acc;
+    debug_assert!(
+        val.im.abs() < 1e-9,
+        "expectation of Hermitian operator must be real"
+    );
+    val.re
+}
+
+/// Derives the X/Z bit masks and the `i^{#Y}` phase factor of a Pauli
+/// string — the quantities both the accessor-based evaluation above and
+/// the distributed (per-stripe, gather-free) evaluation need.
+pub fn pauli_masks(n_qubits: usize, terms: &[PauliTerm]) -> (usize, usize, Complex) {
     use crate::gates::Pauli;
     let mut x_mask = 0usize;
     let mut z_mask = 0usize;
@@ -174,25 +224,31 @@ pub fn expectation_pauli(
         2 => Complex::real(-1.0),
         _ => -crate::complex::C_I,
     };
-    let mut acc = Complex::default();
-    for g in 0..(1usize << n_qubits) {
-        let a = at(g);
-        if a.is_negligible(1e-300) {
-            continue;
-        }
-        let sign = if (g & z_mask).count_ones() % 2 == 1 {
-            -1.0
-        } else {
-            1.0
-        };
-        acc += at(g ^ x_mask).conj() * a.scale(sign);
+    (x_mask, z_mask, i_pow)
+}
+
+/// One basis state's contribution to the (pre-phase) Pauli expectation
+/// accumulator: `conj(a[g ^ x_mask]) * a[g] * (-1)^{|g & z_mask|}`.
+/// `None` when the amplitude at `g` is negligible — the caller must *skip*
+/// (not add zero), so every evaluation path accumulates the identical
+/// floating-point sequence.
+#[inline]
+pub fn expectation_term(
+    at: &impl Fn(usize) -> Complex,
+    g: usize,
+    x_mask: usize,
+    z_mask: usize,
+) -> Option<Complex> {
+    let a = at(g);
+    if a.is_negligible(1e-300) {
+        return None;
     }
-    let val = i_pow * acc;
-    debug_assert!(
-        val.im.abs() < 1e-9,
-        "expectation of Hermitian operator must be real"
-    );
-    val.re
+    let sign = if (g & z_mask).count_ones() % 2 == 1 {
+        -1.0
+    } else {
+        1.0
+    };
+    Some(at(g ^ x_mask).conj() * a.scale(sign))
 }
 
 /// Removes qubit `target` from a dense amplitude vector, keeping the
@@ -256,6 +312,41 @@ mod tests {
         pair_across(&mut a, &mut b, 0, std::mem::swap);
         assert_eq!(a, vec![Complex::real(3.0), Complex::real(4.0)]);
         assert_eq!(b, vec![Complex::real(1.0), Complex::real(2.0)]);
+    }
+
+    #[test]
+    fn swap_within_matches_dense_swap_kernel() {
+        // Arbitrary 3-qubit state; SWAP(0, 2) via the stripe kernel must be
+        // bit-identical to the dense one-pass kernel.
+        let raw: Vec<Complex> = (0..8)
+            .map(|i| Complex::new(i as f64 + 0.25, -(i as f64) * 0.5))
+            .collect();
+        let norm: f64 = raw.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        let amps: Vec<Complex> = raw.iter().map(|a| a.scale(1.0 / norm)).collect();
+        let mut dense = crate::state::State::from_amplitudes(amps.clone());
+        crate::apply::apply_swap(&mut dense, 0, 2);
+        let mut striped = amps;
+        swap_within(&mut striped, 1 << 0, 1 << 2);
+        for (i, &a) in striped.iter().enumerate() {
+            assert_eq!(a, dense.amplitude(i), "amp[{i}]");
+        }
+    }
+
+    #[test]
+    fn swap_across_mixed_exchanges_half_stripes() {
+        // 2 stripes of 4 amps = 3 qubits; swap local qubit 0 with the
+        // shard-selecting qubit 2. Global (a=1,b=0) indices are 1, 3 (in
+        // low); partners (a=0,b=1) are 4, 6 (in high, offsets 0 and 2).
+        let mut low: Vec<Complex> = (0..4).map(|i| Complex::real(i as f64)).collect();
+        let mut high: Vec<Complex> = (0..4).map(|i| Complex::real(10.0 + i as f64)).collect();
+        swap_across_mixed(&mut low, &mut high, 1 << 0);
+        assert_eq!(low[1], Complex::real(10.0));
+        assert_eq!(low[3], Complex::real(12.0));
+        assert_eq!(high[0], Complex::real(1.0));
+        assert_eq!(high[2], Complex::real(3.0));
+        // Untouched members stay put.
+        assert_eq!(low[0], Complex::real(0.0));
+        assert_eq!(high[1], Complex::real(11.0));
     }
 
     #[test]

@@ -1,0 +1,356 @@
+//! Batched-vs-eager equivalence suite.
+//!
+//! With batching on (the default), rank-local gate calls record into a
+//! per-rank `GateBatch` that flushes lazily; with it off, every gate
+//! dispatches eagerly. The two modes must be *observably identical per
+//! seed* on every backend — bit-identical amplitudes on the dense engines
+//! (state-vector, lock-striped sharded, process-separated remote),
+//! identical expectation values and measurement outcomes on the
+//! stabilizer tableau, identical operation counts and modeled fidelity on
+//! the trace engine — no matter where flush points land and whether Pauli
+//! noise is drawn along the way.
+//!
+//! The property module runs under the nightly stress lane's
+//! `PROPTEST_CASES=320` sweep alongside the other in-tree proptest suites.
+
+use qmpi::{run_with_config, BackendKind, QmpiConfig, QmpiRank};
+use qsim::{Gate, NoiseModel, Pauli};
+
+const N_QUBITS: usize = 6;
+
+/// One step of a circuit with randomly placed flush points.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    G(Gate, usize),
+    Cnot(usize, usize),
+    Cz(usize, usize),
+    Swap(usize, usize),
+    /// An explicit `QmpiRank::flush` — a no-op for program semantics, so
+    /// sprinkling these anywhere must never change any observable.
+    Flush,
+}
+
+/// Everything a backend lets us observe, in exactly-comparable form
+/// (floats as bit patterns — the acceptance bar is bit-identity, not
+/// tolerance).
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    /// Dense amplitudes as bit patterns (empty on stabilizer/trace).
+    amps: Vec<(u64, u64)>,
+    /// Per-qubit <Z> (plus one joint string) as bit patterns.
+    expectations: Vec<u64>,
+    /// Final measurement outcome of every qubit.
+    outcomes: Vec<bool>,
+    /// (gates, measurements) from the backend counters.
+    counts: (u64, u64),
+    /// Trace engine's modeled error-free probability, as bits.
+    fidelity: Option<u64>,
+}
+
+fn apply_steps(ctx: &QmpiRank, qs: &[qmpi::Qubit], steps: &[Step], clifford_only: bool) {
+    for &step in steps {
+        match step {
+            Step::G(g, t) => {
+                let g = if clifford_only && !g.is_clifford() {
+                    // The stabilizer tableau cannot run T; substitute S so
+                    // every backend executes the same step *count*.
+                    Gate::S
+                } else {
+                    g
+                };
+                ctx.apply(g, &qs[t % N_QUBITS]).unwrap();
+            }
+            Step::Cnot(c, t) if c % N_QUBITS != t % N_QUBITS => {
+                ctx.cnot(&qs[c % N_QUBITS], &qs[t % N_QUBITS]).unwrap();
+            }
+            Step::Cz(a, b) if a % N_QUBITS != b % N_QUBITS => {
+                ctx.cz(&qs[a % N_QUBITS], &qs[b % N_QUBITS]).unwrap();
+            }
+            Step::Swap(a, b) if a % N_QUBITS != b % N_QUBITS => {
+                ctx.swap(&qs[a % N_QUBITS], &qs[b % N_QUBITS]).unwrap();
+            }
+            Step::Flush => ctx.flush().unwrap(),
+            _ => {}
+        }
+    }
+}
+
+/// Runs `steps` on one rank of `kind` with batching on or off and captures
+/// every observable the backend exposes.
+fn run_circuit(kind: BackendKind, batching: bool, steps: Vec<Step>, noise: NoiseModel) -> Outcome {
+    let cfg = QmpiConfig::new()
+        .seed(42)
+        .backend(kind)
+        .noise(noise)
+        .batching(batching);
+    let clifford_only = kind == BackendKind::Stabilizer;
+    let out = run_with_config(1, cfg, move |ctx| {
+        let qs = ctx.alloc_qmem(N_QUBITS);
+        apply_steps(ctx, &qs, &steps, clifford_only);
+        // Dense snapshot (flushes via backend()); engines without
+        // amplitudes report none.
+        let ids: Vec<qsim::QubitId> = qs.iter().map(|q| q.id()).collect();
+        let amps = match ctx.backend().state_vector(&ids) {
+            Ok(st) => (0..st.len())
+                .map(|i| {
+                    let a = st.amplitude(i);
+                    (a.re.to_bits(), a.im.to_bits())
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        let mut expectations: Vec<u64> = qs
+            .iter()
+            .map(|q| ctx.expectation(&[(q, Pauli::Z)]).unwrap().to_bits())
+            .collect();
+        expectations.push(
+            ctx.expectation(&[(&qs[0], Pauli::Z), (&qs[N_QUBITS - 1], Pauli::Z)])
+                .unwrap()
+                .to_bits(),
+        );
+        let fidelity = ctx.backend().modeled_fidelity().map(f64::to_bits);
+        let outcomes: Vec<bool> = qs
+            .into_iter()
+            .map(|q| ctx.measure_and_free(q).unwrap())
+            .collect();
+        let counts = ctx.backend().counts();
+        Outcome {
+            amps,
+            expectations,
+            outcomes,
+            counts: (counts.gates, counts.measurements),
+            fidelity,
+        }
+    });
+    out.into_iter().next().unwrap()
+}
+
+fn all_kinds() -> [BackendKind; 5] {
+    [
+        BackendKind::StateVector,
+        BackendKind::Stabilizer,
+        BackendKind::Trace,
+        BackendKind::ShardedStateVector { shards: 4 },
+        BackendKind::RemoteSharded { shards: 4 },
+    ]
+}
+
+fn assert_batched_matches_eager(steps: &[Step], noise: NoiseModel) {
+    for kind in all_kinds() {
+        let eager = run_circuit(kind, false, steps.to_vec(), noise);
+        let batched = run_circuit(kind, true, steps.to_vec(), noise);
+        assert_eq!(
+            eager, batched,
+            "{kind}: batched run must be bit-identical to eager"
+        );
+        assert!(
+            !matches!(kind, BackendKind::StateVector) || !eager.amps.is_empty(),
+            "dense engines must actually compare amplitudes"
+        );
+    }
+}
+
+#[test]
+fn fixed_circuit_with_flushes_matches_eager_on_all_backends() {
+    use Step::*;
+    let steps = [
+        G(Gate::H, 0),
+        G(Gate::H, 5),
+        Cnot(0, 5),
+        Flush,
+        G(Gate::T, 2),
+        Swap(1, 5),
+        Cz(2, 4),
+        G(Gate::S, 3),
+        Flush,
+        Flush, // double flush: second must be a no-op
+        Cnot(5, 0),
+        Swap(3, 4),
+    ];
+    assert_batched_matches_eager(&steps, NoiseModel::ideal());
+}
+
+#[test]
+fn fixed_circuit_with_flushes_matches_eager_under_pauli_noise() {
+    use Step::*;
+    let steps = [
+        G(Gate::H, 0),
+        Cnot(0, 4),
+        G(Gate::T, 1),
+        Flush,
+        Swap(0, 5),
+        Cz(1, 3),
+        Cnot(4, 2),
+        G(Gate::Y, 5),
+    ];
+    let noise =
+        NoiseModel::depolarizing(0.2).with_measurement(qsim::NoiseChannel::Dephasing { p: 0.25 });
+    assert_batched_matches_eager(&steps, noise);
+}
+
+/// Amplitude damping is state-dependent, so batching engines fall back to
+/// eager per-gate dispatch internally — the observable contract is the
+/// same: identical trajectories per seed.
+#[test]
+fn amplitude_damping_falls_back_to_identical_trajectories() {
+    use Step::*;
+    let steps = [
+        G(Gate::H, 0),
+        G(Gate::X, 1),
+        Cnot(0, 2),
+        Flush,
+        G(Gate::Ry(0.9), 1),
+        Swap(2, 5),
+    ];
+    let noise = NoiseModel::amplitude_damping(0.2);
+    for kind in [
+        BackendKind::StateVector,
+        BackendKind::ShardedStateVector { shards: 4 },
+        BackendKind::RemoteSharded { shards: 4 },
+    ] {
+        let eager = run_circuit(kind, false, steps.to_vec(), noise);
+        let batched = run_circuit(kind, true, steps.to_vec(), noise);
+        assert_eq!(eager, batched, "{kind}");
+    }
+}
+
+/// Structural gate errors must surface at the call site with batching on —
+/// never as a panic at a later flush point (barrier, teardown).
+#[test]
+fn duplicate_qubit_errors_surface_at_the_call_site() {
+    for kind in all_kinds() {
+        let cfg = QmpiConfig::new().seed(1).backend(kind).batching(true);
+        let out = run_with_config(1, cfg, |ctx| {
+            let q = ctx.alloc_one();
+            let a = ctx.alloc_one();
+            let cnot_err = ctx.cnot(&q, &q).unwrap_err();
+            let cz_err = ctx.cz(&q, &q).unwrap_err();
+            let ctrl_err = ctx.controlled(&[&q], qsim::Gate::X, &q).unwrap_err();
+            // A self-SWAP is a legal no-op everywhere.
+            ctx.swap(&q, &q).unwrap();
+            // The rank must still be fully usable afterwards.
+            ctx.cnot(&q, &a).unwrap();
+            ctx.measure_and_free(q).unwrap();
+            ctx.measure_and_free(a).unwrap();
+            [cnot_err, cz_err, ctrl_err]
+                .iter()
+                .all(|e| matches!(e, qmpi::QmpiError::Sim(qsim::SimError::DuplicateQubit(_))))
+        });
+        assert!(out[0], "{kind}: duplicate-qubit errors must be eager");
+    }
+}
+
+/// Ops the stabilizer tableau cannot realize — Toffoli, controlled
+/// rotations — must be rejected at the call site even though their base
+/// gate is Clifford, not recorded and exploded at teardown.
+#[test]
+fn stabilizer_rejects_unsupported_controlled_ops_eagerly() {
+    let cfg = QmpiConfig::new()
+        .seed(1)
+        .backend(BackendKind::Stabilizer)
+        .batching(true);
+    let out = run_with_config(1, cfg, |ctx| {
+        let a = ctx.alloc_one();
+        let b = ctx.alloc_one();
+        let t = ctx.alloc_one();
+        let toffoli_err = ctx.toffoli(&a, &b, &t).unwrap_err();
+        let ch_err = ctx.controlled(&[&a], qsim::Gate::H, &t).unwrap_err();
+        // The single-control X/Z spellings the tableau does realize still
+        // batch fine.
+        ctx.controlled(&[&a], qsim::Gate::X, &t).unwrap();
+        ctx.controlled(&[&a], qsim::Gate::Z, &b).unwrap();
+        for q in [a, b, t] {
+            ctx.measure_and_free(q).unwrap();
+        }
+        [toffoli_err, ch_err]
+            .iter()
+            .all(|e| matches!(e, qmpi::QmpiError::Sim(qsim::SimError::Unsupported(_))))
+    });
+    assert!(
+        out[0],
+        "unsupported controlled ops must be rejected eagerly"
+    );
+}
+
+/// A classical message is how a rank signals "my gates are done": the
+/// sender's recorded gates must be visible (in the global counters) by the
+/// time the receiver gets the message.
+#[test]
+fn classical_send_flushes_pending_gates_first() {
+    let cfg = QmpiConfig::new()
+        .seed(4)
+        .backend(BackendKind::StateVector)
+        .batching(true);
+    let out = run_with_config(2, cfg, |ctx| {
+        if ctx.rank() == 0 {
+            let q = ctx.alloc_one();
+            ctx.h(&q).unwrap();
+            ctx.h(&q).unwrap(); // recorded, not yet applied
+            ctx.classical().send(&(), 1, 0); // flush point: both gates land here
+            let _ = ctx.classical().recv::<()>(1, 1);
+            ctx.measure_and_free(q).unwrap();
+            0
+        } else {
+            let _ = ctx.classical().recv::<()>(0, 0);
+            let gates = ctx.backend().gate_count();
+            ctx.classical().send(&(), 0, 1);
+            gates
+        }
+    });
+    assert!(
+        out[1] >= 2,
+        "rank 0's recorded gates must land before its classical send, saw {}",
+        out[1]
+    );
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_step() -> impl Strategy<Value = Step> {
+        prop_oneof![
+            (0usize..8, 0..N_QUBITS).prop_map(|(g, t)| {
+                let gate = match g {
+                    0 => Gate::H,
+                    1 => Gate::S,
+                    2 => Gate::Sdg,
+                    3 => Gate::T,
+                    4 => Gate::Tdg,
+                    5 => Gate::X,
+                    6 => Gate::Y,
+                    _ => Gate::Z,
+                };
+                Step::G(gate, t)
+            }),
+            (0..N_QUBITS, 0..N_QUBITS).prop_map(|(c, t)| Step::Cnot(c, t)),
+            (0..N_QUBITS, 0..N_QUBITS).prop_map(|(a, b)| Step::Cz(a, b)),
+            (0..N_QUBITS, 0..N_QUBITS).prop_map(|(a, b)| Step::Swap(a, b)),
+            Just(Step::Flush),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The tentpole acceptance property: random Clifford+T circuits
+        /// with randomly placed flush points produce observables
+        /// bit-identical to the eager path on all five backends.
+        #[test]
+        fn random_flush_points_are_bit_identical_to_eager(
+            steps in proptest::collection::vec(arb_step(), 8..30),
+        ) {
+            assert_batched_matches_eager(&steps, NoiseModel::ideal());
+        }
+
+        /// The same property with the controller/engine drawing Pauli
+        /// noise from the shared seeded stream along the way.
+        #[test]
+        fn random_flush_points_identical_under_pauli_noise(
+            steps in proptest::collection::vec(arb_step(), 8..24),
+            p in 0.0f64..0.4,
+        ) {
+            assert_batched_matches_eager(&steps, NoiseModel::depolarizing(p));
+        }
+    }
+}
