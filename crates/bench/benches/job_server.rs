@@ -1,0 +1,107 @@
+//! Criterion bench: job-service throughput under a storm of small
+//! teleportation jobs — the `qserve` headline number.
+//!
+//! Both arms run the *identical* storm through the identical scheduler;
+//! the only difference is where each job's process-separated engine gets
+//! its workers:
+//!
+//! * `pooled` — jobs lease slots of one long-lived [`qserve`] worker pool
+//!   (spawned once, outside the measurement);
+//! * `spawn-per-job` — every job spawns and joins its own worker set
+//!   (`BackendKind::RemoteSharded`), the pre-pool model.
+//!
+//! The gap is the per-job worker provisioning cost the pool amortizes:
+//! thread spawns, world construction, and teardown joins, paid once per
+//! *pool* instead of once per *job*. Divide the storm size by the
+//! reported time for jobs/sec.
+//!
+//! `QMPI_BENCH_QUICK=1` shrinks the storm for CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmpi::{BackendKind, QmpiRank};
+use qserve::{JobBackend, JobServer, JobSpec, ServerConfig};
+
+const SHARDS: usize = 2;
+
+fn storm_size() -> usize {
+    if std::env::var_os("QMPI_BENCH_QUICK").is_some() {
+        8
+    } else {
+        32
+    }
+}
+
+/// The per-job program: a 2-rank teleport of |1>.
+fn teleport(ctx: &QmpiRank) -> bool {
+    if ctx.rank() == 0 {
+        let q = ctx.alloc_one();
+        ctx.x(&q).unwrap();
+        ctx.send_move(q, 1, 0).unwrap();
+        true
+    } else {
+        let q = ctx.recv_move(0, 0).unwrap();
+        ctx.measure_and_free(q).unwrap()
+    }
+}
+
+/// Submits the whole storm (4 tenants interleaved) and waits it out.
+fn run_storm(server: &JobServer, jobs: usize, backend: JobBackend) {
+    let handles: Vec<_> = (0..jobs)
+        .map(|i| {
+            let spec = JobSpec::new(format!("tenant-{}", i % 4), 2)
+                .seed(i as u64)
+                .s_limit(2)
+                .backend(backend);
+            server.submit(spec, teleport).expect("storm fits capacity")
+        })
+        .collect();
+    for handle in handles {
+        let out = handle.wait().expect("storm job must succeed");
+        assert!(out.results[1], "teleported |1> must arrive");
+    }
+}
+
+fn bench_jobs_per_sec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/jobs_per_sec");
+    group.sample_size(10);
+    let jobs = storm_size();
+
+    // The pool (and its worker threads) lives across iterations — that
+    // amortization is precisely what the pooled arm measures.
+    let pooled = JobServer::new(ServerConfig {
+        s_capacity: 64,
+        max_concurrent: 4,
+        pool_slots: 4,
+        pool_shards: SHARDS,
+    });
+    group.bench_with_input(BenchmarkId::new("pooled", jobs), &jobs, |b, &jobs| {
+        b.iter(|| run_storm(&pooled, jobs, JobBackend::Pooled));
+    });
+    drop(pooled);
+
+    // Same scheduler, same concurrency — but every job provisions its own
+    // worker set and tears it down again.
+    let spawning = JobServer::new(ServerConfig {
+        s_capacity: 64,
+        max_concurrent: 4,
+        pool_slots: 0,
+        pool_shards: 0,
+    });
+    let spawn = JobBackend::Spawn(BackendKind::RemoteSharded { shards: SHARDS });
+    group.bench_with_input(
+        BenchmarkId::new("spawn-per-job", jobs),
+        &jobs,
+        |b, &jobs| {
+            b.iter(|| run_storm(&spawning, jobs, spawn));
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_jobs_per_sec
+}
+criterion_main!(benches);

@@ -15,12 +15,14 @@ pub mod collectives;
 pub mod comm;
 pub mod encode;
 pub mod mailbox;
+pub mod pool;
 pub mod universe;
 
 pub use collectives::{ops, ReduceOp};
 pub use comm::{Communicator, RecvRequest, SendRequest, Status, World};
 pub use encode::{from_bytes, to_bytes, Decode, Encode};
 pub use mailbox::{Envelope, Mailbox, SourceSel, Tag, TagSel};
+pub use pool::{WorkerLease, WorkerPool};
 pub use universe::{Universe, WorkerGroup};
 
 #[cfg(test)]

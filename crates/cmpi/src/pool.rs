@@ -1,0 +1,340 @@
+//! Long-lived worker pools with exclusive slot leases.
+//!
+//! [`crate::Universe::spawn_workers`] starts one worker world per call and
+//! hands ownership of its lifecycle (shutdown protocol, thread joins) to
+//! the caller — the spawn-per-engine model. A [`WorkerPool`] amortizes
+//! that: it spawns a fixed number of *slots* up front, each slot being an
+//! independent worker world, and hands them out one at a time as
+//! [`WorkerLease`]s. A lease grants exclusive use of the slot's controller
+//! communicator for as long as it lives; dropping it returns the slot —
+//! with its workers still running their event loops — to the pool for the
+//! next lessee.
+//!
+//! Isolation is structural, not cooperative: every slot is its own
+//! [`crate::comm::World`], so two leaseholders can never observe each
+//! other's traffic no matter how their operations interleave.
+//!
+//! The pool owns the shutdown protocol. Construction takes, along with the
+//! worker closure, a `shutdown` closure that must make every worker in a
+//! slot return from its event loop; the pool invokes it per slot when the
+//! pool is dropped (or, for slots still leased at that point, when their
+//! lease is dropped), then joins the worker threads.
+
+use crate::comm::Communicator;
+use crate::universe::{Universe, WorkerGroup};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Shutdown protocol for one slot: must make every worker of the slot
+/// return from its event loop. Receives the slot's controller
+/// communicator and its worker count.
+type ShutdownFn = Box<dyn Fn(&Communicator, usize) + Send + Sync>;
+
+/// One pooled worker world: the controller communicator plus the join
+/// handles of its (running) workers.
+struct Slot {
+    index: usize,
+    comm: Communicator,
+    group: Option<WorkerGroup>,
+}
+
+/// State shared between the pool handle and every outstanding lease.
+struct PoolShared {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    /// Makes every worker of a slot return from its event loop (e.g. by
+    /// sending each a shutdown message).
+    shutdown: ShutdownFn,
+    workers_per_slot: usize,
+    slots: usize,
+}
+
+struct PoolState {
+    free: Vec<Slot>,
+    /// Set when the pool handle is dropped: freed slots are shut down
+    /// instead of returned.
+    closing: bool,
+}
+
+impl PoolShared {
+    /// Terminates one slot: runs the shutdown protocol, then joins the
+    /// worker threads. Worker panics are reported, never propagated (this
+    /// runs from destructors).
+    fn shutdown_slot(&self, mut slot: Slot) {
+        (self.shutdown)(&slot.comm, self.workers_per_slot);
+        if let Some(group) = slot.group.take() {
+            let panicked = group.join();
+            if panicked > 0 {
+                eprintln!(
+                    "cmpi worker pool: {panicked} worker(s) of slot {} panicked",
+                    slot.index
+                );
+            }
+        }
+    }
+}
+
+/// A fixed set of long-lived worker worlds, leased out one at a time.
+///
+/// See the [module docs](self) for the lifecycle. All methods take `&self`;
+/// the pool handle can be shared behind an `Arc` and leased from many
+/// threads.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+}
+
+impl WorkerPool {
+    /// Spawns `slots` independent worker worlds of `workers_per_slot`
+    /// workers each, all running `worker` (as in
+    /// [`Universe::spawn_workers`]). `shutdown` is the pool's slot
+    /// termination protocol: given a slot's controller communicator and
+    /// worker count, it must make every worker return from `worker`.
+    pub fn new<W, S>(slots: usize, workers_per_slot: usize, worker: W, shutdown: S) -> WorkerPool
+    where
+        W: Fn(Communicator) + Send + Sync + 'static,
+        S: Fn(&Communicator, usize) + Send + Sync + 'static,
+    {
+        assert!(slots > 0, "need at least one pool slot");
+        let worker = Arc::new(worker);
+        let free = (0..slots)
+            .map(|index| {
+                let worker = Arc::clone(&worker);
+                let (comm, group) = Universe::spawn_workers(workers_per_slot, move |c| worker(c));
+                Slot {
+                    index,
+                    comm,
+                    group: Some(group),
+                }
+            })
+            .collect();
+        WorkerPool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    free,
+                    closing: false,
+                }),
+                cv: Condvar::new(),
+                shutdown: Box::new(shutdown),
+                workers_per_slot,
+                slots,
+            }),
+        }
+    }
+
+    /// Total slot count.
+    pub fn slots(&self) -> usize {
+        self.shared.slots
+    }
+
+    /// Workers per slot.
+    pub fn workers_per_slot(&self) -> usize {
+        self.shared.workers_per_slot
+    }
+
+    /// Slots currently free (racy by nature; useful for scheduling
+    /// heuristics and tests).
+    pub fn available(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .free
+            .len()
+    }
+
+    /// Leases a slot if one is free right now.
+    pub fn try_lease(&self) -> Option<WorkerLease> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.free.pop().map(|slot| WorkerLease {
+            slot: Some(slot),
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Leases a slot, blocking until one is free.
+    pub fn lease(&self) -> WorkerLease {
+        self.lease_timeout(Duration::MAX)
+            .expect("untimed lease wait cannot expire")
+    }
+
+    /// Leases a slot, blocking up to `timeout`; `None` on expiry.
+    pub fn lease_timeout(&self, timeout: Duration) -> Option<WorkerLease> {
+        let deadline = std::time::Instant::now().checked_add(timeout);
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(slot) = st.free.pop() {
+                return Some(WorkerLease {
+                    slot: Some(slot),
+                    shared: Arc::clone(&self.shared),
+                });
+            }
+            match deadline {
+                // Duration::MAX overflowed Instant: wait without a deadline.
+                None => {
+                    st = self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(deadline) => {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .cv
+                        .wait_timeout(st, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = guard;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.closing = true;
+        let free = std::mem::take(&mut st.free);
+        drop(st);
+        // Slots still leased shut down when their lease drops (it observes
+        // `closing`); the free ones shut down here.
+        for slot in free {
+            self.shared.shutdown_slot(slot);
+        }
+    }
+}
+
+/// Exclusive use of one pool slot. Dropping the lease returns the slot —
+/// workers still running — to the pool, or shuts it down if the pool
+/// itself has been dropped.
+pub struct WorkerLease {
+    slot: Option<Slot>,
+    shared: Arc<PoolShared>,
+}
+
+impl WorkerLease {
+    fn slot(&self) -> &Slot {
+        self.slot.as_ref().expect("slot present until drop")
+    }
+
+    /// The slot's controller communicator (rank 0 of its worker world).
+    pub fn comm(&self) -> &Communicator {
+        &self.slot().comm
+    }
+
+    /// Workers in the leased slot.
+    pub fn workers(&self) -> usize {
+        self.shared.workers_per_slot
+    }
+
+    /// Stable index of the leased slot within the pool.
+    pub fn slot_index(&self) -> usize {
+        self.slot().index
+    }
+}
+
+impl Drop for WorkerLease {
+    fn drop(&mut self) {
+        let slot = self.slot.take().expect("slot present until drop");
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.closing {
+            drop(st);
+            self.shared.shutdown_slot(slot);
+        } else {
+            st.free.push(slot);
+            drop(st);
+            self.shared.cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Echo workers: double incoming numbers until the shutdown sentinel.
+    fn echo_pool(slots: usize, workers: usize) -> WorkerPool {
+        WorkerPool::new(
+            slots,
+            workers,
+            |comm| loop {
+                let (v, _) = comm.recv::<u64>(0, 0);
+                if v == u64::MAX {
+                    return;
+                }
+                comm.send(&(v * 2), 0, 1);
+            },
+            |comm, workers| {
+                for w in 1..=workers {
+                    comm.send(&u64::MAX, w, 0);
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn leases_are_exclusive_and_isolated() {
+        let pool = echo_pool(2, 2);
+        let a = pool.try_lease().expect("slot free");
+        let b = pool.try_lease().expect("second slot free");
+        assert!(pool.try_lease().is_none(), "both slots out");
+        assert_ne!(a.slot_index(), b.slot_index());
+        // Concurrent use of both leases: traffic never crosses worlds.
+        a.comm().send(&10u64, 1, 0);
+        b.comm().send(&100u64, 1, 0);
+        let (va, _) = a.comm().recv::<u64>(1, 1);
+        let (vb, _) = b.comm().recv::<u64>(1, 1);
+        assert_eq!((va, vb), (20, 200));
+    }
+
+    #[test]
+    fn released_slot_is_leased_again_with_workers_alive() {
+        let pool = echo_pool(1, 1);
+        let first = pool.lease();
+        let idx = first.slot_index();
+        first.comm().send(&3u64, 1, 0);
+        assert_eq!(first.comm().recv::<u64>(1, 1).0, 6);
+        drop(first);
+        let second = pool.lease();
+        assert_eq!(second.slot_index(), idx);
+        // Same worker, still in its loop.
+        second.comm().send(&4u64, 1, 0);
+        assert_eq!(second.comm().recv::<u64>(1, 1).0, 8);
+    }
+
+    #[test]
+    fn blocking_lease_wakes_on_release() {
+        let pool = Arc::new(echo_pool(1, 1));
+        let held = pool.lease();
+        let woke = Arc::new(AtomicUsize::new(0));
+        let (p2, w2) = (Arc::clone(&pool), Arc::clone(&woke));
+        let waiter = std::thread::spawn(move || {
+            let lease = p2.lease();
+            w2.store(1, Ordering::SeqCst);
+            drop(lease);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(woke.load(Ordering::SeqCst), 0, "lease still held");
+        drop(held);
+        waiter.join().unwrap();
+        assert_eq!(woke.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn lease_timeout_expires_when_pool_exhausted() {
+        let pool = echo_pool(1, 1);
+        let _held = pool.lease();
+        assert!(pool.lease_timeout(Duration::from_millis(20)).is_none());
+    }
+
+    #[test]
+    fn pool_drop_shuts_down_free_and_leased_slots() {
+        let pool = echo_pool(2, 2);
+        let held = pool.lease();
+        drop(pool); // free slot shuts down here
+        held.comm().send(&5u64, 1, 0);
+        assert_eq!(held.comm().recv::<u64>(1, 1).0, 10);
+        drop(held); // leased slot shuts down on release
+    }
+}

@@ -63,7 +63,7 @@ use qsim::{BatchOp, Gate, GateBatch, Pauli, QubitId, State};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-pub use remote::RemoteShardedEngine;
+pub use remote::{RemoteShardedEngine, ShardLease, ShardWorkerPool};
 pub use sharded::{ShardableEngine, ShardedShared, ShardedStateVector};
 pub use stabilizer::StabilizerEngine;
 pub use statevector::StateVectorEngine;
@@ -202,7 +202,7 @@ impl BackendKind {
             ));
         }
         if let Some(warning) = self.shard_clamp_warning() {
-            eprintln!("warning: {warning}");
+            emit_clamp_warning_once(&warning);
         }
         Ok(match self {
             BackendKind::StateVector => {
@@ -220,6 +220,23 @@ impl BackendKind {
             )),
         })
     }
+}
+
+/// Prints a shard-clamp warning to stderr at most once per process and
+/// returns whether this call was the one that printed. A job storm of 100
+/// identically misconfigured backends warns once, not 100 times; the
+/// warning text itself stays available per-config via
+/// [`BackendKind::shard_clamp_warning`].
+fn emit_clamp_warning_once(warning: &str) -> bool {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static EMITTED: AtomicBool = AtomicBool::new(false);
+    let first = EMITTED
+        .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok();
+    if first {
+        eprintln!("warning: {warning} (further shard-clamp warnings suppressed)");
+    }
+    first
 }
 
 impl std::fmt::Display for BackendKind {
@@ -273,6 +290,13 @@ pub trait SimEngine: Send {
     /// bound on state fidelity, computable at scales where no amplitudes
     /// exist.
     fn modeled_fidelity(&self) -> Option<f64> {
+        None
+    }
+
+    /// Message-transport round counters `(command_rounds, exchange_rounds)`
+    /// for engines driven over a message substrate ([`RemoteShardedEngine`]);
+    /// `None` for in-process engines, where no transport exists.
+    fn transport_rounds(&self) -> Option<(u64, u64)> {
         None
     }
 
@@ -383,6 +407,14 @@ pub trait QuantumBackend: Send + Sync {
     /// backend's error-free probability; `None` elsewhere). See
     /// [`SimEngine::modeled_fidelity`].
     fn modeled_fidelity(&self) -> Option<f64>;
+
+    /// The engine's `(command_rounds, exchange_rounds)` transport counters,
+    /// if it is driven over a message substrate — see
+    /// [`SimEngine::transport_rounds`]. Per-job accounting (the `qserve`
+    /// job service) reads these through the backend handle.
+    fn transport_rounds(&self) -> Option<(u64, u64)> {
+        None
+    }
 
     /// Allocates `n` fresh |0> qubits owned by `rank`.
     fn alloc(&self, rank: usize, n: usize) -> Vec<QubitId>;
@@ -709,6 +741,10 @@ impl<E: SimEngine> QuantumBackend for Shared<E> {
         self.inner.lock().engine.modeled_fidelity()
     }
 
+    fn transport_rounds(&self) -> Option<(u64, u64)> {
+        self.inner.lock().engine.transport_rounds()
+    }
+
     fn alloc(&self, rank: usize, n: usize) -> Vec<QubitId> {
         self.inner.lock().alloc(rank, n)
     }
@@ -973,6 +1009,19 @@ mod tests {
                 "{kind}"
             );
         }
+    }
+
+    #[test]
+    fn clamp_warning_emits_at_most_once_per_process() {
+        // The guard is process-global, so another test (or an earlier
+        // backend build) may already have consumed the one emission; the
+        // invariant this pins is that at most one of any number of calls
+        // reports having printed.
+        let first = emit_clamp_warning_once("test warning a");
+        let second = emit_clamp_warning_once("test warning b");
+        let third = emit_clamp_warning_once("test warning c");
+        assert!(!second && !third, "only the first call may print");
+        let _ = first;
     }
 
     #[test]

@@ -82,7 +82,9 @@
 
 use super::BackendKind;
 use bytes::{Bytes, BytesMut};
-use cmpi::{Communicator, Decode, Encode, Universe, WorkerGroup};
+use cmpi::{
+    Communicator, Decode, Encode, SourceSel, Universe, WorkerGroup, WorkerLease, WorkerPool,
+};
 use parking_lot::Mutex;
 use qsim::gates::Mat2;
 use qsim::noise::{ChannelAction, NoiseModel, NoiseState, OpClass};
@@ -844,8 +846,10 @@ fn shard_worker(comm: Communicator, watchdog: Arc<AtomicU64>) {
 /// logical operation happen while the engine holds the controller lock, so
 /// every worker sees commands in the same global order.
 struct Controller {
-    comm: Communicator,
-    group: Option<WorkerGroup>,
+    /// The worker world this controller drives: privately spawned (owned,
+    /// shut down on engine drop) or leased from a [`ShardWorkerPool`]
+    /// (returned, still running, on engine drop).
+    link: WorkerLink,
     /// Watchdog in milliseconds, shared with every worker's exchange waits
     /// so [`RemoteShardedEngine::with_watchdog`] reaches both sides.
     watchdog: Arc<AtomicU64>,
@@ -872,10 +876,37 @@ struct Plan {
     xchg: u64,
 }
 
+/// How a [`Controller`] came by its worker world.
+enum WorkerLink {
+    /// Workers spawned privately for this engine; the engine owns their
+    /// shutdown and thread joins.
+    Owned {
+        comm: Communicator,
+        group: Option<WorkerGroup>,
+    },
+    /// Workers leased from a [`ShardWorkerPool`]; dropping the lease
+    /// returns them — still running their event loop — to the pool.
+    Leased(WorkerLease),
+}
+
+impl WorkerLink {
+    fn comm(&self) -> &Communicator {
+        match self {
+            WorkerLink::Owned { comm, .. } => comm,
+            WorkerLink::Leased(lease) => lease.comm(),
+        }
+    }
+}
+
 impl Controller {
     /// Total worker count (`2^k`).
     fn workers(&self) -> usize {
         1 << self.max_shard_bits
+    }
+
+    /// The controller-side communicator of the worker world.
+    fn comm(&self) -> &Communicator {
+        self.link.comm()
     }
 
     /// Currently active shard count (`2^min(k, n)`).
@@ -894,7 +925,7 @@ impl Controller {
     }
 
     fn send_to(&self, shard: usize, cmd: &ShardCmd) {
-        self.comm.send(cmd, self.rank_of(shard), TAG_CMD);
+        self.comm().send(cmd, self.rank_of(shard), TAG_CMD);
     }
 
     /// The current watchdog duration.
@@ -906,7 +937,7 @@ impl Controller {
     fn reply_from(&self, shard: usize, what: &str) -> ShardReply {
         let wd = self.watchdog();
         match self
-            .comm
+            .comm()
             .recv_timeout::<ShardReply>(self.rank_of(shard), TAG_REPLY, wd)
         {
             Some((r, _)) => r,
@@ -1218,6 +1249,11 @@ impl RemoteShardedEngine {
 
     /// Spawns the worker ranks for an engine applying `noise` as
     /// controller-sampled trajectory insertions.
+    ///
+    /// This is the spawn-per-engine path: a thin wrapper over the shared
+    /// construction routine that owns a freshly spawned worker world.
+    /// Engines multiplexed over long-lived workers instead come from
+    /// [`RemoteShardedEngine::from_lease`].
     pub fn with_noise(seed: u64, shards: usize, noise: NoiseModel) -> Self {
         let shards = qsim::sharded::normalize_shards(shards, MAX_REMOTE_SHARD_BITS);
         let watchdog = Arc::new(AtomicU64::new(watchdog_from_env().as_millis() as u64));
@@ -1225,9 +1261,55 @@ impl RemoteShardedEngine {
         let (comm, group) = Universe::spawn_workers(shards, move |c| {
             shard_worker(c, Arc::clone(&worker_watchdog))
         });
+        Self::from_parts(
+            seed,
+            WorkerLink::Owned {
+                comm,
+                group: Some(group),
+            },
+            shards,
+            noise,
+            watchdog,
+        )
+    }
+
+    /// Builds an engine over a slot leased from a [`ShardWorkerPool`]. The
+    /// lease's workers keep running when the engine is dropped; the slot
+    /// returns to the pool for the next engine.
+    ///
+    /// Construction resets the slot: any replies a previous (possibly
+    /// panicked) lessee left unread in the controller mailbox are drained,
+    /// and the scatter of the fresh scalar state overwrites every worker's
+    /// stripe. Per-seed trajectories are therefore bit-identical to an
+    /// engine over freshly spawned workers.
+    pub fn from_lease(seed: u64, lease: ShardLease, noise: NoiseModel) -> Self {
+        let ShardLease {
+            lease,
+            watchdog,
+            shards,
+        } = lease;
+        while lease
+            .comm()
+            .irecv::<ShardReply>(SourceSel::Any, TAG_REPLY)
+            .test()
+            .is_some()
+        {}
+        Self::from_parts(seed, WorkerLink::Leased(lease), shards, noise, watchdog)
+    }
+
+    /// Common construction over an already-running worker world — the seam
+    /// between engine semantics and worker lifecycle. `shards` must be the
+    /// world's worker count (a power of two).
+    fn from_parts(
+        seed: u64,
+        link: WorkerLink,
+        shards: usize,
+        noise: NoiseModel,
+        watchdog: Arc<AtomicU64>,
+    ) -> Self {
+        debug_assert!(shards.is_power_of_two());
         let mut ctl = Controller {
-            comm,
-            group: Some(group),
+            link,
             watchdog,
             n_qubits: 0,
             shard_bits: 0,
@@ -1386,21 +1468,147 @@ impl RemoteShardedEngine {
 impl Drop for RemoteShardedEngine {
     fn drop(&mut self) {
         let ctl = self.ctl.get_mut();
-        for s in 0..ctl.workers() {
-            ctl.send_to(s, &ShardCmd::Shutdown);
-        }
-        if let Some(group) = ctl.group.take() {
-            // Never propagate from a destructor (unwinding here would
-            // abort), but a worker that panicked mid-run may have silently
-            // dropped fire-and-forget gate commands — say so.
-            let panicked = group.join();
-            if panicked > 0 {
-                eprintln!(
-                    "remote-shard engine: {panicked} shard worker(s) panicked during the run; \
-                     results involving their stripes are suspect"
-                );
+        match &mut ctl.link {
+            WorkerLink::Owned { .. } => {
+                for s in 0..ctl.workers() {
+                    ctl.send_to(s, &ShardCmd::Shutdown);
+                }
+                let WorkerLink::Owned { group, .. } = &mut ctl.link else {
+                    unreachable!("link variant checked above");
+                };
+                if let Some(group) = group.take() {
+                    // Never propagate from a destructor (unwinding here
+                    // would abort), but a worker that panicked mid-run may
+                    // have silently dropped fire-and-forget gate commands —
+                    // say so.
+                    let panicked = group.join();
+                    if panicked > 0 {
+                        eprintln!(
+                            "remote-shard engine: {panicked} shard worker(s) panicked during the \
+                             run; results involving their stripes are suspect"
+                        );
+                    }
+                }
             }
+            // Leased workers stay in their event loop: dropping the lease
+            // (with the controller) returns the slot to its pool, and the
+            // next lessee's construction resets the stripes.
+            WorkerLink::Leased(_) => {}
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// A long-lived pool of shard-worker worlds for [`RemoteShardedEngine`]s.
+///
+/// Each of the pool's `slots` is an independent worker world of `shards`
+/// workers running the shard event loop. [`ShardWorkerPool::lease`] grants
+/// one engine exclusive use of a slot ([`RemoteShardedEngine::from_lease`]);
+/// dropping that engine returns the slot — workers still running — for the
+/// next engine, shedding the per-engine thread spawn/join of the
+/// [`RemoteShardedEngine::new`] path. Dropping the pool shuts every worker
+/// down.
+pub struct ShardWorkerPool {
+    pool: WorkerPool,
+    /// Pool-wide watchdog, shared with every worker at spawn time and with
+    /// every controller built over a lease.
+    watchdog: Arc<AtomicU64>,
+    shards: usize,
+}
+
+impl ShardWorkerPool {
+    /// Spawns `slots` worker worlds of `shards` shard workers each.
+    /// `shards` is rounded up to a power of two and clamped to
+    /// `[1, 2^MAX_REMOTE_SHARD_BITS]`, as in [`RemoteShardedEngine::new`].
+    pub fn new(slots: usize, shards: usize) -> Self {
+        let shards = qsim::sharded::normalize_shards(shards, MAX_REMOTE_SHARD_BITS);
+        let watchdog = Arc::new(AtomicU64::new(watchdog_from_env().as_millis() as u64));
+        let worker_watchdog = Arc::clone(&watchdog);
+        let pool = WorkerPool::new(
+            slots,
+            shards,
+            move |c| shard_worker(c, Arc::clone(&worker_watchdog)),
+            |comm, workers| {
+                for w in 1..=workers {
+                    comm.send(&ShardCmd::Shutdown, w, TAG_CMD);
+                }
+            },
+        );
+        ShardWorkerPool {
+            pool,
+            watchdog,
+            shards,
+        }
+    }
+
+    /// Overrides the watchdog for every engine built over this pool's
+    /// leases (shared atomically with the already-running workers).
+    pub fn with_watchdog(self, watchdog: Duration) -> Self {
+        self.watchdog
+            .store(watchdog.as_millis() as u64, Ordering::Relaxed);
+        self
+    }
+
+    /// Worker (shard) count per slot, after normalization.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total slot count.
+    pub fn slots(&self) -> usize {
+        self.pool.slots()
+    }
+
+    /// Slots currently free (racy by nature; a scheduling heuristic).
+    pub fn available(&self) -> usize {
+        self.pool.available()
+    }
+
+    /// Leases a slot, blocking until one frees.
+    pub fn lease(&self) -> ShardLease {
+        self.wrap(self.pool.lease())
+    }
+
+    /// Leases a slot if one is free right now.
+    pub fn try_lease(&self) -> Option<ShardLease> {
+        self.pool.try_lease().map(|l| self.wrap(l))
+    }
+
+    /// Leases a slot, blocking up to `timeout`; `None` on expiry.
+    pub fn lease_timeout(&self, timeout: Duration) -> Option<ShardLease> {
+        self.pool.lease_timeout(timeout).map(|l| self.wrap(l))
+    }
+
+    fn wrap(&self, lease: WorkerLease) -> ShardLease {
+        ShardLease {
+            lease,
+            watchdog: Arc::clone(&self.watchdog),
+            shards: self.shards,
+        }
+    }
+}
+
+/// Exclusive use of one [`ShardWorkerPool`] slot, consumed by
+/// [`RemoteShardedEngine::from_lease`]. Dropping it unused returns the slot
+/// untouched.
+pub struct ShardLease {
+    lease: WorkerLease,
+    watchdog: Arc<AtomicU64>,
+    shards: usize,
+}
+
+impl ShardLease {
+    /// Worker (shard) count of the leased slot.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Stable index of the leased slot within its pool.
+    pub fn slot_index(&self) -> usize {
+        self.lease.slot_index()
     }
 }
 
@@ -1660,6 +1868,10 @@ impl super::SimEngine for RemoteShardedEngine {
 
     fn noise(&self) -> NoiseModel {
         self.noise_model
+    }
+
+    fn transport_rounds(&self) -> Option<(u64, u64)> {
+        Some((self.command_rounds(), self.exchange_rounds()))
     }
 
     fn alloc(&mut self) -> QubitId {
@@ -2308,7 +2520,7 @@ mod tests {
         // gather to the controller.
         let world = {
             let ctl = e.ctl.lock();
-            std::sync::Arc::clone(ctl.comm.world_handle())
+            std::sync::Arc::clone(ctl.comm().world_handle())
         };
         let bytes_before = world.bytes_sent();
         e.expectation(&[(rq[0], Pauli::X), (rq[5], Pauli::X)])
@@ -2442,5 +2654,70 @@ mod tests {
             }
         }
         assert_eq!(backend.counts().live_qubits, 0);
+    }
+
+    /// A short seeded program with measurements, exercising gates,
+    /// cross-shard pairing, and RNG-consuming collapses.
+    fn seeded_trajectory(e: &mut RemoteShardedEngine, seed_angle: f64) -> (Vec<bool>, Vec<u64>) {
+        let qs: Vec<QubitId> = (0..4).map(|_| e.alloc()).collect();
+        SimEngine::apply(e, Gate::Ry(seed_angle), qs[0]).unwrap();
+        e.cnot(qs[0], qs[3]).unwrap();
+        SimEngine::apply(e, Gate::H, qs[1]).unwrap();
+        e.cz(qs[1], qs[2]).unwrap();
+        let outcomes: Vec<bool> = qs
+            .into_iter()
+            .map(|q| SimEngine::measure_and_free(e, q).unwrap())
+            .collect();
+        (outcomes, vec![e.gate_count(), e.measurement_count()])
+    }
+
+    #[test]
+    fn leased_engines_are_bit_identical_to_spawned_and_slots_reset() {
+        let pool = ShardWorkerPool::new(2, 4);
+        assert_eq!(pool.shards(), 4);
+        assert_eq!(pool.available(), 2);
+        for (seed, angle) in [(11u64, 0.3), (12, 1.1), (11, 0.3)] {
+            // Spawn-per-engine reference trajectory.
+            let mut spawned = RemoteShardedEngine::new(seed, 4);
+            let want = seeded_trajectory(&mut spawned, angle);
+            // Same seed over a pooled lease — including the third pass,
+            // which reuses a slot two earlier engines already dirtied.
+            let lease = pool.try_lease().expect("slot free");
+            let mut leased = RemoteShardedEngine::from_lease(seed, lease, NoiseModel::ideal());
+            let got = seeded_trajectory(&mut leased, angle);
+            assert_eq!(got, want, "seed {seed}: pooled must match spawned");
+            drop(leased);
+            assert_eq!(pool.available(), 2, "slot returned on engine drop");
+        }
+    }
+
+    #[test]
+    fn concurrent_leases_run_isolated_worlds() {
+        use std::sync::Arc;
+        let pool = Arc::new(ShardWorkerPool::new(2, 2));
+        let solo: Vec<_> = (0..2u64)
+            .map(|seed| {
+                let mut e = RemoteShardedEngine::new(seed, 2);
+                seeded_trajectory(&mut e, 0.4 + seed as f64)
+            })
+            .collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2u64)
+                .map(|seed| {
+                    let pool = Arc::clone(&pool);
+                    s.spawn(move || {
+                        let mut e = RemoteShardedEngine::from_lease(
+                            seed,
+                            pool.lease(),
+                            NoiseModel::ideal(),
+                        );
+                        seeded_trajectory(&mut e, 0.4 + seed as f64)
+                    })
+                })
+                .collect();
+            for (seed, h) in handles.into_iter().enumerate() {
+                assert_eq!(h.join().unwrap(), solo[seed], "seed {seed}");
+            }
+        });
     }
 }

@@ -432,6 +432,10 @@ impl<E: ShardableEngine> QuantumBackend for ShardedShared<E> {
         self.inner.read().engine.modeled_fidelity()
     }
 
+    fn transport_rounds(&self) -> Option<(u64, u64)> {
+        self.inner.read().engine.transport_rounds()
+    }
+
     fn alloc(&self, rank: usize, n: usize) -> Vec<QubitId> {
         self.inner.write().alloc(rank, n)
     }

@@ -497,8 +497,45 @@ where
         .backend
         .build_with_noise(config.seed, config.noise)
         .unwrap_or_else(|e| panic!("cannot build the {} backend: {e}", config.backend));
+    run_on_backend(n, config, backend, f).results
+}
+
+/// Everything one world execution produced: the per-rank results plus the
+/// final totals of the world's private [`ResourceLedger`] — the accounting
+/// a job scheduler needs without sharing the ledger itself.
+pub struct WorldRun<T> {
+    /// Per-rank results in rank order.
+    pub results: Vec<T>,
+    /// Final ledger totals (EPR pairs, classical bits, EPR rounds).
+    pub resources: ResourceSnapshot,
+    /// Largest per-rank EPR-buffer peak — the minimum SENDQ `S` this
+    /// execution actually required.
+    pub max_buffer_peak: i64,
+}
+
+/// Runs `f` on `n` QMPI ranks over an *already constructed* backend —
+/// the entry point for callers that manage backend lifecycle themselves,
+/// such as the `qserve` job service multiplexing jobs over pooled shard
+/// workers ([`crate::backend::ShardWorkerPool`]).
+///
+/// The world gets its own fresh [`ResourceLedger`]; its final totals come
+/// back in the [`WorldRun`]. `config.backend` is informational here — the
+/// provided `backend` executes the quantum operations regardless — but
+/// `config.seed`, `config.s_limit`, and `config.batching` apply as in
+/// [`run_with_config`].
+pub fn run_on_backend<T, F>(
+    n: usize,
+    config: QmpiConfig,
+    backend: Arc<dyn QuantumBackend>,
+    f: F,
+) -> WorldRun<T>
+where
+    T: Send + 'static,
+    F: Fn(&QmpiRank) -> T + Send + Sync + 'static,
+{
     let ledger = Arc::new(ResourceLedger::new(n));
-    Universe::run(n, move |comm| {
+    let ledger_out = Arc::clone(&ledger);
+    let results = Universe::run(n, move |comm| {
         // The original world communicator carries the QMPI protocol; users
         // get a duplicate so their classical traffic can never collide.
         let classical = comm.dup();
@@ -517,7 +554,12 @@ where
         ctx.flush()
             .expect("flushing the rank's pending batched gates at world teardown");
         out
-    })
+    });
+    WorldRun {
+        results,
+        resources: ledger_out.snapshot(),
+        max_buffer_peak: ledger_out.max_buffer_peak(),
+    }
 }
 
 impl Drop for QmpiRank {

@@ -109,14 +109,14 @@ pub mod reduce_ops;
 pub mod resources;
 
 pub use backend::{
-    BackendKind, OpCounts, QuantumBackend, RemoteShardedEngine, ShardableEngine, ShardedShared,
-    ShardedStateVector, Shared, SimEngine, StabilizerEngine, StateVectorEngine, TraceEngine,
-    DIAG_RANK,
+    BackendKind, OpCounts, QuantumBackend, RemoteShardedEngine, ShardLease, ShardWorkerPool,
+    ShardableEngine, ShardedShared, ShardedStateVector, Shared, SimEngine, StabilizerEngine,
+    StateVectorEngine, TraceEngine, DIAG_RANK,
 };
 pub use collectives::{
     AllreduceHandle, BcastAlgorithm, ExscanHandle, ReduceHandle, ReduceScatterHandle, ScanHandle,
 };
-pub use context::{run, run_with_config, QTag, QmpiConfig, QmpiRank};
+pub use context::{run, run_on_backend, run_with_config, QTag, QmpiConfig, QmpiRank, WorldRun};
 pub use datatypes::{Datatype, QUBIT};
 pub use epr::EprRequest;
 pub use error::{QmpiError, Result};

@@ -8,5 +8,6 @@ pub use cmpi;
 pub use qalgo;
 pub use qchem;
 pub use qmpi;
+pub use qserve;
 pub use qsim;
 pub use sendq;
