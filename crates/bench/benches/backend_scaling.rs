@@ -18,7 +18,7 @@
 //! `CRITERION_OUTPUT_JSON` for the bench-regression pipeline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qmpi::{run_with_config, BackendKind, QmpiConfig};
+use qmpi::{run_with_config, BackendKind, QmpiConfig, TransportKind};
 
 const SHARDS: usize = 8;
 
@@ -189,20 +189,48 @@ fn bench_local_gates(c: &mut Criterion) {
 /// gate vs. a stripe-lock acquisition) — the number to watch as the remote
 /// engine's batching improves. Kept smaller than `local_gates` because a
 /// message round per gate is the point, not raw amplitude throughput.
+///
+/// A third arm runs the same workload with the workers as real `qworker`
+/// child processes over the unix-socket transport, so the in-process vs
+/// OS-boundary premium is one table row apart. `cargo bench` does not
+/// build the umbrella package's `qworker` binary, so the arm needs
+/// `QMPI_QWORKER_BIN` pointing at it and is skipped (loudly) otherwise.
 fn bench_remote_gates(c: &mut Criterion) {
     let mut group = c.benchmark_group("backend/remote_gates");
     group.sample_size(10);
     let ranks = 4usize;
     let qubits_per_rank = 2usize;
     let gates_per_rank = if quick() { 8 } else { 24 };
-    for kind in [
-        BackendKind::ShardedStateVector { shards: 4 },
-        BackendKind::RemoteSharded { shards: 4 },
-    ] {
+    let mut arms = vec![
+        (
+            BackendKind::ShardedStateVector { shards: 4 },
+            TransportKind::InProcess,
+        ),
+        (
+            BackendKind::RemoteSharded { shards: 4 },
+            TransportKind::InProcess,
+        ),
+    ];
+    if std::env::var_os("QMPI_QWORKER_BIN").is_some() {
+        arms.push((
+            BackendKind::RemoteSharded { shards: 4 },
+            TransportKind::UnixSocket,
+        ));
+    } else {
+        eprintln!(
+            "remote_gates: QMPI_QWORKER_BIN unset; skipping the unix-socket transport arm              (build the qworker binary and point the variable at it)"
+        );
+    }
+    for (kind, transport) in arms {
+        let name = if transport.is_multiprocess() {
+            format!("{}-{transport}", kind.name())
+        } else {
+            kind.name().to_string()
+        };
         let label = format!("{}q_{}r", ranks * qubits_per_rank, ranks);
-        group.bench_with_input(BenchmarkId::new(kind.name(), label), &ranks, |b, &n| {
+        group.bench_with_input(BenchmarkId::new(name, label), &ranks, |b, &n| {
             b.iter(|| {
-                run_with_config(n, cfg(kind), move |ctx| {
+                run_with_config(n, cfg(kind).transport(transport), move |ctx| {
                     let qs = ctx.alloc_qmem(qubits_per_rank);
                     ctx.barrier();
                     for i in 0..gates_per_rank {

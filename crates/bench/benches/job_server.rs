@@ -73,6 +73,7 @@ fn bench_jobs_per_sec(c: &mut Criterion) {
         max_concurrent: 4,
         pool_slots: 4,
         pool_shards: SHARDS,
+        ..ServerConfig::default()
     });
     group.bench_with_input(BenchmarkId::new("pooled", jobs), &jobs, |b, &jobs| {
         b.iter(|| run_storm(&pooled, jobs, JobBackend::Pooled));
@@ -86,6 +87,7 @@ fn bench_jobs_per_sec(c: &mut Criterion) {
         max_concurrent: 4,
         pool_slots: 0,
         pool_shards: 0,
+        ..ServerConfig::default()
     });
     let spawn = JobBackend::Spawn(BackendKind::RemoteSharded { shards: SHARDS });
     group.bench_with_input(

@@ -16,6 +16,7 @@ pub mod comm;
 pub mod encode;
 pub mod mailbox;
 pub mod pool;
+pub mod transport;
 pub mod universe;
 
 pub use collectives::{ops, ReduceOp};
@@ -23,6 +24,7 @@ pub use comm::{Communicator, RecvRequest, SendRequest, Status, World};
 pub use encode::{from_bytes, to_bytes, Decode, Encode};
 pub use mailbox::{Envelope, Mailbox, SourceSel, Tag, TagSel};
 pub use pool::{WorkerLease, WorkerPool};
+pub use transport::{FrameHeader, TransportKind, WireListener, WireStream};
 pub use universe::{Universe, WorkerGroup};
 
 #[cfg(test)]

@@ -51,12 +51,14 @@
 //! ranks) execute in parallel.
 
 pub mod remote;
+pub mod remote_transport;
 pub mod sharded;
 pub mod stabilizer;
 pub mod statevector;
 pub mod trace;
 
 use crate::error::{QmpiError, Result};
+use cmpi::TransportKind;
 use parking_lot::Mutex;
 use qsim::noise::NoiseModel;
 use qsim::{BatchOp, Gate, GateBatch, Pauli, QubitId, State};
@@ -64,6 +66,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 pub use remote::{RemoteShardedEngine, ShardLease, ShardWorkerPool};
+pub use remote_transport::{qworker_main, ProcessShardLease, ProcessWorkerPool};
 pub use sharded::{ShardableEngine, ShardedShared, ShardedStateVector};
 pub use stabilizer::StabilizerEngine;
 pub use statevector::StateVectorEngine;
@@ -161,12 +164,14 @@ impl BackendKind {
 
     /// The sharded state-vector backend with one stripe per available
     /// hardware thread (capped at 8) — a sensible default shard count.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `BackendKind::ShardedStateVector { shards: backend::auto_shards() }`"
+    )]
     pub fn sharded_auto() -> BackendKind {
-        let shards = std::thread::available_parallelism()
-            .map(|n| n.get().min(8))
-            .unwrap_or(4)
-            .next_power_of_two();
-        BackendKind::ShardedStateVector { shards }
+        BackendKind::ShardedStateVector {
+            shards: auto_shards(),
+        }
     }
 
     /// Human-readable engine name.
@@ -181,46 +186,97 @@ impl BackendKind {
     }
 
     /// Builds a ready-to-share noiseless backend of this kind.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `QmpiConfig::backend(kind).build_backend()` (or `backend::build_backend` \
+                directly) — the unified construction path that also honors the transport"
+    )]
     pub fn build(self, seed: u64) -> Arc<dyn QuantumBackend> {
-        self.build_with_noise(seed, NoiseModel::ideal())
+        build_backend(self, TransportKind::InProcess, seed, NoiseModel::ideal())
             .expect("the ideal noise model is valid for every backend")
     }
 
     /// Builds a ready-to-share backend of this kind with a noise model.
-    ///
-    /// Fails with [`QmpiError::InvalidArgument`] when a rate is outside
-    /// `[0, 1]`, or when the stabilizer backend is paired with a
-    /// non-Clifford channel (amplitude damping) — the tableau can only
-    /// realize Pauli noise (depolarizing/dephasing).
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `QmpiConfig::backend(kind).noise(model).build_backend()` (or \
+                `backend::build_backend` directly) — the unified construction path that \
+                also honors the transport"
+    )]
     pub fn build_with_noise(self, seed: u64, noise: NoiseModel) -> Result<Arc<dyn QuantumBackend>> {
-        noise.validate().map_err(QmpiError::InvalidArgument)?;
-        if self == BackendKind::Stabilizer && !noise.is_clifford() {
-            return Err(QmpiError::InvalidArgument(
-                "the stabilizer backend supports only Clifford-compatible Pauli noise \
-                 (depolarizing/dephasing); amplitude damping needs a state-vector backend"
-                    .into(),
-            ));
-        }
-        if let Some(warning) = self.shard_clamp_warning() {
-            emit_clamp_warning_once(&warning);
-        }
-        Ok(match self {
-            BackendKind::StateVector => {
-                Arc::new(Shared::new(StateVectorEngine::with_noise(seed, noise)))
-            }
-            BackendKind::Stabilizer => {
-                Arc::new(Shared::new(StabilizerEngine::with_noise(seed, noise)))
-            }
-            BackendKind::Trace => Arc::new(Shared::new(TraceEngine::with_noise(noise))),
-            BackendKind::ShardedStateVector { shards } => Arc::new(ShardedShared::new(
-                ShardedStateVector::with_noise(seed, shards, noise),
-            )),
-            BackendKind::RemoteSharded { shards } => Arc::new(ShardedShared::new(
-                RemoteShardedEngine::with_noise(seed, shards, noise),
-            )),
-        })
+        build_backend(self, TransportKind::InProcess, seed, noise)
     }
 }
+
+/// The default stripe count for the sharded state-vector backend: one per
+/// available hardware thread, capped at 8, rounded up to a power of two.
+pub fn auto_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4)
+        .next_power_of_two()
+}
+
+/// The single backend construction point: builds a ready-to-share backend
+/// of `kind` over `transport` with a noise model. Every other constructor
+/// ([`crate::QmpiConfig::build_backend`], the deprecated
+/// [`BackendKind::build`]/[`BackendKind::build_with_noise`] shims, qserve's
+/// job launcher) funnels through here.
+///
+/// The transport selects where shard workers live and only applies to
+/// [`BackendKind::RemoteSharded`]: [`TransportKind::InProcess`] runs them
+/// as threads over `cmpi` mailboxes, the multi-process kinds
+/// ([`TransportKind::UnixSocket`], [`TransportKind::Tcp`]) spawn real
+/// `qworker` child processes speaking framed sockets (with failover — see
+/// [`remote_transport`]). Every other backend kind is transport-less and
+/// ignores the parameter.
+///
+/// Fails with [`QmpiError::InvalidArgument`] when a noise rate is outside
+/// `[0, 1]`, or when the stabilizer backend is paired with a non-Clifford
+/// channel (amplitude damping) — the tableau can only realize Pauli noise
+/// (depolarizing/dephasing).
+pub fn build_backend(
+    kind: BackendKind,
+    transport: TransportKind,
+    seed: u64,
+    noise: NoiseModel,
+) -> Result<Arc<dyn QuantumBackend>> {
+    noise.validate().map_err(QmpiError::InvalidArgument)?;
+    if kind == BackendKind::Stabilizer && !noise.is_clifford() {
+        return Err(QmpiError::InvalidArgument(
+            "the stabilizer backend supports only Clifford-compatible Pauli noise \
+             (depolarizing/dephasing); amplitude damping needs a state-vector backend"
+                .into(),
+        ));
+    }
+    if let Some(warning) = kind.shard_clamp_warning() {
+        emit_clamp_warning_once(&warning);
+    }
+    Ok(match kind {
+        BackendKind::StateVector => {
+            Arc::new(Shared::new(StateVectorEngine::with_noise(seed, noise)))
+        }
+        BackendKind::Stabilizer => Arc::new(Shared::new(StabilizerEngine::with_noise(seed, noise))),
+        BackendKind::Trace => Arc::new(Shared::new(TraceEngine::with_noise(noise))),
+        BackendKind::ShardedStateVector { shards } => Arc::new(ShardedShared::new(
+            ShardedStateVector::with_noise(seed, shards, noise),
+        )),
+        BackendKind::RemoteSharded { shards } if transport.is_multiprocess() => {
+            Arc::new(ShardedShared::new(RemoteShardedEngine::over_transport(
+                seed, shards, noise, transport,
+            )))
+        }
+        BackendKind::RemoteSharded { shards } => Arc::new(ShardedShared::new(
+            RemoteShardedEngine::with_noise(seed, shards, noise),
+        )),
+    })
+}
+
+/// Once-per-process latch for the shard-clamp warning. Module-scoped (not
+/// function-local) so tests can reset it and observe the emit/suppress
+/// transition regardless of which test fired the warning first.
+static CLAMP_WARNING_EMITTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
 
 /// Prints a shard-clamp warning to stderr at most once per process and
 /// returns whether this call was the one that printed. A job storm of 100
@@ -228,15 +284,23 @@ impl BackendKind {
 /// warning text itself stays available per-config via
 /// [`BackendKind::shard_clamp_warning`].
 fn emit_clamp_warning_once(warning: &str) -> bool {
-    use std::sync::atomic::{AtomicBool, Ordering};
-    static EMITTED: AtomicBool = AtomicBool::new(false);
-    let first = EMITTED
+    use std::sync::atomic::Ordering;
+    let first = CLAMP_WARNING_EMITTED
         .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
         .is_ok();
     if first {
         eprintln!("warning: {warning} (further shard-clamp warnings suppressed)");
     }
     first
+}
+
+/// Rearms the once-per-process shard-clamp warning so the next
+/// [`build_backend`] that clamps will print (and return `true` from the
+/// emitter) again. Test-only: lets the clamp unit test assert both sides of
+/// the latch without depending on process-wide test ordering.
+#[doc(hidden)]
+pub fn reset_clamp_warning_for_tests() {
+    CLAMP_WARNING_EMITTED.store(false, std::sync::atomic::Ordering::Relaxed);
 }
 
 impl std::fmt::Display for BackendKind {
@@ -248,6 +312,30 @@ impl std::fmt::Display for BackendKind {
 /// Rank used by diagnostics to bypass the ownership check on read-only
 /// observables ([`QuantumBackend::expectation`]).
 pub const DIAG_RANK: usize = usize::MAX;
+
+/// Uniform transport accounting for engines driven over a message
+/// substrate ([`RemoteShardedEngine`] — in-process mailboxes or real
+/// process workers behind sockets). Returned by
+/// [`QuantumBackend::transport_stats`]; `None` means the backend has no
+/// transport at all (dense in-memory engines).
+///
+/// All counters are cumulative over the engine's lifetime; per-job deltas
+/// are the consumer's job (qserve snapshots them into its `JobReport`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Controller→worker command rounds (one per broadcast `ShardCmd`
+    /// round-trip group — gate batches collapse many gates into one).
+    pub command_rounds: u64,
+    /// Worker↔worker stripe-exchange rounds (cross-shard gate traffic).
+    pub exchange_rounds: u64,
+    /// Bytes put on the wire, both directions, including relayed
+    /// exchanges. Zero for the in-process transport, where frames never
+    /// serialize onto a socket.
+    pub wire_bytes: u64,
+    /// Worker processes respawned by failover. Zero for the in-process
+    /// transport, which has no process boundary to fail over.
+    pub respawns: u64,
+}
 
 /// Aggregate operation counts, maintained by the [`Shared`] wrapper across
 /// every engine. The `Trace` backend exists purely to produce these (plus
@@ -293,10 +381,10 @@ pub trait SimEngine: Send {
         None
     }
 
-    /// Message-transport round counters `(command_rounds, exchange_rounds)`
-    /// for engines driven over a message substrate ([`RemoteShardedEngine`]);
-    /// `None` for in-process engines, where no transport exists.
-    fn transport_rounds(&self) -> Option<(u64, u64)> {
+    /// Message-transport accounting for engines driven over a message
+    /// substrate ([`RemoteShardedEngine`]); `None` for in-process engines,
+    /// where no transport exists.
+    fn transport_stats(&self) -> Option<TransportStats> {
         None
     }
 
@@ -408,11 +496,10 @@ pub trait QuantumBackend: Send + Sync {
     /// [`SimEngine::modeled_fidelity`].
     fn modeled_fidelity(&self) -> Option<f64>;
 
-    /// The engine's `(command_rounds, exchange_rounds)` transport counters,
-    /// if it is driven over a message substrate — see
-    /// [`SimEngine::transport_rounds`]. Per-job accounting (the `qserve`
-    /// job service) reads these through the backend handle.
-    fn transport_rounds(&self) -> Option<(u64, u64)> {
+    /// The engine's transport accounting, if it is driven over a message
+    /// substrate — see [`SimEngine::transport_stats`]. Per-job accounting
+    /// (the `qserve` job service) reads these through the backend handle.
+    fn transport_stats(&self) -> Option<TransportStats> {
         None
     }
 
@@ -741,8 +828,8 @@ impl<E: SimEngine> QuantumBackend for Shared<E> {
         self.inner.lock().engine.modeled_fidelity()
     }
 
-    fn transport_rounds(&self) -> Option<(u64, u64)> {
-        self.inner.lock().engine.transport_rounds()
+    fn transport_stats(&self) -> Option<TransportStats> {
+        self.inner.lock().engine.transport_stats()
     }
 
     fn alloc(&self, rank: usize, n: usize) -> Vec<QubitId> {
@@ -868,6 +955,13 @@ impl<E: SimEngine> QuantumBackend for Shared<E> {
 mod tests {
     use super::*;
 
+    /// The unified construction path with the defaults the deprecated
+    /// shims supplied (in-process transport, ideal noise).
+    fn build(kind: BackendKind, seed: u64) -> Arc<dyn QuantumBackend> {
+        build_backend(kind, TransportKind::InProcess, seed, NoiseModel::ideal())
+            .expect("test backend configurations are valid")
+    }
+
     fn all_kinds() -> [BackendKind; 5] {
         [
             BackendKind::StateVector,
@@ -891,7 +985,7 @@ mod tests {
     #[test]
     fn ownership_enforced_on_gates_for_every_backend() {
         for kind in all_kinds() {
-            let b = kind.build(1);
+            let b = build(kind, 1);
             let q0 = b.alloc(0, 1)[0];
             let q1 = b.alloc(1, 1)[0];
             assert!(b.apply(0, Gate::H, q0).is_ok(), "{kind}");
@@ -913,7 +1007,7 @@ mod tests {
 
     #[test]
     fn entangle_epr_creates_bell_pair() {
-        let b = BackendKind::StateVector.build(3);
+        let b = build(BackendKind::StateVector, 3);
         let qa = b.alloc(0, 1)[0];
         let qb = b.alloc(1, 1)[0];
         b.entangle_epr(qa, qb).unwrap();
@@ -924,7 +1018,7 @@ mod tests {
 
     #[test]
     fn entangle_epr_correlates_on_stabilizer() {
-        let b = BackendKind::Stabilizer.build(3);
+        let b = build(BackendKind::Stabilizer, 3);
         let qa = b.alloc(0, 1)[0];
         let qb = b.alloc(1, 1)[0];
         b.entangle_epr(qa, qb).unwrap();
@@ -940,7 +1034,7 @@ mod tests {
     #[test]
     fn entangle_requires_fresh_qubits() {
         for kind in stateful_kinds() {
-            let b = kind.build(3);
+            let b = build(kind, 3);
             let qa = b.alloc(0, 1)[0];
             let qb = b.alloc(1, 1)[0];
             b.apply(0, Gate::X, qa).unwrap();
@@ -955,7 +1049,7 @@ mod tests {
     #[test]
     fn free_transfers_out_of_registry() {
         for kind in all_kinds() {
-            let b = kind.build(1);
+            let b = build(kind, 1);
             let q = b.alloc(0, 1)[0];
             assert_eq!(b.free(0, q), Ok(false), "{kind}");
             assert!(b.apply(0, Gate::X, q).is_err(), "{kind}");
@@ -965,7 +1059,7 @@ mod tests {
     #[test]
     fn cross_rank_free_rejected() {
         for kind in all_kinds() {
-            let b = kind.build(1);
+            let b = build(kind, 1);
             let q = b.alloc(0, 1)[0];
             assert!(
                 matches!(b.free(1, q), Err(QmpiError::Locality { .. })),
@@ -977,7 +1071,7 @@ mod tests {
     #[test]
     fn epr_measurements_agree() {
         for kind in stateful_kinds() {
-            let b = kind.build(9);
+            let b = build(kind, 9);
             let qa = b.alloc(0, 1)[0];
             let qb = b.alloc(1, 1)[0];
             b.entangle_epr(qa, qb).unwrap();
@@ -992,7 +1086,7 @@ mod tests {
         // The doc always promised a rank-ownership check; the wrapper now
         // performs it (diagnostics opt out via DIAG_RANK).
         for kind in stateful_kinds() {
-            let b = kind.build(5);
+            let b = build(kind, 5);
             let q0 = b.alloc(0, 1)[0];
             let q1 = b.alloc(1, 1)[0];
             assert!(b.expectation(0, &[(q0, Pauli::Z)]).is_ok(), "{kind}");
@@ -1012,16 +1106,55 @@ mod tests {
     }
 
     #[test]
-    fn clamp_warning_emits_at_most_once_per_process() {
-        // The guard is process-global, so another test (or an earlier
-        // backend build) may already have consumed the one emission; the
-        // invariant this pins is that at most one of any number of calls
-        // reports having printed.
-        let first = emit_clamp_warning_once("test warning a");
-        let second = emit_clamp_warning_once("test warning b");
-        let third = emit_clamp_warning_once("test warning c");
-        assert!(!second && !third, "only the first call may print");
-        let _ = first;
+    fn clamp_warning_latch_is_observable_and_resettable() {
+        // No other test in this binary builds a clamping shard count, so
+        // between the reset and the emission below the latch is ours
+        // alone — both sides of the transition are assertable.
+        reset_clamp_warning_for_tests();
+        assert!(
+            emit_clamp_warning_once("test warning (armed)"),
+            "a freshly reset latch must print"
+        );
+        assert!(
+            !emit_clamp_warning_once("test warning (suppressed)"),
+            "the second emission must be suppressed"
+        );
+        assert!(!emit_clamp_warning_once("test warning (still suppressed)"));
+        // Rearming is repeatable, not a one-way door per process.
+        reset_clamp_warning_for_tests();
+        assert!(emit_clamp_warning_once("test warning (re-armed)"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_unified_path() {
+        // The old constructors must stay behaviorally identical to
+        // `build_backend` while downstream call sites migrate.
+        let old = BackendKind::StateVector.build(11);
+        let new = build(BackendKind::StateVector, 11);
+        let oq = old.alloc(0, 2);
+        let nq = new.alloc(0, 2);
+        for (b, q) in [(&old, &oq), (&new, &nq)] {
+            b.apply(0, Gate::H, q[0]).unwrap();
+            b.cnot(0, q[0], q[1]).unwrap();
+            b.apply(0, Gate::T, q[1]).unwrap();
+        }
+        let want = old.state_vector(&oq).unwrap();
+        let got = new.state_vector(&nq).unwrap();
+        for i in 0..want.len() {
+            let (w, g) = (want.amplitude(i), got.amplitude(i));
+            assert!(
+                w.re.to_bits() == g.re.to_bits() && w.im.to_bits() == g.im.to_bits(),
+                "amp[{i}]: {w:?} vs {g:?}"
+            );
+        }
+        // The auto-sharding shim picks the same count the new helper does.
+        assert_eq!(
+            BackendKind::sharded_auto(),
+            BackendKind::ShardedStateVector {
+                shards: auto_shards()
+            }
+        );
     }
 
     #[test]
@@ -1067,7 +1200,7 @@ mod tests {
     #[test]
     fn apply_batch_checks_ownership_before_applying_anything() {
         for kind in all_kinds() {
-            let b = kind.build(2);
+            let b = build(kind, 2);
             let mine = b.alloc(0, 2);
             let theirs = b.alloc(1, 1)[0];
             let mut batch = GateBatch::new();
@@ -1094,8 +1227,8 @@ mod tests {
 
     #[test]
     fn apply_batch_equals_eager_application() {
-        let eager = BackendKind::StateVector.build(5);
-        let batched = BackendKind::StateVector.build(5);
+        let eager = build(BackendKind::StateVector, 5);
+        let batched = build(BackendKind::StateVector, 5);
         let eq = eager.alloc(0, 3);
         let bq = batched.alloc(0, 3);
         eager.apply(0, Gate::H, eq[0]).unwrap();
@@ -1130,7 +1263,7 @@ mod tests {
 
     #[test]
     fn trace_backend_counts_operations() {
-        let b = BackendKind::Trace.build(0);
+        let b = build(BackendKind::Trace, 0);
         let qs = b.alloc(0, 3);
         b.apply(0, Gate::H, qs[0]).unwrap();
         b.cnot(0, qs[0], qs[1]).unwrap();
@@ -1148,7 +1281,7 @@ mod tests {
 
     #[test]
     fn stabilizer_rejects_non_clifford() {
-        let b = BackendKind::Stabilizer.build(1);
+        let b = build(BackendKind::Stabilizer, 1);
         let q = b.alloc(0, 1)[0];
         assert!(matches!(
             b.apply(0, Gate::T, q),
@@ -1159,7 +1292,7 @@ mod tests {
     #[test]
     fn non_dense_backends_refuse_state_vector() {
         for kind in [BackendKind::Stabilizer, BackendKind::Trace] {
-            let b = kind.build(1);
+            let b = build(kind, 1);
             let q = b.alloc(0, 1)[0];
             assert!(
                 matches!(
@@ -1173,7 +1306,7 @@ mod tests {
 
     #[test]
     fn max_live_tracks_high_water_mark() {
-        let b = BackendKind::Trace.build(0);
+        let b = build(BackendKind::Trace, 0);
         let qs = b.alloc(0, 5);
         for q in qs {
             b.measure_and_free(0, q).unwrap();

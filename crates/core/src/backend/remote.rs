@@ -80,10 +80,12 @@
 //! existing [`super::ShardedShared`] reader-writer locality wrapper
 //! unchanged: select it with [`super::BackendKind::RemoteSharded`].
 
-use super::BackendKind;
+use super::remote_transport::{ProcessHandle, ProcessLink};
+use super::{BackendKind, TransportStats};
 use bytes::{Bytes, BytesMut};
 use cmpi::{
-    Communicator, Decode, Encode, SourceSel, Universe, WorkerGroup, WorkerLease, WorkerPool,
+    Communicator, Decode, Encode, SourceSel, TransportKind, Universe, WorkerGroup, WorkerLease,
+    WorkerPool,
 };
 use parking_lot::Mutex;
 use qsim::gates::Mat2;
@@ -116,7 +118,7 @@ pub const MAX_REMOTE_SHARD_BITS: u32 = 6;
 /// Default watchdog for blocking protocol receives.
 const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
 
-fn watchdog_from_env() -> Duration {
+pub(crate) fn watchdog_from_env() -> Duration {
     std::env::var("QMPI_REMOTE_WATCHDOG_MS")
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
@@ -677,29 +679,50 @@ impl Decode for ShardReply {
 // Worker event loop
 // ---------------------------------------------------------------------------
 
-/// The mailbox-driven event loop each shard worker runs: receive one
-/// [`ShardCmd`] from the controller, execute it against the owned stripe,
-/// loop until shutdown. Commands arrive in the controller's global send
-/// order (cmpi FIFO), so the stripe observes one consistent history.
-fn shard_worker(comm: Communicator, watchdog: Arc<AtomicU64>) {
-    let mut amps: Vec<Complex> = Vec::new();
-    let mut base: usize = 0;
-    let recv_xchg = |comm: &Communicator, partner: usize, what: &str| -> Vec<Complex> {
-        let wd = Duration::from_millis(watchdog.load(Ordering::Relaxed));
-        match comm.recv_timeout::<WireAmps>(partner, TAG_XCHG, wd) {
-            Some((w, _)) => w.0,
-            None => panic!(
-                "remote-shard watchdog: worker {} waited {wd:?} for {what} from \
-                 partner {partner}; the partner is presumed dead or deadlocked",
-                comm.rank()
-            ),
-        }
-    };
-    // Executes one gate-stream op against the owned stripe. Ops arrive
-    // inside `ShardCmd::Batch` frames; every worker walks its frame in the
-    // same global gate order, so cross-shard exchanges pair up without any
-    // further coordination.
-    let run_op = |comm: &Communicator, amps: &mut Vec<Complex>, op: WorkerOp| match op {
+/// Why a worker's event loop (or one blocking wait inside it) ends early.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum WorkerHalt {
+    /// The session is over: the controller hung up, a peer is unreachable,
+    /// or a watchdog expired. The worker exits its loop.
+    Exit,
+    /// A failover abort: the controller declared a new epoch mid-protocol.
+    /// The worker abandons the in-flight batch and returns to the command
+    /// loop; its (possibly half-updated) stripe is overwritten by the
+    /// recovery `Load`.
+    Aborted,
+}
+
+/// The transport a shard worker's event loop runs over. The in-process
+/// implementation is a cmpi mailbox ([`ThreadChannel`]); the multi-process
+/// one is a framed socket to the controller, with worker↔worker exchanges
+/// relayed through the controller's router threads
+/// (`super::remote_transport::SockChannel`). [`worker_loop`] is generic
+/// over this trait, so both transports execute the identical stripe
+/// kernels in the identical order — the substance of the bit-identity
+/// guarantee across `TransportKind`s.
+pub(crate) trait ShardChannel {
+    /// Next command from the controller; `None` means the controller hung
+    /// up and the worker should exit.
+    fn recv_cmd(&mut self) -> Option<ShardCmd>;
+    /// Ship a reply to the controller.
+    fn send_reply(&mut self, reply: &ShardReply) -> Result<(), WorkerHalt>;
+    /// Ship stripe amplitudes to the exchange partner (a world rank).
+    fn send_xchg(&mut self, partner: usize, amps: Vec<Complex>) -> Result<(), WorkerHalt>;
+    /// Await stripe amplitudes from the exchange partner, bounded by the
+    /// watchdog. `what` names the awaited payload for diagnostics.
+    fn recv_xchg(&mut self, partner: usize, what: &str) -> Result<Vec<Complex>, WorkerHalt>;
+}
+
+/// Executes one gate-stream op against the owned stripe. Ops arrive inside
+/// `ShardCmd::Batch` frames; every worker walks its frame in the same
+/// global gate order, so cross-shard exchanges pair up without any further
+/// coordination.
+fn run_op<C: ShardChannel>(
+    chan: &mut C,
+    amps: &mut Vec<Complex>,
+    op: WorkerOp,
+) -> Result<(), WorkerHalt> {
+    match op {
         WorkerOp::PairWithin { c_lo, tbit, kernel } => {
             kernel.apply_within(amps, c_lo, tbit);
         }
@@ -708,30 +731,43 @@ fn shard_worker(comm: Communicator, watchdog: Arc<AtomicU64>) {
             c_lo,
             kernel,
         } => {
-            let mut b = recv_xchg(comm, partner, "its stripe half");
+            let mut b = chan.recv_xchg(partner, "its stripe half")?;
             kernel.apply_across(amps, &mut b, c_lo);
-            comm.send(&WireAmps(b), partner, TAG_XCHG);
+            chan.send_xchg(partner, b)?;
         }
         WorkerOp::CrossHigh { partner } => {
-            comm.send(&WireAmps(std::mem::take(amps)), partner, TAG_XCHG);
-            *amps = recv_xchg(comm, partner, "the updated stripe half");
+            let own = std::mem::take(amps);
+            chan.send_xchg(partner, own)?;
+            *amps = chan.recv_xchg(partner, "the updated stripe half")?;
         }
         WorkerOp::Phase { lo_mask } => stripe::phase_flip(amps, lo_mask),
         WorkerOp::SwapWithin { abit, bbit } => stripe::swap_within(amps, abit, bbit),
         WorkerOp::SwapCrossLow { partner, abit } => {
-            let mut b = recv_xchg(comm, partner, "its stripe half");
+            let mut b = chan.recv_xchg(partner, "its stripe half")?;
             stripe::swap_across_mixed(amps, &mut b, abit);
-            comm.send(&WireAmps(b), partner, TAG_XCHG);
+            chan.send_xchg(partner, b)?;
         }
         WorkerOp::SwapFull { partner } => {
             // Both members run this op; buffered sends let each post its
             // stripe before blocking on the partner's.
-            comm.send(&WireAmps(std::mem::take(amps)), partner, TAG_XCHG);
-            *amps = recv_xchg(comm, partner, "its full stripe");
+            let own = std::mem::take(amps);
+            chan.send_xchg(partner, own)?;
+            *amps = chan.recv_xchg(partner, "its full stripe")?;
         }
-    };
+    }
+    Ok(())
+}
+
+/// The event loop each shard worker runs, generic over its transport:
+/// receive one [`ShardCmd`], execute it against the owned stripe, loop
+/// until shutdown. Commands arrive in the controller's global send order
+/// (FIFO per sender on both transports), so the stripe observes one
+/// consistent history.
+pub(crate) fn worker_loop<C: ShardChannel>(chan: &mut C) {
+    let mut amps: Vec<Complex> = Vec::new();
+    let mut base: usize = 0;
     loop {
-        let (cmd, _) = comm.recv::<ShardCmd>(CONTROLLER, TAG_CMD);
+        let Some(cmd) = chan.recv_cmd() else { return };
         match cmd {
             ShardCmd::Load {
                 shard_index,
@@ -742,11 +778,20 @@ fn shard_worker(comm: Communicator, watchdog: Arc<AtomicU64>) {
                 amps = stripe_amps;
             }
             ShardCmd::Gather => {
-                comm.send(&ShardReply::Amps(amps.clone()), CONTROLLER, TAG_REPLY);
+                if chan.send_reply(&ShardReply::Amps(amps.clone())).is_err() {
+                    return;
+                }
             }
             ShardCmd::Batch { ops } => {
                 for op in ops {
-                    run_op(&comm, &mut amps, op);
+                    match run_op(chan, &mut amps, op) {
+                        Ok(()) => {}
+                        // The abandoned batch leaves the stripe half
+                        // updated; the recovery Load overwrites it before
+                        // any further op can observe it.
+                        Err(WorkerHalt::Aborted) => break,
+                        Err(WorkerHalt::Exit) => return,
+                    }
                 }
             }
             ShardCmd::Expect {
@@ -767,14 +812,22 @@ fn shard_worker(comm: Communicator, watchdog: Arc<AtomicU64>) {
                             acc += t;
                         }
                     }
-                    comm.send(&ShardReply::PartialC(acc), CONTROLLER, TAG_REPLY);
+                    if chan.send_reply(&ShardReply::PartialC(acc)).is_err() {
+                        return;
+                    }
                 }
                 ExpectRole::High { partner } => {
                     // Ship the stripe; the low member accumulates for both.
-                    comm.send(&WireAmps(amps.clone()), partner, TAG_XCHG);
+                    if chan.send_xchg(partner, amps.clone()).is_err() {
+                        return;
+                    }
                 }
                 ExpectRole::Low { partner } => {
-                    let b = recv_xchg(&comm, partner, "its stripe for the expectation");
+                    let b = match chan.recv_xchg(partner, "its stripe for the expectation") {
+                        Ok(b) => b,
+                        Err(WorkerHalt::Aborted) => continue,
+                        Err(WorkerHalt::Exit) => return,
+                    };
                     let partner_base = base ^ x_hi;
                     let mut acc = Complex::default();
                     // Own-stripe terms: partner amplitude lives in `b` at
@@ -812,24 +865,34 @@ fn shard_worker(comm: Communicator, watchdog: Arc<AtomicU64>) {
                             acc += t;
                         }
                     }
-                    comm.send(&ShardReply::PartialC(acc), CONTROLLER, TAG_REPLY);
+                    if chan.send_reply(&ShardReply::PartialC(acc)).is_err() {
+                        return;
+                    }
                 }
             },
             ShardCmd::Prob { mask, want } => {
                 let p = stripe::masked_norm(&amps, base, mask, want);
-                comm.send(&ShardReply::Partial(p), CONTROLLER, TAG_REPLY);
+                if chan.send_reply(&ShardReply::Partial(p)).is_err() {
+                    return;
+                }
             }
             ShardCmd::ParityProb { mask } => {
                 let p = stripe::parity_prob_odd(&amps, base, mask);
-                comm.send(&ShardReply::Partial(p), CONTROLLER, TAG_REPLY);
+                if chan.send_reply(&ShardReply::Partial(p)).is_err() {
+                    return;
+                }
             }
             ShardCmd::Collapse { mask, want } => {
                 let kept = stripe::collapse_keep(&mut amps, base, mask, want);
-                comm.send(&ShardReply::Partial(kept), CONTROLLER, TAG_REPLY);
+                if chan.send_reply(&ShardReply::Partial(kept)).is_err() {
+                    return;
+                }
             }
             ShardCmd::CollapseParity { mask, want_odd } => {
                 let kept = stripe::collapse_parity(&mut amps, base, mask, want_odd);
-                comm.send(&ShardReply::Partial(kept), CONTROLLER, TAG_REPLY);
+                if chan.send_reply(&ShardReply::Partial(kept)).is_err() {
+                    return;
+                }
             }
             ShardCmd::Scale { factor } => stripe::scale(&mut amps, factor),
             ShardCmd::Shutdown | ShardCmd::Die => return,
@@ -837,18 +900,137 @@ fn shard_worker(comm: Communicator, watchdog: Arc<AtomicU64>) {
     }
 }
 
+/// The in-process transport: a cmpi mailbox endpoint inside the engine's
+/// private worker world. Exchange waits are bounded by the shared watchdog
+/// and *panic* on expiry (the historical diagnose-don't-hang contract for
+/// thread workers, asserted by the watchdog tests).
+pub(crate) struct ThreadChannel {
+    comm: Communicator,
+    watchdog: Arc<AtomicU64>,
+}
+
+impl ShardChannel for ThreadChannel {
+    fn recv_cmd(&mut self) -> Option<ShardCmd> {
+        let (cmd, _) = self.comm.recv::<ShardCmd>(CONTROLLER, TAG_CMD);
+        Some(cmd)
+    }
+
+    fn send_reply(&mut self, reply: &ShardReply) -> Result<(), WorkerHalt> {
+        self.comm.send(reply, CONTROLLER, TAG_REPLY);
+        Ok(())
+    }
+
+    fn send_xchg(&mut self, partner: usize, amps: Vec<Complex>) -> Result<(), WorkerHalt> {
+        self.comm.send(&WireAmps(amps), partner, TAG_XCHG);
+        Ok(())
+    }
+
+    fn recv_xchg(&mut self, partner: usize, what: &str) -> Result<Vec<Complex>, WorkerHalt> {
+        let wd = Duration::from_millis(self.watchdog.load(Ordering::Relaxed));
+        match self.comm.recv_timeout::<WireAmps>(partner, TAG_XCHG, wd) {
+            Some((w, _)) => Ok(w.0),
+            None => panic!(
+                "remote-shard watchdog: worker {} waited {wd:?} for {what} from \
+                 partner {partner}; the partner is presumed dead or deadlocked",
+                self.comm.rank()
+            ),
+        }
+    }
+}
+
+/// The mailbox-driven shard worker: [`worker_loop`] over a
+/// [`ThreadChannel`] (the in-process transport).
+fn shard_worker(comm: Communicator, watchdog: Arc<AtomicU64>) {
+    let mut chan = ThreadChannel { comm, watchdog };
+    worker_loop(&mut chan);
+}
+
 // ---------------------------------------------------------------------------
 // Controller
 // ---------------------------------------------------------------------------
 
-/// The controller half of the shard protocol: the worker-world rank-0
-/// communicator plus the shard layout bookkeeping. All sends for one
-/// logical operation happen while the engine holds the controller lock, so
-/// every worker sees commands in the same global order.
+/// Marker error: a worker's OS process died (connection EOF, write
+/// failure, or reply timeout) under a multi-process link. In-process links
+/// never produce it — their failures keep the historical
+/// panic-with-diagnostic behavior. Reaching [`Controller::run`] with this
+/// triggers failover: respawn, checkpoint re-scatter, log replay.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DeadWorker;
+
+/// One committed retry unit in the failover log: the mutating commands it
+/// sent (by shard) and the per-shard replies it drained, in order. Replay
+/// re-sends the former and discards the latter.
+#[derive(Clone, Default)]
+struct LoggedUnit {
+    sends: Vec<(usize, ShardCmd)>,
+    drains: Vec<usize>,
+}
+
+impl LoggedUnit {
+    /// Whether any recorded command mutates worker state (and therefore
+    /// must be replayed after a checkpoint reload). Read-only fan-outs
+    /// (probes, gathers, expectations) re-derive nothing and are dropped.
+    fn is_mutating(&self) -> bool {
+        self.sends.iter().any(|(_, cmd)| {
+            matches!(
+                cmd,
+                ShardCmd::Batch { .. }
+                    | ShardCmd::Load { .. }
+                    | ShardCmd::Collapse { .. }
+                    | ShardCmd::CollapseParity { .. }
+                    | ShardCmd::Scale { .. }
+            )
+        })
+    }
+}
+
+/// Controller-side failover state, present only on multi-process links (an
+/// in-process engine pays zero overhead for it). Invariant: *checkpoint +
+/// log ≡ the state as of the last committed retry unit*, so recovery is
+/// always "reload checkpoint, replay log" — a failed unit's partial
+/// effects are erased by the reload and the unit is retried whole.
+struct FailoverState {
+    /// Last checkpointed dense state (refreshed by every scatter, every
+    /// whole-state gather, and the periodic forced checkpoint).
+    checkpoint: Vec<Complex>,
+    /// Qubit count the checkpoint was taken at.
+    ckpt_qubits: usize,
+    /// Mutating units committed since the checkpoint, in order.
+    log: Vec<LoggedUnit>,
+    /// The currently open (uncommitted) unit, if any.
+    unit: Option<LoggedUnit>,
+    /// Forced-checkpoint threshold: once the log holds this many units,
+    /// commit gathers a fresh checkpoint and clears it, bounding replay
+    /// cost after a crash.
+    limit: usize,
+}
+
+impl FailoverState {
+    fn new() -> Self {
+        let limit = std::env::var("QMPI_CHECKPOINT_ROUNDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(32);
+        FailoverState {
+            checkpoint: vec![Complex::real(1.0)],
+            ckpt_qubits: 0,
+            log: Vec::new(),
+            unit: None,
+            limit,
+        }
+    }
+}
+
+/// The controller half of the shard protocol: the worker link plus the
+/// shard layout bookkeeping. All sends for one logical operation happen
+/// while the engine holds the controller lock, so every worker sees
+/// commands in the same global order.
 struct Controller {
-    /// The worker world this controller drives: privately spawned (owned,
-    /// shut down on engine drop) or leased from a [`ShardWorkerPool`]
-    /// (returned, still running, on engine drop).
+    /// The worker world this controller drives: privately spawned threads
+    /// (owned, shut down on engine drop), leased from a [`ShardWorkerPool`]
+    /// (returned, still running, on engine drop), or child processes
+    /// behind a socket transport.
     link: WorkerLink,
     /// Watchdog in milliseconds, shared with every worker's exchange waits
     /// so [`RemoteShardedEngine::with_watchdog`] reaches both sides.
@@ -866,6 +1048,8 @@ struct Controller {
     /// Worker↔worker stripe-exchange rounds set up by dispatched plans
     /// (one per cross-shard op — the irreducible data motion).
     xchg_rounds: u64,
+    /// Checkpoint + replay state; `Some` exactly for multi-process links.
+    failover: Option<FailoverState>,
 }
 
 /// A planned gate stream: every participating worker's `WorkerOp` list (in
@@ -887,13 +1071,24 @@ enum WorkerLink {
     /// Workers leased from a [`ShardWorkerPool`]; dropping the lease
     /// returns them — still running their event loop — to the pool.
     Leased(WorkerLease),
+    /// Workers running as child processes behind a socket transport
+    /// (possibly pooled; the handle returns pooled links on drop).
+    /// Boxed: the handle dwarfs the thread-backed variants.
+    Process(Box<ProcessHandle>),
 }
 
 impl WorkerLink {
+    /// The in-process controller communicator. Only thread-backed links
+    /// have one; the socket transport speaks frames, not mailboxes.
+    /// (Test-only: lets tests count substrate messages directly.)
+    #[cfg(test)]
     fn comm(&self) -> &Communicator {
         match self {
             WorkerLink::Owned { comm, .. } => comm,
             WorkerLink::Leased(lease) => lease.comm(),
+            WorkerLink::Process(_) => {
+                panic!("a multi-process worker link has no in-process communicator")
+            }
         }
     }
 }
@@ -904,7 +1099,9 @@ impl Controller {
         1 << self.max_shard_bits
     }
 
-    /// The controller-side communicator of the worker world.
+    /// The controller-side communicator of the worker world (test-only;
+    /// panics for the multi-process link, which has no communicator).
+    #[cfg(test)]
     fn comm(&self) -> &Communicator {
         self.link.comm()
     }
@@ -924,8 +1121,30 @@ impl Controller {
         shard + 1
     }
 
-    fn send_to(&self, shard: usize, cmd: &ShardCmd) {
-        self.comm().send(cmd, self.rank_of(shard), TAG_CMD);
+    /// Raw command send: straight to the wire/mailbox, no unit recording.
+    /// Recovery and checkpoint traffic uses this directly.
+    fn send_raw(&mut self, shard: usize, cmd: &ShardCmd) -> Result<(), DeadWorker> {
+        let rank = self.rank_of(shard);
+        match &mut self.link {
+            WorkerLink::Owned { comm, .. } => {
+                comm.send(cmd, rank, TAG_CMD);
+                Ok(())
+            }
+            WorkerLink::Leased(lease) => {
+                lease.comm().send(cmd, rank, TAG_CMD);
+                Ok(())
+            }
+            WorkerLink::Process(h) => h.link().send_cmd(shard, cmd),
+        }
+    }
+
+    /// Sends one command to shard `shard`, recording it into the open
+    /// retry unit (if failover is armed) so a crash can replay it.
+    fn send_to(&mut self, shard: usize, cmd: &ShardCmd) -> Result<(), DeadWorker> {
+        if let Some(unit) = self.failover.as_mut().and_then(|f| f.unit.as_mut()) {
+            unit.sends.push((shard, cmd.clone()));
+        }
+        self.send_raw(shard, cmd)
     }
 
     /// The current watchdog duration.
@@ -933,14 +1152,19 @@ impl Controller {
         Duration::from_millis(self.watchdog.load(Ordering::Relaxed))
     }
 
-    /// Receives shard `s`'s reply, failing loudly on watchdog expiry.
-    fn reply_from(&self, shard: usize, what: &str) -> ShardReply {
+    /// Raw reply receive, no unit recording. In-process links keep the
+    /// historical contract: watchdog expiry panics with a diagnostic.
+    /// Process links report a dead worker instead, and failover handles it.
+    fn reply_raw(&mut self, shard: usize, what: &str) -> Result<ShardReply, DeadWorker> {
         let wd = self.watchdog();
-        match self
-            .comm()
-            .recv_timeout::<ShardReply>(self.rank_of(shard), TAG_REPLY, wd)
-        {
-            Some((r, _)) => r,
+        let rank = self.rank_of(shard);
+        let comm = match &mut self.link {
+            WorkerLink::Owned { comm, .. } => comm,
+            WorkerLink::Leased(lease) => lease.comm(),
+            WorkerLink::Process(h) => return h.link().reply_from(shard, wd),
+        };
+        match comm.recv_timeout::<ShardReply>(rank, TAG_REPLY, wd) {
+            Some((r, _)) => Ok(r),
             None => panic!(
                 "remote-shard watchdog: no {what} reply from shard {shard}'s worker within \
                  {wd:?}; the worker is presumed dead or deadlocked"
@@ -948,46 +1172,84 @@ impl Controller {
         }
     }
 
-    fn partial_from(&self, shard: usize, what: &str) -> f64 {
-        match self.reply_from(shard, what) {
-            ShardReply::Partial(v) => v,
+    /// Receives shard `s`'s reply, recording the drain into the open retry
+    /// unit (replay must consume replayed replies in the same pattern).
+    fn reply_from(&mut self, shard: usize, what: &str) -> Result<ShardReply, DeadWorker> {
+        let reply = self.reply_raw(shard, what)?;
+        if let Some(unit) = self.failover.as_mut().and_then(|f| f.unit.as_mut()) {
+            unit.drains.push(shard);
+        }
+        Ok(reply)
+    }
+
+    fn partial_from(&mut self, shard: usize, what: &str) -> Result<f64, DeadWorker> {
+        match self.reply_from(shard, what)? {
+            ShardReply::Partial(v) => Ok(v),
             other => panic!("shard {shard} sent {other:?} where a partial was expected"),
         }
     }
 
     /// Fans a query command out to every active shard and sums the partial
     /// replies in shard order.
-    fn reduce_partials(&mut self, cmd: &ShardCmd, what: &str) -> f64 {
+    fn reduce_partials(&mut self, cmd: &ShardCmd, what: &str) -> Result<f64, DeadWorker> {
         self.cmd_rounds += 1;
         for s in 0..self.active() {
-            self.send_to(s, cmd);
+            self.send_to(s, cmd)?;
         }
-        (0..self.active()).map(|s| self.partial_from(s, what)).sum()
+        let mut sum = 0.0;
+        for s in 0..self.active() {
+            sum += self.partial_from(s, what)?;
+        }
+        Ok(sum)
     }
 
-    /// Gathers every active stripe into one dense vector (shards are
-    /// contiguous global index ranges, so this is an append in shard
-    /// order). Non-destructive: workers keep their stripes.
-    fn gather(&mut self) -> Vec<Complex> {
-        self.cmd_rounds += 1;
+    /// Uncounted, unrecorded whole-state gather (shards are contiguous
+    /// global index ranges, so this is an append in shard order).
+    /// Non-destructive: workers keep their stripes.
+    fn gather_raw(&mut self) -> Result<Vec<Complex>, DeadWorker> {
         for s in 0..self.active() {
-            self.send_to(s, &ShardCmd::Gather);
+            self.send_raw(s, &ShardCmd::Gather)?;
         }
         let mut flat = Vec::with_capacity(1usize << self.n_qubits);
         for s in 0..self.active() {
-            match self.reply_from(s, "gather") {
+            match self.reply_raw(s, "gather")? {
                 ShardReply::Amps(a) => flat.extend(a),
                 other => panic!("shard {s} sent {other:?} where a stripe was expected"),
             }
         }
-        flat
+        Ok(flat)
     }
 
-    /// Recomputes the shard layout for `n_qubits` and distributes `flat`
-    /// across the workers (inactive workers get an empty stripe).
-    fn scatter(&mut self, mut flat: Vec<Complex>, n_qubits: usize) {
-        debug_assert_eq!(flat.len(), 1usize << n_qubits);
+    /// Gathers the dense state, retrying through failover until it
+    /// succeeds. A successful gather IS a checkpoint — the freshest one
+    /// possible — so failover state is refreshed for free.
+    fn run_gather(&mut self) -> Vec<Complex> {
         self.cmd_rounds += 1;
+        if self.failover.is_none() {
+            return self
+                .gather_raw()
+                .unwrap_or_else(|_| unreachable!("in-process links never report dead workers"));
+        }
+        loop {
+            match self.gather_raw() {
+                Ok(flat) => {
+                    let n = self.n_qubits;
+                    let f = self.failover.as_mut().expect("checked above");
+                    f.checkpoint = flat.clone();
+                    f.ckpt_qubits = n;
+                    f.log.clear();
+                    return flat;
+                }
+                Err(DeadWorker) => self.recover(),
+            }
+        }
+    }
+
+    /// Uncounted, unrecorded scatter: recomputes the shard layout for
+    /// `n_qubits` and distributes `flat` across the workers (inactive
+    /// workers get an empty stripe).
+    fn scatter_raw(&mut self, mut flat: Vec<Complex>, n_qubits: usize) -> Result<(), DeadWorker> {
+        debug_assert_eq!(flat.len(), 1usize << n_qubits);
         self.n_qubits = n_qubits;
         self.shard_bits = self.max_shard_bits.min(n_qubits as u32);
         let local_bits = self.local_bits();
@@ -999,15 +1261,164 @@ impl Controller {
             } else {
                 Vec::new()
             };
-            self.send_to(
+            self.send_raw(
                 s,
                 &ShardCmd::Load {
                     shard_index: s,
                     local_bits,
                     amps,
                 },
-            );
+            )?;
         }
+        Ok(())
+    }
+
+    /// Scatters a new dense state, surviving worker death. The scatter
+    /// itself becomes the checkpoint *before* any frame is sent — a `Load`
+    /// overwrites whole stripes, so recovery's checkpoint reload simply
+    /// re-does the scatter. The failover log is cleared: nothing before a
+    /// full-state scatter needs replaying.
+    fn run_scatter(&mut self, flat: Vec<Complex>, n_qubits: usize) {
+        self.cmd_rounds += 1;
+        if self.failover.is_some() {
+            let f = self.failover.as_mut().expect("checked above");
+            f.checkpoint = flat.clone();
+            f.ckpt_qubits = n_qubits;
+            f.log.clear();
+            if self.scatter_raw(flat, n_qubits).is_err() {
+                // recover() reloads the just-refreshed checkpoint, which
+                // re-performs this very scatter.
+                self.recover();
+            }
+        } else {
+            self.scatter_raw(flat, n_qubits)
+                .unwrap_or_else(|_| unreachable!("in-process links never report dead workers"));
+        }
+    }
+
+    /// Runs one retry unit to completion. For in-process links this is a
+    /// plain call (failures panic inside, never return `Err`). For process
+    /// links the unit body is recorded; on worker death the generation is
+    /// restarted (respawn + checkpoint reload + log replay) and the unit
+    /// retried from scratch. The closure must therefore be free of
+    /// external side effects — in particular it must not draw RNG, which
+    /// the engine keeps outside units precisely so trajectories stay
+    /// bit-identical across failovers.
+    fn run<T>(&mut self, mut f: impl FnMut(&mut Controller) -> Result<T, DeadWorker>) -> T {
+        if self.failover.is_none() {
+            return f(self)
+                .unwrap_or_else(|_| unreachable!("in-process links never report dead workers"));
+        }
+        loop {
+            if let Some(fo) = self.failover.as_mut() {
+                fo.unit = Some(LoggedUnit::default());
+            }
+            match f(self) {
+                Ok(v) => {
+                    self.commit_unit();
+                    return v;
+                }
+                Err(DeadWorker) => {
+                    if let Some(fo) = self.failover.as_mut() {
+                        fo.unit = None;
+                    }
+                    self.recover();
+                }
+            }
+        }
+    }
+
+    /// Commits the open unit: mutating units enter the replay log;
+    /// read-only ones vanish. A log at its limit is compacted into a fresh
+    /// checkpoint so replay cost stays bounded.
+    fn commit_unit(&mut self) {
+        let needs_checkpoint = {
+            let Some(f) = self.failover.as_mut() else {
+                return;
+            };
+            if let Some(unit) = f.unit.take() {
+                if unit.is_mutating() {
+                    f.log.push(unit);
+                }
+            }
+            f.log.len() >= f.limit
+        };
+        if needs_checkpoint {
+            self.checkpoint_now();
+        }
+    }
+
+    /// Forces a checkpoint: gathers the dense state (uncounted — this is
+    /// bookkeeping, not protocol traffic the round counters should see)
+    /// and clears the log, retrying through failover as needed.
+    fn checkpoint_now(&mut self) {
+        loop {
+            match self.gather_raw() {
+                Ok(flat) => {
+                    let n = self.n_qubits;
+                    let f = self
+                        .failover
+                        .as_mut()
+                        .expect("checkpointing requires failover state");
+                    f.checkpoint = flat;
+                    f.ckpt_qubits = n;
+                    f.log.clear();
+                    return;
+                }
+                Err(DeadWorker) => self.recover(),
+            }
+        }
+    }
+
+    /// Failover: restart the worker generation (respawn the dead, abort
+    /// the live into the new epoch), reload the checkpoint, replay the
+    /// committed log. Loops until a full generation survives the whole
+    /// sequence; panics if workers keep dying past the respawn budget.
+    fn recover(&mut self) {
+        let wd = self.watchdog();
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            assert!(
+                attempts <= 16,
+                "remote-shard failover: respawn budget exhausted — workers keep dying during \
+                 recovery"
+            );
+            {
+                let WorkerLink::Process(h) = &mut self.link else {
+                    unreachable!("only multi-process links report dead workers")
+                };
+                if h.link().restart_generation(wd).is_err() {
+                    continue;
+                }
+            }
+            if self.replay().is_ok() {
+                return;
+            }
+        }
+    }
+
+    /// Reloads the checkpoint and replays every committed unit against the
+    /// fresh generation: re-send the logged commands in order, drain (and
+    /// discard) the replies they provoke.
+    fn replay(&mut self) -> Result<(), DeadWorker> {
+        let (flat, n, log) = {
+            let f = self
+                .failover
+                .as_ref()
+                .expect("recovery requires failover state");
+            (f.checkpoint.clone(), f.ckpt_qubits, f.log.clone())
+        };
+        self.scatter_raw(flat, n)?;
+        for unit in &log {
+            for (s, cmd) in &unit.sends {
+                self.send_raw(*s, cmd)?;
+            }
+            for &s in &unit.drains {
+                self.reply_raw(s, "replayed reply")?;
+            }
+        }
+        Ok(())
     }
 
     /// Splits a set of global qubit positions into (within-stripe,
@@ -1132,24 +1543,27 @@ impl Controller {
 
     /// Ships a plan: one [`ShardCmd::Batch`] frame per participating
     /// worker, counted as a single command round however many gates the
-    /// plan carries. No-op (and no round) for an empty plan.
-    fn dispatch(&mut self, plan: Plan) {
+    /// plan carries. No-op (and no round) for an empty plan. Borrows the
+    /// plan so a failover retry can ship the identical stream again —
+    /// plans may embed noise draws and must never be rebuilt.
+    fn dispatch(&mut self, plan: &Plan) -> Result<(), DeadWorker> {
         if plan.ops.iter().all(|ops| ops.is_empty()) {
-            return;
+            return Ok(());
         }
         self.cmd_rounds += 1;
         self.xchg_rounds += plan.xchg;
-        for (s, ops) in plan.ops.into_iter().enumerate() {
+        for (s, ops) in plan.ops.iter().enumerate() {
             if !ops.is_empty() {
-                self.send_to(s, &ShardCmd::Batch { ops });
+                self.send_to(s, &ShardCmd::Batch { ops: ops.clone() })?;
             }
         }
+        Ok(())
     }
 
     /// Distributed (gather-free) Pauli expectation: fan [`ShardCmd::Expect`]
     /// out with the pairing roles implied by the shard-crossing half of the
     /// X mask, then sum the complex partials in shard order.
-    fn expect(&mut self, x_mask: usize, z_mask: usize) -> Complex {
+    fn expect(&mut self, x_mask: usize, z_mask: usize) -> Result<Complex, DeadWorker> {
         let l = self.local_bits();
         let x_lo = x_mask & ((1usize << l) - 1);
         let x_hi = x_mask & !((1usize << l) - 1);
@@ -1165,7 +1579,7 @@ impl Controller {
                         z_mask,
                         role: ExpectRole::Solo,
                     },
-                );
+                )?;
                 reporters.push(s);
             }
         } else {
@@ -1191,30 +1605,30 @@ impl Controller {
                         z_mask,
                         role,
                     },
-                );
+                )?;
             }
         }
         let mut acc = Complex::default();
         for s in reporters {
-            match self.reply_from(s, "expectation partial") {
+            match self.reply_from(s, "expectation partial")? {
                 ShardReply::PartialC(c) => acc += c,
                 other => panic!("shard {s} sent {other:?} where a complex partial was expected"),
             }
         }
-        acc
+        Ok(acc)
     }
 
     /// Two-phase projective collapse onto `want` under `mask`: zero the
     /// complement, reduce the kept mass, broadcast the rescale.
-    fn collapse(&mut self, mask: usize, want: usize) -> f64 {
-        let norm = self.reduce_partials(&ShardCmd::Collapse { mask, want }, "collapse");
+    fn collapse(&mut self, mask: usize, want: usize) -> Result<f64, DeadWorker> {
+        let norm = self.reduce_partials(&ShardCmd::Collapse { mask, want }, "collapse")?;
         assert!(norm > 1e-12, "collapsing onto probability-zero outcome");
         let inv = 1.0 / norm.sqrt();
         self.cmd_rounds += 1;
         for s in 0..self.active() {
-            self.send_to(s, &ShardCmd::Scale { factor: inv });
+            self.send_to(s, &ShardCmd::Scale { factor: inv })?;
         }
-        norm
+        Ok(norm)
     }
 }
 
@@ -1297,6 +1711,55 @@ impl RemoteShardedEngine {
         Self::from_parts(seed, WorkerLink::Leased(lease), shards, noise, watchdog)
     }
 
+    /// Builds an engine whose workers live behind the given transport:
+    /// threads for [`TransportKind::InProcess`] (identical to
+    /// [`RemoteShardedEngine::with_noise`]), child processes speaking
+    /// framed sockets otherwise — with checkpoint/replay failover armed.
+    /// Per-seed trajectories are bit-identical across transports: both run
+    /// the same planner, the same kernels, in the same global order.
+    pub fn over_transport(
+        seed: u64,
+        shards: usize,
+        noise: NoiseModel,
+        kind: TransportKind,
+    ) -> Self {
+        if !kind.is_multiprocess() {
+            return Self::with_noise(seed, shards, noise);
+        }
+        let shards = qsim::sharded::normalize_shards(shards, MAX_REMOTE_SHARD_BITS);
+        let watchdog = Arc::new(AtomicU64::new(watchdog_from_env().as_millis() as u64));
+        let link = ProcessLink::spawn(kind, shards, Arc::clone(&watchdog))
+            .unwrap_or_else(|e| panic!("cannot spawn {kind} shard worker processes: {e}"));
+        Self::from_parts(
+            seed,
+            WorkerLink::Process(Box::new(ProcessHandle::owned(link))),
+            shards,
+            noise,
+            watchdog,
+        )
+    }
+
+    /// Builds an engine over a process-worker slot leased from a
+    /// [`super::remote_transport::ProcessWorkerPool`]. The lease's child
+    /// processes keep running when the engine drops; construction resets
+    /// the slot (epoch bump aborts any protocol a panicked previous lessee
+    /// left dangling, then the scalar-state scatter overwrites every
+    /// stripe), so per-seed trajectories match a freshly spawned engine.
+    pub fn from_process_lease(
+        seed: u64,
+        lease: super::remote_transport::ProcessShardLease,
+        noise: NoiseModel,
+    ) -> Self {
+        let (handle, watchdog, shards) = lease.into_handle();
+        Self::from_parts(
+            seed,
+            WorkerLink::Process(Box::new(handle)),
+            shards,
+            noise,
+            watchdog,
+        )
+    }
+
     /// Common construction over an already-running worker world — the seam
     /// between engine semantics and worker lifecycle. `shards` must be the
     /// world's worker count (a power of two).
@@ -1308,6 +1771,7 @@ impl RemoteShardedEngine {
         watchdog: Arc<AtomicU64>,
     ) -> Self {
         debug_assert!(shards.is_power_of_two());
+        let failover = matches!(link, WorkerLink::Process(_)).then(FailoverState::new);
         let mut ctl = Controller {
             link,
             watchdog,
@@ -1316,9 +1780,10 @@ impl RemoteShardedEngine {
             max_shard_bits: shards.trailing_zeros(),
             cmd_rounds: 0,
             xchg_rounds: 0,
+            failover,
         };
         // The 0-qubit scalar state |> with amplitude 1.
-        ctl.scatter(vec![Complex::real(1.0)], 0);
+        ctl.run_scatter(vec![Complex::real(1.0)], 0);
         RemoteShardedEngine {
             ctl: Mutex::new(ctl),
             reg: QubitRegistry::new(),
@@ -1347,29 +1812,49 @@ impl RemoteShardedEngine {
         self.ctl.lock().workers()
     }
 
-    /// Controller→worker command rounds issued so far: every fan-out of
-    /// command frames counts once, whether the frames carry a single eager
-    /// gate or a whole batched stream. `(after - before)` across an
-    /// N-gate batch is therefore 1, where the eager path pays N — the
-    /// measurable core of the batching claim.
-    pub fn command_rounds(&self) -> u64 {
-        self.ctl.lock().cmd_rounds
-    }
-
-    /// Worker↔worker stripe-exchange rounds set up so far (one per
-    /// cross-shard op — data motion no framing can remove).
-    pub fn exchange_rounds(&self) -> u64 {
-        self.ctl.lock().xchg_rounds
+    /// The engine's transport accounting: command rounds (one per fan-out
+    /// of command frames — `(after - before)` across an N-gate batch is 1
+    /// where the eager path pays N, the measurable core of the batching
+    /// claim), worker↔worker exchange rounds (data motion no framing can
+    /// remove), bytes on the wire, and worker respawns (failover events;
+    /// always 0 in-process).
+    pub fn transport_stats(&self) -> TransportStats {
+        let ctl = self.ctl.lock();
+        let (wire_bytes, respawns) = match &ctl.link {
+            WorkerLink::Owned { comm, .. } => (comm.world_handle().bytes_sent(), 0),
+            WorkerLink::Leased(lease) => (lease.comm().world_handle().bytes_sent(), 0),
+            WorkerLink::Process(h) => (h.link_ref().wire_bytes(), h.link_ref().respawns()),
+        };
+        TransportStats {
+            command_rounds: ctl.cmd_rounds,
+            exchange_rounds: ctl.xchg_rounds,
+            wire_bytes,
+            respawns,
+        }
     }
 
     /// Test/diagnostic hook: makes shard `shard`'s worker exit its event
     /// loop *without* completing the protocol, simulating a crashed shard
-    /// node. Subsequent operations touching that shard trip the deadlock
-    /// watchdog instead of hanging.
+    /// node. In-process, subsequent operations touching that shard trip
+    /// the deadlock watchdog instead of hanging; over a socket transport
+    /// the worker process exits and failover respawns it.
     pub fn debug_kill_worker(&self, shard: usize) {
-        let ctl = self.ctl.lock();
+        let mut ctl = self.ctl.lock();
         assert!(shard < ctl.workers(), "shard {shard} out of range");
-        ctl.send_to(shard, &ShardCmd::Die);
+        let _ = ctl.send_raw(shard, &ShardCmd::Die);
+    }
+
+    /// Test/diagnostic hook for the socket transports: SIGKILLs shard
+    /// `shard`'s worker *process* outright — no protocol, no cleanup, the
+    /// hardest death a shard node can die. The next operation touching the
+    /// shard observes EOF and runs failover.
+    pub fn debug_kill_worker_process(&self, shard: usize) {
+        let mut ctl = self.ctl.lock();
+        assert!(shard < ctl.workers(), "shard {shard} out of range");
+        let WorkerLink::Process(h) = &mut ctl.link else {
+            panic!("debug_kill_worker_process requires a multi-process transport");
+        };
+        h.link().kill_child(shard);
     }
 
     fn pos(&self, q: QubitId) -> Result<usize, SimError> {
@@ -1386,20 +1871,22 @@ impl RemoteShardedEngine {
         let mut ctl = self.ctl.lock();
         let mut plan = ctl.new_plan();
         ctl.plan_pair(0, 0, pos, PairKernel::Mat(*m), &mut plan);
-        ctl.dispatch(plan);
+        ctl.run(|c| c.dispatch(&plan));
     }
 
     /// Probability of |1> at a raw position (noise sampling, frees).
     fn prob_at(&self, pos: usize) -> f64 {
         let mut ctl = self.ctl.lock();
         let bit = 1usize << pos;
-        ctl.reduce_partials(
-            &ShardCmd::Prob {
-                mask: bit,
-                want: bit,
-            },
-            "probability",
-        )
+        ctl.run(|c| {
+            c.reduce_partials(
+                &ShardCmd::Prob {
+                    mask: bit,
+                    want: bit,
+                },
+                "probability",
+            )
+        })
     }
 
     /// Samples and applies the `class` channel to each listed position —
@@ -1449,7 +1936,7 @@ impl RemoteShardedEngine {
     /// Gathers, removes a collapsed qubit from the flat vector, rebuilds.
     fn remove_at(&mut self, q: QubitId, pos: usize, outcome: bool) {
         let ctl = self.ctl.get_mut();
-        let flat = ctl.gather();
+        let flat = ctl.run_gather();
         let (mut out, dropped) = stripe::remove_qubit_flat(&flat, pos, outcome);
         assert!(
             dropped < NORM_TOL,
@@ -1460,7 +1947,7 @@ impl RemoteShardedEngine {
         assert!(norm > 0.0, "cannot renormalize the zero vector");
         stripe::scale(&mut out, 1.0 / norm);
         let n = ctl.n_qubits - 1;
-        ctl.scatter(out, n);
+        ctl.run_scatter(out, n);
         self.reg.remove(q, pos);
     }
 }
@@ -1471,7 +1958,7 @@ impl Drop for RemoteShardedEngine {
         match &mut ctl.link {
             WorkerLink::Owned { .. } => {
                 for s in 0..ctl.workers() {
-                    ctl.send_to(s, &ShardCmd::Shutdown);
+                    let _ = ctl.send_raw(s, &ShardCmd::Shutdown);
                 }
                 let WorkerLink::Owned { group, .. } = &mut ctl.link else {
                     unreachable!("link variant checked above");
@@ -1494,6 +1981,10 @@ impl Drop for RemoteShardedEngine {
             // (with the controller) returns the slot to its pool, and the
             // next lessee's construction resets the stripes.
             WorkerLink::Leased(_) => {}
+            // Process links own their shutdown protocol: the handle's drop
+            // returns pooled links to their pool or terminates the child
+            // processes (Shutdown frames, then reap).
+            WorkerLink::Process(_) => {}
         }
     }
 }
@@ -1713,7 +2204,7 @@ impl super::ShardableEngine for RemoteShardedEngine {
             let mut ctl = self.ctl.lock();
             let mut plan = ctl.new_plan();
             ctl.plan_pair(0, 0, pos, PairKernel::Mat(gate.matrix()), &mut plan);
-            ctl.dispatch(plan);
+            ctl.run(|c| c.dispatch(&plan));
         }
         self.count_gate();
         self.inject(OpClass::Gate1q, &[pos]);
@@ -1739,7 +2230,7 @@ impl super::ShardableEngine for RemoteShardedEngine {
             let mut plan = ctl.new_plan();
             let (c_lo, c_hi) = ctl.split_masks(&cpos);
             ctl.plan_pair(c_lo, c_hi, tpos, PairKernel::Mat(gate.matrix()), &mut plan);
-            ctl.dispatch(plan);
+            ctl.run(|c| c.dispatch(&plan));
         }
         self.count_gate();
         cpos.push(tpos);
@@ -1758,7 +2249,7 @@ impl super::ShardableEngine for RemoteShardedEngine {
             let mut plan = ctl.new_plan();
             let (c_lo, c_hi) = ctl.split_masks(&[cp]);
             ctl.plan_pair(c_lo, c_hi, tp, PairKernel::Swap, &mut plan);
-            ctl.dispatch(plan);
+            ctl.run(|c| c.dispatch(&plan));
         }
         self.count_gate();
         self.inject(OpClass::Gate2q, &[cp, tp]);
@@ -1776,7 +2267,7 @@ impl super::ShardableEngine for RemoteShardedEngine {
             let mut plan = ctl.new_plan();
             let (lo_mask, hi_mask) = ctl.split_masks(&[pa, pb]);
             ctl.plan_phase(lo_mask, hi_mask, &mut plan);
-            ctl.dispatch(plan);
+            ctl.run(|c| c.dispatch(&plan));
         }
         self.count_gate();
         self.inject(OpClass::Gate2q, &[pa, pb]);
@@ -1796,7 +2287,7 @@ impl super::ShardableEngine for RemoteShardedEngine {
             let mut ctl = self.ctl.lock();
             let mut plan = ctl.new_plan();
             ctl.plan_swap(pa, pb, &mut plan);
-            ctl.dispatch(plan);
+            ctl.run(|c| c.dispatch(&plan));
         }
         self.count_gate();
         self.inject(OpClass::Gate2q, &[pa, pb]);
@@ -1852,7 +2343,7 @@ impl super::ShardableEngine for RemoteShardedEngine {
                 }
             }
         }
-        ctl.dispatch(plan);
+        ctl.run(|c| c.dispatch(&plan));
         drop(ctl);
         self.gate_count.fetch_add(gates, Ordering::Relaxed);
         result
@@ -1870,17 +2361,17 @@ impl super::SimEngine for RemoteShardedEngine {
         self.noise_model
     }
 
-    fn transport_rounds(&self) -> Option<(u64, u64)> {
-        Some((self.command_rounds(), self.exchange_rounds()))
+    fn transport_stats(&self) -> Option<TransportStats> {
+        Some(self.transport_stats())
     }
 
     fn alloc(&mut self) -> QubitId {
         let ctl = self.ctl.get_mut();
         assert!(ctl.n_qubits < 29, "qubit budget exhausted");
         let pos = ctl.n_qubits;
-        let mut flat = ctl.gather();
+        let mut flat = ctl.run_gather();
         flat.resize(flat.len() * 2, Complex::default());
-        ctl.scatter(flat, pos + 1);
+        ctl.run_scatter(flat, pos + 1);
         self.reg.push(pos)
     }
 
@@ -1941,7 +2432,7 @@ impl super::SimEngine for RemoteShardedEngine {
         let outcome = self.rng.gen::<f64>() < p1;
         let ctl = self.ctl.get_mut();
         let bit = 1usize << pos;
-        ctl.collapse(bit, if outcome { bit } else { 0 });
+        ctl.run(|c| c.collapse(bit, if outcome { bit } else { 0 }));
         Ok(outcome)
     }
 
@@ -1961,17 +2452,23 @@ impl super::SimEngine for RemoteShardedEngine {
             mask |= 1usize << p;
         }
         let ctl = self.ctl.get_mut();
-        let p_odd = ctl.reduce_partials(&ShardCmd::ParityProb { mask }, "parity probability");
+        // The RNG draw sits between two retry units, never inside one —
+        // a failover retry must not re-draw it.
+        let p_odd =
+            ctl.run(|c| c.reduce_partials(&ShardCmd::ParityProb { mask }, "parity probability"));
         let want_odd = self.rng.gen::<f64>() < p_odd;
-        let norm = ctl.reduce_partials(
-            &ShardCmd::CollapseParity { mask, want_odd },
-            "parity collapse",
-        );
-        let inv = 1.0 / norm.sqrt();
-        ctl.cmd_rounds += 1;
-        for s in 0..ctl.active() {
-            ctl.send_to(s, &ShardCmd::Scale { factor: inv });
-        }
+        ctl.run(|c| {
+            let norm = c.reduce_partials(
+                &ShardCmd::CollapseParity { mask, want_odd },
+                "parity collapse",
+            )?;
+            let inv = 1.0 / norm.sqrt();
+            c.cmd_rounds += 1;
+            for s in 0..c.active() {
+                c.send_to(s, &ShardCmd::Scale { factor: inv })?;
+            }
+            Ok(())
+        });
         Ok(want_odd)
     }
 
@@ -1994,7 +2491,7 @@ impl super::SimEngine for RemoteShardedEngine {
         // never write state).
         let mut ctl = self.ctl.lock();
         let (x_mask, z_mask, i_pow) = stripe::pauli_masks(ctl.n_qubits, &mapped);
-        let acc = ctl.expect(x_mask, z_mask);
+        let acc = ctl.run(|c| c.expect(x_mask, z_mask));
         let val = i_pow * acc;
         debug_assert!(
             val.im.abs() < 1e-9,
@@ -2004,7 +2501,7 @@ impl super::SimEngine for RemoteShardedEngine {
     }
 
     fn state_vector(&self, order: &[QubitId]) -> Result<State, SimError> {
-        let flat = self.ctl.lock().gather();
+        let flat = self.ctl.lock().run_gather();
         Ok(State::from_amplitudes(flat).permuted(&self.reg.permutation(order)?))
     }
 
@@ -2035,7 +2532,7 @@ impl super::SimEngine for RemoteShardedEngine {
             ctl.plan_pair(0, 0, pa, PairKernel::Mat(Gate::H.matrix()), &mut plan);
             let (c_lo, c_hi) = ctl.split_masks(&[pa]);
             ctl.plan_pair(c_lo, c_hi, pb, PairKernel::Swap, &mut plan);
-            ctl.dispatch(plan);
+            ctl.run(|c| c.dispatch(&plan));
         }
         self.gate_count.fetch_add(2, Ordering::Relaxed);
         self.inject(OpClass::Epr, &[pa, pb]);
@@ -2344,18 +2841,18 @@ mod tests {
         let mut e = RemoteShardedEngine::new(5, 4);
         let qs: Vec<QubitId> = (0..4).map(|_| e.alloc()).collect();
         // Eager: one command round per gate.
-        let before = e.command_rounds();
+        let before = e.transport_stats().command_rounds;
         for &q in &qs {
             SimEngine::apply(&mut e, Gate::H, q).unwrap();
         }
         assert_eq!(
-            e.command_rounds() - before,
+            e.transport_stats().command_rounds - before,
             4,
             "eager pays a round per gate"
         );
 
         // Batched: the same four gates in one round.
-        let before = e.command_rounds();
+        let before = e.transport_stats().command_rounds;
         let batch = batch_of(
             qs.iter()
                 .map(|&q| BatchOp::Gate { gate: Gate::H, q })
@@ -2363,7 +2860,7 @@ mod tests {
         );
         SimEngine::apply_batch(&mut e, &batch).unwrap();
         assert_eq!(
-            e.command_rounds() - before,
+            e.transport_stats().command_rounds - before,
             1,
             "batched pays one round total"
         );
@@ -2372,8 +2869,8 @@ mod tests {
         // cross-shard pairing adds only its irreducible stripe exchange.
         // Qubits 2 and 3 are shard-selecting at 4 shards with 4 qubits
         // (2 local bits).
-        let before = e.command_rounds();
-        let xchg_before = e.exchange_rounds();
+        let stats_before = e.transport_stats();
+        let (before, xchg_before) = (stats_before.command_rounds, stats_before.exchange_rounds);
         let batch = batch_of(vec![
             BatchOp::Gate {
                 gate: Gate::T,
@@ -2384,8 +2881,9 @@ mod tests {
             BatchOp::Cz { a: qs[2], b: qs[3] },
         ]);
         SimEngine::apply_batch(&mut e, &batch).unwrap();
-        let cmd_delta = e.command_rounds() - before;
-        let xchg_delta = e.exchange_rounds() - xchg_before;
+        let stats_after = e.transport_stats();
+        let cmd_delta = stats_after.command_rounds - before;
+        let xchg_delta = stats_after.exchange_rounds - xchg_before;
         assert_eq!(
             cmd_delta, 1,
             "one command round regardless of batch content"
@@ -2614,7 +3112,13 @@ mod tests {
 
     #[test]
     fn remote_backend_kind_builds_under_sharded_shared() {
-        let backend = BackendKind::RemoteSharded { shards: 4 }.build(5);
+        let backend = crate::backend::build_backend(
+            BackendKind::RemoteSharded { shards: 4 },
+            cmpi::TransportKind::InProcess,
+            5,
+            NoiseModel::ideal(),
+        )
+        .unwrap();
         assert_eq!(backend.kind(), BackendKind::RemoteSharded { shards: 4 });
         let qa = backend.alloc(0, 1)[0];
         let qb = backend.alloc(1, 1)[0];
@@ -2628,7 +3132,13 @@ mod tests {
     #[test]
     fn wrapper_runs_concurrent_rank_gates_against_workers() {
         use std::sync::Arc;
-        let backend: Arc<dyn QuantumBackend> = BackendKind::RemoteSharded { shards: 4 }.build(3);
+        let backend: Arc<dyn QuantumBackend> = crate::backend::build_backend(
+            BackendKind::RemoteSharded { shards: 4 },
+            cmpi::TransportKind::InProcess,
+            3,
+            NoiseModel::ideal(),
+        )
+        .unwrap();
         let mut qubits = Vec::new();
         for rank in 0..4usize {
             qubits.push((rank, backend.alloc(rank, 2)));

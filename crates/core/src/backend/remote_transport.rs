@@ -1,0 +1,949 @@
+//! Multi-process shard transport: child-process workers behind framed
+//! sockets, with respawn-and-replay failover.
+//!
+//! [`super::remote`] defines the shard protocol ([`ShardCmd`] /
+//! [`ShardReply`] / stripe exchanges) and runs it, by default, over cmpi
+//! mailboxes between threads. This module carries the *identical* protocol
+//! across real OS boundaries: each shard worker is a child process (the
+//! `qworker` binary) speaking length-prefixed [`cmpi::transport`] frames
+//! over a Unix domain socket or TCP loopback connection back to the
+//! controller.
+//!
+//! ## Topology: one socket per worker, relayed exchanges
+//!
+//! Every worker holds exactly one connection, to the controller. The
+//! controller runs one *router thread* per worker that drains the worker's
+//! socket continuously:
+//!
+//! * `REPLY`/`ACK` frames become `RouterEvent`s on a channel the
+//!   controller thread consumes;
+//! * worker↔worker `XCHG` frames (cross-shard stripe pairing) are relayed
+//!   to the destination worker's socket, with the header's `peer` field
+//!   rewritten from destination to source.
+//!
+//! Because a dedicated router always reads each socket, a worker's writes
+//! always drain — and a relay write blocks only while its destination
+//! computes, never cyclically. That is the deadlock-freedom argument the
+//! mailbox transport gets from unbounded queues.
+//!
+//! ## Handshake
+//!
+//! The controller binds a listener, spawns each `qworker <addr> <rank>
+//! <epoch> <watchdog_ms>` child, accepts its connection, and reads one
+//! `HELLO` frame whose `peer` field authenticates the worker's rank.
+//!
+//! ## Failover: epochs, abort, replay
+//!
+//! A dead worker surfaces as an `Eof` router event (its socket closed) or
+//! a reply timeout (the deadlock watchdog mapped onto a bounded event
+//! wait). Recovery bumps the *epoch*: the dead worker's process is killed
+//! and respawned at the new epoch, survivors receive an `ABORT` frame
+//! (which makes a worker blocked mid-exchange abandon its batch) and
+//! answer `ACK`, and every frame stamped with an older epoch is discarded
+//! by whoever reads it. The engine's controller then re-scatters its
+//! checkpoint and replays the committed command log — see
+//! `super::remote::FailoverState`. Stale commands a survivor processed
+//! before seeing the abort are harmless: the checkpoint `Load` overwrites
+//! whole stripes.
+//!
+//! ## Watchdog mapping
+//!
+//! The in-process engine's deadlock watchdog becomes, out here: a socket
+//! read timeout on worker-side exchange waits (expiry exits the process,
+//! which the controller sees as EOF), and a bounded event wait on
+//! controller-side reply waits (expiry kills and respawns the worker).
+
+use super::remote::{
+    worker_loop, DeadWorker, ShardChannel, ShardCmd, ShardReply, WireAmps, WorkerHalt,
+};
+use bytes::Bytes;
+use cmpi::transport::{
+    read_frame, write_frame, FrameHeader, TransportKind, WireListener, WireStream, FRAME_OVERHEAD,
+};
+use cmpi::{from_bytes, to_bytes};
+use parking_lot::{Condvar, Mutex};
+use qsim::Complex;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Frame tags multiplexing the shard protocol over one stream per worker.
+const TAG_HELLO: u8 = 1;
+const TAG_CMD: u8 = 2;
+const TAG_REPLY: u8 = 3;
+const TAG_XCHG: u8 = 4;
+const TAG_ABORT: u8 = 5;
+const TAG_ACK: u8 = 6;
+
+/// How long a spawned child gets to connect and say HELLO before the
+/// spawn is declared failed (an environmental error, not a protocol one).
+const SPAWN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Locates the `qworker` binary: `QMPI_QWORKER_BIN` wins, then the
+/// directory of the current executable and its parent (which covers
+/// `target/<profile>/deps/<test>` binaries finding `target/<profile>/qworker`).
+fn qworker_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("QMPI_QWORKER_BIN") {
+        return PathBuf::from(p);
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        let mut candidates = Vec::new();
+        if let Some(dir) = exe.parent() {
+            candidates.push(dir.join("qworker"));
+            if let Some(parent) = dir.parent() {
+                candidates.push(parent.join("qworker"));
+            }
+        }
+        if let Some(found) = candidates.into_iter().find(|c| c.is_file()) {
+            return found;
+        }
+    }
+    panic!(
+        "cannot locate the qworker binary for the socket shard transport; build it \
+         (`cargo build --bin qworker`) and/or set QMPI_QWORKER_BIN to its path"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// The worker-process end of the transport: one framed socket to the
+/// controller, implementing [`ShardChannel`] for the shared
+/// [`worker_loop`]. Exchange frames from out-of-order partners and
+/// commands that arrive while awaiting an exchange are buffered; frames
+/// from an older epoch are discarded.
+struct SockChannel {
+    stream: WireStream,
+    rank: usize,
+    epoch: u32,
+    watchdog_ms: u64,
+    pending_cmds: VecDeque<ShardCmd>,
+    pending_xchg: Vec<(usize, Vec<Complex>)>,
+}
+
+impl SockChannel {
+    fn new(stream: WireStream, rank: usize, epoch: u32, watchdog_ms: u64) -> Self {
+        SockChannel {
+            stream,
+            rank,
+            epoch,
+            watchdog_ms,
+            pending_cmds: VecDeque::new(),
+            pending_xchg: Vec::new(),
+        }
+    }
+
+    /// Enters the `epoch` the abort announces: drop everything buffered
+    /// from the old generation and acknowledge.
+    fn handle_abort(&mut self, epoch: u32) {
+        self.epoch = epoch;
+        self.pending_cmds.clear();
+        self.pending_xchg.clear();
+        let hdr = FrameHeader {
+            tag: TAG_ACK,
+            epoch,
+            peer: self.rank as u32,
+        };
+        let _ = write_frame(&mut self.stream, &hdr, &[]);
+    }
+}
+
+impl ShardChannel for SockChannel {
+    fn recv_cmd(&mut self) -> Option<ShardCmd> {
+        if let Some(c) = self.pending_cmds.pop_front() {
+            return Some(c);
+        }
+        let _ = self.stream.set_read_timeout(None);
+        loop {
+            let (hdr, body) = read_frame(&mut self.stream).ok()?;
+            if hdr.epoch < self.epoch {
+                continue;
+            }
+            match hdr.tag {
+                TAG_CMD => return from_bytes::<ShardCmd>(&Bytes::from(body)),
+                TAG_XCHG => {
+                    let w = from_bytes::<WireAmps>(&Bytes::from(body))?;
+                    self.pending_xchg.push((hdr.peer as usize, w.0));
+                }
+                TAG_ABORT => self.handle_abort(hdr.epoch),
+                _ => {}
+            }
+        }
+    }
+
+    fn send_reply(&mut self, reply: &ShardReply) -> Result<(), WorkerHalt> {
+        let hdr = FrameHeader {
+            tag: TAG_REPLY,
+            epoch: self.epoch,
+            peer: self.rank as u32,
+        };
+        write_frame(&mut self.stream, &hdr, &to_bytes(reply)).map_err(|_| WorkerHalt::Exit)?;
+        Ok(())
+    }
+
+    fn send_xchg(&mut self, partner: usize, amps: Vec<Complex>) -> Result<(), WorkerHalt> {
+        let hdr = FrameHeader {
+            tag: TAG_XCHG,
+            epoch: self.epoch,
+            peer: partner as u32,
+        };
+        write_frame(&mut self.stream, &hdr, &to_bytes(&WireAmps(amps)))
+            .map_err(|_| WorkerHalt::Exit)?;
+        Ok(())
+    }
+
+    fn recv_xchg(&mut self, partner: usize, what: &str) -> Result<Vec<Complex>, WorkerHalt> {
+        if let Some(i) = self.pending_xchg.iter().position(|(p, _)| *p == partner) {
+            return Ok(self.pending_xchg.remove(i).1);
+        }
+        let wd = Duration::from_millis(self.watchdog_ms.max(1));
+        let _ = self.stream.set_read_timeout(Some(wd));
+        let result = loop {
+            match read_frame(&mut self.stream) {
+                Ok((hdr, body)) => {
+                    if hdr.epoch < self.epoch {
+                        continue;
+                    }
+                    match hdr.tag {
+                        TAG_XCHG => {
+                            let Some(w) = from_bytes::<WireAmps>(&Bytes::from(body)) else {
+                                break Err(WorkerHalt::Exit);
+                            };
+                            if hdr.peer as usize == partner {
+                                break Ok(w.0);
+                            }
+                            self.pending_xchg.push((hdr.peer as usize, w.0));
+                        }
+                        TAG_CMD => {
+                            // The controller pipelines rounds; commands for
+                            // later ops can overtake a relayed exchange.
+                            let Some(c) = from_bytes::<ShardCmd>(&Bytes::from(body)) else {
+                                break Err(WorkerHalt::Exit);
+                            };
+                            self.pending_cmds.push_back(c);
+                        }
+                        TAG_ABORT => {
+                            self.handle_abort(hdr.epoch);
+                            break Err(WorkerHalt::Aborted);
+                        }
+                        _ => {}
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // The watchdog mapped onto the socket: diagnose and die;
+                    // the controller sees EOF and fails over.
+                    eprintln!(
+                        "remote-shard watchdog: worker {} waited {wd:?} for {what} from \
+                         partner {partner}; the partner is presumed dead or deadlocked",
+                        self.rank
+                    );
+                    break Err(WorkerHalt::Exit);
+                }
+                Err(_) => break Err(WorkerHalt::Exit),
+            }
+        };
+        let _ = self.stream.set_read_timeout(None);
+        result
+    }
+}
+
+/// Entry point of the `qworker` binary: connect back to the controller,
+/// authenticate with a HELLO frame, run the shard event loop until the
+/// controller hangs up or shuts the worker down.
+///
+/// Invocation (by `ProcessLink`, not humans):
+/// `qworker <addr> <rank> <epoch> <watchdog_ms>`.
+pub fn qworker_main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 5 {
+        eprintln!("usage: qworker <addr> <rank> <epoch> <watchdog_ms>");
+        std::process::exit(2);
+    }
+    let addr = &args[1];
+    let rank: usize = args[2].parse().expect("qworker: rank must be an integer");
+    let epoch: u32 = args[3].parse().expect("qworker: epoch must be an integer");
+    let watchdog_ms: u64 = args[4]
+        .parse()
+        .expect("qworker: watchdog must be milliseconds");
+    let mut stream = WireStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("qworker: cannot connect to controller at {addr}: {e}");
+        std::process::exit(1);
+    });
+    let hello = FrameHeader {
+        tag: TAG_HELLO,
+        epoch,
+        peer: rank as u32,
+    };
+    if write_frame(&mut stream, &hello, &[]).is_err() {
+        std::process::exit(1);
+    }
+    let mut chan = SockChannel::new(stream, rank, epoch, watchdog_ms);
+    worker_loop(&mut chan);
+}
+
+// ---------------------------------------------------------------------------
+// Controller side
+// ---------------------------------------------------------------------------
+
+/// What a worker's router thread feeds the controller.
+enum RouterEvent {
+    /// A decoded reply frame (epoch-stamped; stale ones are discarded).
+    Reply {
+        from: usize,
+        epoch: u32,
+        reply: ShardReply,
+    },
+    /// The worker acknowledged an abort into `epoch`.
+    Ack { from: usize, epoch: u32 },
+    /// The worker's socket closed (or sent garbage): it is dead.
+    /// `router_id` guards against a stale router of an already-respawned
+    /// worker condemning its successor.
+    Eof { from: usize, router_id: u64 },
+}
+
+struct WorkerSlot {
+    child: Child,
+    /// Identity of the router generation currently reading this worker.
+    router_id: u64,
+}
+
+/// The controller's half of the multi-process transport: child processes,
+/// their shared writers (command path + relay path), router threads, and
+/// the failover bookkeeping (epoch, dead set, respawn count).
+pub(crate) struct ProcessLink {
+    listener: WireListener,
+    addr: String,
+    bin: PathBuf,
+    shards: usize,
+    epoch: u32,
+    watchdog: Arc<AtomicU64>,
+    /// Write halves, indexed by shard. Stable `Arc` so router threads can
+    /// relay into them across respawns (the `Option` is replaced, not the
+    /// slot). `None` = currently no live connection.
+    writers: Arc<Vec<Mutex<Option<WireStream>>>>,
+    slots: Vec<WorkerSlot>,
+    events_tx: mpsc::Sender<RouterEvent>,
+    events_rx: mpsc::Receiver<RouterEvent>,
+    next_router_id: u64,
+    dead: HashSet<usize>,
+    /// Current-epoch replies that arrived while awaiting another shard's.
+    pending: HashMap<usize, VecDeque<ShardReply>>,
+    respawns: u64,
+    wire_bytes: Arc<AtomicU64>,
+}
+
+impl ProcessLink {
+    /// Binds the listener and spawns `shards` worker processes, each
+    /// connected and authenticated. `watchdog` (milliseconds) is passed to
+    /// every worker at spawn time.
+    pub(crate) fn spawn(
+        kind: TransportKind,
+        shards: usize,
+        watchdog: Arc<AtomicU64>,
+    ) -> io::Result<ProcessLink> {
+        let listener = WireListener::bind(kind)?;
+        let addr = listener.addr()?;
+        let bin = qworker_bin();
+        let (events_tx, events_rx) = mpsc::channel();
+        let writers = Arc::new(
+            (0..shards)
+                .map(|_| Mutex::new(None))
+                .collect::<Vec<Mutex<Option<WireStream>>>>(),
+        );
+        let mut link = ProcessLink {
+            listener,
+            addr,
+            bin,
+            shards,
+            epoch: 0,
+            watchdog,
+            writers,
+            slots: Vec::with_capacity(shards),
+            events_tx,
+            events_rx,
+            next_router_id: 0,
+            dead: HashSet::new(),
+            pending: HashMap::new(),
+            respawns: 0,
+            wire_bytes: Arc::new(AtomicU64::new(0)),
+        };
+        for s in 0..shards {
+            link.spawn_worker(s)?;
+        }
+        Ok(link)
+    }
+
+    /// Shard (worker process) count.
+    pub(crate) fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total bytes put on the wire so far (frames in both directions,
+    /// including relayed exchanges).
+    pub(crate) fn wire_bytes(&self) -> u64 {
+        self.wire_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Worker processes respawned by failover so far.
+    pub(crate) fn respawns(&self) -> u64 {
+        self.respawns
+    }
+
+    /// Spawns (or respawns) shard `shard`'s worker process: launch the
+    /// child at the current epoch, accept its connection, verify its
+    /// HELLO, start its router.
+    fn spawn_worker(&mut self, shard: usize) -> io::Result<()> {
+        let rank = shard + 1;
+        let child = Command::new(&self.bin)
+            .arg(&self.addr)
+            .arg(rank.to_string())
+            .arg(self.epoch.to_string())
+            .arg(self.watchdog.load(Ordering::Relaxed).to_string())
+            .stdin(Stdio::null())
+            .spawn()?;
+        let stream = self.listener.accept_timeout(SPAWN_TIMEOUT)?;
+        stream.set_read_timeout(Some(SPAWN_TIMEOUT))?;
+        let mut reader = stream.try_clone()?;
+        let (hello, _) = read_frame(&mut reader)?;
+        if hello.tag != TAG_HELLO || hello.peer as usize != rank {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "worker handshake: expected HELLO from rank {rank}, got tag {} peer {}",
+                    hello.tag, hello.peer
+                ),
+            ));
+        }
+        stream.set_read_timeout(None)?;
+        *self.writers[shard].lock() = Some(stream);
+        let router_id = self.next_router_id;
+        self.next_router_id += 1;
+        let slot = WorkerSlot { child, router_id };
+        if shard < self.slots.len() {
+            self.slots[shard] = slot;
+        } else {
+            self.slots.push(slot);
+        }
+        self.spawn_router(shard, reader, router_id);
+        Ok(())
+    }
+
+    /// Starts the router thread that drains worker `shard`'s socket:
+    /// replies and acks become events, exchange frames are relayed to
+    /// their destination worker with `peer` rewritten to name the source.
+    fn spawn_router(&self, shard: usize, mut reader: WireStream, router_id: u64) {
+        let writers = Arc::clone(&self.writers);
+        let events = self.events_tx.clone();
+        let bytes = Arc::clone(&self.wire_bytes);
+        let from_rank = (shard + 1) as u32;
+        std::thread::spawn(move || loop {
+            match read_frame(&mut reader) {
+                Ok((hdr, body)) => {
+                    bytes.fetch_add((FRAME_OVERHEAD + body.len()) as u64, Ordering::Relaxed);
+                    match hdr.tag {
+                        TAG_REPLY => match from_bytes::<ShardReply>(&Bytes::from(body)) {
+                            Some(reply) => {
+                                let _ = events.send(RouterEvent::Reply {
+                                    from: shard,
+                                    epoch: hdr.epoch,
+                                    reply,
+                                });
+                            }
+                            None => {
+                                // A worker speaking garbage is as dead as
+                                // one speaking nothing.
+                                let _ = events.send(RouterEvent::Eof {
+                                    from: shard,
+                                    router_id,
+                                });
+                                return;
+                            }
+                        },
+                        TAG_XCHG => {
+                            let dest = (hdr.peer as usize).wrapping_sub(1);
+                            if let Some(slot) = writers.get(dest) {
+                                let mut guard = slot.lock();
+                                if let Some(stream) = guard.as_mut() {
+                                    let out = FrameHeader {
+                                        tag: TAG_XCHG,
+                                        epoch: hdr.epoch,
+                                        peer: from_rank,
+                                    };
+                                    // A failed relay means the destination
+                                    // died; its own EOF surfaces that.
+                                    if let Ok(n) = write_frame(stream, &out, &body) {
+                                        bytes.fetch_add(n as u64, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                        TAG_ACK => {
+                            let _ = events.send(RouterEvent::Ack {
+                                from: shard,
+                                epoch: hdr.epoch,
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+                Err(_) => {
+                    let _ = events.send(RouterEvent::Eof {
+                        from: shard,
+                        router_id,
+                    });
+                    return;
+                }
+            }
+        });
+    }
+
+    /// Writes one frame to shard `shard`'s socket, accounting its bytes.
+    fn write_to(&mut self, shard: usize, tag: u8, body: &[u8]) -> Result<(), DeadWorker> {
+        if self.dead.contains(&shard) {
+            return Err(DeadWorker);
+        }
+        let hdr = FrameHeader {
+            tag,
+            epoch: self.epoch,
+            peer: 0,
+        };
+        let mut guard = self.writers[shard].lock();
+        let Some(stream) = guard.as_mut() else {
+            drop(guard);
+            self.dead.insert(shard);
+            return Err(DeadWorker);
+        };
+        match write_frame(stream, &hdr, body) {
+            Ok(n) => {
+                drop(guard);
+                self.wire_bytes.fetch_add(n as u64, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(_) => {
+                *guard = None;
+                drop(guard);
+                self.dead.insert(shard);
+                Err(DeadWorker)
+            }
+        }
+    }
+
+    /// Sends one protocol command to shard `shard`.
+    pub(crate) fn send_cmd(&mut self, shard: usize, cmd: &ShardCmd) -> Result<(), DeadWorker> {
+        self.write_to(shard, TAG_CMD, &to_bytes(cmd))
+    }
+
+    /// Processes one router event against the dead set / pending buffers.
+    /// Returns the reply if it is a current-epoch reply from `want`.
+    fn absorb_event(
+        &mut self,
+        event: RouterEvent,
+        want: usize,
+    ) -> Option<Result<ShardReply, DeadWorker>> {
+        match event {
+            RouterEvent::Reply { from, epoch, reply } if epoch == self.epoch => {
+                if from == want {
+                    return Some(Ok(reply));
+                }
+                self.pending.entry(from).or_default().push_back(reply);
+            }
+            RouterEvent::Eof { from, router_id } if router_id == self.slots[from].router_id => {
+                *self.writers[from].lock() = None;
+                self.dead.insert(from);
+                if from == want {
+                    return Some(Err(DeadWorker));
+                }
+            }
+            // Stale replies, stale EOFs, out-of-protocol acks.
+            _ => {}
+        }
+        None
+    }
+
+    /// Awaits shard `shard`'s next current-epoch reply, up to `wd`. Expiry
+    /// means the worker is dead *or* deadlocked — either way it is killed
+    /// and reported dead, and failover respawns it.
+    pub(crate) fn reply_from(
+        &mut self,
+        shard: usize,
+        wd: Duration,
+    ) -> Result<ShardReply, DeadWorker> {
+        if self.dead.contains(&shard) {
+            return Err(DeadWorker);
+        }
+        if let Some(r) = self.pending.get_mut(&shard).and_then(|q| q.pop_front()) {
+            return Ok(r);
+        }
+        let deadline = Instant::now() + wd;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                let _ = self.slots[shard].child.kill();
+                self.dead.insert(shard);
+                return Err(DeadWorker);
+            }
+            match self.events_rx.recv_timeout(deadline - now) {
+                Ok(event) => {
+                    if let Some(outcome) = self.absorb_event(event, shard) {
+                        return outcome;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("the link holds an event sender")
+                }
+            }
+        }
+    }
+
+    /// Restarts the worker generation after deaths: bump the epoch, kill
+    /// and respawn every dead worker at it, abort the survivors into it
+    /// and collect their acks. `Err` means further workers died during the
+    /// restart; the caller loops (with a budget).
+    pub(crate) fn restart_generation(&mut self, wd: Duration) -> Result<(), DeadWorker> {
+        self.epoch += 1;
+        self.pending.clear();
+        let dead: Vec<usize> = self.dead.drain().collect();
+        for &s in &dead {
+            // A "dead" entry may be a live-but-deadlocked process (reply
+            // timeout); make it properly dead before replacing it.
+            let _ = self.slots[s].child.kill();
+            let _ = self.slots[s].child.wait();
+            if let Some(stale) = self.writers[s].lock().take() {
+                stale.shutdown();
+            }
+        }
+        for &s in &dead {
+            self.spawn_worker(s).unwrap_or_else(|e| {
+                panic!("remote-shard failover: cannot respawn shard {s}'s worker: {e}")
+            });
+            self.respawns += 1;
+        }
+        let live: Vec<usize> = (0..self.shards).filter(|s| !dead.contains(s)).collect();
+        for &s in &live {
+            if self.write_to(s, TAG_ABORT, &[]).is_err() {
+                return Err(DeadWorker);
+            }
+        }
+        let mut acked: HashSet<usize> = HashSet::new();
+        let deadline = Instant::now() + wd;
+        while acked.len() < live.len() {
+            let now = Instant::now();
+            if now >= deadline {
+                for &s in &live {
+                    if !acked.contains(&s) {
+                        let _ = self.slots[s].child.kill();
+                        self.dead.insert(s);
+                    }
+                }
+                return Err(DeadWorker);
+            }
+            match self.events_rx.recv_timeout(deadline - now) {
+                Ok(RouterEvent::Ack { from, epoch }) if epoch == self.epoch => {
+                    acked.insert(from);
+                }
+                Ok(RouterEvent::Eof { from, router_id })
+                    if router_id == self.slots[from].router_id =>
+                {
+                    *self.writers[from].lock() = None;
+                    self.dead.insert(from);
+                    return Err(DeadWorker);
+                }
+                Ok(_) => {}
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("the link holds an event sender")
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// SIGKILLs shard `shard`'s worker process (test hook for failover).
+    pub(crate) fn kill_child(&mut self, shard: usize) {
+        let _ = self.slots[shard].child.kill();
+    }
+}
+
+impl Drop for ProcessLink {
+    fn drop(&mut self) {
+        // Best-effort clean shutdown, then close every connection (which
+        // unblocks any worker still reading) and reap the children.
+        for s in 0..self.shards {
+            let _ = self.write_to(s, TAG_CMD, &to_bytes(&ShardCmd::Shutdown));
+        }
+        for w in self.writers.iter() {
+            if let Some(stream) = w.lock().take() {
+                stream.shutdown();
+            }
+        }
+        for slot in &mut self.slots {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                match slot.child.try_wait() {
+                    Ok(Some(_)) | Err(_) => break,
+                    Ok(None) => {
+                        if Instant::now() >= deadline {
+                            let _ = slot.child.kill();
+                            let _ = slot.child.wait();
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// How a process link travels inside the engine: owned outright (children
+/// die with the engine) or leased from a [`ProcessWorkerPool`] (the link
+/// returns to the pool on drop, children still running).
+pub(crate) struct ProcessHandle {
+    link: Option<ProcessLink>,
+    pool: Option<Arc<ProcPoolShared>>,
+}
+
+impl ProcessHandle {
+    pub(crate) fn owned(link: ProcessLink) -> Self {
+        ProcessHandle {
+            link: Some(link),
+            pool: None,
+        }
+    }
+
+    fn pooled(link: ProcessLink, pool: Arc<ProcPoolShared>) -> Self {
+        ProcessHandle {
+            link: Some(link),
+            pool: Some(pool),
+        }
+    }
+
+    pub(crate) fn link(&mut self) -> &mut ProcessLink {
+        self.link.as_mut().expect("link present until drop")
+    }
+
+    pub(crate) fn link_ref(&self) -> &ProcessLink {
+        self.link.as_ref().expect("link present until drop")
+    }
+}
+
+impl Drop for ProcessHandle {
+    fn drop(&mut self) {
+        if let Some(link) = self.link.take() {
+            match &self.pool {
+                Some(pool) => pool.give_back(link),
+                None => drop(link),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-worker pool
+// ---------------------------------------------------------------------------
+
+struct ProcPoolState {
+    free: Vec<ProcessLink>,
+    closing: bool,
+}
+
+struct ProcPoolShared {
+    state: Mutex<ProcPoolState>,
+    cv: Condvar,
+    shards: usize,
+    slots: usize,
+}
+
+impl ProcPoolShared {
+    fn give_back(&self, link: ProcessLink) {
+        let mut st = self.state.lock();
+        if st.closing {
+            drop(st);
+            drop(link); // shuts the children down
+        } else {
+            st.free.push(link);
+            drop(st);
+            self.cv.notify_one();
+        }
+    }
+}
+
+/// A long-lived pool of process-worker worlds for socket-transport
+/// [`super::RemoteShardedEngine`]s — the multi-process analogue of
+/// [`super::ShardWorkerPool`]. Each slot is an independent
+/// `ProcessLink` whose child processes outlive individual engines;
+/// leasing hands one engine exclusive use
+/// ([`super::RemoteShardedEngine::from_process_lease`]), and dropping that
+/// engine returns the slot, children still running. Dropping the pool
+/// terminates every child.
+pub struct ProcessWorkerPool {
+    shared: Arc<ProcPoolShared>,
+    watchdog: Arc<AtomicU64>,
+}
+
+impl ProcessWorkerPool {
+    /// Spawns `slots` process-worker worlds of `shards` child processes
+    /// each, over `kind` (which must be a multi-process transport).
+    pub fn new(slots: usize, shards: usize, kind: TransportKind) -> Self {
+        assert!(slots > 0, "need at least one pool slot");
+        assert!(
+            kind.is_multiprocess(),
+            "a process-worker pool needs a multi-process transport, not {kind}"
+        );
+        let shards = qsim::sharded::normalize_shards(shards, super::remote::MAX_REMOTE_SHARD_BITS);
+        let watchdog = Arc::new(AtomicU64::new(
+            super::remote::watchdog_from_env().as_millis() as u64,
+        ));
+        let free = (0..slots)
+            .map(|_| {
+                ProcessLink::spawn(kind, shards, Arc::clone(&watchdog)).unwrap_or_else(|e| {
+                    panic!("cannot spawn {kind} shard worker processes for the pool: {e}")
+                })
+            })
+            .collect();
+        ProcessWorkerPool {
+            shared: Arc::new(ProcPoolShared {
+                state: Mutex::new(ProcPoolState {
+                    free,
+                    closing: false,
+                }),
+                cv: Condvar::new(),
+                shards,
+                slots,
+            }),
+            watchdog,
+        }
+    }
+
+    /// Worker (shard) count per slot, after normalization.
+    pub fn shards(&self) -> usize {
+        self.shared.shards
+    }
+
+    /// Total slot count.
+    pub fn slots(&self) -> usize {
+        self.shared.slots
+    }
+
+    /// Slots currently free (racy by nature; a scheduling heuristic).
+    pub fn available(&self) -> usize {
+        self.shared.state.lock().free.len()
+    }
+
+    /// Leases a slot, blocking until one frees.
+    pub fn lease(&self) -> ProcessShardLease {
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(link) = st.free.pop() {
+                return self.wrap(link);
+            }
+            self.cv_wait(&mut st);
+        }
+    }
+
+    /// Leases a slot if one is free right now.
+    pub fn try_lease(&self) -> Option<ProcessShardLease> {
+        let mut st = self.shared.state.lock();
+        st.free.pop().map(|link| self.wrap(link))
+    }
+
+    /// Leases a slot, blocking up to `timeout`; `None` on expiry.
+    pub fn lease_timeout(&self, timeout: Duration) -> Option<ProcessShardLease> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(link) = st.free.pop() {
+                return Some(self.wrap(link));
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            let _ = self.shared.cv.wait_until(&mut st, deadline);
+        }
+    }
+
+    fn cv_wait(&self, st: &mut parking_lot::MutexGuard<'_, ProcPoolState>) {
+        self.shared.cv.wait(st);
+    }
+
+    fn wrap(&self, link: ProcessLink) -> ProcessShardLease {
+        ProcessShardLease {
+            link: Some(link),
+            shared: Arc::clone(&self.shared),
+            watchdog: Arc::clone(&self.watchdog),
+        }
+    }
+}
+
+impl Drop for ProcessWorkerPool {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock();
+        st.closing = true;
+        let free = std::mem::take(&mut st.free);
+        drop(st);
+        // Leased slots shut down when their handle drops (give_back
+        // observes `closing`); the free ones shut down here.
+        drop(free);
+    }
+}
+
+/// Exclusive use of one [`ProcessWorkerPool`] slot, consumed by
+/// [`super::RemoteShardedEngine::from_process_lease`]. Dropping it unused
+/// returns the slot untouched.
+pub struct ProcessShardLease {
+    link: Option<ProcessLink>,
+    shared: Arc<ProcPoolShared>,
+    watchdog: Arc<AtomicU64>,
+}
+
+impl ProcessShardLease {
+    /// Worker (shard) count of the leased slot.
+    pub fn shards(&self) -> usize {
+        self.shared.shards
+    }
+
+    /// Resets the slot for a fresh engine — an epoch bump aborts whatever
+    /// protocol a panicked previous lessee left dangling (respawning any
+    /// workers it got killed) — and converts the lease into the engine's
+    /// link handle.
+    pub(crate) fn into_handle(mut self) -> (ProcessHandle, Arc<AtomicU64>, usize) {
+        let mut link = self
+            .link
+            .take()
+            .expect("lease holds its link until consumed");
+        let wd = Duration::from_millis(self.watchdog.load(Ordering::Relaxed).max(1));
+        let mut attempts = 0usize;
+        while link.restart_generation(wd).is_err() {
+            attempts += 1;
+            assert!(
+                attempts <= 16,
+                "process-pool lease reset: workers keep dying during the reset"
+            );
+        }
+        let shards = link.shards();
+        (
+            ProcessHandle::pooled(link, Arc::clone(&self.shared)),
+            Arc::clone(&self.watchdog),
+            shards,
+        )
+    }
+}
+
+impl Drop for ProcessShardLease {
+    fn drop(&mut self) {
+        if let Some(link) = self.link.take() {
+            self.shared.give_back(link);
+        }
+    }
+}

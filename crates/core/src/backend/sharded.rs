@@ -432,8 +432,8 @@ impl<E: ShardableEngine> QuantumBackend for ShardedShared<E> {
         self.inner.read().engine.modeled_fidelity()
     }
 
-    fn transport_rounds(&self) -> Option<(u64, u64)> {
-        self.inner.read().engine.transport_rounds()
+    fn transport_stats(&self) -> Option<super::TransportStats> {
+        self.inner.read().engine.transport_stats()
     }
 
     fn alloc(&self, rank: usize, n: usize) -> Vec<QubitId> {
@@ -709,8 +709,13 @@ mod tests {
     #[test]
     fn wrapper_runs_concurrent_rank_gates() {
         use std::sync::Arc;
-        let backend: Arc<dyn QuantumBackend> =
-            BackendKind::ShardedStateVector { shards: 8 }.build(3);
+        let backend: Arc<dyn QuantumBackend> = crate::backend::build_backend(
+            BackendKind::ShardedStateVector { shards: 8 },
+            cmpi::TransportKind::InProcess,
+            3,
+            NoiseModel::ideal(),
+        )
+        .unwrap();
         let mut qubits = Vec::new();
         for rank in 0..4usize {
             qubits.push((rank, backend.alloc(rank, 2)));
@@ -740,7 +745,13 @@ mod tests {
 
     #[test]
     fn batch_entangle_is_one_acquisition_of_many_pairs() {
-        let backend = BackendKind::ShardedStateVector { shards: 4 }.build(9);
+        let backend = crate::backend::build_backend(
+            BackendKind::ShardedStateVector { shards: 4 },
+            cmpi::TransportKind::InProcess,
+            9,
+            NoiseModel::ideal(),
+        )
+        .unwrap();
         let a = backend.alloc(0, 3);
         let b = backend.alloc(1, 3);
         let pairs: Vec<(QubitId, QubitId)> = a.iter().copied().zip(b.iter().copied()).collect();

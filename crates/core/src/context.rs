@@ -10,7 +10,7 @@ use crate::backend::{BackendKind, QuantumBackend};
 use crate::error::{QmpiError, Result};
 use crate::qubit::Qubit;
 use crate::resources::{ResourceLedger, ResourceSnapshot};
-use cmpi::{Communicator, Universe};
+use cmpi::{Communicator, TransportKind, Universe};
 use qsim::noise::NoiseModel;
 use std::sync::Arc;
 
@@ -96,6 +96,11 @@ pub struct QmpiConfig {
     pub(crate) s_limit: Option<u32>,
     /// Which simulation engine backs the world.
     pub(crate) backend: BackendKind,
+    /// Where the backend's shard workers live (in-process threads by
+    /// default; real child processes for the socket transports). Only the
+    /// [`BackendKind::RemoteSharded`] engine has workers, so other kinds
+    /// ignore this.
+    pub(crate) transport: TransportKind,
     /// Noise model applied by the engine (ideal by default).
     pub(crate) noise: NoiseModel,
     /// Whether per-rank gate calls accumulate into a [`qsim::GateBatch`]
@@ -135,11 +140,26 @@ impl QmpiConfig {
         self
     }
 
+    /// Selects the shard-worker transport for the world's backend: where
+    /// the [`BackendKind::RemoteSharded`] engine's workers live and how
+    /// they speak. [`TransportKind::InProcess`] (the default) runs them as
+    /// threads over `cmpi` mailboxes; [`TransportKind::UnixSocket`] and
+    /// [`TransportKind::Tcp`] spawn real `qworker` child processes behind
+    /// framed sockets, with failover. Backends without shard workers
+    /// ignore the setting.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
+        self
+    }
+
     /// Shorthand for the lock-striped state-vector backend with `shards`
     /// stripes ([`BackendKind::ShardedStateVector`]).
-    pub fn sharded_backend(mut self, shards: usize) -> Self {
-        self.backend = BackendKind::ShardedStateVector { shards };
-        self
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `.backend(BackendKind::ShardedStateVector { shards })`"
+    )]
+    pub fn sharded_backend(self, shards: usize) -> Self {
+        self.backend(BackendKind::ShardedStateVector { shards })
     }
 
     /// Shorthand for the process-separated state-vector backend with
@@ -147,9 +167,13 @@ impl QmpiConfig {
     /// lives in its own thread of control and is driven purely by message
     /// passing — the paper's deployment model, with no shared-address-space
     /// assumption between shards.
-    pub fn remote_backend(mut self, shards: usize) -> Self {
-        self.backend = BackendKind::RemoteSharded { shards };
-        self
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `.backend(BackendKind::RemoteSharded { shards })`, plus \
+                `.transport(..)` to pick where the workers live"
+    )]
+    pub fn remote_backend(self, shards: usize) -> Self {
+        self.backend(BackendKind::RemoteSharded { shards })
     }
 
     /// Sets the noise model the world's engine applies — imperfect gates,
@@ -196,6 +220,20 @@ impl QmpiConfig {
         self.backend
     }
 
+    /// The configured shard-worker transport.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.transport
+    }
+
+    /// Builds the configured backend — kind, transport, seed, and noise in
+    /// one construction point (see [`crate::backend::build_backend`]).
+    /// This is what [`crate::run_with_config`] calls; it is public so
+    /// schedulers that manage backends themselves (qserve) construct them
+    /// identically.
+    pub fn build_backend(&self) -> crate::error::Result<Arc<dyn QuantumBackend>> {
+        crate::backend::build_backend(self.backend, self.transport, self.seed, self.noise)
+    }
+
     /// Enables or disables batched gate streams for the world (overriding
     /// the `QMPI_BATCH` environment default). With batching on, rank-local
     /// gate calls append to a per-rank [`qsim::GateBatch`] that flushes
@@ -232,6 +270,7 @@ impl Default for QmpiConfig {
             seed: 0x514D5049, // "QMPI"
             s_limit: None,
             backend: BackendKind::default(),
+            transport: TransportKind::default(),
             noise: NoiseModel::ideal(),
             batching: batching_env_default(),
         }
@@ -487,15 +526,14 @@ where
 ///
 /// Panics when the configured [`QmpiConfig::noise`] model is invalid for
 /// the configured backend (a rate outside `[0, 1]`, or amplitude damping on
-/// the stabilizer backend) — see [`BackendKind::build_with_noise`].
+/// the stabilizer backend) — see [`crate::backend::build_backend`].
 pub fn run_with_config<T, F>(n: usize, config: QmpiConfig, f: F) -> Vec<T>
 where
     T: Send + 'static,
     F: Fn(&QmpiRank) -> T + Send + Sync + 'static,
 {
     let backend = config
-        .backend
-        .build_with_noise(config.seed, config.noise)
+        .build_backend()
         .unwrap_or_else(|e| panic!("cannot build the {} backend: {e}", config.backend));
     run_on_backend(n, config, backend, f).results
 }

@@ -109,10 +109,12 @@ pub mod reduce_ops;
 pub mod resources;
 
 pub use backend::{
-    BackendKind, OpCounts, QuantumBackend, RemoteShardedEngine, ShardLease, ShardWorkerPool,
-    ShardableEngine, ShardedShared, ShardedStateVector, Shared, SimEngine, StabilizerEngine,
-    StateVectorEngine, TraceEngine, DIAG_RANK,
+    build_backend, qworker_main, BackendKind, OpCounts, ProcessShardLease, ProcessWorkerPool,
+    QuantumBackend, RemoteShardedEngine, ShardLease, ShardWorkerPool, ShardableEngine,
+    ShardedShared, ShardedStateVector, Shared, SimEngine, StabilizerEngine, StateVectorEngine,
+    TraceEngine, TransportStats, DIAG_RANK,
 };
+pub use cmpi::TransportKind;
 pub use collectives::{
     AllreduceHandle, BcastAlgorithm, ExscanHandle, ReduceHandle, ReduceScatterHandle, ScanHandle,
 };

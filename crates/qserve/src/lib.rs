@@ -34,6 +34,7 @@
 //!     max_concurrent: 4,
 //!     pool_slots: 2,
 //!     pool_shards: 2,
+//!     ..ServerConfig::default()
 //! });
 //!
 //! // Two tenants teleport concurrently over the same worker pool.

@@ -19,8 +19,9 @@
 
 use crate::spec::{JobBackend, JobError, JobOutput, JobReport, JobSpec, SubmitError};
 use qmpi::{
-    run_on_backend, NoiseModel, QmpiConfig, QmpiRank, QuantumBackend, RemoteShardedEngine,
-    ShardLease, ShardWorkerPool, ShardedShared,
+    run_on_backend, NoiseModel, ProcessShardLease, ProcessWorkerPool, QmpiConfig, QmpiRank,
+    QuantumBackend, RemoteShardedEngine, ShardLease, ShardWorkerPool, ShardedShared, TransportKind,
+    TransportStats,
 };
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
@@ -44,6 +45,11 @@ pub struct ServerConfig {
     /// Shard workers per pool slot (rounded/clamped as in
     /// [`qmpi::BackendKind::RemoteSharded`]).
     pub pool_shards: usize,
+    /// Where shard workers live: [`TransportKind::InProcess`] (default)
+    /// pools worker *threads*; the multi-process kinds pool real `qworker`
+    /// child processes behind framed sockets, with failover. Applies to
+    /// the pool and to spawned `RemoteSharded` job backends alike.
+    pub transport: TransportKind,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +59,7 @@ impl Default for ServerConfig {
             max_concurrent: 8,
             pool_slots: 4,
             pool_shards: 2,
+            transport: TransportKind::InProcess,
         }
     }
 }
@@ -72,9 +79,42 @@ pub struct ServerStats {
     pub pool_available: usize,
 }
 
+/// The server's long-lived shard-worker capacity, in whichever shape the
+/// configured transport dictates.
+enum Pool {
+    /// In-process worker threads over `cmpi` mailboxes.
+    Thread(ShardWorkerPool),
+    /// `qworker` child processes behind framed sockets.
+    Process(ProcessWorkerPool),
+}
+
+impl Pool {
+    fn available(&self) -> usize {
+        match self {
+            Pool::Thread(p) => p.available(),
+            Pool::Process(p) => p.available(),
+        }
+    }
+
+    fn try_lease(&self) -> Option<Lease> {
+        match self {
+            Pool::Thread(p) => p.try_lease().map(Lease::Thread),
+            Pool::Process(p) => p.try_lease().map(Lease::Process),
+        }
+    }
+}
+
+/// An exclusive pool slot of either shape, carried from admission to the
+/// engine constructor.
+enum Lease {
+    Thread(ShardLease),
+    Process(ProcessShardLease),
+}
+
 /// What the dispatcher hands a job at dispatch time.
 struct RunCtx {
-    lease: Option<ShardLease>,
+    lease: Option<Lease>,
+    transport: TransportKind,
     queued: Duration,
     dispatch_seq: u64,
 }
@@ -104,7 +144,7 @@ struct SchedState {
 
 struct Inner {
     cfg: ServerConfig,
-    pool: Option<ShardWorkerPool>,
+    pool: Option<Pool>,
     state: Mutex<SchedState>,
     /// Signaled on every job completion (drain waits on it).
     done_cv: Condvar,
@@ -128,8 +168,17 @@ impl JobServer {
     /// Starts a server: spawns the worker pool (if any) and nothing else —
     /// jobs bring their own rank threads.
     pub fn new(cfg: ServerConfig) -> Self {
-        let pool = (cfg.pool_slots > 0)
-            .then(|| ShardWorkerPool::new(cfg.pool_slots, cfg.pool_shards.max(1)));
+        let pool = (cfg.pool_slots > 0).then(|| {
+            if cfg.transport.is_multiprocess() {
+                Pool::Process(ProcessWorkerPool::new(
+                    cfg.pool_slots,
+                    cfg.pool_shards.max(1),
+                    cfg.transport,
+                ))
+            } else {
+                Pool::Thread(ShardWorkerPool::new(cfg.pool_slots, cfg.pool_shards.max(1)))
+            }
+        });
         JobServer {
             inner: Arc::new(Inner {
                 cfg,
@@ -326,6 +375,7 @@ fn pump(inner: &Arc<Inner>) {
             .spawn(move || {
                 (job.run)(RunCtx {
                     lease,
+                    transport: inner2.cfg.transport,
                     queued: queued_for,
                     dispatch_seq,
                 });
@@ -354,9 +404,12 @@ fn run_job<T, F>(
     F: Fn(&QmpiRank) -> T + Send + Sync + 'static,
 {
     let started = Instant::now();
-    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| execute(&spec, f, rcx.lease)));
+    let transport_kind = rcx.transport;
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        execute(&spec, f, rcx.lease, transport_kind)
+    }));
     let report =
-        |backend, resources, peak, counts, transport: Option<(u64, u64)>, fidelity| JobReport {
+        |backend, resources, peak, counts, transport: Option<TransportStats>, fidelity| JobReport {
             job_id,
             tenant: spec.tenant.clone(),
             backend,
@@ -368,8 +421,7 @@ fn run_job<T, F>(
             resources,
             max_buffer_peak: peak,
             counts,
-            command_rounds: transport.map(|t| t.0),
-            exchange_rounds: transport.map(|t| t.1),
+            transport,
             modeled_fidelity: fidelity,
         };
     let result = match outcome {
@@ -398,7 +450,7 @@ struct BackendStats {
     resources: qmpi::ResourceSnapshot,
     max_buffer_peak: i64,
     counts: qmpi::OpCounts,
-    transport: Option<(u64, u64)>,
+    transport: Option<TransportStats>,
     fidelity: Option<f64>,
 }
 
@@ -407,7 +459,8 @@ struct BackendStats {
 fn execute<T, F>(
     spec: &JobSpec,
     f: F,
-    lease: Option<ShardLease>,
+    lease: Option<Lease>,
+    transport: TransportKind,
 ) -> Result<(Vec<T>, BackendStats), String>
 where
     T: Send + 'static,
@@ -418,14 +471,20 @@ where
             spec.noise
                 .validate()
                 .map_err(|e| format!("invalid noise model: {e}"))?;
-            let engine = RemoteShardedEngine::from_lease(spec.seed, lease, spec.noise);
+            let engine = match lease {
+                Lease::Thread(lease) => {
+                    RemoteShardedEngine::from_lease(spec.seed, lease, spec.noise)
+                }
+                Lease::Process(lease) => {
+                    RemoteShardedEngine::from_process_lease(spec.seed, lease, spec.noise)
+                }
+            };
             let backend = Arc::new(ShardedShared::new(engine));
             let kind = QuantumBackend::kind(&*backend);
             (backend, kind)
         }
         (JobBackend::Spawn(kind), _) => {
-            let backend = kind
-                .build_with_noise(spec.seed, spec.noise)
+            let backend = qmpi::build_backend(*kind, transport, spec.seed, spec.noise)
                 .map_err(|e| e.to_string())?;
             let kind = backend.kind();
             (backend, kind)
@@ -450,7 +509,7 @@ where
         resources: run.resources,
         max_buffer_peak: run.max_buffer_peak,
         counts: backend.counts(),
-        transport: backend.transport_rounds(),
+        transport: backend.transport_stats(),
         fidelity: backend.modeled_fidelity(),
     };
     // Dropping the backend now (all rank clones are joined) releases a

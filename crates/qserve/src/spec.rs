@@ -1,6 +1,6 @@
 //! Job specifications and per-job accounting reports.
 
-use qmpi::{BackendKind, NoiseModel, OpCounts, ResourceSnapshot};
+use qmpi::{BackendKind, NoiseModel, OpCounts, ResourceSnapshot, TransportStats};
 use std::time::Duration;
 
 /// Which simulation capacity a job runs on.
@@ -206,10 +206,10 @@ pub struct JobReport {
     pub max_buffer_peak: i64,
     /// Backend operation counts (gates, measurements, entanglements).
     pub counts: OpCounts,
-    /// Controller→worker command rounds, for message-driven backends.
-    pub command_rounds: Option<u64>,
-    /// Worker↔worker stripe-exchange rounds, for message-driven backends.
-    pub exchange_rounds: Option<u64>,
+    /// Transport accounting (command rounds, exchange rounds, wire bytes,
+    /// worker respawns), for message-driven backends; `None` when the
+    /// backend has no transport.
+    pub transport: Option<TransportStats>,
     /// The backend's modeled run fidelity, when it maintains one (the
     /// trace engine's error-free probability).
     pub modeled_fidelity: Option<f64>,
@@ -220,7 +220,7 @@ impl JobReport {
     /// the `job_server` example prints.
     pub fn table_header() -> String {
         format!(
-            "{:>4}  {:<8} {:<16} {:>5} {:>6} {:>8} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9}  {:>10}",
+            "{:>4}  {:<8} {:<16} {:>5} {:>6} {:>8} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9} {:>4} {:>9}  {:>10}",
             "job",
             "tenant",
             "backend",
@@ -232,6 +232,8 @@ impl JobReport {
             "peak",
             "cmd-rnd",
             "xch-rnd",
+            "wire-B",
+            "rsp",
             "fidelity",
             "wall"
         )
@@ -239,9 +241,10 @@ impl JobReport {
 
     /// One fixed-width accounting row.
     pub fn table_row(&self) -> String {
-        let opt_u64 = |v: Option<u64>| v.map_or_else(|| "-".into(), |v| v.to_string());
+        let opt = |v: Option<u64>| v.map_or_else(|| "-".into(), |v| v.to_string());
+        let t = self.transport;
         format!(
-            "{:>4}  {:<8} {:<16} {:>5} {:>6} {:>8} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9}  {:>10}",
+            "{:>4}  {:<8} {:<16} {:>5} {:>6} {:>8} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9} {:>4} {:>9}  {:>10}",
             self.job_id,
             self.tenant,
             self.backend.to_string(),
@@ -251,8 +254,10 @@ impl JobReport {
             self.resources.classical_bits,
             self.resources.epr_rounds,
             self.max_buffer_peak,
-            opt_u64(self.command_rounds),
-            opt_u64(self.exchange_rounds),
+            opt(t.map(|t| t.command_rounds)),
+            opt(t.map(|t| t.exchange_rounds)),
+            opt(t.map(|t| t.wire_bytes)),
+            opt(t.map(|t| t.respawns)),
             self.modeled_fidelity
                 .map_or_else(|| "-".into(), |f| format!("{f:.5}")),
             format!("{:.2?}", self.wall),
@@ -291,13 +296,18 @@ mod tests {
             resources: ResourceSnapshot::default(),
             max_buffer_peak: 2,
             counts: OpCounts::default(),
-            command_rounds: None,
-            exchange_rounds: Some(9),
+            transport: Some(TransportStats {
+                command_rounds: 12,
+                exchange_rounds: 9,
+                wire_bytes: 4096,
+                respawns: 1,
+            }),
             modeled_fidelity: Some(0.75),
         };
         let header = JobReport::table_header();
         let row = report.table_row();
         assert!(row.contains("alice") && row.contains("0.75000"));
+        assert!(row.contains("4096") && row.contains("12") && row.contains('9'));
         // Fixed-width formatting: the row may only differ in length by the
         // wall-clock field's rendering.
         assert!(header.len() >= 100 && row.len() >= 100);

@@ -57,12 +57,21 @@ fn parity(ctx: &QmpiRank) -> bool {
 }
 
 fn main() {
+    // `QSERVE_TRANSPORT=unix-socket` pools real `qworker` child processes
+    // instead of worker threads (requires the qworker binary: build with
+    // `cargo build --release` first, or set QMPI_QWORKER_BIN).
+    let transport = std::env::var("QSERVE_TRANSPORT")
+        .ok()
+        .map(|v| qmpi::TransportKind::parse(&v).expect("unknown QSERVE_TRANSPORT"))
+        .unwrap_or_default();
     let server = JobServer::new(ServerConfig {
         s_capacity: 64,
         max_concurrent: 8,
         pool_slots: 4,
         pool_shards: 2,
+        transport,
     });
+    println!("shard-worker transport: {transport}");
 
     // Four tenants cycle through three protocols and four capacity
     // sources. Every job declares its S-budget through its s_limit.

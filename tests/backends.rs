@@ -12,9 +12,12 @@
 //! `remote`; `QMPI_TEST_SHARDS` overrides the stripe/worker count — default
 //! 8 for the lock-striped engine, 4 for the process-separated one), so a
 //! regression in one engine cannot hide behind another engine's pass.
-//! Without the variable, every backend runs in-process.
+//! `QMPI_TEST_TRANSPORT=unix-socket` additionally moves the remote
+//! backend's workers into real `qworker` child processes, re-proving every
+//! protocol invariant across an OS boundary. Without the variables, every
+//! backend runs in-process.
 
-use qmpi::{run_with_config, BackendKind, Parity, QmpiConfig, ResourceSnapshot};
+use qmpi::{run_with_config, BackendKind, Parity, QmpiConfig, ResourceSnapshot, TransportKind};
 use qsim::Pauli;
 
 /// The backend selected by `QMPI_TEST_BACKEND`, if any.
@@ -71,8 +74,26 @@ fn kind_selected(kind: BackendKind) -> bool {
     selected_kinds().contains(&kind)
 }
 
+/// The shard-worker transport selected by `QMPI_TEST_TRANSPORT`, if any.
+/// Multi-process transports need the `qworker` binary; this suite is part
+/// of the package that builds it, so point the engine at it directly.
+fn env_transport() -> TransportKind {
+    let Ok(v) = std::env::var("QMPI_TEST_TRANSPORT") else {
+        return TransportKind::InProcess;
+    };
+    let transport =
+        TransportKind::parse(&v).unwrap_or_else(|| panic!("unknown QMPI_TEST_TRANSPORT '{v}'"));
+    if transport.is_multiprocess() && std::env::var_os("QMPI_QWORKER_BIN").is_none() {
+        std::env::set_var("QMPI_QWORKER_BIN", env!("CARGO_BIN_EXE_qworker"));
+    }
+    transport
+}
+
 fn cfg(kind: BackendKind, seed: u64) -> QmpiConfig {
-    QmpiConfig::new().seed(seed).backend(kind)
+    QmpiConfig::new()
+        .seed(seed)
+        .backend(kind)
+        .transport(env_transport())
 }
 
 /// Teleportation chain 0 -> 1 -> 2 of a basis state: the delivered value

@@ -16,6 +16,16 @@ use qmpi::{
 };
 use qsim::Gate;
 
+/// Shorthand for the unified construction path over the default (in-process)
+/// transport — what `BackendKind::build_with_noise` used to be.
+fn build(
+    kind: BackendKind,
+    seed: u64,
+    noise: NoiseModel,
+) -> qmpi::Result<std::sync::Arc<dyn qmpi::QuantumBackend>> {
+    qmpi::build_backend(kind, qmpi::TransportKind::InProcess, seed, noise)
+}
+
 fn all_kinds() -> [BackendKind; 5] {
     [
         BackendKind::StateVector,
@@ -157,7 +167,7 @@ fn noisy_sweep_runs_on_all_stateful_backends_from_one_config() {
 #[test]
 fn stabilizer_rejects_amplitude_damping_noise() {
     let noise = NoiseModel::amplitude_damping(0.1);
-    match BackendKind::Stabilizer.build_with_noise(1, noise) {
+    match build(BackendKind::Stabilizer, 1, noise) {
         Err(QmpiError::InvalidArgument(msg)) => {
             assert!(msg.contains("Clifford"), "{msg}");
         }
@@ -169,7 +179,7 @@ fn stabilizer_rejects_amplitude_damping_noise() {
         BackendKind::ShardedStateVector { shards: 2 },
         BackendKind::Trace,
     ] {
-        assert!(kind.build_with_noise(1, noise).is_ok(), "{kind}");
+        assert!(build(kind, 1, noise).is_ok(), "{kind}");
     }
 }
 
@@ -178,7 +188,7 @@ fn out_of_range_rates_are_rejected_everywhere() {
     for kind in all_kinds() {
         assert!(
             matches!(
-                kind.build_with_noise(1, NoiseModel::depolarizing(1.5)),
+                build(kind, 1, NoiseModel::depolarizing(1.5)),
                 Err(QmpiError::InvalidArgument(_))
             ),
             "{kind}"
@@ -189,7 +199,7 @@ fn out_of_range_rates_are_rejected_everywhere() {
 #[test]
 fn trace_backend_models_error_free_probability() {
     let noise = NoiseModel::depolarizing(0.1);
-    let b = BackendKind::Trace.build_with_noise(0, noise).unwrap();
+    let b = build(BackendKind::Trace, 0, noise).unwrap();
     let qs = b.alloc(0, 3);
     b.apply(0, Gate::H, qs[0]).unwrap(); // 1q: 0.9
     b.cnot(0, qs[0], qs[1]).unwrap(); // 2q: 0.9^2
@@ -199,7 +209,12 @@ fn trace_backend_models_error_free_probability() {
     let want = 0.9f64.powi(6);
     assert!((got - want).abs() < 1e-12, "{got} vs {want}");
     // Stateful engines sample noise instead of modeling it.
-    assert_eq!(BackendKind::StateVector.build(0).modeled_fidelity(), None);
+    assert_eq!(
+        build(BackendKind::StateVector, 0, NoiseModel::ideal())
+            .unwrap()
+            .modeled_fidelity(),
+        None
+    );
 }
 
 #[test]
@@ -211,7 +226,7 @@ fn amplitude_damping_relaxes_excited_qubits() {
         BackendKind::StateVector,
         BackendKind::ShardedStateVector { shards: 2 },
     ] {
-        let b = kind.build_with_noise(5, model).unwrap();
+        let b = build(kind, 5, model).unwrap();
         let q = b.alloc(0, 1)[0];
         b.apply(0, Gate::X, q).unwrap();
         assert!(

@@ -79,6 +79,7 @@ fn eight_concurrent_pooled_jobs_match_solo_runs_bit_for_bit() {
         max_concurrent: JOBS,
         pool_slots: JOBS,
         pool_shards: 2,
+        ..ServerConfig::default()
     }));
     let all_running = Arc::new(Barrier::new(JOBS));
 
@@ -120,9 +121,21 @@ fn eight_concurrent_pooled_jobs_match_solo_runs_bit_for_bit() {
         );
         assert!(out.report.resources.epr_pairs >= 1);
         assert_eq!(out.report.ranks, 2);
+        let transport = out
+            .report
+            .transport
+            .expect("remote backend has a transport");
         assert!(
-            out.report.command_rounds.unwrap() > 0,
+            transport.command_rounds > 0,
             "remote backend must report transport rounds"
+        );
+        assert!(
+            transport.wire_bytes > 0,
+            "commands serialize through the mailbox even in-process"
+        );
+        assert_eq!(
+            transport.respawns, 0,
+            "the in-process transport has no failover"
         );
     }
     // Stats update in the job threads after the result is delivered, so
@@ -130,6 +143,57 @@ fn eight_concurrent_pooled_jobs_match_solo_runs_bit_for_bit() {
     server.drain();
     assert_eq!(server.stats().finished, JOBS as u64);
     assert_eq!(server.stats().pool_available, JOBS);
+}
+
+/// The same server, but pooling real `qworker` child processes over the
+/// unix-socket transport: leased process workers produce trajectories
+/// bit-identical to solo in-process runs of the same seed, and the report
+/// carries real wire-byte accounting.
+#[test]
+fn socket_pooled_jobs_match_in_process_solo_runs_bit_for_bit() {
+    if std::env::var_os("QMPI_QWORKER_BIN").is_none() {
+        std::env::set_var("QMPI_QWORKER_BIN", env!("CARGO_BIN_EXE_qworker"));
+    }
+    const JOBS: usize = 4;
+    let server = JobServer::new(ServerConfig {
+        s_capacity: 64,
+        max_concurrent: JOBS,
+        pool_slots: 2,
+        pool_shards: 2,
+        transport: qmpi::TransportKind::UnixSocket,
+    });
+    let handles: Vec<_> = (0..JOBS)
+        .map(|i| {
+            let spec = JobSpec::new(format!("tenant-{i}"), 2)
+                .seed(300 + i as u64)
+                .s_limit(2);
+            server.submit(spec, teleport(0.4 + 0.2 * i as f64)).unwrap()
+        })
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let out = handle.wait().expect("socket-pooled job must succeed");
+        let cfg = QmpiConfig::new()
+            .seed(300 + i as u64)
+            .s_limit(2)
+            .backend(BackendKind::RemoteSharded { shards: 2 });
+        let solo = run_with_config(2, cfg, teleport(0.4 + 0.2 * i as f64));
+        assert_eq!(
+            out.results, solo,
+            "job {i}: socket-pooled trajectory diverged from in-process solo run"
+        );
+        let transport = out
+            .report
+            .transport
+            .expect("remote backend has a transport");
+        assert!(transport.command_rounds > 0);
+        assert!(
+            transport.wire_bytes > 0,
+            "socket workers must account real wire bytes"
+        );
+    }
+    server.drain();
+    assert_eq!(server.stats().finished, JOBS as u64);
+    assert_eq!(server.stats().pool_available, 2);
 }
 
 /// More jobs than pool slots: the surplus queues on slot availability and
@@ -141,6 +205,7 @@ fn pooled_storm_queues_on_slot_availability() {
         max_concurrent: 6,
         pool_slots: 2,
         pool_shards: 2,
+        ..ServerConfig::default()
     });
     let handles: Vec<_> = (0..12)
         .map(|i| {
@@ -181,6 +246,7 @@ fn over_budget_jobs_queue_until_capacity_frees() {
         max_concurrent: 8,
         pool_slots: 0,
         pool_shards: 0,
+        ..ServerConfig::default()
     });
     let spawn = JobBackend::Spawn(BackendKind::Trace);
     let gate = Arc::new(Gate::default());
@@ -245,6 +311,7 @@ fn round_robin_prevents_tenant_starvation() {
         max_concurrent: 1,
         pool_slots: 0,
         pool_shards: 0,
+        ..ServerConfig::default()
     });
     let spawn = JobBackend::Spawn(BackendKind::Trace);
     let gate = Arc::new(Gate::default());
@@ -295,6 +362,7 @@ fn panicking_job_is_isolated_and_reported() {
         max_concurrent: 2,
         pool_slots: 0,
         pool_shards: 0,
+        ..ServerConfig::default()
     });
     let spawn = JobBackend::Spawn(BackendKind::Trace);
 
@@ -328,6 +396,7 @@ fn impossible_submissions_are_rejected() {
         max_concurrent: 2,
         pool_slots: 0,
         pool_shards: 0,
+        ..ServerConfig::default()
     });
     let err = server
         .submit(JobSpec::new("alice", 1).s_budget(11), |_ctx| ())
