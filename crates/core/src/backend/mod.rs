@@ -16,11 +16,13 @@
 //!   amplitudes at all — pure operation counting for Table 1–3-style
 //!   resource estimation at paper scale).
 //! * [`SimEngine`] implementations also include
-//!   [`sharded::ShardedStateVector`] (exact amplitudes over a lock-striped
-//!   shard array, built for concurrent gate dispatch) and
-//!   [`remote::RemoteShardedEngine`] (exact amplitudes over shards owned by
-//!   dedicated worker ranks that exchange nothing but [`cmpi`] messages —
-//!   the paper's process-separated deployment model).
+//!   [`sparse::SparseEngine`] (exact amplitudes stored sparsely — only
+//!   nonzero entries — so structured states carry real amplitudes at
+//!   hundreds of ranks), [`sharded::ShardedStateVector`] (exact amplitudes
+//!   over a lock-striped shard array, built for concurrent gate dispatch)
+//!   and [`remote::RemoteShardedEngine`] (exact amplitudes over shards
+//!   owned by dedicated worker ranks that exchange nothing but [`cmpi`]
+//!   messages — the paper's process-separated deployment model).
 //! * [`Shared`] — the mutex locality wrapper: one lock-guarded engine plus
 //!   the qubit-ownership registry. Every engine gets the paper's locality
 //!   semantics for free — a multi-qubit gate across ranks is rejected with
@@ -53,6 +55,7 @@
 pub mod remote;
 pub mod remote_transport;
 pub mod sharded;
+pub mod sparse;
 pub mod stabilizer;
 pub mod statevector;
 pub mod trace;
@@ -68,6 +71,7 @@ use std::sync::Arc;
 pub use remote::{RemoteShardedEngine, ShardLease, ShardWorkerPool};
 pub use remote_transport::{qworker_main, ProcessShardLease, ProcessWorkerPool};
 pub use sharded::{ShardableEngine, ShardedShared, ShardedStateVector};
+pub use sparse::SparseEngine;
 pub use stabilizer::StabilizerEngine;
 pub use statevector::StateVectorEngine;
 pub use trace::TraceEngine;
@@ -87,6 +91,13 @@ pub enum BackendKind {
     /// and the resource ledger reproduces the paper's Tables 1–3 at any
     /// scale.
     Trace,
+    /// Sparse full-state simulation: only nonzero amplitudes are stored, in
+    /// a map keyed by 512-bit basis state. Exact for arbitrary gates like
+    /// the dense engine (bit-identical under the canonical rule documented
+    /// in [`qsim::sparse`]), but memory scales with the number of *nonzero*
+    /// amplitudes instead of `2^n` — structured states (cat/GHZ trees,
+    /// teleport chains) run with real amplitudes at hundreds of ranks.
+    Sparse,
     /// Full state-vector simulation over `shards` lock-striped amplitude
     /// shards behind a reader-writer locality wrapper: gates from many
     /// ranks run concurrently instead of serializing through one mutex.
@@ -180,6 +191,7 @@ impl BackendKind {
             BackendKind::StateVector => "state-vector",
             BackendKind::Stabilizer => "stabilizer",
             BackendKind::Trace => "trace",
+            BackendKind::Sparse => "sparse",
             BackendKind::ShardedStateVector { .. } => "sharded-state-vector",
             BackendKind::RemoteSharded { .. } => "remote-sharded",
         }
@@ -258,6 +270,7 @@ pub fn build_backend(
         }
         BackendKind::Stabilizer => Arc::new(Shared::new(StabilizerEngine::with_noise(seed, noise))),
         BackendKind::Trace => Arc::new(Shared::new(TraceEngine::with_noise(noise))),
+        BackendKind::Sparse => Arc::new(Shared::new(SparseEngine::with_noise(seed, noise))),
         BackendKind::ShardedStateVector { shards } => Arc::new(ShardedShared::new(
             ShardedStateVector::with_noise(seed, shards, noise),
         )),
@@ -460,6 +473,22 @@ pub trait SimEngine: Send {
     /// amplitudes return [`qsim::SimError::Unsupported`]).
     fn state_vector(&self, order: &[QubitId]) -> std::result::Result<State, qsim::SimError>;
 
+    /// The amplitude of the single basis state where the qubits in `ones`
+    /// are 1 and every other live qubit is 0 — a point probe that stays
+    /// available at rank counts where no dense snapshot can exist (the
+    /// sparse engine's paper-scale assertion hook). Engines that do not
+    /// track per-basis-state amplitudes return
+    /// [`qsim::SimError::Unsupported`].
+    fn amplitude_of(
+        &self,
+        _ones: &[QubitId],
+    ) -> std::result::Result<qsim::Complex, qsim::SimError> {
+        Err(qsim::SimError::Unsupported(format!(
+            "amplitude probe on the {} engine",
+            self.kind().name()
+        )))
+    }
+
     /// Live qubit count.
     fn n_qubits(&self) -> usize;
 
@@ -617,6 +646,14 @@ pub trait QuantumBackend: Send + Sync {
     /// Only the state-vector engine supports it.
     fn state_vector(&self, order: &[QubitId]) -> Result<State>;
 
+    /// Amplitude of the basis state with the qubits in `ones` set to 1 and
+    /// every other live qubit 0, over qubits owned by `rank` (diagnostics
+    /// pass [`DIAG_RANK`] to probe across the whole machine). Unlike
+    /// [`Self::state_vector`], this works at paper-scale rank counts on the
+    /// sparse backend; amplitude-less engines report
+    /// [`qsim::SimError::Unsupported`].
+    fn amplitude_of(&self, rank: usize, ones: &[QubitId]) -> Result<qsim::Complex>;
+
     /// Number of live qubits (diagnostics).
     fn n_qubits(&self) -> usize;
 
@@ -766,6 +803,15 @@ impl<E: SimEngine> Inner<E> {
             }
         }
         Ok(self.engine.expectation(terms)?)
+    }
+
+    pub(crate) fn amplitude_of(&self, rank: usize, ones: &[QubitId]) -> Result<qsim::Complex> {
+        if rank != DIAG_RANK {
+            for &q in ones {
+                self.check_owner(rank, q)?;
+            }
+        }
+        Ok(self.engine.amplitude_of(ones)?)
     }
 
     pub(crate) fn expectation_each(
@@ -938,6 +984,10 @@ impl<E: SimEngine> QuantumBackend for Shared<E> {
         Ok(g.engine.state_vector(order)?)
     }
 
+    fn amplitude_of(&self, rank: usize, ones: &[QubitId]) -> Result<qsim::Complex> {
+        self.inner.lock().amplitude_of(rank, ones)
+    }
+
     fn n_qubits(&self) -> usize {
         self.inner.lock().engine.n_qubits()
     }
@@ -962,21 +1012,23 @@ mod tests {
             .expect("test backend configurations are valid")
     }
 
-    fn all_kinds() -> [BackendKind; 5] {
+    fn all_kinds() -> [BackendKind; 6] {
         [
             BackendKind::StateVector,
             BackendKind::Stabilizer,
             BackendKind::Trace,
+            BackendKind::Sparse,
             BackendKind::ShardedStateVector { shards: 4 },
             BackendKind::RemoteSharded { shards: 2 },
         ]
     }
 
     /// Kinds that track real quantum state (trace excluded).
-    fn stateful_kinds() -> [BackendKind; 4] {
+    fn stateful_kinds() -> [BackendKind; 5] {
         [
             BackendKind::StateVector,
             BackendKind::Stabilizer,
+            BackendKind::Sparse,
             BackendKind::ShardedStateVector { shards: 4 },
             BackendKind::RemoteSharded { shards: 2 },
         ]

@@ -544,6 +544,10 @@ impl<E: ShardableEngine> QuantumBackend for ShardedShared<E> {
         Ok(g.engine.state_vector(order)?)
     }
 
+    fn amplitude_of(&self, rank: usize, ones: &[QubitId]) -> Result<qsim::Complex> {
+        self.inner.write().amplitude_of(rank, ones)
+    }
+
     fn n_qubits(&self) -> usize {
         self.inner.read().engine.n_qubits()
     }

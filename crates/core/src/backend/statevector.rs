@@ -99,6 +99,10 @@ impl SimEngine for StateVectorEngine {
         self.sim.state_vector(order)
     }
 
+    fn amplitude_of(&self, ones: &[QubitId]) -> Result<qsim::Complex, SimError> {
+        self.sim.amplitude_of(ones)
+    }
+
     fn n_qubits(&self) -> usize {
         self.sim.n_qubits()
     }

@@ -680,6 +680,7 @@ mod tests {
             crate::BackendKind::StateVector,
             crate::BackendKind::Stabilizer,
             crate::BackendKind::Trace,
+            crate::BackendKind::Sparse,
             crate::BackendKind::ShardedStateVector { shards: 4 },
             crate::BackendKind::RemoteSharded { shards: 2 },
         ] {

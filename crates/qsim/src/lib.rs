@@ -35,6 +35,7 @@ pub mod noise;
 pub mod registry;
 pub mod sharded;
 pub mod sim;
+pub mod sparse;
 pub mod stabilizer;
 pub mod state;
 pub mod stripe;
@@ -45,6 +46,7 @@ pub use gates::{Gate, Pauli};
 pub use noise::{NoiseChannel, NoiseModel};
 pub use sharded::ShardedState;
 pub use sim::{QubitId, SimError, Simulator};
+pub use sparse::SparseSim;
 pub use stabilizer::StabilizerSim;
 pub use state::State;
 

@@ -1,0 +1,1046 @@
+//! Sparse full-state simulator: only nonzero amplitudes are stored.
+//!
+//! Structured states — the cat/GHZ spanning trees and teleport chains the
+//! paper's protocols are built from — have very few nonzero amplitudes, so a
+//! map keyed by basis state simulates *real amplitudes* at hundreds of ranks
+//! where the dense [`crate::Simulator`] caps out near 20 qubits (the design of
+//! the Microsoft QDK `quantum_sparse_sim`). [`SparseSim`] mirrors the
+//! [`crate::Simulator`] facade method-for-method and is proven against it by
+//! the cross-backend conformance harness.
+//!
+//! # Canonical bit-identity rule
+//!
+//! `SparseSim` is bit-identical to the dense engine up to one canonical rule:
+//!
+//! 1. an **absent map entry is equivalent to an exact-zero dense amplitude**,
+//!    and
+//! 2. **`-0.0` is equivalent to `+0.0`** in either representation.
+//!
+//! Everything else — every nonzero amplitude, every measurement outcome,
+//! every expectation value, every RNG draw — matches the dense engine
+//! *bitwise* for the same seed and noise model. This works because the sparse
+//! kernels evaluate the *same floating-point expressions in the same order*
+//! as the dense kernels, treating absent entries as exact zero:
+//!
+//! * gate application computes `m[0][0]*a0 + m[0][1]*a1` (etc.) exactly as
+//!   [`crate::apply::apply_1q`] does, and results that are exactly `±0.0` are
+//!   dropped from the map (IEEE-754 guarantees a signed zero operand can only
+//!   ever produce results differing in the sign of a zero — the difference
+//!   never escapes the zero equivalence class);
+//! * every probability/norm/expectation accumulation iterates present entries
+//!   in **ascending basis-index order**, which matches the dense loop because
+//!   dense's exact-zero entries contribute `+0.0` — a bitwise no-op on the
+//!   accumulator;
+//! * collapse, free-compaction (`j = (i & low) | ((i >> 1) & !low)`) and
+//!   renormalization reuse the dense formulas verbatim;
+//! * the measurement RNG and the decoupled noise RNG are seeded and drawn in
+//!   exactly the same order as [`crate::Simulator`], so zero-rate noise models
+//!   are bit-identical to noiseless runs and trajectories line up draw for
+//!   draw.
+//!
+//! CNOT and SWAP are pure key permutations (no float arithmetic at all) and
+//! CZ is a sign flip, mirroring the dense fast paths.
+
+use crate::complex::{Complex, C_ONE, C_ZERO};
+use crate::gates::{Gate, Mat2, Mat4, Pauli};
+use crate::noise::{ChannelAction, NoiseModel, NoiseState, OpClass};
+use crate::registry::{classical_outcome, QubitRegistry};
+use crate::sim::{QubitId, SimError};
+use crate::state::{State, NORM_TOL};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Number of 64-bit words in a [`BasisKey`].
+pub const KEY_WORDS: usize = 8;
+
+/// Maximum number of simultaneously live qubits (512). The 128-rank cat
+/// broadcast peaks near 130 live qubits (one share per rank plus transient
+/// EPR halves), comfortably inside this bound.
+pub const MAX_QUBITS: usize = KEY_WORDS * 64;
+
+/// A basis-state index wide enough for paper-scale rank counts: 512 bits,
+/// little-endian words (`word 0` holds qubit positions 0..64).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct BasisKey(pub [u64; KEY_WORDS]);
+
+impl BasisKey {
+    /// The all-zero basis state |0...0>.
+    pub const ZERO: BasisKey = BasisKey([0; KEY_WORDS]);
+
+    /// Builds a key from a dense basis index (low 64 bits).
+    pub fn from_index(i: usize) -> Self {
+        let mut k = BasisKey::ZERO;
+        k.0[0] = i as u64;
+        k
+    }
+
+    /// The dense basis index, if it fits in a `usize`.
+    pub fn to_index(self) -> Option<usize> {
+        if self.0[1..].iter().any(|&w| w != 0) {
+            return None;
+        }
+        usize::try_from(self.0[0]).ok()
+    }
+
+    /// Value of bit `pos`.
+    #[inline]
+    pub fn bit(self, pos: usize) -> bool {
+        (self.0[pos / 64] >> (pos % 64)) & 1 == 1
+    }
+
+    /// Copy with bit `pos` set.
+    #[inline]
+    pub fn with_set(mut self, pos: usize) -> Self {
+        self.0[pos / 64] |= 1u64 << (pos % 64);
+        self
+    }
+
+    /// Copy with bit `pos` cleared.
+    #[inline]
+    pub fn with_cleared(mut self, pos: usize) -> Self {
+        self.0[pos / 64] &= !(1u64 << (pos % 64));
+        self
+    }
+
+    /// Copy with bit `pos` flipped.
+    #[inline]
+    pub fn with_flipped(mut self, pos: usize) -> Self {
+        self.0[pos / 64] ^= 1u64 << (pos % 64);
+        self
+    }
+
+    /// Bitwise XOR.
+    #[inline]
+    pub fn xor(self, other: BasisKey) -> Self {
+        let mut r = self;
+        for (w, o) in r.0.iter_mut().zip(other.0) {
+            *w ^= o;
+        }
+        r
+    }
+
+    /// Bitwise AND.
+    #[inline]
+    pub fn and(self, other: BasisKey) -> Self {
+        let mut r = self;
+        for (w, o) in r.0.iter_mut().zip(other.0) {
+            *w &= o;
+        }
+        r
+    }
+
+    /// Total number of set bits.
+    #[inline]
+    pub fn count_ones(self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Parity of the set-bit count (`true` = odd).
+    #[inline]
+    pub fn parity(self) -> bool {
+        self.count_ones() % 2 == 1
+    }
+
+    /// Mask with bits `0..pos` set — the 512-bit analogue of `(1 << pos) - 1`.
+    pub fn low_mask(pos: usize) -> Self {
+        let mut m = BasisKey::ZERO;
+        for (w, word) in m.0.iter_mut().enumerate() {
+            let lo = w * 64;
+            if pos >= lo + 64 {
+                *word = u64::MAX;
+            } else if pos > lo {
+                *word = (1u64 << (pos - lo)) - 1;
+            }
+        }
+        m
+    }
+
+    /// Shift right by one bit across all words.
+    fn shr1(self) -> Self {
+        let mut r = BasisKey::ZERO;
+        for w in 0..KEY_WORDS {
+            r.0[w] = self.0[w] >> 1;
+            if w + 1 < KEY_WORDS {
+                r.0[w] |= self.0[w + 1] << 63;
+            }
+        }
+        r
+    }
+
+    /// Removes bit `pos`, shifting all higher bits down one position — the
+    /// key analogue of the dense compaction `(i & low) | ((i >> 1) & !low)`
+    /// in [`crate::state::State::remove_qubit`].
+    pub fn remove_bit(self, pos: usize) -> Self {
+        let low = BasisKey::low_mask(pos);
+        let mut r = self.and(low);
+        let hi = self.shr1();
+        for w in 0..KEY_WORDS {
+            r.0[w] |= hi.0[w] & !low.0[w];
+        }
+        r
+    }
+}
+
+impl Ord for BasisKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Most-significant word first = numeric order of the 512-bit index.
+        for w in (0..KEY_WORDS).rev() {
+            match self.0[w].cmp(&other.0[w]) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl PartialOrd for BasisKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Inserts `a` at `k`, or removes `k` when `a` is exactly `±0.0` — the map
+/// invariant is "no exact-zero entries".
+fn set_or_prune(amps: &mut HashMap<BasisKey, Complex>, k: BasisKey, a: Complex) {
+    if a.re == 0.0 && a.im == 0.0 {
+        amps.remove(&k);
+    } else {
+        amps.insert(k, a);
+    }
+}
+
+/// Present entries in ascending basis-index order — the iteration order every
+/// accumulation must use to stay bitwise-aligned with the dense loops.
+fn sorted_entries(amps: &HashMap<BasisKey, Complex>) -> Vec<(BasisKey, Complex)> {
+    let mut v: Vec<(BasisKey, Complex)> = amps.iter().map(|(k, &a)| (*k, a)).collect();
+    v.sort_unstable_by_key(|x| x.0);
+    v
+}
+
+/// Probability of reading 1 at state position `pos` — free function so the
+/// noise-sampling closure can borrow the map disjointly from the noise RNG,
+/// exactly like `measure::prob_one(&self.state, pos)` on the dense path.
+fn prob_one_at(amps: &HashMap<BasisKey, Complex>, pos: usize) -> f64 {
+    sorted_entries(amps)
+        .iter()
+        .filter(|(k, _)| k.bit(pos))
+        .map(|(_, a)| a.norm_sqr())
+        .sum()
+}
+
+/// Sparse full-state simulator with dynamic qubit allocation. See the module
+/// docs for the canonical bit-identity rule relative to [`crate::Simulator`].
+pub struct SparseSim {
+    amps: HashMap<BasisKey, Complex>,
+    n_qubits: usize,
+    reg: QubitRegistry,
+    rng: StdRng,
+    noise: NoiseState,
+    gate_count: u64,
+    measurement_count: u64,
+}
+
+impl SparseSim {
+    /// Creates an empty, noiseless simulator with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        SparseSim::with_noise(seed, NoiseModel::ideal())
+    }
+
+    /// Creates an empty simulator with seed and noise model; RNG streams are
+    /// seeded exactly as [`crate::Simulator::with_noise`] so trajectories are
+    /// draw-for-draw identical.
+    pub fn with_noise(seed: u64, model: NoiseModel) -> Self {
+        let mut amps = HashMap::new();
+        amps.insert(BasisKey::ZERO, C_ONE); // the 0-qubit scalar state
+        SparseSim {
+            amps,
+            n_qubits: 0,
+            reg: QubitRegistry::new(),
+            rng: StdRng::seed_from_u64(seed),
+            noise: NoiseState::new(seed, model),
+            gate_count: 0,
+            measurement_count: 0,
+        }
+    }
+
+    /// The configured noise model.
+    pub fn noise_model(&self) -> NoiseModel {
+        self.noise.model
+    }
+
+    /// Number of currently allocated qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.reg.len()
+    }
+
+    /// Total gates applied so far.
+    pub fn gate_count(&self) -> u64 {
+        self.gate_count
+    }
+
+    /// Total measurements performed so far.
+    pub fn measurement_count(&self) -> u64 {
+        self.measurement_count
+    }
+
+    /// Number of nonzero amplitudes currently stored — the quantity that
+    /// stays small for structured states and makes paper-scale runs feasible.
+    pub fn nonzero_count(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// Samples and applies the `class` channel at each listed position, in
+    /// the same draw order as the dense engine. Not counted as gates.
+    fn inject(&mut self, class: OpClass, positions: &[usize]) {
+        let ch = self.noise.model.channel(class);
+        if ch.is_ideal() {
+            return;
+        }
+        for &pos in positions {
+            let action = ch.sample(|| prob_one_at(&self.amps, pos), &mut self.noise.rng);
+            match action {
+                ChannelAction::Nothing => {}
+                ChannelAction::Pauli(p) => self.apply_1q_at(pos, &p.matrix()),
+                ChannelAction::Kraus(m) => self.apply_1q_at(pos, &m),
+            }
+        }
+    }
+
+    /// Allocates one fresh qubit in |0> as the new most-significant position.
+    /// Existing keys keep their value (the new bit is 0 everywhere).
+    pub fn alloc(&mut self) -> QubitId {
+        assert!(self.n_qubits < MAX_QUBITS, "sparse qubit budget exhausted");
+        let pos = self.n_qubits;
+        self.n_qubits += 1;
+        self.reg.push(pos)
+    }
+
+    /// Allocates `n` fresh qubits in |0>.
+    pub fn alloc_n(&mut self, n: usize) -> Vec<QubitId> {
+        (0..n).map(|_| self.alloc()).collect()
+    }
+
+    fn pos(&self, q: QubitId) -> Result<usize, SimError> {
+        self.reg.pos(q)
+    }
+
+    /// Frees a qubit already in a classical state; errors with
+    /// [`SimError::NotClassical`] otherwise — same contract as the dense
+    /// engine (`QMPI_Free_qmem`).
+    pub fn free(&mut self, q: QubitId) -> Result<bool, SimError> {
+        let pos = self.pos(q)?;
+        let outcome = classical_outcome(q, prob_one_at(&self.amps, pos))?;
+        self.remove_at(q, pos, outcome);
+        Ok(outcome)
+    }
+
+    /// Measures a qubit and frees it in one step.
+    pub fn measure_and_free(&mut self, q: QubitId) -> Result<bool, SimError> {
+        let outcome = self.measure(q)?;
+        let pos = self.pos(q)?;
+        self.remove_at(q, pos, outcome);
+        Ok(outcome)
+    }
+
+    fn remove_at(&mut self, q: QubitId, pos: usize, outcome: bool) {
+        // Mirror of State::remove_qubit: keep the `outcome` branch, compact
+        // higher bits down, assert the discarded mass, renormalize.
+        let mut out: HashMap<BasisKey, Complex> = HashMap::with_capacity(self.amps.len());
+        let mut dropped = 0.0f64;
+        for (k, a) in sorted_entries(&self.amps) {
+            if k.bit(pos) == outcome {
+                out.insert(k.remove_bit(pos), a);
+            } else {
+                dropped += a.norm_sqr();
+            }
+        }
+        assert!(
+            dropped < NORM_TOL,
+            "removing qubit {pos} with outcome {outcome} would discard {dropped:.3e} probability; collapse it first"
+        );
+        self.amps = out;
+        self.n_qubits -= 1;
+        self.reg.remove(q, pos);
+        self.renormalize();
+    }
+
+    fn renormalize(&mut self) {
+        let norm_sqr: f64 = sorted_entries(&self.amps)
+            .iter()
+            .map(|(_, a)| a.norm_sqr())
+            .sum();
+        let n = norm_sqr.sqrt();
+        assert!(n > 0.0, "cannot renormalize the zero vector");
+        let inv = 1.0 / n;
+        let keys: Vec<BasisKey> = self.amps.keys().copied().collect();
+        for k in keys {
+            let a = self.amps[&k].scale(inv);
+            set_or_prune(&mut self.amps, k, a);
+        }
+    }
+
+    /// Single-qubit pair kernel: same expressions as `apply::apply_1q`, with
+    /// absent entries read as exact zero and exact-zero results pruned. With
+    /// `cmask = Some(m)` only pairs whose base index has every bit of `m` set
+    /// are touched (mirror of `apply::apply_controlled_1q`).
+    fn apply_pairs(&mut self, target: usize, m: &Mat2, cmask: Option<BasisKey>) {
+        let mut pairs: HashMap<BasisKey, [Complex; 2]> = HashMap::new();
+        for (k, &a) in self.amps.iter() {
+            if let Some(cm) = cmask {
+                if k.and(cm) != cm {
+                    continue;
+                }
+            }
+            let base = k.with_cleared(target);
+            pairs.entry(base).or_insert([C_ZERO; 2])[k.bit(target) as usize] = a;
+        }
+        for (base, [a0, a1]) in pairs {
+            let n0 = m[0][0] * a0 + m[0][1] * a1;
+            let n1 = m[1][0] * a0 + m[1][1] * a1;
+            set_or_prune(&mut self.amps, base, n0);
+            set_or_prune(&mut self.amps, base.with_set(target), n1);
+        }
+    }
+
+    fn apply_1q_at(&mut self, target: usize, m: &Mat2) {
+        self.apply_pairs(target, m, None);
+    }
+
+    /// CNOT fast path: a pure key permutation, mirroring the dense
+    /// `amps.swap` walk (no floating-point arithmetic at all).
+    fn apply_cnot_at(&mut self, control: usize, target: usize) {
+        let moved: Vec<(BasisKey, Complex)> = self
+            .amps
+            .iter()
+            .filter(|(k, _)| k.bit(control))
+            .map(|(k, &a)| (*k, a))
+            .collect();
+        for (k, _) in &moved {
+            self.amps.remove(k);
+        }
+        for (k, a) in moved {
+            self.amps.insert(k.with_flipped(target), a);
+        }
+    }
+
+    /// CZ fast path: phase −1 where both bits are 1, as in the dense kernel.
+    fn apply_cz_at(&mut self, a: usize, b: usize) {
+        for (k, amp) in self.amps.iter_mut() {
+            if k.bit(a) && k.bit(b) {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    /// SWAP fast path: key permutation exchanging bits `a` and `b`.
+    fn apply_swap_at(&mut self, a: usize, b: usize) {
+        let moved: Vec<(BasisKey, Complex)> = self
+            .amps
+            .iter()
+            .filter(|(k, _)| k.bit(a) != k.bit(b))
+            .map(|(k, &amp)| (*k, amp))
+            .collect();
+        for (k, _) in &moved {
+            self.amps.remove(k);
+        }
+        for (k, amp) in moved {
+            self.amps.insert(k.with_flipped(a).with_flipped(b), amp);
+        }
+    }
+
+    /// Applies a single-qubit gate.
+    pub fn apply(&mut self, gate: Gate, q: QubitId) -> Result<(), SimError> {
+        let pos = self.pos(q)?;
+        self.apply_1q_at(pos, &gate.matrix());
+        self.gate_count += 1;
+        self.inject(OpClass::Gate1q, &[pos]);
+        Ok(())
+    }
+
+    /// Applies a controlled single-qubit gate (any number of controls).
+    pub fn apply_controlled(
+        &mut self,
+        controls: &[QubitId],
+        gate: Gate,
+        target: QubitId,
+    ) -> Result<(), SimError> {
+        let tpos = self.pos(target)?;
+        let mut cpos = Vec::with_capacity(controls.len());
+        for &c in controls {
+            if c == target {
+                return Err(SimError::DuplicateQubit(c));
+            }
+            cpos.push(self.pos(c)?);
+        }
+        let mut cmask = BasisKey::ZERO;
+        for &c in &cpos {
+            cmask = cmask.with_set(c);
+        }
+        self.apply_pairs(tpos, &gate.matrix(), Some(cmask));
+        self.gate_count += 1;
+        cpos.push(tpos);
+        self.inject(OpClass::Gate2q, &cpos);
+        Ok(())
+    }
+
+    /// CNOT with `control`, `target`.
+    pub fn cnot(&mut self, control: QubitId, target: QubitId) -> Result<(), SimError> {
+        if control == target {
+            return Err(SimError::DuplicateQubit(control));
+        }
+        let c = self.pos(control)?;
+        let t = self.pos(target)?;
+        self.apply_cnot_at(c, t);
+        self.gate_count += 1;
+        self.inject(OpClass::Gate2q, &[c, t]);
+        Ok(())
+    }
+
+    /// Controlled-Z (symmetric).
+    pub fn cz(&mut self, a: QubitId, b: QubitId) -> Result<(), SimError> {
+        if a == b {
+            return Err(SimError::DuplicateQubit(a));
+        }
+        let pa = self.pos(a)?;
+        let pb = self.pos(b)?;
+        self.apply_cz_at(pa, pb);
+        self.gate_count += 1;
+        self.inject(OpClass::Gate2q, &[pa, pb]);
+        Ok(())
+    }
+
+    /// SWAP two qubits.
+    pub fn swap(&mut self, a: QubitId, b: QubitId) -> Result<(), SimError> {
+        if a == b {
+            return Ok(());
+        }
+        let pa = self.pos(a)?;
+        let pb = self.pos(b)?;
+        self.apply_swap_at(pa, pb);
+        self.gate_count += 1;
+        self.inject(OpClass::Gate2q, &[pa, pb]);
+        Ok(())
+    }
+
+    /// Toffoli (doubly-controlled NOT).
+    pub fn toffoli(&mut self, c1: QubitId, c2: QubitId, target: QubitId) -> Result<(), SimError> {
+        self.apply_controlled(&[c1, c2], Gate::X, target)
+    }
+
+    /// Applies an arbitrary two-qubit unitary to `(high, low)`, quartet by
+    /// quartet with the dense accumulation order (`acc += m[r][c] * a[c]`).
+    pub fn apply_2q(&mut self, high: QubitId, low: QubitId, m: &Mat4) -> Result<(), SimError> {
+        if high == low {
+            return Err(SimError::DuplicateQubit(high));
+        }
+        let hp = self.pos(high)?;
+        let lp = self.pos(low)?;
+        let mut quartets: HashMap<BasisKey, [Complex; 4]> = HashMap::new();
+        for (k, &a) in self.amps.iter() {
+            let base = k.with_cleared(hp).with_cleared(lp);
+            let slot = (k.bit(hp) as usize) << 1 | k.bit(lp) as usize;
+            quartets.entry(base).or_insert([C_ZERO; 4])[slot] = a;
+        }
+        for (base, a) in quartets {
+            let idx = [
+                base,
+                base.with_set(lp),
+                base.with_set(hp),
+                base.with_set(hp).with_set(lp),
+            ];
+            for (r, &out_k) in idx.iter().enumerate() {
+                let mut acc = C_ZERO;
+                for (c, &ac) in a.iter().enumerate() {
+                    acc += m[r][c] * ac;
+                }
+                set_or_prune(&mut self.amps, out_k, acc);
+            }
+        }
+        self.gate_count += 1;
+        self.inject(OpClass::Gate2q, &[hp, lp]);
+        Ok(())
+    }
+
+    /// Probability of measuring 1 on `q` (non-destructive).
+    pub fn prob_one(&self, q: QubitId) -> Result<f64, SimError> {
+        Ok(prob_one_at(&self.amps, self.pos(q)?))
+    }
+
+    /// Collapse mirror of `measure::collapse`: sector norm accumulated in
+    /// ascending order, `assert norm > 1e-12`, scale by `1/sqrt(norm)`.
+    fn collapse_at(&mut self, target: usize, outcome: bool) {
+        let mut norm = 0.0f64;
+        let mut doomed = Vec::new();
+        for (k, a) in sorted_entries(&self.amps) {
+            if k.bit(target) == outcome {
+                norm += a.norm_sqr();
+            } else {
+                doomed.push(k);
+            }
+        }
+        assert!(
+            norm > 1e-12,
+            "collapsing qubit {target} onto probability-zero outcome"
+        );
+        for k in doomed {
+            self.amps.remove(&k);
+        }
+        let inv = 1.0 / norm.sqrt();
+        let keys: Vec<BasisKey> = self.amps.keys().copied().collect();
+        for k in keys {
+            let a = self.amps[&k].scale(inv);
+            set_or_prune(&mut self.amps, k, a);
+        }
+    }
+
+    /// Projective measurement with collapse; readout noise applied first.
+    pub fn measure(&mut self, q: QubitId) -> Result<bool, SimError> {
+        let pos = self.pos(q)?;
+        self.inject(OpClass::Measurement, &[pos]);
+        self.measurement_count += 1;
+        let p1 = prob_one_at(&self.amps, pos);
+        let outcome = self.rng.gen::<f64>() < p1;
+        self.collapse_at(pos, outcome);
+        Ok(outcome)
+    }
+
+    /// Non-destructive joint Z-parity measurement over `qubits`.
+    pub fn measure_z_parity(&mut self, qubits: &[QubitId]) -> Result<bool, SimError> {
+        let mut pos = Vec::with_capacity(qubits.len());
+        for &q in qubits {
+            pos.push(self.pos(q)?);
+        }
+        self.inject(OpClass::Measurement, &pos);
+        self.measurement_count += 1;
+        let mut mask = BasisKey::ZERO;
+        for &p in &pos {
+            mask = mask.with_set(p);
+        }
+        let mut p_odd = 0.0f64;
+        for (k, a) in sorted_entries(&self.amps) {
+            if k.and(mask).parity() {
+                p_odd += a.norm_sqr();
+            }
+        }
+        let outcome = self.rng.gen::<f64>() < p_odd;
+        let want_odd = outcome;
+        let mut norm = 0.0f64;
+        let mut doomed = Vec::new();
+        for (k, a) in sorted_entries(&self.amps) {
+            if k.and(mask).parity() == want_odd {
+                norm += a.norm_sqr();
+            } else {
+                doomed.push(k);
+            }
+        }
+        for k in doomed {
+            self.amps.remove(&k);
+        }
+        let inv = 1.0 / norm.sqrt();
+        let keys: Vec<BasisKey> = self.amps.keys().copied().collect();
+        for k in keys {
+            let a = self.amps[&k].scale(inv);
+            set_or_prune(&mut self.amps, k, a);
+        }
+        Ok(outcome)
+    }
+
+    /// Expectation value of a Pauli string given as `(qubit, pauli)` pairs —
+    /// the mirror of `measure::expectation_pauli` over present entries in
+    /// ascending order, with the identical `is_negligible(1e-300)` skip.
+    pub fn expectation(&self, terms: &[(QubitId, Pauli)]) -> Result<f64, SimError> {
+        let mut x_mask = BasisKey::ZERO;
+        let mut z_mask = BasisKey::ZERO;
+        let mut y_count = 0u32;
+        for &(q, op) in terms {
+            let pos = self.pos(q)?;
+            match op {
+                Pauli::X => x_mask = x_mask.with_set(pos),
+                Pauli::Z => z_mask = z_mask.with_set(pos),
+                Pauli::Y => {
+                    x_mask = x_mask.with_set(pos);
+                    z_mask = z_mask.with_set(pos);
+                    y_count += 1;
+                }
+            }
+        }
+        let mut acc = Complex::default();
+        let i_pow = match y_count % 4 {
+            0 => Complex::real(1.0),
+            1 => crate::complex::C_I,
+            2 => Complex::real(-1.0),
+            _ => -crate::complex::C_I,
+        };
+        for (k, a) in sorted_entries(&self.amps) {
+            if a.is_negligible(1e-300) {
+                continue;
+            }
+            let sign = if k.and(z_mask).parity() { -1.0 } else { 1.0 };
+            let partner = k.xor(x_mask);
+            let b = self.amps.get(&partner).copied().unwrap_or(C_ZERO);
+            acc += b.conj() * (a.scale(sign));
+        }
+        let val = i_pow * acc;
+        debug_assert!(
+            val.im.abs() < 1e-9,
+            "expectation of Hermitian operator must be real"
+        );
+        Ok(val.re)
+    }
+
+    /// Entangles two fresh |0> qubits into (|00> + |11>)/sqrt(2); counted as
+    /// the H + CNOT it stands for, with interconnect noise on the EPR class.
+    pub fn entangle_epr(&mut self, qa: QubitId, qb: QubitId) -> Result<(), SimError> {
+        if qa == qb {
+            return Err(SimError::DuplicateQubit(qa));
+        }
+        let pa = self.pos(qa)?;
+        let pb = self.pos(qb)?;
+        self.apply_1q_at(pa, &Gate::H.matrix());
+        self.apply_cnot_at(pa, pb);
+        self.gate_count += 2;
+        self.inject(OpClass::Epr, &[pa, pb]);
+        Ok(())
+    }
+
+    /// Dense snapshot with qubits ordered as in `order`, for states small
+    /// enough to materialize (< 30 qubits). Absent entries appear as `+0.0`.
+    pub fn state_vector(&self, order: &[QubitId]) -> Result<State, SimError> {
+        if self.n_qubits >= 30 {
+            return Err(SimError::Unsupported(format!(
+                "dense snapshot of {} qubits from the sparse engine",
+                self.n_qubits
+            )));
+        }
+        let perm = self.reg.permutation(order)?;
+        let mut st = State::zero(self.n_qubits);
+        st.amplitudes_mut()[0] = C_ZERO;
+        for (k, &a) in self.amps.iter() {
+            let idx = k
+                .to_index()
+                .expect("key exceeds dense range despite n_qubits < 30");
+            st.amplitudes_mut()[idx] = a;
+        }
+        Ok(st.permuted(&perm))
+    }
+
+    /// The amplitude of the basis state where the qubits in `ones` are 1 and
+    /// all other live qubits are 0 — usable at any rank count, unlike
+    /// [`SparseSim::state_vector`].
+    pub fn amplitude_of(&self, ones: &[QubitId]) -> Result<Complex, SimError> {
+        let mut k = BasisKey::ZERO;
+        for &q in ones {
+            k = k.with_set(self.pos(q)?);
+        }
+        Ok(self.amps.get(&k).copied().unwrap_or(C_ZERO))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn basis_key_orders_numerically() {
+        let a = BasisKey::from_index(3);
+        let mut b = BasisKey::ZERO;
+        b.0[1] = 1; // bit 64
+        assert!(a < b);
+        assert!(BasisKey::ZERO < a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn basis_key_bit_ops_across_words() {
+        let k = BasisKey::ZERO
+            .with_set(0)
+            .with_set(63)
+            .with_set(64)
+            .with_set(511);
+        assert!(k.bit(0) && k.bit(63) && k.bit(64) && k.bit(511));
+        assert!(!k.bit(1) && !k.bit(65));
+        assert_eq!(k.count_ones(), 4);
+        assert!(!k.parity());
+        assert_eq!(k.with_cleared(64).count_ones(), 3);
+        assert_eq!(k.with_flipped(2).count_ones(), 5);
+    }
+
+    #[test]
+    fn basis_key_remove_bit_compacts_across_words() {
+        // Bits {2, 63, 64, 100}; removing bit 63 shifts 64 -> 63, 100 -> 99.
+        let k = BasisKey::ZERO
+            .with_set(2)
+            .with_set(63)
+            .with_set(64)
+            .with_set(100);
+        let r = k.remove_bit(63);
+        assert!(r.bit(2) && r.bit(63) && r.bit(99));
+        assert_eq!(r.count_ones(), 3);
+        // Removing an unset low bit just shifts everything down.
+        let r2 = k.remove_bit(0);
+        assert!(r2.bit(1) && r2.bit(62) && r2.bit(63) && r2.bit(99));
+    }
+
+    #[test]
+    fn low_mask_boundaries() {
+        assert_eq!(BasisKey::low_mask(0), BasisKey::ZERO);
+        assert_eq!(BasisKey::low_mask(64).0[0], u64::MAX);
+        assert_eq!(BasisKey::low_mask(64).0[1], 0);
+        assert_eq!(BasisKey::low_mask(65).0[1], 1);
+        assert_eq!(BasisKey::low_mask(512).count_ones(), 512);
+    }
+
+    #[test]
+    fn ghz_has_two_amplitudes() {
+        let mut sim = SparseSim::new(1);
+        let qs = sim.alloc_n(20); // already past the dense 29-qubit-alloc cap's comfort zone
+        sim.apply(Gate::H, qs[0]).unwrap();
+        for w in qs.windows(2) {
+            sim.cnot(w[0], w[1]).unwrap();
+        }
+        assert_eq!(sim.nonzero_count(), 2);
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        let a0 = sim.amplitude_of(&[]).unwrap();
+        let a1 = sim.amplitude_of(&qs).unwrap();
+        assert!((a0.re - h).abs() < TOL && a0.im == 0.0);
+        assert!((a1.re - h).abs() < TOL && a1.im == 0.0);
+        let z: Vec<_> = qs.iter().map(|&q| (q, Pauli::Z)).collect();
+        let x: Vec<_> = qs.iter().map(|&q| (q, Pauli::X)).collect();
+        assert!((sim.expectation(&z).unwrap() - 1.0).abs() < TOL);
+        assert!((sim.expectation(&x).unwrap() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn wide_ghz_beyond_dense_reach() {
+        // 300 qubits: impossible densely (2^300 amplitudes), two entries here.
+        let mut sim = SparseSim::new(5);
+        let qs = sim.alloc_n(300);
+        sim.apply(Gate::H, qs[0]).unwrap();
+        for w in qs.windows(2) {
+            sim.cnot(w[0], w[1]).unwrap();
+        }
+        assert_eq!(sim.nonzero_count(), 2);
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((sim.amplitude_of(&qs).unwrap().re - h).abs() < TOL);
+        assert!(sim.state_vector(&qs).is_err(), "dense snapshot must refuse");
+        // Parity measurement across all 300 qubits is even, state survives.
+        assert!(!sim.measure_z_parity(&qs).unwrap());
+        assert_eq!(sim.nonzero_count(), 2);
+        // Measure one share: the whole cat collapses to a single key.
+        let m = sim.measure(qs[150]).unwrap();
+        assert_eq!(sim.nonzero_count(), 1);
+        for &q in &qs {
+            assert_eq!(sim.free(q).unwrap(), m);
+        }
+        assert_eq!(sim.n_qubits(), 0);
+    }
+
+    /// Drives the same op sequence through dense and sparse and asserts
+    /// *bitwise* equal snapshots under the canonical rule (+0.0 == -0.0 is
+    /// free here because exact zeros never survive in either snapshot check).
+    fn assert_matches_dense(seed: u64, noise: NoiseModel, ops: impl Fn(&mut dyn OpSink)) {
+        let mut dense = Simulator::with_noise(seed, noise);
+        let mut sparse = SparseSim::with_noise(seed, noise);
+        ops(&mut DenseSink(&mut dense));
+        ops(&mut SparseSink(&mut sparse));
+        let dq: Vec<QubitId> = (0..dense.n_qubits() as u64).map(QubitId).collect();
+        let ds = dense.state_vector(&dq).unwrap();
+        let ss = sparse.state_vector(&dq).unwrap();
+        assert_eq!(dense.gate_count(), sparse.gate_count());
+        assert_eq!(dense.measurement_count(), sparse.measurement_count());
+        for (i, (a, b)) in ds
+            .amplitudes()
+            .iter()
+            .zip(ss.amplitudes().iter())
+            .enumerate()
+        {
+            let canon = |x: f64| if x == 0.0 { 0.0f64 } else { x };
+            assert_eq!(
+                canon(a.re).to_bits(),
+                canon(b.re).to_bits(),
+                "re mismatch at index {i}: {a:?} vs {b:?}"
+            );
+            assert_eq!(
+                canon(a.im).to_bits(),
+                canon(b.im).to_bits(),
+                "im mismatch at index {i}: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    trait OpSink {
+        fn alloc_n(&mut self, n: usize) -> Vec<QubitId>;
+        fn apply(&mut self, g: Gate, q: QubitId);
+        fn cnot(&mut self, c: QubitId, t: QubitId);
+        fn cz(&mut self, a: QubitId, b: QubitId);
+        fn swap(&mut self, a: QubitId, b: QubitId);
+        fn toffoli(&mut self, c1: QubitId, c2: QubitId, t: QubitId);
+        fn measure(&mut self, q: QubitId) -> bool;
+        fn measure_and_free(&mut self, q: QubitId) -> bool;
+        fn entangle_epr(&mut self, a: QubitId, b: QubitId);
+        fn expectation(&mut self, terms: &[(QubitId, Pauli)]) -> f64;
+    }
+
+    struct DenseSink<'a>(&'a mut Simulator);
+    struct SparseSink<'a>(&'a mut SparseSim);
+
+    macro_rules! impl_sink {
+        ($t:ty) => {
+            impl OpSink for $t {
+                fn alloc_n(&mut self, n: usize) -> Vec<QubitId> {
+                    self.0.alloc_n(n)
+                }
+                fn apply(&mut self, g: Gate, q: QubitId) {
+                    self.0.apply(g, q).unwrap()
+                }
+                fn cnot(&mut self, c: QubitId, t: QubitId) {
+                    self.0.cnot(c, t).unwrap()
+                }
+                fn cz(&mut self, a: QubitId, b: QubitId) {
+                    self.0.cz(a, b).unwrap()
+                }
+                fn swap(&mut self, a: QubitId, b: QubitId) {
+                    self.0.swap(a, b).unwrap()
+                }
+                fn toffoli(&mut self, c1: QubitId, c2: QubitId, t: QubitId) {
+                    self.0.toffoli(c1, c2, t).unwrap()
+                }
+                fn measure(&mut self, q: QubitId) -> bool {
+                    self.0.measure(q).unwrap()
+                }
+                fn measure_and_free(&mut self, q: QubitId) -> bool {
+                    self.0.measure_and_free(q).unwrap()
+                }
+                fn entangle_epr(&mut self, a: QubitId, b: QubitId) {
+                    self.0.entangle_epr(a, b).unwrap()
+                }
+                fn expectation(&mut self, terms: &[(QubitId, Pauli)]) -> f64 {
+                    self.0.expectation(terms).unwrap()
+                }
+            }
+        };
+    }
+    impl_sink!(DenseSink<'_>);
+    impl_sink!(SparseSink<'_>);
+
+    #[test]
+    fn bitwise_matches_dense_on_clifford_t_mix() {
+        assert_matches_dense(42, NoiseModel::ideal(), |s| {
+            let q = s.alloc_n(5);
+            s.apply(Gate::H, q[0]);
+            s.apply(Gate::T, q[1]);
+            s.cnot(q[0], q[1]);
+            s.apply(Gate::Ry(0.37), q[2]);
+            s.cz(q[1], q[2]);
+            s.swap(q[0], q[3]);
+            s.toffoli(q[0], q[1], q[4]);
+            s.apply(Gate::Sdg, q[3]);
+            s.apply(Gate::Rz(-1.2), q[4]);
+            s.cnot(q[4], q[0]);
+            s.apply(Gate::Tdg, q[2]);
+            s.apply(Gate::H, q[4]);
+        });
+    }
+
+    #[test]
+    fn bitwise_matches_dense_through_measure_free_epr() {
+        assert_matches_dense(7, NoiseModel::ideal(), |s| {
+            let q = s.alloc_n(6);
+            s.entangle_epr(q[0], q[1]);
+            s.apply(Gate::H, q[2]);
+            s.cnot(q[2], q[3]);
+            let m = s.measure(q[2]);
+            if m {
+                s.apply(Gate::X, q[3]);
+            }
+            s.measure_and_free(q[4]);
+            s.measure_and_free(q[5]);
+            s.apply(Gate::T, q[3]);
+            let _ = s.expectation(&[(q[0], Pauli::Z), (q[1], Pauli::Z)]);
+            let _ = s.expectation(&[(q[0], Pauli::X), (q[1], Pauli::X)]);
+            let _ = s.expectation(&[(q[3], Pauli::Y)]);
+        });
+    }
+
+    #[test]
+    fn bitwise_matches_dense_under_noise_trajectories() {
+        for (seed, model) in [
+            (1u64, NoiseModel::depolarizing(0.3)),
+            (2, NoiseModel::dephasing(0.4)),
+            (3, NoiseModel::amplitude_damping(0.25)),
+            (4, NoiseModel::ideal()), // zero-rate must equal noiseless bitwise
+        ] {
+            assert_matches_dense(seed, model, |s| {
+                let q = s.alloc_n(4);
+                s.apply(Gate::H, q[0]);
+                s.cnot(q[0], q[1]);
+                s.entangle_epr(q[2], q[3]);
+                s.apply(Gate::T, q[1]);
+                s.cz(q[1], q[2]);
+                s.measure(q[0]);
+                s.apply(Gate::H, q[3]);
+                s.swap(q[1], q[3]);
+            });
+        }
+    }
+
+    #[test]
+    fn measurement_rng_stream_matches_dense() {
+        // Same seed -> same outcome sequence on a maximally random circuit.
+        let mut dense = Simulator::new(99);
+        let mut sparse = SparseSim::new(99);
+        let dq = dense.alloc_n(8);
+        let sq = sparse.alloc_n(8);
+        for i in 0..8 {
+            dense.apply(Gate::H, dq[i]).unwrap();
+            sparse.apply(Gate::H, sq[i]).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(
+                dense.measure(dq[i]).unwrap(),
+                sparse.measure(sq[i]).unwrap(),
+                "outcome diverged at qubit {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn free_superposed_qubit_errors() {
+        let mut sim = SparseSim::new(1);
+        let q = sim.alloc();
+        sim.apply(Gate::H, q).unwrap();
+        assert_eq!(sim.free(q), Err(SimError::NotClassical(q)));
+        assert!(sim.measure_and_free(q).is_ok());
+        assert_eq!(sim.n_qubits(), 0);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_qubits_rejected() {
+        let mut sim = SparseSim::new(1);
+        let q = sim.alloc();
+        assert_eq!(sim.cnot(q, q), Err(SimError::DuplicateQubit(q)));
+        assert_eq!(sim.swap(q, q), Ok(()));
+        sim.free(q).unwrap();
+        assert_eq!(sim.apply(Gate::X, q), Err(SimError::UnknownQubit(q)));
+        assert_eq!(sim.measure(q), Err(SimError::UnknownQubit(q)));
+    }
+
+    #[test]
+    fn handles_stable_across_interleaved_free() {
+        let mut sim = SparseSim::new(1);
+        let a = sim.alloc();
+        let b = sim.alloc();
+        let c = sim.alloc();
+        sim.apply(Gate::X, c).unwrap();
+        sim.free(b).unwrap();
+        assert!((sim.prob_one(c).unwrap() - 1.0).abs() < TOL);
+        assert!(sim.prob_one(a).unwrap() < TOL);
+        assert_eq!(sim.free(c), Ok(true));
+        assert_eq!(sim.free(a), Ok(false));
+    }
+}

@@ -395,6 +395,78 @@ mod tests {
     }
 
     #[test]
+    fn single_qubit_register_is_one_two_amplitude_stripe() {
+        // The smallest register the kernels ever see: n=1, one stripe of
+        // two amplitudes, tbit == 1. Every kernel must degrade cleanly.
+        let mut dense = crate::state::State::zero(1);
+        crate::apply::apply_1q(&mut dense, 0, &Gate::H.matrix());
+        let mut amps = vec![C_ONE, C_ZERO];
+        let m = Gate::H.matrix();
+        pair_within(&mut amps, 0, 1, |a0, a1| {
+            let (x0, x1) = (*a0, *a1);
+            *a0 = m[0][0] * x0 + m[0][1] * x1;
+            *a1 = m[1][0] * x0 + m[1][1] * x1;
+        });
+        assert_eq!(amps[0], dense.amplitude(0));
+        assert_eq!(amps[1], dense.amplitude(1));
+        // Diagonal pass on the only |1> state.
+        phase_flip(&mut amps, 0b1);
+        assert_eq!(amps[1], -dense.amplitude(1));
+        // Probability and collapse over the whole (single-stripe) mass.
+        assert!((masked_norm(&amps, 0, 0b1, 0b1) - 0.5).abs() < 1e-12);
+        let kept = collapse_keep(&mut amps, 0, 0b1, 0);
+        assert!((kept - 0.5).abs() < 1e-12);
+        assert_eq!(amps[1], C_ZERO);
+    }
+
+    #[test]
+    fn one_shard_configuration_covers_the_full_register() {
+        // k=0 stripes: the single stripe holds all 2^n amplitudes at base
+        // 0 and the cross-stripe kernels never fire. The within-stripe
+        // CNOT (control mask + swap pair) must match the dense kernel
+        // bit-for-bit on an arbitrary state.
+        let raw: Vec<Complex> = (0..8)
+            .map(|i| Complex::new(0.5 + i as f64, (i as f64) * 0.3 - 1.0))
+            .collect();
+        let norm: f64 = raw.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        let amps: Vec<Complex> = raw.iter().map(|a| a.scale(1.0 / norm)).collect();
+        let mut dense = crate::state::State::from_amplitudes(amps.clone());
+        crate::apply::apply_cnot(&mut dense, 2, 0);
+        let mut striped = amps;
+        pair_within(&mut striped, 1 << 2, 1 << 0, |a0, a1| {
+            std::mem::swap(a0, a1)
+        });
+        for (i, &a) in striped.iter().enumerate() {
+            assert_eq!(a, dense.amplitude(i), "amp[{i}]");
+        }
+        // With one stripe, its masked partial IS the global mass.
+        let p1: f64 = masked_norm(&striped, 0, 0b1, 0b1);
+        let p0: f64 = masked_norm(&striped, 0, 0b1, 0);
+        assert!((p0 + p1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removing_the_last_remaining_qubit_leaves_the_scalar_state() {
+        // Freeing the final qubit halves a 2-amplitude vector down to the
+        // 0-qubit register: one amplitude, carrying the full phase.
+        let one = [C_ZERO, C_ONE];
+        let (out, dropped) = remove_qubit_flat(&one, 0, true);
+        assert!(dropped < 1e-12);
+        assert_eq!(out, vec![C_ONE]);
+        // The kept branch's complex phase survives the removal untouched.
+        let phase = Complex::new(0.6, 0.8);
+        let zero = [phase, C_ZERO];
+        let (out, dropped) = remove_qubit_flat(&zero, 0, false);
+        assert!(dropped < 1e-12);
+        assert_eq!(out, vec![phase]);
+        // Removing against the empty branch reports the discarded mass
+        // instead of silently keeping it.
+        let (out, dropped) = remove_qubit_flat(&one, 0, false);
+        assert_eq!(out, vec![C_ZERO]);
+        assert!((dropped - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn expectation_via_accessor_matches_known_values() {
         use crate::gates::Pauli;
         // Bell pair: <ZZ> = +1, <XX> = +1.

@@ -8,8 +8,9 @@
 //! engine can reach.
 //!
 //! CI runs this suite once per [`BackendKind`] via the `QMPI_TEST_BACKEND`
-//! environment variable (`statevector`, `stabilizer`, `trace`, `sharded`,
-//! `remote`; `QMPI_TEST_SHARDS` overrides the stripe/worker count — default
+//! environment variable (`statevector`, `stabilizer`, `trace`, `sparse`,
+//! `sharded`, `remote`; `QMPI_TEST_SHARDS` overrides the stripe/worker
+//! count — default
 //! 8 for the lock-striped engine, 4 for the process-separated one), so a
 //! regression in one engine cannot hide behind another engine's pass.
 //! `QMPI_TEST_TRANSPORT=unix-socket` additionally moves the remote
@@ -33,11 +34,12 @@ fn env_kind() -> Option<BackendKind> {
         "statevector" | "state-vector" => BackendKind::StateVector,
         "stabilizer" => BackendKind::Stabilizer,
         "trace" => BackendKind::Trace,
+        "sparse" => BackendKind::Sparse,
         "sharded" | "sharded-state-vector" => BackendKind::ShardedStateVector { shards: shards(8) },
         "remote" | "remote-sharded" => BackendKind::RemoteSharded { shards: shards(4) },
         other => panic!(
             "unknown QMPI_TEST_BACKEND '{other}' \
-             (expected statevector|stabilizer|trace|sharded|remote)"
+             (expected statevector|stabilizer|trace|sparse|sharded|remote)"
         ),
     })
 }
@@ -49,6 +51,7 @@ fn selected_kinds() -> Vec<BackendKind> {
         None => vec![
             BackendKind::StateVector,
             BackendKind::Stabilizer,
+            BackendKind::Sparse,
             BackendKind::ShardedStateVector { shards: 8 },
             BackendKind::RemoteSharded { shards: 4 },
             BackendKind::Trace,

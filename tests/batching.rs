@@ -3,133 +3,45 @@
 //! With batching on (the default), rank-local gate calls record into a
 //! per-rank `GateBatch` that flushes lazily; with it off, every gate
 //! dispatches eagerly. The two modes must be *observably identical per
-//! seed* on every backend — bit-identical amplitudes on the dense engines
-//! (state-vector, lock-striped sharded, process-separated remote),
-//! identical expectation values and measurement outcomes on the
-//! stabilizer tableau, identical operation counts and modeled fidelity on
-//! the trace engine — no matter where flush points land and whether Pauli
-//! noise is drawn along the way.
+//! seed* on every backend — bit-identical amplitudes on the
+//! amplitude-class engines (state-vector, sparse, lock-striped sharded,
+//! process-separated remote), identical expectation values and
+//! measurement outcomes on the stabilizer tableau, identical operation
+//! counts and modeled fidelity on the trace engine — no matter where
+//! flush points land and whether Pauli noise is drawn along the way.
+//!
+//! Circuit driving and observable capture live in the shared conformance
+//! harness (`common::conformance`); this suite only picks the pair to
+//! compare: same kind, batching on vs off.
 //!
 //! The property module runs under the nightly stress lane's
 //! `PROPTEST_CASES=320` sweep alongside the other in-tree proptest suites.
 
-use qmpi::{run_with_config, BackendKind, QmpiConfig, QmpiRank};
-use qsim::{Gate, NoiseModel, Pauli};
+mod common;
+
+use common::conformance::{run_circuit, Outcome, Step};
+use qmpi::{run_with_config, BackendKind, QmpiConfig};
+use qsim::{Gate, NoiseModel};
 
 const N_QUBITS: usize = 6;
 
-/// One step of a circuit with randomly placed flush points.
-#[derive(Clone, Copy, Debug)]
-enum Step {
-    G(Gate, usize),
-    Cnot(usize, usize),
-    Cz(usize, usize),
-    Swap(usize, usize),
-    /// An explicit `QmpiRank::flush` — a no-op for program semantics, so
-    /// sprinkling these anywhere must never change any observable.
-    Flush,
-}
-
-/// Everything a backend lets us observe, in exactly-comparable form
-/// (floats as bit patterns — the acceptance bar is bit-identity, not
-/// tolerance).
-#[derive(Debug, PartialEq, Eq)]
-struct Outcome {
-    /// Dense amplitudes as bit patterns (empty on stabilizer/trace).
-    amps: Vec<(u64, u64)>,
-    /// Per-qubit <Z> (plus one joint string) as bit patterns.
-    expectations: Vec<u64>,
-    /// Final measurement outcome of every qubit.
-    outcomes: Vec<bool>,
-    /// (gates, measurements) from the backend counters.
-    counts: (u64, u64),
-    /// Trace engine's modeled error-free probability, as bits.
-    fidelity: Option<u64>,
-}
-
-fn apply_steps(ctx: &QmpiRank, qs: &[qmpi::Qubit], steps: &[Step], clifford_only: bool) {
-    for &step in steps {
-        match step {
-            Step::G(g, t) => {
-                let g = if clifford_only && !g.is_clifford() {
-                    // The stabilizer tableau cannot run T; substitute S so
-                    // every backend executes the same step *count*.
-                    Gate::S
-                } else {
-                    g
-                };
-                ctx.apply(g, &qs[t % N_QUBITS]).unwrap();
-            }
-            Step::Cnot(c, t) if c % N_QUBITS != t % N_QUBITS => {
-                ctx.cnot(&qs[c % N_QUBITS], &qs[t % N_QUBITS]).unwrap();
-            }
-            Step::Cz(a, b) if a % N_QUBITS != b % N_QUBITS => {
-                ctx.cz(&qs[a % N_QUBITS], &qs[b % N_QUBITS]).unwrap();
-            }
-            Step::Swap(a, b) if a % N_QUBITS != b % N_QUBITS => {
-                ctx.swap(&qs[a % N_QUBITS], &qs[b % N_QUBITS]).unwrap();
-            }
-            Step::Flush => ctx.flush().unwrap(),
-            _ => {}
-        }
-    }
-}
-
 /// Runs `steps` on one rank of `kind` with batching on or off and captures
 /// every observable the backend exposes.
-fn run_circuit(kind: BackendKind, batching: bool, steps: Vec<Step>, noise: NoiseModel) -> Outcome {
+fn run_one(kind: BackendKind, batching: bool, steps: &[Step], noise: NoiseModel) -> Outcome {
     let cfg = QmpiConfig::new()
         .seed(42)
         .backend(kind)
         .noise(noise)
         .batching(batching);
-    let clifford_only = kind == BackendKind::Stabilizer;
-    let out = run_with_config(1, cfg, move |ctx| {
-        let qs = ctx.alloc_qmem(N_QUBITS);
-        apply_steps(ctx, &qs, &steps, clifford_only);
-        // Dense snapshot (flushes via backend()); engines without
-        // amplitudes report none.
-        let ids: Vec<qsim::QubitId> = qs.iter().map(|q| q.id()).collect();
-        let amps = match ctx.backend().state_vector(&ids) {
-            Ok(st) => (0..st.len())
-                .map(|i| {
-                    let a = st.amplitude(i);
-                    (a.re.to_bits(), a.im.to_bits())
-                })
-                .collect(),
-            Err(_) => Vec::new(),
-        };
-        let mut expectations: Vec<u64> = qs
-            .iter()
-            .map(|q| ctx.expectation(&[(q, Pauli::Z)]).unwrap().to_bits())
-            .collect();
-        expectations.push(
-            ctx.expectation(&[(&qs[0], Pauli::Z), (&qs[N_QUBITS - 1], Pauli::Z)])
-                .unwrap()
-                .to_bits(),
-        );
-        let fidelity = ctx.backend().modeled_fidelity().map(f64::to_bits);
-        let outcomes: Vec<bool> = qs
-            .into_iter()
-            .map(|q| ctx.measure_and_free(q).unwrap())
-            .collect();
-        let counts = ctx.backend().counts();
-        Outcome {
-            amps,
-            expectations,
-            outcomes,
-            counts: (counts.gates, counts.measurements),
-            fidelity,
-        }
-    });
-    out.into_iter().next().unwrap()
+    run_circuit(cfg, N_QUBITS, steps, kind == BackendKind::Stabilizer).0
 }
 
-fn all_kinds() -> [BackendKind; 5] {
+fn all_kinds() -> [BackendKind; 6] {
     [
         BackendKind::StateVector,
         BackendKind::Stabilizer,
         BackendKind::Trace,
+        BackendKind::Sparse,
         BackendKind::ShardedStateVector { shards: 4 },
         BackendKind::RemoteSharded { shards: 4 },
     ]
@@ -137,15 +49,16 @@ fn all_kinds() -> [BackendKind; 5] {
 
 fn assert_batched_matches_eager(steps: &[Step], noise: NoiseModel) {
     for kind in all_kinds() {
-        let eager = run_circuit(kind, false, steps.to_vec(), noise);
-        let batched = run_circuit(kind, true, steps.to_vec(), noise);
+        let eager = run_one(kind, false, steps, noise);
+        let batched = run_one(kind, true, steps, noise);
         assert_eq!(
             eager, batched,
             "{kind}: batched run must be bit-identical to eager"
         );
         assert!(
-            !matches!(kind, BackendKind::StateVector) || !eager.amps.is_empty(),
-            "dense engines must actually compare amplitudes"
+            !matches!(kind, BackendKind::StateVector | BackendKind::Sparse)
+                || !eager.amps.is_empty(),
+            "amplitude-class engines must actually compare amplitudes"
         );
     }
 }
@@ -205,11 +118,12 @@ fn amplitude_damping_falls_back_to_identical_trajectories() {
     let noise = NoiseModel::amplitude_damping(0.2);
     for kind in [
         BackendKind::StateVector,
+        BackendKind::Sparse,
         BackendKind::ShardedStateVector { shards: 4 },
         BackendKind::RemoteSharded { shards: 4 },
     ] {
-        let eager = run_circuit(kind, false, steps.to_vec(), noise);
-        let batched = run_circuit(kind, true, steps.to_vec(), noise);
+        let eager = run_one(kind, false, &steps, noise);
+        let batched = run_one(kind, true, &steps, noise);
         assert_eq!(eager, batched, "{kind}");
     }
 }
@@ -306,39 +220,18 @@ fn classical_send_flushes_pending_gates_first() {
 
 mod proptests {
     use super::*;
+    use crate::common::conformance::strategies::arb_steps;
     use proptest::prelude::*;
-
-    fn arb_step() -> impl Strategy<Value = Step> {
-        prop_oneof![
-            (0usize..8, 0..N_QUBITS).prop_map(|(g, t)| {
-                let gate = match g {
-                    0 => Gate::H,
-                    1 => Gate::S,
-                    2 => Gate::Sdg,
-                    3 => Gate::T,
-                    4 => Gate::Tdg,
-                    5 => Gate::X,
-                    6 => Gate::Y,
-                    _ => Gate::Z,
-                };
-                Step::G(gate, t)
-            }),
-            (0..N_QUBITS, 0..N_QUBITS).prop_map(|(c, t)| Step::Cnot(c, t)),
-            (0..N_QUBITS, 0..N_QUBITS).prop_map(|(a, b)| Step::Cz(a, b)),
-            (0..N_QUBITS, 0..N_QUBITS).prop_map(|(a, b)| Step::Swap(a, b)),
-            Just(Step::Flush),
-        ]
-    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(6))]
 
         /// The tentpole acceptance property: random Clifford+T circuits
         /// with randomly placed flush points produce observables
-        /// bit-identical to the eager path on all five backends.
+        /// bit-identical to the eager path on all six backends.
         #[test]
         fn random_flush_points_are_bit_identical_to_eager(
-            steps in proptest::collection::vec(arb_step(), 8..30),
+            steps in arb_steps(N_QUBITS, true, 8..30),
         ) {
             assert_batched_matches_eager(&steps, NoiseModel::ideal());
         }
@@ -347,7 +240,7 @@ mod proptests {
         /// noise from the shared seeded stream along the way.
         #[test]
         fn random_flush_points_identical_under_pauli_noise(
-            steps in proptest::collection::vec(arb_step(), 8..24),
+            steps in arb_steps(N_QUBITS, true, 8..24),
             p in 0.0f64..0.4,
         ) {
             assert_batched_matches_eager(&steps, NoiseModel::depolarizing(p));

@@ -1,0 +1,251 @@
+//! The shared cross-backend conformance oracle.
+//!
+//! Every suite that asserts "backend A is observably identical to backend
+//! B per seed" goes through this module: one `Step` vocabulary for random
+//! Clifford+T circuits with flush points, one `Outcome` capture of every
+//! observable a backend exposes, one canonical float comparison, and one
+//! dense-state-vector oracle assertion. The suites differ only in *which*
+//! pair they compare (batched vs eager, in-process vs socket transport,
+//! sparse/sharded/remote vs the dense oracle) — never in how they run the
+//! circuit or read it out.
+//!
+//! ## Canonical comparison rule
+//!
+//! Floats are compared as bit patterns — the acceptance bar is
+//! bit-identity, not tolerance — under exactly one equivalence: `-0.0` is
+//! canonicalized to `+0.0` ([`canon_bits`]). That is the documented
+//! freedom of the sparse engine (see `qsim::sparse`): a pruned exact zero
+//! and a dense `-0.0` are the same physical amplitude. Everything else,
+//! including the last ulp of every nonzero amplitude, expectation value,
+//! and noise-perturbed trajectory, must match exactly.
+
+use qmpi::{run_with_config, BackendKind, QmpiConfig, QmpiRank};
+use qsim::{Gate, NoiseModel, Pauli};
+
+/// One step of a circuit (indices reduced mod the qubit count).
+#[derive(Clone, Copy, Debug)]
+pub enum Step {
+    G(Gate, usize),
+    Cnot(usize, usize),
+    Cz(usize, usize),
+    Swap(usize, usize),
+    /// An explicit `QmpiRank::flush` — a no-op for program semantics, so
+    /// sprinkling these anywhere must never change any observable.
+    Flush,
+}
+
+/// Everything a backend lets us observe, in exactly-comparable form
+/// (floats as canonicalized bit patterns, see the module docs).
+#[derive(Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// Dense amplitudes as bit patterns (empty on stabilizer/trace).
+    pub amps: Vec<(u64, u64)>,
+    /// Per-qubit <Z> (plus one joint string) as bit patterns.
+    pub expectations: Vec<u64>,
+    /// Final measurement outcome of every qubit.
+    pub outcomes: Vec<bool>,
+    /// (gates, measurements) from the backend counters.
+    pub counts: (u64, u64),
+    /// Trace engine's modeled error-free probability, as bits.
+    pub fidelity: Option<u64>,
+    /// (command rounds, exchange rounds) of a remote transport. Left
+    /// `None` by [`run_circuit`]; the transport suite fills it in from
+    /// [`TransportObs`] when the protocol schedule itself is under test.
+    pub rounds: Option<(u64, u64)>,
+}
+
+/// Transport counters observed by a run on a process-separated backend.
+pub struct TransportObs {
+    pub wire_bytes: u64,
+    pub respawns: u64,
+    pub command_rounds: u64,
+    pub exchange_rounds: u64,
+}
+
+/// Canonicalizes a float for bitwise comparison: `-0.0` and `+0.0` are
+/// the same observable. Everything else compares exactly.
+pub fn canon_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
+/// Points every engine in the calling test binary at the `qworker` binary
+/// Cargo built alongside the suite (CI lanes that invoke a suite directly
+/// set the variable themselves).
+pub fn ensure_worker_bin() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        if std::env::var_os("QMPI_QWORKER_BIN").is_none() {
+            std::env::set_var("QMPI_QWORKER_BIN", env!("CARGO_BIN_EXE_qworker"));
+        }
+    });
+}
+
+/// Drives `steps` through the rank. With `clifford_only` (the stabilizer
+/// tableau), non-Clifford gates are substituted with `S` so every backend
+/// executes the same step *count*.
+pub fn apply_steps(ctx: &QmpiRank, qs: &[qmpi::Qubit], steps: &[Step], clifford_only: bool) {
+    let n = qs.len();
+    for &step in steps {
+        match step {
+            Step::G(g, t) => {
+                let g = if clifford_only && !g.is_clifford() {
+                    Gate::S
+                } else {
+                    g
+                };
+                ctx.apply(g, &qs[t % n]).unwrap();
+            }
+            Step::Cnot(c, t) if c % n != t % n => {
+                ctx.cnot(&qs[c % n], &qs[t % n]).unwrap();
+            }
+            Step::Cz(a, b) if a % n != b % n => {
+                ctx.cz(&qs[a % n], &qs[b % n]).unwrap();
+            }
+            Step::Swap(a, b) if a % n != b % n => {
+                ctx.swap(&qs[a % n], &qs[b % n]).unwrap();
+            }
+            Step::Flush => ctx.flush().unwrap(),
+            _ => {}
+        }
+    }
+}
+
+/// Runs `steps` on one rank under `cfg` and captures every observable the
+/// backend exposes, plus transport counters when the backend has any.
+pub fn run_circuit(
+    cfg: QmpiConfig,
+    n_qubits: usize,
+    steps: &[Step],
+    clifford_only: bool,
+) -> (Outcome, Option<TransportObs>) {
+    let steps = steps.to_vec();
+    let out = run_with_config(1, cfg, move |ctx| {
+        let qs = ctx.alloc_qmem(n_qubits);
+        apply_steps(ctx, &qs, &steps, clifford_only);
+        // Dense snapshot (flushes via backend()); engines without
+        // amplitudes report none.
+        let ids: Vec<qsim::QubitId> = qs.iter().map(|q| q.id()).collect();
+        let amps = match ctx.backend().state_vector(&ids) {
+            Ok(st) => (0..st.len())
+                .map(|i| {
+                    let a = st.amplitude(i);
+                    (canon_bits(a.re), canon_bits(a.im))
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        let mut expectations: Vec<u64> = qs
+            .iter()
+            .map(|q| canon_bits(ctx.expectation(&[(q, Pauli::Z)]).unwrap()))
+            .collect();
+        expectations.push(canon_bits(
+            ctx.expectation(&[(&qs[0], Pauli::Z), (&qs[n_qubits - 1], Pauli::Z)])
+                .unwrap(),
+        ));
+        let fidelity = ctx.backend().modeled_fidelity().map(f64::to_bits);
+        let outcomes: Vec<bool> = qs
+            .into_iter()
+            .map(|q| ctx.measure_and_free(q).unwrap())
+            .collect();
+        let counts = ctx.backend().counts();
+        let transport = ctx.backend().transport_stats().map(|t| TransportObs {
+            wire_bytes: t.wire_bytes,
+            respawns: t.respawns,
+            command_rounds: t.command_rounds,
+            exchange_rounds: t.exchange_rounds,
+        });
+        (
+            Outcome {
+                amps,
+                expectations,
+                outcomes,
+                counts: (counts.gates, counts.measurements),
+                fidelity,
+                rounds: None,
+            },
+            transport,
+        )
+    });
+    out.into_iter().next().unwrap()
+}
+
+/// The cross-backend oracle: `kind` must produce an [`Outcome`]
+/// bit-identical (under the canonical rule) to the dense state-vector
+/// engine on the same seed, circuit, noise model, and batching mode.
+/// Only meaningful for amplitude-class backends — both sides must
+/// actually expose amplitudes, and the helper enforces that.
+pub fn assert_matches_dense_oracle(
+    kind: BackendKind,
+    n_qubits: usize,
+    steps: &[Step],
+    noise: NoiseModel,
+    seed: u64,
+    batching: bool,
+) {
+    let cfg = |k: BackendKind| {
+        QmpiConfig::new()
+            .seed(seed)
+            .backend(k)
+            .noise(noise)
+            .batching(batching)
+    };
+    let (dense, _) = run_circuit(cfg(BackendKind::StateVector), n_qubits, steps, false);
+    let (other, _) = run_circuit(cfg(kind), n_qubits, steps, false);
+    assert!(
+        !dense.amps.is_empty() && !other.amps.is_empty(),
+        "{kind}: the conformance oracle only applies to amplitude-class backends"
+    );
+    assert_eq!(
+        dense, other,
+        "{kind} diverged from the dense state-vector oracle (seed {seed})"
+    );
+}
+
+pub mod strategies {
+    //! Proptest circuit generators shared across the suites.
+    use super::Step;
+    use proptest::prelude::*;
+    use qsim::Gate;
+
+    /// A random circuit step over `n` qubits: the full Clifford+T gate
+    /// set plus fixed-angle rotations, 2q gates, and (optionally)
+    /// explicit flush points.
+    pub fn arb_step(n: usize, with_flush: bool) -> BoxedStrategy<Step> {
+        let gate = (0usize..10, 0..n).prop_map(|(g, t)| {
+            let gate = match g {
+                0 => Gate::H,
+                1 => Gate::S,
+                2 => Gate::Sdg,
+                3 => Gate::T,
+                4 => Gate::Tdg,
+                5 => Gate::X,
+                6 => Gate::Y,
+                7 => Gate::Z,
+                8 => Gate::Ry(0.37),
+                _ => Gate::Rz(1.1),
+            };
+            Step::G(gate, t)
+        });
+        let cnot = (0..n, 0..n).prop_map(|(c, t)| Step::Cnot(c, t));
+        let cz = (0..n, 0..n).prop_map(|(a, b)| Step::Cz(a, b));
+        let swap = (0..n, 0..n).prop_map(|(a, b)| Step::Swap(a, b));
+        if with_flush {
+            prop_oneof![gate, cnot, cz, swap, Just(Step::Flush)].boxed()
+        } else {
+            prop_oneof![gate, cnot, cz, swap].boxed()
+        }
+    }
+
+    /// A whole random circuit of `len` steps.
+    pub fn arb_steps(
+        n: usize,
+        with_flush: bool,
+        len: std::ops::Range<usize>,
+    ) -> impl Strategy<Value = Vec<Step>> {
+        proptest::collection::vec(arb_step(n, with_flush), len)
+    }
+}

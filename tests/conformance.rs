@@ -1,0 +1,174 @@
+//! Cross-backend amplitude conformance suite: one harness, six backends.
+//!
+//! Every amplitude-class backend — sparse, lock-striped sharded (at one
+//! and several shards), process-separated remote — must be bit-identical
+//! to the dense state-vector oracle per seed, under the shared harness's
+//! canonical rule (`-0.0 ≡ +0.0`, everything else exact): same
+//! amplitudes, same expectation values, same measurement trajectory, same
+//! counters, on random Clifford+T circuits with random flush points, with
+//! and without batching, ideal and under Pauli / amplitude-damping noise.
+//!
+//! (The stabilizer and trace engines expose no amplitudes; their
+//! conformance bar — batched-vs-eager self-identity on the observables
+//! they do expose — lives in `tests/batching.rs`, driven by this same
+//! harness.)
+//!
+//! The property module runs under the nightly stress lane's
+//! `PROPTEST_CASES=320` sweep alongside the other in-tree proptest suites.
+
+mod common;
+
+use common::conformance::{assert_matches_dense_oracle, ensure_worker_bin, Step};
+use qmpi::BackendKind;
+use qsim::{Gate, NoiseModel};
+
+const N_QUBITS: usize = 10;
+
+/// The in-process amplitude-class backends (cheap enough to sweep widely).
+fn local_amplitude_kinds() -> [BackendKind; 3] {
+    [
+        BackendKind::Sparse,
+        BackendKind::ShardedStateVector { shards: 1 },
+        BackendKind::ShardedStateVector { shards: 8 },
+    ]
+}
+
+fn fixed_circuit() -> Vec<Step> {
+    use Step::*;
+    vec![
+        G(Gate::H, 0),
+        Cnot(0, 1),
+        Cnot(1, 2),
+        G(Gate::T, 2),
+        Flush,
+        G(Gate::Ry(0.9), 7),
+        Cz(2, 9),
+        Swap(3, 8),
+        G(Gate::Tdg, 5),
+        Cnot(9, 4),
+        Flush,
+        G(Gate::Rz(1.1), 0),
+        G(Gate::H, 6),
+        Cz(6, 7),
+    ]
+}
+
+#[test]
+fn fixed_circuit_matches_dense_oracle_on_every_local_kind() {
+    let steps = fixed_circuit();
+    for kind in local_amplitude_kinds() {
+        for batching in [false, true] {
+            assert_matches_dense_oracle(kind, N_QUBITS, &steps, NoiseModel::ideal(), 42, batching);
+        }
+    }
+}
+
+#[test]
+fn fixed_circuit_matches_dense_oracle_under_pauli_noise() {
+    let steps = fixed_circuit();
+    let noise =
+        NoiseModel::depolarizing(0.25).with_measurement(qsim::NoiseChannel::Dephasing { p: 0.3 });
+    for kind in local_amplitude_kinds() {
+        for seed in [1u64, 7, 42] {
+            assert_matches_dense_oracle(kind, N_QUBITS, &steps, noise, seed, true);
+        }
+    }
+}
+
+#[test]
+fn fixed_circuit_matches_dense_oracle_under_amplitude_damping() {
+    let steps = fixed_circuit();
+    let noise = NoiseModel::amplitude_damping(0.2);
+    for kind in local_amplitude_kinds() {
+        for seed in [3u64, 19] {
+            assert_matches_dense_oracle(kind, N_QUBITS, &steps, noise, seed, true);
+        }
+    }
+}
+
+/// The process-separated backend runs the fixed sweep too — it spawns
+/// real worker children, so it gets its own (smaller) test.
+#[test]
+fn fixed_circuit_matches_dense_oracle_over_remote_workers() {
+    ensure_worker_bin();
+    let steps = fixed_circuit();
+    let kind = BackendKind::RemoteSharded { shards: 2 };
+    assert_matches_dense_oracle(kind, N_QUBITS, &steps, NoiseModel::ideal(), 42, true);
+    assert_matches_dense_oracle(
+        kind,
+        N_QUBITS,
+        &steps,
+        NoiseModel::depolarizing(0.2),
+        7,
+        true,
+    );
+    assert_matches_dense_oracle(
+        kind,
+        N_QUBITS,
+        &steps,
+        NoiseModel::amplitude_damping(0.15),
+        11,
+        false,
+    );
+}
+
+mod proptests {
+    use super::*;
+    use crate::common::conformance::strategies::arb_steps;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The tentpole acceptance property: on random 10-qubit
+        /// Clifford+T circuits with random flush points, the sparse and
+        /// sharded engines are bit-identical to the dense oracle, ideal
+        /// and under depolarizing noise.
+        #[test]
+        fn random_circuits_match_dense_oracle(
+            steps in arb_steps(N_QUBITS, true, 8..30),
+            seed in 0u64..1000,
+            p in 0.0f64..0.4,
+            batching in any::<bool>(),
+        ) {
+            for kind in local_amplitude_kinds() {
+                assert_matches_dense_oracle(kind, N_QUBITS, &steps, NoiseModel::ideal(), seed, batching);
+                assert_matches_dense_oracle(kind, N_QUBITS, &steps, NoiseModel::depolarizing(p), seed, batching);
+            }
+        }
+
+        /// Amplitude damping draws state-dependent Kraus trajectories —
+        /// the harshest test of RNG-stream identity across engines.
+        #[test]
+        fn random_circuits_match_dense_under_amplitude_damping(
+            steps in arb_steps(N_QUBITS, true, 8..24),
+            seed in 0u64..1000,
+            gamma in 0.0f64..0.35,
+        ) {
+            for kind in local_amplitude_kinds() {
+                assert_matches_dense_oracle(
+                    kind, N_QUBITS, &steps, NoiseModel::amplitude_damping(gamma), seed, true,
+                );
+            }
+        }
+    }
+
+    proptest! {
+        // Each case spawns worker processes; keep the default sweep small
+        // (the nightly stress lane raises it via PROPTEST_CASES).
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        /// Remote workers against the dense oracle on random circuits.
+        #[test]
+        fn remote_random_circuits_match_dense_oracle(
+            steps in arb_steps(N_QUBITS, true, 6..20),
+            seed in 0u64..1000,
+            p in 0.0f64..0.3,
+        ) {
+            ensure_worker_bin();
+            let kind = BackendKind::RemoteSharded { shards: 2 };
+            assert_matches_dense_oracle(kind, N_QUBITS, &steps, NoiseModel::ideal(), seed, true);
+            assert_matches_dense_oracle(kind, N_QUBITS, &steps, NoiseModel::depolarizing(p), seed, true);
+        }
+    }
+}

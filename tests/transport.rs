@@ -11,117 +11,47 @@
 //! checkpoint, replays the logged suffix, and the run finishes with the
 //! same amplitudes as a run in which nothing died.
 //!
+//! Circuit driving and observable capture live in the shared conformance
+//! harness (`common::conformance`); this suite only picks the pair to
+//! compare: same remote backend, in-process vs unix-socket transport.
+//!
 //! These tests spawn real `qworker` child processes. The binary is built
 //! as part of this package; its path reaches the engine through
 //! `QMPI_QWORKER_BIN`.
 
-use qmpi::{run_with_config, BackendKind, QmpiConfig, QmpiRank, TransportKind};
+mod common;
+
+use common::conformance::{ensure_worker_bin, run_circuit, Outcome, Step};
+use qmpi::{run_with_config, BackendKind, QmpiConfig, TransportKind};
 use qsim::{BatchOp, Gate, GateBatch, NoiseModel, Pauli};
 
 const SHARDS: usize = 2;
 const N_QUBITS: usize = 4;
 
-/// Points every engine in this test binary at the `qworker` binary Cargo
-/// built alongside the suite (CI lanes that invoke the suite directly set
-/// the variable themselves).
-fn ensure_worker_bin() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        if std::env::var_os("QMPI_QWORKER_BIN").is_none() {
-            std::env::set_var("QMPI_QWORKER_BIN", env!("CARGO_BIN_EXE_qworker"));
-        }
-    });
-}
-
-/// One step of a random circuit (indices reduced mod `N_QUBITS`).
-#[derive(Clone, Copy, Debug)]
-enum Step {
-    G(Gate, usize),
-    Cnot(usize, usize),
-    Cz(usize, usize),
-    Swap(usize, usize),
-}
-
-fn apply_steps(ctx: &QmpiRank, qs: &[qmpi::Qubit], steps: &[Step]) {
-    for &step in steps {
-        match step {
-            Step::G(g, t) => ctx.apply(g, &qs[t % N_QUBITS]).unwrap(),
-            Step::Cnot(c, t) if c % N_QUBITS != t % N_QUBITS => {
-                ctx.cnot(&qs[c % N_QUBITS], &qs[t % N_QUBITS]).unwrap();
-            }
-            Step::Cz(a, b) if a % N_QUBITS != b % N_QUBITS => {
-                ctx.cz(&qs[a % N_QUBITS], &qs[b % N_QUBITS]).unwrap();
-            }
-            Step::Swap(a, b) if a % N_QUBITS != b % N_QUBITS => {
-                ctx.swap(&qs[a % N_QUBITS], &qs[b % N_QUBITS]).unwrap();
-            }
-            _ => {}
-        }
-    }
-}
-
-/// Everything the remote backend lets us observe, in exactly-comparable
-/// form (floats as bit patterns — the bar is bit-identity, not tolerance).
-#[derive(Debug, PartialEq, Eq)]
-struct Outcome {
-    amps: Vec<(u64, u64)>,
-    expectations: Vec<u64>,
-    outcomes: Vec<bool>,
-    /// (command rounds, exchange rounds) — the protocol schedule itself
-    /// must match across transports, not just its end state.
-    rounds: (u64, u64),
-}
-
 /// Runs `steps` single-rank on the process-separated backend over the
-/// given transport and captures every observable.
-fn run_circuit(transport: TransportKind, steps: &[Step], noise: NoiseModel, seed: u64) -> Outcome {
-    let steps = steps.to_vec();
+/// given transport and captures every observable, including the protocol
+/// round counts — the schedule itself must match across transports, not
+/// just its end state.
+fn run_remote(transport: TransportKind, steps: &[Step], noise: NoiseModel, seed: u64) -> Outcome {
     let cfg = QmpiConfig::new()
         .seed(seed)
         .backend(BackendKind::RemoteSharded { shards: SHARDS })
         .transport(transport)
         .noise(noise);
-    let out = run_with_config(1, cfg, move |ctx| {
-        let qs = ctx.alloc_qmem(N_QUBITS);
-        apply_steps(ctx, &qs, &steps);
-        let ids: Vec<qsim::QubitId> = qs.iter().map(|q| q.id()).collect();
-        let st = ctx.backend().state_vector(&ids).unwrap();
-        let amps = (0..st.len())
-            .map(|i| {
-                let a = st.amplitude(i);
-                (a.re.to_bits(), a.im.to_bits())
-            })
-            .collect();
-        let expectations = qs
-            .iter()
-            .map(|q| ctx.expectation(&[(q, Pauli::Z)]).unwrap().to_bits())
-            .collect();
-        let outcomes: Vec<bool> = qs
-            .into_iter()
-            .map(|q| ctx.measure_and_free(q).unwrap())
-            .collect();
-        let t = ctx
-            .backend()
-            .transport_stats()
-            .expect("the remote backend always has a transport");
-        if transport.is_multiprocess() {
-            assert!(t.wire_bytes > 0, "socket transport must count wire bytes");
-        }
-        assert_eq!(t.respawns, 0, "nothing died in this run");
-        Outcome {
-            amps,
-            expectations,
-            outcomes,
-            rounds: (t.command_rounds, t.exchange_rounds),
-        }
-    });
-    out.into_iter().next().unwrap()
+    let (mut out, stats) = run_circuit(cfg, N_QUBITS, steps, false);
+    let t = stats.expect("the remote backend always has a transport");
+    if transport.is_multiprocess() {
+        assert!(t.wire_bytes > 0, "socket transport must count wire bytes");
+    }
+    assert_eq!(t.respawns, 0, "nothing died in this run");
+    out.rounds = Some((t.command_rounds, t.exchange_rounds));
+    out
 }
 
 fn assert_transports_bit_identical(steps: &[Step], noise: NoiseModel, seed: u64) {
     ensure_worker_bin();
-    let reference = run_circuit(TransportKind::InProcess, steps, noise, seed);
-    let socket = run_circuit(TransportKind::UnixSocket, steps, noise, seed);
+    let reference = run_remote(TransportKind::InProcess, steps, noise, seed);
+    let socket = run_remote(TransportKind::UnixSocket, steps, noise, seed);
     assert_eq!(
         reference, socket,
         "unix-socket transport diverged from in-process (seed {seed})"
@@ -284,28 +214,8 @@ fn worker_survives_repeated_kills() {
 
 mod proptests {
     use super::*;
+    use crate::common::conformance::strategies::arb_steps;
     use proptest::prelude::*;
-
-    fn arb_step() -> impl Strategy<Value = Step> {
-        prop_oneof![
-            (0usize..8, 0..N_QUBITS).prop_map(|(g, t)| {
-                let gate = match g {
-                    0 => Gate::H,
-                    1 => Gate::S,
-                    2 => Gate::T,
-                    3 => Gate::X,
-                    4 => Gate::Y,
-                    5 => Gate::Z,
-                    6 => Gate::Ry(0.37),
-                    _ => Gate::Rz(1.1),
-                };
-                Step::G(gate, t)
-            }),
-            (0..N_QUBITS, 0..N_QUBITS).prop_map(|(c, t)| Step::Cnot(c, t)),
-            (0..N_QUBITS, 0..N_QUBITS).prop_map(|(a, b)| Step::Cz(a, b)),
-            (0..N_QUBITS, 0..N_QUBITS).prop_map(|(a, b)| Step::Swap(a, b)),
-        ]
-    }
 
     proptest! {
         // Each case spawns worker processes; keep the default sweep small
@@ -316,7 +226,7 @@ mod proptests {
         /// bit-identically over the socket transport, ideal or noisy.
         #[test]
         fn random_circuits_bit_identical_across_transports(
-            steps in proptest::collection::vec(arb_step(), 6..20),
+            steps in arb_steps(N_QUBITS, false, 6..20),
             seed in 0u64..1000,
             p in 0.0f64..0.4,
         ) {
