@@ -18,7 +18,7 @@
 //! `CRITERION_OUTPUT_JSON` for the bench-regression pipeline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qmpi::{run_with_config, BackendKind, QmpiConfig, TransportKind};
+use qmpi::{run_with_config, BackendKind, BatchPolicy, QmpiConfig, TransportKind};
 
 const SHARDS: usize = 8;
 
@@ -259,57 +259,84 @@ fn bench_remote_gates(c: &mut Criterion) {
 }
 
 /// The batching acceptance workload: the identical 4-rank × 8-qubit gate
-/// storm on the sharded and remote engines, batched (gates record into the
-/// per-rank `GateBatch`, one flush per round) vs per-gate (QMPI_BATCH-off
-/// semantics via `.batching(false)`). On the remote engine the gap is one
+/// storm on the sharded and remote engines in three modes — `fused` (the
+/// default policy: batched + plan-time optimizer), `batched` (same
+/// batching, fusion off — the pre-fusion stream), and `per-gate`
+/// (`BatchPolicy::eager()`). On the remote engine batching's gap is one
 /// framed command round per *batch* against one per *gate*; on the
 /// lock-striped engine it is one locality-lock acquisition per batch
-/// against one per gate.
+/// against one per gate. Fusion then shrinks the batch itself: adjacent
+/// 1q gates collapse into single matrix sweeps and diagonal stretches
+/// into single phase sweeps, which the counter assertion below proves
+/// before timing anything.
 fn bench_batched_gates(c: &mut Criterion) {
     let mut group = c.benchmark_group("backend/batched_gates");
     group.sample_size(10);
     let ranks = 4usize;
     let qubits_per_rank = 2usize;
     let gates_per_rank = if quick() { 8 } else { 24 };
+    let storm = move |ctx: &qmpi::QmpiRank| {
+        let qs = ctx.alloc_qmem(qubits_per_rank);
+        ctx.barrier();
+        for i in 0..gates_per_rank {
+            let q = &qs[i % qubits_per_rank];
+            ctx.ry(q, 0.1 + i as f64 * 0.01).unwrap();
+            ctx.cnot(&qs[0], &qs[1]).unwrap();
+            ctx.swap(&qs[0], &qs[1]).unwrap();
+            ctx.cz(&qs[0], &qs[1]).unwrap();
+            ctx.rz(q, -0.05).unwrap();
+        }
+        // One flush per storm direction: the batched modes pay their
+        // backend round here, the per-gate mode already paid per call.
+        ctx.flush().unwrap();
+        for i in (0..gates_per_rank).rev() {
+            let q = &qs[i % qubits_per_rank];
+            ctx.rz(q, 0.05).unwrap();
+            ctx.cz(&qs[0], &qs[1]).unwrap();
+            ctx.swap(&qs[0], &qs[1]).unwrap();
+            ctx.cnot(&qs[0], &qs[1]).unwrap();
+            ctx.ry(q, -(0.1 + i as f64 * 0.01)).unwrap();
+        }
+        ctx.barrier();
+        for q in qs {
+            ctx.free_qmem(q).unwrap();
+        }
+    };
+    let modes = [
+        ("fused", BatchPolicy::default()),
+        (
+            "batched",
+            BatchPolicy {
+                fuse: false,
+                ..BatchPolicy::default()
+            },
+        ),
+        ("per-gate", BatchPolicy::eager()),
+    ];
     for kind in [
         BackendKind::ShardedStateVector { shards: 4 },
         BackendKind::RemoteSharded { shards: 4 },
     ] {
-        for batching in [true, false] {
-            let mode = if batching { "batched" } else { "per-gate" };
+        // Counter proof ahead of the timing: the fused arm must apply
+        // strictly fewer kernel sweeps than the unfused stream on this
+        // storm, or the "fused" label is a lie.
+        let sweeps = |policy: BatchPolicy| {
+            run_with_config(ranks, cfg(kind).batch(policy), move |ctx| {
+                storm(ctx);
+                ctx.backend().gate_count()
+            })[0]
+        };
+        let (fused_sweeps, unfused_sweeps) = (sweeps(modes[0].1), sweeps(modes[1].1));
+        assert!(
+            fused_sweeps < unfused_sweeps,
+            "{}: fusion must reduce kernel sweeps ({fused_sweeps} vs {unfused_sweeps})",
+            kind.name()
+        );
+        for (mode, policy) in modes {
             let label = format!("{}-{mode}", kind.name());
             let id = format!("{}q_{}r", ranks * qubits_per_rank, ranks);
             group.bench_with_input(BenchmarkId::new(label, id), &ranks, |b, &n| {
-                b.iter(|| {
-                    run_with_config(n, cfg(kind).batching(batching), move |ctx| {
-                        let qs = ctx.alloc_qmem(qubits_per_rank);
-                        ctx.barrier();
-                        for i in 0..gates_per_rank {
-                            let q = &qs[i % qubits_per_rank];
-                            ctx.ry(q, 0.1 + i as f64 * 0.01).unwrap();
-                            ctx.cnot(&qs[0], &qs[1]).unwrap();
-                            ctx.swap(&qs[0], &qs[1]).unwrap();
-                            ctx.cz(&qs[0], &qs[1]).unwrap();
-                            ctx.rz(q, -0.05).unwrap();
-                        }
-                        // One flush per storm direction: the batched mode
-                        // pays its backend round here, the per-gate mode
-                        // already paid per call.
-                        ctx.flush().unwrap();
-                        for i in (0..gates_per_rank).rev() {
-                            let q = &qs[i % qubits_per_rank];
-                            ctx.rz(q, 0.05).unwrap();
-                            ctx.cz(&qs[0], &qs[1]).unwrap();
-                            ctx.swap(&qs[0], &qs[1]).unwrap();
-                            ctx.cnot(&qs[0], &qs[1]).unwrap();
-                            ctx.ry(q, -(0.1 + i as f64 * 0.01)).unwrap();
-                        }
-                        ctx.barrier();
-                        for q in qs {
-                            ctx.free_qmem(q).unwrap();
-                        }
-                    })
-                });
+                b.iter(|| run_with_config(n, cfg(kind).batch(policy), storm));
             });
         }
     }

@@ -38,7 +38,7 @@
 //!   [`crate::QmpiConfig::backend`] and [`BackendKind`].
 //!
 //! Every engine additionally accepts a [`qsim::noise::NoiseModel`]
-//! (threaded through [`BackendKind::build_with_noise`] from
+//! (threaded through [`build_backend`] from
 //! [`crate::QmpiConfig::noise`]): the stochastic engines sample seeded
 //! Pauli/Kraus insertions, the stabilizer engine runs the
 //! Clifford-compatible Pauli subset, and the trace engine folds the rates
@@ -144,7 +144,7 @@ impl BackendKind {
     /// A human-readable warning when the configured shard count will not be
     /// honored as written (clamped to the engine's supported range or
     /// rounded to a power of two), `None` when the count is taken as-is.
-    /// [`BackendKind::build_with_noise`] logs this to stderr so a request
+    /// [`build_backend`] logs this to stderr so a request
     /// for, say, 128 remote workers visibly becomes 64 instead of silently
     /// shrinking.
     pub fn shard_clamp_warning(self) -> Option<String> {
@@ -173,18 +173,6 @@ impl BackendKind {
         ))
     }
 
-    /// The sharded state-vector backend with one stripe per available
-    /// hardware thread (capped at 8) — a sensible default shard count.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `BackendKind::ShardedStateVector { shards: backend::auto_shards() }`"
-    )]
-    pub fn sharded_auto() -> BackendKind {
-        BackendKind::ShardedStateVector {
-            shards: auto_shards(),
-        }
-    }
-
     /// Human-readable engine name.
     pub fn name(self) -> &'static str {
         match self {
@@ -195,28 +183,6 @@ impl BackendKind {
             BackendKind::ShardedStateVector { .. } => "sharded-state-vector",
             BackendKind::RemoteSharded { .. } => "remote-sharded",
         }
-    }
-
-    /// Builds a ready-to-share noiseless backend of this kind.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `QmpiConfig::backend(kind).build_backend()` (or `backend::build_backend` \
-                directly) — the unified construction path that also honors the transport"
-    )]
-    pub fn build(self, seed: u64) -> Arc<dyn QuantumBackend> {
-        build_backend(self, TransportKind::InProcess, seed, NoiseModel::ideal())
-            .expect("the ideal noise model is valid for every backend")
-    }
-
-    /// Builds a ready-to-share backend of this kind with a noise model.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `QmpiConfig::backend(kind).noise(model).build_backend()` (or \
-                `backend::build_backend` directly) — the unified construction path that \
-                also honors the transport"
-    )]
-    pub fn build_with_noise(self, seed: u64, noise: NoiseModel) -> Result<Arc<dyn QuantumBackend>> {
-        build_backend(self, TransportKind::InProcess, seed, noise)
     }
 }
 
@@ -231,9 +197,8 @@ pub fn auto_shards() -> usize {
 
 /// The single backend construction point: builds a ready-to-share backend
 /// of `kind` over `transport` with a noise model. Every other constructor
-/// ([`crate::QmpiConfig::build_backend`], the deprecated
-/// [`BackendKind::build`]/[`BackendKind::build_with_noise`] shims, qserve's
-/// job launcher) funnels through here.
+/// ([`crate::QmpiConfig::build_backend`], qserve's job launcher) funnels
+/// through here.
 ///
 /// The transport selects where shard workers live and only applies to
 /// [`BackendKind::RemoteSharded`]: [`TransportKind::InProcess`] runs them
@@ -430,6 +395,41 @@ pub trait SimEngine: Send {
     /// SWAP.
     fn swap(&mut self, a: QubitId, b: QubitId) -> std::result::Result<(), qsim::SimError>;
 
+    /// Applies a plan-time-fused 2×2 unitary ([`BatchOp::Fused1q`]). The
+    /// default routes through the engine's ordinary 1q entry point as
+    /// `Gate::U(m)` — the exact kernel a fused run must match — so every
+    /// engine is correct without opting in; amplitude engines with a
+    /// cheaper native path (none needed so far: `U` already is the native
+    /// path) may override.
+    fn apply_fused_1q(
+        &mut self,
+        q: QubitId,
+        m: &qsim::gates::Mat2,
+    ) -> std::result::Result<(), qsim::SimError> {
+        self.apply(Gate::U(*m), q)
+    }
+
+    /// Applies a plan-time-merged diagonal sweep ([`BatchOp::PhaseSweep`]).
+    /// The default decomposes into one diagonal `Gate::U` per factor plus
+    /// one CZ per pair — always correct (each factor stays a separate
+    /// kernel pass, in the sweep's factor order). Amplitude engines
+    /// override with a single-pass sweep; the decomposition and the native
+    /// pass differ only in the signs of exact zeros.
+    fn apply_phase_sweep(
+        &mut self,
+        diags: &[(QubitId, qsim::Complex, qsim::Complex)],
+        czs: &[(QubitId, QubitId)],
+    ) -> std::result::Result<(), qsim::SimError> {
+        use qsim::complex::C_ZERO;
+        for &(q, d0, d1) in diags {
+            self.apply(Gate::U([[d0, C_ZERO], [C_ZERO, d1]]), q)?;
+        }
+        for &(a, b) in czs {
+            self.cz(a, b)?;
+        }
+        Ok(())
+    }
+
     /// Applies a whole recorded gate stream in program order. The default
     /// implementation loops the per-gate entry points — correct for every
     /// engine, since a [`GateBatch`] is by construction equivalent to its
@@ -451,6 +451,8 @@ pub trait SimEngine: Send {
                 BatchOp::Cnot { c, t } => self.cnot(*c, *t)?,
                 BatchOp::Cz { a, b } => self.cz(*a, *b)?,
                 BatchOp::Swap { a, b } => self.swap(*a, *b)?,
+                BatchOp::Fused1q { q, m } => self.apply_fused_1q(*q, m)?,
+                BatchOp::PhaseSweep { diags, czs } => self.apply_phase_sweep(diags, czs)?,
             }
         }
         Ok(())
@@ -590,6 +592,18 @@ pub trait QuantumBackend: Send + Sync {
                 BatchOp::Cnot { c, t } => self.cnot(rank, *c, *t)?,
                 BatchOp::Cz { a, b } => self.cz(rank, *a, *b)?,
                 BatchOp::Swap { a, b } => self.swap(rank, *a, *b)?,
+                BatchOp::Fused1q { q, m } => self.apply(rank, Gate::U(*m), *q)?,
+                BatchOp::PhaseSweep { diags, czs } => {
+                    // Decomposed fallback; both wrappers override with a
+                    // single-acquisition engine call.
+                    use qsim::complex::C_ZERO;
+                    for &(q, d0, d1) in diags {
+                        self.apply(rank, Gate::U([[d0, C_ZERO], [C_ZERO, d1]]), q)?;
+                    }
+                    for &(a, b) in czs {
+                        self.cz(rank, a, b)?;
+                    }
+                }
             }
         }
         Ok(())
@@ -1175,38 +1189,6 @@ mod tests {
         // Rearming is repeatable, not a one-way door per process.
         reset_clamp_warning_for_tests();
         assert!(emit_clamp_warning_once("test warning (re-armed)"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_unified_path() {
-        // The old constructors must stay behaviorally identical to
-        // `build_backend` while downstream call sites migrate.
-        let old = BackendKind::StateVector.build(11);
-        let new = build(BackendKind::StateVector, 11);
-        let oq = old.alloc(0, 2);
-        let nq = new.alloc(0, 2);
-        for (b, q) in [(&old, &oq), (&new, &nq)] {
-            b.apply(0, Gate::H, q[0]).unwrap();
-            b.cnot(0, q[0], q[1]).unwrap();
-            b.apply(0, Gate::T, q[1]).unwrap();
-        }
-        let want = old.state_vector(&oq).unwrap();
-        let got = new.state_vector(&nq).unwrap();
-        for i in 0..want.len() {
-            let (w, g) = (want.amplitude(i), got.amplitude(i));
-            assert!(
-                w.re.to_bits() == g.re.to_bits() && w.im.to_bits() == g.im.to_bits(),
-                "amp[{i}]: {w:?} vs {g:?}"
-            );
-        }
-        // The auto-sharding shim picks the same count the new helper does.
-        assert_eq!(
-            BackendKind::sharded_auto(),
-            BackendKind::ShardedStateVector {
-                shards: auto_shards()
-            }
-        );
     }
 
     #[test]

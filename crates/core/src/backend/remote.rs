@@ -321,6 +321,24 @@ pub enum WorkerOp {
         /// World rank of the partner shard.
         partner: usize,
     },
+    /// One-pass merged diagonal sweep ([`qsim::BatchOp::PhaseSweep`]
+    /// planned onto this shard): every factor multiplies sequentially in
+    /// vec order against the within-stripe offset, then odd flip-parity
+    /// negates. Shard-local (no exchange); the whole merged run of
+    /// diagonal gates rides as one op in the batch frame.
+    PhaseSweep {
+        /// `(lo_mask, d0, d1)` factors in plan order. A factor whose
+        /// qubit selects the shard arrives with `lo_mask = 0` and both
+        /// entries set to the branch this shard lives on, so the worker's
+        /// sequential multiply reproduces the dense engine's
+        /// floating-point sequence exactly.
+        diags: Vec<(usize, Complex, Complex)>,
+        /// Within-stripe CZ masks (negate where fully set); pairs whose
+        /// shard-selecting bits this shard does not satisfy are omitted
+        /// at plan time, and a pair of two shard-selecting qubits that
+        /// this shard satisfies arrives as `0` (negate the whole stripe).
+        flips: Vec<usize>,
+    },
 }
 
 impl Encode for WorkerOp {
@@ -364,6 +382,19 @@ impl Encode for WorkerOp {
                 6u8.encode(buf);
                 partner.encode(buf);
             }
+            WorkerOp::PhaseSweep { diags, flips } => {
+                7u8.encode(buf);
+                diags.len().encode(buf);
+                for (mask, d0, d1) in diags {
+                    mask.encode(buf);
+                    encode_complex(d0, buf);
+                    encode_complex(d1, buf);
+                }
+                flips.len().encode(buf);
+                for f in flips {
+                    f.encode(buf);
+                }
+            }
         }
     }
 }
@@ -398,6 +429,30 @@ impl Decode for WorkerOp {
             6 => WorkerOp::SwapFull {
                 partner: usize::decode(buf)?,
             },
+            7 => {
+                let n = usize::decode(buf)?;
+                // 40 wire bytes per factor (mask + two complex); reject
+                // corrupted lengths before allocating.
+                if n > buf.len() / 40 {
+                    return None;
+                }
+                let mut diags = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let mask = usize::decode(buf)?;
+                    let d0 = decode_complex(buf)?;
+                    let d1 = decode_complex(buf)?;
+                    diags.push((mask, d0, d1));
+                }
+                let n = usize::decode(buf)?;
+                if n > buf.len() / 8 {
+                    return None;
+                }
+                let mut flips = Vec::with_capacity(n);
+                for _ in 0..n {
+                    flips.push(usize::decode(buf)?);
+                }
+                WorkerOp::PhaseSweep { diags, flips }
+            }
             _ => return None,
         })
     }
@@ -753,6 +808,12 @@ fn run_op<C: ShardChannel>(
             let own = std::mem::take(amps);
             chan.send_xchg(partner, own)?;
             *amps = chan.recv_xchg(partner, "its full stripe")?;
+        }
+        WorkerOp::PhaseSweep { diags, flips } => {
+            // Masks arrive pre-localized (shard-constant factors as
+            // `(0, c, c)`), so base 0 runs the dense engine's exact
+            // per-amplitude sequence on the local offsets.
+            stripe::phase_sweep(amps, 0, &diags, &flips);
         }
     }
     Ok(())
@@ -1493,6 +1554,47 @@ impl Controller {
         }
     }
 
+    /// Plans one merged diagonal sweep for every shard. All sweeps are
+    /// shard-local (no exchange): every worker receives the *full* factor
+    /// list in plan order — a factor whose qubit is a shard-index bit
+    /// arrives as the constant `(0, c, c)` branch that shard lives on —
+    /// so each worker's sequential multiply reproduces the dense engine's
+    /// floating-point sequence exactly. A CZ flip mask is shipped only to
+    /// the shards whose index bits satisfy its high half (`0` = negate the
+    /// whole stripe, which is exact).
+    fn plan_phase_sweep(
+        &self,
+        factors: &[(usize, Complex, Complex)],
+        flips: &[(usize, usize)],
+        plan: &mut Plan,
+    ) {
+        let l = self.local_bits();
+        for s in 0..self.active() {
+            let mut diags = Vec::with_capacity(factors.len());
+            for &(p, d0, d1) in factors {
+                if p < l {
+                    diags.push((1usize << p, d0, d1));
+                } else {
+                    let c = if s & (1usize << (p - l)) != 0 { d1 } else { d0 };
+                    diags.push((0, c, c));
+                }
+            }
+            let mut lo_flips = Vec::with_capacity(flips.len());
+            for &(a, b) in flips {
+                let (lo_mask, hi_mask) = self.split_masks(&[a, b]);
+                if s & hi_mask == hi_mask {
+                    lo_flips.push(lo_mask);
+                }
+            }
+            if !diags.is_empty() || !lo_flips.is_empty() {
+                plan.ops[s].push(WorkerOp::PhaseSweep {
+                    diags,
+                    flips: lo_flips,
+                });
+            }
+        }
+    }
+
     /// Plans a one-round SWAP of positions `a` and `b` (the stripe-exchange
     /// realization — one exchange per shard pair instead of the three CNOT
     /// passes, 6 transfers, of the naive form).
@@ -2166,6 +2268,33 @@ impl RemoteShardedEngine {
                 ctl.plan_swap(pa, pb, plan);
                 Ok((OpClass::Gate2q, vec![pa, pb]))
             }
+            BatchOp::Fused1q { q, m } => {
+                let pos = self.pos(*q)?;
+                ctl.plan_pair(0, 0, pos, PairKernel::Mat(*m), plan);
+                Ok((OpClass::Gate1q, vec![pos]))
+            }
+            BatchOp::PhaseSweep { diags, czs } => {
+                let mut factors = Vec::with_capacity(diags.len());
+                let mut touched = Vec::with_capacity(diags.len() + 2 * czs.len());
+                for &(q, d0, d1) in diags {
+                    let p = self.pos(q)?;
+                    factors.push((p, d0, d1));
+                    touched.push(p);
+                }
+                let mut flips = Vec::with_capacity(czs.len());
+                for &(a, b) in czs {
+                    if a == b {
+                        return Err(SimError::DuplicateQubit(a));
+                    }
+                    let pa = self.pos(a)?;
+                    let pb = self.pos(b)?;
+                    flips.push((pa, pb));
+                    touched.push(pa);
+                    touched.push(pb);
+                }
+                ctl.plan_phase_sweep(&factors, &flips, plan);
+                Ok((OpClass::Gate1q, touched))
+            }
         }
     }
 
@@ -2312,6 +2441,13 @@ impl super::ShardableEngine for RemoteShardedEngine {
                     BatchOp::Cnot { c, t } => self.cnot_concurrent(*c, *t)?,
                     BatchOp::Cz { a, b } => self.cz_concurrent(*a, *b)?,
                     BatchOp::Swap { a, b } => self.swap_concurrent(*a, *b)?,
+                    // The optimizer never emits these under state-dependent
+                    // noise; the decomposing trait defaults keep the eager
+                    // path total anyway.
+                    BatchOp::Fused1q { q, m } => self.apply_fused_1q_concurrent(*q, m)?,
+                    BatchOp::PhaseSweep { diags, czs } => {
+                        self.apply_phase_sweep_concurrent(diags, czs)?
+                    }
                 }
             }
             return Ok(());
@@ -2590,6 +2726,19 @@ mod tests {
                         abit: 1,
                     },
                     WorkerOp::SwapFull { partner: 7 },
+                    WorkerOp::PhaseSweep {
+                        diags: vec![
+                            (1 << 2, Complex::new(1.0, 0.0), Complex::new(0.0, 1.0)),
+                            // Shard-constant factor: mask 0, both entries
+                            // the branch this shard lives on.
+                            (0, Complex::new(0.5, -0.5), Complex::new(0.5, -0.5)),
+                        ],
+                        flips: vec![0b110, 0],
+                    },
+                    WorkerOp::PhaseSweep {
+                        diags: vec![],
+                        flips: vec![1],
+                    },
                 ],
             },
             ShardCmd::Expect {
@@ -2676,6 +2825,22 @@ mod tests {
         0usize.encode(&mut buf);
         1usize.encode(&mut buf);
         1u8.encode(&mut buf); // Mat kernel, but no matrix bytes follow
+        assert!(cmpi::from_bytes::<ShardCmd>(&buf.freeze()).is_none());
+        // Phase sweep claiming more diagonal factors than the payload holds.
+        let mut buf = BytesMut::new();
+        2u8.encode(&mut buf);
+        1usize.encode(&mut buf);
+        7u8.encode(&mut buf); // WorkerOp::PhaseSweep
+        usize::MAX.encode(&mut buf); // absurd factor count
+        assert!(cmpi::from_bytes::<ShardCmd>(&buf.freeze()).is_none());
+        // Phase sweep whose flip-mask count overruns the payload.
+        let mut buf = BytesMut::new();
+        2u8.encode(&mut buf);
+        1usize.encode(&mut buf);
+        7u8.encode(&mut buf); // WorkerOp::PhaseSweep
+        0usize.encode(&mut buf); // no factors...
+        4usize.encode(&mut buf); // ...four flips claimed
+        1usize.encode(&mut buf); // but only one follows
         assert!(cmpi::from_bytes::<ShardCmd>(&buf.freeze()).is_none());
         // Expect with an unknown role.
         let mut buf = BytesMut::new();
@@ -2916,6 +3081,92 @@ mod tests {
         }
     }
 
+    /// Optimizer-emitted ops are first-class wire ops: a fused 1q kernel
+    /// plus a merged phase sweep ship in ONE command round with zero
+    /// stripe exchanges (sweeps are shard-local by construction), apply
+    /// fewer kernel sweeps than the primitive stream they replace, and
+    /// reproduce the dense engine's amplitudes bit-for-bit.
+    #[test]
+    fn fused_ops_ship_in_one_round_and_match_dense_bitwise() {
+        use qsim::BatchOp;
+        // 5 qubits over 4 shards: positions 3 and 4 are shard-selecting,
+        // so the sweep exercises local factors, shard-constant factors,
+        // and all three CZ localizations (lo/lo+hi/hi+hi).
+        let stream = |qs: &[QubitId]| {
+            batch_of(vec![
+                BatchOp::Gate {
+                    gate: Gate::H,
+                    q: qs[0],
+                },
+                BatchOp::Gate {
+                    gate: Gate::Ry(0.3),
+                    q: qs[0],
+                },
+                BatchOp::Gate {
+                    gate: Gate::T,
+                    q: qs[3],
+                },
+                BatchOp::Gate {
+                    gate: Gate::T,
+                    q: qs[4],
+                },
+                BatchOp::Gate {
+                    gate: Gate::Z,
+                    q: qs[1],
+                },
+                BatchOp::Cz { a: qs[1], b: qs[3] },
+                BatchOp::Cz { a: qs[0], b: qs[4] },
+                BatchOp::Cz { a: qs[3], b: qs[4] },
+            ])
+        };
+        let mut dense = StateVectorEngine::new(2);
+        let mut remote = RemoteShardedEngine::new(2, 4);
+        let dq: Vec<QubitId> = (0..5).map(|_| dense.alloc()).collect();
+        let rq: Vec<QubitId> = (0..5).map(|_| remote.alloc()).collect();
+        for i in 0..5 {
+            dense.apply(Gate::H, dq[i]).unwrap();
+            SimEngine::apply(&mut remote, Gate::H, rq[i]).unwrap();
+        }
+        let d_opt = qsim::optimize(stream(&dq));
+        let r_opt = qsim::optimize(stream(&rq));
+        assert!(
+            d_opt
+                .ops()
+                .iter()
+                .any(|op| matches!(op, BatchOp::Fused1q { .. }))
+                && d_opt
+                    .ops()
+                    .iter()
+                    .any(|op| matches!(op, BatchOp::PhaseSweep { .. })),
+            "the optimizer must emit both fused op kinds here: {:?}",
+            d_opt.ops()
+        );
+        assert!(d_opt.len() < stream(&dq).len(), "fewer kernel sweeps");
+        let before = remote.transport_stats();
+        SimEngine::apply_batch(&mut dense, &d_opt).unwrap();
+        SimEngine::apply_batch(&mut remote, &r_opt).unwrap();
+        let after = remote.transport_stats();
+        assert_eq!(
+            after.command_rounds - before.command_rounds,
+            1,
+            "one framed round per batch, fused or not"
+        );
+        assert_eq!(
+            after.exchange_rounds, before.exchange_rounds,
+            "fused 1q kernels and phase sweeps are shard-local"
+        );
+        assert_eq!(dense.gate_count(), remote.gate_count());
+        let want = dense.state_vector(&dq).unwrap();
+        let got = remote.state_vector(&rq).unwrap();
+        for i in 0..want.len() {
+            let (w, g) = (want.amplitude(i), got.amplitude(i));
+            assert!(
+                w.re.to_bits() == g.re.to_bits() && w.im.to_bits() == g.im.to_bits(),
+                "amp[{i}]: {w:?} vs {g:?}"
+            );
+        }
+    }
+
     /// Batched and eager application must stay bit-identical per seed —
     /// including under Pauli noise, where the controller samples the shared
     /// stream per op while planning.
@@ -2959,6 +3210,9 @@ mod tests {
                     BatchOp::Cnot { c, t } => eager.cnot(c, t).unwrap(),
                     BatchOp::Cz { a, b } => eager.cz(a, b).unwrap(),
                     BatchOp::Swap { a, b } => SimEngine::swap(&mut eager, a, b).unwrap(),
+                    BatchOp::Fused1q { .. } | BatchOp::PhaseSweep { .. } => {
+                        unreachable!("this stream records primitive ops only")
+                    }
                 }
             }
             SimEngine::apply_batch(&mut batched, &batch_of(ops(&bq))).unwrap();

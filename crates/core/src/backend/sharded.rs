@@ -52,6 +52,36 @@ pub trait ShardableEngine: SimEngine + Sync {
     /// SWAP (concurrent-safe).
     fn swap_concurrent(&self, a: QubitId, b: QubitId) -> std::result::Result<(), SimError>;
 
+    /// Applies a plan-time-fused 2×2 unitary (concurrent-safe). The
+    /// default routes through the 1q entry point as `Gate::U(m)` — the
+    /// kernel fused runs must match bit-for-bit.
+    fn apply_fused_1q_concurrent(
+        &self,
+        q: QubitId,
+        m: &qsim::gates::Mat2,
+    ) -> std::result::Result<(), SimError> {
+        self.apply_concurrent(Gate::U(*m), q)
+    }
+
+    /// Applies a plan-time-merged diagonal sweep (concurrent-safe). The
+    /// default decomposes into per-factor diagonal `Gate::U`s plus CZs, in
+    /// the sweep's factor order; engines with a one-pass stripe kernel
+    /// override.
+    fn apply_phase_sweep_concurrent(
+        &self,
+        diags: &[(QubitId, qsim::Complex, qsim::Complex)],
+        czs: &[(QubitId, QubitId)],
+    ) -> std::result::Result<(), SimError> {
+        use qsim::complex::C_ZERO;
+        for &(q, d0, d1) in diags {
+            self.apply_concurrent(Gate::U([[d0, C_ZERO], [C_ZERO, d1]]), q)?;
+        }
+        for &(a, b) in czs {
+            self.cz_concurrent(a, b)?;
+        }
+        Ok(())
+    }
+
     /// Applies a whole recorded gate stream through the concurrent surface.
     /// The default loops the per-gate entry points (stripe locks still
     /// provide amplitude-level exclusion per pass); the process-separated
@@ -70,6 +100,10 @@ pub trait ShardableEngine: SimEngine + Sync {
                 BatchOp::Cnot { c, t } => self.cnot_concurrent(*c, *t)?,
                 BatchOp::Cz { a, b } => self.cz_concurrent(*a, *b)?,
                 BatchOp::Swap { a, b } => self.swap_concurrent(*a, *b)?,
+                BatchOp::Fused1q { q, m } => self.apply_fused_1q_concurrent(*q, m)?,
+                BatchOp::PhaseSweep { diags, czs } => {
+                    self.apply_phase_sweep_concurrent(diags, czs)?
+                }
             }
         }
         Ok(())
@@ -262,6 +296,50 @@ impl ShardableEngine for ShardedStateVector {
         self.state.apply_swap(pa, pb);
         self.count_gate();
         self.inject(OpClass::Gate2q, &[pa, pb]);
+        Ok(())
+    }
+
+    fn apply_fused_1q_concurrent(
+        &self,
+        q: QubitId,
+        m: &qsim::gates::Mat2,
+    ) -> std::result::Result<(), SimError> {
+        let pos = self.pos(q)?;
+        self.state.apply_1q(pos, m);
+        self.count_gate();
+        self.inject(OpClass::Gate1q, &[pos]);
+        Ok(())
+    }
+
+    fn apply_phase_sweep_concurrent(
+        &self,
+        diags: &[(QubitId, qsim::Complex, qsim::Complex)],
+        czs: &[(QubitId, QubitId)],
+    ) -> std::result::Result<(), SimError> {
+        let mut factors = Vec::with_capacity(diags.len());
+        let mut touched = Vec::with_capacity(diags.len() + 2 * czs.len());
+        for &(q, d0, d1) in diags {
+            let pos = self.pos(q)?;
+            factors.push((pos, d0, d1));
+            touched.push(pos);
+        }
+        let mut flips = Vec::with_capacity(czs.len());
+        for &(a, b) in czs {
+            if a == b {
+                return Err(SimError::DuplicateQubit(a));
+            }
+            let pa = self.pos(a)?;
+            let pb = self.pos(b)?;
+            flips.push((pa, pb));
+            touched.push(pa);
+            touched.push(pb);
+        }
+        // One stripe pass for the whole merged sweep, same per-amplitude
+        // sequence as the dense engine; counted as one gate like every
+        // other single-pass kernel.
+        self.state.apply_phase_sweep(&factors, &flips);
+        self.count_gate();
+        self.inject(OpClass::Gate1q, &touched);
         Ok(())
     }
 }

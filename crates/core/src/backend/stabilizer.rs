@@ -27,8 +27,7 @@ impl StabilizerEngine {
     /// insertions on the tableau. Only the Clifford-compatible channels
     /// (depolarizing/dephasing) are realizable; operations under an
     /// amplitude-damping channel surface [`qsim::SimError::Unsupported`] —
-    /// [`super::BackendKind::build_with_noise`] rejects such models up
-    /// front.
+    /// [`super::build_backend`] rejects such models up front.
     pub fn with_noise(seed: u64, noise: NoiseModel) -> Self {
         StabilizerEngine {
             sim: StabilizerSim::with_noise(seed, noise),

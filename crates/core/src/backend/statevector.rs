@@ -79,6 +79,18 @@ impl SimEngine for StateVectorEngine {
         self.sim.swap(a, b)
     }
 
+    fn apply_fused_1q(&mut self, q: QubitId, m: &qsim::gates::Mat2) -> Result<(), SimError> {
+        self.sim.apply_fused_1q(q, m)
+    }
+
+    fn apply_phase_sweep(
+        &mut self,
+        diags: &[(QubitId, qsim::Complex, qsim::Complex)],
+        czs: &[(QubitId, QubitId)],
+    ) -> Result<(), SimError> {
+        self.sim.apply_phase_sweep(diags, czs)
+    }
+
     fn measure(&mut self, q: QubitId) -> Result<bool, SimError> {
         self.sim.measure(q)
     }

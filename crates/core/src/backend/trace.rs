@@ -166,6 +166,38 @@ impl SimEngine for TraceEngine {
         Ok(())
     }
 
+    fn apply_fused_1q(&mut self, q: QubitId, _m: &qsim::gates::Mat2) -> Result<(), SimError> {
+        // One kernel sweep = one counted gate, matching every amplitude
+        // engine (the counters report sweeps, which is what fusion cuts).
+        self.check(q)?;
+        self.gate_count += 1;
+        self.model_noise(OpClass::Gate1q, 1);
+        Ok(())
+    }
+
+    fn apply_phase_sweep(
+        &mut self,
+        diags: &[(QubitId, qsim::Complex, qsim::Complex)],
+        czs: &[(QubitId, QubitId)],
+    ) -> Result<(), SimError> {
+        let mut touched = 0u32;
+        for &(q, ..) in diags {
+            self.check(q)?;
+            touched += 1;
+        }
+        for &(a, b) in czs {
+            if a == b {
+                return Err(SimError::DuplicateQubit(a));
+            }
+            self.check(a)?;
+            self.check(b)?;
+            touched += 2;
+        }
+        self.gate_count += 1;
+        self.model_noise(OpClass::Gate1q, touched);
+        Ok(())
+    }
+
     fn apply_batch(&mut self, batch: &GateBatch) -> Result<(), SimError> {
         // Specialized fast path for the (common) ideal model: one sweep
         // that validates and counts without the per-op noise-fold calls.
@@ -186,6 +218,8 @@ impl SimEngine for TraceEngine {
                     BatchOp::Cnot { c, t } => self.cnot(*c, *t)?,
                     BatchOp::Cz { a, b } => self.cz(*a, *b)?,
                     BatchOp::Swap { a, b } => self.swap(*a, *b)?,
+                    BatchOp::Fused1q { q, m } => self.apply_fused_1q(*q, m)?,
+                    BatchOp::PhaseSweep { diags, czs } => self.apply_phase_sweep(diags, czs)?,
                 }
             }
             return Ok(());
@@ -217,6 +251,19 @@ impl SimEngine for TraceEngine {
                     }
                     self.check(*a)?;
                     self.check(*b)?;
+                }
+                BatchOp::Fused1q { q, .. } => self.check(*q)?,
+                BatchOp::PhaseSweep { diags, czs } => {
+                    for &(q, ..) in diags {
+                        self.check(q)?;
+                    }
+                    for &(a, b) in czs {
+                        if a == b {
+                            return Err(SimError::DuplicateQubit(a));
+                        }
+                        self.check(a)?;
+                        self.check(b)?;
+                    }
                 }
             }
             self.gate_count += 1;

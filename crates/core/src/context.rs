@@ -75,6 +75,95 @@ pub(crate) fn ptag_role(op: ProtoOp, role: EprRole, user_tag: QTag) -> cmpi::Tag
     ((op as u32) << 20) | (role.bits() << 16) | user_tag as u32
 }
 
+/// How a rank's pending gate stream batches, optimizes, and flushes.
+///
+/// Gate calls append to a per-rank [`qsim::GateBatch`]; the policy bounds
+/// the memory such a stream can pin (the op and byte budgets) and decides
+/// whether the plan-time optimizer ([`qsim::optimize`]) rewrites each
+/// batch into fused kernel sweeps before dispatch. Defaults come from the
+/// environment at [`QmpiConfig::new`] time (`QMPI_BATCH_OPS`,
+/// `QMPI_BATCH_BYTES`, `QMPI_FUSE`, and the legacy `QMPI_BATCH` kill
+/// switch), so an explicit [`QmpiConfig::batch`] call always wins over the
+/// environment.
+///
+/// ```
+/// use qmpi::{BatchPolicy, QmpiConfig};
+///
+/// let cfg = QmpiConfig::new().batch(BatchPolicy {
+///     max_ops: 64,
+///     ..BatchPolicy::default()
+/// });
+/// assert_eq!(cfg.batch_policy().max_ops, 64);
+/// assert!(!BatchPolicy::eager().is_batching());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Auto-flush once this many ops are pending. `0` disables batching
+    /// entirely: every gate call dispatches eagerly through the per-gate
+    /// backend surface, exactly like the pre-batching engines.
+    pub max_ops: usize,
+    /// Auto-flush once the pending stream's approximate in-memory size
+    /// ([`qsim::GateBatch::approx_bytes`]) reaches this many bytes —
+    /// bounds memory without cutting fusion windows at an arbitrary op
+    /// count when ops are small.
+    pub max_bytes: usize,
+    /// Run the plan-time optimizer on every flushed batch (1q-run fusion
+    /// and diagonal phase-sweep merging; see [`qsim::optimize`]). Only
+    /// consulted where fusion is sound: amplitude-class backends under an
+    /// ideal noise model. Latency stays bounded by the flush points
+    /// themselves — fusion never delays dispatch.
+    pub fuse: bool,
+}
+
+impl Default for BatchPolicy {
+    /// 4096 pending ops or ~1 MiB of recorded stream, optimizer on.
+    fn default() -> Self {
+        BatchPolicy {
+            max_ops: 4096,
+            max_bytes: 1 << 20,
+            fuse: true,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// The no-batching policy: every gate dispatches at its call site.
+    pub fn eager() -> Self {
+        BatchPolicy {
+            max_ops: 0,
+            max_bytes: 0,
+            fuse: false,
+        }
+    }
+
+    /// Whether gate calls accumulate at all (`max_ops > 0`).
+    pub fn is_batching(&self) -> bool {
+        self.max_ops > 0
+    }
+
+    /// The [`BatchPolicy::default`] with environment overrides applied:
+    /// `QMPI_BATCH_OPS` / `QMPI_BATCH_BYTES` (decimal sizes) and
+    /// `QMPI_FUSE` (`off`/`0`/`false` disables the optimizer — CI's
+    /// fusion-off cross-check lane). Unparsable values are ignored.
+    pub fn env_default() -> Self {
+        let mut p = BatchPolicy::default();
+        if let Some(v) = env_usize("QMPI_BATCH_OPS") {
+            p.max_ops = v;
+        }
+        if let Some(v) = env_usize("QMPI_BATCH_BYTES") {
+            p.max_bytes = v;
+        }
+        if let Ok(v) = std::env::var("QMPI_FUSE") {
+            p.fuse = !matches!(v.to_lowercase().as_str(), "off" | "0" | "false");
+        }
+        p
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
 /// World configuration, built fluently:
 ///
 /// ```
@@ -103,10 +192,8 @@ pub struct QmpiConfig {
     pub(crate) transport: TransportKind,
     /// Noise model applied by the engine (ideal by default).
     pub(crate) noise: NoiseModel,
-    /// Whether per-rank gate calls accumulate into a [`qsim::GateBatch`]
-    /// that flushes lazily (on by default; `QMPI_BATCH=off` flips the
-    /// default for a whole run).
-    pub(crate) batching: bool,
+    /// How per-rank gate streams batch, optimize, and flush.
+    pub(crate) batch: BatchPolicy,
 }
 
 impl QmpiConfig {
@@ -150,30 +237,6 @@ impl QmpiConfig {
     pub fn transport(mut self, kind: TransportKind) -> Self {
         self.transport = kind;
         self
-    }
-
-    /// Shorthand for the lock-striped state-vector backend with `shards`
-    /// stripes ([`BackendKind::ShardedStateVector`]).
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `.backend(BackendKind::ShardedStateVector { shards })`"
-    )]
-    pub fn sharded_backend(self, shards: usize) -> Self {
-        self.backend(BackendKind::ShardedStateVector { shards })
-    }
-
-    /// Shorthand for the process-separated state-vector backend with
-    /// `shards` worker ranks ([`BackendKind::RemoteSharded`]): every shard
-    /// lives in its own thread of control and is driven purely by message
-    /// passing — the paper's deployment model, with no shared-address-space
-    /// assumption between shards.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `.backend(BackendKind::RemoteSharded { shards })`, plus \
-                `.transport(..)` to pick where the workers live"
-    )]
-    pub fn remote_backend(self, shards: usize) -> Self {
-        self.backend(BackendKind::RemoteSharded { shards })
     }
 
     /// Sets the noise model the world's engine applies — imperfect gates,
@@ -234,28 +297,47 @@ impl QmpiConfig {
         crate::backend::build_backend(self.backend, self.transport, self.seed, self.noise)
     }
 
-    /// Enables or disables batched gate streams for the world (overriding
-    /// the `QMPI_BATCH` environment default). With batching on, rank-local
-    /// gate calls append to a per-rank [`qsim::GateBatch`] that flushes
-    /// lazily — on measurement, probability/expectation reads, allocation,
-    /// EPR establishment, barriers, backend access, or an explicit
+    /// Sets the full batch policy for the world, overriding the
+    /// environment defaults captured at [`QmpiConfig::new`]. With batching
+    /// on (`max_ops > 0`), rank-local gate calls append to a per-rank
+    /// [`qsim::GateBatch`] that flushes lazily — on measurement,
+    /// probability/expectation reads, allocation, EPR establishment,
+    /// barriers, backend access, budget exhaustion, or an explicit
     /// [`crate::QmpiRank::flush`] — so the backend takes its locality lock
     /// (and, on the process-separated engine, pays its command round) once
     /// per *batch* instead of once per gate. Flush points are placed so
-    /// batched and eager runs are bit-identical per seed; see
-    /// `docs/ARCHITECTURE.md`.
-    pub fn batching(mut self, enabled: bool) -> Self {
-        self.batching = enabled;
+    /// batched and eager runs are bit-identical per seed; with
+    /// [`BatchPolicy::fuse`] on, each flushed batch is additionally
+    /// rewritten into fewer kernel sweeps (matching to ~1e-12 rather than
+    /// bitwise; see `docs/ARCHITECTURE.md`).
+    pub fn batch(mut self, policy: BatchPolicy) -> Self {
+        self.batch = policy;
         self
     }
 
-    /// Whether gate batching is enabled for the world.
+    /// The configured batch policy.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.batch
+    }
+
+    /// Compat shim over [`QmpiConfig::batch`]: `true` maps to
+    /// [`BatchPolicy::env_default`], `false` to [`BatchPolicy::eager`].
+    pub fn batching(self, enabled: bool) -> Self {
+        self.batch(if enabled {
+            BatchPolicy::env_default()
+        } else {
+            BatchPolicy::eager()
+        })
+    }
+
+    /// Whether gate batching is enabled for the world
+    /// ([`BatchPolicy::is_batching`]).
     pub fn batching_enabled(&self) -> bool {
-        self.batching
+        self.batch.is_batching()
     }
 }
 
-/// The `QMPI_BATCH` environment default: batching is on unless the
+/// The legacy `QMPI_BATCH` kill switch: batching is on unless the
 /// variable reads `off`, `0`, or `false` (CI's eager cross-check lane).
 fn batching_env_default() -> bool {
     match std::env::var("QMPI_BATCH") {
@@ -272,7 +354,11 @@ impl Default for QmpiConfig {
             backend: BackendKind::default(),
             transport: TransportKind::default(),
             noise: NoiseModel::ideal(),
-            batching: batching_env_default(),
+            batch: if batching_env_default() {
+                BatchPolicy::env_default()
+            } else {
+                BatchPolicy::eager()
+            },
         }
     }
 }
@@ -294,11 +380,18 @@ pub struct QmpiRank {
     /// [`QmpiRank::flush`]). A rank is single-threaded, so a `RefCell`
     /// suffices.
     pub(crate) pending: std::cell::RefCell<qsim::GateBatch>,
+    /// Whether flushed batches run through the plan-time optimizer:
+    /// [`BatchPolicy::fuse`] is on AND the world's backend is an
+    /// amplitude-class engine under an ideal noise model (resolved once at
+    /// world construction). Fusing would otherwise change the op stream
+    /// that noise injection and Clifford classification key on.
+    pub(crate) fuse: bool,
+    /// A flush error raised at an infallible flush point (an accessor like
+    /// [`QmpiRank::classical`] that cannot return `Result`). Parked here
+    /// and surfaced — typed — by the next fallible QMPI call instead of
+    /// panicking inside the accessor.
+    deferred: std::cell::RefCell<Option<QmpiError>>,
 }
-
-/// Batches auto-flush past this many pending ops, bounding the memory a
-/// long measurement-free gate storm can pin.
-const BATCH_AUTO_FLUSH: usize = 4096;
 
 impl QmpiRank {
     /// This rank's id (QMPI_Comm_rank on QMPI_COMM_WORLD).
@@ -329,8 +422,7 @@ impl QmpiRank {
     /// [`QmpiRank::flush`] yourself in that pattern, or re-fetch the
     /// communicator per operation.
     pub fn classical(&self) -> &Communicator {
-        self.flush()
-            .expect("flushing pending batched gates before classical communication");
+        self.flush_or_defer();
         &self.classical
     }
 
@@ -345,15 +437,35 @@ impl QmpiRank {
     /// [`QmpiRank::backend`] access. Call it explicitly to bound gate
     /// latency (e.g. before timing a communication round).
     ///
-    /// An engine-level error surfaces here — at the flush point — rather
-    /// than at the gate call that recorded the failing op; ops preceding
-    /// the failing one are applied, exactly as if issued eagerly.
+    /// A batch-wide ownership or validation failure surfaces here — as a
+    /// typed [`QmpiError`] at the flush call site — rather than at the
+    /// gate call that recorded the failing op (or as a panic deep in the
+    /// locality wrapper); ops preceding the failing one are applied,
+    /// exactly as if issued eagerly. An error deferred by an infallible
+    /// flush point (see [`QmpiRank::classical`]) is surfaced first.
     pub fn flush(&self) -> Result<()> {
+        if let Some(e) = self.deferred.borrow_mut().take() {
+            return Err(e);
+        }
         let batch = self.pending.borrow_mut().take();
         if batch.is_empty() {
             return Ok(());
         }
+        let batch = if self.fuse {
+            qsim::optimize(batch)
+        } else {
+            batch
+        };
         self.backend.apply_batch(self.rank(), &batch)
+    }
+
+    /// Flush for the accessors that cannot return `Result`: a failure is
+    /// parked in `deferred` (first error wins) and re-raised, typed, by
+    /// the next fallible call instead of panicking here.
+    fn flush_or_defer(&self) {
+        if let Err(e) = self.flush() {
+            self.deferred.borrow_mut().get_or_insert(e);
+        }
     }
 
     /// Records one gate op (or dispatches it immediately with batching
@@ -366,7 +478,8 @@ impl QmpiRank {
     /// its flush point.
     pub(crate) fn enqueue(&self, op: qsim::BatchOp) -> Result<()> {
         op.validate().map_err(QmpiError::Sim)?;
-        if !self.config.batching
+        let policy = self.config.batch;
+        if !policy.is_batching()
             || (self.backend.kind() == BackendKind::Stabilizer && !op.is_clifford())
         {
             // The eager path proper: flush anything recorded before the
@@ -386,14 +499,24 @@ impl QmpiRank {
                 BatchOp::Cnot { c, t } => self.backend.cnot(self.rank(), c, t),
                 BatchOp::Cz { a, b } => self.backend.cz(self.rank(), a, b),
                 BatchOp::Swap { a, b } => self.backend.swap(self.rank(), a, b),
+                // Only the optimizer emits these; user gate calls record
+                // primitive ops. Kept total via a one-op batch.
+                op @ (BatchOp::Fused1q { .. } | BatchOp::PhaseSweep { .. }) => {
+                    let mut one = qsim::GateBatch::new();
+                    one.push(op);
+                    self.backend.apply_batch(self.rank(), &one)
+                }
             };
         }
-        let len = {
+        // The op/byte budgets bound the memory a long measurement-free
+        // gate storm can pin, without cutting fusion windows at an
+        // arbitrary op count when the recorded ops are small.
+        let (len, bytes) = {
             let mut pending = self.pending.borrow_mut();
             pending.push(op);
-            pending.len()
+            (pending.len(), pending.approx_bytes())
         };
-        if len >= BATCH_AUTO_FLUSH {
+        if len >= policy.max_ops || bytes >= policy.max_bytes {
             self.flush()?;
         }
         Ok(())
@@ -413,15 +536,11 @@ impl QmpiRank {
     ///
     /// Flushes this rank's pending gate batch first, so whatever the
     /// caller reads through the backend reflects every gate issued so far.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the flush fails — a deferred engine error from an earlier
-    /// batched gate call (impossible for well-formed programs; gate calls
-    /// on linear [`Qubit`] handles only fail at engine level).
+    /// A flush failure (impossible for well-formed programs; gate calls on
+    /// linear [`Qubit`] handles only fail at engine level) is deferred to
+    /// the next fallible call — see [`QmpiRank::flush`].
     pub fn backend(&self) -> &Arc<dyn QuantumBackend> {
-        self.flush()
-            .expect("flushing pending batched gates before backend access");
+        self.flush_or_defer();
         &self.backend
     }
 
@@ -435,8 +554,7 @@ impl QmpiRank {
     /// and batched paths' operation orders identical is what keeps them
     /// bit-identical per seed.
     pub fn alloc_qmem(&self, n: usize) -> Vec<Qubit> {
-        self.flush()
-            .expect("flushing pending batched gates before allocation");
+        self.flush_or_defer();
         self.backend
             .alloc(self.rank(), n)
             .into_iter()
@@ -466,8 +584,7 @@ impl QmpiRank {
     /// after a barrier may observe global state (counts, snapshots), so
     /// every rank's pending gates must land before its barrier entry.
     pub fn barrier(&self) {
-        self.flush()
-            .expect("flushing pending batched gates before a barrier");
+        self.flush_or_defer();
         self.proto.barrier();
     }
 
@@ -559,7 +676,7 @@ pub struct WorldRun<T> {
 /// The world gets its own fresh [`ResourceLedger`]; its final totals come
 /// back in the [`WorldRun`]. `config.backend` is informational here — the
 /// provided `backend` executes the quantum operations regardless — but
-/// `config.seed`, `config.s_limit`, and `config.batching` apply as in
+/// `config.seed`, `config.s_limit`, and `config.batch` apply as in
 /// [`run_with_config`].
 pub fn run_on_backend<T, F>(
     n: usize,
@@ -573,6 +690,20 @@ where
 {
     let ledger = Arc::new(ResourceLedger::new(n));
     let ledger_out = Arc::clone(&ledger);
+    // Whether flushes run the plan-time optimizer: resolved once against
+    // the *actual* backend (not the informational `config.backend`). Fusing
+    // is sound only where amplitudes are the semantics — it rewrites the op
+    // stream, which must not perturb per-op noise injection, trace-engine
+    // accounting, or the stabilizer backend's Clifford classification.
+    let fuse = config.batch.fuse
+        && backend.noise().is_ideal()
+        && matches!(
+            backend.kind(),
+            BackendKind::StateVector
+                | BackendKind::Sparse
+                | BackendKind::ShardedStateVector { .. }
+                | BackendKind::RemoteSharded { .. }
+        );
     let results = Universe::run(n, move |comm| {
         // The original world communicator carries the QMPI protocol; users
         // get a duplicate so their classical traffic can never collide.
@@ -585,6 +716,8 @@ where
             config,
             qcoll_seq: std::cell::Cell::new(0),
             pending: std::cell::RefCell::new(qsim::GateBatch::new()),
+            fuse,
+            deferred: std::cell::RefCell::new(None),
         };
         let out = f(&ctx);
         // The rank's program is over: anything still pending must land so
@@ -603,12 +736,24 @@ where
 impl Drop for QmpiRank {
     fn drop(&mut self) {
         // Backstop for contexts dropped outside `run_with_config` (or after
-        // a panic): never let recorded gates vanish silently. Errors can
-        // only be reported, not propagated, from a destructor.
+        // a panic): never let recorded gates vanish silently, and never let
+        // a deferred typed error disappear unreported. Errors can only be
+        // reported, not propagated, from a destructor.
+        if let Some(e) = self.deferred.get_mut().take() {
+            eprintln!(
+                "qmpi: rank {}: a deferred batch flush error was never surfaced: {e}",
+                self.proto.rank()
+            );
+        }
         let batch = self.pending.borrow_mut().take();
         if batch.is_empty() {
             return;
         }
+        let batch = if self.fuse {
+            qsim::optimize(batch)
+        } else {
+            batch
+        };
         if let Err(e) = self.backend.apply_batch(self.proto.rank(), &batch) {
             eprintln!(
                 "qmpi: rank {}: {} batched gate(s) failed during teardown flush: {e}",
@@ -672,6 +817,112 @@ mod tests {
         assert_eq!(cfg.epr_buffer_limit(), Some(3));
         assert_eq!(cfg.backend_kind(), crate::BackendKind::Trace);
         assert_eq!(cfg.unlimited_buffer().epr_buffer_limit(), None);
+    }
+
+    /// The boolean `batching` entry points are thin shims over the policy
+    /// API: `false` is exactly [`BatchPolicy::eager`], `true` exactly the
+    /// environment-derived batching default. (Compared against the same
+    /// constructors rather than literals so the assertions hold under
+    /// CI's `QMPI_FUSE=off` / `QMPI_BATCH_OPS` lanes too.)
+    #[test]
+    fn batching_shim_is_equivalent_to_the_policy_api() {
+        let off = QmpiConfig::new().batching(false);
+        assert_eq!(off.batch_policy(), BatchPolicy::eager());
+        assert!(!off.batching_enabled());
+        let on = off.batching(true);
+        assert_eq!(on.batch_policy(), BatchPolicy::env_default());
+        assert!(on.batching_enabled());
+        // An explicit policy wins over the environment default and round-
+        // trips through the accessor.
+        let custom = BatchPolicy {
+            max_ops: 17,
+            max_bytes: 1234,
+            fuse: false,
+        };
+        assert_eq!(QmpiConfig::new().batch(custom).batch_policy(), custom);
+        assert!(BatchPolicy::default().is_batching());
+        assert!(!BatchPolicy::eager().is_batching());
+    }
+
+    /// The op and byte budgets both force an auto-flush; gates land at the
+    /// backend (observed through a pre-cloned handle, which does not
+    /// flush) without any explicit flush point.
+    #[test]
+    fn batch_budgets_auto_flush() {
+        for policy in [
+            BatchPolicy {
+                max_ops: 2,
+                ..BatchPolicy::default()
+            },
+            BatchPolicy {
+                max_bytes: 1,
+                ..BatchPolicy::default()
+            },
+        ] {
+            let out = run_with_config(1, QmpiConfig::new().batch(policy), move |ctx| {
+                let q = ctx.alloc_one();
+                let backend = Arc::clone(ctx.backend());
+                ctx.t(&q).unwrap();
+                ctx.t(&q).unwrap();
+                let landed = backend.gate_count();
+                ctx.measure_and_free(q).unwrap();
+                landed
+            });
+            assert!(
+                out[0] >= 1,
+                "budget {policy:?} must have flushed mid-stream, saw {} gates",
+                out[0]
+            );
+        }
+        // Control: a roomy budget leaves the gates pending until a real
+        // flush point.
+        let out = run_with_config(1, QmpiConfig::new().batch(BatchPolicy::default()), |ctx| {
+            let q = ctx.alloc_one();
+            let backend = Arc::clone(ctx.backend());
+            ctx.t(&q).unwrap();
+            ctx.t(&q).unwrap();
+            let landed = backend.gate_count();
+            ctx.measure_and_free(q).unwrap();
+            landed
+        });
+        assert_eq!(out[0], 0, "no budget hit, no flush point crossed");
+    }
+
+    /// A batch-wide locality failure surfaces as a typed error from
+    /// `flush()` — including when the failing flush fired at an infallible
+    /// accessor, which defers the error instead of panicking.
+    #[test]
+    fn flush_failures_surface_typed_not_as_panics() {
+        let out = run_with_config(2, QmpiConfig::new().batching(true), |ctx| {
+            if ctx.rank() == 0 {
+                let q = ctx.alloc_one();
+                ctx.barrier(); // rank 1 forges its handle after this
+                ctx.barrier(); // ...and is done misusing it after this
+                ctx.measure_and_free(q).unwrap();
+                true
+            } else {
+                ctx.barrier();
+                // Forge rank 0's qubit (test-only: the public API's linear
+                // handles cannot name a foreign qubit).
+                let stolen = Qubit::new(qsim::QubitId(0));
+                ctx.x(&stolen).unwrap(); // records fine; structurally valid
+                let err = ctx.flush().unwrap_err();
+                assert!(matches!(err, QmpiError::Locality { .. }), "{err}");
+                // Same failure through an infallible flush point: the
+                // accessor defers, the next fallible call surfaces it.
+                ctx.x(&stolen).unwrap();
+                let _ = ctx.backend(); // must not panic
+                let err = ctx.flush().unwrap_err();
+                assert!(matches!(err, QmpiError::Locality { .. }), "{err}");
+                // The rank stays usable afterwards.
+                let mine = ctx.alloc_one();
+                ctx.x(&mine).unwrap();
+                let outcome = ctx.measure_and_free(mine).unwrap();
+                ctx.barrier();
+                outcome
+            }
+        });
+        assert_eq!(out, vec![true, true]);
     }
 
     #[test]

@@ -13,11 +13,13 @@ use qsim::{BatchOp, Gate, Pauli};
 impl QmpiRank {
     /// Applies an arbitrary single-qubit gate.
     ///
-    /// With batching enabled (the default — see [`crate::QmpiConfig::batching`])
+    /// With batching enabled (the default — see [`crate::BatchPolicy`])
     /// this *records* the gate into the rank's pending [`qsim::GateBatch`];
     /// the stream lands at the next flush point (measurement, probability or
     /// expectation read, allocation, EPR establishment, barrier, backend
-    /// access, or an explicit [`QmpiRank::flush`]) as one backend call.
+    /// access, a tripped op/byte budget, or an explicit [`QmpiRank::flush`])
+    /// as one backend call, optimized at plan time when
+    /// [`crate::BatchPolicy::fuse`] is on.
     /// Engine-level errors from a recorded gate therefore surface at the
     /// flush point. All other gate entry points below share this behavior.
     pub fn apply(&self, gate: Gate, q: &Qubit) -> Result<()> {

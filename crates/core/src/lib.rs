@@ -118,7 +118,9 @@ pub use cmpi::TransportKind;
 pub use collectives::{
     AllreduceHandle, BcastAlgorithm, ExscanHandle, ReduceHandle, ReduceScatterHandle, ScanHandle,
 };
-pub use context::{run, run_on_backend, run_with_config, QTag, QmpiConfig, QmpiRank, WorldRun};
+pub use context::{
+    run, run_on_backend, run_with_config, BatchPolicy, QTag, QmpiConfig, QmpiRank, WorldRun,
+};
 pub use datatypes::{Datatype, QUBIT};
 pub use epr::EprRequest;
 pub use error::{QmpiError, Result};

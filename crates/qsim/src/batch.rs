@@ -16,7 +16,8 @@
 //! to the eager, gate-at-a-time path. That identity is what keeps batched
 //! and unbatched runs bit-identical per seed on every engine.
 
-use crate::gates::Gate;
+use crate::complex::Complex;
+use crate::gates::{Gate, Mat2};
 use crate::sim::QubitId;
 
 /// One recorded gate operation in a [`GateBatch`].
@@ -59,6 +60,32 @@ pub enum BatchOp {
         /// Second qubit.
         b: QubitId,
     },
+    /// A run of adjacent single-qubit gates on one qubit, pre-multiplied
+    /// into a single 2×2 unitary by the plan-time optimizer
+    /// ([`crate::optimizer`]). Engines apply it as one kernel sweep instead
+    /// of one per constituent gate; it counts as *one* gate everywhere.
+    Fused1q {
+        /// Target qubit.
+        q: QubitId,
+        /// The product of the run's gate matrices (last gate leftmost).
+        m: Mat2,
+    },
+    /// A merged sweep of commuting diagonal operations (Z/S/T/Rz/Phase
+    /// factors and CZ sign flips), produced by the plan-time optimizer.
+    ///
+    /// Semantics are fixed exactly so every engine lands on the same bits:
+    /// per amplitude, each `(q, d0, d1)` factor multiplies in `diags`
+    /// order (`d1` when qubit `q` reads 1, else `d0`), then the amplitude
+    /// is negated when an odd number of `czs` pairs have both qubits set.
+    /// Sign flips are exact, so only the factor *order* carries FP
+    /// meaning — and it is preserved end to end, including across the
+    /// process-separated engine's wire format.
+    PhaseSweep {
+        /// Diagonal factors in merge order: `(qubit, factor-at-0, factor-at-1)`.
+        diags: Vec<(QubitId, Complex, Complex)>,
+        /// CZ sign flips (order-insensitive: negation is exact).
+        czs: Vec<(QubitId, QubitId)>,
+    },
 }
 
 impl BatchOp {
@@ -85,6 +112,16 @@ impl BatchOp {
                 f(*a);
                 f(*b);
             }
+            BatchOp::Fused1q { q, .. } => f(*q),
+            BatchOp::PhaseSweep { diags, czs } => {
+                for &(q, _, _) in diags {
+                    f(q);
+                }
+                for &(a, b) in czs {
+                    f(a);
+                    f(b);
+                }
+            }
         }
     }
 
@@ -109,6 +146,10 @@ impl BatchOp {
                 controls.len() == 1 && matches!(gate, Gate::X | Gate::Z)
             }
             BatchOp::Cnot { .. } | BatchOp::Cz { .. } | BatchOp::Swap { .. } => true,
+            // Optimizer products carry raw matrices/factors; the syntactic
+            // check cannot certify them, and the optimizer never runs for
+            // the stabilizer backend anyway.
+            BatchOp::Fused1q { .. } | BatchOp::PhaseSweep { .. } => false,
         }
     }
 
@@ -126,8 +167,28 @@ impl BatchOp {
             BatchOp::Controlled {
                 controls, target, ..
             } if controls.contains(target) => Err(crate::SimError::DuplicateQubit(*target)),
+            BatchOp::PhaseSweep { czs, .. } => match czs.iter().find(|(a, b)| a == b) {
+                Some(&(a, _)) => Err(crate::SimError::DuplicateQubit(a)),
+                None => Ok(()),
+            },
             _ => Ok(()),
         }
+    }
+
+    /// Approximate in-memory footprint of the op (stack slot plus owned
+    /// heap), used by the flush byte budget
+    /// (`qmpi::BatchPolicy::max_bytes`). An estimate, not an accounting —
+    /// the budget bounds the memory a long measurement-free gate storm can
+    /// pin, it does not meter allocations.
+    pub fn approx_bytes(&self) -> usize {
+        let heap = match self {
+            BatchOp::Controlled { controls, .. } => std::mem::size_of_val(controls.as_slice()),
+            BatchOp::PhaseSweep { diags, czs } => {
+                std::mem::size_of_val(diags.as_slice()) + std::mem::size_of_val(czs.as_slice())
+            }
+            _ => 0,
+        };
+        std::mem::size_of::<BatchOp>() + heap
     }
 }
 
@@ -139,6 +200,9 @@ impl BatchOp {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct GateBatch {
     ops: Vec<BatchOp>,
+    /// Running [`BatchOp::approx_bytes`] total, maintained on push so the
+    /// flush byte budget is O(1) to consult.
+    approx_bytes: usize,
 }
 
 impl GateBatch {
@@ -149,12 +213,25 @@ impl GateBatch {
 
     /// Appends one operation.
     pub fn push(&mut self, op: BatchOp) {
+        self.approx_bytes += op.approx_bytes();
         self.ops.push(op);
     }
 
     /// The recorded operations, in program order.
     pub fn ops(&self) -> &[BatchOp] {
         &self.ops
+    }
+
+    /// Consumes the batch into its operations, in program order (the
+    /// optimizer's entry point).
+    pub fn into_ops(self) -> Vec<BatchOp> {
+        self.ops
+    }
+
+    /// Approximate memory pinned by the recorded ops (sum of
+    /// [`BatchOp::approx_bytes`]), consulted by the flush byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
     }
 
     /// Number of recorded operations.
@@ -173,6 +250,7 @@ impl GateBatch {
     pub fn take(&mut self) -> GateBatch {
         GateBatch {
             ops: std::mem::take(&mut self.ops),
+            approx_bytes: std::mem::take(&mut self.approx_bytes),
         }
     }
 }
@@ -246,5 +324,53 @@ mod tests {
         assert_eq!(taken.len(), 2);
         assert!(matches!(taken.ops()[0], BatchOp::Gate { .. }));
         assert!(matches!(taken.ops()[1], BatchOp::Cz { .. }));
+    }
+
+    #[test]
+    fn optimizer_ops_report_their_qubits_in_order() {
+        let q = |i: u64| QubitId(i);
+        assert_eq!(
+            BatchOp::Fused1q {
+                q: q(4),
+                m: Gate::H.matrix()
+            }
+            .qubits(),
+            vec![q(4)]
+        );
+        let one = Complex::real(1.0);
+        let sweep = BatchOp::PhaseSweep {
+            diags: vec![(q(2), one, one), (q(5), one, one)],
+            czs: vec![(q(1), q(3))],
+        };
+        assert_eq!(sweep.qubits(), vec![q(2), q(5), q(1), q(3)]);
+        assert!(!sweep.is_clifford());
+        assert!(sweep.validate().is_ok());
+        let bad = BatchOp::PhaseSweep {
+            diags: vec![],
+            czs: vec![(q(1), q(1))],
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn approx_bytes_accumulates_and_drains_with_take() {
+        let mut b = GateBatch::new();
+        assert_eq!(b.approx_bytes(), 0);
+        b.push(BatchOp::Gate {
+            gate: Gate::H,
+            q: QubitId(0),
+        });
+        let one_op = b.approx_bytes();
+        assert!(one_op >= std::mem::size_of::<BatchOp>());
+        b.push(BatchOp::Controlled {
+            controls: vec![QubitId(1), QubitId(2)],
+            gate: Gate::X,
+            target: QubitId(0),
+        });
+        // The controlled op's heap payload must count beyond the stack slot.
+        assert!(b.approx_bytes() > one_op + std::mem::size_of::<BatchOp>());
+        let taken = b.take();
+        assert_eq!(b.approx_bytes(), 0);
+        assert!(taken.approx_bytes() > 0);
     }
 }

@@ -16,6 +16,11 @@
 //! - [`batch`] — [`batch::GateBatch`]: the batched gate-stream IR that
 //!   engines apply as one unit (one lock acquisition / one message round
 //!   per batch instead of per gate).
+//! - [`optimizer`] — the plan-time pass over a recorded batch: fuses runs
+//!   of adjacent 1q gates into single [`batch::BatchOp::Fused1q`] kernels
+//!   and merges commuting diagonal gates/CZs into
+//!   [`batch::BatchOp::PhaseSweep`]s, so engines sweep memory once per
+//!   fused op instead of once per recorded gate.
 //! - [`measure`] — projective measurement, joint parity, Pauli expectations.
 //! - [`sim`] — [`sim::Simulator`]: stable qubit handles over the above.
 //! - [`stabilizer`] — [`stabilizer::StabilizerSim`]: CHP tableau engine with
@@ -32,6 +37,7 @@ pub mod complex;
 pub mod gates;
 pub mod measure;
 pub mod noise;
+pub mod optimizer;
 pub mod registry;
 pub mod sharded;
 pub mod sim;
@@ -44,6 +50,7 @@ pub use batch::{BatchOp, GateBatch};
 pub use complex::Complex;
 pub use gates::{Gate, Pauli};
 pub use noise::{NoiseChannel, NoiseModel};
+pub use optimizer::optimize;
 pub use sharded::ShardedState;
 pub use sim::{QubitId, SimError, Simulator};
 pub use sparse::SparseSim;

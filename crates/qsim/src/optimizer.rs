@@ -1,0 +1,563 @@
+//! Plan-time gate fusion over a recorded [`GateBatch`].
+//!
+//! The paper's cost model bills kernel *sweeps* over huge amplitude
+//! stripes, not gates: a run of k adjacent single-qubit gates on one qubit
+//! costs k full passes over the state when replayed verbatim, but exactly
+//! one if their 2×2 matrices are multiplied first. [`optimize`] is that
+//! pass, run by the per-rank flush point on the batch it is about to
+//! dispatch — after recording, before any engine sees it — in two stages:
+//!
+//! 1. **1q run fusion.** Adjacent single-qubit gates on the same qubit
+//!    multiply into one [`BatchOp::Fused1q`] kernel. A pending run that is
+//!    diagonal commutes exactly past CNOT controls, CZ operands, and
+//!    `Controlled` controls (those ops never change the bit the factor
+//!    reads), so runs survive across interleaved 2q traffic; non-diagonal
+//!    runs flush at the first 2q op that touches their qubit. Length-1
+//!    runs re-emit the original op verbatim.
+//! 2. **Phase-sweep merging.** Diagonal items — diagonal gates, diagonal
+//!    fused runs, CZs — collect into one [`BatchOp::PhaseSweep`], a single
+//!    pass applying every factor and sign flip at once. Non-diagonal ops
+//!    on disjoint qubits pass through (they commute with a diagonal
+//!    sweep); an op that mixes a sweep qubit's bit closes the sweep.
+//!    CZ pairs cancel in parity (CZ² = I exactly), exact-identity factors
+//!    drop, and a sweep that absorbed a single op re-emits it verbatim.
+//!
+//! The pass reorders and re-associates floating-point products, so a
+//! fused stream is *not* bit-identical to its eager expansion (H·H ≠ I at
+//! the last ulp); it is equivalent to ~1e-12, and exactly equal on
+//! permutation/phase circuits (X/Z/S/CNOT/CZ/SWAP) where every factor is
+//! exact. Cross-*backend* bit-identity is preserved because every engine
+//! executes the same optimized batch with the same per-amplitude
+//! arithmetic. The caller is responsible for the fusion barriers the IR
+//! cannot see: the pass must not run under a non-ideal noise model (it
+//! reorders noise-injection sites) or for engines without amplitude
+//! kernels (stabilizer, trace) — `qmpi`'s flush point gates on both.
+
+use crate::batch::{BatchOp, GateBatch};
+use crate::complex::{Complex, C_ONE, C_ZERO};
+use crate::gates::{matmul2, Mat2};
+use crate::sim::QubitId;
+
+/// Whether `m` is exactly diagonal. The optimizer treats only *exact*
+/// zeros as structural (products of exactly-diagonal factors keep exact
+/// zeros off-diagonal), so no tolerance is involved and every backend
+/// classifies identically.
+fn is_diag_mat(m: &Mat2) -> bool {
+    m[0][1] == C_ZERO && m[1][0] == C_ZERO
+}
+
+/// A pending fusion run: adjacent 1q gates on `q`, accumulated as one
+/// matrix product. `first` is the op that opened the run, re-emitted
+/// verbatim when nothing else joined.
+struct Run {
+    q: QubitId,
+    m: Mat2,
+    count: usize,
+    first: BatchOp,
+}
+
+impl Run {
+    fn emit(self) -> BatchOp {
+        if self.count == 1 {
+            self.first
+        } else {
+            BatchOp::Fused1q {
+                q: self.q,
+                m: self.m,
+            }
+        }
+    }
+}
+
+/// Stage 1: multiply runs of adjacent 1q gates per qubit into single
+/// [`BatchOp::Fused1q`] kernels, letting diagonal runs commute past ops
+/// that do not change their qubit's bit.
+fn fuse_1q_runs(ops: Vec<BatchOp>) -> Vec<BatchOp> {
+    let mut out: Vec<BatchOp> = Vec::with_capacity(ops.len());
+    // Insertion-ordered; linear scans are fine — a rank's live-qubit
+    // working set is small, and the ops vec dominates anyway.
+    let mut runs: Vec<Run> = Vec::new();
+
+    fn flush(out: &mut Vec<BatchOp>, runs: &mut Vec<Run>, q: QubitId) {
+        if let Some(i) = runs.iter().position(|r| r.q == q) {
+            out.push(runs.remove(i).emit());
+        }
+    }
+    /// True when the pending run on `q` (if any) commutes past an op that
+    /// reads — but never changes — `q`'s bit.
+    fn passes_as_control(runs: &[Run], q: QubitId) -> bool {
+        runs.iter()
+            .find(|r| r.q == q)
+            .is_none_or(|r| is_diag_mat(&r.m))
+    }
+
+    for op in ops {
+        match op {
+            BatchOp::Gate { gate, q } => match runs.iter_mut().find(|r| r.q == q) {
+                Some(r) => {
+                    r.m = matmul2(&gate.matrix(), &r.m);
+                    r.count += 1;
+                }
+                None => runs.push(Run {
+                    q,
+                    m: gate.matrix(),
+                    count: 1,
+                    first: BatchOp::Gate { gate, q },
+                }),
+            },
+            BatchOp::Fused1q { q, m } => match runs.iter_mut().find(|r| r.q == q) {
+                Some(r) => {
+                    r.m = matmul2(&m, &r.m);
+                    r.count += 1;
+                }
+                None => runs.push(Run {
+                    q,
+                    m,
+                    count: 1,
+                    first: BatchOp::Fused1q { q, m },
+                }),
+            },
+            BatchOp::Cnot { c, t } => {
+                if !passes_as_control(&runs, c) {
+                    flush(&mut out, &mut runs, c);
+                }
+                flush(&mut out, &mut runs, t);
+                out.push(BatchOp::Cnot { c, t });
+            }
+            BatchOp::Cz { a, b } => {
+                // CZ is diagonal: diagonal runs on either operand commute.
+                if !passes_as_control(&runs, a) {
+                    flush(&mut out, &mut runs, a);
+                }
+                if !passes_as_control(&runs, b) {
+                    flush(&mut out, &mut runs, b);
+                }
+                out.push(BatchOp::Cz { a, b });
+            }
+            BatchOp::Controlled {
+                controls,
+                gate,
+                target,
+            } => {
+                for &c in &controls {
+                    if !passes_as_control(&runs, c) {
+                        flush(&mut out, &mut runs, c);
+                    }
+                }
+                flush(&mut out, &mut runs, target);
+                out.push(BatchOp::Controlled {
+                    controls,
+                    gate,
+                    target,
+                });
+            }
+            BatchOp::Swap { a, b } => {
+                flush(&mut out, &mut runs, a);
+                flush(&mut out, &mut runs, b);
+                out.push(BatchOp::Swap { a, b });
+            }
+            BatchOp::PhaseSweep { .. } => {
+                // Already-optimized input: flush everything it touches and
+                // pass it through untouched.
+                op.for_each_qubit(|q| flush(&mut out, &mut runs, q));
+                out.push(op);
+            }
+        }
+    }
+    // Leftover runs land at batch end, in run-start order.
+    for r in runs {
+        out.push(r.emit());
+    }
+    out
+}
+
+/// The open phase sweep being accumulated by stage 2.
+#[derive(Default)]
+struct Sweep {
+    diags: Vec<(QubitId, Complex, Complex)>,
+    czs: Vec<(QubitId, QubitId)>,
+    /// The original ops the sweep absorbed, for verbatim re-emission when
+    /// only one joined.
+    absorbed: Vec<BatchOp>,
+    /// Every qubit any absorbed op touches (dedup'd).
+    qubits: Vec<QubitId>,
+}
+
+impl Sweep {
+    fn touch(&mut self, q: QubitId) {
+        if !self.qubits.contains(&q) {
+            self.qubits.push(q);
+        }
+    }
+
+    fn touches(&self, q: QubitId) -> bool {
+        self.qubits.contains(&q)
+    }
+
+    fn push_diag(&mut self, q: QubitId, d0: Complex, d1: Complex, original: BatchOp) {
+        // Exact identities (e.g. a fused Z·Z run) contribute nothing.
+        if !(d0 == C_ONE && d1 == C_ONE) {
+            self.diags.push((q, d0, d1));
+        }
+        self.absorbed.push(original);
+        self.touch(q);
+    }
+
+    fn push_cz(&mut self, a: QubitId, b: QubitId) {
+        self.fold_cz(a, b);
+        self.absorbed.push(BatchOp::Cz { a, b });
+    }
+
+    /// CZ parity fold without absorbing an op (used when splicing a
+    /// pre-merged sweep's pairs in).
+    fn fold_cz(&mut self, a: QubitId, b: QubitId) {
+        let pair = (a.min(b), a.max(b));
+        // CZ² = I exactly: a repeated pair cancels instead of stacking.
+        match self.czs.iter().position(|&p| p == pair) {
+            Some(i) => {
+                self.czs.remove(i);
+            }
+            None => self.czs.push(pair),
+        }
+        self.touch(a);
+        self.touch(b);
+    }
+
+    fn close(&mut self, out: &mut Vec<BatchOp>) {
+        let sweep = std::mem::take(self);
+        if sweep.diags.is_empty() && sweep.czs.is_empty() {
+            // Everything cancelled (CZ pairs) or was an exact identity.
+            return;
+        }
+        if sweep.absorbed.len() == 1 {
+            out.extend(sweep.absorbed);
+            return;
+        }
+        out.push(BatchOp::PhaseSweep {
+            diags: sweep.diags,
+            czs: sweep.czs,
+        });
+    }
+}
+
+/// Stage 2: collect runs of commuting diagonal items into single
+/// [`BatchOp::PhaseSweep`] passes.
+fn merge_phase_sweeps(ops: Vec<BatchOp>) -> Vec<BatchOp> {
+    let mut out: Vec<BatchOp> = Vec::with_capacity(ops.len());
+    let mut sweep = Sweep::default();
+
+    for op in ops {
+        match op {
+            BatchOp::Gate { gate, q } if gate.is_diagonal() => {
+                let m = gate.matrix();
+                sweep.push_diag(q, m[0][0], m[1][1], BatchOp::Gate { gate, q });
+            }
+            BatchOp::Fused1q { q, m } if is_diag_mat(&m) => {
+                sweep.push_diag(q, m[0][0], m[1][1], BatchOp::Fused1q { q, m });
+            }
+            BatchOp::Cz { a, b } => sweep.push_cz(a, b),
+            // Everything below is non-diagonal (or not mergeable). An op
+            // that cannot change a sweep qubit's bit commutes with the
+            // (diagonal) sweep and passes through; anything else closes
+            // the sweep first.
+            BatchOp::Cnot { c, t } => {
+                if sweep.touches(t) {
+                    sweep.close(&mut out);
+                }
+                out.push(BatchOp::Cnot { c, t });
+            }
+            BatchOp::Controlled {
+                controls,
+                gate,
+                target,
+            } => {
+                // A controlled *diagonal* gate is itself diagonal and
+                // commutes; otherwise only the target's bit changes.
+                if !gate.is_diagonal() && sweep.touches(target) {
+                    sweep.close(&mut out);
+                }
+                out.push(BatchOp::Controlled {
+                    controls,
+                    gate,
+                    target,
+                });
+            }
+            BatchOp::Gate { gate, q } => {
+                if sweep.touches(q) {
+                    sweep.close(&mut out);
+                }
+                out.push(BatchOp::Gate { gate, q });
+            }
+            BatchOp::Fused1q { q, m } => {
+                if sweep.touches(q) {
+                    sweep.close(&mut out);
+                }
+                out.push(BatchOp::Fused1q { q, m });
+            }
+            BatchOp::Swap { a, b } => {
+                if sweep.touches(a) || sweep.touches(b) {
+                    sweep.close(&mut out);
+                }
+                out.push(BatchOp::Swap { a, b });
+            }
+            BatchOp::PhaseSweep { diags, czs } => {
+                // Pre-merged input is fully diagonal: fold it into the
+                // open sweep as one absorbed op (so a sweep that absorbed
+                // nothing else re-emits it verbatim).
+                sweep.absorbed.push(BatchOp::PhaseSweep {
+                    diags: diags.clone(),
+                    czs: czs.clone(),
+                });
+                for (q, d0, d1) in diags {
+                    if !(d0 == C_ONE && d1 == C_ONE) {
+                        sweep.diags.push((q, d0, d1));
+                    }
+                    sweep.touch(q);
+                }
+                for (a, b) in czs {
+                    sweep.fold_cz(a, b);
+                }
+            }
+        }
+    }
+    sweep.close(&mut out);
+    out
+}
+
+/// Runs the full plan-time pass: 1q run fusion, then phase-sweep merging.
+///
+/// The result applies the same unitary as `batch` (to FP re-association;
+/// see the module docs for the exactness contract) with at most as many —
+/// typically far fewer — kernel sweeps. Must only be called under the
+/// fusion barriers the caller enforces: ideal noise model, amplitude-class
+/// engine, and never across measurements/ownership changes (those are
+/// flush points, so they cannot appear inside one batch by construction).
+pub fn optimize(batch: GateBatch) -> GateBatch {
+    let ops = merge_phase_sweeps(fuse_1q_runs(batch.into_ops()));
+    let mut out = GateBatch::new();
+    for op in ops {
+        out.push(op);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::Gate;
+
+    fn q(i: u64) -> QubitId {
+        QubitId(i)
+    }
+
+    fn gate(g: Gate, t: u64) -> BatchOp {
+        BatchOp::Gate { gate: g, q: q(t) }
+    }
+
+    fn optimize_ops(ops: Vec<BatchOp>) -> Vec<BatchOp> {
+        let mut b = GateBatch::new();
+        for op in ops {
+            b.push(op);
+        }
+        optimize(b).into_ops()
+    }
+
+    #[test]
+    fn adjacent_1q_gates_fuse_into_one_kernel() {
+        let out = optimize_ops(vec![
+            gate(Gate::H, 0),
+            gate(Gate::Ry(0.3), 0),
+            gate(Gate::H, 0),
+        ]);
+        assert_eq!(out.len(), 1);
+        let BatchOp::Fused1q { q: tq, m } = &out[0] else {
+            panic!("expected a fused kernel, got {out:?}");
+        };
+        assert_eq!(*tq, q(0));
+        let want = matmul2(
+            &Gate::H.matrix(),
+            &matmul2(&Gate::Ry(0.3).matrix(), &Gate::H.matrix()),
+        );
+        assert_eq!(*m, want);
+    }
+
+    #[test]
+    fn singleton_runs_re_emit_the_original_op() {
+        let out = optimize_ops(vec![gate(Gate::H, 0), gate(Gate::H, 1)]);
+        assert_eq!(
+            out,
+            vec![gate(Gate::H, 0), gate(Gate::H, 1)],
+            "lone gates must pass through verbatim"
+        );
+    }
+
+    #[test]
+    fn non_diagonal_run_flushes_at_a_touching_cnot() {
+        let out = optimize_ops(vec![
+            gate(Gate::H, 0),
+            gate(Gate::Ry(0.3), 0),
+            BatchOp::Cnot { c: q(0), t: q(1) },
+            gate(Gate::H, 0),
+        ]);
+        // Ry·H is not diagonal, so the run flushes (fused) before the
+        // CNOT that reads qubit 0; the trailing H stays a lone verbatim
+        // gate.
+        assert!(matches!(out[0], BatchOp::Fused1q { .. }));
+        assert!(matches!(out[1], BatchOp::Cnot { .. }));
+        assert_eq!(out[2], gate(Gate::H, 0));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn diagonal_run_commutes_past_cnot_control_and_keeps_fusing() {
+        let out = optimize_ops(vec![
+            gate(Gate::T, 0),
+            BatchOp::Cnot { c: q(0), t: q(1) },
+            gate(Gate::T, 0),
+        ]);
+        // T commutes past the control, meets the second T, and the fused
+        // T·T (diagonal) becomes a single diagonal item — emitted after
+        // the CNOT it commuted past.
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0], BatchOp::Cnot { .. }));
+        assert!(matches!(out[1], BatchOp::Fused1q { .. }));
+    }
+
+    #[test]
+    fn diagonal_gates_and_czs_merge_into_one_sweep() {
+        let out = optimize_ops(vec![
+            gate(Gate::T, 0),
+            BatchOp::Cz { a: q(1), b: q(2) },
+            gate(Gate::Rz(0.7), 3),
+            gate(Gate::S, 4),
+        ]);
+        assert_eq!(out.len(), 1);
+        let BatchOp::PhaseSweep { diags, czs } = &out[0] else {
+            panic!("expected one merged sweep, got {out:?}");
+        };
+        assert_eq!(diags.len(), 3);
+        assert_eq!(diags[0].0, q(0));
+        assert_eq!(diags[1].0, q(3));
+        assert_eq!(diags[2].0, q(4));
+        assert_eq!(czs, &vec![(q(1), q(2))]);
+    }
+
+    #[test]
+    fn repeated_cz_pairs_cancel_in_parity() {
+        let out = optimize_ops(vec![
+            BatchOp::Cz { a: q(0), b: q(1) },
+            gate(Gate::T, 2),
+            BatchOp::Cz { a: q(1), b: q(0) },
+        ]);
+        // The two CZs cancel exactly; only the T survives, re-emitted
+        // verbatim (single absorbed op)... except the sweep absorbed three
+        // ops, so it stays a sweep with the lone factor.
+        assert_eq!(out.len(), 1);
+        let BatchOp::PhaseSweep { diags, czs } = &out[0] else {
+            panic!("expected a sweep, got {out:?}");
+        };
+        assert_eq!(diags.len(), 1);
+        assert!(czs.is_empty());
+    }
+
+    #[test]
+    fn lone_diagonal_gate_passes_through_verbatim() {
+        // Disjoint qubits so stage 1 leaves two singleton runs; the H
+        // (non-diagonal, disjoint) commutes past the open T sweep, which
+        // closes at batch end and re-emits its single op verbatim.
+        let out = optimize_ops(vec![gate(Gate::T, 0), gate(Gate::H, 1)]);
+        assert_eq!(out, vec![gate(Gate::H, 1), gate(Gate::T, 0)]);
+    }
+
+    #[test]
+    fn sweep_closes_when_an_op_mixes_a_sweep_qubit() {
+        let out = optimize_ops(vec![
+            gate(Gate::T, 0),
+            gate(Gate::T, 1),
+            BatchOp::Cnot { c: q(2), t: q(0) },
+            gate(Gate::T, 0),
+        ]);
+        // Stage 1 flushes the T0 run at the CNOT target (emitted
+        // verbatim), while the diagonal T1 run and the trailing T0 drift
+        // to batch end and merge into one sweep in stage 2.
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], gate(Gate::T, 0));
+        assert!(matches!(out[1], BatchOp::Cnot { .. }));
+        let BatchOp::PhaseSweep { diags, czs } = &out[2] else {
+            panic!("expected trailing sweep, got {out:?}");
+        };
+        assert_eq!(diags.len(), 2);
+        assert!(czs.is_empty());
+    }
+
+    #[test]
+    fn fused_identity_runs_vanish() {
+        let out = optimize_ops(vec![
+            gate(Gate::Z, 0),
+            gate(Gate::Z, 0),
+            gate(Gate::X, 1),
+            gate(Gate::X, 1),
+        ]);
+        // Z·Z = I and X·X = I exactly (0/±1 entries): both runs fuse to
+        // exact identities. The diagonal one drops in stage 2; the X·X
+        // identity is not diagonal-classified... it is: the product has
+        // exact zeros off-diagonal, so it drops too.
+        assert!(
+            out.is_empty(),
+            "exact identity runs must vanish, got {out:?}"
+        );
+    }
+
+    #[test]
+    fn disjoint_non_diagonal_ops_pass_an_open_sweep() {
+        let out = optimize_ops(vec![gate(Gate::T, 0), gate(Gate::H, 1), gate(Gate::T, 2)]);
+        // H on qubit 1 commutes with the diagonal sweep on {0,2}; the
+        // sweep closes at batch end, after the H.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], gate(Gate::H, 1));
+        assert!(matches!(out[1], BatchOp::PhaseSweep { .. }));
+    }
+
+    #[test]
+    fn swap_flushes_runs_on_both_operands() {
+        let out = optimize_ops(vec![
+            gate(Gate::T, 0),
+            gate(Gate::T, 0),
+            BatchOp::Swap { a: q(0), b: q(1) },
+        ]);
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0], BatchOp::Fused1q { .. }));
+        assert!(matches!(out[1], BatchOp::Swap { .. }));
+    }
+
+    #[test]
+    fn optimized_stream_never_has_more_ops_than_the_input() {
+        let circuits: Vec<Vec<BatchOp>> = vec![
+            vec![
+                gate(Gate::H, 0),
+                BatchOp::Cnot { c: q(0), t: q(1) },
+                gate(Gate::T, 1),
+                gate(Gate::Tdg, 1),
+                BatchOp::Cz { a: q(0), b: q(1) },
+            ],
+            vec![
+                BatchOp::Controlled {
+                    controls: vec![q(0), q(1)],
+                    gate: Gate::X,
+                    target: q(2),
+                },
+                gate(Gate::Rz(0.2), 0),
+                BatchOp::Swap { a: q(1), b: q(2) },
+            ],
+            vec![BatchOp::PhaseSweep {
+                diags: vec![(q(0), C_ONE, C_ONE)],
+                czs: vec![(q(1), q(2))],
+            }],
+        ];
+        for ops in circuits {
+            let n = ops.len();
+            let out = optimize_ops(ops);
+            assert!(out.len() <= n, "optimizer grew the stream: {out:?}");
+        }
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::apply;
 use crate::complex::Complex;
-use crate::gates::{Gate, Mat4};
+use crate::gates::{Gate, Mat2, Mat4};
 use crate::measure::{self, PauliTerm};
 use crate::noise::{ChannelAction, NoiseModel, NoiseState, OpClass};
 use crate::state::State;
@@ -167,6 +167,55 @@ impl Simulator {
         apply::apply_1q(&mut self.state, pos, &gate.matrix());
         self.gate_count += 1;
         self.inject(OpClass::Gate1q, &[pos]);
+        Ok(())
+    }
+
+    /// Applies a pre-fused 2×2 unitary — a run of adjacent 1q gates
+    /// multiplied at plan time ([`crate::batch::BatchOp::Fused1q`]).
+    /// Executes through the same dense kernel as [`Simulator::apply`] with
+    /// `Gate::U(m)`, so fusion cannot change per-pair arithmetic; counted
+    /// as one gate (the counters report kernel sweeps, which is what the
+    /// fused plan reduces).
+    pub fn apply_fused_1q(&mut self, q: QubitId, m: &Mat2) -> Result<(), SimError> {
+        let pos = self.pos(q)?;
+        apply::apply_1q(&mut self.state, pos, m);
+        self.gate_count += 1;
+        self.inject(OpClass::Gate1q, &[pos]);
+        Ok(())
+    }
+
+    /// Applies a merged diagonal sweep
+    /// ([`crate::batch::BatchOp::PhaseSweep`]) in one pass over the state:
+    /// per amplitude, each `(q, d0, d1)` factor multiplies sequentially in
+    /// slice order (`d1` when qubit `q` reads 1), then the amplitude is
+    /// negated when an odd number of `czs` pairs have both qubits set.
+    /// Counted as one gate.
+    pub fn apply_phase_sweep(
+        &mut self,
+        diags: &[(QubitId, Complex, Complex)],
+        czs: &[(QubitId, QubitId)],
+    ) -> Result<(), SimError> {
+        let mut factors = Vec::with_capacity(diags.len());
+        let mut touched = Vec::with_capacity(diags.len() + 2 * czs.len());
+        for &(q, d0, d1) in diags {
+            let pos = self.pos(q)?;
+            factors.push((1usize << pos, d0, d1));
+            touched.push(pos);
+        }
+        let mut flips = Vec::with_capacity(czs.len());
+        for &(a, b) in czs {
+            if a == b {
+                return Err(SimError::DuplicateQubit(a));
+            }
+            let pa = self.pos(a)?;
+            let pb = self.pos(b)?;
+            flips.push((1usize << pa) | (1usize << pb));
+            touched.push(pa);
+            touched.push(pb);
+        }
+        crate::stripe::phase_sweep(self.state.amplitudes_mut(), 0, &factors, &flips);
+        self.gate_count += 1;
+        self.inject(OpClass::Gate1q, &touched);
         Ok(())
     }
 

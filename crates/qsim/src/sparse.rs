@@ -459,6 +459,60 @@ impl SparseSim {
         Ok(())
     }
 
+    /// Applies a pre-fused 2×2 unitary ([`crate::batch::BatchOp::Fused1q`])
+    /// through the same pair kernel as [`SparseSim::apply`]; one gate.
+    pub fn apply_fused_1q(&mut self, q: QubitId, m: &Mat2) -> Result<(), SimError> {
+        let pos = self.pos(q)?;
+        self.apply_1q_at(pos, m);
+        self.gate_count += 1;
+        self.inject(OpClass::Gate1q, &[pos]);
+        Ok(())
+    }
+
+    /// Applies a merged diagonal sweep
+    /// ([`crate::batch::BatchOp::PhaseSweep`]) in one pass over the stored
+    /// entries: factors multiply sequentially in slice order, then odd
+    /// CZ-parity negates — the identical per-amplitude sequence the dense
+    /// engine runs (absent entries are exact zeros and stay zero under
+    /// unit-modulus factors, so nothing needs pruning). One gate.
+    pub fn apply_phase_sweep(
+        &mut self,
+        diags: &[(QubitId, Complex, Complex)],
+        czs: &[(QubitId, QubitId)],
+    ) -> Result<(), SimError> {
+        let mut factors = Vec::with_capacity(diags.len());
+        let mut touched = Vec::with_capacity(diags.len() + 2 * czs.len());
+        for &(q, d0, d1) in diags {
+            let pos = self.pos(q)?;
+            factors.push((pos, d0, d1));
+            touched.push(pos);
+        }
+        let mut flips = Vec::with_capacity(czs.len());
+        for &(a, b) in czs {
+            if a == b {
+                return Err(SimError::DuplicateQubit(a));
+            }
+            let pa = self.pos(a)?;
+            let pb = self.pos(b)?;
+            flips.push((pa, pb));
+            touched.push(pa);
+            touched.push(pb);
+        }
+        for (k, amp) in self.amps.iter_mut() {
+            let mut v = *amp;
+            for &(pos, d0, d1) in &factors {
+                v *= if k.bit(pos) { d1 } else { d0 };
+            }
+            if flips.iter().filter(|&&(a, b)| k.bit(a) && k.bit(b)).count() % 2 == 1 {
+                v = -v;
+            }
+            *amp = v;
+        }
+        self.gate_count += 1;
+        self.inject(OpClass::Gate1q, &touched);
+        Ok(())
+    }
+
     /// Applies a controlled single-qubit gate (any number of controls).
     pub fn apply_controlled(
         &mut self,

@@ -23,6 +23,7 @@
 //! gate circuits.
 
 use crate::complex::{Complex, C_ZERO};
+use crate::gates::Mat2;
 use crate::measure::PauliTerm;
 
 /// Yields the amplitude-pair indices for iteration `i` of a pair loop over
@@ -101,6 +102,55 @@ pub fn swap_across_mixed(low: &mut [Complex], high: &mut [Complex], abit: usize)
         if i & abit != 0 {
             std::mem::swap(&mut low[i], &mut high[i ^ abit]);
         }
+    }
+}
+
+/// Applies an arbitrary 2×2 unitary to every within-stripe amplitude pair
+/// `(i, i | tbit)` whose low member satisfies the control mask `c_lo` —
+/// the kernel behind fused 1q runs ([`crate::batch::BatchOp::Fused1q`]).
+/// Performs the exact per-pair arithmetic of the dense
+/// [`crate::apply::apply_1q`] kernel (two reads, then two multiply-add
+/// rows in matrix order), so fused application stays bit-identical across
+/// dense, lock-striped, and remote-sharded engines.
+pub fn pair_unitary(amps: &mut [Complex], c_lo: usize, tbit: usize, m: &Mat2) {
+    pair_within(amps, c_lo, tbit, |a0, a1| {
+        let (x0, x1) = (*a0, *a1);
+        *a0 = m[0][0] * x0 + m[0][1] * x1;
+        *a1 = m[1][0] * x0 + m[1][1] * x1;
+    });
+}
+
+/// One-pass diagonal sweep (the [`crate::batch::BatchOp::PhaseSweep`]
+/// kernel). For every amplitude, the global basis index is `base | i`;
+/// each `(mask, d0, d1)` factor multiplies **sequentially in slice
+/// order** — `d1` when `g & mask != 0`, else `d0` — and the amplitude is
+/// finally negated when an odd number of `flips` masks are fully set
+/// (`g & f == f`).
+///
+/// The factor order is the only floating-point degree of freedom (the
+/// negation is exact), so callers on different deployments must present
+/// factors in the same order to stay bit-identical. A factor constant
+/// over the stripe (e.g. a shard-selecting qubit's contribution on a
+/// remote worker) is encoded as `(0, c, c)` — `g & 0` is never nonzero,
+/// so `d0 = c` always applies and the multiply sequence matches the
+/// global-index run exactly. A flip mask of `0` is always fully set and
+/// toggles the whole stripe.
+pub fn phase_sweep(
+    amps: &mut [Complex],
+    base: usize,
+    factors: &[(usize, Complex, Complex)],
+    flips: &[usize],
+) {
+    for (i, a) in amps.iter_mut().enumerate() {
+        let g = base | i;
+        let mut v = *a;
+        for &(mask, d0, d1) in factors {
+            v *= if g & mask != 0 { d1 } else { d0 };
+        }
+        if flips.iter().filter(|&&f| g & f == f).count() % 2 == 1 {
+            v = -v;
+        }
+        *a = v;
     }
 }
 
@@ -347,6 +397,77 @@ mod tests {
         // Untouched members stay put.
         assert_eq!(low[0], Complex::real(0.0));
         assert_eq!(high[1], Complex::real(11.0));
+    }
+
+    #[test]
+    fn pair_unitary_matches_dense_1q_kernel_bitwise() {
+        let raw: Vec<Complex> = (0..8)
+            .map(|i| Complex::new(0.1 + i as f64, 0.7 - (i as f64) * 0.2))
+            .collect();
+        let norm: f64 = raw.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        let amps: Vec<Complex> = raw.iter().map(|a| a.scale(1.0 / norm)).collect();
+        let m = crate::gates::matmul2(&Gate::H.matrix(), &Gate::T.matrix());
+        let mut dense = crate::state::State::from_amplitudes(amps.clone());
+        crate::apply::apply_1q(&mut dense, 1, &m);
+        let mut striped = amps;
+        pair_unitary(&mut striped, 0, 1 << 1, &m);
+        for (i, &a) in striped.iter().enumerate() {
+            assert_eq!(a, dense.amplitude(i), "amp[{i}]");
+        }
+    }
+
+    #[test]
+    fn phase_sweep_applies_factors_in_order_and_flips_by_parity() {
+        // S on qubit 0, T on qubit 1, CZ(0,1) over a 2-qubit stripe at
+        // base 0: check each amplitude against the hand-applied sequence.
+        let amps: Vec<Complex> = vec![
+            Complex::new(0.5, 0.1),
+            Complex::new(-0.3, 0.4),
+            Complex::new(0.2, -0.6),
+            Complex::new(0.1, 0.3),
+        ];
+        let s = Gate::S.matrix();
+        let t = Gate::T.matrix();
+        let factors = [(0b01, s[0][0], s[1][1]), (0b10, t[0][0], t[1][1])];
+        let flips = [0b11usize];
+        let mut swept = amps.clone();
+        phase_sweep(&mut swept, 0, &factors, &flips);
+        for (g, &a) in amps.iter().enumerate() {
+            let mut want = a;
+            for &(mask, d0, d1) in &factors {
+                want *= if g & mask != 0 { d1 } else { d0 };
+            }
+            if g & 0b11 == 0b11 {
+                want = -want;
+            }
+            assert_eq!(swept[g], want, "amp[{g}]");
+        }
+    }
+
+    #[test]
+    fn phase_sweep_constant_factor_and_base_offset() {
+        // A stripe at base 4 (shard bit 2 set): qubit 2's d1 is constant
+        // over the stripe and can equivalently be encoded as (0, d1, d1);
+        // both encodings must produce bit-identical amplitudes.
+        let t = Gate::T.matrix();
+        let amps: Vec<Complex> = (0..4)
+            .map(|i| Complex::new(0.3 - i as f64 * 0.1, 0.2 * i as f64))
+            .collect();
+        let mut global = amps.clone();
+        phase_sweep(&mut global, 4, &[(0b100, t[0][0], t[1][1])], &[]);
+        let mut local = amps.clone();
+        phase_sweep(&mut local, 0, &[(0, t[1][1], t[1][1])], &[]);
+        assert_eq!(global, local);
+        // A flip mask of 0 negates the entire stripe.
+        let mut flipped = amps.clone();
+        phase_sweep(&mut flipped, 0, &[], &[0]);
+        for (i, &a) in amps.iter().enumerate() {
+            assert_eq!(flipped[i], -a);
+        }
+        // An even flip count cancels exactly.
+        let mut twice = amps.clone();
+        phase_sweep(&mut twice, 0, &[], &[0, 0]);
+        assert_eq!(twice, amps);
     }
 
     #[test]

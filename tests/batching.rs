@@ -20,19 +20,35 @@
 mod common;
 
 use common::conformance::{run_circuit, Outcome, Step};
-use qmpi::{run_with_config, BackendKind, QmpiConfig};
+use qmpi::{run_with_config, BackendKind, BatchPolicy, QmpiConfig};
 use qsim::{Gate, NoiseModel};
 
 const N_QUBITS: usize = 6;
 
-/// Runs `steps` on one rank of `kind` with batching on or off and captures
-/// every observable the backend exposes.
+/// The batched mode under test here: batching on, plan-time optimizer
+/// *off*. This suite's contract is bit-identity to the eager path, which
+/// fusion intentionally trades away (FP re-association); the fusion
+/// dimension has its own suite (`tests/fusion.rs`).
+fn unfused_batching() -> BatchPolicy {
+    BatchPolicy {
+        fuse: false,
+        ..BatchPolicy::default()
+    }
+}
+
+/// Runs `steps` on one rank of `kind` with (unfused) batching on or off
+/// and captures every observable the backend exposes.
 fn run_one(kind: BackendKind, batching: bool, steps: &[Step], noise: NoiseModel) -> Outcome {
+    let policy = if batching {
+        unfused_batching()
+    } else {
+        BatchPolicy::eager()
+    };
     let cfg = QmpiConfig::new()
         .seed(42)
         .backend(kind)
         .noise(noise)
-        .batching(batching);
+        .batch(policy);
     run_circuit(cfg, N_QUBITS, steps, kind == BackendKind::Stabilizer).0
 }
 
@@ -194,7 +210,9 @@ fn classical_send_flushes_pending_gates_first() {
     let cfg = QmpiConfig::new()
         .seed(4)
         .backend(BackendKind::StateVector)
-        .batching(true);
+        // Unfused: the optimizer would cancel the H·H pair below to zero
+        // sweeps, and this test counts landed gates.
+        .batch(unfused_batching());
     let out = run_with_config(2, cfg, |ctx| {
         if ctx.rank() == 0 {
             let q = ctx.alloc_one();

@@ -19,7 +19,7 @@
 //! including the last ulp of every nonzero amplitude, expectation value,
 //! and noise-perturbed trajectory, must match exactly.
 
-use qmpi::{run_with_config, BackendKind, QmpiConfig, QmpiRank};
+use qmpi::{run_with_config, BackendKind, BatchPolicy, QmpiConfig, QmpiRank};
 use qsim::{Gate, NoiseModel, Pauli};
 
 /// One step of a circuit (indices reduced mod the qubit count).
@@ -175,7 +175,9 @@ pub fn run_circuit(
 
 /// The cross-backend oracle: `kind` must produce an [`Outcome`]
 /// bit-identical (under the canonical rule) to the dense state-vector
-/// engine on the same seed, circuit, noise model, and batching mode.
+/// engine on the same seed, circuit, noise model, and [`BatchPolicy`] —
+/// including with the plan-time optimizer on, where every backend
+/// executes the same fused stream with the same per-amplitude arithmetic.
 /// Only meaningful for amplitude-class backends — both sides must
 /// actually expose amplitudes, and the helper enforces that.
 pub fn assert_matches_dense_oracle(
@@ -184,14 +186,14 @@ pub fn assert_matches_dense_oracle(
     steps: &[Step],
     noise: NoiseModel,
     seed: u64,
-    batching: bool,
+    policy: BatchPolicy,
 ) {
     let cfg = |k: BackendKind| {
         QmpiConfig::new()
             .seed(seed)
             .backend(k)
             .noise(noise)
-            .batching(batching)
+            .batch(policy)
     };
     let (dense, _) = run_circuit(cfg(BackendKind::StateVector), n_qubits, steps, false);
     let (other, _) = run_circuit(cfg(kind), n_qubits, steps, false);
@@ -201,8 +203,70 @@ pub fn assert_matches_dense_oracle(
     );
     assert_eq!(
         dense, other,
-        "{kind} diverged from the dense state-vector oracle (seed {seed})"
+        "{kind} diverged from the dense state-vector oracle (seed {seed}, {policy:?})"
     );
+}
+
+/// The fusion-vs-eager oracle: the same circuit run unfused-eager and
+/// fused-batched on `kind` must agree on every amplitude and expectation
+/// within `tol` (bitwise under the canonical rule when `tol == 0.0` —
+/// permutation/phase circuits, whose fused kernels stay exact in IEEE
+/// arithmetic), with identical measurement outcomes, while the fused run
+/// applies *no more* kernel sweeps. `tol > 0.0` covers general Clifford+T
+/// streams, where fusing re-associates floating-point matrix products.
+pub fn assert_fused_matches_unfused(
+    kind: BackendKind,
+    n_qubits: usize,
+    steps: &[Step],
+    seed: u64,
+    tol: f64,
+) {
+    let cfg = |policy: BatchPolicy| {
+        QmpiConfig::new()
+            .seed(seed)
+            .backend(kind)
+            .noise(NoiseModel::ideal())
+            .batch(policy)
+    };
+    let (eager, _) = run_circuit(cfg(BatchPolicy::eager()), n_qubits, steps, false);
+    let (fused, _) = run_circuit(cfg(BatchPolicy::default()), n_qubits, steps, false);
+    assert!(
+        !eager.amps.is_empty(),
+        "{kind}: the fusion oracle only applies to amplitude-class backends"
+    );
+    assert!(
+        fused.counts.0 <= eager.counts.0,
+        "{kind}: fusion must never add kernel sweeps ({} fused vs {} eager)",
+        fused.counts.0,
+        eager.counts.0
+    );
+    assert_eq!(
+        fused.outcomes, eager.outcomes,
+        "{kind}: measurement trajectory diverged (seed {seed})"
+    );
+    assert_eq!(fused.counts.1, eager.counts.1, "{kind}: measurement count");
+    if tol == 0.0 {
+        assert_eq!(fused.amps, eager.amps, "{kind}: exact circuit diverged");
+        assert_eq!(fused.expectations, eager.expectations, "{kind}");
+    } else {
+        for (i, (f, e)) in fused.amps.iter().zip(&eager.amps).enumerate() {
+            let d_re = (f64::from_bits(f.0) - f64::from_bits(e.0)).abs();
+            let d_im = (f64::from_bits(f.1) - f64::from_bits(e.1)).abs();
+            assert!(
+                d_re <= tol && d_im <= tol,
+                "{kind}: amp[{i}] off by ({d_re:e}, {d_im:e}) > {tol:e}"
+            );
+        }
+        for (i, (f, e)) in fused
+            .expectations
+            .iter()
+            .zip(&eager.expectations)
+            .enumerate()
+        {
+            let d = (f64::from_bits(*f) - f64::from_bits(*e)).abs();
+            assert!(d <= tol, "{kind}: expectation[{i}] off by {d:e} > {tol:e}");
+        }
+    }
 }
 
 pub mod strategies {

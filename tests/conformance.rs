@@ -19,10 +19,25 @@
 mod common;
 
 use common::conformance::{assert_matches_dense_oracle, ensure_worker_bin, Step};
-use qmpi::BackendKind;
+use qmpi::{BackendKind, BatchPolicy};
 use qsim::{Gate, NoiseModel};
 
 const N_QUBITS: usize = 10;
+
+/// The batch-policy dimension of the sweep: eager dispatch, unfused
+/// batching, and the fused default — fusion-off stays bit-identical to
+/// the pre-fusion engines, fusion-on must agree because every backend
+/// executes the same optimized stream.
+fn policies() -> [BatchPolicy; 3] {
+    [
+        BatchPolicy::eager(),
+        BatchPolicy {
+            fuse: false,
+            ..BatchPolicy::default()
+        },
+        BatchPolicy::default(),
+    ]
+}
 
 /// The in-process amplitude-class backends (cheap enough to sweep widely).
 fn local_amplitude_kinds() -> [BackendKind; 3] {
@@ -57,8 +72,8 @@ fn fixed_circuit() -> Vec<Step> {
 fn fixed_circuit_matches_dense_oracle_on_every_local_kind() {
     let steps = fixed_circuit();
     for kind in local_amplitude_kinds() {
-        for batching in [false, true] {
-            assert_matches_dense_oracle(kind, N_QUBITS, &steps, NoiseModel::ideal(), 42, batching);
+        for policy in policies() {
+            assert_matches_dense_oracle(kind, N_QUBITS, &steps, NoiseModel::ideal(), 42, policy);
         }
     }
 }
@@ -70,7 +85,14 @@ fn fixed_circuit_matches_dense_oracle_under_pauli_noise() {
         NoiseModel::depolarizing(0.25).with_measurement(qsim::NoiseChannel::Dephasing { p: 0.3 });
     for kind in local_amplitude_kinds() {
         for seed in [1u64, 7, 42] {
-            assert_matches_dense_oracle(kind, N_QUBITS, &steps, noise, seed, true);
+            assert_matches_dense_oracle(
+                kind,
+                N_QUBITS,
+                &steps,
+                noise,
+                seed,
+                BatchPolicy::default(),
+            );
         }
     }
 }
@@ -81,7 +103,14 @@ fn fixed_circuit_matches_dense_oracle_under_amplitude_damping() {
     let noise = NoiseModel::amplitude_damping(0.2);
     for kind in local_amplitude_kinds() {
         for seed in [3u64, 19] {
-            assert_matches_dense_oracle(kind, N_QUBITS, &steps, noise, seed, true);
+            assert_matches_dense_oracle(
+                kind,
+                N_QUBITS,
+                &steps,
+                noise,
+                seed,
+                BatchPolicy::default(),
+            );
         }
     }
 }
@@ -93,14 +122,21 @@ fn fixed_circuit_matches_dense_oracle_over_remote_workers() {
     ensure_worker_bin();
     let steps = fixed_circuit();
     let kind = BackendKind::RemoteSharded { shards: 2 };
-    assert_matches_dense_oracle(kind, N_QUBITS, &steps, NoiseModel::ideal(), 42, true);
+    assert_matches_dense_oracle(
+        kind,
+        N_QUBITS,
+        &steps,
+        NoiseModel::ideal(),
+        42,
+        BatchPolicy::default(),
+    );
     assert_matches_dense_oracle(
         kind,
         N_QUBITS,
         &steps,
         NoiseModel::depolarizing(0.2),
         7,
-        true,
+        BatchPolicy::default(),
     );
     assert_matches_dense_oracle(
         kind,
@@ -108,7 +144,7 @@ fn fixed_circuit_matches_dense_oracle_over_remote_workers() {
         &steps,
         NoiseModel::amplitude_damping(0.15),
         11,
-        false,
+        BatchPolicy::eager(),
     );
 }
 
@@ -129,11 +165,12 @@ mod proptests {
             steps in arb_steps(N_QUBITS, true, 8..30),
             seed in 0u64..1000,
             p in 0.0f64..0.4,
-            batching in any::<bool>(),
+            pol in 0usize..3,
         ) {
+            let policy = policies()[pol];
             for kind in local_amplitude_kinds() {
-                assert_matches_dense_oracle(kind, N_QUBITS, &steps, NoiseModel::ideal(), seed, batching);
-                assert_matches_dense_oracle(kind, N_QUBITS, &steps, NoiseModel::depolarizing(p), seed, batching);
+                assert_matches_dense_oracle(kind, N_QUBITS, &steps, NoiseModel::ideal(), seed, policy);
+                assert_matches_dense_oracle(kind, N_QUBITS, &steps, NoiseModel::depolarizing(p), seed, policy);
             }
         }
 
@@ -147,7 +184,8 @@ mod proptests {
         ) {
             for kind in local_amplitude_kinds() {
                 assert_matches_dense_oracle(
-                    kind, N_QUBITS, &steps, NoiseModel::amplitude_damping(gamma), seed, true,
+                    kind, N_QUBITS, &steps, NoiseModel::amplitude_damping(gamma), seed,
+                    BatchPolicy::default(),
                 );
             }
         }
@@ -167,8 +205,12 @@ mod proptests {
         ) {
             ensure_worker_bin();
             let kind = BackendKind::RemoteSharded { shards: 2 };
-            assert_matches_dense_oracle(kind, N_QUBITS, &steps, NoiseModel::ideal(), seed, true);
-            assert_matches_dense_oracle(kind, N_QUBITS, &steps, NoiseModel::depolarizing(p), seed, true);
+            assert_matches_dense_oracle(
+                kind, N_QUBITS, &steps, NoiseModel::ideal(), seed, BatchPolicy::default(),
+            );
+            assert_matches_dense_oracle(
+                kind, N_QUBITS, &steps, NoiseModel::depolarizing(p), seed, BatchPolicy::default(),
+            );
         }
     }
 }

@@ -16,8 +16,8 @@ use qmpi::{
 };
 use qsim::Gate;
 
-/// Shorthand for the unified construction path over the default (in-process)
-/// transport — what `BackendKind::build_with_noise` used to be.
+/// Shorthand for the unified construction path over the default
+/// (in-process) transport.
 fn build(
     kind: BackendKind,
     seed: u64,
