@@ -343,6 +343,104 @@ fn bench_batched_gates(c: &mut Criterion) {
     group.finish();
 }
 
+/// The coalescing acceptance workload: 4 ranks storm the remote engine
+/// with sub-budget flushes (the service-shaped pattern — many tenants,
+/// small frequent flushes), window-synced every round. With coalescing
+/// on, the controller merges the ranks' plans into one shared frame per
+/// worker per window — one command fan-out round where the per-rank path
+/// pays four. The counter assertion proves the halving on this storm
+/// before anything is timed; the timing then prices what a saved
+/// fan-out round is worth per transport hop.
+fn bench_coalesced_gates(c: &mut Criterion) {
+    use qmpi::{build_backend_with_policy, QuantumBackend};
+    use qsim::{BatchOp, Gate, GateBatch, NoiseModel, QubitId};
+    use std::sync::Arc;
+
+    let mut group = c.benchmark_group("backend/coalesced_gates");
+    group.sample_size(10);
+    let ranks = 4usize;
+    let qubits_per_rank = 2usize;
+    let rounds = if quick() { 4 } else { 16 };
+    let build = |policy: BatchPolicy| -> Arc<dyn QuantumBackend> {
+        build_backend_with_policy(
+            BackendKind::RemoteSharded { shards: 4 },
+            TransportKind::InProcess,
+            1,
+            NoiseModel::ideal(),
+            policy,
+        )
+        .expect("backend builds")
+    };
+    let alloc_owned = move |backend: &Arc<dyn QuantumBackend>| -> Vec<Vec<QubitId>> {
+        (0..ranks)
+            .map(|r| backend.alloc(r, qubits_per_rank))
+            .collect()
+    };
+    let storm = move |backend: &Arc<dyn QuantumBackend>, owned: &[Vec<QubitId>]| {
+        for round in 0..rounds {
+            for (r, qs) in owned.iter().enumerate() {
+                let mut b = GateBatch::new();
+                b.push(BatchOp::Gate {
+                    gate: Gate::Ry(0.1 + round as f64 * 0.01),
+                    q: qs[round % qs.len()],
+                });
+                b.push(BatchOp::Cnot { c: qs[0], t: qs[1] });
+                b.push(BatchOp::Gate {
+                    gate: Gate::Rz(-0.05),
+                    q: qs[1],
+                });
+                backend.apply_batch(r, &b).unwrap();
+            }
+            backend.sync_coalesced().unwrap();
+        }
+    };
+    let modes = [
+        ("coalesced", BatchPolicy::default()),
+        (
+            "per-rank",
+            BatchPolicy {
+                coalesce: false,
+                ..BatchPolicy::default()
+            },
+        ),
+    ];
+    // Counter proof ahead of the timing: the merged path must collapse
+    // the four concurrent flushes per window into (at most) half the
+    // per-rank path's command rounds, or "coalesced" is a lie. The
+    // allocation rounds (eager on both paths) are differenced away.
+    let rounds_of = |policy: BatchPolicy| {
+        let backend = build(policy);
+        let owned = alloc_owned(&backend);
+        let before = backend
+            .transport_stats()
+            .expect("remote transport")
+            .command_rounds;
+        storm(&backend, &owned);
+        backend
+            .transport_stats()
+            .expect("remote transport")
+            .command_rounds
+            - before
+    };
+    let (merged, per_rank) = (rounds_of(modes[0].1), rounds_of(modes[1].1));
+    assert!(
+        2 * merged <= per_rank,
+        "coalescing must at least halve command rounds ({merged} vs {per_rank})"
+    );
+    for (mode, policy) in modes {
+        let label = format!("remote-sharded-{mode}");
+        let id = format!("{}q_{}r", ranks * qubits_per_rank, ranks);
+        group.bench_with_input(BenchmarkId::new(label, id), &ranks, |b, _| {
+            b.iter(|| {
+                let backend = build(policy);
+                let owned = alloc_owned(&backend);
+                storm(&backend, &owned);
+            });
+        });
+    }
+    group.finish();
+}
+
 /// The sparse engine's headline: real amplitudes at paper-scale rank
 /// counts for a constant factor over pure counting. The workload is a
 /// cat-state broadcast built as a sequential entangled-copy chain — the
@@ -396,6 +494,6 @@ fn bench_sparse_gates(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_local_gates, bench_remote_gates, bench_batched_gates, bench_sparse_gates, bench_cat_broadcast, bench_teleport_chain, bench_parity_reduce
+    targets = bench_local_gates, bench_remote_gates, bench_batched_gates, bench_coalesced_gates, bench_sparse_gates, bench_cat_broadcast, bench_teleport_chain, bench_parity_reduce
 }
 criterion_main!(benches);

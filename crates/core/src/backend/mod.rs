@@ -218,6 +218,30 @@ pub fn build_backend(
     seed: u64,
     noise: NoiseModel,
 ) -> Result<Arc<dyn QuantumBackend>> {
+    build_backend_with_policy(
+        kind,
+        transport,
+        seed,
+        noise,
+        crate::context::BatchPolicy::env_default(),
+    )
+}
+
+/// [`build_backend`] with an explicit [`crate::BatchPolicy`], which on the
+/// sharded backends governs the cross-rank coalesce window
+/// ([`ShardedShared`]): whether concurrent ranks' flushed plans merge into
+/// shared per-worker frames (`policy.coalesce`) and the window's op / byte
+/// / age budgets. Backends under the [`Shared`] mutex wrapper serialize
+/// every flush anyway and ignore the policy. This is what
+/// [`crate::QmpiConfig::build_backend`] calls, so a world's configured
+/// policy reaches the backend it constructs.
+pub fn build_backend_with_policy(
+    kind: BackendKind,
+    transport: TransportKind,
+    seed: u64,
+    noise: NoiseModel,
+    policy: crate::context::BatchPolicy,
+) -> Result<Arc<dyn QuantumBackend>> {
     noise.validate().map_err(QmpiError::InvalidArgument)?;
     if kind == BackendKind::Stabilizer && !noise.is_clifford() {
         return Err(QmpiError::InvalidArgument(
@@ -236,16 +260,19 @@ pub fn build_backend(
         BackendKind::Stabilizer => Arc::new(Shared::new(StabilizerEngine::with_noise(seed, noise))),
         BackendKind::Trace => Arc::new(Shared::new(TraceEngine::with_noise(noise))),
         BackendKind::Sparse => Arc::new(Shared::new(SparseEngine::with_noise(seed, noise))),
-        BackendKind::ShardedStateVector { shards } => Arc::new(ShardedShared::new(
+        BackendKind::ShardedStateVector { shards } => Arc::new(ShardedShared::with_policy(
             ShardedStateVector::with_noise(seed, shards, noise),
+            policy,
         )),
         BackendKind::RemoteSharded { shards } if transport.is_multiprocess() => {
-            Arc::new(ShardedShared::new(RemoteShardedEngine::over_transport(
-                seed, shards, noise, transport,
-            )))
+            Arc::new(ShardedShared::with_policy(
+                RemoteShardedEngine::over_transport(seed, shards, noise, transport),
+                policy,
+            ))
         }
-        BackendKind::RemoteSharded { shards } => Arc::new(ShardedShared::new(
+        BackendKind::RemoteSharded { shards } => Arc::new(ShardedShared::with_policy(
             RemoteShardedEngine::with_noise(seed, shards, noise),
+            policy,
         )),
     })
 }
@@ -313,6 +340,11 @@ pub struct TransportStats {
     /// Worker processes respawned by failover. Zero for the in-process
     /// transport, which has no process boundary to fail over.
     pub respawns: u64,
+    /// Rank flushes absorbed into an already-open cross-rank coalesce
+    /// window instead of dispatching their own command round — each count
+    /// is one command fan-out round saved versus the uncoalesced path.
+    /// Zero with coalescing off (`BatchPolicy::coalesce = false`).
+    pub coalesced_flushes: u64,
 }
 
 /// Aggregate operation counts, maintained by the [`Shared`] wrapper across
@@ -532,6 +564,16 @@ pub trait QuantumBackend: Send + Sync {
     /// (the `qserve` job service) reads these through the backend handle.
     fn transport_stats(&self) -> Option<TransportStats> {
         None
+    }
+
+    /// Ships any cross-rank coalesce window the backend holds (see
+    /// [`ShardedShared`]), so every gate segment flushed into it so far
+    /// becomes visible engine state. Called by the rank layer at
+    /// synchronization points that do not otherwise touch the backend
+    /// (classical sends, barriers); a no-op everywhere else — the default
+    /// covers backends without a window.
+    fn sync_coalesced(&self) -> Result<()> {
+        Ok(())
     }
 
     /// Allocates `n` fresh |0> qubits owned by `rank`.

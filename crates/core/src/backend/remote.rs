@@ -533,6 +533,23 @@ pub enum ShardCmd {
         /// order.
         ops: Vec<WorkerOp>,
     },
+    /// A coalesced gate stream: several ranks' planned sub-streams shipped
+    /// as one command round. Each segment is `(rank, ops)`; the worker
+    /// executes segments front to back, which reproduces the exact op order
+    /// of shipping each segment as its own [`ShardCmd::Batch`]. Segment
+    /// boundaries are kept on the wire (rather than pre-concatenated) so
+    /// the failover log can replay the per-rank structure verbatim.
+    ///
+    /// The wire framing is deliberately compact — u32 segment count, u16
+    /// rank marker, u32 op count per segment — so a merged frame always
+    /// costs fewer bytes than the per-rank `Batch` frames it replaces.
+    /// The controller falls back to a plain concatenated `Batch` for the
+    /// (unreachable in any supported deployment) case of a contributing
+    /// rank id beyond `u16::MAX`.
+    Merged {
+        /// Per-rank `(rank, ops)` segments in deterministic arrival order.
+        segs: Vec<(u16, Vec<WorkerOp>)>,
+    },
     /// Distributed Pauli expectation: accumulate this stripe's
     /// contribution (see [`ExpectRole`] for the pairing protocol) against
     /// the global X/Z masks. Replies [`ShardReply::PartialC`] (except for
@@ -642,6 +659,17 @@ impl Encode for ShardCmd {
             }
             ShardCmd::Shutdown => 9u8.encode(buf),
             ShardCmd::Die => 10u8.encode(buf),
+            ShardCmd::Merged { segs } => {
+                11u8.encode(buf);
+                (segs.len() as u32).encode(buf);
+                for (rank, ops) in segs {
+                    rank.encode(buf);
+                    (ops.len() as u32).encode(buf);
+                    for op in ops {
+                        op.encode(buf);
+                    }
+                }
+            }
         }
     }
 }
@@ -684,6 +712,29 @@ impl Decode for ShardCmd {
             },
             9 => ShardCmd::Shutdown,
             10 => ShardCmd::Die,
+            11 => {
+                use bytes::Buf;
+                let n = u32::decode(buf)? as usize;
+                // Each segment needs at least its 6 marker bytes.
+                if n.saturating_mul(6) > buf.remaining() {
+                    return None;
+                }
+                let mut segs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let rank = u16::decode(buf)?;
+                    let len = u32::decode(buf)? as usize;
+                    // Guard against corrupted op counts (each op >= 1 byte).
+                    if len > buf.remaining() {
+                        return None;
+                    }
+                    let mut ops = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        ops.push(WorkerOp::decode(buf)?);
+                    }
+                    segs.push((rank, ops));
+                }
+                ShardCmd::Merged { segs }
+            }
             _ => return None,
         })
     }
@@ -852,6 +903,22 @@ pub(crate) fn worker_loop<C: ShardChannel>(chan: &mut C) {
                         // any further op can observe it.
                         Err(WorkerHalt::Aborted) => break,
                         Err(WorkerHalt::Exit) => return,
+                    }
+                }
+            }
+            ShardCmd::Merged { segs } => {
+                // Segments run front to back, exactly as if each had
+                // arrived as its own `Batch` command. An abort abandons the
+                // *whole* merged frame (every remaining segment), matching
+                // the single-frame recovery contract: the recovery Load
+                // overwrites the stripe before anything observes it.
+                'merged: for (_rank, ops) in segs {
+                    for op in ops {
+                        match run_op(chan, &mut amps, op) {
+                            Ok(()) => {}
+                            Err(WorkerHalt::Aborted) => break 'merged,
+                            Err(WorkerHalt::Exit) => return,
+                        }
                     }
                 }
             }
@@ -1036,6 +1103,7 @@ impl LoggedUnit {
             matches!(
                 cmd,
                 ShardCmd::Batch { .. }
+                    | ShardCmd::Merged { .. }
                     | ShardCmd::Load { .. }
                     | ShardCmd::Collapse { .. }
                     | ShardCmd::CollapseParity { .. }
@@ -1662,6 +1730,52 @@ impl Controller {
         Ok(())
     }
 
+    /// Ships a coalesced plan: one frame per participating worker carrying
+    /// *several ranks'* planned sub-streams, still counted as a single
+    /// command round. `cuts` holds, per contributing rank in arrival order,
+    /// the cumulative per-worker end position its segment reached in
+    /// `plan.ops` — slicing at those positions recovers each rank's ops.
+    /// Workers with exactly one non-empty segment get a plain
+    /// [`ShardCmd::Batch`] (identical bytes to the uncoalesced ship); the
+    /// rest get [`ShardCmd::Merged`] with the per-rank structure intact so
+    /// failover replay preserves it.
+    fn dispatch_merged(
+        &mut self,
+        plan: &Plan,
+        cuts: &[(u64, Vec<usize>)],
+    ) -> Result<(), DeadWorker> {
+        if plan.ops.iter().all(|ops| ops.is_empty()) {
+            return Ok(());
+        }
+        self.cmd_rounds += 1;
+        self.xchg_rounds += plan.xchg;
+        // Rank markers ride the wire as u16 (see [`ShardCmd::Merged`]);
+        // beyond that — unreachable in any supported deployment — the
+        // concatenated plain frame keeps execution order and byte parity,
+        // giving up only the log's per-rank markers.
+        let markers_fit = cuts.iter().all(|(rank, _)| u16::try_from(*rank).is_ok());
+        for (s, ops) in plan.ops.iter().enumerate() {
+            if ops.is_empty() {
+                continue;
+            }
+            let mut segs: Vec<(u16, Vec<WorkerOp>)> = Vec::new();
+            let mut prev = 0usize;
+            for (rank, ends) in cuts {
+                let end = ends[s];
+                if end > prev {
+                    segs.push((*rank as u16, ops[prev..end].to_vec()));
+                    prev = end;
+                }
+            }
+            if segs.len() == 1 || !markers_fit {
+                self.send_to(s, &ShardCmd::Batch { ops: ops.clone() })?;
+            } else {
+                self.send_to(s, &ShardCmd::Merged { segs })?;
+            }
+        }
+        Ok(())
+    }
+
     /// Distributed (gather-free) Pauli expectation: fan [`ShardCmd::Expect`]
     /// out with the pairing roles implied by the shard-crossing half of the
     /// X mask, then sum the complex partials in shard order.
@@ -1932,6 +2046,9 @@ impl RemoteShardedEngine {
             exchange_rounds: ctl.xchg_rounds,
             wire_bytes,
             respawns,
+            // Coalescing happens in the locality wrapper above this engine;
+            // the wrapper adds its own window counter on top of these.
+            coalesced_flushes: 0,
         }
     }
 
@@ -2484,6 +2601,65 @@ impl super::ShardableEngine for RemoteShardedEngine {
         self.gate_count.fetch_add(gates, Ordering::Relaxed);
         result
     }
+
+    fn apply_segments_concurrent(
+        &self,
+        segs: Vec<(usize, qsim::GateBatch)>,
+    ) -> Result<(), SimError> {
+        use qsim::BatchOp;
+        if self.noise_model.is_state_dependent() {
+            // Amplitude damping degrades to eager per-gate dispatch anyway;
+            // running segments back to back reproduces the uncoalesced
+            // stream exactly.
+            for (_rank, batch) in segs {
+                self.apply_batch_concurrent(&batch)?;
+            }
+            return Ok(());
+        }
+        if segs.len() == 1 {
+            let (_rank, batch) = segs.into_iter().next().expect("one segment");
+            return self.apply_batch_concurrent(&batch);
+        }
+        // The coalesced path: plan every segment's gates (and their
+        // controller-sampled Pauli-noise insertions, drawn in segment
+        // arrival order — the order the uncoalesced flushes would have
+        // drawn them) into ONE plan under ONE controller acquisition,
+        // recording each segment's per-worker cut position, then ship ONE
+        // merged frame per worker.
+        let mut ctl = self.ctl.lock();
+        let mut plan = ctl.new_plan();
+        let mut cuts: Vec<(u64, Vec<usize>)> = Vec::with_capacity(segs.len());
+        let mut gates = 0u64;
+        let mut result = Ok(());
+        'segs: for (rank, batch) in &segs {
+            for op in batch.ops() {
+                if let BatchOp::Swap { a, b } = op {
+                    if a == b {
+                        continue;
+                    }
+                }
+                match self.plan_op(&ctl, op, &mut plan) {
+                    Ok((class, positions)) => {
+                        gates += 1;
+                        self.plan_noise(&ctl, class, &positions, &mut plan);
+                    }
+                    Err(e) => {
+                        // Ship the planned prefix (cut mid-segment) so the
+                        // applied stream matches the uncoalesced path, then
+                        // surface the error.
+                        result = Err(e);
+                        cuts.push((*rank as u64, plan.ops.iter().map(Vec::len).collect()));
+                        break 'segs;
+                    }
+                }
+            }
+            cuts.push((*rank as u64, plan.ops.iter().map(Vec::len).collect()));
+        }
+        ctl.run(|c| c.dispatch_merged(&plan, &cuts));
+        drop(ctl);
+        self.gate_count.fetch_add(gates, Ordering::Relaxed);
+        result
+    }
 }
 
 impl super::SimEngine for RemoteShardedEngine {
@@ -2775,6 +2951,28 @@ mod tests {
             ShardCmd::Scale { factor: 1.25 },
             ShardCmd::Shutdown,
             ShardCmd::Die,
+            ShardCmd::Merged { segs: vec![] },
+            ShardCmd::Merged {
+                segs: vec![
+                    (
+                        0,
+                        vec![WorkerOp::PairWithin {
+                            c_lo: 0b101,
+                            tbit: 1 << 4,
+                            kernel: PairKernel::Mat(mat),
+                        }],
+                    ),
+                    // Empty segment between non-empty neighbors.
+                    (2, vec![]),
+                    (
+                        3,
+                        vec![
+                            WorkerOp::Phase { lo_mask: 0b1001 },
+                            WorkerOp::SwapFull { partner: 7 },
+                        ],
+                    ),
+                ],
+            },
         ];
         for cmd in cmds {
             let bytes = cmpi::to_bytes(&cmd);
@@ -2841,6 +3039,20 @@ mod tests {
         0usize.encode(&mut buf); // no factors...
         4usize.encode(&mut buf); // ...four flips claimed
         1usize.encode(&mut buf); // but only one follows
+        assert!(cmpi::from_bytes::<ShardCmd>(&buf.freeze()).is_none());
+        // Merged frame claiming more segments than the payload holds.
+        let mut buf = BytesMut::new();
+        11u8.encode(&mut buf); // ShardCmd::Merged
+        u32::MAX.encode(&mut buf); // absurd segment count
+        assert!(cmpi::from_bytes::<ShardCmd>(&buf.freeze()).is_none());
+        // Merged frame whose segment is truncated mid-op-list.
+        let mut buf = BytesMut::new();
+        11u8.encode(&mut buf); // ShardCmd::Merged
+        1u32.encode(&mut buf); // one segment
+        4u16.encode(&mut buf); // rank 4
+        2u32.encode(&mut buf); // two ops claimed...
+        3u8.encode(&mut buf); // ...but only one Phase follows
+        0b1usize.encode(&mut buf);
         assert!(cmpi::from_bytes::<ShardCmd>(&buf.freeze()).is_none());
         // Expect with an unknown role.
         let mut buf = BytesMut::new();

@@ -82,6 +82,25 @@ pub trait ShardableEngine: SimEngine + Sync {
         Ok(())
     }
 
+    /// Applies several ranks' gate segments — the drained contents of a
+    /// cross-rank coalesce window, in arrival order — as one unit. Each
+    /// `(rank, batch)` segment is a stream that was flushed (and possibly
+    /// plan-time-optimized) by one rank in isolation; ranks own disjoint
+    /// qubits, so the segments commute and concatenating them in arrival
+    /// order reproduces exactly what dispatching each separately would
+    /// have computed. The default does that concatenation seam-preserving
+    /// ([`qsim::concat_segments`] — no cross-rank re-fusion) and applies
+    /// it as one batch; the process-separated engine overrides this to
+    /// ship one *merged* framed command per worker with per-rank segment
+    /// markers, so failover replay keeps segment boundaries.
+    fn apply_segments_concurrent(
+        &self,
+        segs: Vec<(usize, GateBatch)>,
+    ) -> std::result::Result<(), SimError> {
+        let merged = qsim::concat_segments(segs.into_iter().map(|(_, b)| b));
+        self.apply_batch_concurrent(&merged)
+    }
+
     /// Applies a whole recorded gate stream through the concurrent surface.
     /// The default loops the per-gate entry points (stripe locks still
     /// provide amplitude-level exclusion per pass); the process-separated
@@ -472,6 +491,35 @@ impl SimEngine for ShardedStateVector {
     }
 }
 
+/// The cross-rank coalesce window: flushed-but-not-yet-dispatched gate
+/// segments from one or more ranks, in arrival order. Lives behind its own
+/// mutex inside [`ShardedShared`]; the lock order is always `inner` lock
+/// first, window second.
+#[derive(Default)]
+struct CoalesceWindow {
+    /// `(rank, segment)` in arrival order. Consecutive segments from the
+    /// same rank merge in place — they would have been consecutive
+    /// dispatches anyway.
+    segs: Vec<(usize, GateBatch)>,
+    /// Total recorded ops across `segs` (window op budget).
+    ops: usize,
+    /// Total [`GateBatch::approx_bytes`] across `segs` (byte budget).
+    bytes: usize,
+    /// When the first pending segment arrived (age budget); `None` while
+    /// the window is empty.
+    opened: Option<std::time::Instant>,
+}
+
+impl CoalesceWindow {
+    /// Drains the window, resetting every budget.
+    fn take(&mut self) -> Vec<(usize, GateBatch)> {
+        self.ops = 0;
+        self.bytes = 0;
+        self.opened = None;
+        std::mem::take(&mut self.segs)
+    }
+}
+
 /// The lock-striped locality wrapper: the same ownership registry and
 /// resource counters as [`super::Shared`], but behind a reader-writer lock.
 ///
@@ -480,20 +528,84 @@ impl SimEngine for ShardedStateVector {
 /// so ranks no longer serialize on one global mutex. Structural operations
 /// (alloc/free, measurement, EPR establishment, snapshots) take the write
 /// guard, giving them the same exclusive view `Shared` provides.
+///
+/// ## Cross-rank coalescing
+///
+/// With [`crate::BatchPolicy::coalesce`] on (the default), a rank's
+/// [`QuantumBackend::apply_batch`] flush does not dispatch to the engine
+/// immediately: the (ownership-checked) segment is parked in a
+/// coalescing window, and the whole window ships as **one**
+/// [`ShardableEngine::apply_segments_concurrent`] call — one merged
+/// command round per worker on the process-separated engine — when any
+/// rank hits a synchronization point (measurement, probability or
+/// expectation reads, free, EPR establishment, snapshots, or an explicit
+/// [`QuantumBackend::sync_coalesced`], which the rank layer calls at
+/// classical sends and barriers) or a window budget (`max_ops`,
+/// `max_bytes`, `max_age_ms`) trips. Ranks own disjoint qubits, so parked
+/// segments commute; shipping them in arrival order reproduces the
+/// uncoalesced execution bit for bit, noise draws included (segments are
+/// planned — and noise sampled — at ship time, in the same arrival order
+/// the uncoalesced dispatches would have used).
+///
+/// The per-gate surface (`apply`/`cnot`/…) does not consult the window —
+/// the rank layer never mixes it with batched flushes (eager policies
+/// have `coalesce` off). Direct backend users mixing `apply_batch` under
+/// a coalescing policy with per-gate calls must call
+/// [`QuantumBackend::sync_coalesced`] between the two.
 pub struct ShardedShared<E: ShardableEngine = ShardedStateVector> {
     kind: BackendKind,
     noise: NoiseModel,
+    policy: crate::context::BatchPolicy,
     inner: RwLock<Inner<E>>,
+    window: Mutex<CoalesceWindow>,
+    /// Flushes absorbed into an already-open window: each one is a command
+    /// fan-out round saved versus dispatching per rank flush. Surfaced via
+    /// [`QuantumBackend::transport_stats`] on engines that report stats.
+    coalesced_flushes: AtomicU64,
 }
 
 impl<E: ShardableEngine> ShardedShared<E> {
-    /// Wraps a concurrent-capable engine.
+    /// Wraps a concurrent-capable engine under the environment-default
+    /// batch policy ([`crate::BatchPolicy::env_default`]).
     pub fn new(engine: E) -> Self {
+        ShardedShared::with_policy(engine, crate::context::BatchPolicy::env_default())
+    }
+
+    /// Wraps a concurrent-capable engine with an explicit policy governing
+    /// the cross-rank coalesce window (`policy.coalesce` plus the op /
+    /// byte / age budgets). [`super::build_backend_with_policy`] routes a
+    /// world's configured policy here.
+    pub fn with_policy(engine: E, policy: crate::context::BatchPolicy) -> Self {
         ShardedShared {
             kind: engine.kind(),
             noise: engine.noise(),
+            policy,
             inner: RwLock::new(Inner::new(engine)),
+            window: Mutex::new(CoalesceWindow::default()),
+            coalesced_flushes: AtomicU64::new(0),
         }
+    }
+
+    /// Whether flushes coalesce at all: requires batching (an eager world
+    /// has no flush stream to merge) and the coalesce switch.
+    fn coalescing(&self) -> bool {
+        self.policy.coalesce && self.policy.is_batching()
+    }
+
+    /// Ships every parked segment (if any) to the engine as one merged
+    /// dispatch. Callers hold an `inner` guard (read or write — the
+    /// segment surface is `&self`), which is what serializes shipping
+    /// against structural changes.
+    fn ship_window(&self, inner: &Inner<E>) -> Result<()> {
+        if !self.coalescing() {
+            return Ok(());
+        }
+        let segs = self.window.lock().take();
+        if segs.is_empty() {
+            return Ok(());
+        }
+        inner.engine.apply_segments_concurrent(segs)?;
+        Ok(())
     }
 }
 
@@ -511,19 +623,38 @@ impl<E: ShardableEngine> QuantumBackend for ShardedShared<E> {
     }
 
     fn transport_stats(&self) -> Option<super::TransportStats> {
-        self.inner.read().engine.transport_stats()
+        // A read-only observer: reports without shipping the window (the
+        // engine's own counters are likewise stale while a rank holds
+        // unflushed gates). The wrapper owns the coalesce counter, so it
+        // is added on top of the engine's transport numbers here.
+        let mut stats = self.inner.read().engine.transport_stats()?;
+        stats.coalesced_flushes += self.coalesced_flushes.load(Ordering::Relaxed);
+        Some(stats)
+    }
+
+    fn sync_coalesced(&self) -> Result<()> {
+        let g = self.inner.read();
+        self.ship_window(&g)
     }
 
     fn alloc(&self, rank: usize, n: usize) -> Vec<QubitId> {
+        // Infallible, so it cannot ship the window itself; the rank layer
+        // syncs before allocating (`alloc_qmem` is an accessor flush
+        // point). Parked segments name only pre-existing qubits, so
+        // shipping them after an alloc computes the same amplitudes.
         self.inner.write().alloc(rank, n)
     }
 
     fn free(&self, rank: usize, q: QubitId) -> Result<bool> {
-        self.inner.write().free(rank, q)
+        let mut g = self.inner.write();
+        self.ship_window(&g)?;
+        g.free(rank, q)
     }
 
     fn measure_and_free(&self, rank: usize, q: QubitId) -> Result<bool> {
-        self.inner.write().measure_and_free(rank, q)
+        let mut g = self.inner.write();
+        self.ship_window(&g)?;
+        g.measure_and_free(rank, q)
     }
 
     fn owner_of(&self, q: QubitId) -> Option<usize> {
@@ -580,50 +711,103 @@ impl<E: ShardableEngine> QuantumBackend for ShardedShared<E> {
 
     fn apply_batch(&self, rank: usize, batch: &GateBatch) -> Result<()> {
         // One read-side acquisition (plus one ownership sweep) for the
-        // whole gate stream — the lock-per-batch rule.
+        // whole gate stream — the lock-per-batch rule. Ownership errors
+        // surface here, before the segment can enter the coalesce window,
+        // so a bad flush fails at its own call site exactly as without
+        // coalescing.
         let g = self.inner.read();
         g.check_batch(rank, batch)?;
-        g.engine.apply_batch_concurrent(batch)?;
+        if !self.coalescing() {
+            g.engine.apply_batch_concurrent(batch)?;
+            return Ok(());
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let shipped = {
+            let mut w = self.window.lock();
+            if !w.segs.is_empty() {
+                // This flush joins an already-open window: one command
+                // fan-out round saved versus per-rank dispatch.
+                self.coalesced_flushes.fetch_add(1, Ordering::Relaxed);
+            }
+            w.ops += batch.len();
+            w.bytes += batch.approx_bytes();
+            match w.segs.last_mut() {
+                // Back-to-back flushes from the same rank merge in place —
+                // pure concatenation, same as two consecutive dispatches.
+                Some((r, seg)) if *r == rank => seg.append(batch.clone()),
+                _ => w.segs.push((rank, batch.clone())),
+            }
+            let opened = *w.opened.get_or_insert_with(std::time::Instant::now);
+            let age_tripped = self.policy.max_age_ms > 0
+                && opened.elapsed().as_millis() as u64 >= self.policy.max_age_ms;
+            if w.ops >= self.policy.max_ops || w.bytes >= self.policy.max_bytes || age_tripped {
+                Some(w.take())
+            } else {
+                None
+            }
+        };
+        if let Some(segs) = shipped {
+            g.engine.apply_segments_concurrent(segs)?;
+        }
         Ok(())
     }
 
     fn measure(&self, rank: usize, q: QubitId) -> Result<bool> {
-        self.inner.write().measure(rank, q)
+        let mut g = self.inner.write();
+        self.ship_window(&g)?;
+        g.measure(rank, q)
     }
 
     fn prob_one(&self, rank: usize, q: QubitId) -> Result<f64> {
-        self.inner.write().prob_one(rank, q)
+        let g = self.inner.write();
+        self.ship_window(&g)?;
+        g.prob_one(rank, q)
     }
 
     fn measure_z_parity(&self, rank: usize, qubits: &[QubitId]) -> Result<bool> {
-        self.inner.write().measure_z_parity(rank, qubits)
+        let mut g = self.inner.write();
+        self.ship_window(&g)?;
+        g.measure_z_parity(rank, qubits)
     }
 
     fn entangle_epr(&self, qa: QubitId, qb: QubitId) -> Result<()> {
-        self.inner.write().entangle_epr(qa, qb)
+        let mut g = self.inner.write();
+        self.ship_window(&g)?;
+        g.entangle_epr(qa, qb)
     }
 
     fn entangle_epr_batch(&self, pairs: &[(QubitId, QubitId)]) -> Result<()> {
         // One striped acquisition for the whole spanning tree.
-        self.inner.write().entangle_epr_batch(pairs)
+        let mut g = self.inner.write();
+        self.ship_window(&g)?;
+        g.entangle_epr_batch(pairs)
     }
 
     fn expectation(&self, rank: usize, terms: &[(QubitId, Pauli)]) -> Result<f64> {
-        self.inner.write().expectation(rank, terms)
+        let g = self.inner.write();
+        self.ship_window(&g)?;
+        g.expectation(rank, terms)
     }
 
     fn expectation_each(&self, rank: usize, strings: &[Vec<(QubitId, Pauli)>]) -> Result<Vec<f64>> {
         // One acquisition per observable, not one per Pauli string.
-        self.inner.write().expectation_each(rank, strings)
+        let g = self.inner.write();
+        self.ship_window(&g)?;
+        g.expectation_each(rank, strings)
     }
 
     fn state_vector(&self, order: &[QubitId]) -> Result<State> {
         let g = self.inner.write();
+        self.ship_window(&g)?;
         Ok(g.engine.state_vector(order)?)
     }
 
     fn amplitude_of(&self, rank: usize, ones: &[QubitId]) -> Result<qsim::Complex> {
-        self.inner.write().amplitude_of(rank, ones)
+        let g = self.inner.write();
+        self.ship_window(&g)?;
+        g.amplitude_of(rank, ones)
     }
 
     fn n_qubits(&self) -> usize {

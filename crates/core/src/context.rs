@@ -113,15 +113,34 @@ pub struct BatchPolicy {
     /// ideal noise model. Latency stays bounded by the flush points
     /// themselves — fusion never delays dispatch.
     pub fuse: bool,
+    /// Merge concurrent ranks' flushed plans into shared per-worker frames
+    /// (cross-rank coalescing; see `docs/ARCHITECTURE.md`). With it on
+    /// (the default), a rank's flush *appends* its optimized segment to a
+    /// backend-side coalesce window instead of dispatching immediately;
+    /// the window ships as one merged command round per worker when any
+    /// rank hits a synchronization point or a budget trips. Off restores
+    /// the one-round-per-rank-flush behavior (`QMPI_COALESCE=off`).
+    pub coalesce: bool,
+    /// Time budget for an open coalesce window, in milliseconds: a flush
+    /// that finds the window older than this ships it immediately, so a
+    /// busy rank cannot stall a previously flushed rank's gates
+    /// indefinitely. `0` (the default) disables the age check — windows
+    /// then ship only at synchronization points and op/byte budgets, which
+    /// keeps round counts deterministic (timing-independent) per seed.
+    /// Override with `QMPI_BATCH_AGE_MS`.
+    pub max_age_ms: u64,
 }
 
 impl Default for BatchPolicy {
-    /// 4096 pending ops or ~1 MiB of recorded stream, optimizer on.
+    /// 4096 pending ops or ~1 MiB of recorded stream, optimizer and
+    /// cross-rank coalescing on, no window age budget.
     fn default() -> Self {
         BatchPolicy {
             max_ops: 4096,
             max_bytes: 1 << 20,
             fuse: true,
+            coalesce: true,
+            max_age_ms: 0,
         }
     }
 }
@@ -133,6 +152,8 @@ impl BatchPolicy {
             max_ops: 0,
             max_bytes: 0,
             fuse: false,
+            coalesce: false,
+            max_age_ms: 0,
         }
     }
 
@@ -142,9 +163,12 @@ impl BatchPolicy {
     }
 
     /// The [`BatchPolicy::default`] with environment overrides applied:
-    /// `QMPI_BATCH_OPS` / `QMPI_BATCH_BYTES` (decimal sizes) and
+    /// `QMPI_BATCH_OPS` / `QMPI_BATCH_BYTES` (decimal sizes),
     /// `QMPI_FUSE` (`off`/`0`/`false` disables the optimizer — CI's
-    /// fusion-off cross-check lane). Unparsable values are ignored.
+    /// fusion-off cross-check lane), `QMPI_COALESCE` (`off`/`0`/`false`
+    /// restores one command round per rank flush), and
+    /// `QMPI_BATCH_AGE_MS` (window age budget in milliseconds, `0`
+    /// disables). Unparsable values are ignored.
     pub fn env_default() -> Self {
         let mut p = BatchPolicy::default();
         if let Some(v) = env_usize("QMPI_BATCH_OPS") {
@@ -155,6 +179,12 @@ impl BatchPolicy {
         }
         if let Ok(v) = std::env::var("QMPI_FUSE") {
             p.fuse = !matches!(v.to_lowercase().as_str(), "off" | "0" | "false");
+        }
+        if let Ok(v) = std::env::var("QMPI_COALESCE") {
+            p.coalesce = !matches!(v.to_lowercase().as_str(), "off" | "0" | "false");
+        }
+        if let Some(v) = env_usize("QMPI_BATCH_AGE_MS") {
+            p.max_age_ms = v as u64;
         }
         p
     }
@@ -294,7 +324,13 @@ impl QmpiConfig {
     /// schedulers that manage backends themselves (qserve) construct them
     /// identically.
     pub fn build_backend(&self) -> crate::error::Result<Arc<dyn QuantumBackend>> {
-        crate::backend::build_backend(self.backend, self.transport, self.seed, self.noise)
+        crate::backend::build_backend_with_policy(
+            self.backend,
+            self.transport,
+            self.seed,
+            self.noise,
+            self.batch,
+        )
     }
 
     /// Sets the full batch policy for the world, overriding the
@@ -462,8 +498,16 @@ impl QmpiRank {
     /// Flush for the accessors that cannot return `Result`: a failure is
     /// parked in `deferred` (first error wins) and re-raised, typed, by
     /// the next fallible call instead of panicking here.
+    ///
+    /// Accessor flush points are also *synchronization* points for the
+    /// cross-rank coalesce window: a classical send, a barrier, or a
+    /// backend read is how this rank's gates become observable to others,
+    /// so any segment parked in the backend's window must ship too. (The
+    /// fallible flush points — measurement, allocation, EPR — go through
+    /// backend methods that ship the window under their own lock.)
     fn flush_or_defer(&self) {
-        if let Err(e) = self.flush() {
+        let synced = self.flush().and_then(|()| self.backend.sync_coalesced());
+        if let Err(e) = synced {
             self.deferred.borrow_mut().get_or_insert(e);
         }
     }
@@ -721,8 +765,10 @@ where
         };
         let out = f(&ctx);
         // The rank's program is over: anything still pending must land so
-        // post-run diagnostics (counts, snapshots) see the full program.
+        // post-run diagnostics (counts, snapshots) see the full program —
+        // including any segment parked in the backend's coalesce window.
         ctx.flush()
+            .and_then(|()| ctx.backend.sync_coalesced())
             .expect("flushing the rank's pending batched gates at world teardown");
         out
     });
@@ -754,7 +800,11 @@ impl Drop for QmpiRank {
         } else {
             batch
         };
-        if let Err(e) = self.backend.apply_batch(self.proto.rank(), &batch) {
+        let landed = self
+            .backend
+            .apply_batch(self.proto.rank(), &batch)
+            .and_then(|()| self.backend.sync_coalesced());
+        if let Err(e) = landed {
             eprintln!(
                 "qmpi: rank {}: {} batched gate(s) failed during teardown flush: {e}",
                 self.proto.rank(),
@@ -838,6 +888,8 @@ mod tests {
             max_ops: 17,
             max_bytes: 1234,
             fuse: false,
+            coalesce: false,
+            max_age_ms: 5,
         };
         assert_eq!(QmpiConfig::new().batch(custom).batch_policy(), custom);
         assert!(BatchPolicy::default().is_batching());

@@ -253,6 +253,16 @@ impl GateBatch {
             approx_bytes: std::mem::take(&mut self.approx_bytes),
         }
     }
+
+    /// Appends every op of `other` after this batch's ops, preserving both
+    /// streams' internal order. This is pure concatenation — no
+    /// re-optimization happens across the seam, so two independently
+    /// optimized streams keep their own fusion boundaries (the coalescing
+    /// layer's contract; see [`crate::optimizer::concat_segments`]).
+    pub fn append(&mut self, other: GateBatch) {
+        self.approx_bytes += other.approx_bytes;
+        self.ops.extend(other.ops);
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +360,31 @@ mod tests {
             czs: vec![(q(1), q(1))],
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn append_concatenates_preserving_order_and_bytes() {
+        let mut a = GateBatch::new();
+        a.push(BatchOp::Gate {
+            gate: Gate::H,
+            q: QubitId(0),
+        });
+        let mut b = GateBatch::new();
+        b.push(BatchOp::Cnot {
+            c: QubitId(1),
+            t: QubitId(2),
+        });
+        b.push(BatchOp::Gate {
+            gate: Gate::T,
+            q: QubitId(1),
+        });
+        let (a_bytes, b_bytes) = (a.approx_bytes(), b.approx_bytes());
+        a.append(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.approx_bytes(), a_bytes + b_bytes);
+        assert!(matches!(a.ops()[0], BatchOp::Gate { gate: Gate::H, .. }));
+        assert!(matches!(a.ops()[1], BatchOp::Cnot { .. }));
+        assert!(matches!(a.ops()[2], BatchOp::Gate { gate: Gate::T, .. }));
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use batch::{BatchOp, GateBatch};
 pub use complex::Complex;
 pub use gates::{Gate, Pauli};
 pub use noise::{NoiseChannel, NoiseModel};
-pub use optimizer::optimize;
+pub use optimizer::{concat_segments, optimize};
 pub use sharded::ShardedState;
 pub use sim::{QubitId, SimError, Simulator};
 pub use sparse::SparseSim;

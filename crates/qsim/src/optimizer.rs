@@ -341,6 +341,26 @@ pub fn optimize(batch: GateBatch) -> GateBatch {
     out
 }
 
+/// Concatenates already-optimized per-rank segments into one batch
+/// **without** re-optimizing across segment seams.
+///
+/// The cross-rank coalescing layer merges concurrent ranks' flushed plans
+/// into a single dispatch unit. Each segment was (possibly) optimized in
+/// isolation at its own flush point; running [`optimize`] over the
+/// concatenation would fuse across rank boundaries, changing each rank's
+/// FP multiply sequence and breaking bit-identity with the uncoalesced
+/// path. This helper is the sanctioned seam-preserving join: pure
+/// [`GateBatch::append`], segment order preserved, per-segment op order
+/// preserved — so the merged stream executes every rank's ops exactly as
+/// that rank's solo flush would have.
+pub fn concat_segments(segments: impl IntoIterator<Item = GateBatch>) -> GateBatch {
+    let mut out = GateBatch::new();
+    for seg in segments {
+        out.append(seg);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +380,37 @@ mod tests {
             b.push(op);
         }
         optimize(b).into_ops()
+    }
+
+    #[test]
+    fn concat_segments_preserves_per_segment_fusion_boundaries() {
+        // Two ranks each end their (optimized) segment with an H run on
+        // their own qubit; naive re-optimization of the concatenation
+        // would be a no-op here, but on a *shared-order* stream ending in
+        // H,H on the same qubit it would cancel the pair. Build exactly
+        // that hazard: segment A ends with H(0), segment B begins with
+        // H(0) — legal only because the coalescer never interleaves a
+        // qubit across segments in practice, but the helper must not fuse
+        // across the seam regardless.
+        let mut a = GateBatch::new();
+        a.push(gate(Gate::H, 0));
+        let mut b = GateBatch::new();
+        b.push(gate(Gate::H, 0));
+        b.push(gate(Gate::T, 1));
+        let merged = super::concat_segments([a.clone(), b.clone()]);
+        // Pure concatenation: both H ops survive verbatim, in order.
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.ops()[0], gate(Gate::H, 0));
+        assert_eq!(merged.ops()[1], gate(Gate::H, 0));
+        assert_eq!(merged.ops()[2], gate(Gate::T, 1));
+        // Contrast: optimizing the same stream as one batch drops the pair.
+        let fused = optimize(merged.clone());
+        assert!(fused.len() < merged.len());
+        assert_eq!(
+            merged.approx_bytes(),
+            a.approx_bytes() + b.approx_bytes(),
+            "byte accounting must survive concatenation"
+        );
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! parity reduction) across backends — pooled shard workers alongside
 //! spawn-per-job state-vector, stabilizer, and trace engines — then prints
 //! the accounting table every tenant would be billed from: EPR pairs,
-//! correction bits, rounds, buffer peaks, transport rounds, fidelity, and
-//! wall/queue time.
+//! correction bits, rounds, buffer peaks, transport rounds, coalesced
+//! flushes (command rounds saved by cross-rank batch coalescing), fidelity,
+//! and wall/queue time.
 //!
 //! Run: `cargo run --release --example job_server`
 
@@ -133,6 +134,12 @@ fn main() {
         );
     }
     assert!(reports.iter().all(|(_, ok, _)| *ok));
+
+    let saved: u64 = reports
+        .iter()
+        .filter_map(|(_, _, r)| r.transport.map(|t| t.coalesced_flushes))
+        .sum();
+    println!("\ncross-rank coalescing saved {saved} command fan-out rounds across the storm");
 
     server.drain();
     let stats = server.stats();

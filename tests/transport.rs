@@ -184,6 +184,78 @@ fn sigkilled_worker_respawns_and_finishes_bit_identically() {
     );
 }
 
+/// Failover through *merged* frames: two ranks' sub-streams coalesced
+/// into one command round are logged as one mutating unit with the
+/// per-rank segment structure intact. SIGKILL a worker after one merged
+/// frame committed; the next merged dispatch trips over the EOF, failover
+/// reloads the checkpoint, replays the logged merged frame verbatim
+/// (segments in arrival order), retries the in-flight one — and the run
+/// finishes bit-identical to an undisturbed run, noise draws included.
+#[test]
+fn sigkilled_worker_mid_merged_batch_replays_segments_bit_identically() {
+    ensure_worker_bin();
+    use qmpi::{RemoteShardedEngine, ShardableEngine, SimEngine};
+    let run = |kill: bool| {
+        let mut e = RemoteShardedEngine::over_transport(
+            17,
+            SHARDS,
+            NoiseModel::depolarizing(0.1),
+            TransportKind::UnixSocket,
+        );
+        let qs: Vec<_> = (0..N_QUBITS).map(|_| e.alloc()).collect();
+        for &q in &qs {
+            e.apply(Gate::H, q).unwrap();
+        }
+        // One "rank's" segment: a rotation plus an entangler confined to
+        // its own qubit pair (the window's disjoint-ownership shape).
+        let seg = |lo: usize, theta: f64| {
+            let mut b = GateBatch::new();
+            b.push(BatchOp::Gate {
+                gate: Gate::Ry(theta),
+                q: qs[lo],
+            });
+            b.push(BatchOp::Cnot {
+                c: qs[lo],
+                t: qs[lo + 1],
+            });
+            b
+        };
+        // A committed merged frame (two segments, one command round).
+        e.apply_segments_concurrent(vec![(0, seg(0, 0.3)), (1, seg(2, 0.7))])
+            .unwrap();
+        if kill {
+            e.debug_kill_worker_process(SHARDS - 1);
+        }
+        // This merged dispatch discovers the dead socket mid-fan-out.
+        e.apply_segments_concurrent(vec![(0, seg(0, 1.1)), (1, seg(2, 0.2))])
+            .unwrap();
+        // Trajectory identity proves replay did not re-draw randomness.
+        let m = e.measure(qs[0]).unwrap();
+        let st = e.state_vector(&qs).unwrap();
+        let amps: Vec<(u64, u64)> = (0..st.len())
+            .map(|i| {
+                let a = st.amplitude(i);
+                (a.re.to_bits(), a.im.to_bits())
+            })
+            .collect();
+        let stats = e.transport_stats();
+        if kill {
+            assert!(
+                stats.respawns >= 1,
+                "the SIGKILLed worker must have been respawned"
+            );
+        } else {
+            assert_eq!(stats.respawns, 0, "undisturbed run respawns nothing");
+        }
+        (m, amps)
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "a merged batch interrupted by a worker death must replay bit-identically"
+    );
+}
+
 /// Killing a worker twice (including re-killing the respawned child) is
 /// still survivable: every failure epoch restarts cleanly.
 #[test]
